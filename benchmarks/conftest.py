@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmark datasets are scaled-down synthetic versions of the paper's
+Wikidata and Patent graphs (see DESIGN.md for the substitution rationale).  The
+scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.5) so a laptop run finishes in a few minutes while larger machines
+can push it up.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.runner import build_benchmark_datasets
+from repro.config import GraphVizDBConfig
+from repro.core.pipeline import PreprocessingPipeline
+
+
+def bench_scale() -> float:
+    """Return the dataset scale factor used by every benchmark."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> GraphVizDBConfig:
+    """The preprocessing configuration used by every benchmark."""
+    return GraphVizDBConfig.benchmark()
+
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    """The synthetic Wikidata-like and Patent-like benchmark graphs."""
+    return build_benchmark_datasets(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def wikidata_preprocessed(bench_datasets, bench_config):
+    """Preprocessed Wikidata-like dataset (shared across Fig. 3 / ablation benches)."""
+    return PreprocessingPipeline(bench_config).run(bench_datasets["wikidata-like"])
+
+
+@pytest.fixture(scope="session")
+def patent_preprocessed(bench_datasets, bench_config):
+    """Preprocessed Patent-like dataset (shared across Fig. 3 / ablation benches)."""
+    return PreprocessingPipeline(bench_config).run(bench_datasets["patent-like"])

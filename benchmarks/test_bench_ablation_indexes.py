@@ -1,0 +1,164 @@
+"""Ablation A — why an R-tree: window queries via R-tree vs grid index vs linear scan.
+
+The paper's design stores edge geometries in an R-tree and evaluates every user
+interaction as a window query against it.  This ablation quantifies that choice
+on the Patent-like dataset: the same random-window workload is evaluated with
+(1) the layer table's R-tree, (2) a uniform grid index and (3) a full linear
+scan over the rows (the "holistic" access path).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import format_comparison
+from repro.bench.workloads import random_windows
+from repro.spatial.grid_index import GridIndex
+
+WINDOW_SIZE = 1500
+NUM_WINDOWS = 50
+
+
+def _build_workload(preprocessed):
+    bounds = preprocessed.database.bounds(0)
+    return random_windows(bounds, WINDOW_SIZE, count=NUM_WINDOWS, seed=17)
+
+
+def test_rtree_vs_scan_vs_grid(benchmark, patent_preprocessed, capsys):
+    table = patent_preprocessed.database.table(0)
+    windows = _build_workload(patent_preprocessed)
+    all_rows = list(table.scan())
+
+    # Grid index over the same entries.
+    grid = GridIndex.bulk_load(
+        ((row.bounding_rect(), row.row_id) for row in all_rows), cell_size=WINDOW_SIZE / 2
+    )
+
+    def rtree_workload() -> int:
+        return sum(len(table.rtree.window_query(window)) for window in windows)
+
+    def grid_workload() -> int:
+        return sum(len(grid.window_query(window)) for window in windows)
+
+    def scan_workload() -> int:
+        return sum(
+            sum(1 for row in all_rows if row.bounding_rect().intersects(window))
+            for window in windows
+        )
+
+    # pytest-benchmark measures the R-tree (the paper's design); the alternatives
+    # are timed manually for the comparison report.
+    rtree_matches = benchmark(rtree_workload)
+
+    started = time.perf_counter()
+    grid_matches = grid_workload()
+    grid_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    scan_matches = scan_workload()
+    scan_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    rtree_workload()
+    rtree_seconds = time.perf_counter() - started
+
+    with capsys.disabled():
+        print()
+        print(
+            f"Ablation A ({NUM_WINDOWS} windows of {WINDOW_SIZE}^2 px, layer 0 of patent-like):"
+        )
+        print(f"  R-tree      : {rtree_seconds * 1000:8.1f} ms  ({rtree_matches} candidate rows)")
+        print(f"  Grid index  : {grid_seconds * 1000:8.1f} ms  ({grid_matches} candidate rows)")
+        print(f"  Linear scan : {scan_seconds * 1000:8.1f} ms  ({scan_matches} candidate rows)")
+        print(format_comparison(
+            "spatial index beats a linear scan for window queries",
+            "implicit in the paper's design (DB time negligible)",
+            f"speedup vs scan: {scan_seconds / max(rtree_seconds, 1e-9):.1f}x",
+            rtree_seconds < scan_seconds,
+        ))
+
+    # All three access paths agree on the result size.
+    assert rtree_matches == grid_matches == scan_matches
+    # The R-tree must beat the linear scan decisively on this workload.
+    assert rtree_seconds < scan_seconds
+
+
+def test_rtree_split_strategies(benchmark, patent_preprocessed, capsys):
+    """Quadratic (Guttman) vs R*-style splits: build cost and query cost."""
+    from repro.spatial.rtree import RTree
+
+    table = patent_preprocessed.database.table(0)
+    entries = [(row.bounding_rect(), row.row_id) for row in table.scan()]
+    windows = _build_workload(patent_preprocessed)
+
+    def build(split_method: str) -> RTree:
+        tree = RTree(max_entries=16, split_method=split_method)
+        for rect, item in entries:
+            tree.insert(rect, item)
+        return tree
+
+    quadratic_tree = benchmark(lambda: build("quadratic"))
+
+    started = time.perf_counter()
+    rstar_tree = build("rstar")
+    rstar_build_seconds = time.perf_counter() - started
+
+    def query_all(tree: RTree) -> tuple[int, float]:
+        started_inner = time.perf_counter()
+        matches = sum(len(tree.window_query(window)) for window in windows)
+        return matches, time.perf_counter() - started_inner
+
+    quadratic_matches, quadratic_query_seconds = query_all(quadratic_tree)
+    rstar_matches, rstar_query_seconds = query_all(rstar_tree)
+
+    with capsys.disabled():
+        print()
+        print(
+            f"R-tree split strategies over {len(entries)} geometries, "
+            f"{len(windows)} windows of {WINDOW_SIZE}^2 px:"
+        )
+        print(
+            f"  quadratic: query {quadratic_query_seconds * 1000:7.1f} ms, "
+            f"nodes {quadratic_tree.stats().num_nodes}"
+        )
+        print(
+            f"  rstar    : query {rstar_query_seconds * 1000:7.1f} ms, "
+            f"nodes {rstar_tree.stats().num_nodes}, "
+            f"build {rstar_build_seconds * 1000:7.1f} ms"
+        )
+
+    assert quadratic_matches == rstar_matches
+    quadratic_tree.check_invariants()
+    rstar_tree.check_invariants()
+
+
+def test_rtree_bulk_load_vs_incremental_build(benchmark, patent_preprocessed, capsys):
+    """STR bulk loading (used by Step 5) vs repeated insertion."""
+    from repro.spatial.rtree import RTree
+
+    table = patent_preprocessed.database.table(0)
+    entries = [(row.bounding_rect(), row.row_id) for row in table.scan()]
+
+    bulk_tree = benchmark(lambda: RTree.bulk_load(entries, max_entries=32))
+
+    started = time.perf_counter()
+    incremental = RTree(max_entries=32)
+    for rect, item in entries:
+        incremental.insert(rect, item)
+    incremental_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    RTree.bulk_load(entries, max_entries=32)
+    bulk_seconds = time.perf_counter() - started
+
+    with capsys.disabled():
+        print()
+        print(
+            f"R-tree build over {len(entries)} edge geometries: "
+            f"bulk load {bulk_seconds * 1000:.1f} ms vs "
+            f"incremental {incremental_seconds * 1000:.1f} ms; "
+            f"nodes {bulk_tree.stats().num_nodes} vs {incremental.stats().num_nodes}"
+        )
+
+    assert bulk_seconds < incremental_seconds
+    assert bulk_tree.stats().num_nodes <= incremental.stats().num_nodes

@@ -1,0 +1,63 @@
+"""Figure 3(b) — Time vs Window Size, Patent-like dataset.
+
+Same sweep as Fig. 3(a) on the citation graph.  The paper's Patent panel shows
+the same qualitative behaviour as Wikidata but with more objects per window
+(denser drawing), hence slightly higher totals; the assertions below check the
+shared shape plus the roughly linear relation between objects and total time.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_comparison, format_figure3
+from repro.bench.runner import run_figure3
+from repro.bench.workloads import PAPER_WINDOW_SIZES
+
+QUERIES_PER_SIZE = 100
+
+
+def test_figure3_patent(benchmark, patent_preprocessed, capsys):
+    series = benchmark.pedantic(
+        run_figure3,
+        kwargs={
+            "preprocessing": patent_preprocessed,
+            "dataset_name": "patent-like",
+            "window_sizes": PAPER_WINDOW_SIZES,
+            "queries_per_size": QUERIES_PER_SIZE,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    totals = series.series("total_ms")
+    rendering = series.series("communication_rendering_ms")
+    db = series.series("db_query_ms")
+    json_build = series.series("json_build_ms")
+    objects = series.series("avg_objects")
+
+    with capsys.disabled():
+        print()
+        print(format_figure3(series))
+        print()
+        print(format_comparison(
+            "behaviour matches the Wikidata panel (linear scaling, rendering dominates)",
+            "Fig. 3(a) and 3(b) show the same shape",
+            f"total {totals[0]:.1f} -> {totals[-1]:.1f}ms, objects {objects[0]:.0f} -> {objects[-1]:.0f}",
+            totals[-1] > totals[0] and rendering[-1] > db[-1],
+        ))
+        # Linearity check: time per object should be roughly constant across sizes.
+        per_object = [t / max(o, 1.0) for t, o in zip(totals, objects)]
+        print(format_comparison(
+            "total time scales linearly with objects in the window",
+            "linear in Fig. 3",
+            f"ms/object across sizes: {', '.join(f'{v:.2f}' for v in per_object)}",
+            max(per_object) <= 5.0 * min(per_object),
+        ))
+
+    assert objects == sorted(objects), "objects should not shrink as windows grow"
+    assert totals[-1] > totals[0]
+    assert rendering[-1] >= 0.5 * totals[-1]
+    assert db[-1] <= 0.5 * totals[-1]
+    assert json_build[-1] < rendering[-1]
+    # Approximate linearity between objects and total time across the sweep.
+    per_object = [t / max(o, 1.0) for t, o in zip(totals, objects)]
+    assert max(per_object) <= 5.0 * min(per_object)

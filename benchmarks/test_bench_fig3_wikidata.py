@@ -1,0 +1,71 @@
+"""Figure 3(a) — Time vs Window Size, Wikidata-like dataset.
+
+Regenerates the paper's Fig. 3(a): for window sizes 200^2 .. 3000^2 pixels,
+100 random window queries per size on abstraction layer 0, reporting the
+average DB Query Execution, Build JSON Objects, Communication + Rendering and
+Total times plus the average Nodes + Edges per window.
+
+Expected shape (paper):
+* total time grows roughly linearly with the number of objects in the window;
+* Communication + Rendering dominates the total;
+* DB query execution is the smallest component and grows only slightly.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_comparison, format_figure3
+from repro.bench.runner import run_figure3
+from repro.bench.workloads import PAPER_WINDOW_SIZES
+
+QUERIES_PER_SIZE = 100
+
+
+def test_figure3_wikidata(benchmark, wikidata_preprocessed, capsys):
+    series = benchmark.pedantic(
+        run_figure3,
+        kwargs={
+            "preprocessing": wikidata_preprocessed,
+            "dataset_name": "wikidata-like",
+            "window_sizes": PAPER_WINDOW_SIZES,
+            "queries_per_size": QUERIES_PER_SIZE,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    totals = series.series("total_ms")
+    rendering = series.series("communication_rendering_ms")
+    db = series.series("db_query_ms")
+    objects = series.series("avg_objects")
+
+    with capsys.disabled():
+        print()
+        print(format_figure3(series))
+        print()
+        print(format_comparison(
+            "total time increases with window size",
+            "monotone growth from 200^2 to 3000^2",
+            f"{totals[0]:.1f}ms -> {totals[-1]:.1f}ms",
+            totals[-1] > totals[0],
+        ))
+        print(format_comparison(
+            "Communication + Rendering dominates the total",
+            "yes for every window size",
+            f"rendering share at 3000^2 = {rendering[-1] / totals[-1]:.0%}",
+            all(r >= 0.5 * t for r, t in zip(rendering, totals)),
+        ))
+        print(format_comparison(
+            "DB query execution is negligible and grows slightly",
+            "lowest curve in Fig. 3(a)",
+            f"db {db[0]:.2f}ms -> {db[-1]:.2f}ms",
+            all(d <= t * 0.5 for d, t in zip(db, totals)),
+        ))
+
+    # Shape assertions.
+    assert objects[-1] > objects[0], "larger windows must contain more objects"
+    assert totals[-1] > totals[0], "larger windows must take longer end to end"
+    # Rendering + communication dominates at the largest window size.
+    assert rendering[-1] > db[-1]
+    assert rendering[-1] >= 0.5 * totals[-1]
+    # DB time stays a small fraction of the total (paper: "negligible").
+    assert db[-1] <= 0.5 * totals[-1]

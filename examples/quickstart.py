@@ -1,0 +1,67 @@
+"""Quickstart: preprocess a graph and explore it interactively.
+
+Runs the full graphVizdb flow on a small synthetic citation graph:
+
+1. generate a graph;
+2. run the offline preprocessing pipeline (partition -> layout -> organise ->
+   abstraction layers -> store & index);
+3. open an exploration session and issue the three online operations the paper
+   describes (interactive navigation, multi-level exploration, keyword search).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import GraphVizDBConfig, GraphVizDBServer
+from repro.graph import patent_like
+
+
+def main() -> None:
+    # 1. A synthetic citation graph (stand-in for the SNAP Patent dataset).
+    graph = patent_like(num_patents=800, seed=7)
+    print(f"dataset: {graph.name} with {graph.num_nodes} nodes / {graph.num_edges} edges")
+
+    # 2. Offline preprocessing (Steps 1-5 of the paper's Fig. 1).
+    server = GraphVizDBServer(GraphVizDBConfig.small())
+    handle = server.load_dataset(graph)
+    report = server.preprocessing_report(handle.name)
+    print("preprocessing report (seconds):")
+    for timing in report.steps:
+        print(f"  step {timing.step} ({timing.name:<20}): {timing.seconds:8.3f}")
+    print(f"  layers stored: {handle.database.num_layers}")
+
+    # 3a. Interactive navigation: the initial viewport plus a pan.
+    session = server.create_session(handle.name)
+    initial = session.refresh()
+    print(f"initial viewport: {len(initial.payload.nodes)} nodes, "
+          f"{len(initial.payload.edges)} edges "
+          f"({initial.db_query_seconds * 1000:.2f} ms in the database)")
+    panned = session.pan(400, 0)
+    print(f"after panning right: {panned.num_objects} objects in the window")
+
+    # 3b. Multi-level exploration: jump to the most abstract layer.
+    top_layer = session.available_layers()[-1]
+    abstract = session.change_layer(top_layer)
+    print(f"layer {top_layer}: {abstract.num_objects} objects (abstraction of the same window)")
+    session.change_layer(0)
+
+    # 3c. Keyword search + focus on node.
+    matches = session.search("patent 0000042", limit=5)
+    if matches.num_matches:
+        first = matches.matches[0]
+        print(f"search hit: node {first['node_id']} {first['label']!r} at "
+              f"({first['x']:.0f}, {first['y']:.0f})")
+        focused = session.focus_on(first["node_id"])
+        print(f"focused window contains {focused.num_objects} objects")
+
+    # Statistics panel.
+    stats = server.dataset_statistics(handle.name)
+    print(f"statistics: average degree {stats.average_degree:.2f}, "
+          f"density {stats.density:.6f}, components {stats.num_components}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Reproduce the paper's evaluation (Table I and Fig. 3) in one script.
+
+A scaled-down version of the benchmark harness intended for a quick local run
+(about a minute); the full harness lives in ``benchmarks/`` and is run with
+``pytest benchmarks/ --benchmark-only``.
+
+Run with::
+
+    python examples/reproduce_paper.py [scale]
+
+where ``scale`` (default 0.25) multiplies the synthetic dataset sizes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import (
+    build_benchmark_datasets,
+    format_figure3,
+    format_table1,
+    run_figure3,
+    run_table1,
+)
+from repro.config import GraphVizDBConfig
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    config = GraphVizDBConfig.benchmark()
+    datasets = build_benchmark_datasets(scale=scale)
+    for name, graph in datasets.items():
+        print(f"{name}: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    # Table I — preprocessing time per step.
+    table1 = run_table1(datasets=datasets, config=config)
+    print()
+    print(format_table1(table1))
+
+    # Fig. 3 — window query latency breakdown vs window size (both datasets).
+    print()
+    for name in ("wikidata-like", "patent-like"):
+        series = run_figure3(
+            table1.results[name],
+            name,
+            queries_per_size=30,
+        )
+        print(format_figure3(series))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Simulated web client driving the JSON API layer.
+
+The original graphVizdb frontend is an HTML/JavaScript application talking to
+HTTP endpoints.  This example plays the role of that frontend: it calls the
+transport-agnostic API handlers (`repro.core.api.GraphVizDBApi`) exactly the way
+an HTTP layer would — dictionaries in, dictionaries out — and walks through a
+typical user session: pick a dataset, load the first screen, search, focus,
+switch abstraction layers, edit, and read the monitoring summary.
+
+Run with::
+
+    python examples/web_api_simulation.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import GraphVizDBConfig, GraphVizDBServer
+from repro.core import GraphVizDBApi, QueryLog
+from repro.core.session import ExplorationSession
+from repro.graph.datasets import load_dataset
+
+
+def main() -> None:
+    # --- Server bootstrap (what a deployment would do at startup). -----------
+    server = GraphVizDBServer(GraphVizDBConfig.small())
+    server.load_dataset(load_dataset("acm", scale=0.3, seed=21), name="acm")
+    server.load_dataset(load_dataset("webgraph", scale=0.15, seed=21), name="webgraph")
+    api = GraphVizDBApi(server)
+
+    # --- GET /datasets --------------------------------------------------------
+    datasets = api.list_datasets()
+    print("available datasets:")
+    for entry in datasets["datasets"]:
+        print(f"  {entry['name']:<10} {entry['num_nodes']:>6} nodes "
+              f"{entry['num_edges']:>6} edges  layers={entry['layers']}")
+
+    # --- GET /datasets/acm ----------------------------------------------------
+    info = api.dataset_info("acm")
+    print(f"acm average degree: {info['statistics']['average_degree']:.2f}, "
+          f"layers: {[layer['layer'] for layer in info['layers']]}")
+
+    # --- POST /datasets/acm/window (the first screen). ------------------------
+    bounds = server.dataset("acm").database.bounds(0)
+    first_screen = api.window("acm", {
+        "min_x": bounds.center.x - 640, "max_x": bounds.center.x + 640,
+        "min_y": bounds.center.y - 400, "max_y": bounds.center.y + 400,
+    })
+    print(f"first screen: {len(first_screen['nodes'])} nodes, "
+          f"{len(first_screen['edges'])} edges, "
+          f"{first_screen['chunks']} streamed chunks, "
+          f"db={first_screen['timings_ms']['db_query']:.2f} ms")
+
+    # --- POST /datasets/acm/search + /focus ------------------------------------
+    hits = api.search("acm", {"keyword": "Faloutsos", "limit": 5})
+    print(f"search 'Faloutsos': {hits['num_matches']} matches")
+    if hits["matches"]:
+        node_id = hits["matches"][0]["node_id"]
+        focused = api.focus("acm", {
+            "node_id": node_id, "viewport_width": 1280, "viewport_height": 800,
+        })
+        print(f"focused on node {node_id}: {focused['num_objects']} objects around "
+              f"({focused['center']['x']:.0f}, {focused['center']['y']:.0f})")
+        neighbours = api.node("acm", node_id)["neighbours"]
+        print(f"information panel: degree {len(neighbours)}")
+
+    # --- POST /datasets/acm/layer (multi-level exploration). -------------------
+    top_layer = server.dataset("acm").database.layers()[-1]
+    abstract = api.layer("acm", {
+        "min_x": bounds.min_x, "max_x": bounds.max_x,
+        "min_y": bounds.min_y, "max_y": bounds.max_y,
+        "layer": top_layer,
+    })
+    print(f"layer {top_layer} over the whole plane: {abstract['num_objects']} objects")
+
+    # --- POST /datasets/acm/edit ------------------------------------------------
+    if hits["matches"]:
+        edited = api.edit("acm", {
+            "operation": "rename_node",
+            "node_id": hits["matches"][0]["node_id"],
+            "label": "Christos Faloutsos (edited via API)",
+        })
+        print(f"edit applied, rows touched: {edited['rows_touched']}")
+        assert api.search("acm", {"keyword": "edited via api"})["num_matches"] == 1
+
+    # --- Monitoring: a logged exploration session. ------------------------------
+    log = QueryLog()
+    session = ExplorationSession(server.dataset("webgraph").query_manager, query_log=log)
+    session.refresh()
+    for _ in range(5):
+        session.pan(250, 100)
+    session.zoom_with_level_of_detail(0.2, max_objects=400)
+    print("monitoring summary for the webgraph session:")
+    print(json.dumps(log.summary(), indent=2))
+
+
+if __name__ == "__main__":
+    main()

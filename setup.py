@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package installs in environments
+without the ``wheel`` module (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

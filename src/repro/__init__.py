@@ -1,0 +1,63 @@
+"""graphVizdb reproduction: a scalable platform for interactive large graph visualization.
+
+The library reproduces the ICDE 2016 demo paper *graphVizdb* (Bikakis et al.):
+an offline preprocessing pipeline that partitions a graph, lays out each
+partition, arranges partitions on one Euclidean plane, builds abstraction
+layers, and stores everything in spatially-indexed tables; plus an online query
+engine that maps interactive exploration onto window queries.
+
+Quickstart::
+
+    from repro import GraphVizDBServer, GraphVizDBConfig
+    from repro.graph import patent_like
+
+    server = GraphVizDBServer(GraphVizDBConfig.small())
+    server.load_dataset(patent_like(num_patents=500))
+    session = server.create_session("patent-like")
+    print(session.refresh().num_objects, "objects in the initial viewport")
+"""
+
+from .config import (
+    AbstractionConfig,
+    ClientConfig,
+    GraphVizDBConfig,
+    LayoutConfig,
+    PartitionConfig,
+    StorageConfig,
+)
+from .core.pipeline import PreprocessingPipeline, PreprocessingReport, PreprocessingResult
+from .core.query_manager import QueryManager, WindowQueryResult
+from .core.server import GraphVizDBServer
+from .core.session import ExplorationSession
+from .core.viewport import Viewport
+from .errors import GraphVizDBError
+from .graph.model import Edge, Graph, Node
+from .spatial.geometry import Point, Rect
+from .storage.database import GraphVizDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractionConfig",
+    "ClientConfig",
+    "GraphVizDBConfig",
+    "LayoutConfig",
+    "PartitionConfig",
+    "StorageConfig",
+    "PreprocessingPipeline",
+    "PreprocessingReport",
+    "PreprocessingResult",
+    "QueryManager",
+    "WindowQueryResult",
+    "GraphVizDBServer",
+    "ExplorationSession",
+    "Viewport",
+    "GraphVizDBError",
+    "Edge",
+    "Graph",
+    "Node",
+    "Point",
+    "Rect",
+    "GraphVizDatabase",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Abstraction layers: ranking criteria, filter/merge methods and the hierarchy builder."""
+
+from .base import AbstractionLayer, AbstractionMethod
+from .filter_layer import FilterAbstraction
+from .hierarchy import LayerHierarchy, build_hierarchy, create_abstraction_method
+from .merge_layer import MergeAbstraction, label_propagation_communities
+from .ranking import create_ranking, degree_scores, hits_scores, pagerank_scores
+
+__all__ = [
+    "AbstractionLayer",
+    "AbstractionMethod",
+    "FilterAbstraction",
+    "LayerHierarchy",
+    "build_hierarchy",
+    "create_abstraction_method",
+    "MergeAbstraction",
+    "label_propagation_communities",
+    "create_ranking",
+    "degree_scores",
+    "hits_scores",
+    "pagerank_scores",
+]

@@ -1,0 +1,79 @@
+"""Abstraction method interface and the :class:`AbstractionLayer` result type.
+
+Paper §II.A, "Building Abstraction Layers": a layer *i* (i > 0) is a new graph
+produced by applying an abstraction method to the graph at layer *i-1*, "either
+by merging parts of the graph into single nodes ... or by filtering parts of
+the graph according to a metric, e.g., a node ranking criterion like PageRank".
+Each layer's layout is derived from the previous layer's layout.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..graph.model import Graph
+from ..layout.base import Layout
+
+__all__ = ["AbstractionLayer", "AbstractionMethod"]
+
+
+@dataclass
+class AbstractionLayer:
+    """One abstraction layer: a graph, its layout, and its provenance.
+
+    Attributes
+    ----------
+    level:
+        Layer index; 0 is the original input graph.
+    graph:
+        The (possibly summarised or filtered) graph at this layer.
+    layout:
+        Global-plane coordinates for every node of ``graph``; derived from the
+        layer below so the user's mental map survives vertical navigation.
+    node_mapping:
+        Mapping ``lower_layer_node_id -> this_layer_node_id`` describing which
+        node of this layer represents each node of the layer below.  For
+        filter-based abstractions only surviving nodes appear (identity
+        mapping); for merge-based abstractions many-to-one entries appear.
+    criterion:
+        Human-readable description of the abstraction criterion (shown in the
+        Layer Panel).
+    """
+
+    level: int
+    graph: Graph
+    layout: Layout
+    node_mapping: dict[int, int] = field(default_factory=dict)
+    criterion: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes at this layer."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges at this layer."""
+        return self.graph.num_edges
+
+    def represents(self, lower_node_id: int) -> int | None:
+        """Return the node of this layer representing ``lower_node_id`` (or ``None``)."""
+        return self.node_mapping.get(lower_node_id)
+
+
+class AbstractionMethod(ABC):
+    """Interface of every abstraction method."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    @abstractmethod
+    def abstract(
+        self, graph: Graph, layout: Layout, level: int
+    ) -> AbstractionLayer:
+        """Produce the next abstraction layer from ``(graph, layout)``.
+
+        ``level`` is the index of the layer being produced (the input graph is
+        at ``level - 1``).
+        """

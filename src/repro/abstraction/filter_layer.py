@@ -1,0 +1,104 @@
+"""Filter-based abstraction.
+
+The abstraction keeps only the "important" nodes of the layer below — the demo
+describes it as viewing "different layers of the graph that contain only the
+'important' nodes (e.g., sites whose PageRank score is above a threshold)".
+Importance is computed by one of the ranking criteria (degree, PageRank, HITS)
+and either a retention fraction or an absolute score threshold selects the
+survivors.  Surviving nodes keep their coordinates, so the drawing at layer i is
+a sparsified version of layer i-1 and the user's mental map is preserved.
+"""
+
+from __future__ import annotations
+
+from ..errors import AbstractionError
+from ..graph.model import Graph
+from ..layout.base import Layout
+from .base import AbstractionLayer, AbstractionMethod
+from .ranking import create_ranking
+
+__all__ = ["FilterAbstraction"]
+
+
+class FilterAbstraction(AbstractionMethod):
+    """Keep the top-ranked fraction of nodes (or nodes above a threshold).
+
+    Parameters
+    ----------
+    criterion:
+        Ranking criterion name: ``"degree"``, ``"pagerank"`` or ``"hits"``.
+    keep_fraction:
+        Fraction of nodes retained (ignored when ``threshold`` is given).
+    threshold:
+        Absolute score threshold; nodes scoring >= ``threshold`` survive.
+    keep_connecting_edges:
+        When ``True`` (default) an edge survives iff both endpoints survive.
+        When ``False`` surviving nodes that were connected through a removed
+        node are linked by a synthetic ``via`` edge, which keeps paths visible
+        at high abstraction levels.
+    """
+
+    name = "filter"
+
+    def __init__(
+        self,
+        criterion: str = "degree",
+        keep_fraction: float = 0.5,
+        threshold: float | None = None,
+        keep_connecting_edges: bool = True,
+    ) -> None:
+        if threshold is None and not 0.0 < keep_fraction < 1.0:
+            raise AbstractionError("keep_fraction must be in (0, 1)")
+        self.criterion = criterion
+        self.keep_fraction = keep_fraction
+        self.threshold = threshold
+        self.keep_connecting_edges = keep_connecting_edges
+        self._ranking = create_ranking(criterion)
+
+    def abstract(self, graph: Graph, layout: Layout, level: int) -> AbstractionLayer:
+        if graph.num_nodes == 0:
+            raise AbstractionError("cannot abstract an empty graph")
+        scores = self._ranking(graph)
+        survivors = self._select_survivors(scores)
+        abstract_graph = graph.subgraph(survivors, name=f"{graph.name}-L{level}")
+
+        if not self.keep_connecting_edges:
+            self._add_via_edges(graph, abstract_graph, survivors)
+
+        abstract_layout = Layout({
+            node_id: layout.position(node_id) for node_id in survivors
+        })
+        mapping = {node_id: node_id for node_id in survivors}
+        return AbstractionLayer(
+            level=level,
+            graph=abstract_graph,
+            layout=abstract_layout,
+            node_mapping=mapping,
+            criterion=f"filter:{self.criterion}",
+        )
+
+    def _select_survivors(self, scores: dict[int, float]) -> set[int]:
+        if self.threshold is not None:
+            survivors = {node_id for node_id, score in scores.items() if score >= self.threshold}
+            if not survivors:
+                # Never produce an empty layer: keep the single best node.
+                best = max(scores, key=lambda node_id: (scores[node_id], -node_id))
+                survivors = {best}
+            return survivors
+        target = max(1, int(round(len(scores) * self.keep_fraction)))
+        ordered = sorted(scores, key=lambda node_id: (-scores[node_id], node_id))
+        return set(ordered[:target])
+
+    @staticmethod
+    def _add_via_edges(graph: Graph, abstract_graph: Graph, survivors: set[int]) -> None:
+        """Connect surviving nodes that share a removed intermediate node."""
+        for node_id in graph.node_ids():
+            if node_id in survivors:
+                continue
+            surviving_neighbours = sorted(
+                neighbour for neighbour in graph.neighbors(node_id) if neighbour in survivors
+            )
+            for i, first in enumerate(surviving_neighbours):
+                for second in surviving_neighbours[i + 1:]:
+                    if not abstract_graph.has_edge(first, second):
+                        abstract_graph.add_edge(first, second, label="via", edge_type="via")

@@ -1,0 +1,151 @@
+"""Abstraction-layer hierarchy builder (preprocessing Step 4).
+
+"The overall hierarchy of layers is constructed in a bottom-up fashion, starting
+from the initial graph at layer 0.  Each time we create a new graph at layer i,
+its layout is based on the layout of the graph at layer i-1."  The builder takes
+the input graph together with its *global* layout (the organizer's output) and
+applies the configured abstraction method repeatedly.
+"""
+
+from __future__ import annotations
+
+from ..config import AbstractionConfig
+from ..errors import AbstractionError
+from ..graph.model import Graph
+from ..layout.base import Layout
+from .base import AbstractionLayer, AbstractionMethod
+from .filter_layer import FilterAbstraction
+from .merge_layer import MergeAbstraction
+
+__all__ = ["LayerHierarchy", "build_hierarchy", "create_abstraction_method"]
+
+
+class LayerHierarchy:
+    """The stack of abstraction layers produced by preprocessing Step 4.
+
+    Layer 0 is always the input graph with its global layout; layers 1..n are
+    increasingly abstract.  The hierarchy is what Step 5 stores and indexes: one
+    database table per layer.
+    """
+
+    def __init__(self, layers: list[AbstractionLayer]) -> None:
+        if not layers:
+            raise AbstractionError("a hierarchy needs at least layer 0")
+        for expected_level, layer in enumerate(layers):
+            if layer.level != expected_level:
+                raise AbstractionError(
+                    f"layer levels must be consecutive from 0; "
+                    f"found {layer.level} at position {expected_level}"
+                )
+        self._layers = list(layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __getitem__(self, level: int) -> AbstractionLayer:
+        return self.layer(level)
+
+    @property
+    def num_layers(self) -> int:
+        """Total number of layers including layer 0."""
+        return len(self._layers)
+
+    def layer(self, level: int) -> AbstractionLayer:
+        """Return the layer at ``level``; raises for unknown levels."""
+        if not 0 <= level < len(self._layers):
+            raise AbstractionError(
+                f"layer {level} does not exist (hierarchy has {len(self._layers)} layers)"
+            )
+        return self._layers[level]
+
+    def layer_sizes(self) -> list[tuple[int, int]]:
+        """Return ``(num_nodes, num_edges)`` per layer, bottom-up."""
+        return [(layer.num_nodes, layer.num_edges) for layer in self._layers]
+
+    def trace_up(self, node_id: int, from_level: int, to_level: int) -> int | None:
+        """Return the node at ``to_level`` representing ``node_id`` at ``from_level``.
+
+        Walks the per-layer ``node_mapping`` chains upwards; returns ``None`` if
+        the node was filtered out before reaching ``to_level``.
+        """
+        if to_level < from_level:
+            raise AbstractionError("trace_up requires to_level >= from_level")
+        current = node_id
+        for level in range(from_level + 1, to_level + 1):
+            mapped = self.layer(level).represents(current)
+            if mapped is None:
+                return None
+            current = mapped
+        return current
+
+
+def create_abstraction_method(
+    criterion: str, keep_fraction: float = 0.5, seed: int = 0
+) -> AbstractionMethod:
+    """Create an abstraction method from a criterion name.
+
+    ``"degree"``, ``"pagerank"`` and ``"hits"`` select filter-based abstraction
+    with the corresponding ranking; ``"merge"`` selects community summarisation.
+    """
+    criterion = criterion.lower()
+    if criterion in {"degree", "pagerank", "hits"}:
+        return FilterAbstraction(criterion=criterion, keep_fraction=keep_fraction)
+    if criterion == "merge":
+        return MergeAbstraction(seed=seed)
+    raise AbstractionError(
+        f"unknown abstraction criterion {criterion!r}; "
+        "expected degree, pagerank, hits or merge"
+    )
+
+
+def build_hierarchy(
+    graph: Graph,
+    layout: Layout,
+    config: AbstractionConfig | None = None,
+    method: AbstractionMethod | None = None,
+) -> LayerHierarchy:
+    """Build the layer hierarchy bottom-up from the input graph and its layout.
+
+    Parameters
+    ----------
+    graph / layout:
+        Layer 0: the input graph and its global-plane layout (organizer output).
+    config:
+        Abstraction configuration; ignored when an explicit ``method`` is given
+        except for ``num_layers``.
+    method:
+        Abstraction method instance overriding the one derived from ``config``.
+    """
+    config = config or AbstractionConfig()
+    if method is None:
+        method = create_abstraction_method(
+            config.criterion, keep_fraction=config.keep_fraction, seed=config.seed
+        )
+
+    layers = [
+        AbstractionLayer(
+            level=0,
+            graph=graph,
+            layout=layout,
+            node_mapping={node_id: node_id for node_id in graph.node_ids()},
+            criterion="input",
+        )
+    ]
+    current_graph = graph
+    current_layout = layout
+    for level in range(1, config.num_layers + 1):
+        if current_graph.num_nodes <= 1:
+            # Nothing left to abstract; the paper places no lower bound on the
+            # number of layers, so stop early rather than emit degenerate layers.
+            break
+        layer = method.abstract(current_graph, current_layout, level)
+        if layer.graph.num_nodes >= current_graph.num_nodes and level > 1:
+            # The method stopped making progress (e.g. merge found no communities).
+            break
+        layers.append(layer)
+        current_graph = layer.graph
+        current_layout = layer.layout
+    return LayerHierarchy(layers)

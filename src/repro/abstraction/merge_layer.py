@@ -1,0 +1,160 @@
+"""Merge-based (summarisation) abstraction.
+
+The alternative abstraction family the paper mentions: "merging parts of the
+graph into single nodes (like the graph summarization methods we mentioned in
+the introduction)".  Communities are detected with a label-propagation pass
+(cheap, deterministic given the seed) and each community collapses into one
+super-node positioned at the centroid of its members — so the abstract layer's
+layout is derived from the layer below, as the paper requires.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+
+from ..errors import AbstractionError
+from ..graph.model import Graph
+from ..layout.base import Layout
+from ..spatial.geometry import Point
+from .base import AbstractionLayer, AbstractionMethod
+
+__all__ = ["MergeAbstraction", "label_propagation_communities"]
+
+
+def label_propagation_communities(
+    graph: Graph, max_iterations: int = 20, seed: int = 0
+) -> dict[int, int]:
+    """Detect communities by synchronous label propagation.
+
+    Returns a mapping ``node_id -> community id`` where community ids are dense
+    integers starting at 0.  Deterministic for a fixed seed.
+    """
+    rng = random.Random(seed)
+    labels = {node_id: node_id for node_id in graph.node_ids()}
+    node_order = sorted(graph.node_ids())
+    for _ in range(max_iterations):
+        rng.shuffle(node_order)
+        changed = 0
+        for node_id in node_order:
+            neighbours = graph.neighbors(node_id)
+            if not neighbours:
+                continue
+            counts = Counter(labels[neighbour] for neighbour in neighbours)
+            best_count = max(counts.values())
+            # Deterministic tie-break: smallest label among the most frequent.
+            best_label = min(label for label, count in counts.items() if count == best_count)
+            if labels[node_id] != best_label:
+                labels[node_id] = best_label
+                changed += 1
+        if changed == 0:
+            break
+    # Densify community ids.
+    dense: dict[int, int] = {}
+    result: dict[int, int] = {}
+    for node_id in sorted(labels):
+        label = labels[node_id]
+        if label not in dense:
+            dense[label] = len(dense)
+        result[node_id] = dense[label]
+    return result
+
+
+class MergeAbstraction(AbstractionMethod):
+    """Collapse communities into super-nodes.
+
+    Parameters
+    ----------
+    min_community_size:
+        Communities smaller than this are merged into their most connected
+        neighbouring community (avoids a cloud of singleton super-nodes).
+    seed:
+        Seed for the label-propagation pass.
+    """
+
+    name = "merge"
+
+    def __init__(self, min_community_size: int = 2, seed: int = 0) -> None:
+        if min_community_size < 1:
+            raise AbstractionError("min_community_size must be >= 1")
+        self.min_community_size = min_community_size
+        self.seed = seed
+
+    def abstract(self, graph: Graph, layout: Layout, level: int) -> AbstractionLayer:
+        if graph.num_nodes == 0:
+            raise AbstractionError("cannot abstract an empty graph")
+        communities = label_propagation_communities(graph, seed=self.seed)
+        communities = self._absorb_small_communities(graph, communities)
+
+        members: dict[int, list[int]] = defaultdict(list)
+        for node_id, community in communities.items():
+            members[community].append(node_id)
+
+        abstract_graph = Graph(directed=graph.directed, name=f"{graph.name}-L{level}")
+        abstract_layout_positions: dict[int, Point] = {}
+        for community, node_ids in sorted(members.items()):
+            node_ids.sort()
+            # The super-node label borrows the label of the highest-degree member.
+            representative = max(node_ids, key=lambda n: (graph.degree(n), -n))
+            label = graph.node(representative).label or f"cluster-{community}"
+            abstract_graph.add_node(
+                community,
+                label=f"{label} (+{len(node_ids) - 1})" if len(node_ids) > 1 else label,
+                node_type="cluster",
+                properties={"size": len(node_ids), "members": list(node_ids)},
+            )
+            xs = [layout.position(node_id).x for node_id in node_ids]
+            ys = [layout.position(node_id).y for node_id in node_ids]
+            abstract_layout_positions[community] = Point(sum(xs) / len(xs), sum(ys) / len(ys))
+
+        # Super-edges: one per connected community pair, weight = multiplicity.
+        super_edges: dict[tuple[int, int], int] = defaultdict(int)
+        for edge in graph.edges():
+            a = communities[edge.source]
+            b = communities[edge.target]
+            if a == b:
+                continue
+            key = (a, b) if graph.directed else (min(a, b), max(a, b))
+            super_edges[key] += 1
+        for (a, b), multiplicity in sorted(super_edges.items()):
+            abstract_graph.add_edge(
+                a, b, label=f"x{multiplicity}", edge_type="super", weight=float(multiplicity)
+            )
+
+        return AbstractionLayer(
+            level=level,
+            graph=abstract_graph,
+            layout=Layout(abstract_layout_positions),
+            node_mapping=dict(communities),
+            criterion="merge:label-propagation",
+        )
+
+    def _absorb_small_communities(
+        self, graph: Graph, communities: dict[int, int]
+    ) -> dict[int, int]:
+        """Merge undersized communities into their best-connected neighbour."""
+        sizes = Counter(communities.values())
+        small = {community for community, size in sizes.items() if size < self.min_community_size}
+        if not small:
+            return communities
+        communities = dict(communities)
+        for node_id in sorted(communities):
+            community = communities[node_id]
+            if community not in small:
+                continue
+            neighbour_communities = Counter(
+                communities[neighbour]
+                for neighbour in graph.neighbors(node_id)
+                if communities[neighbour] not in small
+            )
+            if neighbour_communities:
+                communities[node_id] = neighbour_communities.most_common(1)[0][0]
+        # Re-densify ids after absorption.
+        dense: dict[int, int] = {}
+        result: dict[int, int] = {}
+        for node_id in sorted(communities):
+            community = communities[node_id]
+            if community not in dense:
+                dense[community] = len(dense)
+            result[node_id] = dense[community]
+        return result

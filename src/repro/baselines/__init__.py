@@ -1,0 +1,25 @@
+"""Baselines the paper positions graphVizdb against: holistic, hierarchical and sampling-based."""
+
+from .hierarchical import ClusterNode, HierarchicalExplorer
+from .holistic import HolisticQueryResult, HolisticVisualizer
+from .sampling import (
+    ForestFireSampler,
+    GraphSampler,
+    RandomEdgeSampler,
+    RandomNodeSampler,
+    SampleQuality,
+    sample_quality,
+)
+
+__all__ = [
+    "ClusterNode",
+    "HierarchicalExplorer",
+    "HolisticQueryResult",
+    "HolisticVisualizer",
+    "ForestFireSampler",
+    "GraphSampler",
+    "RandomEdgeSampler",
+    "RandomNodeSampler",
+    "SampleQuality",
+    "sample_quality",
+]

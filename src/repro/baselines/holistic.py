@@ -1,0 +1,102 @@
+"""Holistic baseline: the whole graph in memory, no spatial index.
+
+The paper's introduction criticises "holistic" approaches (Gephi, Fenfire)
+whose visualisation "result[s] in prohibitive memory requirements" because the
+whole graph must be loaded in main memory.  This baseline reproduces that
+architecture as faithfully as the comparison needs:
+
+* the full graph plus a full layout are materialised in memory up front;
+* a window query is a linear scan over every edge (no R-tree);
+* memory usage can be estimated to contrast with graphVizdb's working set,
+  which is only the indexes plus the rows of the current window.
+
+The ablation benchmark compares window-query latency and the estimated working
+set of this baseline against the indexed database.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from ..graph.model import Graph
+from ..layout.base import Layout
+from ..layout.registry import create_layout
+from ..spatial.geometry import LineSegment, Rect
+
+__all__ = ["HolisticQueryResult", "HolisticVisualizer"]
+
+
+@dataclass(frozen=True)
+class HolisticQueryResult:
+    """Result of one linear-scan window query."""
+
+    window: Rect
+    edges: list[tuple[int, int]]
+    nodes: list[int]
+    scan_seconds: float
+
+    @property
+    def num_objects(self) -> int:
+        """Nodes + edges in the window."""
+        return len(self.edges) + len(self.nodes)
+
+
+class HolisticVisualizer:
+    """Whole-graph, in-memory visualiser used as the paper's implicit baseline."""
+
+    def __init__(self, graph: Graph, layout: Layout | None = None, layout_name: str = "force_directed",
+                 layout_iterations: int = 30, seed: int = 42) -> None:
+        self.graph = graph
+        if layout is None:
+            algorithm = create_layout(layout_name, iterations=layout_iterations, seed=seed)
+            layout = algorithm.layout(graph)
+        self.layout = layout
+
+    # ----------------------------------------------------------------- queries
+
+    def window_query(self, window: Rect) -> HolisticQueryResult:
+        """Linear scan over every edge and node; no index involved."""
+        started = time.perf_counter()
+        edges: list[tuple[int, int]] = []
+        nodes_in_window: set[int] = set()
+        for edge in self.graph.edges():
+            segment = LineSegment(
+                self.layout.position(edge.source),
+                self.layout.position(edge.target),
+                directed=self.graph.directed,
+            )
+            if segment.intersects_rect(window):
+                edges.append((edge.source, edge.target))
+                nodes_in_window.add(edge.source)
+                nodes_in_window.add(edge.target)
+        for node_id in self.graph.node_ids():
+            if window.contains_point(self.layout.position(node_id)):
+                nodes_in_window.add(node_id)
+        scan_seconds = time.perf_counter() - started
+        return HolisticQueryResult(
+            window=window,
+            edges=edges,
+            nodes=sorted(nodes_in_window),
+            scan_seconds=scan_seconds,
+        )
+
+    # ------------------------------------------------------------------ memory
+
+    def estimated_memory_bytes(self) -> int:
+        """Rough estimate of the resident working set of the holistic approach.
+
+        Counts the Python-object sizes of all nodes, edges and layout points —
+        the quantities that must be resident for the UI to work at all.  The
+        estimate is conservative (it ignores dict overheads), which only favours
+        the baseline in the comparison.
+        """
+        total = 0
+        for node in self.graph.nodes():
+            total += sys.getsizeof(node.node_id) + sys.getsizeof(node.label)
+        for edge in self.graph.edges():
+            total += sys.getsizeof(edge.source) + sys.getsizeof(edge.target)
+            total += sys.getsizeof(edge.label)
+        total += len(self.layout.positions) * (2 * sys.getsizeof(0.0))
+        return total

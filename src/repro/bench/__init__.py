@@ -1,0 +1,37 @@
+"""Benchmark harness: workloads, timing aggregation, experiment runners and reports."""
+
+from .reporting import format_comparison, format_figure3, format_table1
+from .runner import (
+    Figure3Series,
+    Table1Result,
+    build_benchmark_datasets,
+    run_figure3,
+    run_table1,
+)
+from .timing import WindowSizeAggregate, aggregate_timings
+from .traces import exploration_trace, panning_trace
+from .workloads import (
+    PAPER_WINDOW_SIZES,
+    WindowWorkload,
+    random_windows,
+    window_size_sweep,
+)
+
+__all__ = [
+    "format_comparison",
+    "format_figure3",
+    "format_table1",
+    "Figure3Series",
+    "Table1Result",
+    "build_benchmark_datasets",
+    "run_figure3",
+    "run_table1",
+    "WindowSizeAggregate",
+    "aggregate_timings",
+    "exploration_trace",
+    "panning_trace",
+    "PAPER_WINDOW_SIZES",
+    "WindowWorkload",
+    "random_windows",
+    "window_size_sweep",
+]

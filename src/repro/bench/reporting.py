@@ -1,0 +1,66 @@
+"""Plain-text reporting of benchmark results.
+
+The harness prints the same rows (Table I) and series (Fig. 3) the paper
+reports, formatted as fixed-width text tables so they can be diffed or pasted
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from .runner import Figure3Series, Table1Result
+
+__all__ = ["format_table1", "format_figure3", "format_comparison"]
+
+
+def _format_row(values: list[str], widths: list[int]) -> str:
+    return "  ".join(value.rjust(width) for value, width in zip(values, widths))
+
+
+def format_table1(result: Table1Result, unit: str = "s") -> str:
+    """Render Table I ("Time for each Preprocessing Step").
+
+    ``unit`` is ``"s"`` (seconds, default for the scaled datasets) or ``"min"``
+    to match the paper's unit exactly.
+    """
+    divisor = 60.0 if unit == "min" else 1.0
+    headers = ["Dataset", "#Edges", "#Nodes", "Step 1", "Step 2", "Step 3", "Step 4", "Step 5", "Total"]
+    rows: list[list[str]] = [headers]
+    for row in result.rows():
+        rows.append([
+            str(row["dataset"]),
+            str(row["edges"]),
+            str(row["nodes"]),
+            *(f"{float(row[f'step{step}_s']) / divisor:.2f}" for step in range(1, 6)),
+            f"{float(row['total_s']) / divisor:.2f}",
+        ])
+    widths = [max(len(row[col]) for row in rows) for col in range(len(headers))]
+    lines = [f"Table I: Time for each Preprocessing Step ({unit})"]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_figure3(series: Figure3Series) -> str:
+    """Render one Fig. 3 panel (time breakdown vs window size) as a text table."""
+    headers = [
+        "Window", "Total(ms)", "Comm+Rend(ms)", "BuildJSON(ms)", "DBQuery(ms)", "Nodes+Edges",
+    ]
+    rows: list[list[str]] = [headers]
+    for point in series.points:
+        rows.append([
+            f"{point.window_size}^2",
+            f"{point.total_ms:.1f}",
+            f"{point.communication_rendering_ms:.1f}",
+            f"{point.json_build_ms:.1f}",
+            f"{point.db_query_ms:.1f}",
+            f"{point.avg_objects:.1f}",
+        ])
+    widths = [max(len(row[col]) for row in rows) for col in range(len(headers))]
+    lines = [f"Figure 3: Time vs Window Size — {series.dataset}"]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_comparison(label: str, paper_value: str, measured_value: str, holds: bool) -> str:
+    """One line of the paper-vs-measured comparison used in EXPERIMENTS.md."""
+    status = "OK" if holds else "DIFFERS"
+    return f"[{status}] {label}: paper={paper_value} measured={measured_value}"

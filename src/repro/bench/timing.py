@@ -1,0 +1,66 @@
+"""Timing aggregation for benchmark runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..client.simulator import InteractionTiming
+
+__all__ = ["WindowSizeAggregate", "aggregate_timings"]
+
+
+@dataclass
+class WindowSizeAggregate:
+    """Average Fig. 3 measurements for one window size.
+
+    All time fields are averages in **milliseconds** (the unit of Fig. 3);
+    ``avg_objects`` is the average number of nodes + edges per window.
+    """
+
+    window_size: int
+    num_queries: int
+    db_query_ms: float
+    json_build_ms: float
+    communication_rendering_ms: float
+    total_ms: float
+    avg_objects: float
+    avg_nodes: float = 0.0
+    avg_edges: float = 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Return the aggregate as a flat dictionary."""
+        return {
+            "window_size": self.window_size,
+            "num_queries": self.num_queries,
+            "db_query_ms": self.db_query_ms,
+            "json_build_ms": self.json_build_ms,
+            "communication_rendering_ms": self.communication_rendering_ms,
+            "total_ms": self.total_ms,
+            "avg_objects": self.avg_objects,
+            "avg_nodes": self.avg_nodes,
+            "avg_edges": self.avg_edges,
+        }
+
+
+def aggregate_timings(
+    window_size: int, timings: list[InteractionTiming]
+) -> WindowSizeAggregate:
+    """Average a list of per-query timings into one Fig. 3 data point."""
+    count = max(len(timings), 1)
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / count
+
+    return WindowSizeAggregate(
+        window_size=window_size,
+        num_queries=len(timings),
+        db_query_ms=mean([t.db_query_seconds for t in timings]) * 1000.0,
+        json_build_ms=mean([t.json_build_seconds for t in timings]) * 1000.0,
+        communication_rendering_ms=(
+            mean([t.communication_rendering_seconds for t in timings]) * 1000.0
+        ),
+        total_ms=mean([t.total_seconds for t in timings]) * 1000.0,
+        avg_objects=mean([float(t.num_objects) for t in timings]),
+        avg_nodes=mean([float(t.num_nodes) for t in timings]),
+        avg_edges=mean([float(t.num_edges) for t in timings]),
+    )

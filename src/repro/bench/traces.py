@@ -1,0 +1,83 @@
+"""Interaction-trace workload generator.
+
+The paper's headline claim is *interactivity*: a user panning, zooming and
+switching layers gets every new window in interactive time regardless of the
+total graph size.  The Fig. 3 workload measures isolated random windows; this
+module generates *session traces* — realistic sequences of dependent
+interactions (pan, zoom, layer switch, focus) — that the client simulator can
+replay against an :class:`~repro.core.session.ExplorationSession`.  They drive
+the caching ablation benchmark and can be used to stress-test the online path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..storage.database import GraphVizDatabase
+
+__all__ = ["panning_trace", "exploration_trace"]
+
+
+def panning_trace(
+    num_steps: int = 20,
+    step_px: float = 300.0,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Generate a drifting pan trace (the "follow a path on the plane" motion).
+
+    Each step pans by ``step_px`` pixels in a direction that changes slowly, so
+    consecutive windows overlap heavily — the situation the window cache and
+    prefetcher are designed for.
+    """
+    rng = random.Random(seed)
+    trace: list[dict[str, object]] = [{"op": "refresh"}]
+    direction_x, direction_y = 1.0, 0.0
+    for _ in range(num_steps):
+        # Slightly rotate the direction to produce a curved path.
+        angle_jitter = rng.uniform(-0.4, 0.4)
+        direction_x, direction_y = (
+            direction_x - angle_jitter * direction_y,
+            direction_y + angle_jitter * direction_x,
+        )
+        norm = max((direction_x**2 + direction_y**2) ** 0.5, 1e-9)
+        direction_x /= norm
+        direction_y /= norm
+        trace.append({
+            "op": "pan",
+            "dx": direction_x * step_px,
+            "dy": direction_y * step_px,
+        })
+    return trace
+
+
+def exploration_trace(
+    database: GraphVizDatabase,
+    num_interactions: int = 30,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Generate a mixed trace: pans, zooms, layer switches and focus jumps.
+
+    The node ids used by focus operations are sampled from the database so the
+    trace is always replayable against it.
+    """
+    rng = random.Random(seed)
+    layers = database.layers()
+    node_ids = sorted(database.table(0).distinct_node_ids())
+    trace: list[dict[str, object]] = [{"op": "refresh"}]
+    for _ in range(num_interactions):
+        roll = rng.random()
+        if roll < 0.55:
+            trace.append({
+                "op": "pan",
+                "dx": rng.uniform(-400, 400),
+                "dy": rng.uniform(-400, 400),
+            })
+        elif roll < 0.75:
+            trace.append({"op": "zoom", "factor": rng.choice([0.5, 0.8, 1.25, 2.0])})
+        elif roll < 0.9 and len(layers) > 1:
+            trace.append({"op": "layer", "layer": rng.choice(layers)})
+        elif node_ids:
+            trace.append({"op": "focus", "node_id": rng.choice(node_ids)})
+        else:
+            trace.append({"op": "refresh"})
+    return trace

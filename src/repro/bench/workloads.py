@@ -1,0 +1,89 @@
+"""Benchmark workload generators.
+
+The paper's online evaluation uses "window queries whose size varies from 200^2
+to 3000^2 pixels ... For each window size, we generated 100 random queries" on
+layer 0.  :func:`random_windows` reproduces that workload against the bounds of
+an indexed layer; :func:`window_size_sweep` yields the full (size -> windows)
+parameter sweep of Fig. 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..spatial.geometry import Rect
+from ..storage.database import GraphVizDatabase
+
+__all__ = ["WindowWorkload", "random_windows", "window_size_sweep", "PAPER_WINDOW_SIZES"]
+
+#: The window edge lengths (pixels) used on the x-axis of Fig. 3.
+PAPER_WINDOW_SIZES = (200, 1500, 2000, 2500, 3000)
+
+
+@dataclass(frozen=True)
+class WindowWorkload:
+    """One point of the Fig. 3 sweep: a window size and its random windows."""
+
+    window_size: int
+    windows: tuple[Rect, ...]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of windows in the workload."""
+        return len(self.windows)
+
+
+def random_windows(
+    bounds: Rect,
+    window_size: float,
+    count: int = 100,
+    seed: int = 0,
+) -> list[Rect]:
+    """Generate ``count`` random square windows of ``window_size`` inside ``bounds``.
+
+    Window centres are drawn uniformly from the region where the window still
+    fits inside the drawing (when the drawing is smaller than the window the
+    centre collapses to the drawing centre, as in the original experiments run
+    on the lowest abstraction layer).
+    """
+    rng = random.Random(seed)
+    half = window_size / 2.0
+    min_x = bounds.min_x + half
+    max_x = bounds.max_x - half
+    min_y = bounds.min_y + half
+    max_y = bounds.max_y - half
+    windows: list[Rect] = []
+    for _ in range(count):
+        if min_x <= max_x:
+            center_x = rng.uniform(min_x, max_x)
+        else:
+            center_x = bounds.center.x
+        if min_y <= max_y:
+            center_y = rng.uniform(min_y, max_y)
+        else:
+            center_y = bounds.center.y
+        windows.append(
+            Rect(center_x - half, center_y - half, center_x + half, center_y + half)
+        )
+    return windows
+
+
+def window_size_sweep(
+    database: GraphVizDatabase,
+    layer: int = 0,
+    window_sizes: tuple[int, ...] = PAPER_WINDOW_SIZES,
+    queries_per_size: int = 100,
+    seed: int = 0,
+) -> list[WindowWorkload]:
+    """Build the Fig. 3 workload: random windows of each size over one layer."""
+    bounds = database.bounds(layer)
+    if bounds is None:
+        return []
+    workloads = []
+    for index, size in enumerate(window_sizes):
+        windows = random_windows(
+            bounds, float(size), count=queries_per_size, seed=seed + index
+        )
+        workloads.append(WindowWorkload(window_size=size, windows=tuple(windows)))
+    return workloads

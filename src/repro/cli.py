@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Exposes the main workflows of the library without writing Python:
+
+* ``preprocess`` — run the offline pipeline on a named demo dataset or a graph
+  file and persist the result to SQLite;
+* ``explore`` — run a scripted exploration (window query, keyword search,
+  layer walk) against a preprocessed SQLite database and print the results;
+* ``stats`` — print the statistics-panel summary of a dataset or database;
+* ``bench`` — run the Table I / Fig. 3 harness at a chosen scale.
+
+Run as ``python -m repro <command> ...``; see ``--help`` on each command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .bench.reporting import format_figure3, format_table1
+from .bench.runner import build_benchmark_datasets, run_figure3, run_table1
+from .config import (
+    AbstractionConfig,
+    GraphVizDBConfig,
+    LayoutConfig,
+    PartitionConfig,
+)
+from .core.pipeline import PreprocessingPipeline
+from .core.query_manager import QueryManager
+from .graph.datasets import available_datasets, load_dataset
+from .graph.io import read_edge_list, read_json, read_triples
+from .graph.metrics import compute_statistics
+from .graph.model import Graph
+from .storage.sqlite_backend import load_from_sqlite, save_to_sqlite
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    """Load the input graph from ``--dataset`` or ``--input``."""
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    path = Path(args.input)
+    if not path.exists():
+        raise SystemExit(f"input file {path} does not exist")
+    suffix = path.suffix.lower()
+    if suffix in {".json"}:
+        return read_json(path)
+    if suffix in {".nt", ".tsv", ".triples"}:
+        return read_triples(path)
+    return read_edge_list(path)
+
+
+def _config_from(args: argparse.Namespace) -> GraphVizDBConfig:
+    """Build a pipeline configuration from CLI flags."""
+    return GraphVizDBConfig(
+        partition=PartitionConfig(
+            num_partitions=args.partitions,
+            max_partition_nodes=args.max_partition_nodes,
+            method=args.partition_method,
+            seed=args.seed,
+        ),
+        layout=LayoutConfig(
+            algorithm=args.layout,
+            iterations=args.layout_iterations,
+            seed=args.seed,
+        ),
+        abstraction=AbstractionConfig(
+            num_layers=args.layers,
+            criterion=args.criterion,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_preprocess(args: argparse.Namespace) -> int:
+    """Run Steps 1-5 and store the database in a SQLite file."""
+    graph = _load_graph(args)
+    print(f"preprocessing {graph.name!r}: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    pipeline = PreprocessingPipeline(_config_from(args))
+    result = pipeline.run(graph)
+    for timing in result.report.steps:
+        print(f"  step {timing.step} ({timing.name:<20}): {timing.seconds:8.3f}s")
+    output = Path(args.output)
+    save_to_sqlite(result.database, output)
+    print(f"stored {result.database.num_layers} layers in {output} "
+          f"({output.stat().st_size / 1024:.0f} KiB)")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Run a small scripted exploration against a preprocessed database."""
+    database = load_from_sqlite(args.database)
+    manager = QueryManager(database)
+    viewport = manager.default_viewport(layer=args.layer)
+    result = manager.viewport_query(viewport, layer=args.layer)
+    print(f"dataset {database.name!r}: layers {database.layers()}")
+    print(f"viewport window on layer {args.layer}: {result.num_objects} objects "
+          f"({result.db_query_seconds * 1000:.2f} ms DB, "
+          f"{result.json_build_seconds * 1000:.2f} ms JSON)")
+    if args.keyword:
+        search = manager.keyword_search(args.keyword, layer=args.layer, limit=args.limit)
+        print(f"keyword {args.keyword!r}: {search.num_matches} matches")
+        for match in search.matches[: args.limit]:
+            print(f"  node {match['node_id']:>8}  {match['label']}")
+        if search.matches:
+            node_id = search.matches[0]["node_id"]
+            _, focused = manager.focus_on_node(node_id, viewport, layer=args.layer)
+            print(f"focused on node {node_id}: {focused.num_objects} objects in its window")
+    if args.json:
+        print(json.dumps(database.storage_summary(), indent=2))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the Statistics-panel summary for a dataset or database."""
+    if args.database:
+        database = load_from_sqlite(args.database)
+        print(json.dumps(database.storage_summary(), indent=2))
+        return 0
+    graph = _load_graph(args)
+    stats = compute_statistics(graph)
+    print(json.dumps(stats.as_dict(), indent=2))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the Table I / Fig. 3 harness at the requested scale."""
+    config = GraphVizDBConfig.benchmark()
+    datasets = build_benchmark_datasets(scale=args.scale)
+    table1 = run_table1(datasets=datasets, config=config)
+    print(format_table1(table1))
+    print()
+    for name in sorted(datasets):
+        series = run_figure3(
+            table1.results[name], name, queries_per_size=args.queries
+        )
+        print(format_figure3(series))
+        print()
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    """List the named demo datasets."""
+    for name in available_datasets():
+        graph = load_dataset(name, scale=0.05, seed=1)
+        print(f"{name:<10} (at scale 0.05: {graph.num_nodes} nodes, {graph.num_edges} edges)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dataset", choices=available_datasets(),
+                       help="named synthetic demo dataset")
+    group.add_argument("--input", help="graph file (.txt edge list, .nt triples, .json)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="size multiplier for named datasets (default 0.25)")
+    parser.add_argument("--seed", type=int, default=42, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="graphVizdb reproduction — preprocessing, exploration and benchmarks",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    preprocess = subparsers.add_parser("preprocess", help="run Steps 1-5 and store to SQLite")
+    _add_graph_source(preprocess)
+    preprocess.add_argument("--output", default="graphvizdb.sqlite", help="SQLite output file")
+    preprocess.add_argument("--partitions", type=int, default=0,
+                            help="number of partitions (0 = derive from memory budget)")
+    preprocess.add_argument("--max-partition-nodes", type=int, default=1000)
+    preprocess.add_argument("--partition-method", default="multilevel",
+                            choices=["multilevel", "bfs", "random", "hash"])
+    preprocess.add_argument("--layout", default="force_directed")
+    preprocess.add_argument("--layout-iterations", type=int, default=30)
+    preprocess.add_argument("--layers", type=int, default=3,
+                            help="number of abstraction layers above layer 0")
+    preprocess.add_argument("--criterion", default="degree",
+                            choices=["degree", "pagerank", "hits", "merge"])
+    preprocess.set_defaults(handler=cmd_preprocess)
+
+    explore = subparsers.add_parser("explore", help="query a preprocessed SQLite database")
+    explore.add_argument("--database", required=True, help="SQLite file from 'preprocess'")
+    explore.add_argument("--layer", type=int, default=0)
+    explore.add_argument("--keyword", help="keyword to search for")
+    explore.add_argument("--limit", type=int, default=10)
+    explore.add_argument("--json", action="store_true", help="also print the storage summary")
+    explore.set_defaults(handler=cmd_explore)
+
+    stats = subparsers.add_parser("stats", help="print dataset or database statistics")
+    source = stats.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=available_datasets())
+    source.add_argument("--input")
+    source.add_argument("--database", help="SQLite file from 'preprocess'")
+    stats.add_argument("--scale", type=float, default=0.25)
+    stats.add_argument("--seed", type=int, default=42)
+    stats.set_defaults(handler=cmd_stats)
+
+    bench = subparsers.add_parser("bench", help="run the Table I / Fig. 3 harness")
+    bench.add_argument("--scale", type=float, default=0.25)
+    bench.add_argument("--queries", type=int, default=30,
+                       help="random windows per window size")
+    bench.set_defaults(handler=cmd_bench)
+
+    datasets = subparsers.add_parser("datasets", help="list the named demo datasets")
+    datasets.set_defaults(handler=cmd_datasets)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

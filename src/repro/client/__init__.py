@@ -1,0 +1,13 @@
+"""Client simulator: canvas cost model, birdview raster and interaction replay."""
+
+from .birdview import Birdview
+from .canvas import ClientCostModel, RenderedFrame
+from .simulator import ClientSimulator, InteractionTiming
+
+__all__ = [
+    "Birdview",
+    "ClientCostModel",
+    "RenderedFrame",
+    "ClientSimulator",
+    "InteractionTiming",
+]

@@ -1,0 +1,98 @@
+"""Birdview panel: a coarse raster overview of the whole drawing.
+
+The Web UI shows "a large-scale image of the whole graph on the plane"; the
+user can click anywhere in it to jump there.  The simulated birdview rasterises
+node positions of a chosen layer into a small density grid, which the examples
+print as ASCII art and the session uses to translate birdview clicks into plane
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QueryError
+from ..spatial.geometry import Point, Rect
+from ..storage.database import GraphVizDatabase
+
+__all__ = ["Birdview"]
+
+_DENSITY_CHARS = " .:-=+*#%@"
+
+
+@dataclass
+class Birdview:
+    """A coarse density raster of one layer's drawing.
+
+    Attributes
+    ----------
+    bounds:
+        Plane rectangle covered by the raster.
+    width / height:
+        Raster resolution in cells.
+    grid:
+        Row-major density counts (``grid[row][col]``).
+    """
+
+    bounds: Rect
+    width: int
+    height: int
+    grid: list[list[int]]
+
+    @classmethod
+    def from_database(
+        cls, database: GraphVizDatabase, layer: int = 0, width: int = 60, height: int = 24
+    ) -> "Birdview":
+        """Rasterise one layer of a database into a ``width x height`` grid."""
+        if width <= 0 or height <= 0:
+            raise QueryError("birdview resolution must be positive")
+        bounds = database.bounds(layer)
+        if bounds is None:
+            raise QueryError(f"layer {layer} is empty")
+        grid = [[0] * width for _ in range(height)]
+        table = database.table(layer)
+        span_x = bounds.width or 1.0
+        span_y = bounds.height or 1.0
+        for row in table.scan():
+            start, end = row.endpoints()
+            for point in (start, end):
+                col = int((point.x - bounds.min_x) / span_x * (width - 1))
+                line = int((point.y - bounds.min_y) / span_y * (height - 1))
+                grid[min(max(line, 0), height - 1)][min(max(col, 0), width - 1)] += 1
+        return cls(bounds=bounds, width=width, height=height, grid=grid)
+
+    def cell_center(self, col: int, row: int) -> Point:
+        """Return the plane coordinates at the centre of a raster cell.
+
+        This is what a click in the birdview panel maps to.
+        """
+        if not (0 <= col < self.width and 0 <= row < self.height):
+            raise QueryError(f"birdview cell ({col}, {row}) out of range")
+        x = self.bounds.min_x + (col + 0.5) / self.width * self.bounds.width
+        y = self.bounds.min_y + (row + 0.5) / self.height * self.bounds.height
+        return Point(x, y)
+
+    def densest_cell(self) -> tuple[int, int]:
+        """Return the ``(col, row)`` of the densest cell (a good place to start exploring)."""
+        best = (0, 0)
+        best_count = -1
+        for row_index, row in enumerate(self.grid):
+            for col_index, count in enumerate(row):
+                if count > best_count:
+                    best_count = count
+                    best = (col_index, row_index)
+        return best
+
+    def to_ascii(self) -> str:
+        """Render the density raster as ASCII art (used by the examples)."""
+        maximum = max((count for row in self.grid for count in row), default=0)
+        if maximum == 0:
+            return "\n".join(" " * self.width for _ in range(self.height))
+        lines = []
+        for row in self.grid:
+            characters = []
+            for count in row:
+                level = int(count / maximum * (len(_DENSITY_CHARS) - 1))
+                characters.append(_DENSITY_CHARS[level])
+            lines.append("".join(characters))
+        return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Configuration objects shared across the graphVizdb reproduction.
+
+The configuration mirrors the knobs the paper exposes:
+
+* how many partitions to create during preprocessing (Step 1), which the paper
+  describes as "proportional to the total graph size and the available memory";
+* which layout algorithm to run per partition (Step 2);
+* how many abstraction layers to build and with which criterion (Step 4);
+* client-side viewport parameters (canvas size, zoom behaviour) used by the
+  online operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+#: Default pixel density used to map between "plane units" and screen pixels.
+#: The paper expresses window sizes in pixels (e.g. 2000x2000); internally the
+#: layout plane uses abstract units, and one unit corresponds to one pixel at
+#: zoom level 1.0.
+DEFAULT_PIXELS_PER_UNIT = 1.0
+
+#: Default number of abstraction layers (the paper indexes 5 layers per dataset).
+DEFAULT_NUM_LAYERS = 5
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Configuration for preprocessing Step 1 (k-way partitioning).
+
+    Attributes
+    ----------
+    num_partitions:
+        Number of partitions ``k``.  If zero, the value is derived from
+        ``max_partition_nodes`` (the memory-budget-driven sizing the paper
+        describes).
+    max_partition_nodes:
+        Upper bound on nodes per partition used to derive ``k`` when
+        ``num_partitions`` is 0.
+    balance_factor:
+        Allowed imbalance; 1.05 means the largest partition may hold at most
+        5% more than the ideal share.
+    method:
+        Partitioner name: ``"multilevel"`` (Metis-like, default), ``"bfs"``,
+        ``"random"`` or ``"hash"``.
+    seed:
+        Random seed for reproducible partitionings.
+    """
+
+    num_partitions: int = 0
+    max_partition_nodes: int = 2000
+    balance_factor: float = 1.05
+    method: str = "multilevel"
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 0:
+            raise ConfigurationError("num_partitions must be >= 0")
+        if self.max_partition_nodes <= 0:
+            raise ConfigurationError("max_partition_nodes must be positive")
+        if self.balance_factor < 1.0:
+            raise ConfigurationError("balance_factor must be >= 1.0")
+
+    def resolve_k(self, num_nodes: int) -> int:
+        """Return the effective number of partitions for a graph of ``num_nodes``."""
+        if self.num_partitions > 0:
+            return max(1, min(self.num_partitions, num_nodes))
+        if num_nodes <= 0:
+            return 1
+        k = (num_nodes + self.max_partition_nodes - 1) // self.max_partition_nodes
+        return max(1, min(k, num_nodes))
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Configuration for preprocessing Step 2 (per-partition layout).
+
+    Attributes
+    ----------
+    algorithm:
+        Name of a registered layout algorithm (see :mod:`repro.layout.registry`).
+    iterations:
+        Iteration budget for iterative algorithms (force-directed).
+    area_per_node:
+        Target plane area allocated per node; controls how spread out each
+        partition's drawing is.
+    padding:
+        Padding (plane units) added around each partition's bounding box before
+        the organizer places it on the global plane.
+    seed:
+        Random seed for layouts with random initialisation.
+    """
+
+    algorithm: str = "force_directed"
+    iterations: int = 50
+    area_per_node: float = 10_000.0
+    padding: float = 40.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if self.area_per_node <= 0:
+            raise ConfigurationError("area_per_node must be positive")
+        if self.padding < 0:
+            raise ConfigurationError("padding must be >= 0")
+
+
+@dataclass(frozen=True)
+class AbstractionConfig:
+    """Configuration for preprocessing Step 4 (abstraction layers).
+
+    Attributes
+    ----------
+    num_layers:
+        Number of abstraction layers *above* layer 0 to build.  The paper's
+        evaluation indexes 5 layers per dataset (layer 0 plus 4 abstractions),
+        hence the default of 4.
+    criterion:
+        Abstraction criterion: ``"degree"``, ``"pagerank"``, ``"hits"``
+        (filter-based, as in the demo's Layer Panel) or ``"merge"``
+        (summarisation by clustering).
+    keep_fraction:
+        Fraction of nodes retained at each successive layer for filter-based
+        criteria (layer i keeps ``keep_fraction`` of layer i-1's nodes).
+    seed:
+        Random seed for criteria with randomised tie-breaking.
+    """
+
+    num_layers: int = 4
+    criterion: str = "degree"
+    keep_fraction: float = 0.5
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 0:
+            raise ConfigurationError("num_layers must be >= 0")
+        if not 0.0 < self.keep_fraction < 1.0:
+            raise ConfigurationError("keep_fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Configuration for preprocessing Step 5 (store & index).
+
+    Attributes
+    ----------
+    backend:
+        ``"memory"`` (pure-Python tables), ``"file"`` (binary row files) or
+        ``"sqlite"`` (standard-library SQLite database).
+    rtree_max_entries:
+        Maximum fan-out of R-tree nodes.
+    rtree_bulk_load:
+        Whether to bulk load the R-tree with the STR algorithm (faster and
+        better-packed than repeated inserts).
+    btree_order:
+        Fan-out of the B+-tree on node ids.
+    path:
+        Directory (file backend) or database file (sqlite backend); ``None``
+        selects a temporary location.
+    """
+
+    backend: str = "memory"
+    rtree_max_entries: int = 32
+    rtree_bulk_load: bool = True
+    btree_order: int = 64
+    path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in {"memory", "file", "sqlite"}:
+            raise ConfigurationError(
+                f"unknown storage backend {self.backend!r}; expected memory, file or sqlite"
+            )
+        if self.rtree_max_entries < 4:
+            raise ConfigurationError("rtree_max_entries must be >= 4")
+        if self.btree_order < 3:
+            raise ConfigurationError("btree_order must be >= 3")
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Client-side parameters (canvas size, zoom and streaming behaviour).
+
+    Attributes
+    ----------
+    viewport_width / viewport_height:
+        Size of the client viewport in pixels; used by focus-on-node and by the
+        interactive navigation session.
+    chunk_size:
+        Number of graph elements per streamed chunk (the paper streams the
+        window contents to the client "in small pieces").
+    min_zoom / max_zoom:
+        Zoom bounds; zooming out multiplies the server-side window size, as
+        described for the multi-level exploration operation.
+    """
+
+    viewport_width: int = 1280
+    viewport_height: int = 800
+    chunk_size: int = 200
+    min_zoom: float = 0.1
+    max_zoom: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.viewport_width <= 0 or self.viewport_height <= 0:
+            raise ConfigurationError("viewport dimensions must be positive")
+        if self.chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        if not 0 < self.min_zoom <= self.max_zoom:
+            raise ConfigurationError("zoom bounds must satisfy 0 < min_zoom <= max_zoom")
+
+
+@dataclass(frozen=True)
+class GraphVizDBConfig:
+    """Top-level configuration bundling every subsystem's settings."""
+
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    layout: LayoutConfig = field(default_factory=LayoutConfig)
+    abstraction: AbstractionConfig = field(default_factory=AbstractionConfig)
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    client: ClientConfig = field(default_factory=ClientConfig)
+
+    @classmethod
+    def small(cls) -> "GraphVizDBConfig":
+        """A configuration tuned for small graphs (tests, examples)."""
+        return cls(
+            partition=PartitionConfig(max_partition_nodes=200),
+            layout=LayoutConfig(iterations=30),
+            abstraction=AbstractionConfig(num_layers=2),
+        )
+
+    @classmethod
+    def benchmark(cls) -> "GraphVizDBConfig":
+        """The configuration used by the benchmark harness (Table I / Fig. 3).
+
+        ``area_per_node`` is raised so the drawing density (objects per pixel)
+        matches the regime of the paper's Fig. 3, where a 3000x3000 pixel window
+        contains a few hundred graph elements.
+        """
+        return cls(
+            partition=PartitionConfig(max_partition_nodes=1200),
+            layout=LayoutConfig(iterations=40, area_per_node=60_000.0),
+            abstraction=AbstractionConfig(num_layers=4),
+        )

@@ -1,0 +1,62 @@
+"""graphVizdb core: preprocessing pipeline, query manager, sessions and server façade."""
+
+from .api import ApiError, GraphVizDBApi
+from .cache import CacheStatistics, CachingQueryManager, WindowCache
+from .decimation import DecimationResult, decimate_rows
+from .editing import EditOperation, GraphEditor
+from .filters import FilterSpec, apply_filters
+from .json_builder import GraphPayload, build_payload, payload_to_json
+from .monitoring import KeywordQueryRecord, QueryLog, WindowQueryRecord
+from .pipeline import (
+    PreprocessingPipeline,
+    PreprocessingReport,
+    PreprocessingResult,
+    StepTiming,
+)
+from .query_manager import KeywordSearchResult, QueryManager, WindowQueryResult
+from .server import DatasetHandle, GraphVizDBServer
+from .session import ExplorationSession, InteractionEvent
+from .statistics import LayerStatistics, dataset_statistics, layer_statistics
+from .sync import LayerSynchronizer, SyncReport
+from .streaming import PayloadChunk, chunk_count, stream_payload
+from .viewport import Viewport
+
+__all__ = [
+    "ApiError",
+    "GraphVizDBApi",
+    "CacheStatistics",
+    "CachingQueryManager",
+    "WindowCache",
+    "DecimationResult",
+    "decimate_rows",
+    "EditOperation",
+    "GraphEditor",
+    "FilterSpec",
+    "apply_filters",
+    "GraphPayload",
+    "build_payload",
+    "payload_to_json",
+    "KeywordQueryRecord",
+    "QueryLog",
+    "WindowQueryRecord",
+    "LayerSynchronizer",
+    "SyncReport",
+    "PreprocessingPipeline",
+    "PreprocessingReport",
+    "PreprocessingResult",
+    "StepTiming",
+    "KeywordSearchResult",
+    "QueryManager",
+    "WindowQueryResult",
+    "DatasetHandle",
+    "GraphVizDBServer",
+    "ExplorationSession",
+    "InteractionEvent",
+    "LayerStatistics",
+    "dataset_statistics",
+    "layer_statistics",
+    "PayloadChunk",
+    "chunk_count",
+    "stream_payload",
+    "Viewport",
+]

@@ -1,0 +1,86 @@
+"""Server-side window decimation (per-window level of detail).
+
+When the user zooms far out on a dense region, a single window can contain more
+elements than the client can render responsively — the situation the paper
+handles by switching to a more abstract layer.  Decimation is the complementary
+per-window mechanism: given the rows of one window and an object budget, keep
+the most important rows and drop the rest, so the client always receives a
+renderable payload even on layer 0.
+
+Importance follows the same philosophy as the abstraction criteria: a row
+(edge) is as important as its most important endpoint, where endpoint
+importance is the node's degree *within the window* (hubs and their spokes
+survive, peripheral detail goes first).  Isolated-node rows are kept last.
+
+The decimator reports what it dropped so the client can show a "N more edges
+hidden at this zoom level" indicator instead of silently truncating.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..storage.schema import EdgeRow
+
+__all__ = ["DecimationResult", "decimate_rows"]
+
+
+@dataclass(frozen=True)
+class DecimationResult:
+    """The outcome of decimating one window's rows."""
+
+    rows: list[EdgeRow]
+    dropped_rows: int
+    budget: int
+
+    @property
+    def was_decimated(self) -> bool:
+        """``True`` when at least one row was dropped."""
+        return self.dropped_rows > 0
+
+    @property
+    def kept_rows(self) -> int:
+        """Number of rows kept."""
+        return len(self.rows)
+
+
+def decimate_rows(rows: list[EdgeRow], max_rows: int) -> DecimationResult:
+    """Keep at most ``max_rows`` rows, preferring edges incident to in-window hubs.
+
+    The selection is deterministic: rows are ranked by
+    ``(importance, -row_id)`` descending, where importance is the larger
+    in-window degree of the row's two endpoints; ties therefore resolve to the
+    lower ``row_id``.  The returned rows keep their original (row id) order so
+    the payload builder's node-before-edge streaming behaviour is unaffected.
+    """
+    if max_rows < 0:
+        raise ValueError("max_rows must be >= 0")
+    if len(rows) <= max_rows:
+        return DecimationResult(rows=list(rows), dropped_rows=0, budget=max_rows)
+
+    degree_in_window: Counter[int] = Counter()
+    for row in rows:
+        if row.is_node_row():
+            continue
+        degree_in_window[row.node1_id] += 1
+        degree_in_window[row.node2_id] += 1
+
+    def importance(row: EdgeRow) -> tuple[int, int]:
+        if row.is_node_row():
+            # Isolated nodes rank below every edge of equal endpoint degree.
+            return (degree_in_window.get(row.node1_id, 0), 0)
+        endpoint_importance = max(
+            degree_in_window.get(row.node1_id, 0),
+            degree_in_window.get(row.node2_id, 0),
+        )
+        return (endpoint_importance, 1)
+
+    ranked = sorted(rows, key=lambda row: (*importance(row), -row.row_id), reverse=True)
+    kept = ranked[:max_rows]
+    kept.sort(key=lambda row: row.row_id)
+    return DecimationResult(
+        rows=kept,
+        dropped_rows=len(rows) - len(kept),
+        budget=max_rows,
+    )

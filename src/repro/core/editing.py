@@ -1,0 +1,151 @@
+"""Graph editing (the demo's Edit panel).
+
+"Edit ... allows the user to store in the database the graph modifications made
+through the canvas."  Edits are expressed against layer 0 (the full graph) and
+applied to the layer table directly: node relabelling, node moves (which update
+the geometry of every incident edge), edge insertion and deletion.  Each edit is
+recorded in a journal so a session can report (and tests can verify) what was
+changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import QueryError
+from ..spatial.geometry import LineSegment, Point, encode_segment
+from ..storage.database import GraphVizDatabase
+from ..storage.schema import EdgeRow
+
+__all__ = ["EditOperation", "GraphEditor"]
+
+
+@dataclass(frozen=True)
+class EditOperation:
+    """One applied edit, as recorded in the journal."""
+
+    kind: str
+    details: dict[str, object] = field(default_factory=dict)
+
+
+class GraphEditor:
+    """Applies canvas edits to the layer-0 table of a database."""
+
+    def __init__(self, database: GraphVizDatabase, layer: int = 0) -> None:
+        self.database = database
+        self.layer = layer
+        self.journal: list[EditOperation] = []
+
+    # ---------------------------------------------------------------- queries
+
+    def _table(self):
+        return self.database.table(self.layer)
+
+    def _rows_for_node(self, node_id: int) -> list[EdgeRow]:
+        rows = self._table().rows_for_node(node_id)
+        if not rows:
+            raise QueryError(f"node {node_id} does not exist in layer {self.layer}")
+        return rows
+
+    # ----------------------------------------------------------------- edits
+
+    def rename_node(self, node_id: int, new_label: str) -> int:
+        """Change a node's label everywhere it appears; return rows touched."""
+        rows = self._rows_for_node(node_id)
+        table = self._table()
+        for row in rows:
+            updated = EdgeRow(
+                row_id=row.row_id,
+                node1_id=row.node1_id,
+                node1_label=new_label if row.node1_id == node_id else row.node1_label,
+                edge_geometry=row.edge_geometry,
+                edge_label=row.edge_label,
+                node2_id=row.node2_id,
+                node2_label=new_label if row.node2_id == node_id else row.node2_label,
+            )
+            table.update_row(updated)
+        self.journal.append(EditOperation("rename_node", {
+            "node_id": node_id, "new_label": new_label, "rows": len(rows),
+        }))
+        return len(rows)
+
+    def move_node(self, node_id: int, new_position: Point) -> int:
+        """Move a node on the plane, re-encoding every incident edge geometry."""
+        rows = self._rows_for_node(node_id)
+        table = self._table()
+        for row in rows:
+            start, end = row.endpoints()
+            segment = row.segment()
+            if row.node1_id == node_id:
+                start = new_position
+            if row.node2_id == node_id:
+                end = new_position
+            updated = EdgeRow(
+                row_id=row.row_id,
+                node1_id=row.node1_id,
+                node1_label=row.node1_label,
+                edge_geometry=encode_segment(LineSegment(start, end, segment.directed)),
+                edge_label=row.edge_label,
+                node2_id=row.node2_id,
+                node2_label=row.node2_label,
+            )
+            table.update_row(updated)
+        self.journal.append(EditOperation("move_node", {
+            "node_id": node_id, "x": new_position.x, "y": new_position.y, "rows": len(rows),
+        }))
+        return len(rows)
+
+    def add_edge(
+        self,
+        source_id: int,
+        target_id: int,
+        label: str = "",
+        directed: bool = True,
+    ) -> EdgeRow:
+        """Insert a new edge between two existing nodes; returns the new row."""
+        table = self._table()
+        source_position = table.node_position(source_id)
+        target_position = table.node_position(target_id)
+        if source_position is None:
+            raise QueryError(f"node {source_id} does not exist in layer {self.layer}")
+        if target_position is None:
+            raise QueryError(f"node {target_id} does not exist in layer {self.layer}")
+        source_rows = table.rows_for_node(source_id)
+        target_rows = table.rows_for_node(target_id)
+        source_label = next(
+            (r.node1_label if r.node1_id == source_id else r.node2_label for r in source_rows), ""
+        )
+        target_label = next(
+            (r.node1_label if r.node1_id == target_id else r.node2_label for r in target_rows), ""
+        )
+        row = EdgeRow(
+            row_id=table.next_row_id(),
+            node1_id=source_id,
+            node1_label=source_label,
+            edge_geometry=encode_segment(
+                LineSegment(source_position, target_position, directed=directed)
+            ),
+            edge_label=label,
+            node2_id=target_id,
+            node2_label=target_label,
+        )
+        table.insert(row)
+        self.journal.append(EditOperation("add_edge", {
+            "source": source_id, "target": target_id, "label": label,
+        }))
+        return row
+
+    def delete_edge(self, source_id: int, target_id: int) -> int:
+        """Delete every edge row between the two nodes; return rows removed."""
+        table = self._table()
+        victims = [
+            row for row in table.rows_for_node(source_id)
+            if not row.is_node_row()
+            and {row.node1_id, row.node2_id} == {source_id, target_id}
+        ]
+        for row in victims:
+            table.delete_row(row.row_id)
+        self.journal.append(EditOperation("delete_edge", {
+            "source": source_id, "target": target_id, "rows": len(victims),
+        }))
+        return len(victims)

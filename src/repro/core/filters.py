@@ -1,0 +1,98 @@
+"""Canvas filters (the demo's Filter panel).
+
+"The attendees will be able to filter (i.e., hide) edges and/or nodes of
+specific types (e.g., RDF literals)" — for example hiding ``has-author`` /
+``has-title`` edges to visualise only the ``cite`` edges of the ACM dataset.
+Filters are applied server-side to the rows of a window query before the JSON
+payload is built, so hidden elements never reach the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.schema import EdgeRow
+
+__all__ = ["FilterSpec", "apply_filters"]
+
+
+@dataclass
+class FilterSpec:
+    """Which labels to hide on the canvas.
+
+    Attributes
+    ----------
+    hidden_edge_labels:
+        Edge labels to hide (exact, case-insensitive match).
+    hidden_node_labels:
+        Node labels to hide; rows where either endpoint matches are dropped.
+    only_edge_labels:
+        When non-empty, acts as an allow-list: only edges with these labels are
+        kept (the "visualize only the cite edges" scenario).
+    hide_isolated_nodes:
+        Drop self-rows (isolated nodes) from the result.
+    """
+
+    hidden_edge_labels: set[str] = field(default_factory=set)
+    hidden_node_labels: set[str] = field(default_factory=set)
+    only_edge_labels: set[str] = field(default_factory=set)
+    hide_isolated_nodes: bool = False
+
+    def __post_init__(self) -> None:
+        self.hidden_edge_labels = {label.lower() for label in self.hidden_edge_labels}
+        self.hidden_node_labels = {label.lower() for label in self.hidden_node_labels}
+        self.only_edge_labels = {label.lower() for label in self.only_edge_labels}
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when no filtering is requested."""
+        return (
+            not self.hidden_edge_labels
+            and not self.hidden_node_labels
+            and not self.only_edge_labels
+            and not self.hide_isolated_nodes
+        )
+
+    def hide_edge_label(self, label: str) -> None:
+        """Add one edge label to the hidden set."""
+        self.hidden_edge_labels.add(label.lower())
+
+    def hide_node_label(self, label: str) -> None:
+        """Add one node label to the hidden set."""
+        self.hidden_node_labels.add(label.lower())
+
+    def show_only_edge_labels(self, labels: set[str]) -> None:
+        """Restrict the canvas to edges with the given labels."""
+        self.only_edge_labels = {label.lower() for label in labels}
+
+    def clear(self) -> None:
+        """Remove every filter."""
+        self.hidden_edge_labels.clear()
+        self.hidden_node_labels.clear()
+        self.only_edge_labels.clear()
+        self.hide_isolated_nodes = False
+
+    # --------------------------------------------------------------- predicate
+
+    def accepts(self, row: EdgeRow) -> bool:
+        """Return ``True`` if the row survives the filter."""
+        if row.is_node_row():
+            if self.hide_isolated_nodes:
+                return False
+            return row.node1_label.lower() not in self.hidden_node_labels
+        edge_label = row.edge_label.lower()
+        if self.only_edge_labels and edge_label not in self.only_edge_labels:
+            return False
+        if edge_label in self.hidden_edge_labels:
+            return False
+        if row.node1_label.lower() in self.hidden_node_labels:
+            return False
+        if row.node2_label.lower() in self.hidden_node_labels:
+            return False
+        return True
+
+
+def apply_filters(rows: list[EdgeRow], spec: FilterSpec | None) -> list[EdgeRow]:
+    """Return the rows surviving ``spec`` (all rows when ``spec`` is ``None``/empty)."""
+    if spec is None or spec.is_empty():
+        return rows
+    return [row for row in rows if spec.accepts(row)]

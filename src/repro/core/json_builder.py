@@ -1,0 +1,88 @@
+"""JSON object construction for the client.
+
+The Fig. 3 latency breakdown has a dedicated "Build JSON Objects" component:
+"the time required for the server to process the query result and build the
+JSON objects that are sent to the client".  This module converts the rows
+returned by a window query into the node/edge JSON objects the (simulated)
+mxGraph client renders, deduplicating nodes that appear in several rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..storage.schema import EdgeRow
+
+__all__ = ["GraphPayload", "build_payload", "payload_to_json"]
+
+
+@dataclass
+class GraphPayload:
+    """The JSON-ready representation of one window-query result.
+
+    Attributes
+    ----------
+    nodes:
+        One dictionary per distinct node: ``{"id", "label", "x", "y"}``.
+    edges:
+        One dictionary per edge row: ``{"source", "target", "label", "directed"}``.
+    """
+
+    nodes: list[dict[str, object]] = field(default_factory=list)
+    edges: list[dict[str, object]] = field(default_factory=list)
+
+    @property
+    def num_objects(self) -> int:
+        """Total number of visual objects (nodes + edges), the Fig. 3 x-axis companion."""
+        return len(self.nodes) + len(self.edges)
+
+    def node_ids(self) -> set[int]:
+        """Return the distinct node ids in the payload."""
+        return {int(node["id"]) for node in self.nodes}
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the payload as a dictionary ready for ``json.dumps``."""
+        return {"nodes": self.nodes, "edges": self.edges}
+
+
+def build_payload(rows: list[EdgeRow]) -> GraphPayload:
+    """Build the client payload from window-query rows.
+
+    Nodes are deduplicated across rows; their coordinates are taken from the
+    geometry endpoints so the client needs no second lookup.
+    """
+    payload = GraphPayload()
+    seen_nodes: set[int] = set()
+    for row in rows:
+        start, end = row.endpoints()
+        if row.node1_id not in seen_nodes:
+            seen_nodes.add(row.node1_id)
+            payload.nodes.append({
+                "id": row.node1_id,
+                "label": row.node1_label,
+                "x": start.x,
+                "y": start.y,
+            })
+        if row.is_node_row():
+            continue
+        if row.node2_id not in seen_nodes:
+            seen_nodes.add(row.node2_id)
+            payload.nodes.append({
+                "id": row.node2_id,
+                "label": row.node2_label,
+                "x": end.x,
+                "y": end.y,
+            })
+        payload.edges.append({
+            "source": row.node1_id,
+            "target": row.node2_id,
+            "label": row.edge_label,
+            "directed": row.segment().directed,
+        })
+    return payload
+
+
+def payload_to_json(payload: GraphPayload) -> str:
+    """Serialise the payload to a JSON string (what actually goes on the wire)."""
+    return json.dumps(payload.as_dict(), separators=(",", ":"))

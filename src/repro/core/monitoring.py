@@ -1,0 +1,139 @@
+"""Query monitoring.
+
+The paper's evaluation is a one-off measurement campaign; a production
+deployment needs the same numbers continuously.  :class:`QueryLog` records
+every online operation (window queries, keyword searches) with its timing
+breakdown and result size, and produces the aggregate statistics an operator
+would watch: per-layer query counts, latency percentiles, average objects per
+window.  :class:`ExplorationSession` accepts a log instance so every
+interaction of a session is recorded automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .query_manager import KeywordSearchResult, WindowQueryResult
+
+__all__ = ["WindowQueryRecord", "KeywordQueryRecord", "QueryLog"]
+
+
+@dataclass(frozen=True)
+class WindowQueryRecord:
+    """One recorded window query."""
+
+    layer: int
+    window_area: float
+    num_rows: int
+    num_objects: int
+    db_query_seconds: float
+    json_build_seconds: float
+
+    @property
+    def server_seconds(self) -> float:
+        """Total server-side time."""
+        return self.db_query_seconds + self.json_build_seconds
+
+
+@dataclass(frozen=True)
+class KeywordQueryRecord:
+    """One recorded keyword search."""
+
+    layer: int
+    keyword: str
+    num_matches: int
+    search_seconds: float
+
+
+@dataclass
+class QueryLog:
+    """Accumulates query records and computes summary statistics."""
+
+    window_queries: list[WindowQueryRecord] = field(default_factory=list)
+    keyword_queries: list[KeywordQueryRecord] = field(default_factory=list)
+
+    # ---------------------------------------------------------------- recording
+
+    def record_window(self, result: WindowQueryResult) -> WindowQueryRecord:
+        """Record a window query result and return the created record."""
+        record = WindowQueryRecord(
+            layer=result.layer,
+            window_area=result.window.area,
+            num_rows=len(result.rows),
+            num_objects=result.num_objects,
+            db_query_seconds=result.db_query_seconds,
+            json_build_seconds=result.json_build_seconds,
+        )
+        self.window_queries.append(record)
+        return record
+
+    def record_search(self, result: KeywordSearchResult) -> KeywordQueryRecord:
+        """Record a keyword search result and return the created record."""
+        record = KeywordQueryRecord(
+            layer=result.layer,
+            keyword=result.keyword,
+            num_matches=result.num_matches,
+            search_seconds=result.search_seconds,
+        )
+        self.keyword_queries.append(record)
+        return record
+
+    def clear(self) -> None:
+        """Drop every record."""
+        self.window_queries.clear()
+        self.keyword_queries.clear()
+
+    # ----------------------------------------------------------------- summary
+
+    @property
+    def num_window_queries(self) -> int:
+        """Number of recorded window queries."""
+        return len(self.window_queries)
+
+    @property
+    def num_keyword_queries(self) -> int:
+        """Number of recorded keyword searches."""
+        return len(self.keyword_queries)
+
+    def queries_per_layer(self) -> dict[int, int]:
+        """Return ``layer -> number of window queries``."""
+        counts: dict[int, int] = {}
+        for record in self.window_queries:
+            counts[record.layer] = counts.get(record.layer, 0) + 1
+        return counts
+
+    def latency_percentiles(
+        self, percentiles: tuple[float, ...] = (0.5, 0.9, 0.99)
+    ) -> dict[float, float]:
+        """Return server-side latency percentiles (seconds) over window queries."""
+        if not self.window_queries:
+            return {p: 0.0 for p in percentiles}
+        latencies = sorted(record.server_seconds for record in self.window_queries)
+        result: dict[float, float] = {}
+        for percentile in percentiles:
+            if not 0.0 <= percentile <= 1.0:
+                raise ValueError("percentiles must lie in [0, 1]")
+            index = min(len(latencies) - 1, max(0, int(round(percentile * (len(latencies) - 1)))))
+            result[percentile] = latencies[index]
+        return result
+
+    def average_objects_per_window(self) -> float:
+        """Return the mean number of objects per window query."""
+        if not self.window_queries:
+            return 0.0
+        return sum(r.num_objects for r in self.window_queries) / len(self.window_queries)
+
+    def summary(self) -> dict[str, object]:
+        """Return the full JSON-serialisable monitoring summary."""
+        percentiles = self.latency_percentiles()
+        return {
+            "num_window_queries": self.num_window_queries,
+            "num_keyword_queries": self.num_keyword_queries,
+            "queries_per_layer": self.queries_per_layer(),
+            "server_latency_seconds": {
+                "p50": percentiles.get(0.5, 0.0),
+                "p90": percentiles.get(0.9, 0.0),
+                "p99": percentiles.get(0.99, 0.0),
+            },
+            "average_objects_per_window": self.average_objects_per_window(),
+        }

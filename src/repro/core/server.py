@@ -1,0 +1,151 @@
+"""The graphVizdb server façade — the library's main public entry point.
+
+A :class:`GraphVizDBServer` plays the role of the paper's "graphVizdb Core
+module": it owns the preprocessing pipeline and the query managers of every
+loaded dataset, and hands out exploration sessions to clients.  The demo lets
+attendees "first select a dataset from a number of real-world datasets"; the
+server mirrors that by managing multiple named datasets side by side.
+
+Typical usage::
+
+    from repro import GraphVizDBServer, GraphVizDBConfig
+    from repro.graph import patent_like
+
+    server = GraphVizDBServer(GraphVizDBConfig.small())
+    server.load_dataset(patent_like(num_patents=500))
+    session = server.create_session("patent-like")
+    result = session.refresh()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GraphVizDBConfig
+from ..errors import QueryError
+from ..graph.model import Graph
+from ..storage.database import GraphVizDatabase
+from .editing import GraphEditor
+from .pipeline import PreprocessingPipeline, PreprocessingResult
+from .query_manager import QueryManager
+from .session import ExplorationSession
+from .statistics import LayerStatistics, dataset_statistics, layer_statistics
+
+__all__ = ["DatasetHandle", "GraphVizDBServer"]
+
+
+@dataclass
+class DatasetHandle:
+    """Everything the server keeps per loaded dataset."""
+
+    name: str
+    graph: Graph
+    preprocessing: PreprocessingResult
+    query_manager: QueryManager
+
+    @property
+    def database(self) -> GraphVizDatabase:
+        """The dataset's indexed database."""
+        return self.preprocessing.database
+
+
+class GraphVizDBServer:
+    """Hosts preprocessed datasets and serves exploration sessions."""
+
+    def __init__(self, config: GraphVizDBConfig | None = None) -> None:
+        self.config = config or GraphVizDBConfig()
+        self._datasets: dict[str, DatasetHandle] = {}
+
+    # ----------------------------------------------------------------- loading
+
+    def load_dataset(
+        self, graph: Graph, name: str | None = None, config: GraphVizDBConfig | None = None
+    ) -> DatasetHandle:
+        """Preprocess ``graph`` (Steps 1-5) and register it under ``name``."""
+        dataset_name = name or graph.name or f"dataset-{len(self._datasets)}"
+        pipeline = PreprocessingPipeline(config or self.config)
+        preprocessing = pipeline.run(graph)
+        query_manager = QueryManager(preprocessing.database, self.config.client)
+        handle = DatasetHandle(
+            name=dataset_name,
+            graph=graph,
+            preprocessing=preprocessing,
+            query_manager=query_manager,
+        )
+        self._datasets[dataset_name] = handle
+        return handle
+
+    def register_database(self, graph: Graph, database: GraphVizDatabase, name: str) -> DatasetHandle:
+        """Register an already-built database (e.g. loaded from SQLite).
+
+        The preprocessing artefacts other than the database are unavailable in
+        this path, so ``preprocessing`` holds only the database; sessions and
+        queries work exactly the same.
+        """
+        query_manager = QueryManager(database, self.config.client)
+        handle = DatasetHandle(
+            name=name,
+            graph=graph,
+            preprocessing=PreprocessingResult(
+                database=database,
+                hierarchy=None,  # type: ignore[arg-type]
+                partition_result=None,  # type: ignore[arg-type]
+                global_layout=None,  # type: ignore[arg-type]
+                report=None,  # type: ignore[arg-type]
+            ),
+            query_manager=query_manager,
+        )
+        self._datasets[name] = handle
+        return handle
+
+    # ------------------------------------------------------------------ access
+
+    def datasets(self) -> list[str]:
+        """Names of the loaded datasets (what the dataset selector shows)."""
+        return sorted(self._datasets)
+
+    def dataset(self, name: str) -> DatasetHandle:
+        """Return a loaded dataset handle; raises :class:`QueryError` if unknown."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise QueryError(
+                f"dataset {name!r} is not loaded; available: {', '.join(self.datasets()) or 'none'}"
+            ) from None
+
+    def unload_dataset(self, name: str) -> None:
+        """Remove a dataset from the server."""
+        if name not in self._datasets:
+            raise QueryError(f"dataset {name!r} is not loaded")
+        del self._datasets[name]
+
+    # ---------------------------------------------------------------- sessions
+
+    def create_session(self, name: str, start_layer: int = 0) -> ExplorationSession:
+        """Create an exploration session for one dataset."""
+        handle = self.dataset(name)
+        return ExplorationSession(
+            handle.query_manager, self.config.client, start_layer=start_layer
+        )
+
+    def create_editor(self, name: str, layer: int = 0) -> GraphEditor:
+        """Create a graph editor (Edit panel) for one dataset."""
+        handle = self.dataset(name)
+        return GraphEditor(handle.database, layer=layer)
+
+    # -------------------------------------------------------------- statistics
+
+    def dataset_statistics(self, name: str):
+        """Full statistics of a dataset's original graph (Statistics panel)."""
+        return dataset_statistics(self.dataset(name).graph)
+
+    def layer_statistics(self, name: str, layer: int) -> LayerStatistics:
+        """Statistics of one abstraction layer of a dataset."""
+        return layer_statistics(self.dataset(name).database, layer)
+
+    def preprocessing_report(self, name: str):
+        """The Table-I style preprocessing timing report of a dataset."""
+        report = self.dataset(name).preprocessing.report
+        if report is None:
+            raise QueryError(f"dataset {name!r} was registered without preprocessing timings")
+        return report

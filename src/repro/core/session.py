@@ -1,0 +1,159 @@
+"""Interactive exploration session.
+
+Tracks the state of one user exploring a dataset: current viewport, current
+abstraction layer, active filters, navigation history.  This is the server-side
+counterpart of the Web UI's Visualization + Control panels and the unit the
+client simulator drives when replaying interaction traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..config import ClientConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .monitoring import QueryLog
+from ..errors import QueryError
+from ..spatial.geometry import Point
+from .filters import FilterSpec
+from .query_manager import QueryManager, WindowQueryResult
+from .viewport import Viewport
+
+__all__ = ["InteractionEvent", "ExplorationSession"]
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One recorded user interaction (for history / undo / replay)."""
+
+    kind: str
+    details: dict[str, object] = field(default_factory=dict)
+
+
+class ExplorationSession:
+    """Stateful façade over the query manager for one user session."""
+
+    def __init__(
+        self,
+        query_manager: QueryManager,
+        client_config: ClientConfig | None = None,
+        start_layer: int = 0,
+        query_log: "QueryLog | None" = None,
+    ) -> None:
+        self.query_manager = query_manager
+        self.client_config = client_config or query_manager.client_config
+        if not query_manager.database.has_layer(start_layer):
+            raise QueryError(f"layer {start_layer} does not exist")
+        self.layer = start_layer
+        self.filters = FilterSpec()
+        self.viewport = query_manager.default_viewport(layer=start_layer)
+        self.history: list[InteractionEvent] = []
+        self.last_result: WindowQueryResult | None = None
+        self.query_log = query_log
+
+    # ------------------------------------------------------------- navigation
+
+    def refresh(self) -> WindowQueryResult:
+        """Fetch the current viewport's contents (initial load or after edits)."""
+        result = self.query_manager.viewport_query(
+            self.viewport, layer=self.layer, filters=self.filters
+        )
+        self.last_result = result
+        if self.query_log is not None:
+            self.query_log.record_window(result)
+        return result
+
+    def pan(self, dx_px: float, dy_px: float) -> WindowQueryResult:
+        """Move the viewing window by a pixel offset ("horizontal" navigation)."""
+        self.viewport = self.viewport.panned(dx_px, dy_px)
+        self.history.append(InteractionEvent("pan", {"dx": dx_px, "dy": dy_px}))
+        return self.refresh()
+
+    def jump_to(self, center: Point) -> WindowQueryResult:
+        """Re-centre the viewport on plane coordinates (birdview click)."""
+        self.viewport = self.viewport.moved_to(center)
+        self.history.append(InteractionEvent("jump", {"x": center.x, "y": center.y}))
+        return self.refresh()
+
+    def zoom(self, factor: float) -> WindowQueryResult:
+        """Zoom in (> 1) or out (< 1); the server window resizes proportionally."""
+        self.viewport = self.viewport.zoomed(factor, self.client_config)
+        self.history.append(InteractionEvent("zoom", {"factor": factor}))
+        return self.refresh()
+
+    # ------------------------------------------------------------ layer change
+
+    def change_layer(self, new_layer: int) -> WindowQueryResult:
+        """Switch abstraction layer ("vertical" navigation via the Layer Panel)."""
+        if not self.query_manager.database.has_layer(new_layer):
+            raise QueryError(f"layer {new_layer} does not exist")
+        self.layer = new_layer
+        self.history.append(InteractionEvent("change_layer", {"layer": new_layer}))
+        return self.refresh()
+
+    def available_layers(self) -> list[int]:
+        """Return the abstraction layers of the current dataset."""
+        return self.query_manager.database.layers()
+
+    def zoom_with_level_of_detail(
+        self, factor: float, max_objects: int = 600
+    ) -> WindowQueryResult:
+        """Zoom and automatically switch to the recommended abstraction layer.
+
+        Combines the paper's two vertical operations: the zoom resizes the
+        server-side window and, when the resulting window would contain more
+        than ``max_objects`` elements at the current layer, the session hops to
+        the most detailed layer that stays below the budget (and back down when
+        zooming in again).
+        """
+        self.viewport = self.viewport.zoomed(factor, self.client_config)
+        recommended = self.query_manager.recommend_layer(
+            self.viewport, max_objects=max_objects, current_layer=self.layer
+        )
+        if recommended != self.layer:
+            self.layer = recommended
+        self.history.append(InteractionEvent(
+            "zoom_lod", {"factor": factor, "layer": self.layer}
+        ))
+        return self.refresh()
+
+    # ---------------------------------------------------------------- keyword
+
+    def search(self, keyword: str, limit: int | None = 20):
+        """Keyword search on the current layer (Search panel)."""
+        self.history.append(InteractionEvent("search", {"keyword": keyword}))
+        result = self.query_manager.keyword_search(keyword, layer=self.layer, limit=limit)
+        if self.query_log is not None:
+            self.query_log.record_search(result)
+        return result
+
+    def focus_on(self, node_id: int) -> WindowQueryResult:
+        """Centre the viewport on a node picked from the search results."""
+        self.viewport, result = self.query_manager.focus_on_node(
+            node_id, self.viewport, layer=self.layer, filters=self.filters
+        )
+        self.history.append(InteractionEvent("focus", {"node_id": node_id}))
+        self.last_result = result
+        return result
+
+    # ----------------------------------------------------------------- filters
+
+    def hide_edge_label(self, label: str) -> WindowQueryResult:
+        """Hide edges with a given label (Filter panel)."""
+        self.filters.hide_edge_label(label)
+        self.history.append(InteractionEvent("filter", {"hide_edge": label}))
+        return self.refresh()
+
+    def show_only_edges(self, labels: set[str]) -> WindowQueryResult:
+        """Keep only edges with the given labels visible."""
+        self.filters.show_only_edge_labels(labels)
+        self.history.append(InteractionEvent("filter", {"only_edges": sorted(labels)}))
+        return self.refresh()
+
+    def clear_filters(self) -> WindowQueryResult:
+        """Remove every active filter."""
+        self.filters.clear()
+        self.history.append(InteractionEvent("filter", {"clear": True}))
+        return self.refresh()

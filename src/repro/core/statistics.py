@@ -1,0 +1,60 @@
+"""Statistics panel backend.
+
+The demo UI has a Statistics panel "that offers basic statistics for the graph
+(e.g., average node degree, density, etc.)".  Statistics are computed per layer
+either from the original graph (when available) or from the stored rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.metrics import GraphStatistics, compute_statistics
+from ..graph.model import Graph
+from ..storage.database import GraphVizDatabase
+
+__all__ = ["LayerStatistics", "layer_statistics", "dataset_statistics"]
+
+
+@dataclass(frozen=True)
+class LayerStatistics:
+    """Statistics for one abstraction layer as shown in the panel."""
+
+    layer: int
+    num_nodes: int
+    num_edges: int
+    average_degree: float
+    density: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a JSON-serialisable dictionary."""
+        return {
+            "layer": self.layer,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "average_degree": self.average_degree,
+            "density": self.density,
+        }
+
+
+def layer_statistics(database: GraphVizDatabase, layer: int) -> LayerStatistics:
+    """Compute statistics for one stored layer from its rows."""
+    table = database.table(layer)
+    node_ids = table.distinct_node_ids()
+    num_nodes = len(node_ids)
+    num_edges = sum(1 for row in table.scan() if not row.is_node_row())
+    average_degree = 2.0 * num_edges / num_nodes if num_nodes else 0.0
+    possible = num_nodes * (num_nodes - 1)
+    density = num_edges / possible if possible else 0.0
+    return LayerStatistics(
+        layer=layer,
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        average_degree=average_degree,
+        density=density,
+    )
+
+
+def dataset_statistics(graph: Graph) -> GraphStatistics:
+    """Full statistics bundle for the original dataset (layer 0 graph)."""
+    return compute_statistics(graph)

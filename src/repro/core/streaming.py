@@ -1,0 +1,90 @@
+"""Chunked streaming of window-query results.
+
+"The part of the graph included in the window of the user is sent from the
+server to the client in small pieces, i.e., in a streaming fashion."  The
+streamer slices a :class:`~repro.core.json_builder.GraphPayload` into chunks of
+a configurable number of objects; the client simulator consumes the chunks one
+by one and charges communication + rendering cost per chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import json
+
+from .json_builder import GraphPayload
+
+__all__ = ["PayloadChunk", "stream_payload", "chunk_count"]
+
+
+@dataclass(frozen=True)
+class PayloadChunk:
+    """One streamed piece of a window-query result."""
+
+    index: int
+    total_chunks: int
+    nodes: tuple[dict[str, object], ...]
+    edges: tuple[dict[str, object], ...]
+
+    @property
+    def num_objects(self) -> int:
+        """Number of visual objects carried by this chunk."""
+        return len(self.nodes) + len(self.edges)
+
+    @property
+    def is_last(self) -> bool:
+        """``True`` for the final chunk of the stream."""
+        return self.index == self.total_chunks - 1
+
+    def to_json(self) -> str:
+        """Serialise this chunk (what goes on the wire for one piece)."""
+        return json.dumps(
+            {
+                "chunk": self.index,
+                "total": self.total_chunks,
+                "nodes": list(self.nodes),
+                "edges": list(self.edges),
+            },
+            separators=(",", ":"),
+        )
+
+    @property
+    def byte_size(self) -> int:
+        """Size of the serialised chunk in bytes (drives the communication cost model)."""
+        return len(self.to_json().encode("utf-8"))
+
+
+def chunk_count(payload: GraphPayload, chunk_size: int) -> int:
+    """Return how many chunks a payload will be streamed in."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    total_objects = payload.num_objects
+    if total_objects == 0:
+        return 1
+    return -(-total_objects // chunk_size)  # ceil division
+
+
+def stream_payload(payload: GraphPayload, chunk_size: int = 200) -> Iterator[PayloadChunk]:
+    """Yield the payload in chunks of at most ``chunk_size`` objects.
+
+    Nodes are streamed before the edges that reference them whenever possible:
+    objects are emitted in payload order (nodes first, then edges), which is how
+    the original system avoids the client rendering an edge whose endpoints have
+    not arrived yet.
+    """
+    total = chunk_count(payload, chunk_size)
+    items: list[tuple[str, dict[str, object]]] = [
+        ("node", node) for node in payload.nodes
+    ] + [("edge", edge) for edge in payload.edges]
+
+    if not items:
+        yield PayloadChunk(index=0, total_chunks=1, nodes=(), edges=())
+        return
+
+    for index in range(total):
+        window = items[index * chunk_size:(index + 1) * chunk_size]
+        nodes = tuple(item for kind, item in window if kind == "node")
+        edges = tuple(item for kind, item in window if kind == "edge")
+        yield PayloadChunk(index=index, total_chunks=total, nodes=nodes, edges=edges)

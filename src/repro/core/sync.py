@@ -1,0 +1,108 @@
+"""Propagating Edit-panel changes across abstraction layers.
+
+The paper stores edits made through the canvas back into the database, but the
+abstraction layers are built offline — an edit applied only to layer 0 would
+leave the higher layers stale.  :class:`LayerSynchronizer` applies one logical
+edit to every layer in which it is representable:
+
+* **rename** — the node is renamed in every layer that still contains it
+  (filter-based layers keep node ids; merge-based layers represent the node by
+  a super-node whose label is left untouched);
+* **move** — the node's coordinates (and the geometry of its incident edges)
+  are updated in every layer containing it, keeping vertical navigation
+  spatially consistent;
+* **add edge / delete edge** — applied to every layer containing *both*
+  endpoints.
+
+Layers where the node does not appear (it was filtered out or merged away) are
+skipped, which matches the semantics of those abstractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spatial.geometry import Point
+from ..storage.database import GraphVizDatabase
+from .editing import GraphEditor
+
+__all__ = ["SyncReport", "LayerSynchronizer"]
+
+
+@dataclass
+class SyncReport:
+    """Which layers an edit touched (``layer -> rows touched``)."""
+
+    operation: str
+    per_layer: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def layers_touched(self) -> list[int]:
+        """Layers where the edit was applied."""
+        return sorted(layer for layer, rows in self.per_layer.items() if rows > 0)
+
+    @property
+    def total_rows(self) -> int:
+        """Total rows touched across layers."""
+        return sum(self.per_layer.values())
+
+
+class LayerSynchronizer:
+    """Applies logical edits to every abstraction layer of a database."""
+
+    def __init__(self, database: GraphVizDatabase) -> None:
+        self.database = database
+        self._editors: dict[int, GraphEditor] = {}
+        self.reports: list[SyncReport] = []
+
+    def _editor(self, layer: int) -> GraphEditor:
+        editor = self._editors.get(layer)
+        if editor is None:
+            editor = GraphEditor(self.database, layer=layer)
+            self._editors[layer] = editor
+        return editor
+
+    def _layers_containing(self, *node_ids: int) -> list[int]:
+        layers = []
+        for layer in self.database.layers():
+            table = self.database.table(layer)
+            if all(table.node_position(node_id) is not None for node_id in node_ids):
+                layers.append(layer)
+        return layers
+
+    # ------------------------------------------------------------------- edits
+
+    def rename_node(self, node_id: int, new_label: str) -> SyncReport:
+        """Rename a node in every layer that contains it."""
+        report = SyncReport(operation="rename_node")
+        for layer in self._layers_containing(node_id):
+            report.per_layer[layer] = self._editor(layer).rename_node(node_id, new_label)
+        self.reports.append(report)
+        return report
+
+    def move_node(self, node_id: int, new_position: Point) -> SyncReport:
+        """Move a node in every layer that contains it."""
+        report = SyncReport(operation="move_node")
+        for layer in self._layers_containing(node_id):
+            report.per_layer[layer] = self._editor(layer).move_node(node_id, new_position)
+        self.reports.append(report)
+        return report
+
+    def add_edge(
+        self, source_id: int, target_id: int, label: str = "", directed: bool = True
+    ) -> SyncReport:
+        """Add an edge to every layer that contains both endpoints."""
+        report = SyncReport(operation="add_edge")
+        for layer in self._layers_containing(source_id, target_id):
+            self._editor(layer).add_edge(source_id, target_id, label=label, directed=directed)
+            report.per_layer[layer] = 1
+        self.reports.append(report)
+        return report
+
+    def delete_edge(self, source_id: int, target_id: int) -> SyncReport:
+        """Delete an edge from every layer that contains both endpoints."""
+        report = SyncReport(operation="delete_edge")
+        for layer in self._layers_containing(source_id, target_id):
+            report.per_layer[layer] = self._editor(layer).delete_edge(source_id, target_id)
+        self.reports.append(report)
+        return report

@@ -1,0 +1,102 @@
+"""Viewport model: pixel <-> plane coordinate mapping and zoom handling.
+
+The client tracks its viewing window in canvas pixels; the server evaluates
+window queries in plane coordinates.  At zoom level 1.0 one plane unit equals
+one pixel; zooming out (< 1.0) means each pixel covers more plane units, so the
+server-side window grows — "the size of the window (rectangle) that is sent to
+the server is decreased/increased proportionally according to the zoom level".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import ClientConfig
+from ..errors import QueryError
+from ..spatial.geometry import Point, Rect
+
+__all__ = ["Viewport"]
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """The client's current view of the plane.
+
+    Attributes
+    ----------
+    center:
+        Plane coordinates at the centre of the screen.
+    width_px / height_px:
+        Size of the client canvas in pixels.
+    zoom:
+        Zoom level; 1.0 means one plane unit per pixel, 2.0 means the user
+        zoomed in (each plane unit spans two pixels, the window shrinks).
+    """
+
+    center: Point
+    width_px: int
+    height_px: int
+    zoom: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width_px <= 0 or self.height_px <= 0:
+            raise QueryError("viewport dimensions must be positive")
+        if self.zoom <= 0:
+            raise QueryError("zoom must be positive")
+
+    # ------------------------------------------------------------------ window
+
+    def window(self) -> Rect:
+        """Return the plane-coordinate window covered by the viewport."""
+        plane_width = self.width_px / self.zoom
+        plane_height = self.height_px / self.zoom
+        return Rect.from_center(self.center, plane_width, plane_height)
+
+    # -------------------------------------------------------------- navigation
+
+    def panned(self, dx_px: float, dy_px: float) -> "Viewport":
+        """Return the viewport after panning by ``(dx_px, dy_px)`` pixels."""
+        return replace(
+            self,
+            center=Point(self.center.x + dx_px / self.zoom, self.center.y + dy_px / self.zoom),
+        )
+
+    def moved_to(self, center: Point) -> "Viewport":
+        """Return the viewport re-centred on ``center`` (plane coordinates)."""
+        return replace(self, center=center)
+
+    def zoomed(self, factor: float, config: ClientConfig | None = None) -> "Viewport":
+        """Return the viewport with its zoom multiplied by ``factor`` (clamped)."""
+        if factor <= 0:
+            raise QueryError("zoom factor must be positive")
+        new_zoom = self.zoom * factor
+        if config is not None:
+            new_zoom = min(max(new_zoom, config.min_zoom), config.max_zoom)
+        return replace(self, zoom=new_zoom)
+
+    def resized(self, width_px: int, height_px: int) -> "Viewport":
+        """Return the viewport with a new canvas size."""
+        return replace(self, width_px=width_px, height_px=height_px)
+
+    # ----------------------------------------------------------- pixel mapping
+
+    def plane_to_pixel(self, point: Point) -> tuple[float, float]:
+        """Map plane coordinates to canvas pixel coordinates (origin at top-left)."""
+        window = self.window()
+        px = (point.x - window.min_x) * self.zoom
+        py = (point.y - window.min_y) * self.zoom
+        return px, py
+
+    def pixel_to_plane(self, px: float, py: float) -> Point:
+        """Map canvas pixel coordinates back to plane coordinates."""
+        window = self.window()
+        return Point(window.min_x + px / self.zoom, window.min_y + py / self.zoom)
+
+    @classmethod
+    def from_config(cls, config: ClientConfig, center: Point | None = None) -> "Viewport":
+        """Create a viewport sized from a :class:`ClientConfig`."""
+        return cls(
+            center=center or Point(0.0, 0.0),
+            width_px=config.viewport_width,
+            height_px=config.viewport_height,
+        )

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the graphVizdb reproduction.
+
+All library errors derive from :class:`GraphVizDBError` so callers can catch a
+single base class.  Subclasses are grouped by subsystem (graph model, partitioning,
+layout, storage, query) which mirrors the package layout.
+"""
+
+from __future__ import annotations
+
+
+class GraphVizDBError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(GraphVizDBError):
+    """Errors raised by the graph data model (``repro.graph``)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id was referenced that does not exist in the graph."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} does not exist")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge was referenced that does not exist in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) does not exist")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError):
+    """An attempt was made to add a node id that already exists."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} already exists")
+        self.node_id = node_id
+
+
+class GraphFormatError(GraphError):
+    """A graph file could not be parsed."""
+
+
+class PartitioningError(GraphVizDBError):
+    """Errors raised by the partitioning substrate (``repro.partition``)."""
+
+
+class LayoutError(GraphVizDBError):
+    """Errors raised by the layout substrate (``repro.layout``)."""
+
+
+class UnknownLayoutError(LayoutError):
+    """A layout algorithm name was not found in the registry."""
+
+    def __init__(self, name: str, available: list[str]) -> None:
+        super().__init__(
+            f"unknown layout algorithm {name!r}; available: {', '.join(sorted(available))}"
+        )
+        self.name = name
+        self.available = list(available)
+
+
+class OrganizerError(GraphVizDBError):
+    """Errors raised by the partition organizer (``repro.organizer``)."""
+
+
+class AbstractionError(GraphVizDBError):
+    """Errors raised while building abstraction layers (``repro.abstraction``)."""
+
+
+class SpatialIndexError(GraphVizDBError):
+    """Errors raised by the spatial index substrate (``repro.spatial``)."""
+
+
+class GeometryError(SpatialIndexError):
+    """Invalid geometry (malformed rectangle, bad binary encoding, ...)."""
+
+
+class StorageError(GraphVizDBError):
+    """Errors raised by the storage engine (``repro.storage``)."""
+
+
+class LayerNotFoundError(StorageError):
+    """A requested abstraction layer does not exist in the database."""
+
+    def __init__(self, layer: int) -> None:
+        super().__init__(f"abstraction layer {layer} does not exist")
+        self.layer = layer
+
+
+class QueryError(GraphVizDBError):
+    """Errors raised by the online query manager (``repro.core``)."""
+
+
+class PipelineError(GraphVizDBError):
+    """Errors raised by the offline preprocessing pipeline (``repro.core.pipeline``)."""
+
+
+class ConfigurationError(GraphVizDBError):
+    """Invalid configuration values."""

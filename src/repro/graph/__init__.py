@@ -1,0 +1,73 @@
+"""Graph substrate: data model, IO, synthetic generators, metrics and traversals."""
+
+from .model import Edge, Graph, Node
+from .metrics import GraphStatistics, compute_statistics
+from .datasets import acm_like, available_datasets, load_dataset, web_graph_like
+from .generators import (
+    barabasi_albert,
+    community_graph,
+    complete_graph,
+    erdos_renyi,
+    grid_graph,
+    patent_like,
+    path_graph,
+    star_graph,
+    wikidata_like,
+)
+from .io import (
+    from_networkx,
+    read_edge_list,
+    read_json,
+    read_triples,
+    to_networkx,
+    write_edge_list,
+    write_json,
+    write_triples,
+)
+from .traversal import (
+    bfs_layers,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    ego_network,
+    k_hop_neighbourhood,
+    largest_component,
+    shortest_path,
+)
+
+__all__ = [
+    "acm_like",
+    "available_datasets",
+    "load_dataset",
+    "web_graph_like",
+    "Edge",
+    "Graph",
+    "Node",
+    "GraphStatistics",
+    "compute_statistics",
+    "barabasi_albert",
+    "community_graph",
+    "complete_graph",
+    "erdos_renyi",
+    "grid_graph",
+    "patent_like",
+    "path_graph",
+    "star_graph",
+    "wikidata_like",
+    "from_networkx",
+    "read_edge_list",
+    "read_json",
+    "read_triples",
+    "to_networkx",
+    "write_edge_list",
+    "write_json",
+    "write_triples",
+    "bfs_layers",
+    "bfs_order",
+    "connected_components",
+    "dfs_order",
+    "ego_network",
+    "k_hop_neighbourhood",
+    "largest_component",
+    "shortest_path",
+]

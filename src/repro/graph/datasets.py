@@ -1,0 +1,216 @@
+"""Named demo datasets.
+
+The paper's demonstration outline lets attendees "select a dataset from a
+number of real-world datasets (e.g., ACM, DBLP, DBpedia)" and explore the
+Notre Dame web graph with PageRank/HITS abstraction.  This module provides
+synthetic stand-ins for those demo datasets plus a small registry so examples,
+the CLI and tests can refer to datasets by name:
+
+* ``acm`` / ``dblp`` — a bibliographic graph with ``article``, ``author``,
+  ``venue`` and ``title`` nodes connected by typed edges (``has-author``,
+  ``cites``, ``published-in``, ``has-title``), the structure behind the
+  "filter out has-author edges and visualise only the cite edges" and the
+  "Christos Faloutsos collaborations" scenarios;
+* ``webgraph`` — a Notre-Dame-like web graph with a heavy-tailed in-degree
+  distribution, the dataset used for the PageRank/HITS abstraction demo;
+* ``wikidata`` / ``patent`` — the evaluation datasets
+  (:func:`repro.graph.generators.wikidata_like` / ``patent_like``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from .generators import patent_like, wikidata_like
+from .model import Graph
+
+__all__ = ["acm_like", "web_graph_like", "available_datasets", "load_dataset"]
+
+_AUTHOR_NAMES = [
+    "Christos Faloutsos", "Ada Lovelace", "Alan Turing", "Grace Hopper",
+    "Barbara Liskov", "Edsger Dijkstra", "Donald Knuth", "Leslie Lamport",
+    "Tim Berners-Lee", "Radia Perlman", "Frances Allen", "John McCarthy",
+    "Margaret Hamilton", "Ken Thompson", "Dennis Ritchie", "Niklaus Wirth",
+    "Michael Stonebraker", "Jennifer Widom", "Jeffrey Ullman", "Hector Garcia-Molina",
+]
+_VENUES = ["ICDE", "VLDB", "SIGMOD", "EDBT", "CIKM", "KDD", "WWW", "TKDE"]
+_TITLE_WORDS = [
+    "scalable", "interactive", "visualization", "graphs", "indexing", "spatial",
+    "queries", "databases", "exploration", "partitioning", "layouts", "streams",
+]
+
+
+def acm_like(
+    num_articles: int = 600,
+    num_authors: int = 150,
+    authors_per_article: float = 2.5,
+    citations_per_article: float = 3.0,
+    seed: int = 13,
+    name: str = "acm-like",
+) -> Graph:
+    """Generate a bibliographic (ACM/DBLP-style) graph.
+
+    Node types: ``article``, ``author``, ``venue``, ``title`` (title nodes play
+    the role of RDF literals).  Edge types/labels: ``has-author``, ``cites``,
+    ``published-in``, ``has-title``.
+    """
+    rng = random.Random(seed)
+    graph = Graph(directed=True, name=name)
+
+    author_base = 0
+    for index in range(num_authors):
+        label = _AUTHOR_NAMES[index % len(_AUTHOR_NAMES)]
+        if index >= len(_AUTHOR_NAMES):
+            label = f"{label} {index // len(_AUTHOR_NAMES)}"
+        graph.add_node(author_base + index, label=label, node_type="author")
+
+    venue_base = num_authors
+    for index, venue in enumerate(_VENUES):
+        graph.add_node(venue_base + index, label=venue, node_type="venue")
+
+    article_base = venue_base + len(_VENUES)
+    title_base = article_base + num_articles
+    next_title = title_base
+
+    # Preferential pools so a few authors (e.g. Faloutsos) accumulate many papers
+    # and a few articles accumulate many citations.
+    author_pool: list[int] = list(range(num_authors))
+    citation_pool: list[int] = []
+
+    for article_index in range(num_articles):
+        article_id = article_base + article_index
+        year = 1995 + (article_index * 21) // max(1, num_articles)
+        words = rng.sample(_TITLE_WORDS, k=3)
+        title = f"{words[0].title()} {words[1]} for {words[2]} ({year})"
+        graph.add_node(
+            article_id, label=f"article-{article_index:05d}", node_type="article",
+            properties={"year": year},
+        )
+        # has-title (literal-style leaf).
+        graph.add_node(next_title, label=title, node_type="title")
+        graph.add_edge(article_id, next_title, label="has-title", edge_type="literal")
+        next_title += 1
+        # published-in.
+        venue_id = venue_base + rng.randrange(len(_VENUES))
+        graph.add_edge(article_id, venue_id, label="published-in", edge_type="venue")
+        # has-author with preferential attachment.
+        count = max(1, _poisson(rng, authors_per_article))
+        chosen: set[int] = set()
+        while len(chosen) < min(count, num_authors):
+            if author_pool and rng.random() < 0.6:
+                chosen.add(rng.choice(author_pool))
+            else:
+                chosen.add(rng.randrange(num_authors))
+        for author in chosen:
+            graph.add_edge(article_id, author_base + author, label="has-author",
+                           edge_type="authorship")
+            author_pool.append(author)
+        # cites earlier articles with preferential attachment.
+        cites = _poisson(rng, citations_per_article)
+        for _ in range(cites):
+            if article_index == 0:
+                break
+            if citation_pool and rng.random() < 0.6:
+                target = rng.choice(citation_pool)
+            else:
+                target = article_base + rng.randrange(article_index)
+            if target != article_id:
+                graph.add_edge(article_id, target, label="cites", edge_type="citation")
+                citation_pool.append(target)
+        citation_pool.append(article_id)
+    return graph
+
+
+def web_graph_like(
+    num_pages: int = 2000,
+    links_per_page: float = 4.5,
+    hub_fraction: float = 0.02,
+    seed: int = 17,
+    name: str = "webgraph-like",
+) -> Graph:
+    """Generate a Notre-Dame-style web graph (heavy-tailed in-degrees).
+
+    A small fraction of pages are "hubs" that attract most links, which is what
+    makes PageRank/HITS-based abstraction layers meaningful on this dataset.
+    """
+    rng = random.Random(seed)
+    graph = Graph(directed=True, name=name)
+    num_hubs = max(1, int(num_pages * hub_fraction))
+    for page in range(num_pages):
+        kind = "hub" if page < num_hubs else "page"
+        graph.add_node(
+            page,
+            label=f"www.nd.edu/{'hub' if kind == 'hub' else 'page'}/{page}",
+            node_type=kind,
+        )
+    for page in range(num_pages):
+        count = _poisson(rng, links_per_page)
+        for _ in range(count):
+            if rng.random() < 0.55:
+                target = rng.randrange(num_hubs)
+            else:
+                target = rng.randrange(num_pages)
+            if target != page:
+                graph.add_edge(page, target, label="links-to", edge_type="hyperlink")
+    return graph
+
+
+#: Registry of named demo datasets: name -> factory(scale, seed) -> Graph.
+_DATASETS: dict[str, Callable[[float, int], Graph]] = {
+    "acm": lambda scale, seed: acm_like(
+        num_articles=max(50, int(600 * scale)),
+        num_authors=max(20, int(150 * scale)),
+        seed=seed,
+        name="acm",
+    ),
+    "dblp": lambda scale, seed: acm_like(
+        num_articles=max(80, int(900 * scale)),
+        num_authors=max(30, int(250 * scale)),
+        citations_per_article=2.0,
+        seed=seed,
+        name="dblp",
+    ),
+    "webgraph": lambda scale, seed: web_graph_like(
+        num_pages=max(100, int(2000 * scale)), seed=seed, name="webgraph"
+    ),
+    "wikidata": lambda scale, seed: wikidata_like(
+        num_entities=max(100, int(2000 * scale)), seed=seed, name="wikidata"
+    ),
+    "patent": lambda scale, seed: patent_like(
+        num_patents=max(100, int(3000 * scale)), seed=seed, name="patent"
+    ),
+}
+
+
+def available_datasets() -> list[str]:
+    """Return the names of the registered demo datasets."""
+    return sorted(_DATASETS)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 42) -> Graph:
+    """Instantiate a registered demo dataset by name.
+
+    Raises ``ValueError`` for unknown names so callers (e.g. the CLI) can show
+    the available choices.
+    """
+    factory = _DATASETS.get(name.lower())
+    if factory is None:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return factory(scale, seed)
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    if mean <= 0:
+        return 0
+    limit = pow(2.718281828459045, -mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

@@ -1,0 +1,253 @@
+"""Graph readers and writers.
+
+Three interchange formats are supported:
+
+* **edge list** — whitespace-separated ``source target [label]`` lines, the
+  format used by the SNAP repository from which the paper's Patent dataset is
+  taken (``#`` lines are comments);
+* **triples** — tab-separated ``node1_label  edge_label  node2_label`` lines, a
+  simplified N-Triples form matching the paper's RDF (Wikidata) input;
+* **JSON** — a self-describing round-trip format preserving all node/edge
+  attributes.
+
+Conversion helpers to and from :mod:`networkx` are provided for interoperability
+with the layout baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, TextIO
+
+import networkx as nx
+
+from ..errors import GraphFormatError
+from .model import Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_triples",
+    "write_triples",
+    "read_json",
+    "write_json",
+    "to_networkx",
+    "from_networkx",
+]
+
+
+# ------------------------------------------------------------------ edge list
+
+
+def read_edge_list(
+    path: str | Path, directed: bool = True, name: str = ""
+) -> Graph:
+    """Read a SNAP-style edge list file.
+
+    Lines starting with ``#`` are ignored.  Each data line must contain at least
+    two integer ids; an optional third column is stored as the edge label.
+    """
+    graph = Graph(directed=directed, name=name or Path(path).stem)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            _read_edge_list_stream(handle, graph)
+    except UnicodeDecodeError as exc:
+        raise GraphFormatError(f"{path} is not a UTF-8 text edge list: {exc}") from exc
+    return graph
+
+
+def _read_edge_list_stream(handle: TextIO, graph: Graph) -> None:
+    for line_number, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise GraphFormatError(
+                f"line {line_number}: expected at least two columns, got {stripped!r}"
+            )
+        try:
+            source = int(parts[0])
+            target = int(parts[1])
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"line {line_number}: node ids must be integers ({stripped!r})"
+            ) from exc
+        label = parts[2] if len(parts) > 2 else ""
+        graph.add_edge(source, target, label=label)
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write the graph as a SNAP-style edge list (labels in the third column)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# graph: {graph.name}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for edge in graph.edges():
+            if edge.label:
+                handle.write(f"{edge.source}\t{edge.target}\t{edge.label}\n")
+            else:
+                handle.write(f"{edge.source}\t{edge.target}\n")
+
+
+# -------------------------------------------------------------------- triples
+
+
+def read_triples(path: str | Path, directed: bool = True, name: str = "") -> Graph:
+    """Read a tab-separated triples file (``node1 \\t edge \\t node2``).
+
+    Node labels are interned: identical labels map to the same node id.  This is
+    the simplified RDF input format corresponding to the paper's Wikidata export.
+    """
+    graph = Graph(directed=directed, name=name or Path(path).stem)
+    label_to_id: dict[str, int] = {}
+
+    def intern(label: str) -> int:
+        node_id = label_to_id.get(label)
+        if node_id is None:
+            node_id = len(label_to_id)
+            label_to_id[label] = node_id
+            graph.ensure_node(node_id, label=label)
+        return node_id
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                stripped = line.rstrip("\n")
+                if not stripped or stripped.startswith("#"):
+                    continue
+                parts = stripped.split("\t")
+                if len(parts) != 3:
+                    raise GraphFormatError(
+                        f"line {line_number}: expected 3 tab-separated fields, "
+                        f"got {len(parts)}"
+                    )
+                subject, predicate, obj = (part.strip() for part in parts)
+                graph.add_edge(intern(subject), intern(obj), label=predicate)
+    except UnicodeDecodeError as exc:
+        raise GraphFormatError(f"{path} is not a UTF-8 triples file: {exc}") from exc
+    return graph
+
+
+def write_triples(graph: Graph, path: str | Path) -> None:
+    """Write the graph as tab-separated ``label \\t edge_label \\t label`` triples."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for edge in graph.edges():
+            source_label = graph.node(edge.source).label or str(edge.source)
+            target_label = graph.node(edge.target).label or str(edge.target)
+            handle.write(f"{source_label}\t{edge.label}\t{target_label}\n")
+
+
+# ----------------------------------------------------------------------- JSON
+
+
+def write_json(graph: Graph, path: str | Path) -> None:
+    """Write the graph to a JSON file preserving all attributes."""
+    payload = {
+        "name": graph.name,
+        "directed": graph.directed,
+        "nodes": [
+            {
+                "id": node.node_id,
+                "label": node.label,
+                "type": node.node_type,
+                "properties": node.properties,
+            }
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "type": edge.edge_type,
+                "weight": edge.weight,
+                "properties": edge.properties,
+            }
+            for edge in graph.edges()
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def read_json(path: str | Path) -> Graph:
+    """Read a graph previously written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise GraphFormatError(f"invalid JSON graph file: {exc}") from exc
+    if "nodes" not in payload or "edges" not in payload:
+        raise GraphFormatError("JSON graph file must contain 'nodes' and 'edges'")
+    graph = Graph(directed=bool(payload.get("directed", True)), name=payload.get("name", ""))
+    for node in payload["nodes"]:
+        graph.add_node(
+            int(node["id"]),
+            label=node.get("label", ""),
+            node_type=node.get("type", ""),
+            properties=node.get("properties", {}),
+        )
+    for edge in payload["edges"]:
+        graph.add_edge(
+            int(edge["source"]),
+            int(edge["target"]),
+            label=edge.get("label", ""),
+            edge_type=edge.get("type", ""),
+            weight=float(edge.get("weight", 1.0)),
+            properties=edge.get("properties", {}),
+        )
+    return graph
+
+
+# ------------------------------------------------------------------ networkx
+
+
+def to_networkx(graph: Graph) -> "nx.Graph | nx.DiGraph":
+    """Convert to a networkx graph (attributes preserved)."""
+    result: nx.Graph | nx.DiGraph = nx.DiGraph() if graph.directed else nx.Graph()
+    result.graph["name"] = graph.name
+    for node in graph.nodes():
+        result.add_node(
+            node.node_id, label=node.label, node_type=node.node_type, **node.properties
+        )
+    for edge in graph.edges():
+        result.add_edge(
+            edge.source,
+            edge.target,
+            label=edge.label,
+            edge_type=edge.edge_type,
+            weight=edge.weight,
+        )
+    return result
+
+
+def from_networkx(nx_graph: "nx.Graph | nx.DiGraph", name: str = "") -> Graph:
+    """Convert a networkx graph whose node ids are (or can be mapped to) ints."""
+    graph = Graph(directed=nx_graph.is_directed(), name=name or nx_graph.graph.get("name", ""))
+    id_map: dict[object, int] = {}
+    for index, (node, data) in enumerate(sorted(nx_graph.nodes(data=True), key=lambda item: str(item[0]))):
+        node_id = node if isinstance(node, int) else index
+        while graph.has_node(node_id):
+            node_id += 1
+        id_map[node] = node_id
+        graph.add_node(
+            node_id,
+            label=str(data.get("label", node)),
+            node_type=str(data.get("node_type", "")),
+        )
+    for source, target, data in nx_graph.edges(data=True):
+        graph.add_edge(
+            id_map[source],
+            id_map[target],
+            label=str(data.get("label", "")),
+            edge_type=str(data.get("edge_type", "")),
+            weight=float(data.get("weight", 1.0)),
+        )
+    return graph
+
+
+def edges_as_tuples(graph: Graph) -> Iterable[tuple[int, int]]:
+    """Yield ``(source, target)`` tuples; convenience for tests and benchmarks."""
+    for edge in graph.edges():
+        yield edge.source, edge.target

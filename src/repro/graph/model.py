@@ -1,0 +1,395 @@
+"""Property-graph data model.
+
+The paper stores graphs as triples ``(node1, edge, node2)`` where both nodes and
+edges carry labels, and edges may be directed (node1 is always the source).  The
+in-memory model here is what the preprocessing pipeline consumes: a mutable
+property graph with integer node ids, per-node and per-edge labels and types, and
+adjacency structures tuned for the traversals the partitioner and the abstraction
+builders need.
+
+The model intentionally does not depend on :mod:`networkx`; conversion helpers are
+provided in :mod:`repro.graph.io` for interoperability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import DuplicateNodeError, EdgeNotFoundError, NodeNotFoundError
+
+__all__ = ["Node", "Edge", "Graph"]
+
+
+@dataclass
+class Node:
+    """A graph node.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer identifier (the ``Node ID`` columns of the storage scheme).
+    label:
+        Human-readable label used by the full-text keyword index.
+    node_type:
+        Optional type tag (e.g. ``"article"``, ``"author"``, ``"literal"``); the
+        demo's Filter panel hides nodes by type.
+    properties:
+        Arbitrary metadata shown in the Information panel.
+    """
+
+    node_id: int
+    label: str = ""
+    node_type: str = ""
+    properties: dict[str, object] = field(default_factory=dict)
+
+    def copy(self) -> "Node":
+        """Return a deep-enough copy (properties dict is copied)."""
+        return Node(self.node_id, self.label, self.node_type, dict(self.properties))
+
+
+@dataclass
+class Edge:
+    """A graph edge from ``source`` to ``target``.
+
+    For undirected graphs the (source, target) order is the insertion order and
+    both orientations are considered equivalent by :class:`Graph`.
+    """
+
+    source: int
+    target: int
+    label: str = ""
+    edge_type: str = ""
+    weight: float = 1.0
+    properties: dict[str, object] = field(default_factory=dict)
+
+    def key(self) -> tuple[int, int]:
+        """Return the ``(source, target)`` pair identifying this edge."""
+        return (self.source, self.target)
+
+    def other(self, node_id: int) -> int:
+        """Return the endpoint that is not ``node_id``.
+
+        For self-loops the same id is returned.
+        """
+        if node_id == self.source:
+            return self.target
+        if node_id == self.target:
+            return self.source
+        raise ValueError(f"node {node_id} is not an endpoint of edge {self.key()}")
+
+    def copy(self) -> "Edge":
+        """Return a deep-enough copy (properties dict is copied)."""
+        return Edge(
+            self.source,
+            self.target,
+            self.label,
+            self.edge_type,
+            self.weight,
+            dict(self.properties),
+        )
+
+
+class Graph:
+    """A mutable property graph with integer node ids.
+
+    Parallel edges are not supported: at most one edge exists per ordered
+    ``(source, target)`` pair (and per unordered pair when the graph is
+    undirected).  Self-loops are allowed.
+
+    Parameters
+    ----------
+    directed:
+        Whether edges are directed.  The paper's storage scheme encodes the
+        direction inside the edge geometry; the model keeps it explicit.
+    name:
+        Optional dataset name (e.g. ``"wikidata"``), surfaced in statistics.
+    """
+
+    def __init__(self, directed: bool = True, name: str = "") -> None:
+        self.directed = directed
+        self.name = name
+        self._nodes: dict[int, Node] = {}
+        self._edges: dict[tuple[int, int], Edge] = {}
+        self._out: dict[int, set[int]] = {}
+        self._in: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(
+        self,
+        node_id: int,
+        label: str = "",
+        node_type: str = "",
+        properties: dict[str, object] | None = None,
+    ) -> Node:
+        """Add a node and return it.
+
+        Raises
+        ------
+        DuplicateNodeError
+            If the node id already exists.
+        """
+        if node_id in self._nodes:
+            raise DuplicateNodeError(node_id)
+        node = Node(node_id, label, node_type, dict(properties or {}))
+        self._nodes[node_id] = node
+        self._out[node_id] = set()
+        self._in[node_id] = set()
+        return node
+
+    def ensure_node(self, node_id: int, label: str = "", node_type: str = "") -> Node:
+        """Return the node, creating it if it does not exist yet."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            return self.add_node(node_id, label, node_type)
+        return node
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with ``node_id``.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If no such node exists.
+        """
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def has_node(self, node_id: int) -> bool:
+        """Return ``True`` if the node exists."""
+        return node_id in self._nodes
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node and every edge incident to it."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        for neighbour in list(self._out[node_id]):
+            self.remove_edge(node_id, neighbour)
+        for neighbour in list(self._in[node_id]):
+            if self.has_edge(neighbour, node_id):
+                self.remove_edge(neighbour, node_id)
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[int]:
+        """Iterate over all node ids."""
+        return iter(self._nodes.keys())
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ edges
+
+    def _edge_key(self, source: int, target: int) -> tuple[int, int] | None:
+        """Return the stored key for the (source, target) edge, or ``None``."""
+        if (source, target) in self._edges:
+            return (source, target)
+        if not self.directed and (target, source) in self._edges:
+            return (target, source)
+        return None
+
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        label: str = "",
+        edge_type: str = "",
+        weight: float = 1.0,
+        properties: dict[str, object] | None = None,
+    ) -> Edge:
+        """Add an edge, creating missing endpoints with empty labels.
+
+        If the edge already exists its attributes are overwritten (last writer
+        wins), matching the semantics of reloading a triple.
+        """
+        self.ensure_node(source)
+        self.ensure_node(target)
+        key = self._edge_key(source, target)
+        if key is not None:
+            existing = self._edges[key]
+            existing.label = label
+            existing.edge_type = edge_type
+            existing.weight = weight
+            if properties:
+                existing.properties.update(properties)
+            return existing
+        edge = Edge(source, target, label, edge_type, weight, dict(properties or {}))
+        self._edges[(source, target)] = edge
+        self._out[source].add(target)
+        self._in[target].add(source)
+        if not self.directed:
+            self._out[target].add(source)
+            self._in[source].add(target)
+        return edge
+
+    def edge(self, source: int, target: int) -> Edge:
+        """Return the edge from ``source`` to ``target``.
+
+        For undirected graphs either orientation matches.
+        """
+        key = self._edge_key(source, target)
+        if key is None:
+            raise EdgeNotFoundError(source, target)
+        return self._edges[key]
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return ``True`` if the edge exists (either orientation if undirected)."""
+        return self._edge_key(source, target) is not None
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Remove the edge from ``source`` to ``target``."""
+        key = self._edge_key(source, target)
+        if key is None:
+            raise EdgeNotFoundError(source, target)
+        stored_source, stored_target = key
+        del self._edges[key]
+        self._out[stored_source].discard(stored_target)
+        self._in[stored_target].discard(stored_source)
+        if not self.directed:
+            self._out[stored_target].discard(stored_source)
+            self._in[stored_source].discard(stored_target)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        return iter(self._edges.values())
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    # -------------------------------------------------------------- adjacency
+
+    def successors(self, node_id: int) -> set[int]:
+        """Return the set of nodes reachable by one outgoing edge."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        return set(self._out[node_id])
+
+    def predecessors(self, node_id: int) -> set[int]:
+        """Return the set of nodes with an edge into ``node_id``."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        return set(self._in[node_id])
+
+    def neighbors(self, node_id: int) -> set[int]:
+        """Return all neighbours regardless of edge direction."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        return self._out[node_id] | self._in[node_id]
+
+    def degree(self, node_id: int) -> int:
+        """Return the total degree (in + out for directed graphs)."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        if self.directed:
+            return len(self._out[node_id]) + len(self._in[node_id])
+        return len(self._out[node_id])
+
+    def out_degree(self, node_id: int) -> int:
+        """Return the number of outgoing edges."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        return len(self._out[node_id])
+
+    def in_degree(self, node_id: int) -> int:
+        """Return the number of incoming edges."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        return len(self._in[node_id])
+
+    def incident_edges(self, node_id: int) -> list[Edge]:
+        """Return every edge that has ``node_id`` as an endpoint."""
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+        result: list[Edge] = []
+        seen: set[tuple[int, int]] = set()
+        for target in self._out[node_id]:
+            key = self._edge_key(node_id, target)
+            if key is not None and key not in seen:
+                seen.add(key)
+                result.append(self._edges[key])
+        for source in self._in[node_id]:
+            key = self._edge_key(source, node_id)
+            if key is not None and key not in seen:
+                seen.add(key)
+                result.append(self._edges[key])
+        return result
+
+    # ------------------------------------------------------------- operations
+
+    def subgraph(self, node_ids: Iterable[int], name: str = "") -> "Graph":
+        """Return the induced subgraph over ``node_ids`` (copies nodes/edges)."""
+        keep = set(node_ids)
+        sub = Graph(directed=self.directed, name=name or f"{self.name}-sub")
+        for node_id in keep:
+            node = self.node(node_id)
+            sub.add_node(node.node_id, node.label, node.node_type, dict(node.properties))
+        for edge in self._edges.values():
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(
+                    edge.source,
+                    edge.target,
+                    edge.label,
+                    edge.edge_type,
+                    edge.weight,
+                    dict(edge.properties),
+                )
+        return sub
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph."""
+        return self.subgraph(self._nodes.keys(), name=self.name)
+
+    def relabel(self, mapping: dict[int, int], name: str = "") -> "Graph":
+        """Return a copy of the graph with node ids remapped through ``mapping``.
+
+        Missing ids keep their original value.  Collisions created by the mapping
+        merge nodes (edges are rewired accordingly).
+        """
+        result = Graph(directed=self.directed, name=name or self.name)
+        for node in self._nodes.values():
+            new_id = mapping.get(node.node_id, node.node_id)
+            if not result.has_node(new_id):
+                result.add_node(new_id, node.label, node.node_type, dict(node.properties))
+        for edge in self._edges.values():
+            new_source = mapping.get(edge.source, edge.source)
+            new_target = mapping.get(edge.target, edge.target)
+            if new_source == new_target:
+                continue
+            result.add_edge(
+                new_source, new_target, edge.label, edge.edge_type, edge.weight,
+                dict(edge.properties),
+            )
+        return result
+
+    def edge_types(self) -> set[str]:
+        """Return the set of distinct edge types."""
+        return {edge.edge_type for edge in self._edges.values()}
+
+    def node_types(self) -> set[str]:
+        """Return the set of distinct node types."""
+        return {node.node_type for node in self._nodes.values()}
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"Graph(name={self.name!r}, {kind}, "
+            f"nodes={self.num_nodes}, edges={self.num_edges})"
+        )

@@ -1,0 +1,189 @@
+"""Graph traversal utilities.
+
+These are the building blocks used by the partitioners (BFS growth), the
+abstraction builders (connected components of summarised graphs), the
+statistics panel (component counts) and the demo's "focus on node" mode
+(neighbourhood extraction, path following).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from ..errors import NodeNotFoundError
+from .model import Graph
+
+__all__ = [
+    "bfs_order",
+    "bfs_layers",
+    "dfs_order",
+    "connected_components",
+    "largest_component",
+    "shortest_path",
+    "ego_network",
+    "k_hop_neighbourhood",
+]
+
+
+def bfs_order(graph: Graph, start: int, directed: bool = False) -> list[int]:
+    """Return nodes in breadth-first order from ``start``.
+
+    Parameters
+    ----------
+    directed:
+        When ``False`` (default) edges are followed in both directions, which is
+        what the partition-growing and component algorithms need.
+    """
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    visited = {start}
+    order = [start]
+    queue: deque[int] = deque([start])
+    while queue:
+        current = queue.popleft()
+        neighbours = graph.successors(current) if directed else graph.neighbors(current)
+        for neighbour in sorted(neighbours):
+            if neighbour not in visited:
+                visited.add(neighbour)
+                order.append(neighbour)
+                queue.append(neighbour)
+    return order
+
+
+def bfs_layers(graph: Graph, start: int, directed: bool = False) -> list[list[int]]:
+    """Return nodes grouped by BFS depth from ``start`` (depth 0 is ``[start]``)."""
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    visited = {start}
+    layers: list[list[int]] = [[start]]
+    frontier = [start]
+    while frontier:
+        next_frontier: list[int] = []
+        for current in frontier:
+            neighbours = (
+                graph.successors(current) if directed else graph.neighbors(current)
+            )
+            for neighbour in sorted(neighbours):
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    next_frontier.append(neighbour)
+        if next_frontier:
+            layers.append(next_frontier)
+        frontier = next_frontier
+    return layers
+
+
+def dfs_order(graph: Graph, start: int, directed: bool = False) -> list[int]:
+    """Return nodes in (iterative) depth-first order from ``start``."""
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    visited: set[int] = set()
+    order: list[int] = []
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        order.append(current)
+        neighbours = graph.successors(current) if directed else graph.neighbors(current)
+        for neighbour in sorted(neighbours, reverse=True):
+            if neighbour not in visited:
+                stack.append(neighbour)
+    return order
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Return weakly connected components, largest first.
+
+    Edge direction is ignored, matching the notion of connectivity relevant to
+    visual exploration (a path can be followed on the canvas regardless of arrow
+    direction).
+    """
+    remaining = set(graph.node_ids())
+    components: list[list[int]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = bfs_order(graph, start, directed=False)
+        components.append(component)
+        remaining.difference_update(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph: Graph) -> list[int]:
+    """Return the node ids of the largest weakly connected component."""
+    components = connected_components(graph)
+    return components[0] if components else []
+
+
+def shortest_path(
+    graph: Graph, source: int, target: int, directed: bool = False
+) -> list[int] | None:
+    """Return the shortest (unweighted) path from ``source`` to ``target``.
+
+    Returns ``None`` when no path exists.  Used by the pathway-navigation demo
+    scenario ("Christos Faloutsos - has-author - article - has-author" paths).
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    parents: dict[int, int] = {source: source}
+    queue: deque[int] = deque([source])
+    while queue:
+        current = queue.popleft()
+        neighbours = graph.successors(current) if directed else graph.neighbors(current)
+        for neighbour in sorted(neighbours):
+            if neighbour in parents:
+                continue
+            parents[neighbour] = current
+            if neighbour == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(neighbour)
+    return None
+
+
+def ego_network(graph: Graph, center: int) -> Graph:
+    """Return the induced subgraph over ``center`` and its direct neighbours.
+
+    This is exactly the "Focus on node" mode of the demo: only the selected node
+    and its neighbours stay visible.
+    """
+    if not graph.has_node(center):
+        raise NodeNotFoundError(center)
+    nodes = {center} | graph.neighbors(center)
+    return graph.subgraph(nodes, name=f"ego-{center}")
+
+
+def k_hop_neighbourhood(graph: Graph, center: int, hops: int) -> set[int]:
+    """Return the set of node ids within ``hops`` undirected hops of ``center``."""
+    if hops < 0:
+        raise ValueError("hops must be >= 0")
+    if not graph.has_node(center):
+        raise NodeNotFoundError(center)
+    visited = {center}
+    frontier = {center}
+    for _ in range(hops):
+        next_frontier: set[int] = set()
+        for node in frontier:
+            next_frontier |= graph.neighbors(node) - visited
+        visited |= next_frontier
+        frontier = next_frontier
+        if not frontier:
+            break
+    return visited
+
+
+def filter_nodes(graph: Graph, predicate: Callable[[int], bool]) -> Iterator[int]:
+    """Yield node ids for which ``predicate`` returns ``True``."""
+    for node_id in graph.node_ids():
+        if predicate(node_id):
+            yield node_id

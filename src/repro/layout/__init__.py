@@ -1,0 +1,35 @@
+"""Layout substrate: per-partition layout algorithms (Graphviz stand-in)."""
+
+from .base import Layout, LayoutAlgorithm
+from .circular import CircularLayout, RandomLayout, StarLayout
+from .force_directed import ForceDirectedLayout
+from .grid import GridLayout, SpectralLayout
+from .hierarchical import HierarchicalLayout
+from .registry import available_layouts, create_layout, register_layout
+from .scale import (
+    average_edge_length,
+    count_node_overlaps,
+    fit_to_area,
+    normalize_layout,
+    spread_coincident_nodes,
+)
+
+__all__ = [
+    "Layout",
+    "LayoutAlgorithm",
+    "CircularLayout",
+    "RandomLayout",
+    "StarLayout",
+    "ForceDirectedLayout",
+    "GridLayout",
+    "SpectralLayout",
+    "HierarchicalLayout",
+    "available_layouts",
+    "create_layout",
+    "register_layout",
+    "average_edge_length",
+    "count_node_overlaps",
+    "fit_to_area",
+    "normalize_layout",
+    "spread_coincident_nodes",
+]

@@ -1,0 +1,108 @@
+"""Layout algorithm interface and the :class:`Layout` result type.
+
+Preprocessing Step 2 "applies the layout algorithm to each partition
+independently, and assigns coordinates to the nodes of each sub-graph".  The
+paper emphasises that *any* layout algorithm can be plugged in ("circle, star,
+hierarchical, etc."), so layouts are registered by name
+(:mod:`repro.layout.registry`) and all share the :class:`LayoutAlgorithm`
+interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..errors import LayoutError
+from ..graph.model import Graph
+from ..spatial.geometry import Point, Rect
+
+__all__ = ["Layout", "LayoutAlgorithm"]
+
+
+@dataclass
+class Layout:
+    """Node coordinates for one graph (or one partition).
+
+    Attributes
+    ----------
+    positions:
+        Mapping ``node_id -> Point`` on the Euclidean plane.
+    """
+
+    positions: dict[int, Point] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self.positions
+
+    def position(self, node_id: int) -> Point:
+        """Return the position of ``node_id``."""
+        try:
+            return self.positions[node_id]
+        except KeyError:
+            raise LayoutError(f"node {node_id} has no layout position") from None
+
+    def set_position(self, node_id: int, point: Point) -> None:
+        """Set the position of ``node_id``."""
+        self.positions[node_id] = point
+
+    def bounding_rect(self) -> Rect:
+        """Return the bounding rectangle over all positions."""
+        if not self.positions:
+            raise LayoutError("cannot compute the bounding box of an empty layout")
+        return Rect.from_points(self.positions.values())
+
+    def translated(self, dx: float, dy: float) -> "Layout":
+        """Return a copy shifted by ``(dx, dy)``.
+
+        The organizer uses this to move a partition's local drawing to its
+        assigned cell on the global plane ("the coordinates of its nodes are
+        updated with respect to the assigned area").
+        """
+        return Layout({
+            node_id: point.translated(dx, dy)
+            for node_id, point in self.positions.items()
+        })
+
+    def scaled(self, factor: float, about: Point | None = None) -> "Layout":
+        """Return a copy scaled by ``factor`` about ``about`` (default: bbox centre)."""
+        if factor <= 0:
+            raise LayoutError("scale factor must be positive")
+        if not self.positions:
+            return Layout({})
+        origin = about or self.bounding_rect().center
+        return Layout({
+            node_id: Point(
+                origin.x + (point.x - origin.x) * factor,
+                origin.y + (point.y - origin.y) * factor,
+            )
+            for node_id, point in self.positions.items()
+        })
+
+    def merged_with(self, other: "Layout") -> "Layout":
+        """Return the union of two layouts (``other`` wins on shared node ids)."""
+        combined = dict(self.positions)
+        combined.update(other.positions)
+        return Layout(combined)
+
+    def copy(self) -> "Layout":
+        """Return a shallow copy (points are immutable)."""
+        return Layout(dict(self.positions))
+
+
+class LayoutAlgorithm(ABC):
+    """Interface implemented by every layout algorithm."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    @abstractmethod
+    def layout(self, graph: Graph) -> Layout:
+        """Compute positions for every node of ``graph``."""
+
+    def _check_nonempty(self, graph: Graph) -> None:
+        if graph.num_nodes == 0:
+            raise LayoutError("cannot lay out an empty graph")

@@ -1,0 +1,86 @@
+"""Circular, star and random layouts.
+
+The paper lists "circle, star, hierarchical, etc." as examples of layouts that
+can be plugged into Step 2.  These simple deterministic layouts are also handy
+in tests because their geometry is predictable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..graph.model import Graph
+from ..spatial.geometry import Point
+from .base import Layout, LayoutAlgorithm
+
+__all__ = ["CircularLayout", "StarLayout", "RandomLayout"]
+
+
+class CircularLayout(LayoutAlgorithm):
+    """Place nodes evenly on a circle (node id order)."""
+
+    name = "circular"
+
+    def __init__(self, area_per_node: float = 10_000.0) -> None:
+        self.area_per_node = area_per_node
+
+    def layout(self, graph: Graph) -> Layout:
+        self._check_nonempty(graph)
+        node_ids = sorted(graph.node_ids())
+        count = len(node_ids)
+        if count == 1:
+            return Layout({node_ids[0]: Point(0.0, 0.0)})
+        # Choose the radius so the average spacing between adjacent nodes on the
+        # circle roughly matches the requested density.
+        spacing = math.sqrt(self.area_per_node)
+        radius = max(spacing * count / (2.0 * math.pi), spacing)
+        positions = {}
+        for index, node_id in enumerate(node_ids):
+            angle = 2.0 * math.pi * index / count
+            positions[node_id] = Point(radius * math.cos(angle), radius * math.sin(angle))
+        return Layout(positions)
+
+
+class StarLayout(LayoutAlgorithm):
+    """Place the highest-degree node at the centre and the rest on a circle."""
+
+    name = "star"
+
+    def __init__(self, area_per_node: float = 10_000.0) -> None:
+        self.area_per_node = area_per_node
+
+    def layout(self, graph: Graph) -> Layout:
+        self._check_nonempty(graph)
+        node_ids = sorted(graph.node_ids())
+        if len(node_ids) == 1:
+            return Layout({node_ids[0]: Point(0.0, 0.0)})
+        center = max(node_ids, key=lambda node_id: (graph.degree(node_id), -node_id))
+        ring = [node_id for node_id in node_ids if node_id != center]
+        spacing = math.sqrt(self.area_per_node)
+        radius = max(spacing * len(ring) / (2.0 * math.pi), spacing)
+        positions = {center: Point(0.0, 0.0)}
+        for index, node_id in enumerate(ring):
+            angle = 2.0 * math.pi * index / len(ring)
+            positions[node_id] = Point(radius * math.cos(angle), radius * math.sin(angle))
+        return Layout(positions)
+
+
+class RandomLayout(LayoutAlgorithm):
+    """Place nodes uniformly at random in a square (baseline / initialisation)."""
+
+    name = "random"
+
+    def __init__(self, area_per_node: float = 10_000.0, seed: int = 42) -> None:
+        self.area_per_node = area_per_node
+        self.seed = seed
+
+    def layout(self, graph: Graph) -> Layout:
+        self._check_nonempty(graph)
+        node_ids = sorted(graph.node_ids())
+        side = math.sqrt(self.area_per_node * len(node_ids))
+        rng = random.Random(self.seed)
+        return Layout({
+            node_id: Point(rng.uniform(0.0, side), rng.uniform(0.0, side))
+            for node_id in node_ids
+        })

@@ -1,0 +1,104 @@
+"""Grid and spectral layouts."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graph.model import Graph
+from ..spatial.geometry import Point
+from .base import Layout, LayoutAlgorithm
+
+__all__ = ["GridLayout", "SpectralLayout"]
+
+
+class GridLayout(LayoutAlgorithm):
+    """Place nodes on a square lattice in BFS order.
+
+    BFS order keeps neighbourhoods roughly contiguous, so even this trivially
+    cheap layout produces locally meaningful drawings — useful when preprocessing
+    very large partitions under a tight time budget.
+    """
+
+    name = "grid"
+
+    def __init__(self, area_per_node: float = 10_000.0) -> None:
+        self.area_per_node = area_per_node
+
+    def layout(self, graph: Graph) -> Layout:
+        self._check_nonempty(graph)
+        from ..graph.traversal import bfs_order
+
+        spacing = math.sqrt(self.area_per_node)
+        remaining = set(graph.node_ids())
+        ordered: list[int] = []
+        while remaining:
+            start = min(remaining)
+            component = bfs_order(graph, start, directed=False)
+            ordered.extend(node_id for node_id in component if node_id in remaining)
+            remaining.difference_update(component)
+        columns = max(1, math.ceil(math.sqrt(len(ordered))))
+        positions = {}
+        for index, node_id in enumerate(ordered):
+            row, col = divmod(index, columns)
+            positions[node_id] = Point(col * spacing, row * spacing)
+        return Layout(positions)
+
+
+class SpectralLayout(LayoutAlgorithm):
+    """Spectral layout from the two smallest non-trivial Laplacian eigenvectors.
+
+    Falls back to a grid layout for graphs that are too small or degenerate for
+    an eigendecomposition to be meaningful.
+    """
+
+    name = "spectral"
+
+    def __init__(self, area_per_node: float = 10_000.0) -> None:
+        self.area_per_node = area_per_node
+
+    def layout(self, graph: Graph) -> Layout:
+        self._check_nonempty(graph)
+        node_ids = sorted(graph.node_ids())
+        count = len(node_ids)
+        if count < 3:
+            return GridLayout(self.area_per_node).layout(graph)
+        index_of = {node_id: index for index, node_id in enumerate(node_ids)}
+
+        laplacian = np.zeros((count, count))
+        for edge in graph.edges():
+            if edge.source == edge.target:
+                continue
+            i = index_of[edge.source]
+            j = index_of[edge.target]
+            laplacian[i, j] -= 1.0
+            laplacian[j, i] -= 1.0
+            laplacian[i, i] += 1.0
+            laplacian[j, j] += 1.0
+
+        try:
+            eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+        except np.linalg.LinAlgError:
+            return GridLayout(self.area_per_node).layout(graph)
+
+        # Skip (near-)zero eigenvalues: one per connected component.
+        tolerance = 1e-9
+        usable = [i for i, value in enumerate(eigenvalues) if value > tolerance]
+        if len(usable) < 2:
+            return GridLayout(self.area_per_node).layout(graph)
+        x = eigenvectors[:, usable[0]]
+        y = eigenvectors[:, usable[1]]
+
+        # Scale to the requested density.
+        side = math.sqrt(self.area_per_node * count)
+        x_span = float(x.max() - x.min()) or 1.0
+        y_span = float(y.max() - y.min()) or 1.0
+        positions = {
+            node_id: Point(
+                float((x[index_of[node_id]] - x.min()) / x_span * side),
+                float((y[index_of[node_id]] - y.min()) / y_span * side),
+            )
+            for node_id in node_ids
+        }
+        return Layout(positions)

@@ -1,0 +1,84 @@
+"""Layout algorithm registry.
+
+The pipeline selects the per-partition layout by name (``LayoutConfig.algorithm``),
+mirroring the paper's claim that "any layout algorithm can be used in this step,
+e.g., circle, star, hierarchical, etc.".  Downstream code should only go through
+:func:`create_layout` / :func:`available_layouts` so new algorithms can be added
+by registration alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import UnknownLayoutError
+from .base import LayoutAlgorithm
+from .circular import CircularLayout, RandomLayout, StarLayout
+from .force_directed import ForceDirectedLayout
+from .grid import GridLayout, SpectralLayout
+from .hierarchical import HierarchicalLayout
+
+__all__ = ["register_layout", "create_layout", "available_layouts"]
+
+#: name -> factory(iterations, area_per_node, seed) -> LayoutAlgorithm
+_REGISTRY: dict[str, Callable[[int, float, int], LayoutAlgorithm]] = {}
+
+
+def register_layout(
+    name: str, factory: Callable[[int, float, int], LayoutAlgorithm]
+) -> None:
+    """Register a layout factory under ``name`` (overwrites existing entries).
+
+    The factory receives ``(iterations, area_per_node, seed)`` and must return a
+    ready-to-use :class:`LayoutAlgorithm`.
+    """
+    _REGISTRY[name.lower()] = factory
+
+
+def available_layouts() -> list[str]:
+    """Return the sorted list of registered layout names."""
+    return sorted(_REGISTRY)
+
+
+def create_layout(
+    name: str,
+    iterations: int = 50,
+    area_per_node: float = 10_000.0,
+    seed: int = 42,
+) -> LayoutAlgorithm:
+    """Instantiate the layout algorithm registered under ``name``."""
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        raise UnknownLayoutError(name, available_layouts())
+    return factory(iterations, area_per_node, seed)
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations.
+# ---------------------------------------------------------------------------
+
+register_layout(
+    "force_directed",
+    lambda iterations, area, seed: ForceDirectedLayout(
+        iterations=iterations, area_per_node=area, seed=seed
+    ),
+)
+register_layout(
+    "circular", lambda iterations, area, seed: CircularLayout(area_per_node=area)
+)
+register_layout(
+    "star", lambda iterations, area, seed: StarLayout(area_per_node=area)
+)
+register_layout(
+    "random", lambda iterations, area, seed: RandomLayout(area_per_node=area, seed=seed)
+)
+register_layout(
+    "grid", lambda iterations, area, seed: GridLayout(area_per_node=area)
+)
+register_layout(
+    "spectral", lambda iterations, area, seed: SpectralLayout(area_per_node=area)
+)
+register_layout(
+    "hierarchical",
+    lambda iterations, area, seed: HierarchicalLayout(area_per_node=area),
+)

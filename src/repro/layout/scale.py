@@ -1,0 +1,118 @@
+"""Layout post-processing: normalisation, scaling and overlap removal.
+
+These helpers keep per-partition drawings in a predictable coordinate envelope
+before the organizer arranges them on the global plane, and provide quality
+measures (edge-length statistics, node overlap counts) used by tests and the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graph.model import Graph
+from ..spatial.geometry import Point, Rect
+from .base import Layout
+
+__all__ = [
+    "normalize_layout",
+    "fit_to_area",
+    "spread_coincident_nodes",
+    "average_edge_length",
+    "count_node_overlaps",
+]
+
+
+def normalize_layout(layout: Layout) -> Layout:
+    """Translate the layout so its bounding box starts at the origin."""
+    if not layout.positions:
+        return Layout({})
+    rect = layout.bounding_rect()
+    return layout.translated(-rect.min_x, -rect.min_y)
+
+
+def fit_to_area(layout: Layout, area_per_node: float) -> Layout:
+    """Scale the layout so the plane area per node matches ``area_per_node``.
+
+    Keeps partition drawings of different node counts at a comparable visual
+    density, which is what makes window-query result sizes grow linearly with
+    window area in Fig. 3.
+    """
+    if not layout.positions:
+        return Layout({})
+    count = len(layout.positions)
+    target_side = math.sqrt(area_per_node * count)
+    normalized = normalize_layout(layout)
+    rect = normalized.bounding_rect()
+    extent = max(rect.width, rect.height)
+    if extent <= 0:
+        # Degenerate layout (single node or coincident points): spread on a grid.
+        normalized = spread_coincident_nodes(normalized, spacing=math.sqrt(area_per_node))
+        rect = normalized.bounding_rect()
+        extent = max(rect.width, rect.height, 1.0)
+    factor = target_side / extent
+    return normalize_layout(normalized.scaled(factor, about=Point(0.0, 0.0)))
+
+
+def spread_coincident_nodes(layout: Layout, spacing: float = 10.0) -> Layout:
+    """Displace nodes that share the exact same position onto a small grid.
+
+    Force-directed layouts can leave isolated nodes stacked at the origin; a
+    window query would then fetch an unreadable pile of objects.
+    """
+    seen: dict[tuple[float, float], int] = {}
+    result: dict[int, Point] = {}
+    for node_id in sorted(layout.positions):
+        point = layout.positions[node_id]
+        key = (round(point.x, 6), round(point.y, 6))
+        occurrences = seen.get(key, 0)
+        seen[key] = occurrences + 1
+        if occurrences == 0:
+            result[node_id] = point
+        else:
+            ring = int(math.sqrt(occurrences))
+            angle = occurrences * 2.399963229728653  # golden angle spiral
+            radius = spacing * (1 + ring)
+            result[node_id] = Point(
+                point.x + radius * math.cos(angle),
+                point.y + radius * math.sin(angle),
+            )
+    return Layout(result)
+
+
+def average_edge_length(graph: Graph, layout: Layout) -> float:
+    """Return the mean Euclidean length of the graph's edges under ``layout``."""
+    lengths = [
+        layout.position(edge.source).distance_to(layout.position(edge.target))
+        for edge in graph.edges()
+    ]
+    if not lengths:
+        return 0.0
+    return sum(lengths) / len(lengths)
+
+
+def count_node_overlaps(layout: Layout, radius: float = 1.0) -> int:
+    """Count node pairs closer than ``radius`` (cheap drawing-quality indicator).
+
+    Uses a uniform grid so the check stays near-linear for large layouts.
+    """
+    if radius <= 0:
+        return 0
+    cell: dict[tuple[int, int], list[Point]] = {}
+    overlaps = 0
+    for node_id in sorted(layout.positions):
+        point = layout.positions[node_id]
+        cx = int(point.x // radius)
+        cy = int(point.y // radius)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for other in cell.get((cx + dx, cy + dy), ()):
+                    if point.distance_to(other) < radius:
+                        overlaps += 1
+        cell.setdefault((cx, cy), []).append(point)
+    return overlaps
+
+
+def layout_bounds_with_padding(layout: Layout, padding: float) -> Rect:
+    """Return the layout bounding box expanded by ``padding`` on every side."""
+    return layout.bounding_rect().expanded(padding)

@@ -1,0 +1,17 @@
+"""Partition organizer: greedy placement of partition layouts on the global plane."""
+
+from .cost import PlacedPartition, crossing_edge_length, placement_cost
+from .placement import GlobalLayout, PartitionOrganizer
+from .quality import DrawingQuality, evaluate_drawing
+from .spiral import CandidateGenerator
+
+__all__ = [
+    "PlacedPartition",
+    "crossing_edge_length",
+    "placement_cost",
+    "GlobalLayout",
+    "PartitionOrganizer",
+    "DrawingQuality",
+    "evaluate_drawing",
+    "CandidateGenerator",
+]

@@ -1,0 +1,254 @@
+"""Greedy partition organizer (preprocessing Step 3).
+
+Implements the algorithm of paper §II.A "Organizing Partitions":
+
+1. count the crossing edges of every partition;
+2. place the partition with the most crossing edges at the centre of the plane;
+3. keep the remaining partitions in a priority queue ordered (descending) by the
+   number of crossing edges they share with the partitions already on the plane;
+4. repeatedly pop the head of the queue and assign it to the empty candidate
+   cell that minimises the total length of its crossing edges to the partitions
+   already placed, update node coordinates, re-order the queue, and repeat until
+   the queue is empty.
+
+The result is a single *global* layout in which partitions occupy disjoint
+rectangles ("the distinct sub-graphs do not overlap on the plane") and tightly
+connected partitions sit near each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import OrganizerError
+from ..graph.model import Edge
+from ..layout.base import Layout
+from ..layout.scale import normalize_layout
+from ..partition.base import PartitionResult
+from ..spatial.geometry import Point, Rect
+from .cost import PlacedPartition, placement_cost
+from .spiral import CandidateGenerator
+
+__all__ = ["GlobalLayout", "PartitionOrganizer"]
+
+
+@dataclass
+class GlobalLayout:
+    """The merged layout of all partitions on the global plane.
+
+    Attributes
+    ----------
+    layout:
+        Global coordinates for every node of the input graph.
+    placements:
+        Per-partition placement records (cell rectangle + global layout).
+    placement_order:
+        The order in which partitions were placed (useful for debugging and for
+        the organizer's unit tests).
+    """
+
+    layout: Layout
+    placements: list[PlacedPartition] = field(default_factory=list)
+    placement_order: list[int] = field(default_factory=list)
+
+    def bounds(self) -> Rect:
+        """Return the bounding rectangle of the whole drawing."""
+        return self.layout.bounding_rect()
+
+    def cell_of(self, partition: int) -> Rect:
+        """Return the cell assigned to ``partition``."""
+        for placement in self.placements:
+            if placement.partition == partition:
+                return placement.bounds
+        raise OrganizerError(f"partition {partition} was never placed")
+
+    def total_crossing_length(self, partition_result: PartitionResult) -> float:
+        """Return the total length of crossing edges under the global layout."""
+        total = 0.0
+        for edge in partition_result.crossing_edges():
+            total += self.layout.position(edge.source).distance_to(
+                self.layout.position(edge.target)
+            )
+        return total
+
+
+class PartitionOrganizer:
+    """Greedy organizer placing partition layouts on the global plane.
+
+    Parameters
+    ----------
+    padding:
+        Margin added around each partition's bounding box to form its cell;
+        guarantees visible separation between partitions.
+    candidate_gap:
+        Spacing between candidate cells considered at each step.
+    max_candidates:
+        Upper bound on the number of candidate cells evaluated per placement;
+        the paper's efficiency argument relies on this area being small.
+    """
+
+    def __init__(
+        self,
+        padding: float = 40.0,
+        candidate_gap: float = 20.0,
+        max_candidates: int = 64,
+    ) -> None:
+        if padding < 0:
+            raise OrganizerError("padding must be >= 0")
+        if max_candidates < 1:
+            raise OrganizerError("max_candidates must be >= 1")
+        self.padding = padding
+        self.max_candidates = max_candidates
+        self._generator = CandidateGenerator(gap=candidate_gap)
+
+    # ------------------------------------------------------------------ public
+
+    def organize(
+        self,
+        partition_result: PartitionResult,
+        partition_layouts: list[Layout],
+    ) -> GlobalLayout:
+        """Arrange the per-partition layouts on the global plane.
+
+        ``partition_layouts[i]`` must be the layout of partition ``i`` in local
+        coordinates (any origin; they are normalised internally).
+        """
+        k = partition_result.num_partitions
+        if len(partition_layouts) != k:
+            raise OrganizerError(
+                f"expected {k} partition layouts, got {len(partition_layouts)}"
+            )
+        for partition, layout in enumerate(partition_layouts):
+            members = set(partition_result.members(partition))
+            missing = members - set(layout.positions)
+            if missing:
+                raise OrganizerError(
+                    f"partition {partition} layout misses {len(missing)} nodes"
+                )
+
+        local_layouts = [normalize_layout(layout) for layout in partition_layouts]
+        crossing_edges = partition_result.crossing_edges()
+        crossing_by_partition = self._crossing_by_partition(partition_result, crossing_edges)
+        crossing_matrix = partition_result.crossing_matrix()
+
+        global_positions: dict[int, Point] = {}
+        placements: list[PlacedPartition] = []
+        placement_order: list[int] = []
+        occupied: list[Rect] = []
+        placed: set[int] = set()
+
+        # Step 2 of the algorithm: the partition with the largest number of
+        # crossing edges goes to the centre of the plane.
+        first = max(range(k), key=lambda part: (len(crossing_by_partition[part]), -part))
+        self._place(first, local_layouts[first], self._centered_cell(local_layouts[first]),
+                    global_positions, placements, placement_order, occupied)
+        placed.add(first)
+
+        # Remaining partitions in a priority queue ordered by the number of
+        # crossing edges shared with the already placed partitions (descending).
+        queue: list[tuple[int, int, int]] = []
+        sequence = 0
+        for part in range(k):
+            if part in placed:
+                continue
+            shared = self._shared_crossings(part, placed, crossing_matrix)
+            heapq.heappush(queue, (-shared, sequence, part))
+            sequence += 1
+
+        while queue:
+            _, __, part = heapq.heappop(queue)
+            if part in placed:
+                continue
+            # Re-check priority: if the stored priority is stale (a better entry
+            # exists after recent placements), push back with the fresh value.
+            fresh = self._shared_crossings(part, placed, crossing_matrix)
+            if queue and -queue[0][0] > fresh:
+                heapq.heappush(queue, (-fresh, sequence, part))
+                sequence += 1
+                continue
+            cell = self._best_cell(
+                part, local_layouts[part], crossing_by_partition[part],
+                global_positions, occupied,
+            )
+            self._place(part, local_layouts[part], cell,
+                        global_positions, placements, placement_order, occupied)
+            placed.add(part)
+
+        return GlobalLayout(
+            layout=Layout(global_positions),
+            placements=placements,
+            placement_order=placement_order,
+        )
+
+    # ----------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _crossing_by_partition(
+        partition_result: PartitionResult, crossing_edges: list[Edge]
+    ) -> list[list[Edge]]:
+        by_partition: list[list[Edge]] = [[] for _ in range(partition_result.num_partitions)]
+        for edge in crossing_edges:
+            by_partition[partition_result.partition_of(edge.source)].append(edge)
+            by_partition[partition_result.partition_of(edge.target)].append(edge)
+        return by_partition
+
+    @staticmethod
+    def _shared_crossings(
+        part: int, placed: set[int], crossing_matrix: list[list[int]]
+    ) -> int:
+        return sum(crossing_matrix[part][other] for other in placed)
+
+    def _centered_cell(self, layout: Layout) -> Rect:
+        rect = layout.bounding_rect().expanded(self.padding)
+        # Centre the cell on the plane origin.
+        return rect.translated(-rect.center.x, -rect.center.y)
+
+    def _best_cell(
+        self,
+        part: int,
+        layout: Layout,
+        crossing_edges: list[Edge],
+        global_positions: dict[int, Point],
+        occupied: list[Rect],
+    ) -> Rect:
+        base_rect = layout.bounding_rect().expanded(self.padding)
+        width = base_rect.width
+        height = base_rect.height
+
+        best_cell: Rect | None = None
+        best_cost = float("inf")
+        for count, candidate in enumerate(
+            self._generator.candidates(occupied, width, height)
+        ):
+            if count >= self.max_candidates and best_cell is not None:
+                break
+            shifted = layout.translated(
+                candidate.min_x + self.padding, candidate.min_y + self.padding
+            )
+            cost = placement_cost(shifted, crossing_edges, global_positions)
+            if cost < best_cost:
+                best_cost = cost
+                best_cell = candidate
+        if best_cell is None:
+            raise OrganizerError(
+                f"no non-overlapping cell found for partition {part}"
+            )
+        return best_cell
+
+    def _place(
+        self,
+        part: int,
+        layout: Layout,
+        cell: Rect,
+        global_positions: dict[int, Point],
+        placements: list[PlacedPartition],
+        placement_order: list[int],
+        occupied: list[Rect],
+    ) -> None:
+        shifted = layout.translated(cell.min_x + self.padding, cell.min_y + self.padding)
+        for node_id, point in shifted.positions.items():
+            global_positions[node_id] = point
+        placements.append(PlacedPartition(partition=part, layout=shifted, bounds=cell))
+        placement_order.append(part)
+        occupied.append(cell)

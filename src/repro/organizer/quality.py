@@ -1,0 +1,88 @@
+"""Drawing-quality metrics for organized (global) layouts.
+
+These metrics quantify what the organizer is trying to achieve — compact,
+non-overlapping placement with short crossing edges — and are used by the
+organizer's tests and by the partitioning/organizer ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..partition.base import PartitionResult
+from .placement import GlobalLayout
+
+__all__ = ["DrawingQuality", "evaluate_drawing"]
+
+
+@dataclass(frozen=True)
+class DrawingQuality:
+    """Quality summary of one organized drawing.
+
+    Attributes
+    ----------
+    total_crossing_length:
+        Sum of Euclidean lengths of the crossing edges (the organizer's
+        minimisation objective).
+    mean_crossing_length:
+        Average crossing-edge length (0 when there are no crossing edges).
+    plane_utilisation:
+        Fraction of the drawing's bounding-box area occupied by partition cells;
+        low values mean the drawing wastes screen space.
+    aspect_ratio:
+        Width/height ratio of the drawing's bounding box (values near 1 suit a
+        roughly square canvas).
+    num_overlapping_cell_pairs:
+        Number of partition-cell pairs with positive-area overlap; the
+        organizer guarantees this is 0.
+    """
+
+    total_crossing_length: float
+    mean_crossing_length: float
+    plane_utilisation: float
+    aspect_ratio: float
+    num_overlapping_cell_pairs: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Return a JSON-serialisable dictionary."""
+        return {
+            "total_crossing_length": self.total_crossing_length,
+            "mean_crossing_length": self.mean_crossing_length,
+            "plane_utilisation": self.plane_utilisation,
+            "aspect_ratio": self.aspect_ratio,
+            "num_overlapping_cell_pairs": self.num_overlapping_cell_pairs,
+        }
+
+
+def evaluate_drawing(
+    global_layout: GlobalLayout, partition_result: PartitionResult
+) -> DrawingQuality:
+    """Compute the quality summary of one organized drawing."""
+    crossing_edges = partition_result.crossing_edges()
+    total_length = global_layout.total_crossing_length(partition_result)
+    mean_length = total_length / len(crossing_edges) if crossing_edges else 0.0
+
+    cells = [placement.bounds for placement in global_layout.placements]
+    cell_area = sum(cell.area for cell in cells)
+    bounds = global_layout.bounds()
+    bounding_area = bounds.area
+    utilisation = cell_area / bounding_area if bounding_area > 0 else 1.0
+
+    width = bounds.width or 1.0
+    height = bounds.height or 1.0
+    aspect_ratio = width / height
+
+    overlapping_pairs = 0
+    for i in range(len(cells)):
+        for j in range(i + 1, len(cells)):
+            overlap = cells[i].intersection(cells[j])
+            if overlap is not None and overlap.area > 1e-9:
+                overlapping_pairs += 1
+
+    return DrawingQuality(
+        total_crossing_length=total_length,
+        mean_crossing_length=mean_length,
+        plane_utilisation=min(utilisation, 1.0),
+        aspect_ratio=aspect_ratio,
+        num_overlapping_cell_pairs=overlapping_pairs,
+    )

@@ -1,0 +1,102 @@
+"""Candidate cell generation for the partition organizer.
+
+The paper notes that the efficiency of the greedy placement "is guaranteed by
+the small number of partitions (k), and also by the small size of the area we
+have to check for the best assignment at each step; this area lies around the
+non-empty areas from the previous steps."  :class:`CandidateGenerator` produces
+exactly those candidate cells: positions ringing the already occupied region,
+expanding outwards ring by ring until a non-overlapping cell is found.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..spatial.geometry import Rect
+
+__all__ = ["CandidateGenerator"]
+
+
+class CandidateGenerator:
+    """Generate non-overlapping candidate cells around an occupied region.
+
+    Parameters
+    ----------
+    gap:
+        Minimum empty margin kept between neighbouring cells.
+    """
+
+    def __init__(self, gap: float = 20.0) -> None:
+        if gap < 0:
+            raise ValueError("gap must be >= 0")
+        self.gap = gap
+
+    def candidates(
+        self,
+        occupied: list[Rect],
+        width: float,
+        height: float,
+        max_rings: int = 6,
+    ) -> Iterator[Rect]:
+        """Yield candidate cells of ``width x height`` that do not overlap ``occupied``.
+
+        Candidates are generated ring by ring around the bounding box of the
+        occupied region: ring 1 touches the occupied bounding box, ring 2 is one
+        cell further out, and so on.  Within a ring, positions are ordered
+        clockwise starting from the right edge so results are deterministic.
+        """
+        if not occupied:
+            yield Rect(0.0, 0.0, width, height)
+            return
+
+        region = occupied[0]
+        for rect in occupied[1:]:
+            region = region.union(rect)
+        region = region.expanded(self.gap)
+
+        step_x = width + self.gap
+        step_y = height + self.gap
+
+        for ring in range(1, max_rings + 1):
+            for candidate in self._ring(region, ring, width, height, step_x, step_y):
+                if not any(candidate.expanded(self.gap / 2).intersects(rect) for rect in occupied):
+                    yield candidate
+
+    def _ring(
+        self,
+        region: Rect,
+        ring: int,
+        width: float,
+        height: float,
+        step_x: float,
+        step_y: float,
+    ) -> Iterator[Rect]:
+        """Yield the cells of one ring around ``region`` (clockwise, deterministic)."""
+        offset_x = region.max_x + self.gap + (ring - 1) * step_x
+        offset_left = region.min_x - self.gap - width - (ring - 1) * step_x
+        offset_top = region.max_y + self.gap + (ring - 1) * step_y
+        offset_bottom = region.min_y - self.gap - height - (ring - 1) * step_y
+
+        # Number of slots along each side grows with the ring index so the ring
+        # covers the full extent of the occupied region plus the ring offset.
+        horizontal_extent = region.width + 2 * ring * step_x
+        vertical_extent = region.height + 2 * ring * step_y
+        slots_x = max(1, int(horizontal_extent // step_x))
+        slots_y = max(1, int(vertical_extent // step_y))
+
+        # Right side (top to bottom).
+        for slot in range(slots_y):
+            y = region.min_y - ring * step_y + slot * step_y
+            yield Rect(offset_x, y, offset_x + width, y + height)
+        # Bottom side (right to left).
+        for slot in range(slots_x):
+            x = region.max_x + ring * step_x - slot * step_x - width
+            yield Rect(x, offset_bottom, x + width, offset_bottom + height)
+        # Left side (bottom to top).
+        for slot in range(slots_y):
+            y = region.max_y + ring * step_y - slot * step_y - height
+            yield Rect(offset_left, y, offset_left + width, y + height)
+        # Top side (left to right).
+        for slot in range(slots_x):
+            x = region.min_x - ring * step_x + slot * step_x
+            yield Rect(x, offset_top, x + width, offset_top + height)

@@ -1,0 +1,28 @@
+"""Partitioning substrate: multilevel k-way partitioner and baselines (Metis stand-in)."""
+
+from .base import Partitioner, PartitionResult
+from .coarsening import CoarseLevel, coarsen, contract, heavy_edge_matching
+from .multilevel import MultilevelPartitioner, create_partitioner
+from .quality import PartitionQuality, balance, edge_cut, evaluate_partition
+from .refinement import refine, refine_assignment
+from .simple import BFSPartitioner, HashPartitioner, RandomPartitioner
+
+__all__ = [
+    "Partitioner",
+    "PartitionResult",
+    "CoarseLevel",
+    "coarsen",
+    "contract",
+    "heavy_edge_matching",
+    "MultilevelPartitioner",
+    "create_partitioner",
+    "PartitionQuality",
+    "balance",
+    "edge_cut",
+    "evaluate_partition",
+    "refine",
+    "refine_assignment",
+    "BFSPartitioner",
+    "HashPartitioner",
+    "RandomPartitioner",
+]

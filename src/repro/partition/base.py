@@ -1,0 +1,146 @@
+"""Partitioner interfaces and result types.
+
+Preprocessing Step 1 of the paper divides the input graph "into a set of k
+distinct sub-graphs ... a k-way partitioning that aims at minimizing the number
+of edges between the different sub-graphs".  Every partitioner implements
+:class:`Partitioner` and produces a :class:`PartitionResult` which the layout
+and organizer steps consume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..errors import PartitioningError
+from ..graph.model import Edge, Graph
+
+__all__ = ["Partitioner", "PartitionResult"]
+
+
+@dataclass
+class PartitionResult:
+    """The outcome of a k-way partitioning.
+
+    Attributes
+    ----------
+    graph:
+        The partitioned graph (not copied).
+    assignment:
+        Mapping ``node_id -> partition index`` in ``[0, k)``.
+    num_partitions:
+        Number of partitions ``k``.
+    """
+
+    graph: Graph
+    assignment: dict[int, int]
+    num_partitions: int
+    _members: list[list[int]] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise PartitioningError("num_partitions must be positive")
+        for node_id, part in self.assignment.items():
+            if not 0 <= part < self.num_partitions:
+                raise PartitioningError(
+                    f"node {node_id} assigned to invalid partition {part}"
+                )
+        missing = [n for n in self.graph.node_ids() if n not in self.assignment]
+        if missing:
+            raise PartitioningError(
+                f"{len(missing)} nodes have no partition assignment (e.g. {missing[:3]})"
+            )
+
+    # -------------------------------------------------------------- membership
+
+    def members(self, partition: int) -> list[int]:
+        """Return the node ids assigned to ``partition``."""
+        return list(self._member_lists()[partition])
+
+    def partition_of(self, node_id: int) -> int:
+        """Return the partition index of ``node_id``."""
+        try:
+            return self.assignment[node_id]
+        except KeyError:
+            raise PartitioningError(f"node {node_id} is not assigned") from None
+
+    def partition_sizes(self) -> list[int]:
+        """Return the number of nodes per partition."""
+        return [len(member_list) for member_list in self._member_lists()]
+
+    def _member_lists(self) -> list[list[int]]:
+        if self._members is None:
+            members: list[list[int]] = [[] for _ in range(self.num_partitions)]
+            for node_id, part in self.assignment.items():
+                members[part].append(node_id)
+            for member_list in members:
+                member_list.sort()
+            self._members = members
+        return self._members
+
+    # ---------------------------------------------------------------- subgraphs
+
+    def subgraphs(self) -> list[Graph]:
+        """Return the induced subgraph of each partition (crossing edges dropped).
+
+        These are the per-partition graphs Step 2 lays out independently,
+        "without considering the edges that cross different partitions".
+        """
+        return [
+            self.graph.subgraph(self.members(part), name=f"{self.graph.name}-part{part}")
+            for part in range(self.num_partitions)
+        ]
+
+    # ------------------------------------------------------------ crossing edges
+
+    def crossing_edges(self) -> list[Edge]:
+        """Return every edge whose endpoints live in different partitions."""
+        return [
+            edge
+            for edge in self.graph.edges()
+            if self.assignment[edge.source] != self.assignment[edge.target]
+        ]
+
+    def edge_cut(self) -> int:
+        """Return the number of crossing edges (the k-way cut objective)."""
+        return len(self.crossing_edges())
+
+    def crossing_edge_counts(self) -> list[int]:
+        """Return, per partition, the number of crossing edges incident to it.
+
+        This is the quantity the organizer's greedy algorithm sorts partitions by.
+        """
+        counts = [0] * self.num_partitions
+        for edge in self.crossing_edges():
+            counts[self.assignment[edge.source]] += 1
+            counts[self.assignment[edge.target]] += 1
+        return counts
+
+    def crossing_matrix(self) -> list[list[int]]:
+        """Return a ``k x k`` matrix of crossing-edge counts between partition pairs."""
+        matrix = [[0] * self.num_partitions for _ in range(self.num_partitions)]
+        for edge in self.crossing_edges():
+            a = self.assignment[edge.source]
+            b = self.assignment[edge.target]
+            matrix[a][b] += 1
+            matrix[b][a] += 1
+        return matrix
+
+
+class Partitioner(ABC):
+    """Interface of every k-way partitioner."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    @abstractmethod
+    def partition(self, graph: Graph, num_partitions: int) -> PartitionResult:
+        """Partition ``graph`` into ``num_partitions`` parts."""
+
+    def _validate(self, graph: Graph, num_partitions: int) -> int:
+        """Clamp and validate ``num_partitions`` against the graph size."""
+        if num_partitions <= 0:
+            raise PartitioningError("num_partitions must be positive")
+        if graph.num_nodes == 0:
+            raise PartitioningError("cannot partition an empty graph")
+        return min(num_partitions, graph.num_nodes)

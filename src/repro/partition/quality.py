@@ -1,0 +1,65 @@
+"""Partition quality metrics.
+
+Used by tests (the multilevel partitioner must beat random partitioning on
+community-structured graphs) and by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import PartitionResult
+
+__all__ = ["PartitionQuality", "evaluate_partition", "edge_cut", "balance"]
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Quality summary of a k-way partitioning."""
+
+    num_partitions: int
+    edge_cut: int
+    cut_ratio: float
+    balance: float
+    min_size: int
+    max_size: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a JSON-serialisable dictionary."""
+        return {
+            "num_partitions": self.num_partitions,
+            "edge_cut": self.edge_cut,
+            "cut_ratio": self.cut_ratio,
+            "balance": self.balance,
+            "min_size": self.min_size,
+            "max_size": self.max_size,
+        }
+
+
+def edge_cut(result: PartitionResult) -> int:
+    """Return the number of edges crossing partition boundaries."""
+    return result.edge_cut()
+
+
+def balance(result: PartitionResult) -> float:
+    """Return the balance factor: ``max_size / ideal_size`` (1.0 is perfect)."""
+    sizes = result.partition_sizes()
+    if not sizes or result.graph.num_nodes == 0:
+        return 1.0
+    ideal = result.graph.num_nodes / result.num_partitions
+    return max(sizes) / ideal if ideal > 0 else 1.0
+
+
+def evaluate_partition(result: PartitionResult) -> PartitionQuality:
+    """Compute the full quality summary for a partitioning."""
+    sizes = result.partition_sizes()
+    cut = result.edge_cut()
+    total_edges = result.graph.num_edges
+    return PartitionQuality(
+        num_partitions=result.num_partitions,
+        edge_cut=cut,
+        cut_ratio=cut / total_edges if total_edges else 0.0,
+        balance=balance(result),
+        min_size=min(sizes) if sizes else 0,
+        max_size=max(sizes) if sizes else 0,
+    )

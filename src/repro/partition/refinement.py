@@ -1,0 +1,128 @@
+"""Boundary refinement for k-way partitions.
+
+A greedy Fiduccia–Mattheyses-style pass: boundary nodes are repeatedly moved to
+the neighbouring partition with the largest cut gain, subject to a balance
+constraint.  The multilevel partitioner runs this after projecting a coarse
+partition to each finer level; it can also be used standalone to improve any
+partitioning.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..graph.model import Graph
+from .base import PartitionResult
+
+__all__ = ["refine", "refine_assignment"]
+
+
+def _partition_weights(
+    graph: Graph, assignment: dict[int, int], num_partitions: int,
+    weights: dict[int, int],
+) -> list[int]:
+    totals = [0] * num_partitions
+    for node_id, part in assignment.items():
+        totals[part] += weights.get(node_id, 1)
+    return totals
+
+
+def _neighbour_partition_degrees(
+    graph: Graph, node_id: int, assignment: dict[int, int]
+) -> dict[int, float]:
+    """Return, for ``node_id``, the summed edge weight towards each partition."""
+    degrees: dict[int, float] = defaultdict(float)
+    for edge in graph.incident_edges(node_id):
+        other = edge.other(node_id)
+        if other == node_id:
+            continue
+        degrees[assignment[other]] += edge.weight
+    return degrees
+
+
+def refine_assignment(
+    graph: Graph,
+    assignment: dict[int, int],
+    num_partitions: int,
+    max_passes: int = 4,
+    balance_factor: float = 1.05,
+    node_weights: dict[int, int] | None = None,
+) -> dict[int, int]:
+    """Greedily move boundary nodes to reduce the weighted edge cut.
+
+    Parameters
+    ----------
+    max_passes:
+        Maximum number of full sweeps over the boundary; each pass stops early
+        when no improving move exists.
+    balance_factor:
+        A move is allowed only if the destination partition stays below
+        ``balance_factor * ideal_weight``.
+    node_weights:
+        Optional node weights (coarse nodes carry the number of merged original
+        nodes); defaults to 1 per node.
+
+    Returns the refined assignment (a new dictionary).
+    """
+    weights = node_weights or {}
+    assignment = dict(assignment)
+    total_weight = sum(weights.get(node_id, 1) for node_id in graph.node_ids())
+    ideal = total_weight / num_partitions if num_partitions else 1.0
+    max_weight = balance_factor * ideal
+    partition_weight = _partition_weights(graph, assignment, num_partitions, weights)
+
+    for _ in range(max_passes):
+        moved = 0
+        # Visit boundary nodes in a deterministic order.
+        for node_id in sorted(graph.node_ids()):
+            current_part = assignment[node_id]
+            degrees = _neighbour_partition_degrees(graph, node_id, assignment)
+            if not degrees:
+                continue
+            internal = degrees.get(current_part, 0.0)
+            # Best destination by gain = external degree - internal degree.
+            best_part = current_part
+            best_gain = 0.0
+            node_weight = weights.get(node_id, 1)
+            for part, external in degrees.items():
+                if part == current_part:
+                    continue
+                gain = external - internal
+                if gain <= best_gain:
+                    continue
+                if partition_weight[part] + node_weight > max_weight:
+                    continue
+                # Never empty a partition completely.
+                if partition_weight[current_part] - node_weight <= 0:
+                    continue
+                best_gain = gain
+                best_part = part
+            if best_part != current_part:
+                assignment[node_id] = best_part
+                partition_weight[current_part] -= node_weight
+                partition_weight[best_part] += node_weight
+                moved += 1
+        if moved == 0:
+            break
+    return assignment
+
+
+def refine(
+    result: PartitionResult,
+    max_passes: int = 4,
+    balance_factor: float = 1.05,
+) -> PartitionResult:
+    """Return a refined copy of ``result`` (never worse in edge cut)."""
+    refined = refine_assignment(
+        result.graph,
+        result.assignment,
+        result.num_partitions,
+        max_passes=max_passes,
+        balance_factor=balance_factor,
+    )
+    candidate = PartitionResult(
+        graph=result.graph, assignment=refined, num_partitions=result.num_partitions
+    )
+    if candidate.edge_cut() <= result.edge_cut():
+        return candidate
+    return result

@@ -1,0 +1,119 @@
+"""Simple partitioners: random, hash and BFS region growing.
+
+These serve two purposes: they are baselines for the partitioning-quality
+ablation (the multilevel partitioner should produce a much smaller edge cut on
+community-structured graphs), and the BFS partitioner is also used as the
+initial partitioning inside the multilevel algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from ..graph.model import Graph
+from .base import Partitioner, PartitionResult
+
+__all__ = ["RandomPartitioner", "HashPartitioner", "BFSPartitioner"]
+
+
+class RandomPartitioner(Partitioner):
+    """Assign each node to a uniformly random partition (worst-case baseline)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_partitions: int) -> PartitionResult:
+        k = self._validate(graph, num_partitions)
+        rng = random.Random(self.seed)
+        node_ids = sorted(graph.node_ids())
+        assignment: dict[int, int] = {}
+        # Guarantee every partition is non-empty by dealing the first k nodes
+        # round-robin, then assigning the rest randomly.
+        for index, node_id in enumerate(node_ids):
+            if index < k:
+                assignment[node_id] = index
+            else:
+                assignment[node_id] = rng.randrange(k)
+        return PartitionResult(graph=graph, assignment=assignment, num_partitions=k)
+
+
+class HashPartitioner(Partitioner):
+    """Assign nodes by ``node_id % k`` (deterministic, ignores structure)."""
+
+    name = "hash"
+
+    def partition(self, graph: Graph, num_partitions: int) -> PartitionResult:
+        k = self._validate(graph, num_partitions)
+        node_ids = sorted(graph.node_ids())
+        assignment = {
+            node_id: index % k if index < k else node_id % k
+            for index, node_id in enumerate(node_ids)
+        }
+        # The first k nodes are dealt round-robin so no partition is empty even
+        # when ids are not contiguous.
+        return PartitionResult(graph=graph, assignment=assignment, num_partitions=k)
+
+
+class BFSPartitioner(Partitioner):
+    """Grow balanced regions with breadth-first search.
+
+    Nodes are consumed in BFS order from successive seed nodes; a partition is
+    closed once it reaches the target size ``ceil(n / k)``.  This respects
+    locality (neighbouring nodes tend to share a partition) without any
+    refinement, and is the initial partitioning used by the multilevel
+    algorithm at the coarsest level.
+    """
+
+    name = "bfs"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def partition(self, graph: Graph, num_partitions: int) -> PartitionResult:
+        k = self._validate(graph, num_partitions)
+        target = -(-graph.num_nodes // k)  # ceil division
+        assignment: dict[int, int] = {}
+        unassigned = set(graph.node_ids())
+        rng = random.Random(self.seed)
+        current_partition = 0
+        current_size = 0
+        queue: deque[int] = deque()
+
+        while unassigned:
+            if not queue:
+                # Pick a new seed: prefer a neighbour of already assigned nodes is
+                # not necessary here; a deterministic random pick keeps regions
+                # compact enough.
+                seed_node = min(unassigned) if rng.random() < 0.5 else rng.choice(sorted(unassigned))
+                queue.append(seed_node)
+            node_id = queue.popleft()
+            if node_id not in unassigned:
+                continue
+            # Close the partition when it is full (never close the last one).
+            if current_size >= target and current_partition < k - 1:
+                current_partition += 1
+                current_size = 0
+            assignment[node_id] = current_partition
+            unassigned.discard(node_id)
+            current_size += 1
+            for neighbour in sorted(graph.neighbors(node_id)):
+                if neighbour in unassigned:
+                    queue.append(neighbour)
+
+        # If fewer than k partitions ended up used (tiny graphs), move one node
+        # out of the largest partition into each empty one so every partition
+        # index < k is non-empty (k <= n is guaranteed by _validate).
+        members: dict[int, list[int]] = {p: [] for p in range(k)}
+        for node_id, part in assignment.items():
+            members[part].append(node_id)
+        for partition in range(k):
+            if members[partition]:
+                continue
+            donor = max(range(k), key=lambda p: len(members[p]))
+            node_id = members[donor].pop()
+            assignment[node_id] = partition
+            members[partition].append(node_id)
+        return PartitionResult(graph=graph, assignment=assignment, num_partitions=k)

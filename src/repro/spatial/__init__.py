@@ -1,0 +1,31 @@
+"""Spatial and text index substrate: geometry, R-tree, B+-tree, trie, grid index."""
+
+from .btree import BPlusTree
+from .geometry import (
+    LineSegment,
+    Point,
+    Rect,
+    bounding_rect,
+    decode_segment,
+    encode_segment,
+)
+from .grid_index import GridIndex
+from .rtree import RTree, RTreeEntry, RTreeStats
+from .trie import FullTextIndex, Trie, tokenize
+
+__all__ = [
+    "BPlusTree",
+    "LineSegment",
+    "Point",
+    "Rect",
+    "bounding_rect",
+    "decode_segment",
+    "encode_segment",
+    "GridIndex",
+    "RTree",
+    "RTreeEntry",
+    "RTreeStats",
+    "FullTextIndex",
+    "Trie",
+    "tokenize",
+]

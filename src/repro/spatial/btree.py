@@ -1,0 +1,280 @@
+"""B+-tree index.
+
+The paper's storage scheme builds B-trees on the ``Node1 ID`` and ``Node2 ID``
+columns "to retrieve all information about a node efficiently".  This module is
+a from-scratch B+-tree mapping integer keys to lists of row identifiers
+(non-unique index semantics, like a MySQL secondary index): keys live in the
+leaves, leaves are chained for range scans, and internal nodes only route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import SpatialIndexError
+
+__all__ = ["BPlusTree"]
+
+
+@dataclass
+class _LeafNode:
+    keys: list[int] = field(default_factory=list)
+    values: list[list[object]] = field(default_factory=list)
+    next_leaf: "_LeafNode | None" = None
+
+    @property
+    def leaf(self) -> bool:
+        return True
+
+
+@dataclass
+class _InternalNode:
+    keys: list[int] = field(default_factory=list)
+    children: list[object] = field(default_factory=list)
+
+    @property
+    def leaf(self) -> bool:
+        return False
+
+
+class BPlusTree:
+    """A B+-tree from integer keys to lists of opaque values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children of an internal node (and of keys in a leaf).
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 3:
+            raise SpatialIndexError("B+-tree order must be >= 3")
+        self.order = order
+        self._root: _LeafNode | _InternalNode = _LeafNode()
+        self._num_keys = 0
+        self._num_values = 0
+
+    # ------------------------------------------------------------------ sizing
+
+    def __len__(self) -> int:
+        """Number of stored values (not distinct keys)."""
+        return self._num_values
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys."""
+        return self._num_keys
+
+    # ---------------------------------------------------------------- mutation
+
+    def insert(self, key: int, value: object) -> None:
+        """Insert ``value`` under ``key`` (duplicates per key are kept in order)."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            middle_key, right = split
+            new_root = _InternalNode(keys=[middle_key], children=[self._root, right])
+            self._root = new_root
+        self._num_values += 1
+
+    def _insert(
+        self, node: _LeafNode | _InternalNode, key: int, value: object
+    ) -> tuple[int, object] | None:
+        if node.leaf:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, [value])
+            self._num_keys += 1
+            if len(node.keys) <= self.order:
+                return None
+            return self._split_leaf(node)
+        internal: _InternalNode = node  # type: ignore[assignment]
+        child_index = _upper_bound(internal.keys, key)
+        split = self._insert(internal.children[child_index], key, value)  # type: ignore[arg-type]
+        if split is None:
+            return None
+        middle_key, right = split
+        internal.keys.insert(child_index, middle_key)
+        internal.children.insert(child_index + 1, right)
+        if len(internal.children) <= self.order:
+            return None
+        return self._split_internal(internal)
+
+    def _split_leaf(self, leaf: _LeafNode) -> tuple[int, _LeafNode]:
+        middle = len(leaf.keys) // 2
+        right = _LeafNode(
+            keys=leaf.keys[middle:],
+            values=leaf.values[middle:],
+            next_leaf=leaf.next_leaf,
+        )
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        leaf.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _InternalNode) -> tuple[int, _InternalNode]:
+        middle = len(node.keys) // 2
+        middle_key = node.keys[middle]
+        right = _InternalNode(
+            keys=node.keys[middle + 1:],
+            children=node.children[middle + 1:],
+        )
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        return middle_key, right
+
+    def remove(self, key: int, value: object | None = None) -> int:
+        """Remove ``value`` under ``key`` (or all values when ``value`` is ``None``).
+
+        Returns the number of values removed.  Structural rebalancing on deletion
+        is not performed (leaves may become sparse), which keeps the index correct
+        — lookups never visit empty slots — at a small space cost; the workloads
+        the paper targets are read-dominant.
+        """
+        leaf, index = self._find_leaf(key)
+        if index is None:
+            return 0
+        if value is None:
+            removed = len(leaf.values[index])
+            leaf.keys.pop(index)
+            leaf.values.pop(index)
+            self._num_keys -= 1
+            self._num_values -= removed
+            return removed
+        bucket = leaf.values[index]
+        try:
+            bucket.remove(value)
+        except ValueError:
+            return 0
+        self._num_values -= 1
+        if not bucket:
+            leaf.keys.pop(index)
+            leaf.values.pop(index)
+            self._num_keys -= 1
+        return 1
+
+    # ----------------------------------------------------------------- queries
+
+    def search(self, key: int) -> list[object]:
+        """Return all values stored under ``key`` (empty list when absent)."""
+        leaf, index = self._find_leaf(key)
+        if index is None:
+            return []
+        return list(leaf.values[index])
+
+    def contains(self, key: int) -> bool:
+        """Return ``True`` if the key exists."""
+        _, index = self._find_leaf(key)
+        return index is not None
+
+    def range_search(self, low: int, high: int) -> list[tuple[int, object]]:
+        """Return ``(key, value)`` pairs for keys in ``[low, high]`` in key order."""
+        if low > high:
+            return []
+        results: list[tuple[int, object]] = []
+        leaf = self._descend_to_leaf(low)
+        while leaf is not None:
+            for key, bucket in zip(leaf.keys, leaf.values):
+                if key > high:
+                    return results
+                if key >= low:
+                    results.extend((key, value) for value in bucket)
+            leaf = leaf.next_leaf
+        return results
+
+    def keys(self) -> Iterator[int]:
+        """Yield all keys in ascending order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next_leaf
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """Yield ``(key, value)`` pairs in ascending key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            for key, bucket in zip(leaf.keys, leaf.values):
+                for value in bucket:
+                    yield key, value
+            leaf = leaf.next_leaf
+
+    # ----------------------------------------------------------------- helpers
+
+    def _descend_to_leaf(self, key: int) -> _LeafNode:
+        node = self._root
+        while not node.leaf:
+            internal: _InternalNode = node  # type: ignore[assignment]
+            node = internal.children[_upper_bound(internal.keys, key)]  # type: ignore[assignment]
+        return node  # type: ignore[return-value]
+
+    def _leftmost_leaf(self) -> _LeafNode:
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]  # type: ignore[union-attr,assignment]
+        return node  # type: ignore[return-value]
+
+    def _find_leaf(self, key: int) -> tuple[_LeafNode, int | None]:
+        leaf = self._descend_to_leaf(key)
+        index = _lower_bound(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf, index
+        return leaf, None
+
+    def height(self) -> int:
+        """Return the height of the tree (1 for a single leaf)."""
+        height = 1
+        node = self._root
+        while not node.leaf:
+            height += 1
+            node = node.children[0]  # type: ignore[union-attr,assignment]
+        return height
+
+    def check_invariants(self) -> None:
+        """Validate ordering and fan-out invariants (used by property tests)."""
+        previous_key: int | None = None
+        for key in self.keys():
+            if previous_key is not None and key <= previous_key:
+                raise SpatialIndexError("B+-tree keys are not strictly increasing")
+            previous_key = key
+
+        def visit(node: _LeafNode | _InternalNode) -> None:
+            if node.leaf:
+                if len(node.keys) > self.order:
+                    raise SpatialIndexError("leaf exceeds order")
+                return
+            internal: _InternalNode = node  # type: ignore[assignment]
+            if len(internal.children) > self.order:
+                raise SpatialIndexError("internal node exceeds order")
+            if len(internal.children) != len(internal.keys) + 1:
+                raise SpatialIndexError("internal node children/keys mismatch")
+            for child in internal.children:
+                visit(child)  # type: ignore[arg-type]
+
+        visit(self._root)
+
+
+def _lower_bound(keys: list[int], key: int) -> int:
+    """Return the first index whose key is >= ``key``."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] < key:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def _upper_bound(keys: list[int], key: int) -> int:
+    """Return the first index whose key is > ``key``."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] <= key:
+            low = mid + 1
+        else:
+            high = mid
+    return low

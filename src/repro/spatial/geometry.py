@@ -1,0 +1,322 @@
+"""Geometry primitives and binary encoding.
+
+The paper stores each edge as a geometry — "a binary object that represents the
+line between node1 and node2 on the plane" — and notes that the direction of a
+directed edge "is encoded in the binary object".  This module provides the
+:class:`Point`, :class:`Rect` and :class:`LineSegment` primitives used across
+the spatial indexes, plus a compact WKB-like binary encoding for line segments
+(:func:`encode_segment` / :func:`decode_segment`).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import GeometryError
+
+__all__ = [
+    "Point",
+    "Rect",
+    "LineSegment",
+    "encode_segment",
+    "decode_segment",
+    "bounding_rect",
+]
+
+#: Magic byte prefix identifying the binary segment encoding (one byte version,
+#: one byte flags where bit 0 is the "directed" flag).
+_SEGMENT_STRUCT = struct.Struct("<BBdddd")
+_SEGMENT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point on the Euclidean layout plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (the window of a window query).
+
+    The rectangle is closed: points on the boundary are considered inside.
+    ``min_x <= max_x`` and ``min_y <= max_y`` are enforced at construction.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(
+                f"invalid rectangle: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    # -------------------------------------------------------------- factories
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """Return the smallest rectangle containing every point."""
+        iterator = iter(points)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise GeometryError("cannot build a rectangle from zero points") from None
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for point in iterator:
+            min_x = min(min_x, point.x)
+            max_x = max(max_x, point.x)
+            min_y = min(min_y, point.y)
+            max_y = max(max_y, point.y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Return a ``width x height`` rectangle centred at ``center``.
+
+        This is the window shape used by the keyword-search operation: "the
+        rectangle whose size is equal to the size of the client's window and
+        whose center has the same coordinates with the selected node".
+        """
+        if width < 0 or height < 0:
+            raise GeometryError("width and height must be >= 0")
+        half_w = width / 2.0
+        half_h = height / 2.0
+        return cls(center.x - half_w, center.y - half_h, center.x + half_w, center.y + half_h)
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Vertical extent."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Rectangle area."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def perimeter(self) -> float:
+        """Rectangle perimeter (used by R*-style split heuristics)."""
+        return 2.0 * (self.width + self.height)
+
+    # -------------------------------------------------------------- predicates
+
+    def contains_point(self, point: Point) -> bool:
+        """Return ``True`` if ``point`` lies inside or on the boundary."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return ``True`` if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return ``True`` if the rectangles overlap (boundary touch counts)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    # ------------------------------------------------------------ combinators
+
+    def union(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle containing both rectangles."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlapping rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Return the area increase needed to also cover ``other``."""
+        return self.union(other).area - self.area
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return this rectangle grown by ``margin`` on every side."""
+        if margin < 0 and (self.width < -2 * margin or self.height < -2 * margin):
+            raise GeometryError("negative margin larger than rectangle extent")
+        return Rect(
+            self.min_x - margin, self.min_y - margin,
+            self.max_x + margin, self.max_y + margin,
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return this rectangle shifted by ``(dx, dy)``."""
+        return Rect(self.min_x + dx, self.min_y + dy, self.max_x + dx, self.max_y + dy)
+
+    def scaled(self, factor: float) -> "Rect":
+        """Return this rectangle scaled about its centre by ``factor``.
+
+        Used by the zoom operation: zooming out increases the server-side window
+        proportionally to the zoom level.
+        """
+        if factor <= 0:
+            raise GeometryError("scale factor must be positive")
+        center = self.center
+        half_w = self.width * factor / 2.0
+        half_h = self.height * factor / 2.0
+        return Rect(center.x - half_w, center.y - half_h, center.x + half_w, center.y + half_h)
+
+    def min_distance_to_point(self, point: Point) -> float:
+        """Return the minimum distance from ``point`` to this rectangle (0 if inside)."""
+        dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
+        dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)``."""
+        return (self.min_x, self.min_y, self.max_x, self.max_y)
+
+
+@dataclass(frozen=True)
+class LineSegment:
+    """A line segment between two points (the geometry of one edge).
+
+    ``directed`` records whether the segment represents a directed edge from
+    ``start`` to ``end`` — the paper encodes edge direction in the geometry blob.
+    """
+
+    start: Point
+    end: Point
+    directed: bool = True
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    def bounding_rect(self) -> Rect:
+        """Return the minimum bounding rectangle of the segment."""
+        return Rect(
+            min(self.start.x, self.end.x),
+            min(self.start.y, self.end.y),
+            max(self.start.x, self.end.x),
+            max(self.start.y, self.end.y),
+        )
+
+    def midpoint(self) -> Point:
+        """Return the segment midpoint."""
+        return Point((self.start.x + self.end.x) / 2.0, (self.start.y + self.end.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "LineSegment":
+        """Return the segment shifted by ``(dx, dy)``."""
+        return LineSegment(self.start.translated(dx, dy), self.end.translated(dx, dy), self.directed)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Return ``True`` if any part of the segment lies inside ``rect``.
+
+        Window queries must return edges that merely pass through the window even
+        when both endpoints are outside; this implements the exact segment/box
+        overlap test (Cohen–Sutherland style region outcodes plus a separating
+        axis check against the segment's supporting line).
+        """
+        if rect.contains_point(self.start) or rect.contains_point(self.end):
+            return True
+        if not rect.intersects(self.bounding_rect()):
+            return False
+        # Both endpoints outside and bounding boxes overlap: the segment crosses
+        # the rectangle iff the rectangle's corners are not all strictly on the
+        # same side of the segment's supporting line.
+        x1, y1 = self.start.x, self.start.y
+        x2, y2 = self.end.x, self.end.y
+        dx = x2 - x1
+        dy = y2 - y1
+        corners = (
+            (rect.min_x, rect.min_y),
+            (rect.min_x, rect.max_y),
+            (rect.max_x, rect.min_y),
+            (rect.max_x, rect.max_y),
+        )
+        sides = [dx * (cy - y1) - dy * (cx - x1) for cx, cy in corners]
+        has_positive = any(side > 0 for side in sides)
+        has_negative = any(side < 0 for side in sides)
+        if has_positive and has_negative:
+            return True
+        # All corners on one side, or collinear: handles the degenerate case of a
+        # zero-length segment (a point) whose containment was already checked.
+        return any(side == 0 for side in sides)
+
+
+def bounding_rect(segments: Iterable[LineSegment]) -> Rect:
+    """Return the minimum bounding rectangle over every segment."""
+    rects = [segment.bounding_rect() for segment in segments]
+    if not rects:
+        raise GeometryError("cannot compute the bounding box of zero segments")
+    result = rects[0]
+    for rect in rects[1:]:
+        result = result.union(rect)
+    return result
+
+
+def encode_segment(segment: LineSegment) -> bytes:
+    """Encode a segment into the compact binary (WKB-like) edge-geometry format."""
+    flags = 1 if segment.directed else 0
+    return _SEGMENT_STRUCT.pack(
+        _SEGMENT_VERSION, flags,
+        segment.start.x, segment.start.y, segment.end.x, segment.end.y,
+    )
+
+
+def decode_segment(blob: bytes) -> LineSegment:
+    """Decode a binary edge geometry produced by :func:`encode_segment`."""
+    try:
+        version, flags, x1, y1, x2, y2 = _SEGMENT_STRUCT.unpack(blob)
+    except struct.error as exc:
+        raise GeometryError(f"invalid edge geometry blob ({len(blob)} bytes)") from exc
+    if version != _SEGMENT_VERSION:
+        raise GeometryError(f"unsupported edge geometry version {version}")
+    return LineSegment(Point(x1, y1), Point(x2, y2), directed=bool(flags & 1))

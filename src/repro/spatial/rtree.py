@@ -1,0 +1,559 @@
+"""R-tree spatial index.
+
+The paper indexes every edge geometry with an R-tree so that interactive window
+queries — the backbone of all three online operations — become index lookups.
+This is a from-scratch implementation supporting:
+
+* incremental insertion with Guttman's quadratic split;
+* Sort-Tile-Recursive (STR) bulk loading, used by the preprocessing pipeline to
+  build a well-packed tree in one pass (Step 5);
+* window (range) queries, point queries, k-nearest-neighbour queries and
+  deletion (needed by the Edit panel when geometries change).
+
+Entries are ``(rect, item)`` pairs; the tree never interprets ``item``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import SpatialIndexError
+from .geometry import Point, Rect
+
+__all__ = ["RTree", "RTreeEntry", "RTreeStats"]
+
+
+@dataclass
+class RTreeEntry:
+    """A leaf entry: a bounding rectangle plus an opaque item payload."""
+
+    rect: Rect
+    item: object
+
+
+@dataclass
+class _Node:
+    """Internal tree node; ``children`` holds nodes, ``entries`` holds leaf entries."""
+
+    leaf: bool
+    entries: list[RTreeEntry] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)
+    rect: Rect | None = None
+
+    def recompute_rect(self) -> None:
+        """Recompute the minimum bounding rectangle from the node's contents."""
+        rects: list[Rect]
+        if self.leaf:
+            rects = [entry.rect for entry in self.entries]
+        else:
+            rects = [child.rect for child in self.children if child.rect is not None]
+        if not rects:
+            self.rect = None
+            return
+        rect = rects[0]
+        for other in rects[1:]:
+            rect = rect.union(other)
+        self.rect = rect
+
+    def size(self) -> int:
+        """Return the number of entries or children held by this node."""
+        return len(self.entries) if self.leaf else len(self.children)
+
+
+@dataclass(frozen=True)
+class RTreeStats:
+    """Structural statistics, surfaced by benchmarks and tests."""
+
+    height: int
+    num_nodes: int
+    num_leaves: int
+    num_entries: int
+    max_entries: int
+
+
+class RTree:
+    """An R-tree over ``(Rect, item)`` entries.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum node fan-out; nodes exceeding it are split.
+    min_fill:
+        Minimum fill fraction after a split (Guttman recommends 0.4).
+    split_method:
+        ``"quadratic"`` (Guttman's quadratic split, default) or ``"rstar"``
+        (the R*-tree topological split: choose the split axis by minimum margin
+        sum, then the split index by minimum overlap).  The storage layer keeps
+        the default; the index ablation benchmark compares the two.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        min_fill: float = 0.4,
+        split_method: str = "quadratic",
+    ) -> None:
+        if max_entries < 4:
+            raise SpatialIndexError("max_entries must be >= 4")
+        if not 0.0 < min_fill <= 0.5:
+            raise SpatialIndexError("min_fill must be in (0, 0.5]")
+        if split_method not in {"quadratic", "rstar"}:
+            raise SpatialIndexError(
+                f"unknown split method {split_method!r}; expected quadratic or rstar"
+            )
+        self.max_entries = max_entries
+        self.min_entries = max(2, int(max_entries * min_fill))
+        self.split_method = split_method
+        self._root = _Node(leaf=True)
+        self._count = 0
+
+    # ------------------------------------------------------------------ sizing
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bounds(self) -> Rect | None:
+        """Bounding rectangle of the whole tree (``None`` when empty)."""
+        return self._root.rect
+
+    # ---------------------------------------------------------------- insertion
+
+    def insert(self, rect: Rect, item: object) -> None:
+        """Insert one entry."""
+        entry = RTreeEntry(rect, item)
+        leaf = self._choose_leaf(self._root, rect, path := [])
+        leaf.entries.append(entry)
+        self._count += 1
+        self._adjust_upwards(leaf, path)
+
+    def _choose_leaf(self, node: _Node, rect: Rect, path: list[_Node]) -> _Node:
+        """Descend to the leaf whose MBR needs the least enlargement."""
+        current = node
+        while not current.leaf:
+            path.append(current)
+            best_child = None
+            best_key: tuple[float, float] | None = None
+            for child in current.children:
+                child_rect = child.rect if child.rect is not None else rect
+                key = (child_rect.enlargement(rect), child_rect.area)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_child = child
+            assert best_child is not None
+            current = best_child
+        return current
+
+    def _adjust_upwards(self, node: _Node, path: list[_Node]) -> None:
+        """Propagate rectangle updates and splits from ``node`` towards the root."""
+        node.recompute_rect()
+        split = self._split_if_needed(node)
+        for parent in reversed(path):
+            if split is not None:
+                parent.children.append(split)
+            parent.recompute_rect()
+            split = self._split_if_needed(parent)
+        if split is not None:
+            # Root overflowed: grow the tree by one level.
+            old_root = self._root
+            new_root = _Node(leaf=False, children=[old_root, split])
+            new_root.recompute_rect()
+            self._root = new_root
+
+    def _split_if_needed(self, node: _Node) -> _Node | None:
+        """Split ``node`` if it exceeds the fan-out; return the new sibling."""
+        if node.size() <= self.max_entries:
+            return None
+        if self.split_method == "rstar":
+            return self._rstar_split(node)
+        return self._quadratic_split(node)
+
+    def _quadratic_split(self, node: _Node) -> _Node:
+        """Guttman's quadratic split: seeds are the pair wasting the most area."""
+        if node.leaf:
+            items: list[tuple[Rect, object]] = [(entry.rect, entry) for entry in node.entries]
+        else:
+            items = [(child.rect, child) for child in node.children if child.rect is not None]
+
+        seed_a, seed_b = self._pick_seeds([rect for rect, _ in items])
+        group_a: list[tuple[Rect, object]] = [items[seed_a]]
+        group_b: list[tuple[Rect, object]] = [items[seed_b]]
+        rect_a = items[seed_a][0]
+        rect_b = items[seed_b][0]
+        remaining = [item for index, item in enumerate(items) if index not in (seed_a, seed_b)]
+
+        while remaining:
+            # If one group must absorb the rest to reach the minimum fill, do so.
+            needed_a = self.min_entries - len(group_a)
+            needed_b = self.min_entries - len(group_b)
+            if needed_a >= len(remaining):
+                group_a.extend(remaining)
+                for rect, _ in remaining:
+                    rect_a = rect_a.union(rect)
+                remaining = []
+                break
+            if needed_b >= len(remaining):
+                group_b.extend(remaining)
+                for rect, _ in remaining:
+                    rect_b = rect_b.union(rect)
+                remaining = []
+                break
+            # Pick the entry with the greatest preference for one group.
+            best_index = 0
+            best_diff = -1.0
+            for index, (rect, _) in enumerate(remaining):
+                d_a = rect_a.enlargement(rect)
+                d_b = rect_b.enlargement(rect)
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_index = index
+            rect, payload = remaining.pop(best_index)
+            if rect_a.enlargement(rect) <= rect_b.enlargement(rect):
+                group_a.append((rect, payload))
+                rect_a = rect_a.union(rect)
+            else:
+                group_b.append((rect, payload))
+                rect_b = rect_b.union(rect)
+
+        sibling = _Node(leaf=node.leaf)
+        if node.leaf:
+            node.entries = [payload for _, payload in group_a]  # type: ignore[misc]
+            sibling.entries = [payload for _, payload in group_b]  # type: ignore[misc]
+        else:
+            node.children = [payload for _, payload in group_a]  # type: ignore[misc]
+            sibling.children = [payload for _, payload in group_b]  # type: ignore[misc]
+        node.recompute_rect()
+        sibling.recompute_rect()
+        return sibling
+
+    def _rstar_split(self, node: _Node) -> _Node:
+        """R*-tree topological split.
+
+        The split axis is the one (x or y) whose candidate distributions have
+        the smallest total margin (perimeter); the split index along that axis
+        is the distribution with the smallest overlap between the two groups
+        (ties broken by total area).
+        """
+        if node.leaf:
+            items: list[tuple[Rect, object]] = [(entry.rect, entry) for entry in node.entries]
+        else:
+            items = [(child.rect, child) for child in node.children if child.rect is not None]
+
+        best_axis_items: list[tuple[Rect, object]] | None = None
+        best_axis_margin = math.inf
+        for axis in ("x", "y"):
+            if axis == "x":
+                ordered = sorted(items, key=lambda item: (item[0].min_x, item[0].max_x))
+            else:
+                ordered = sorted(items, key=lambda item: (item[0].min_y, item[0].max_y))
+            margin = 0.0
+            for split_at in self._split_positions(len(ordered)):
+                left = self._union_of(ordered[:split_at])
+                right = self._union_of(ordered[split_at:])
+                margin += left.perimeter + right.perimeter
+            if margin < best_axis_margin:
+                best_axis_margin = margin
+                best_axis_items = ordered
+        assert best_axis_items is not None
+
+        best_split = self.min_entries
+        best_key: tuple[float, float] = (math.inf, math.inf)
+        for split_at in self._split_positions(len(best_axis_items)):
+            left = self._union_of(best_axis_items[:split_at])
+            right = self._union_of(best_axis_items[split_at:])
+            intersection = left.intersection(right)
+            overlap = intersection.area if intersection is not None else 0.0
+            key = (overlap, left.area + right.area)
+            if key < best_key:
+                best_key = key
+                best_split = split_at
+
+        group_a = best_axis_items[:best_split]
+        group_b = best_axis_items[best_split:]
+        sibling = _Node(leaf=node.leaf)
+        if node.leaf:
+            node.entries = [payload for _, payload in group_a]  # type: ignore[misc]
+            sibling.entries = [payload for _, payload in group_b]  # type: ignore[misc]
+        else:
+            node.children = [payload for _, payload in group_a]  # type: ignore[misc]
+            sibling.children = [payload for _, payload in group_b]  # type: ignore[misc]
+        node.recompute_rect()
+        sibling.recompute_rect()
+        return sibling
+
+    def _split_positions(self, count: int) -> range:
+        """Valid split indices keeping both groups at or above the minimum fill."""
+        return range(self.min_entries, count - self.min_entries + 1)
+
+    @staticmethod
+    def _union_of(items: list[tuple[Rect, object]]) -> Rect:
+        rect = items[0][0]
+        for other, _ in items[1:]:
+            rect = rect.union(other)
+        return rect
+
+    @staticmethod
+    def _pick_seeds(rects: list[Rect]) -> tuple[int, int]:
+        """Return the indices of the two rectangles that waste the most area together."""
+        best_pair = (0, 1)
+        best_waste = -math.inf
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                waste = rects[i].union(rects[j]).area - rects[i].area - rects[j].area
+                if waste > best_waste:
+                    best_waste = waste
+                    best_pair = (i, j)
+        return best_pair
+
+    # --------------------------------------------------------------- bulk load
+
+    @classmethod
+    def bulk_load(
+        cls,
+        entries: Iterable[tuple[Rect, object]],
+        max_entries: int = 32,
+        min_fill: float = 0.4,
+    ) -> "RTree":
+        """Build a packed R-tree with Sort-Tile-Recursive (STR) bulk loading.
+
+        STR sorts entries by the x-coordinate of their centres, slices them into
+        vertical strips, sorts each strip by y, and packs consecutive runs of
+        ``max_entries`` into leaves; the process repeats one level up until a
+        single root remains.
+        """
+        tree = cls(max_entries=max_entries, min_fill=min_fill)
+        leaf_entries = [RTreeEntry(rect, item) for rect, item in entries]
+        tree._count = len(leaf_entries)
+        if not leaf_entries:
+            return tree
+
+        # Pack leaves.
+        leaves = [
+            _Node(leaf=True, entries=chunk)
+            for chunk in cls._str_pack(
+                leaf_entries, max_entries, key=lambda entry: entry.rect.center
+            )
+        ]
+        for leaf in leaves:
+            leaf.recompute_rect()
+
+        # Pack internal levels until one node remains.
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            parents = [
+                _Node(leaf=False, children=chunk)
+                for chunk in cls._str_pack(
+                    level, max_entries,
+                    key=lambda node: node.rect.center if node.rect else Point(0.0, 0.0),
+                )
+            ]
+            for parent in parents:
+                parent.recompute_rect()
+            level = parents
+        tree._root = level[0]
+        return tree
+
+    @staticmethod
+    def _str_pack(items: list, capacity: int, key) -> list[list]:
+        """Group ``items`` into runs of ``capacity`` using the STR tiling order."""
+        count = len(items)
+        if count <= capacity:
+            return [list(items)]
+        num_leaves = math.ceil(count / capacity)
+        num_slices = math.ceil(math.sqrt(num_leaves))
+        slice_size = num_slices * capacity
+        by_x = sorted(items, key=lambda item: key(item).x)
+        chunks: list[list] = []
+        for start in range(0, count, slice_size):
+            strip = sorted(by_x[start:start + slice_size], key=lambda item: key(item).y)
+            for inner in range(0, len(strip), capacity):
+                chunks.append(strip[inner:inner + capacity])
+        return chunks
+
+    # ----------------------------------------------------------------- queries
+
+    def window_query(self, window: Rect) -> list[object]:
+        """Return the items of every entry whose rectangle intersects ``window``.
+
+        This is the spatial operation the paper maps every user interaction to.
+        """
+        results: list[object] = []
+        if self._root.rect is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.rect is None or not node.rect.intersects(window):
+                continue
+            if node.leaf:
+                for entry in node.entries:
+                    if entry.rect.intersects(window):
+                        results.append(entry.item)
+            else:
+                stack.extend(node.children)
+        return results
+
+    def count_window(self, window: Rect) -> int:
+        """Return the number of entries intersecting ``window`` without materialising them."""
+        count = 0
+        if self._root.rect is None:
+            return 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.rect is None or not node.rect.intersects(window):
+                continue
+            if window.contains_rect(node.rect) and not node.leaf:
+                count += sum(1 for _ in self._iter_entries(node))
+                continue
+            if node.leaf:
+                count += sum(1 for entry in node.entries if entry.rect.intersects(window))
+            else:
+                stack.extend(node.children)
+        return count
+
+    def point_query(self, point: Point) -> list[object]:
+        """Return items whose rectangle contains ``point``."""
+        window = Rect(point.x, point.y, point.x, point.y)
+        return self.window_query(window)
+
+    def nearest(self, point: Point, k: int = 1) -> list[object]:
+        """Return the ``k`` entries nearest to ``point`` (best-first search)."""
+        if k <= 0 or self._root.rect is None:
+            return []
+        # Priority queue of (distance, tiebreak, is_entry, payload).
+        counter = 0
+        heap: list[tuple[float, int, bool, object]] = [
+            (self._root.rect.min_distance_to_point(point), counter, False, self._root)
+        ]
+        results: list[object] = []
+        while heap and len(results) < k:
+            _, __, is_entry, payload = heapq.heappop(heap)
+            if is_entry:
+                results.append(payload.item)  # type: ignore[attr-defined]
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            if node.leaf:
+                for entry in node.entries:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (entry.rect.min_distance_to_point(point), counter, True, entry),
+                    )
+            else:
+                for child in node.children:
+                    if child.rect is None:
+                        continue
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (child.rect.min_distance_to_point(point), counter, False, child),
+                    )
+        return results
+
+    def all_items(self) -> Iterator[object]:
+        """Yield every stored item (no particular order)."""
+        for entry in self._iter_entries(self._root):
+            yield entry.item
+
+    def _iter_entries(self, node: _Node) -> Iterator[RTreeEntry]:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.leaf:
+                yield from current.entries
+            else:
+                stack.extend(current.children)
+
+    # ---------------------------------------------------------------- deletion
+
+    def delete(self, rect: Rect, item: object) -> bool:
+        """Delete the entry matching ``(rect, item)``; return ``True`` if found.
+
+        Underfull leaves are handled by re-inserting their remaining entries
+        (the classic "condense tree" strategy simplified for this use case).
+        """
+        found = self._delete_recursive(self._root, rect, item)
+        if not found:
+            return False
+        self._count -= 1
+        # Shrink the root if it has a single non-leaf child.
+        while not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        self._root.recompute_rect()
+        return True
+
+    def _delete_recursive(self, node: _Node, rect: Rect, item: object) -> bool:
+        if node.rect is not None and not node.rect.intersects(rect):
+            return False
+        if node.leaf:
+            for index, entry in enumerate(node.entries):
+                if entry.item == item and entry.rect == rect:
+                    node.entries.pop(index)
+                    node.recompute_rect()
+                    return True
+            return False
+        for child in node.children:
+            if self._delete_recursive(child, rect, item):
+                node.children = [c for c in node.children if c.size() > 0]
+                node.recompute_rect()
+                return True
+        return False
+
+    # --------------------------------------------------------------- structure
+
+    def stats(self) -> RTreeStats:
+        """Return structural statistics about the tree."""
+        height = 0
+        num_nodes = 0
+        num_leaves = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            num_nodes += 1
+            height = max(height, depth)
+            if node.leaf:
+                num_leaves += 1
+            else:
+                stack.extend((child, depth + 1) for child in node.children)
+        return RTreeStats(
+            height=height,
+            num_nodes=num_nodes,
+            num_leaves=num_leaves,
+            num_entries=self._count,
+            max_entries=self.max_entries,
+        )
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises :class:`SpatialIndexError` on failure.
+
+        Used by property-based tests: every node's rectangle must cover its
+        children/entries, and no node may exceed the configured fan-out.
+        """
+        def visit(node: _Node, depth: int) -> int:
+            if node.size() > self.max_entries:
+                raise SpatialIndexError(
+                    f"node at depth {depth} has {node.size()} > {self.max_entries} entries"
+                )
+            if node.leaf:
+                for entry in node.entries:
+                    if node.rect is None or not node.rect.contains_rect(entry.rect):
+                        raise SpatialIndexError("leaf MBR does not cover an entry")
+                return 1
+            depths = set()
+            for child in node.children:
+                if child.rect is None:
+                    raise SpatialIndexError("internal child with empty rectangle")
+                if node.rect is None or not node.rect.contains_rect(child.rect):
+                    raise SpatialIndexError("internal MBR does not cover a child")
+                depths.add(visit(child, depth + 1))
+            if len(depths) > 1:
+                raise SpatialIndexError("leaves are not all at the same depth")
+            return 1 + (depths.pop() if depths else 0)
+
+        if self._count > 0:
+            visit(self._root, 0)

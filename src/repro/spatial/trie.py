@@ -1,0 +1,230 @@
+"""Full-text index over node and edge labels.
+
+The paper builds MySQL FULLTEXT indexes — which it describes as tries — on the
+label columns, and uses them for the keyword-search operation: "a keyword query
+is ... evaluated on the whole set of node labels which are indexed with tries.
+The result of this query is a list of nodes whose labels contain the given
+keyword."
+
+Two structures are provided:
+
+* :class:`Trie` — a plain character trie supporting exact and prefix lookups;
+* :class:`FullTextIndex` — the label index used by the query manager: it
+  tokenises labels, stores each token in a trie, and supports *contains*
+  semantics (substring match on tokens) so that searching ``"faloutsos"``
+  matches the label ``"Christos Faloutsos"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Trie", "FullTextIndex", "tokenize"]
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric tokens.
+
+    Mirrors the word-boundary tokenisation of a SQL full-text index: anything
+    that is not a letter or digit separates tokens.
+    """
+    tokens: list[str] = []
+    current: list[str] = []
+    for char in text.lower():
+        if char.isalnum():
+            current.append(char)
+        elif current:
+            tokens.append("".join(current))
+            current = []
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+@dataclass
+class _TrieNode:
+    children: dict[str, "_TrieNode"] = field(default_factory=dict)
+    #: Document ids whose token terminates at this node.
+    documents: set[object] = field(default_factory=set)
+    terminal: bool = False
+
+
+class Trie:
+    """A character trie mapping words to sets of document ids."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._num_words = 0
+
+    def __len__(self) -> int:
+        """Number of distinct words stored."""
+        return self._num_words
+
+    def insert(self, word: str, document: object) -> None:
+        """Associate ``document`` with ``word``."""
+        node = self._root
+        for char in word:
+            node = node.children.setdefault(char, _TrieNode())
+        if not node.terminal:
+            node.terminal = True
+            self._num_words += 1
+        node.documents.add(document)
+
+    def remove(self, word: str, document: object) -> bool:
+        """Remove the association; return ``True`` if it existed.
+
+        Empty branches are pruned so the trie does not accumulate dead nodes when
+        labels are edited.
+        """
+        path: list[tuple[_TrieNode, str]] = []
+        node = self._root
+        for char in word:
+            child = node.children.get(char)
+            if child is None:
+                return False
+            path.append((node, char))
+            node = child
+        if document not in node.documents:
+            return False
+        node.documents.discard(document)
+        if not node.documents and node.terminal:
+            node.terminal = False
+            self._num_words -= 1
+        # Prune empty leaves bottom-up.
+        for parent, char in reversed(path):
+            child = parent.children[char]
+            if child.children or child.documents or child.terminal:
+                break
+            del parent.children[char]
+        return True
+
+    def exact(self, word: str) -> set[object]:
+        """Return the documents stored under exactly ``word``."""
+        node = self._find(word)
+        if node is None or not node.terminal:
+            return set()
+        return set(node.documents)
+
+    def starts_with(self, prefix: str) -> set[object]:
+        """Return the documents of every word starting with ``prefix``."""
+        node = self._find(prefix)
+        if node is None:
+            return set()
+        results: set[object] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.terminal:
+                results |= current.documents
+            stack.extend(current.children.values())
+        return results
+
+    def words(self) -> Iterator[str]:
+        """Yield every stored word in lexicographic order."""
+        def visit(node: _TrieNode, prefix: str) -> Iterator[str]:
+            if node.terminal:
+                yield prefix
+            for char in sorted(node.children):
+                yield from visit(node.children[char], prefix + char)
+
+        yield from visit(self._root, "")
+
+    def _find(self, word: str) -> _TrieNode | None:
+        node = self._root
+        for char in word:
+            node = node.children.get(char)
+            if node is None:
+                return None
+        return node
+
+
+class FullTextIndex:
+    """Keyword index over labelled documents (node rows, edge rows).
+
+    Each document is registered with a label; the label is tokenised and each
+    token inserted into a trie.  Searches support three modes used by the demo's
+    Search panel:
+
+    * ``exact`` — the keyword equals a whole token;
+    * ``prefix`` — a token starts with the keyword (autocomplete behaviour);
+    * ``contains`` — the keyword appears anywhere inside a token (MySQL-LIKE
+      behaviour, implemented with an auxiliary suffix registration of tokens).
+    """
+
+    def __init__(self, index_substrings: bool = True) -> None:
+        self._trie = Trie()
+        self._suffix_trie = Trie() if index_substrings else None
+        self._labels: dict[object, str] = {}
+
+    def __len__(self) -> int:
+        """Number of indexed documents."""
+        return len(self._labels)
+
+    def add(self, document: object, label: str) -> None:
+        """Index ``document`` under ``label`` (replacing any previous label)."""
+        if document in self._labels:
+            self.remove(document)
+        self._labels[document] = label
+        for token in tokenize(label):
+            self._trie.insert(token, document)
+            if self._suffix_trie is not None:
+                for start in range(len(token)):
+                    self._suffix_trie.insert(token[start:], document)
+
+    def remove(self, document: object) -> bool:
+        """Remove a document from the index; return ``True`` if it was present."""
+        label = self._labels.pop(document, None)
+        if label is None:
+            return False
+        for token in tokenize(label):
+            self._trie.remove(token, document)
+            if self._suffix_trie is not None:
+                for start in range(len(token)):
+                    self._suffix_trie.remove(token[start:], document)
+        return True
+
+    def label_of(self, document: object) -> str | None:
+        """Return the indexed label of ``document`` (``None`` if not indexed)."""
+        return self._labels.get(document)
+
+    def search(self, keyword: str, mode: str = "contains") -> list[object]:
+        """Return documents matching ``keyword``.
+
+        Parameters
+        ----------
+        mode:
+            ``"exact"``, ``"prefix"`` or ``"contains"`` (default, the behaviour
+            described in the paper: labels that *contain* the keyword).
+        """
+        tokens = tokenize(keyword)
+        if not tokens:
+            return []
+        result: set[object] | None = None
+        for token in tokens:
+            matches = self._search_token(token, mode)
+            result = matches if result is None else (result & matches)
+            if not result:
+                return []
+        assert result is not None
+        return sorted(result, key=lambda doc: (str(self._labels.get(doc, "")), str(doc)))
+
+    def _search_token(self, token: str, mode: str) -> set[object]:
+        if mode == "exact":
+            return self._trie.exact(token)
+        if mode == "prefix":
+            return self._trie.starts_with(token)
+        if mode == "contains":
+            if self._suffix_trie is not None:
+                return self._suffix_trie.starts_with(token)
+            # Fall back to a scan when substring indexing is disabled.
+            return {
+                document
+                for document, label in self._labels.items()
+                if token in label.lower()
+            }
+        raise ValueError(f"unknown search mode {mode!r}")
+
+    def documents(self) -> Iterable[object]:
+        """Return all indexed documents."""
+        return self._labels.keys()

@@ -1,0 +1,23 @@
+"""Storage engine: paper-schema layer tables, indexes and persistence backends."""
+
+from .database import GraphVizDatabase
+from .schema import COLUMNS, EdgeRow, rows_from_graph
+from .serialization import decode_row, encode_row, read_rows, write_rows
+from .sqlite_backend import load_from_sqlite, save_to_sqlite
+from .table import FileRowStore, LayerTable, MemoryRowStore
+
+__all__ = [
+    "GraphVizDatabase",
+    "COLUMNS",
+    "EdgeRow",
+    "rows_from_graph",
+    "decode_row",
+    "encode_row",
+    "read_rows",
+    "write_rows",
+    "load_from_sqlite",
+    "save_to_sqlite",
+    "FileRowStore",
+    "LayerTable",
+    "MemoryRowStore",
+]

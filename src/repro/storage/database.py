@@ -1,0 +1,164 @@
+"""The graphVizdb database: one indexed layer table per abstraction layer.
+
+Preprocessing Step 5 stores "the input graph along with the abstract graphs" in
+the database — one table per layer, all with the schema of
+:mod:`repro.storage.schema` — and builds the indexes of Fig. 2.  The online
+query manager (:mod:`repro.core.query_manager`) only ever talks to this class.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from ..abstraction.hierarchy import LayerHierarchy
+from ..config import StorageConfig
+from ..errors import LayerNotFoundError, StorageError
+from ..spatial.geometry import Rect
+from .schema import EdgeRow, rows_from_graph
+from .table import FileRowStore, LayerTable, MemoryRowStore
+
+__all__ = ["GraphVizDatabase"]
+
+
+class GraphVizDatabase:
+    """Container of layer tables plus dataset-level metadata.
+
+    Parameters
+    ----------
+    name:
+        Dataset name (e.g. ``"wikidata-like"``).
+    config:
+        Storage configuration selecting the row-store backend and index tuning.
+    """
+
+    def __init__(self, name: str = "", config: StorageConfig | None = None) -> None:
+        self.name = name
+        self.config = config or StorageConfig()
+        self._tables: dict[int, LayerTable] = {}
+        self.metadata: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ layers
+
+    @property
+    def num_layers(self) -> int:
+        """Number of stored layers."""
+        return len(self._tables)
+
+    def layers(self) -> list[int]:
+        """Return the stored layer indexes in ascending order."""
+        return sorted(self._tables)
+
+    def has_layer(self, layer: int) -> bool:
+        """Return ``True`` if the layer exists."""
+        return layer in self._tables
+
+    def table(self, layer: int) -> LayerTable:
+        """Return the table of ``layer``; raises :class:`LayerNotFoundError`."""
+        try:
+            return self._tables[layer]
+        except KeyError:
+            raise LayerNotFoundError(layer) from None
+
+    def create_layer(self, layer: int) -> LayerTable:
+        """Create an empty table for ``layer`` (idempotent)."""
+        if layer in self._tables:
+            return self._tables[layer]
+        store: MemoryRowStore | FileRowStore
+        if self.config.backend == "file":
+            base = Path(self.config.path or ".graphvizdb")
+            store = FileRowStore(base / f"{self.name or 'graph'}-layer{layer}.rows")
+        else:
+            store = MemoryRowStore()
+        table = LayerTable(
+            layer=layer,
+            store=store,
+            rtree_max_entries=self.config.rtree_max_entries,
+            btree_order=self.config.btree_order,
+        )
+        self._tables[layer] = table
+        return table
+
+    # ----------------------------------------------------------------- loading
+
+    def load_layer(self, layer: int, rows: Iterable[EdgeRow]) -> int:
+        """Create (if needed) and bulk-load one layer table; return the row count."""
+        table = self.create_layer(layer)
+        return table.bulk_load(rows, bulk_rtree=self.config.rtree_bulk_load)
+
+    def load_hierarchy(self, hierarchy: LayerHierarchy) -> dict[int, int]:
+        """Load every layer of a hierarchy; return ``layer -> row count``.
+
+        This is the non-instrumented path; the preprocessing pipeline calls
+        :func:`repro.storage.schema.rows_from_graph` itself so it can time each
+        layer's indexing separately (the parallel-indexing claim of §III).
+        """
+        counts: dict[int, int] = {}
+        for abstraction_layer in hierarchy:
+            rows = rows_from_graph(abstraction_layer.graph, abstraction_layer.layout)
+            counts[abstraction_layer.level] = self.load_layer(abstraction_layer.level, rows)
+        return counts
+
+    # ----------------------------------------------------------------- queries
+
+    def window_query(self, layer: int, window: Rect) -> list[EdgeRow]:
+        """Window query on one layer (delegates to the layer's R-tree)."""
+        return self.table(layer).window_query(window)
+
+    def keyword_search(
+        self, layer: int, keyword: str, mode: str = "contains"
+    ) -> list[tuple[int, str]]:
+        """Keyword search over node labels of one layer."""
+        return self.table(layer).keyword_search(keyword, mode=mode)
+
+    def rows_for_node(self, layer: int, node_id: int) -> list[EdgeRow]:
+        """Every row mentioning ``node_id`` in one layer."""
+        return self.table(layer).rows_for_node(node_id)
+
+    def bounds(self, layer: int) -> Rect | None:
+        """Bounding rectangle of one layer's drawing."""
+        return self.table(layer).bounds()
+
+    # ------------------------------------------------------------------- stats
+
+    def storage_summary(self) -> dict[str, object]:
+        """Return a per-layer summary used by the Statistics panel and EXPERIMENTS.md."""
+        layers_summary = []
+        for layer in self.layers():
+            table = self._tables[layer]
+            rtree_stats = table.rtree.stats()
+            layers_summary.append({
+                "layer": layer,
+                "rows": table.num_rows,
+                "distinct_nodes": len(table.distinct_node_ids()),
+                "rtree_height": rtree_stats.height,
+                "rtree_nodes": rtree_stats.num_nodes,
+                "btree_height": table.node1_index.height(),
+            })
+        return {
+            "name": self.name,
+            "backend": self.config.backend,
+            "num_layers": self.num_layers,
+            "layers": layers_summary,
+        }
+
+    def validate(self) -> None:
+        """Check cross-index consistency on every layer (used by tests).
+
+        Every row must be reachable through the R-tree, through both B+-trees and
+        (when labelled) through the full-text index.
+        """
+        for layer in self.layers():
+            table = self._tables[layer]
+            row_ids = {row.row_id for row in table.scan()}
+            rtree_ids = set(table.rtree.all_items())
+            if row_ids != rtree_ids:
+                raise StorageError(
+                    f"layer {layer}: R-tree entries do not match stored rows "
+                    f"({len(rtree_ids)} vs {len(row_ids)})"
+                )
+            for row in table.scan():
+                if row.row_id not in table.node1_index.search(row.node1_id):
+                    raise StorageError(f"layer {layer}: node1 B+-tree misses row {row.row_id}")
+                if row.row_id not in table.node2_index.search(row.node2_id):
+                    raise StorageError(f"layer {layer}: node2 B+-tree misses row {row.row_id}")

@@ -1,0 +1,140 @@
+"""The paper's storage scheme.
+
+"Our database includes a single relational table per abstraction layer ...
+Intuitively, each graph is stored as a set of triples of the form
+(node1, edge, node2)."  A row carries six attributes (Fig. 2 of the paper):
+
+1. ``Node1 ID``    (int,  B-tree indexed)
+2. ``Node1 Label`` (text, full-text indexed)
+3. ``Edge Geometry`` (binary geometry, R-tree indexed)
+4. ``Edge Label``  (text, full-text indexed)
+5. ``Node2 ID``    (int,  B-tree indexed)
+6. ``Node2 Label`` (text, full-text indexed)
+
+For directed edges node1 is the source and node2 the target; the direction is
+encoded in the geometry blob.  Isolated nodes (no incident edges) are stored as
+self-rows with a zero-length geometry so they remain visible on the canvas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.model import Edge, Graph
+from ..layout.base import Layout
+from ..spatial.geometry import LineSegment, Point, Rect, decode_segment, encode_segment
+
+__all__ = ["EdgeRow", "rows_from_graph", "COLUMNS"]
+
+#: Column names in storage order, matching Fig. 2 of the paper.
+COLUMNS = (
+    "node1_id",
+    "node1_label",
+    "edge_geometry",
+    "edge_label",
+    "node2_id",
+    "node2_label",
+)
+
+
+@dataclass(frozen=True)
+class EdgeRow:
+    """One row of a layer table: a (node1, edge, node2) triple plus its geometry.
+
+    ``row_id`` is a surrogate key assigned by the table; it is what the B+-tree
+    and R-tree indexes reference.
+    """
+
+    row_id: int
+    node1_id: int
+    node1_label: str
+    edge_geometry: bytes
+    edge_label: str
+    node2_id: int
+    node2_label: str
+
+    # ----------------------------------------------------------- geometry view
+
+    def segment(self) -> LineSegment:
+        """Decode the stored geometry blob."""
+        return decode_segment(self.edge_geometry)
+
+    def bounding_rect(self) -> Rect:
+        """Return the bounding rectangle of the edge geometry."""
+        return self.segment().bounding_rect()
+
+    def is_node_row(self) -> bool:
+        """Return ``True`` if this row represents an isolated node (self-row)."""
+        return self.node1_id == self.node2_id and self.edge_label == ""
+
+    def endpoints(self) -> tuple[Point, Point]:
+        """Return the (source, target) coordinates encoded in the geometry."""
+        segment = self.segment()
+        return segment.start, segment.end
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the row as a plain dictionary (geometry kept as bytes)."""
+        return {
+            "row_id": self.row_id,
+            "node1_id": self.node1_id,
+            "node1_label": self.node1_label,
+            "edge_geometry": self.edge_geometry,
+            "edge_label": self.edge_label,
+            "node2_id": self.node2_id,
+            "node2_label": self.node2_label,
+        }
+
+
+def _edge_row(
+    row_id: int, graph: Graph, edge: Edge, layout: Layout, directed: bool
+) -> EdgeRow:
+    source_node = graph.node(edge.source)
+    target_node = graph.node(edge.target)
+    segment = LineSegment(
+        layout.position(edge.source), layout.position(edge.target), directed=directed
+    )
+    return EdgeRow(
+        row_id=row_id,
+        node1_id=edge.source,
+        node1_label=source_node.label,
+        edge_geometry=encode_segment(segment),
+        edge_label=edge.label,
+        node2_id=edge.target,
+        node2_label=target_node.label,
+    )
+
+
+def rows_from_graph(graph: Graph, layout: Layout, start_row_id: int = 0) -> list[EdgeRow]:
+    """Convert a laid-out graph into the list of rows of its layer table.
+
+    Every edge becomes one row.  Nodes without any incident edge become
+    self-rows (``node1 == node2``, empty edge label, zero-length geometry) so
+    that window queries still return them.
+    """
+    rows: list[EdgeRow] = []
+    row_id = start_row_id
+    covered: set[int] = set()
+    for edge in graph.edges():
+        rows.append(_edge_row(row_id, graph, edge, layout, graph.directed))
+        covered.add(edge.source)
+        covered.add(edge.target)
+        row_id += 1
+    for node_id in sorted(graph.node_ids()):
+        if node_id in covered:
+            continue
+        node = graph.node(node_id)
+        point = layout.position(node_id)
+        segment = LineSegment(point, point, directed=False)
+        rows.append(
+            EdgeRow(
+                row_id=row_id,
+                node1_id=node_id,
+                node1_label=node.label,
+                edge_geometry=encode_segment(segment),
+                edge_label="",
+                node2_id=node_id,
+                node2_label=node.label,
+            )
+        )
+        row_id += 1
+    return rows

@@ -1,0 +1,102 @@
+"""Binary serialisation of table rows.
+
+The file-backed table stores rows in a simple length-prefixed binary record
+format so that datasets survive process restarts without requiring SQLite.
+The format is:
+
+``[u32 record_length][u64 row_id][u64 node1_id][u64 node2_id]``
+``[u16 len(node1_label)][node1_label utf-8]``
+``[u16 len(edge_label)][edge_label utf-8]``
+``[u16 len(node2_label)][node2_label utf-8]``
+``[u16 len(geometry)][geometry bytes]``
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator
+
+from ..errors import StorageError
+from .schema import EdgeRow
+
+__all__ = ["encode_row", "decode_row", "write_rows", "read_rows"]
+
+_HEADER = struct.Struct("<QqqI")  # row_id, node1_id, node2_id, payload length marker
+_LENGTH_PREFIX = struct.Struct("<I")
+_FIELD_PREFIX = struct.Struct("<H")
+
+
+def _pack_field(value: bytes) -> bytes:
+    if len(value) > 0xFFFF:
+        raise StorageError(f"field too long to serialise ({len(value)} bytes)")
+    return _FIELD_PREFIX.pack(len(value)) + value
+
+
+def encode_row(row: EdgeRow) -> bytes:
+    """Encode one row into the binary record format (without the length prefix)."""
+    node1_label = row.node1_label.encode("utf-8")
+    edge_label = row.edge_label.encode("utf-8")
+    node2_label = row.node2_label.encode("utf-8")
+    payload = (
+        _pack_field(node1_label)
+        + _pack_field(edge_label)
+        + _pack_field(node2_label)
+        + _pack_field(row.edge_geometry)
+    )
+    header = _HEADER.pack(row.row_id, row.node1_id, row.node2_id, len(payload))
+    return header + payload
+
+
+def decode_row(blob: bytes) -> EdgeRow:
+    """Decode one binary record produced by :func:`encode_row`."""
+    if len(blob) < _HEADER.size:
+        raise StorageError("truncated row record")
+    row_id, node1_id, node2_id, payload_length = _HEADER.unpack_from(blob, 0)
+    offset = _HEADER.size
+    if len(blob) - offset != payload_length:
+        raise StorageError("row payload length mismatch")
+
+    fields: list[bytes] = []
+    for _ in range(4):
+        if offset + _FIELD_PREFIX.size > len(blob):
+            raise StorageError("truncated row field")
+        (length,) = _FIELD_PREFIX.unpack_from(blob, offset)
+        offset += _FIELD_PREFIX.size
+        fields.append(blob[offset:offset + length])
+        offset += length
+    node1_label, edge_label, node2_label, geometry = fields
+    return EdgeRow(
+        row_id=row_id,
+        node1_id=node1_id,
+        node1_label=node1_label.decode("utf-8"),
+        edge_geometry=geometry,
+        edge_label=edge_label.decode("utf-8"),
+        node2_id=node2_id,
+        node2_label=node2_label.decode("utf-8"),
+    )
+
+
+def write_rows(rows: Iterator[EdgeRow] | list[EdgeRow], handle: BinaryIO) -> int:
+    """Write rows as length-prefixed records; return the number written."""
+    count = 0
+    for row in rows:
+        record = encode_row(row)
+        handle.write(_LENGTH_PREFIX.pack(len(record)))
+        handle.write(record)
+        count += 1
+    return count
+
+
+def read_rows(handle: BinaryIO) -> Iterator[EdgeRow]:
+    """Yield rows from a stream written by :func:`write_rows`."""
+    while True:
+        prefix = handle.read(_LENGTH_PREFIX.size)
+        if not prefix:
+            return
+        if len(prefix) != _LENGTH_PREFIX.size:
+            raise StorageError("truncated record length prefix")
+        (length,) = _LENGTH_PREFIX.unpack(prefix)
+        record = handle.read(length)
+        if len(record) != length:
+            raise StorageError("truncated record body")
+        yield decode_row(record)

@@ -1,0 +1,123 @@
+"""SQLite persistence for graphVizdb databases.
+
+The original system stores everything in MySQL.  For deployments that want a
+durable single-file database instead of the in-memory/file row stores, this
+module round-trips a :class:`~repro.storage.database.GraphVizDatabase` to SQLite
+(standard library ``sqlite3``), one table per layer with exactly the paper's
+six-attribute schema.  On load, the in-memory indexes (R-tree, B+-trees, tries)
+are rebuilt, mirroring how MySQL materialises its indexes from the table data.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+from ..config import StorageConfig
+from ..errors import StorageError
+from .database import GraphVizDatabase
+from .schema import EdgeRow
+
+__all__ = ["save_to_sqlite", "load_from_sqlite"]
+
+_CREATE_META = """
+CREATE TABLE IF NOT EXISTS graphvizdb_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT
+)
+"""
+
+_CREATE_LAYER = """
+CREATE TABLE IF NOT EXISTS layer_{layer} (
+    row_id INTEGER PRIMARY KEY,
+    node1_id INTEGER NOT NULL,
+    node1_label TEXT NOT NULL,
+    edge_geometry BLOB NOT NULL,
+    edge_label TEXT NOT NULL,
+    node2_id INTEGER NOT NULL,
+    node2_label TEXT NOT NULL
+)
+"""
+
+_CREATE_LAYER_INDEXES = (
+    "CREATE INDEX IF NOT EXISTS idx_layer_{layer}_node1 ON layer_{layer}(node1_id)",
+    "CREATE INDEX IF NOT EXISTS idx_layer_{layer}_node2 ON layer_{layer}(node2_id)",
+)
+
+
+def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> None:
+    """Persist every layer of ``database`` into a SQLite file at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with sqlite3.connect(path) as connection:
+        cursor = connection.cursor()
+        cursor.execute(_CREATE_META)
+        cursor.execute(
+            "INSERT OR REPLACE INTO graphvizdb_meta(key, value) VALUES (?, ?)",
+            ("name", database.name),
+        )
+        cursor.execute(
+            "INSERT OR REPLACE INTO graphvizdb_meta(key, value) VALUES (?, ?)",
+            ("layers", ",".join(str(layer) for layer in database.layers())),
+        )
+        for layer in database.layers():
+            cursor.execute(_CREATE_LAYER.format(layer=layer))
+            for statement in _CREATE_LAYER_INDEXES:
+                cursor.execute(statement.format(layer=layer))
+            cursor.execute(f"DELETE FROM layer_{layer}")
+            cursor.executemany(
+                f"INSERT INTO layer_{layer} VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    (
+                        row.row_id,
+                        row.node1_id,
+                        row.node1_label,
+                        row.edge_geometry,
+                        row.edge_label,
+                        row.node2_id,
+                        row.node2_label,
+                    )
+                    for row in database.table(layer).scan()
+                ),
+            )
+        connection.commit()
+
+
+def load_from_sqlite(path: str | Path, config: StorageConfig | None = None) -> GraphVizDatabase:
+    """Load a SQLite file written by :func:`save_to_sqlite` and rebuild indexes."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"SQLite database {path} does not exist")
+    config = config or StorageConfig()
+    with sqlite3.connect(path) as connection:
+        cursor = connection.cursor()
+        try:
+            cursor.execute("SELECT value FROM graphvizdb_meta WHERE key = 'name'")
+        except sqlite3.OperationalError as exc:
+            raise StorageError(f"{path} is not a graphVizdb SQLite database") from exc
+        name_row = cursor.fetchone()
+        cursor.execute("SELECT value FROM graphvizdb_meta WHERE key = 'layers'")
+        layers_row = cursor.fetchone()
+        database = GraphVizDatabase(name=name_row[0] if name_row else "", config=config)
+        if not layers_row or not layers_row[0]:
+            return database
+        for layer_text in layers_row[0].split(","):
+            layer = int(layer_text)
+            cursor.execute(
+                f"SELECT row_id, node1_id, node1_label, edge_geometry, edge_label, "
+                f"node2_id, node2_label FROM layer_{layer} ORDER BY row_id"
+            )
+            rows = [
+                EdgeRow(
+                    row_id=record[0],
+                    node1_id=record[1],
+                    node1_label=record[2],
+                    edge_geometry=record[3],
+                    edge_label=record[4],
+                    node2_id=record[5],
+                    node2_label=record[6],
+                )
+                for record in cursor.fetchall()
+            ]
+            database.load_layer(layer, rows)
+    return database

@@ -1,0 +1,320 @@
+"""Layer tables: one indexed table per abstraction layer.
+
+A :class:`LayerTable` stores the rows of one layer together with the indexes the
+paper builds on them (Fig. 2):
+
+* B+-trees on ``node1_id`` and ``node2_id``;
+* full-text (trie) indexes on ``node1_label``, ``edge_label`` and ``node2_label``;
+* an R-tree on the edge geometries.
+
+Two row stores are available: :class:`MemoryRowStore` (default) and
+:class:`FileRowStore`, which persists rows in the binary record format and keeps
+only the indexes in memory — the configuration the paper's "extremely low ...
+memory requirements" claim corresponds to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..errors import StorageError
+from ..spatial.btree import BPlusTree
+from ..spatial.geometry import Point, Rect
+from ..spatial.rtree import RTree
+from ..spatial.trie import FullTextIndex
+from .schema import EdgeRow
+from .serialization import read_rows, write_rows
+
+__all__ = ["MemoryRowStore", "FileRowStore", "LayerTable"]
+
+
+class MemoryRowStore:
+    """Row store keeping every row in a Python dict (fastest, most memory)."""
+
+    def __init__(self) -> None:
+        self._rows: dict[int, EdgeRow] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def put(self, row: EdgeRow) -> None:
+        """Insert or replace a row."""
+        self._rows[row.row_id] = row
+
+    def get(self, row_id: int) -> EdgeRow:
+        """Fetch a row by id."""
+        try:
+            return self._rows[row_id]
+        except KeyError:
+            raise StorageError(f"row {row_id} does not exist") from None
+
+    def delete(self, row_id: int) -> None:
+        """Delete a row by id."""
+        if row_id not in self._rows:
+            raise StorageError(f"row {row_id} does not exist")
+        del self._rows[row_id]
+
+    def scan(self) -> Iterator[EdgeRow]:
+        """Yield every row (ascending row id)."""
+        for row_id in sorted(self._rows):
+            yield self._rows[row_id]
+
+
+class FileRowStore:
+    """Row store persisting rows to a binary file, with an in-memory offset map.
+
+    Rows are append-only on disk; deletions and overwrites are recorded in the
+    offset map and compacted when :meth:`compact` is called.  This mimics the
+    disk-resident behaviour of the original MySQL-backed system: the working set
+    in memory is the indexes, not the data.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._offsets: dict[int, int] = {}
+        if self.path.exists():
+            self._rebuild_offsets()
+        else:
+            self.path.touch()
+
+    def _rebuild_offsets(self) -> None:
+        self._offsets.clear()
+        with open(self.path, "rb") as handle:
+            while True:
+                offset = handle.tell()
+                prefix = handle.read(4)
+                if not prefix or len(prefix) < 4:
+                    break
+                length = int.from_bytes(prefix, "little")
+                record = handle.read(length)
+                if len(record) != length:
+                    raise StorageError(f"corrupt row file {self.path}")
+                from .serialization import decode_row
+
+                row = decode_row(record)
+                self._offsets[row.row_id] = offset
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def put(self, row: EdgeRow) -> None:
+        """Append a row and register its offset."""
+        with open(self.path, "ab") as handle:
+            offset = handle.tell()
+            write_rows([row], handle)
+        self._offsets[row.row_id] = offset
+
+    def get(self, row_id: int) -> EdgeRow:
+        """Read one row from disk."""
+        offset = self._offsets.get(row_id)
+        if offset is None:
+            raise StorageError(f"row {row_id} does not exist")
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            length = int.from_bytes(handle.read(4), "little")
+            record = handle.read(length)
+        from .serialization import decode_row
+
+        return decode_row(record)
+
+    def delete(self, row_id: int) -> None:
+        """Drop the row from the offset map (space reclaimed on compaction)."""
+        if row_id not in self._offsets:
+            raise StorageError(f"row {row_id} does not exist")
+        del self._offsets[row_id]
+
+    def scan(self) -> Iterator[EdgeRow]:
+        """Yield every live row (ascending row id); random access per row."""
+        for row_id in sorted(self._offsets):
+            yield self.get(row_id)
+
+    def compact(self) -> None:
+        """Rewrite the file keeping only live rows."""
+        live = list(self.scan())
+        temp_path = self.path.with_suffix(".compact")
+        with open(temp_path, "wb") as handle:
+            write_rows(live, handle)
+        temp_path.replace(self.path)
+        self._rebuild_offsets()
+
+    def load_all(self) -> list[EdgeRow]:
+        """Read the whole file sequentially (used when rebuilding indexes)."""
+        with open(self.path, "rb") as handle:
+            return [row for row in read_rows(handle) if row.row_id in self._offsets]
+
+
+class LayerTable:
+    """One abstraction layer's table plus its indexes.
+
+    Parameters
+    ----------
+    layer:
+        Abstraction level this table stores (0 = input graph).
+    store:
+        Row store; defaults to :class:`MemoryRowStore`.
+    rtree_max_entries / btree_order:
+        Index tuning knobs (see :class:`repro.config.StorageConfig`).
+    """
+
+    def __init__(
+        self,
+        layer: int,
+        store: MemoryRowStore | FileRowStore | None = None,
+        rtree_max_entries: int = 32,
+        btree_order: int = 64,
+    ) -> None:
+        self.layer = layer
+        self.store = store if store is not None else MemoryRowStore()
+        self.rtree_max_entries = rtree_max_entries
+        self.btree_order = btree_order
+        self.rtree = RTree(max_entries=rtree_max_entries)
+        self.node1_index = BPlusTree(order=btree_order)
+        self.node2_index = BPlusTree(order=btree_order)
+        self.node_label_index = FullTextIndex()
+        self.edge_label_index = FullTextIndex()
+        self._next_row_id = 0
+
+    # ------------------------------------------------------------------ sizing
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stored rows."""
+        return len(self.store)
+
+    # ----------------------------------------------------------------- loading
+
+    def insert(self, row: EdgeRow) -> None:
+        """Insert one row and update every index."""
+        self.store.put(row)
+        self._next_row_id = max(self._next_row_id, row.row_id + 1)
+        self._index_row(row)
+
+    def bulk_load(self, rows: Iterable[EdgeRow], bulk_rtree: bool = True) -> int:
+        """Load many rows; optionally STR-bulk-load the R-tree.  Returns the count."""
+        rows = list(rows)
+        for row in rows:
+            self.store.put(row)
+            self._next_row_id = max(self._next_row_id, row.row_id + 1)
+            self._index_row(row, skip_rtree=bulk_rtree)
+        if bulk_rtree:
+            # Rebuild the R-tree over the full table so repeated bulk loads stay
+            # consistent with the row store.
+            self.rtree = RTree.bulk_load(
+                [(row.bounding_rect(), row.row_id) for row in self.store.scan()],
+                max_entries=self.rtree_max_entries,
+            )
+        return len(rows)
+
+    def _index_row(self, row: EdgeRow, skip_rtree: bool = False) -> None:
+        if not skip_rtree:
+            self.rtree.insert(row.bounding_rect(), row.row_id)
+        self.node1_index.insert(row.node1_id, row.row_id)
+        self.node2_index.insert(row.node2_id, row.row_id)
+        if row.node1_label:
+            self.node_label_index.add(("n1", row.row_id), row.node1_label)
+        if row.node2_label and not row.is_node_row():
+            self.node_label_index.add(("n2", row.row_id), row.node2_label)
+        if row.edge_label:
+            self.edge_label_index.add(row.row_id, row.edge_label)
+
+    def next_row_id(self) -> int:
+        """Return the next unused surrogate row id."""
+        return self._next_row_id
+
+    # ---------------------------------------------------------------- mutation
+
+    def delete_row(self, row_id: int) -> None:
+        """Delete a row and remove it from every index."""
+        row = self.store.get(row_id)
+        self.store.delete(row_id)
+        self.rtree.delete(row.bounding_rect(), row_id)
+        self.node1_index.remove(row.node1_id, row_id)
+        self.node2_index.remove(row.node2_id, row_id)
+        self.node_label_index.remove(("n1", row_id))
+        self.node_label_index.remove(("n2", row_id))
+        self.edge_label_index.remove(row_id)
+
+    def update_row(self, row: EdgeRow) -> None:
+        """Replace an existing row (same ``row_id``) and refresh the indexes."""
+        self.delete_row(row.row_id)
+        self.insert(row)
+
+    # ----------------------------------------------------------------- queries
+
+    def get(self, row_id: int) -> EdgeRow:
+        """Fetch a row by id."""
+        return self.store.get(row_id)
+
+    def scan(self) -> Iterator[EdgeRow]:
+        """Yield every row."""
+        return self.store.scan()
+
+    def window_query(self, window: Rect) -> list[EdgeRow]:
+        """Return rows whose edge geometry intersects ``window``.
+
+        The R-tree prunes by bounding rectangle; an exact segment/rectangle test
+        then removes false positives (a diagonal edge whose bounding box overlaps
+        the window but whose segment does not).
+        """
+        candidates = self.rtree.window_query(window)
+        results: list[EdgeRow] = []
+        for row_id in candidates:
+            row = self.store.get(row_id)  # type: ignore[arg-type]
+            if row.segment().intersects_rect(window):
+                results.append(row)
+        results.sort(key=lambda row: row.row_id)
+        return results
+
+    def count_window(self, window: Rect) -> int:
+        """Return the number of rows intersecting ``window`` (exact)."""
+        return len(self.window_query(window))
+
+    def rows_for_node(self, node_id: int) -> list[EdgeRow]:
+        """Return every row in which ``node_id`` appears as node1 or node2."""
+        row_ids = set(self.node1_index.search(node_id)) | set(self.node2_index.search(node_id))
+        return [self.store.get(row_id) for row_id in sorted(row_ids)]  # type: ignore[arg-type]
+
+    def node_position(self, node_id: int) -> Point | None:
+        """Return the plane coordinates of ``node_id`` (from any incident row)."""
+        for row in self.rows_for_node(node_id):
+            start, end = row.endpoints()
+            if row.node1_id == node_id:
+                return start
+            if row.node2_id == node_id:
+                return end
+        return None
+
+    def keyword_search(self, keyword: str, mode: str = "contains") -> list[tuple[int, str]]:
+        """Search node labels; return ``(node_id, label)`` pairs sorted by label.
+
+        This implements the paper's keyword query: "evaluated on the whole set of
+        node labels which are indexed with tries. The result ... is a list of
+        nodes whose labels contain the given keyword."
+        """
+        matches = self.node_label_index.search(keyword, mode=mode)
+        results: dict[int, str] = {}
+        for slot, row_id in matches:  # type: ignore[misc]
+            row = self.store.get(row_id)
+            if slot == "n1":
+                results.setdefault(row.node1_id, row.node1_label)
+            else:
+                results.setdefault(row.node2_id, row.node2_label)
+        return sorted(results.items(), key=lambda item: (item[1], item[0]))
+
+    def edge_keyword_search(self, keyword: str, mode: str = "contains") -> list[EdgeRow]:
+        """Search edge labels; return matching rows."""
+        row_ids = self.edge_label_index.search(keyword, mode=mode)
+        return [self.store.get(row_id) for row_id in sorted(row_ids, key=lambda r: int(r))]  # type: ignore[arg-type]
+
+    def bounds(self) -> Rect | None:
+        """Return the bounding rectangle of the layer's drawing."""
+        return self.rtree.bounds
+
+    def distinct_node_ids(self) -> set[int]:
+        """Return every node id appearing in the table."""
+        return set(self.node1_index.keys()) | set(self.node2_index.keys())

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+Heavier fixtures (preprocessed datasets) are session-scoped so the integration
+and query tests reuse a single preprocessing run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AbstractionConfig,
+    GraphVizDBConfig,
+    LayoutConfig,
+    PartitionConfig,
+)
+from repro.core.pipeline import PreprocessingPipeline
+from repro.graph.generators import community_graph, patent_like, wikidata_like
+from repro.graph.model import Graph
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    """A tiny deterministic directed graph used across unit tests."""
+    graph = Graph(directed=True, name="small")
+    graph.add_node(1, label="Alice", node_type="person")
+    graph.add_node(2, label="Bob", node_type="person")
+    graph.add_node(3, label="Carol", node_type="person")
+    graph.add_node(4, label="Databases", node_type="topic")
+    graph.add_edge(1, 2, label="knows")
+    graph.add_edge(2, 3, label="knows")
+    graph.add_edge(1, 4, label="likes")
+    graph.add_edge(3, 4, label="likes")
+    return graph
+
+
+@pytest.fixture
+def communities() -> Graph:
+    """A planted-partition graph with clear community structure."""
+    return community_graph(num_communities=4, community_size=20, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> GraphVizDBConfig:
+    """Fast preprocessing configuration for tests."""
+    return GraphVizDBConfig(
+        partition=PartitionConfig(max_partition_nodes=120, seed=1),
+        layout=LayoutConfig(iterations=15, seed=1),
+        abstraction=AbstractionConfig(num_layers=2),
+    )
+
+
+@pytest.fixture(scope="session")
+def patent_result(small_config):
+    """A preprocessed small Patent-like dataset (shared across tests)."""
+    graph = patent_like(num_patents=300, seed=3)
+    return PreprocessingPipeline(small_config).run(graph)
+
+
+@pytest.fixture(scope="session")
+def wikidata_result(small_config):
+    """A preprocessed small Wikidata-like dataset (shared across tests)."""
+    graph = wikidata_like(num_entities=200, seed=3)
+    return PreprocessingPipeline(small_config).run(graph)

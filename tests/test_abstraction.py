@@ -1,0 +1,256 @@
+"""Unit tests for ranking criteria, abstraction methods and the layer hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abstraction.base import AbstractionLayer
+from repro.abstraction.filter_layer import FilterAbstraction
+from repro.abstraction.hierarchy import (
+    LayerHierarchy,
+    build_hierarchy,
+    create_abstraction_method,
+)
+from repro.abstraction.merge_layer import MergeAbstraction, label_propagation_communities
+from repro.abstraction.ranking import (
+    create_ranking,
+    degree_scores,
+    hits_scores,
+    pagerank_scores,
+)
+from repro.config import AbstractionConfig
+from repro.errors import AbstractionError
+from repro.graph.generators import community_graph, path_graph, star_graph
+from repro.graph.model import Graph
+from repro.layout.base import Layout
+from repro.layout.circular import CircularLayout
+from repro.spatial.geometry import Point
+
+
+class TestRanking:
+    def test_degree_scores(self, small_graph):
+        scores = degree_scores(small_graph)
+        assert scores[1] == 2.0
+        assert scores[4] == 2.0
+
+    def test_pagerank_sums_to_one(self):
+        graph = star_graph(10)
+        scores = pagerank_scores(graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pagerank_hub_ranks_highest_on_star(self):
+        # Directed star pointing inwards: the centre should accumulate rank.
+        graph = Graph(directed=True)
+        for leaf in range(1, 9):
+            graph.add_edge(leaf, 0)
+        scores = pagerank_scores(graph)
+        assert scores[0] == max(scores.values())
+
+    def test_pagerank_empty_graph(self):
+        assert pagerank_scores(Graph()) == {}
+
+    def test_pagerank_handles_dangling_nodes(self):
+        graph = Graph(directed=True)
+        graph.add_edge(1, 2)  # node 2 has no outgoing edges
+        scores = pagerank_scores(graph)
+        assert scores[2] > scores[1]
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_hits_authority_on_directed_star(self):
+        graph = Graph(directed=True)
+        for leaf in range(1, 9):
+            graph.add_edge(leaf, 0)
+        scores = hits_scores(graph)
+        assert scores[0] == max(scores.values())
+
+    def test_hits_empty_graph(self):
+        assert hits_scores(Graph()) == {}
+
+    def test_create_ranking_known_and_unknown(self):
+        assert create_ranking("degree") is degree_scores
+        assert create_ranking("PageRank") is pagerank_scores
+        assert create_ranking("hits") is hits_scores
+        with pytest.raises(AbstractionError):
+            create_ranking("betweenness")
+
+
+class TestFilterAbstraction:
+    @pytest.fixture
+    def graph_and_layout(self):
+        graph = star_graph(9)
+        layout = CircularLayout(area_per_node=100.0).layout(graph)
+        return graph, layout
+
+    def test_keep_fraction_respected(self, graph_and_layout):
+        graph, layout = graph_and_layout
+        layer = FilterAbstraction("degree", keep_fraction=0.5).abstract(graph, layout, 1)
+        assert layer.num_nodes == 5
+        assert layer.level == 1
+
+    def test_highest_degree_survives(self, graph_and_layout):
+        graph, layout = graph_and_layout
+        layer = FilterAbstraction("degree", keep_fraction=0.2).abstract(graph, layout, 1)
+        assert 0 in set(layer.graph.node_ids())
+
+    def test_positions_preserved(self, graph_and_layout):
+        graph, layout = graph_and_layout
+        layer = FilterAbstraction("degree", keep_fraction=0.5).abstract(graph, layout, 1)
+        for node_id in layer.graph.node_ids():
+            assert layer.layout.position(node_id) == layout.position(node_id)
+
+    def test_threshold_mode(self, graph_and_layout):
+        graph, layout = graph_and_layout
+        layer = FilterAbstraction("degree", threshold=5.0).abstract(graph, layout, 1)
+        assert set(layer.graph.node_ids()) == {0}
+
+    def test_threshold_never_empty(self, graph_and_layout):
+        graph, layout = graph_and_layout
+        layer = FilterAbstraction("degree", threshold=1e9).abstract(graph, layout, 1)
+        assert layer.num_nodes == 1
+
+    def test_via_edges_keep_paths_visible(self):
+        graph = path_graph(5)
+        layout = Layout({i: Point(float(i), 0.0) for i in range(5)})
+        layer = FilterAbstraction(
+            "degree", keep_fraction=0.6, keep_connecting_edges=False
+        ).abstract(graph, layout, 1)
+        # Endpoints (degree 1) are dropped; survivors connected through them get
+        # via edges only if an intermediate was removed between two survivors.
+        assert layer.num_nodes == 3
+        assert layer.num_edges >= 2
+
+    def test_invalid_keep_fraction(self):
+        with pytest.raises(AbstractionError):
+            FilterAbstraction(keep_fraction=0.0)
+        with pytest.raises(AbstractionError):
+            FilterAbstraction(keep_fraction=1.0)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(AbstractionError):
+            FilterAbstraction().abstract(Graph(), Layout({}), 1)
+
+    def test_mapping_is_identity_on_survivors(self, graph_and_layout):
+        graph, layout = graph_and_layout
+        layer = FilterAbstraction("degree", keep_fraction=0.5).abstract(graph, layout, 1)
+        assert all(layer.represents(n) == n for n in layer.graph.node_ids())
+        assert layer.represents(10**6) is None
+
+
+class TestMergeAbstraction:
+    def test_communities_collapse_into_supernodes(self):
+        graph = community_graph(num_communities=3, community_size=15, inter_edges=2, seed=6)
+        layout = CircularLayout(area_per_node=100.0).layout(graph)
+        layer = MergeAbstraction(seed=1).abstract(graph, layout, 1)
+        assert 1 < layer.num_nodes < graph.num_nodes
+        # The mapping covers every original node.
+        assert set(layer.node_mapping) == set(graph.node_ids())
+
+    def test_supernode_positions_are_member_centroids(self):
+        graph = Graph(directed=False)
+        graph.add_edge(1, 2)
+        layout = Layout({1: Point(0, 0), 2: Point(10, 0)})
+        layer = MergeAbstraction(min_community_size=1, seed=0).abstract(graph, layout, 1)
+        if layer.num_nodes == 1:
+            assert layer.layout.position(0) == Point(5.0, 0.0)
+
+    def test_supernode_size_property(self):
+        graph = community_graph(num_communities=2, community_size=10, inter_edges=1, seed=2)
+        layout = CircularLayout().layout(graph)
+        layer = MergeAbstraction(seed=3).abstract(graph, layout, 1)
+        total = sum(layer.graph.node(n).properties["size"] for n in layer.graph.node_ids())
+        assert total == graph.num_nodes
+
+    def test_label_propagation_deterministic(self):
+        graph = community_graph(num_communities=3, community_size=10, seed=4)
+        first = label_propagation_communities(graph, seed=5)
+        second = label_propagation_communities(graph, seed=5)
+        assert first == second
+
+    def test_label_propagation_finds_planted_communities(self):
+        graph = community_graph(
+            num_communities=3, community_size=15, intra_probability=0.5, inter_edges=1, seed=7
+        )
+        communities = label_propagation_communities(graph, seed=2)
+        # Nodes of the same planted community should mostly share a label.
+        from collections import Counter
+
+        agreement = 0
+        for community_index in range(3):
+            members = [communities[n] for n in range(community_index * 15, (community_index + 1) * 15)]
+            agreement += Counter(members).most_common(1)[0][1]
+        assert agreement >= 0.8 * 45
+
+    def test_invalid_min_size(self):
+        with pytest.raises(AbstractionError):
+            MergeAbstraction(min_community_size=0)
+
+
+class TestHierarchy:
+    @pytest.fixture
+    def base(self):
+        graph = community_graph(num_communities=4, community_size=15, seed=9)
+        layout = CircularLayout(area_per_node=200.0).layout(graph)
+        return graph, layout
+
+    def test_build_hierarchy_layer_zero_is_input(self, base):
+        graph, layout = base
+        hierarchy = build_hierarchy(graph, layout, AbstractionConfig(num_layers=3))
+        assert hierarchy.num_layers >= 2
+        assert hierarchy.layer(0).graph is graph
+        assert hierarchy.layer(0).criterion == "input"
+
+    def test_layers_shrink_monotonically(self, base):
+        graph, layout = base
+        hierarchy = build_hierarchy(graph, layout, AbstractionConfig(num_layers=3))
+        sizes = [layer.num_nodes for layer in hierarchy]
+        assert all(sizes[i] > sizes[i + 1] for i in range(len(sizes) - 1))
+
+    def test_trace_up_follows_mappings(self, base):
+        graph, layout = base
+        hierarchy = build_hierarchy(
+            graph, layout, AbstractionConfig(num_layers=2, criterion="merge")
+        )
+        if hierarchy.num_layers >= 2:
+            node = next(iter(graph.node_ids()))
+            mapped = hierarchy.trace_up(node, 0, hierarchy.num_layers - 1)
+            assert mapped is None or hierarchy.layer(hierarchy.num_layers - 1).graph.has_node(mapped)
+
+    def test_trace_up_invalid_direction(self, base):
+        graph, layout = base
+        hierarchy = build_hierarchy(graph, layout, AbstractionConfig(num_layers=1))
+        with pytest.raises(AbstractionError):
+            hierarchy.trace_up(0, 1, 0)
+
+    def test_zero_extra_layers(self, base):
+        graph, layout = base
+        hierarchy = build_hierarchy(graph, layout, AbstractionConfig(num_layers=0))
+        assert hierarchy.num_layers == 1
+
+    def test_layer_out_of_range_raises(self, base):
+        graph, layout = base
+        hierarchy = build_hierarchy(graph, layout, AbstractionConfig(num_layers=1))
+        with pytest.raises(AbstractionError):
+            hierarchy.layer(10)
+
+    def test_hierarchy_validates_levels(self, base):
+        graph, layout = base
+        layer0 = AbstractionLayer(level=0, graph=graph, layout=layout)
+        bad = AbstractionLayer(level=5, graph=graph, layout=layout)
+        with pytest.raises(AbstractionError):
+            LayerHierarchy([layer0, bad])
+        with pytest.raises(AbstractionError):
+            LayerHierarchy([])
+
+    def test_create_abstraction_method_factory(self):
+        assert isinstance(create_abstraction_method("degree"), FilterAbstraction)
+        assert isinstance(create_abstraction_method("merge"), MergeAbstraction)
+        with pytest.raises(AbstractionError):
+            create_abstraction_method("sampling")
+
+    def test_all_criteria_produce_layers(self, base):
+        graph, layout = base
+        for criterion in ["degree", "pagerank", "hits", "merge"]:
+            hierarchy = build_hierarchy(
+                graph, layout, AbstractionConfig(num_layers=2, criterion=criterion)
+            )
+            assert hierarchy.num_layers >= 2

@@ -1,0 +1,161 @@
+"""Unit tests for the JSON API layer (the web endpoints of the prototype)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.api import ApiError, GraphVizDBApi
+from repro.core.server import GraphVizDBServer
+from repro.graph.datasets import acm_like
+
+
+@pytest.fixture(scope="module")
+def api(request):
+    config = request.getfixturevalue("small_config")
+    server = GraphVizDBServer(config)
+    server.load_dataset(acm_like(num_articles=150, num_authors=40, seed=5), name="acm")
+    return GraphVizDBApi(server)
+
+
+def _window_request(api: GraphVizDBApi, fraction: float = 0.5) -> dict[str, object]:
+    bounds = api.server.dataset("acm").database.bounds(0)
+    window = bounds.scaled(fraction)
+    return {
+        "min_x": window.min_x, "min_y": window.min_y,
+        "max_x": window.max_x, "max_y": window.max_y,
+    }
+
+
+class TestDatasetEndpoints:
+    def test_list_datasets(self, api):
+        response = api.list_datasets()
+        assert len(response["datasets"]) == 1
+        entry = response["datasets"][0]
+        assert entry["name"] == "acm"
+        assert entry["num_nodes"] > 0
+        assert 0 in entry["layers"]
+
+    def test_dataset_info(self, api):
+        response = api.dataset_info("acm")
+        assert response["statistics"]["num_nodes"] > 0
+        assert len(response["layers"]) >= 1
+        assert response["layers"][0]["layer"] == 0
+
+    def test_unknown_dataset_is_404(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.dataset_info("dbpedia")
+        assert excinfo.value.status == 404
+        assert "dbpedia" in excinfo.value.as_dict()["error"]
+
+
+class TestWindowEndpoints:
+    def test_window_returns_payload(self, api):
+        response = api.window("acm", _window_request(api))
+        assert response["num_objects"] == len(response["nodes"]) + len(response["edges"])
+        assert response["num_objects"] > 0
+        assert response["timings_ms"]["db_query"] >= 0
+        # The response must be JSON-serialisable as-is.
+        json.dumps(response)
+
+    def test_window_missing_fields_is_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.window("acm", {"min_x": 0})
+        assert excinfo.value.status == 400
+
+    def test_window_invalid_rect_is_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.window("acm", {"min_x": 10, "min_y": 0, "max_x": 0, "max_y": 5})
+        assert excinfo.value.status == 400
+
+    def test_window_unknown_layer_is_404(self, api):
+        request = _window_request(api)
+        request["layer"] = 99
+        with pytest.raises(ApiError) as excinfo:
+            api.window("acm", request)
+        assert excinfo.value.status == 404
+
+    def test_layer_endpoint_requires_layer(self, api):
+        request = _window_request(api)
+        with pytest.raises(ApiError):
+            api.layer("acm", request)
+        request["layer"] = api.server.dataset("acm").database.layers()[-1]
+        response = api.layer("acm", request)
+        assert response["layer"] == request["layer"]
+
+
+class TestSearchAndFocus:
+    def test_search(self, api):
+        response = api.search("acm", {"keyword": "faloutsos", "limit": 5})
+        assert response["num_matches"] >= 1
+        assert all("faloutsos" in match["label"].lower() for match in response["matches"])
+
+    def test_search_empty_keyword_is_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.search("acm", {"keyword": "   "})
+        assert excinfo.value.status == 400
+
+    def test_focus_on_search_result(self, api):
+        matches = api.search("acm", {"keyword": "faloutsos", "limit": 1})["matches"]
+        node_id = matches[0]["node_id"]
+        response = api.focus("acm", {
+            "node_id": node_id, "viewport_width": 800, "viewport_height": 600,
+        })
+        assert response["center"]["x"] == pytest.approx(matches[0]["x"])
+        assert any(node["id"] == node_id for node in response["nodes"])
+
+    def test_focus_unknown_node_is_404(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.focus("acm", {"node_id": 10**9})
+        assert excinfo.value.status == 404
+
+    def test_node_info_endpoint(self, api):
+        matches = api.search("acm", {"keyword": "ICDE", "limit": 1})["matches"]
+        info = api.node("acm", matches[0]["node_id"])
+        assert info["label"] == "ICDE"
+        assert info["degree"] > 0
+
+    def test_birdview_endpoint(self, api):
+        response = api.birdview("acm", width=20, height=10)
+        assert response["width"] == 20
+        assert len(response["grid"]) == 10
+        assert all(len(row) == 20 for row in response["grid"])
+
+
+class TestEditEndpoint:
+    def test_rename_and_search_roundtrip(self, api):
+        matches = api.search("acm", {"keyword": "article", "limit": 1})["matches"]
+        node_id = matches[0]["node_id"]
+        response = api.edit("acm", {
+            "operation": "rename_node", "node_id": node_id, "label": "renamed-article-x",
+        })
+        assert response["rows_touched"] >= 1
+        assert api.search("acm", {"keyword": "renamed-article-x"})["num_matches"] == 1
+
+    def test_add_and_delete_edge(self, api):
+        hits = api.search("acm", {"keyword": "ICDE", "limit": 1})["matches"]
+        venue = hits[0]["node_id"]
+        author = api.search("acm", {"keyword": "turing", "limit": 1})["matches"][0]["node_id"]
+        added = api.edit("acm", {
+            "operation": "add_edge", "source": author, "target": venue, "label": "pc-member",
+        })
+        assert added["rows_touched"] == 1
+        deleted = api.edit("acm", {
+            "operation": "delete_edge", "source": author, "target": venue,
+        })
+        assert deleted["rows_touched"] == 1
+
+    def test_unknown_operation_is_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.edit("acm", {"operation": "truncate"})
+        assert excinfo.value.status == 400
+
+    def test_missing_arguments_is_400(self, api):
+        with pytest.raises(ApiError):
+            api.edit("acm", {"operation": "rename_node"})
+
+    def test_edit_unknown_node_is_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.edit("acm", {"operation": "rename_node", "node_id": 10**9, "label": "x"})
+        assert excinfo.value.status == 400

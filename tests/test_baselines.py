@@ -1,0 +1,103 @@
+"""Unit tests for the holistic and hierarchical baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.hierarchical import HierarchicalExplorer
+from repro.baselines.holistic import HolisticVisualizer
+from repro.errors import GraphVizDBError
+from repro.graph.generators import community_graph, path_graph
+from repro.graph.traversal import shortest_path
+from repro.layout.base import Layout
+from repro.spatial.geometry import Point, Rect
+
+
+class TestHolistic:
+    @pytest.fixture
+    def visualizer(self):
+        graph = path_graph(10)
+        layout = Layout({i: Point(float(i * 10), 0.0) for i in range(10)})
+        return HolisticVisualizer(graph, layout=layout)
+
+    def test_window_query_by_linear_scan(self, visualizer):
+        result = visualizer.window_query(Rect(-5, -5, 35, 5))
+        assert set(result.nodes) == {0, 1, 2, 3, 4}
+        assert (0, 1) in result.edges and (3, 4) in result.edges
+        assert result.scan_seconds >= 0
+
+    def test_edges_crossing_window_included(self, visualizer):
+        # Window strictly between node 4 (x=40) and node 5 (x=50).
+        result = visualizer.window_query(Rect(42, -1, 48, 1))
+        assert result.edges == [(4, 5)]
+
+    def test_num_objects(self, visualizer):
+        result = visualizer.window_query(Rect(-100, -100, 200, 100))
+        assert result.num_objects == 10 + 9
+
+    def test_memory_estimate_grows_with_graph(self):
+        small = HolisticVisualizer(path_graph(20), layout_iterations=5)
+        large = HolisticVisualizer(path_graph(200), layout_iterations=5)
+        assert large.estimated_memory_bytes() > small.estimated_memory_bytes()
+
+    def test_layout_computed_when_missing(self):
+        visualizer = HolisticVisualizer(path_graph(15), layout_iterations=5)
+        assert len(visualizer.layout.positions) == 15
+
+
+class TestHierarchicalExplorer:
+    @pytest.fixture
+    def explorer(self):
+        graph = community_graph(num_communities=4, community_size=20, inter_edges=2, seed=3)
+        return HierarchicalExplorer(graph, max_cluster_size=25, seed=1)
+
+    def test_root_contains_everything(self, explorer):
+        assert len(explorer.clusters[explorer.root].members) == 80
+        assert set(explorer.visible_nodes()) == set(range(80))
+
+    def test_tree_statistics(self, explorer):
+        stats = explorer.tree_statistics()
+        assert stats["num_clusters"] > 1
+        assert stats["num_leaves"] >= 2
+        assert stats["max_depth"] >= 1
+
+    def test_expand_and_collapse(self, explorer):
+        child = explorer.clusters[explorer.root].children[0]
+        visible = explorer.expand(child)
+        assert set(visible) < set(range(80))
+        explorer.collapse()
+        assert explorer.expanded == explorer.root
+        assert explorer.vertical_operations == 2
+
+    def test_expand_unknown_cluster_raises(self, explorer):
+        with pytest.raises(GraphVizDBError):
+            explorer.expand(10**6)
+
+    def test_cluster_of_every_node(self, explorer):
+        for node_id in range(80):
+            cluster = explorer.cluster_of(node_id)
+            assert node_id in explorer.clusters[cluster].members
+
+    def test_leaf_clusters_respect_size_bound(self, explorer):
+        for cluster in explorer.clusters.values():
+            if cluster.is_leaf and cluster.depth < explorer.max_depth:
+                assert len(cluster.members) <= explorer.max_cluster_size
+
+    def test_path_within_one_cluster_costs_nothing(self, explorer):
+        leaf = next(c for c in explorer.clusters.values() if c.is_leaf and len(c.members) >= 2)
+        path = leaf.members[:2]
+        assert explorer.operations_to_follow_path(path) == 0
+
+    def test_cross_community_path_costs_vertical_operations(self, explorer):
+        graph = explorer.graph
+        # A path from community 0 to community 3 necessarily crosses clusters.
+        path = shortest_path(graph, 0, 75)
+        if path is not None:
+            assert explorer.operations_to_follow_path(path) > 0
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(GraphVizDBError):
+            HierarchicalExplorer(path_graph(5), max_cluster_size=1)
+
+    def test_empty_path(self, explorer):
+        assert explorer.operations_to_follow_path([]) == 0

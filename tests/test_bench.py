@@ -1,0 +1,135 @@
+"""Unit tests for the benchmark harness (workloads, aggregation, runners, reports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_comparison, format_figure3, format_table1
+from repro.bench.runner import (
+    Figure3Series,
+    Table1Result,
+    build_benchmark_datasets,
+    run_figure3,
+    run_table1,
+)
+from repro.bench.timing import aggregate_timings
+from repro.bench.workloads import PAPER_WINDOW_SIZES, random_windows, window_size_sweep
+from repro.client.simulator import InteractionTiming
+from repro.config import AbstractionConfig, GraphVizDBConfig, LayoutConfig, PartitionConfig
+from repro.spatial.geometry import Rect
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> GraphVizDBConfig:
+    return GraphVizDBConfig(
+        partition=PartitionConfig(max_partition_nodes=100),
+        layout=LayoutConfig(iterations=10),
+        abstraction=AbstractionConfig(num_layers=1),
+    )
+
+
+class TestWorkloads:
+    def test_paper_window_sizes(self):
+        assert PAPER_WINDOW_SIZES == (200, 1500, 2000, 2500, 3000)
+
+    def test_random_windows_within_bounds(self):
+        bounds = Rect(0, 0, 10_000, 10_000)
+        windows = random_windows(bounds, 500, count=50, seed=1)
+        assert len(windows) == 50
+        for window in windows:
+            assert window.width == pytest.approx(500)
+            assert bounds.contains_rect(window)
+
+    def test_random_windows_deterministic(self):
+        bounds = Rect(0, 0, 5000, 5000)
+        assert random_windows(bounds, 300, count=5, seed=9) == random_windows(
+            bounds, 300, count=5, seed=9
+        )
+
+    def test_window_larger_than_drawing_centers_on_it(self):
+        bounds = Rect(0, 0, 100, 100)
+        windows = random_windows(bounds, 1000, count=3, seed=2)
+        for window in windows:
+            assert window.center.x == pytest.approx(50)
+            assert window.center.y == pytest.approx(50)
+
+    def test_window_size_sweep(self, patent_result):
+        workloads = window_size_sweep(
+            patent_result.database, window_sizes=(200, 1000), queries_per_size=10
+        )
+        assert [w.window_size for w in workloads] == [200, 1000]
+        assert all(w.num_queries == 10 for w in workloads)
+
+
+class TestAggregation:
+    def test_aggregate_timings_means(self):
+        timings = [
+            InteractionTiming(0.010, 0.002, 0.1, 50, 30, 20, 1000),
+            InteractionTiming(0.020, 0.004, 0.3, 150, 90, 60, 3000),
+        ]
+        aggregate = aggregate_timings(2500, timings)
+        assert aggregate.window_size == 2500
+        assert aggregate.num_queries == 2
+        assert aggregate.db_query_ms == pytest.approx(15.0)
+        assert aggregate.json_build_ms == pytest.approx(3.0)
+        assert aggregate.communication_rendering_ms == pytest.approx(200.0)
+        assert aggregate.total_ms == pytest.approx(218.0)
+        assert aggregate.avg_objects == pytest.approx(100.0)
+
+    def test_aggregate_empty_list(self):
+        aggregate = aggregate_timings(200, [])
+        assert aggregate.num_queries == 0
+        assert aggregate.total_ms == 0.0
+
+
+class TestRunners:
+    def test_build_benchmark_datasets(self):
+        datasets = build_benchmark_datasets(scale=0.1)
+        assert set(datasets) == {"wikidata-like", "patent-like"}
+        assert all(graph.num_nodes > 0 for graph in datasets.values())
+
+    def test_run_table1_produces_rows(self, tiny_config):
+        datasets = {
+            name: graph for name, graph in build_benchmark_datasets(scale=0.08).items()
+        }
+        result = run_table1(datasets=datasets, config=tiny_config)
+        rows = result.rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert all(row[f"step{step}_s"] >= 0 for step in range(1, 6))
+            assert row["total_s"] > 0
+            assert row["parallel_step5_s"] <= row["step5_s"] + 1e-9
+
+    def test_run_figure3_series_shape(self, patent_result):
+        series = run_figure3(
+            patent_result,
+            "patent-like",
+            window_sizes=(400, 1200),
+            queries_per_size=5,
+        )
+        assert series.window_sizes() == [400, 1200]
+        totals = series.series("total_ms")
+        objects = series.series("avg_objects")
+        assert len(totals) == 2
+        # Larger windows contain at least as many objects on average.
+        assert objects[1] >= objects[0]
+
+    def test_reports_formatting(self, patent_result):
+        series = run_figure3(
+            patent_result, "patent-like", window_sizes=(500,), queries_per_size=3
+        )
+        text = format_figure3(series)
+        assert "patent-like" in text
+        assert "500^2" in text
+
+        table = Table1Result(reports={"patent-like": patent_result.report})
+        table_text = format_table1(table)
+        assert "Step 5" in table_text
+        assert "patent-like" in table_text
+        table_text_min = format_table1(table, unit="min")
+        assert "(min)" in table_text_min
+
+    def test_format_comparison(self):
+        line = format_comparison("rendering dominates", "yes", "yes", True)
+        assert line.startswith("[OK]")
+        assert "DIFFERS" in format_comparison("x", "1", "2", False)

@@ -1,0 +1,121 @@
+"""Unit tests for the B+-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SpatialIndexError
+from repro.spatial.btree import BPlusTree
+
+
+class TestInsertSearch:
+    def test_empty_tree(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert tree.search(1) == []
+        assert not tree.contains(1)
+
+    def test_single_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert(10, "row-1")
+        assert tree.search(10) == ["row-1"]
+        assert tree.contains(10)
+        assert tree.num_keys == 1
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.search(5) == ["a", "b"]
+        assert tree.num_keys == 1
+        assert len(tree) == 2
+
+    def test_many_inserts_splits_and_stays_correct(self):
+        tree = BPlusTree(order=5)
+        keys = list(range(500))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert tree.num_keys == 500
+        assert tree.height() > 1
+        for key in (0, 17, 499, 250):
+            assert tree.search(key) == [key * 10]
+        tree.check_invariants()
+
+    def test_order_validation(self):
+        with pytest.raises(SpatialIndexError):
+            BPlusTree(order=2)
+
+
+class TestRangeAndIteration:
+    def test_keys_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(key, str(key))
+        assert list(tree.keys()) == [1, 3, 5, 7, 9]
+
+    def test_range_search_inclusive(self):
+        tree = BPlusTree(order=4)
+        for key in range(20):
+            tree.insert(key, key)
+        result = tree.range_search(5, 8)
+        assert [key for key, _ in result] == [5, 6, 7, 8]
+
+    def test_range_search_empty_and_inverted(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert tree.range_search(5, 10) == []
+        assert tree.range_search(10, 5) == []
+
+    def test_range_search_with_duplicates(self):
+        tree = BPlusTree(order=4)
+        tree.insert(3, "x")
+        tree.insert(3, "y")
+        tree.insert(4, "z")
+        assert tree.range_search(3, 4) == [(3, "x"), (3, "y"), (4, "z")]
+
+    def test_items_iterates_everything(self):
+        tree = BPlusTree(order=6)
+        for key in range(50):
+            tree.insert(key, -key)
+        items = list(tree.items())
+        assert len(items) == 50
+        assert items[0] == (0, 0)
+        assert items[-1] == (49, -49)
+
+
+class TestRemove:
+    def test_remove_single_value(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1, "a") == 1
+        assert tree.search(1) == ["b"]
+
+    def test_remove_all_values_of_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.remove(1) == 2
+        assert not tree.contains(1)
+        assert tree.num_keys == 0
+
+    def test_remove_missing(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert tree.remove(2) == 0
+        assert tree.remove(1, "nope") == 0
+
+    def test_remove_then_reinsert(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(0, 100, 3):
+            tree.remove(key)
+        for key in range(0, 100, 3):
+            assert not tree.contains(key)
+            tree.insert(key, key + 1000)
+        assert tree.search(3) == [1003]
+        tree.check_invariants()

@@ -1,0 +1,152 @@
+"""Unit tests for the window cache and the caching query manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import CachingQueryManager, WindowCache
+from repro.core.filters import FilterSpec
+from repro.core.query_manager import QueryManager
+from repro.spatial.geometry import Rect
+
+
+@pytest.fixture
+def managers(patent_result):
+    inner = QueryManager(patent_result.database)
+    caching = CachingQueryManager(inner, capacity=8, prefetch_margin=0.5)
+    return inner, caching
+
+
+class TestWindowCache:
+    def test_miss_then_hit_on_same_window(self):
+        cache = WindowCache(capacity=4)
+        window = Rect(0, 0, 100, 100)
+        assert cache.lookup(0, window) is None
+        cache.store(0, window, [])
+        assert cache.lookup(0, window) == []
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_containment_hit(self, patent_result):
+        table = patent_result.database.table(0)
+        bounds = patent_result.database.bounds(0)
+        cache = WindowCache(capacity=4)
+        big = Rect.from_center(bounds.center, bounds.width / 2, bounds.height / 2)
+        cache.store(0, big, table.window_query(big))
+        small = Rect.from_center(bounds.center, bounds.width / 8, bounds.height / 8)
+        cached = cache.lookup(0, small)
+        assert cached is not None
+        expected = {row.row_id for row in table.window_query(small)}
+        assert {row.row_id for row in cached} == expected
+
+    def test_layer_isolation(self):
+        cache = WindowCache(capacity=4)
+        window = Rect(0, 0, 10, 10)
+        cache.store(0, window, [])
+        assert cache.lookup(1, window) is None
+
+    def test_lru_eviction(self):
+        cache = WindowCache(capacity=2)
+        for index in range(3):
+            cache.store(0, Rect(index, 0, index + 1, 1), [])
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest entry (index 0) was evicted.
+        assert cache.lookup(0, Rect(0.2, 0.2, 0.8, 0.8)) is None
+
+    def test_invalidate(self):
+        cache = WindowCache(capacity=4)
+        cache.store(0, Rect(0, 0, 1, 1), [])
+        cache.store(1, Rect(0, 0, 1, 1), [])
+        cache.invalidate(layer=0)
+        assert cache.lookup(0, Rect(0, 0, 1, 1)) is None
+        assert cache.lookup(1, Rect(0, 0, 1, 1)) is not None
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WindowCache(capacity=0)
+
+
+class TestCachingQueryManager:
+    def test_results_identical_to_uncached(self, managers, patent_result):
+        inner, caching = managers
+        bounds = patent_result.database.bounds(0)
+        window = Rect.from_center(bounds.center, bounds.width / 6, bounds.height / 6)
+        fresh = inner.window_query(window)
+        cached_first = caching.window_query(window)   # miss + prefetch
+        cached_second = caching.window_query(window)  # hit
+        fresh_ids = {row.row_id for row in fresh.rows}
+        assert {row.row_id for row in cached_first.rows} == fresh_ids
+        assert {row.row_id for row in cached_second.rows} == fresh_ids
+
+    def test_pan_inside_prefetched_region_hits_cache(self, managers, patent_result):
+        _, caching = managers
+        bounds = patent_result.database.bounds(0)
+        window = Rect.from_center(bounds.center, bounds.width / 10, bounds.height / 10)
+        caching.window_query(window)
+        panned = window.translated(window.width * 0.2, 0.0)
+        caching.window_query(panned)
+        assert caching.cache.stats.hits >= 1
+
+    def test_cache_hit_answers_match_database(self, managers, patent_result):
+        inner, caching = managers
+        bounds = patent_result.database.bounds(0)
+        window = Rect.from_center(bounds.center, bounds.width / 10, bounds.height / 10)
+        caching.window_query(window)
+        panned = window.translated(window.width * 0.3, window.height * 0.1)
+        cached = caching.window_query(panned)
+        fresh = inner.window_query(panned)
+        assert {r.row_id for r in cached.rows} == {r.row_id for r in fresh.rows}
+
+    def test_filtered_queries_bypass_cache(self, managers, patent_result):
+        _, caching = managers
+        bounds = patent_result.database.bounds(0)
+        spec = FilterSpec(hidden_edge_labels={"cites"})
+        before = caching.cache.stats.lookups
+        caching.window_query(bounds, filters=spec)
+        assert caching.cache.stats.lookups == before
+
+    def test_hit_rate_statistics(self, managers, patent_result):
+        _, caching = managers
+        bounds = patent_result.database.bounds(0)
+        window = Rect.from_center(bounds.center, bounds.width / 8, bounds.height / 8)
+        caching.window_query(window)
+        caching.window_query(window)
+        caching.window_query(window)
+        stats = caching.cache.stats
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalidate_after_edit_forces_refetch(self, managers, patent_result):
+        _, caching = managers
+        bounds = patent_result.database.bounds(0)
+        window = Rect.from_center(bounds.center, bounds.width / 8, bounds.height / 8)
+        caching.window_query(window)
+        caching.invalidate(layer=0)
+        caching.window_query(window)
+        assert caching.cache.stats.misses == 2
+
+    def test_no_prefetch_mode(self, patent_result):
+        inner = QueryManager(patent_result.database)
+        caching = CachingQueryManager(inner, capacity=4, prefetch_margin=0.0)
+        bounds = patent_result.database.bounds(0)
+        window = Rect.from_center(bounds.center, bounds.width / 8, bounds.height / 8)
+        first = caching.window_query(window)
+        second = caching.window_query(window)
+        assert {r.row_id for r in first.rows} == {r.row_id for r in second.rows}
+        assert caching.cache.stats.prefetches == 0
+
+    def test_invalid_prefetch_margin(self, patent_result):
+        with pytest.raises(ValueError):
+            CachingQueryManager(QueryManager(patent_result.database), prefetch_margin=-1)
+
+    def test_delegated_operations(self, managers):
+        _, caching = managers
+        viewport = caching.default_viewport()
+        assert caching.viewport_query(viewport).num_objects >= 0
+        result = caching.keyword_search("patent", limit=3)
+        assert result.num_matches >= 0
+        assert caching.database is caching.inner.database

@@ -1,0 +1,103 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_preprocess_flags(self):
+        args = build_parser().parse_args([
+            "preprocess", "--dataset", "acm", "--scale", "0.1",
+            "--output", "out.db", "--layers", "2", "--criterion", "pagerank",
+        ])
+        assert args.dataset == "acm"
+        assert args.criterion == "pagerank"
+        assert args.handler.__name__ == "cmd_preprocess"
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["preprocess", "--dataset", "freebase", "--output", "x"])
+
+    def test_dataset_and_input_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "preprocess", "--dataset", "acm", "--input", "graph.txt",
+            ])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("acm", "dblp", "patent", "webgraph", "wikidata"):
+            assert name in output
+
+    def test_stats_dataset(self, capsys):
+        assert main(["stats", "--dataset", "acm", "--scale", "0.05"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_nodes"] > 0
+        assert "average_degree" in payload
+
+    def test_preprocess_then_explore_then_stats(self, tmp_path, capsys):
+        database_path = tmp_path / "acm.db"
+        exit_code = main([
+            "preprocess", "--dataset", "acm", "--scale", "0.05",
+            "--output", str(database_path),
+            "--layers", "1", "--layout-iterations", "10",
+            "--max-partition-nodes", "200",
+        ])
+        assert exit_code == 0
+        assert database_path.exists()
+        preprocess_output = capsys.readouterr().out
+        assert "step 5" in preprocess_output
+
+        exit_code = main([
+            "explore", "--database", str(database_path),
+            "--keyword", "faloutsos", "--limit", "3",
+        ])
+        assert exit_code == 0
+        explore_output = capsys.readouterr().out
+        assert "matches" in explore_output
+
+        exit_code = main(["stats", "--database", str(database_path)])
+        assert exit_code == 0
+        stats_payload = json.loads(capsys.readouterr().out)
+        assert stats_payload["num_layers"] >= 1
+
+    def test_preprocess_from_edge_list_file(self, tmp_path, capsys):
+        from repro.graph.generators import community_graph
+        from repro.graph.io import write_edge_list
+
+        graph_path = tmp_path / "graph.txt"
+        write_edge_list(community_graph(num_communities=2, community_size=12, seed=1), graph_path)
+        database_path = tmp_path / "graph.db"
+        exit_code = main([
+            "preprocess", "--input", str(graph_path), "--output", str(database_path),
+            "--layers", "1", "--layout-iterations", "5", "--max-partition-nodes", "50",
+        ])
+        assert exit_code == 0
+        assert database_path.exists()
+        capsys.readouterr()
+
+    def test_preprocess_missing_input_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "preprocess", "--input", str(tmp_path / "missing.txt"),
+                "--output", str(tmp_path / "out.db"),
+            ])
+
+    def test_bench_command_small(self, capsys):
+        assert main(["bench", "--scale", "0.03", "--queries", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "Figure 3" in output
+        assert "wikidata-like" in output and "patent-like" in output

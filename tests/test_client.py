@@ -1,0 +1,128 @@
+"""Unit tests for the client simulator, cost model and birdview."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.birdview import Birdview
+from repro.client.canvas import ClientCostModel
+from repro.client.simulator import ClientSimulator
+from repro.core.query_manager import QueryManager
+from repro.core.session import ExplorationSession
+from repro.errors import QueryError
+from repro.spatial.geometry import Rect
+
+
+class TestCostModel:
+    def test_rendering_cost_linear_in_objects(self):
+        model = ClientCostModel(per_object_render_s=0.01, frame_setup_s=0.0)
+        assert model.rendering_seconds(100) == pytest.approx(1.0)
+        assert model.rendering_seconds(200) == pytest.approx(2.0)
+
+    def test_communication_cost_grows_with_bytes_and_chunks(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        bounds = patent_result.database.bounds(0)
+        big = manager.window_query(bounds, layer=0)
+        small = manager.window_query(
+            Rect.from_center(bounds.center, bounds.width / 20, bounds.height / 20), layer=0
+        )
+        model = ClientCostModel()
+        assert model.communication_seconds(big.chunks) > model.communication_seconds(small.chunks)
+
+    def test_empty_chunk_list_costs_one_round_trip(self):
+        model = ClientCostModel(request_latency_s=0.05)
+        assert model.communication_seconds([]) == pytest.approx(0.05)
+
+
+class TestSimulator:
+    def test_breakdown_fields(self, patent_result):
+        simulator = ClientSimulator(QueryManager(patent_result.database))
+        bounds = patent_result.database.bounds(0)
+        timing = simulator.execute_window(bounds, layer=0)
+        assert timing.total_seconds == pytest.approx(
+            timing.db_query_seconds
+            + timing.json_build_seconds
+            + timing.communication_rendering_seconds
+        )
+        assert timing.num_objects == timing.num_nodes + timing.num_edges
+        assert timing.bytes_transferred > 0
+
+    def test_communication_rendering_dominates(self, patent_result):
+        # The headline observation of Fig. 3: client-side time dominates the
+        # DB query time for any realistically sized window.
+        simulator = ClientSimulator(QueryManager(patent_result.database))
+        bounds = patent_result.database.bounds(0)
+        window = Rect.from_center(bounds.center, bounds.width / 2, bounds.height / 2)
+        timing = simulator.execute_window(window, layer=0)
+        assert timing.communication_rendering_seconds > timing.db_query_seconds
+
+    def test_as_dict(self, patent_result):
+        simulator = ClientSimulator(QueryManager(patent_result.database))
+        timing = simulator.execute_window(patent_result.database.bounds(0))
+        payload = timing.as_dict()
+        assert set(payload) >= {
+            "db_query_seconds", "json_build_seconds",
+            "communication_rendering_seconds", "total_seconds", "num_objects",
+        }
+
+    def test_replay_session_trace(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        session = ExplorationSession(manager)
+        simulator = ClientSimulator(manager)
+        node_id = next(iter(patent_result.hierarchy.layer(0).graph.node_ids()))
+        trace = [
+            {"op": "refresh"},
+            {"op": "pan", "dx": 200, "dy": 100},
+            {"op": "zoom", "factor": 0.5},
+            {"op": "layer", "layer": 1},
+            {"op": "focus", "node_id": node_id},
+        ]
+        timings = simulator.replay_session_trace(session, trace)
+        assert len(timings) == 5
+        assert all(t.total_seconds > 0 for t in timings)
+
+    def test_replay_unknown_operation_raises(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        simulator = ClientSimulator(manager)
+        session = ExplorationSession(manager)
+        with pytest.raises(ValueError):
+            simulator.replay_session_trace(session, [{"op": "teleport"}])
+
+
+class TestBirdview:
+    def test_raster_covers_all_rows(self, patent_result):
+        birdview = Birdview.from_database(patent_result.database, layer=0, width=30, height=12)
+        total = sum(sum(row) for row in birdview.grid)
+        assert total >= patent_result.database.table(0).num_rows
+
+    def test_cell_center_within_bounds(self, patent_result):
+        birdview = Birdview.from_database(patent_result.database, width=20, height=10)
+        point = birdview.cell_center(5, 5)
+        assert birdview.bounds.contains_point(point)
+        with pytest.raises(QueryError):
+            birdview.cell_center(100, 0)
+
+    def test_densest_cell_is_valid(self, patent_result):
+        birdview = Birdview.from_database(patent_result.database, width=20, height=10)
+        col, row = birdview.densest_cell()
+        assert 0 <= col < 20 and 0 <= row < 10
+        assert birdview.grid[row][col] == max(max(r) for r in birdview.grid)
+
+    def test_ascii_rendering_dimensions(self, patent_result):
+        birdview = Birdview.from_database(patent_result.database, width=24, height=8)
+        art = birdview.to_ascii()
+        lines = art.split("\n")
+        assert len(lines) == 8
+        assert all(len(line) == 24 for line in lines)
+
+    def test_invalid_resolution_raises(self, patent_result):
+        with pytest.raises(QueryError):
+            Birdview.from_database(patent_result.database, width=0, height=5)
+
+    def test_birdview_click_then_jump(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        session = ExplorationSession(manager)
+        birdview = Birdview.from_database(patent_result.database, width=20, height=10)
+        target = birdview.cell_center(*birdview.densest_cell())
+        result = session.jump_to(target)
+        assert result.num_objects > 0

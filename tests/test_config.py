@@ -1,0 +1,82 @@
+"""Unit tests for the configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AbstractionConfig,
+    ClientConfig,
+    GraphVizDBConfig,
+    LayoutConfig,
+    PartitionConfig,
+    StorageConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPartitionConfig:
+    def test_resolve_k_explicit(self):
+        config = PartitionConfig(num_partitions=8)
+        assert config.resolve_k(1000) == 8
+        assert config.resolve_k(3) == 3  # clamped to node count
+
+    def test_resolve_k_from_memory_budget(self):
+        config = PartitionConfig(max_partition_nodes=100)
+        assert config.resolve_k(1000) == 10
+        assert config.resolve_k(950) == 10
+        assert config.resolve_k(50) == 1
+        assert config.resolve_k(0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionConfig(num_partitions=-1)
+        with pytest.raises(ConfigurationError):
+            PartitionConfig(max_partition_nodes=0)
+        with pytest.raises(ConfigurationError):
+            PartitionConfig(balance_factor=0.9)
+
+
+class TestOtherConfigs:
+    def test_layout_validation(self):
+        with pytest.raises(ConfigurationError):
+            LayoutConfig(iterations=0)
+        with pytest.raises(ConfigurationError):
+            LayoutConfig(area_per_node=0)
+        with pytest.raises(ConfigurationError):
+            LayoutConfig(padding=-1)
+
+    def test_abstraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            AbstractionConfig(num_layers=-1)
+        with pytest.raises(ConfigurationError):
+            AbstractionConfig(keep_fraction=1.5)
+
+    def test_storage_validation(self):
+        with pytest.raises(ConfigurationError):
+            StorageConfig(backend="oracle")
+        with pytest.raises(ConfigurationError):
+            StorageConfig(rtree_max_entries=2)
+        with pytest.raises(ConfigurationError):
+            StorageConfig(btree_order=2)
+
+    def test_client_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClientConfig(viewport_width=0)
+        with pytest.raises(ConfigurationError):
+            ClientConfig(chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            ClientConfig(min_zoom=2.0, max_zoom=1.0)
+
+    def test_presets(self):
+        small = GraphVizDBConfig.small()
+        bench = GraphVizDBConfig.benchmark()
+        assert small.partition.max_partition_nodes < bench.partition.max_partition_nodes
+        assert bench.abstraction.num_layers == 4
+
+    def test_default_bundle_is_valid(self):
+        config = GraphVizDBConfig()
+        assert config.partition.method == "multilevel"
+        assert config.layout.algorithm == "force_directed"
+        assert config.abstraction.criterion == "degree"
+        assert config.storage.backend == "memory"

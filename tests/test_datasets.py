@@ -1,0 +1,104 @@
+"""Unit tests for the named demo datasets (ACM-like, web-graph-like, registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abstraction.ranking import pagerank_scores
+from repro.graph.datasets import (
+    acm_like,
+    available_datasets,
+    load_dataset,
+    web_graph_like,
+)
+
+
+class TestAcmLike:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return acm_like(num_articles=200, num_authors=40, seed=2)
+
+    def test_node_types(self, graph):
+        assert graph.node_types() == {"article", "author", "venue", "title"}
+
+    def test_edge_labels(self, graph):
+        labels = {edge.label for edge in graph.edges()}
+        assert labels == {"has-author", "cites", "published-in", "has-title"}
+
+    def test_every_article_has_title_venue_and_author(self, graph):
+        articles = [n.node_id for n in graph.nodes() if n.node_type == "article"]
+        for article in articles[:50]:
+            out_labels = [
+                graph.edge(article, target).label for target in graph.successors(article)
+            ]
+            assert "has-title" in out_labels
+            assert "published-in" in out_labels
+            assert "has-author" in out_labels
+
+    def test_citations_target_articles_only(self, graph):
+        for edge in graph.edges():
+            if edge.label == "cites":
+                assert graph.node(edge.target).node_type == "article"
+
+    def test_faloutsos_scenario_possible(self, graph):
+        """The demo's 'explore an author's collaborations' scenario needs a
+        well-known author with several articles."""
+        faloutsos = [
+            node for node in graph.nodes()
+            if node.node_type == "author" and "Faloutsos" in node.label
+        ]
+        assert faloutsos
+        degrees = [graph.in_degree(node.node_id) for node in faloutsos]
+        assert max(degrees) >= 2
+
+    def test_deterministic(self):
+        first = acm_like(num_articles=50, seed=9)
+        second = acm_like(num_articles=50, seed=9)
+        assert first.num_edges == second.num_edges
+
+
+class TestWebGraphLike:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return web_graph_like(num_pages=600, seed=3)
+
+    def test_sizes(self, graph):
+        assert graph.num_nodes == 600
+        assert graph.num_edges > 600
+
+    def test_heavy_tailed_in_degree(self, graph):
+        degrees = sorted((graph.in_degree(n) for n in graph.node_ids()), reverse=True)
+        top_share = sum(degrees[:30]) / max(sum(degrees), 1)
+        assert top_share > 0.3, "hubs should attract a large share of the links"
+
+    def test_pagerank_identifies_hubs(self, graph):
+        """The Notre Dame demo filters by PageRank; hubs must rank highly."""
+        scores = pagerank_scores(graph)
+        top10 = sorted(scores, key=scores.get, reverse=True)[:10]
+        hub_hits = sum(1 for node_id in top10 if graph.node(node_id).node_type == "hub")
+        assert hub_hits >= 5
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert set(available_datasets()) == {"acm", "dblp", "patent", "webgraph", "wikidata"}
+
+    @pytest.mark.parametrize("name", ["acm", "dblp", "patent", "webgraph", "wikidata"])
+    def test_load_each_dataset(self, name):
+        graph = load_dataset(name, scale=0.05, seed=1)
+        assert graph.num_nodes > 0
+        assert graph.num_edges > 0
+        assert graph.name == name
+
+    def test_scale_changes_size(self):
+        small = load_dataset("patent", scale=0.05)
+        large = load_dataset("patent", scale=0.2)
+        assert large.num_nodes > small.num_nodes
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("freebase")
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("acm", scale=0)

@@ -1,0 +1,119 @@
+"""Unit tests for server-side window decimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decimation import decimate_rows
+from repro.core.json_builder import build_payload
+from repro.graph.generators import star_graph
+from repro.graph.model import Graph
+from repro.layout.circular import CircularLayout, StarLayout
+from repro.storage.schema import rows_from_graph
+
+
+def star_rows(num_leaves: int = 20):
+    graph = star_graph(num_leaves)
+    layout = StarLayout(area_per_node=100.0).layout(graph)
+    return rows_from_graph(graph, layout)
+
+
+class TestDecimateRows:
+    def test_under_budget_is_untouched(self):
+        rows = star_rows(10)
+        result = decimate_rows(rows, max_rows=100)
+        assert result.rows == rows
+        assert not result.was_decimated
+        assert result.dropped_rows == 0
+
+    def test_exact_budget_is_untouched(self):
+        rows = star_rows(10)
+        result = decimate_rows(rows, max_rows=len(rows))
+        assert result.rows == rows
+
+    def test_over_budget_drops_to_budget(self):
+        rows = star_rows(30)
+        result = decimate_rows(rows, max_rows=12)
+        assert result.kept_rows == 12
+        assert result.dropped_rows == len(rows) - 12
+        assert result.was_decimated
+
+    def test_hub_incident_edges_survive(self):
+        # Two stars of different sizes sharing the window: the bigger hub's
+        # edges must be preferred when the budget forces a choice.
+        graph = Graph(directed=False, name="two-stars")
+        for leaf in range(1, 16):
+            graph.add_edge(0, leaf, label="big")
+        for leaf in range(101, 106):
+            graph.add_edge(100, leaf, label="small")
+        layout = CircularLayout(area_per_node=100.0).layout(graph)
+        rows = rows_from_graph(graph, layout)
+        result = decimate_rows(rows, max_rows=10)
+        labels = [row.edge_label for row in result.rows]
+        assert labels.count("big") == 10
+        assert "small" not in labels
+
+    def test_kept_rows_preserve_row_id_order(self):
+        rows = star_rows(25)
+        result = decimate_rows(rows, max_rows=10)
+        row_ids = [row.row_id for row in result.rows]
+        assert row_ids == sorted(row_ids)
+
+    def test_deterministic(self):
+        rows = star_rows(25)
+        first = decimate_rows(rows, max_rows=7)
+        second = decimate_rows(rows, max_rows=7)
+        assert [r.row_id for r in first.rows] == [r.row_id for r in second.rows]
+
+    def test_zero_budget(self):
+        rows = star_rows(5)
+        result = decimate_rows(rows, max_rows=0)
+        assert result.rows == []
+        assert result.dropped_rows == len(rows)
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(ValueError):
+            decimate_rows(star_rows(3), max_rows=-1)
+
+    def test_isolated_nodes_dropped_before_hub_edges(self):
+        graph = Graph(directed=False, name="mixed")
+        for leaf in range(1, 9):
+            graph.add_edge(0, leaf, label="spoke")
+        for isolated in range(100, 105):
+            graph.add_node(isolated, label=f"iso{isolated}")
+        layout = CircularLayout(area_per_node=100.0).layout(graph)
+        rows = rows_from_graph(graph, layout)
+        result = decimate_rows(rows, max_rows=8)
+        assert all(not row.is_node_row() for row in result.rows)
+
+    def test_payload_from_decimated_rows_is_consistent(self):
+        rows = star_rows(40)
+        result = decimate_rows(rows, max_rows=15)
+        payload = build_payload(result.rows)
+        # Every edge in the payload references nodes present in the payload.
+        node_ids = payload.node_ids()
+        for edge in payload.edges:
+            assert edge["source"] in node_ids
+            assert edge["target"] in node_ids
+
+    def test_query_manager_max_rows_parameter(self, patent_result):
+        from repro.core.query_manager import QueryManager
+
+        manager = QueryManager(patent_result.database)
+        bounds = patent_result.database.bounds(0)
+        full = manager.window_query(bounds, layer=0)
+        capped = manager.window_query(bounds, layer=0, max_rows=50)
+        assert len(capped.rows) == 50
+        assert len(full.rows) > 50
+        assert capped.num_objects <= full.num_objects
+
+    def test_decimated_on_real_window(self, patent_result):
+        table = patent_result.database.table(0)
+        bounds = patent_result.database.bounds(0)
+        rows = table.window_query(bounds)
+        budget = max(1, len(rows) // 4)
+        result = decimate_rows(rows, max_rows=budget)
+        assert result.kept_rows == budget
+        # The kept rows are a subset of the original window result.
+        original_ids = {row.row_id for row in rows}
+        assert all(row.row_id in original_ids for row in result.rows)

@@ -1,0 +1,140 @@
+"""Unit tests for canvas filters and the graph editor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.editing import GraphEditor
+from repro.core.filters import FilterSpec, apply_filters
+from repro.errors import QueryError
+from repro.graph.model import Graph
+from repro.layout.base import Layout
+from repro.spatial.geometry import Point, Rect
+from repro.storage.database import GraphVizDatabase
+from repro.storage.schema import rows_from_graph
+
+
+@pytest.fixture
+def rows(small_graph):
+    layout = Layout({
+        1: Point(0.0, 0.0), 2: Point(10.0, 0.0), 3: Point(10.0, 10.0), 4: Point(0.0, 10.0),
+    })
+    return rows_from_graph(small_graph, layout)
+
+
+@pytest.fixture
+def database(rows):
+    database = GraphVizDatabase(name="small")
+    database.load_layer(0, rows)
+    return database
+
+
+class TestFilterSpec:
+    def test_empty_spec_keeps_everything(self, rows):
+        assert apply_filters(rows, FilterSpec()) == rows
+        assert apply_filters(rows, None) == rows
+
+    def test_hide_edge_label(self, rows):
+        spec = FilterSpec(hidden_edge_labels={"knows"})
+        filtered = apply_filters(rows, spec)
+        assert all(row.edge_label != "knows" for row in filtered)
+        assert len(filtered) == 2
+
+    def test_hide_edge_label_case_insensitive(self, rows):
+        spec = FilterSpec(hidden_edge_labels={"KNOWS"})
+        assert len(apply_filters(rows, spec)) == 2
+
+    def test_only_edge_labels_allowlist(self, rows):
+        spec = FilterSpec(only_edge_labels={"likes"})
+        filtered = apply_filters(rows, spec)
+        assert {row.edge_label for row in filtered} == {"likes"}
+
+    def test_hide_node_label_drops_incident_edges(self, rows):
+        spec = FilterSpec(hidden_node_labels={"alice"})
+        filtered = apply_filters(rows, spec)
+        assert all("Alice" not in (row.node1_label, row.node2_label) for row in filtered)
+
+    def test_hide_isolated_nodes(self):
+        graph = Graph()
+        graph.add_node(5, label="solo")
+        graph.add_edge(1, 2)
+        layout = Layout({5: Point(0, 0), 1: Point(1, 1), 2: Point(2, 2)})
+        rows = rows_from_graph(graph, layout)
+        spec = FilterSpec(hide_isolated_nodes=True)
+        filtered = apply_filters(rows, spec)
+        assert all(not row.is_node_row() for row in filtered)
+
+    def test_mutators_and_clear(self, rows):
+        spec = FilterSpec()
+        spec.hide_edge_label("Knows")
+        spec.hide_node_label("Alice")
+        spec.show_only_edge_labels({"likes"})
+        assert not spec.is_empty()
+        spec.clear()
+        assert spec.is_empty()
+        assert apply_filters(rows, spec) == rows
+
+
+class TestGraphEditor:
+    def test_rename_node_updates_all_rows_and_index(self, database):
+        editor = GraphEditor(database)
+        touched = editor.rename_node(1, "Alicia")
+        assert touched == 2
+        assert database.keyword_search(0, "alicia")
+        assert not database.keyword_search(0, "alice")
+        assert editor.journal[-1].kind == "rename_node"
+
+    def test_move_node_updates_geometry(self, database):
+        editor = GraphEditor(database)
+        editor.move_node(1, Point(500.0, 500.0))
+        table = database.table(0)
+        assert table.node_position(1) == Point(500.0, 500.0)
+        # The moved node's edges are now found by a window query at the new spot.
+        rows = table.window_query(Rect(490, 490, 510, 510))
+        assert any(row.node1_id == 1 for row in rows)
+
+    def test_add_edge_between_existing_nodes(self, database):
+        editor = GraphEditor(database)
+        row = editor.add_edge(2, 4, label="new-link")
+        assert row.node1_label == "Bob"
+        assert row.node2_label == "Databases"
+        assert database.table(0).get(row.row_id).edge_label == "new-link"
+
+    def test_add_edge_unknown_node_raises(self, database):
+        editor = GraphEditor(database)
+        with pytest.raises(QueryError):
+            editor.add_edge(1, 999)
+        with pytest.raises(QueryError):
+            editor.add_edge(999, 1)
+
+    def test_delete_edge(self, database):
+        editor = GraphEditor(database)
+        removed = editor.delete_edge(1, 2)
+        assert removed == 1
+        remaining = {(r.node1_id, r.node2_id) for r in database.table(0).scan()}
+        assert (1, 2) not in remaining
+
+    def test_delete_missing_edge_is_noop(self, database):
+        editor = GraphEditor(database)
+        assert editor.delete_edge(2, 4) == 0
+
+    def test_rename_unknown_node_raises(self, database):
+        with pytest.raises(QueryError):
+            GraphEditor(database).rename_node(999, "x")
+
+    def test_journal_records_every_edit(self, database):
+        editor = GraphEditor(database)
+        editor.rename_node(1, "A")
+        editor.move_node(2, Point(1, 1))
+        editor.add_edge(1, 3)
+        editor.delete_edge(1, 3)
+        assert [op.kind for op in editor.journal] == [
+            "rename_node", "move_node", "add_edge", "delete_edge",
+        ]
+
+    def test_database_stays_consistent_after_edits(self, database):
+        editor = GraphEditor(database)
+        editor.rename_node(1, "A")
+        editor.move_node(3, Point(-50, -50))
+        editor.add_edge(1, 3, label="x")
+        database.validate()

@@ -1,0 +1,178 @@
+"""Unit tests for geometry primitives and the binary edge-geometry encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.spatial.geometry import (
+    LineSegment,
+    Point,
+    Rect,
+    bounding_rect,
+    decode_segment,
+    encode_segment,
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestRect:
+    def test_invalid_rect_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(5, 0, 0, 5)
+
+    def test_properties(self):
+        rect = Rect(0, 0, 4, 2)
+        assert rect.width == 4
+        assert rect.height == 2
+        assert rect.area == 8
+        assert rect.perimeter == 12
+        assert rect.center == Point(2, 1)
+
+    def test_from_points(self):
+        rect = Rect.from_points([Point(1, 5), Point(-2, 0), Point(3, 3)])
+        assert rect.as_tuple() == (-2, 0, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_from_center(self):
+        rect = Rect.from_center(Point(0, 0), 10, 4)
+        assert rect.as_tuple() == (-5, -2, 5, 2)
+
+    def test_from_center_negative_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_center(Point(0, 0), -1, 1)
+
+    def test_contains_point_includes_boundary(self):
+        rect = Rect(0, 0, 1, 1)
+        assert rect.contains_point(Point(0, 0))
+        assert rect.contains_point(Point(0.5, 0.5))
+        assert not rect.contains_point(Point(1.01, 0.5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert not outer.contains_rect(Rect(5, 5, 11, 11))
+
+    def test_intersects_and_touching_counts(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.1, 0, 2, 1))
+
+    def test_union_and_intersection(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.union(b).as_tuple() == (0, 0, 3, 3)
+        assert a.intersection(b).as_tuple() == (1, 1, 2, 2)
+        assert a.intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_enlargement(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.enlargement(Rect(0, 0, 1, 1)) == 0.0
+        assert a.enlargement(Rect(0, 0, 4, 2)) == pytest.approx(4.0)
+
+    def test_expanded(self):
+        assert Rect(0, 0, 2, 2).expanded(1).as_tuple() == (-1, -1, 3, 3)
+
+    def test_expanded_negative_too_large_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 1, 1).expanded(-2)
+
+    def test_scaled_about_center(self):
+        rect = Rect(0, 0, 2, 2).scaled(2.0)
+        assert rect.as_tuple() == (-1, -1, 3, 3)
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 1, 1).scaled(0)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3).as_tuple() == (2, 3, 3, 4)
+
+    def test_min_distance_to_point(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.min_distance_to_point(Point(1, 1)) == 0.0
+        assert rect.min_distance_to_point(Point(5, 2)) == pytest.approx(3.0)
+        assert rect.min_distance_to_point(Point(5, 6)) == pytest.approx(5.0)
+
+
+class TestLineSegment:
+    def test_length_and_midpoint(self):
+        segment = LineSegment(Point(0, 0), Point(6, 8))
+        assert segment.length == pytest.approx(10.0)
+        assert segment.midpoint() == Point(3, 4)
+
+    def test_bounding_rect(self):
+        segment = LineSegment(Point(5, 1), Point(2, 7))
+        assert segment.bounding_rect().as_tuple() == (2, 1, 5, 7)
+
+    def test_intersects_rect_endpoint_inside(self):
+        segment = LineSegment(Point(0, 0), Point(10, 10))
+        assert segment.intersects_rect(Rect(-1, -1, 1, 1))
+
+    def test_intersects_rect_crossing_through(self):
+        segment = LineSegment(Point(-5, 5), Point(15, 5))
+        assert segment.intersects_rect(Rect(0, 0, 10, 10))
+
+    def test_does_not_intersect_when_bbox_overlaps_but_segment_misses(self):
+        # Diagonal segment whose bounding box overlaps the rect but the segment
+        # itself passes outside the corner.
+        segment = LineSegment(Point(0, 10), Point(10, 0))
+        assert not segment.intersects_rect(Rect(0, 0, 2, 2))
+
+    def test_zero_length_segment(self):
+        point_segment = LineSegment(Point(5, 5), Point(5, 5))
+        assert point_segment.intersects_rect(Rect(0, 0, 10, 10))
+        assert not point_segment.intersects_rect(Rect(6, 6, 7, 7))
+
+    def test_translated(self):
+        segment = LineSegment(Point(0, 0), Point(1, 1), directed=False)
+        moved = segment.translated(2, 2)
+        assert moved.start == Point(2, 2)
+        assert moved.directed is False
+
+
+class TestBinaryEncoding:
+    def test_roundtrip_directed(self):
+        segment = LineSegment(Point(1.5, -2.25), Point(3.75, 4.5), directed=True)
+        assert decode_segment(encode_segment(segment)) == segment
+
+    def test_roundtrip_undirected(self):
+        segment = LineSegment(Point(0, 0), Point(1, 1), directed=False)
+        assert decode_segment(encode_segment(segment)).directed is False
+
+    def test_blob_size_is_fixed(self):
+        blob = encode_segment(LineSegment(Point(0, 0), Point(1, 1)))
+        assert len(blob) == 34  # 2 header bytes + 4 doubles
+
+    def test_invalid_blob_raises(self):
+        with pytest.raises(GeometryError):
+            decode_segment(b"garbage")
+
+    def test_wrong_version_raises(self):
+        blob = bytearray(encode_segment(LineSegment(Point(0, 0), Point(1, 1))))
+        blob[0] = 99
+        with pytest.raises(GeometryError):
+            decode_segment(bytes(blob))
+
+
+class TestBoundingRect:
+    def test_bounding_rect_of_segments(self):
+        rect = bounding_rect([
+            LineSegment(Point(0, 0), Point(1, 1)),
+            LineSegment(Point(-3, 2), Point(0, 0)),
+        ])
+        assert rect.as_tuple() == (-3, 0, 1, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            bounding_rect([])

@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert,
+    community_graph,
+    complete_graph,
+    erdos_renyi,
+    grid_graph,
+    patent_like,
+    path_graph,
+    star_graph,
+    wikidata_like,
+)
+from repro.graph.metrics import average_degree
+
+
+class TestWikidataLike:
+    def test_deterministic_for_seed(self):
+        first = wikidata_like(num_entities=100, seed=1)
+        second = wikidata_like(num_entities=100, seed=1)
+        assert first.num_nodes == second.num_nodes
+        assert first.num_edges == second.num_edges
+
+    def test_has_entity_and_literal_nodes(self):
+        graph = wikidata_like(num_entities=100, seed=2)
+        types = graph.node_types()
+        assert "entity" in types and "literal" in types
+
+    def test_literals_are_leaves(self):
+        graph = wikidata_like(num_entities=80, seed=2)
+        literal_degrees = [
+            graph.degree(node.node_id) for node in graph.nodes() if node.node_type == "literal"
+        ]
+        assert literal_degrees and max(literal_degrees) == 1
+
+    def test_directed(self):
+        assert wikidata_like(num_entities=20).directed
+
+
+class TestPatentLike:
+    def test_deterministic_for_seed(self):
+        first = patent_like(num_patents=150, seed=4)
+        second = patent_like(num_patents=150, seed=4)
+        assert first.num_edges == second.num_edges
+
+    def test_citations_point_backwards_in_time(self):
+        graph = patent_like(num_patents=200, seed=4)
+        for edge in graph.edges():
+            assert edge.target < edge.source
+
+    def test_average_degree_higher_than_wikidata(self):
+        # This is the structural property Table I's Step-1 anomaly depends on.
+        patent = patent_like(num_patents=400, seed=1)
+        wikidata = wikidata_like(num_entities=300, seed=1)
+        assert average_degree(patent) > average_degree(wikidata)
+
+    def test_patent_labels_mention_year(self):
+        graph = patent_like(num_patents=50, seed=0)
+        assert all("patent" in node.label for node in graph.nodes())
+
+
+class TestGenericGenerators:
+    def test_erdos_renyi_bounds(self):
+        graph = erdos_renyi(30, 0.2, seed=1)
+        assert graph.num_nodes == 30
+        assert 0 < graph.num_edges < 30 * 29 / 2
+
+    def test_erdos_renyi_zero_probability(self):
+        assert erdos_renyi(10, 0.0).num_edges == 0
+
+    def test_barabasi_albert_connected(self):
+        from repro.graph.traversal import connected_components
+
+        graph = barabasi_albert(60, edges_per_node=2, seed=3)
+        assert len(connected_components(graph)) == 1
+
+    def test_barabasi_albert_rejects_bad_parameter(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, edges_per_node=0)
+
+    def test_grid_graph_structure(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_community_graph_types(self):
+        graph = community_graph(num_communities=3, community_size=10, seed=1)
+        assert graph.num_nodes == 30
+        assert len(graph.node_types()) == 3
+
+    def test_star_path_complete(self):
+        assert star_graph(4).num_edges == 4
+        assert path_graph(6).num_edges == 5
+        assert complete_graph(5).num_edges == 10

@@ -1,0 +1,116 @@
+"""Unit tests for graph readers/writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import (
+    from_networkx,
+    read_edge_list,
+    read_json,
+    read_triples,
+    to_networkx,
+    write_edge_list,
+    write_json,
+    write_triples,
+)
+from repro.graph.model import Graph
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, small_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == small_graph.num_nodes
+        assert loaded.num_edges == small_graph.num_edges
+        assert loaded.edge(1, 2).label == "knows"
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n\n1 2\n2 3 cites\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+        assert graph.edge(2, 3).label == "cites"
+
+    def test_bad_column_count_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer_ids_raise(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestTriples:
+    def test_roundtrip_by_labels(self, tmp_path, small_graph):
+        path = tmp_path / "graph.nt"
+        write_triples(small_graph, path)
+        loaded = read_triples(path)
+        assert loaded.num_edges == small_graph.num_edges
+        labels = {node.label for node in loaded.nodes()}
+        assert {"Alice", "Bob", "Carol", "Databases"} <= labels
+
+    def test_labels_are_interned(self, tmp_path):
+        path = tmp_path / "graph.nt"
+        path.write_text("a\tp\tb\nb\tp\tc\na\tq\tc\n")
+        graph = read_triples(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_wrong_field_count_raises(self, tmp_path):
+        path = tmp_path / "bad.nt"
+        path.write_text("a\tb\n")
+        with pytest.raises(GraphFormatError):
+            read_triples(path)
+
+
+class TestJson:
+    def test_roundtrip_preserves_attributes(self, tmp_path, small_graph):
+        path = tmp_path / "graph.json"
+        small_graph.node(1).properties["age"] = 30
+        write_json(small_graph, path)
+        loaded = read_json(path)
+        assert loaded.node(1).properties["age"] == 30
+        assert loaded.node(1).node_type == "person"
+        assert loaded.directed is True
+        assert loaded.edge(1, 2).label == "knows"
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            read_json(path)
+
+    def test_missing_keys_raise(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(GraphFormatError):
+            read_json(path)
+
+
+class TestNetworkx:
+    def test_to_networkx_preserves_structure(self, small_graph):
+        nx_graph = to_networkx(small_graph)
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+        assert nx_graph.is_directed()
+
+    def test_roundtrip_via_networkx(self, small_graph):
+        back = from_networkx(to_networkx(small_graph))
+        assert back.num_nodes == small_graph.num_nodes
+        assert back.num_edges == small_graph.num_edges
+
+    def test_from_networkx_undirected(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 1)
+        graph = from_networkx(nx_graph)
+        assert not graph.directed
+        assert graph.has_edge(1, 0)

@@ -1,0 +1,79 @@
+"""Unit tests for graph statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.metrics import (
+    average_degree,
+    clustering_coefficient,
+    compute_statistics,
+    degree_histogram,
+    density,
+)
+from repro.graph.model import Graph
+
+
+class TestDegreeMetrics:
+    def test_degree_histogram_star(self):
+        graph = star_graph(5)
+        histogram = degree_histogram(graph)
+        assert histogram == {5: 1, 1: 5}
+
+    def test_average_degree(self):
+        graph = path_graph(4)  # 3 edges, 4 nodes
+        assert average_degree(graph) == pytest.approx(1.5)
+
+    def test_average_degree_empty_graph(self):
+        assert average_degree(Graph()) == 0.0
+
+
+class TestDensity:
+    def test_density_complete_graph_is_one(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_density_directed(self):
+        graph = Graph(directed=True)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        # 2 edges of 2 possible.
+        assert density(graph) == pytest.approx(1.0)
+
+    def test_density_single_node(self):
+        graph = Graph()
+        graph.add_node(1)
+        assert density(graph) == 0.0
+
+
+class TestClustering:
+    def test_triangle_has_full_clustering(self):
+        assert clustering_coefficient(complete_graph(3)) == pytest.approx(1.0)
+
+    def test_path_has_zero_clustering(self):
+        assert clustering_coefficient(path_graph(5)) == 0.0
+
+    def test_sampled_clustering_is_bounded(self):
+        graph = complete_graph(10)
+        value = clustering_coefficient(graph, sample=4, seed=1)
+        assert 0.0 <= value <= 1.0
+
+    def test_empty_graph(self):
+        assert clustering_coefficient(Graph()) == 0.0
+
+
+class TestStatisticsBundle:
+    def test_compute_statistics_fields(self, small_graph):
+        stats = compute_statistics(small_graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.directed is True
+        assert stats.num_components == 1
+        assert stats.largest_component_size == 4
+        assert stats.max_degree == 2
+        assert stats.num_node_types == 2
+
+    def test_statistics_as_dict_roundtrip(self, small_graph):
+        stats = compute_statistics(small_graph).as_dict()
+        assert stats["name"] == "small"
+        assert stats["average_degree"] == pytest.approx(2.0)

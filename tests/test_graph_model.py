@@ -1,0 +1,200 @@
+"""Unit tests for the graph data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateNodeError, EdgeNotFoundError, NodeNotFoundError
+from repro.graph.model import Edge, Graph, Node
+
+
+class TestNodeAndEdge:
+    def test_node_copy_is_independent(self):
+        node = Node(1, label="a", properties={"k": 1})
+        clone = node.copy()
+        clone.properties["k"] = 2
+        assert node.properties["k"] == 1
+
+    def test_edge_other_endpoint(self):
+        edge = Edge(1, 2)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+
+    def test_edge_other_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            Edge(1, 2).other(3)
+
+    def test_edge_key(self):
+        assert Edge(3, 7).key() == (3, 7)
+
+
+class TestGraphNodes:
+    def test_add_and_get_node(self):
+        graph = Graph()
+        graph.add_node(1, label="x", node_type="t")
+        node = graph.node(1)
+        assert node.label == "x"
+        assert node.node_type == "t"
+        assert graph.num_nodes == 1
+
+    def test_duplicate_node_raises(self):
+        graph = Graph()
+        graph.add_node(1)
+        with pytest.raises(DuplicateNodeError):
+            graph.add_node(1)
+
+    def test_missing_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.node(42)
+
+    def test_ensure_node_is_idempotent(self):
+        graph = Graph()
+        first = graph.ensure_node(5, label="a")
+        second = graph.ensure_node(5, label="ignored")
+        assert first is second
+        assert graph.node(5).label == "a"
+
+    def test_contains_and_len(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node(2)
+        assert 1 in graph
+        assert 3 not in graph
+        assert len(graph) == 2
+
+    def test_remove_node_removes_incident_edges(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 1)
+        graph.remove_node(2)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.has_edge(3, 1)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().remove_node(1)
+
+
+class TestGraphEdges:
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge(1, 2, label="knows")
+        assert graph.has_node(1) and graph.has_node(2)
+        assert graph.edge(1, 2).label == "knows"
+
+    def test_add_edge_twice_overwrites_attributes(self):
+        graph = Graph()
+        graph.add_edge(1, 2, label="a", weight=1.0)
+        graph.add_edge(1, 2, label="b", weight=3.0)
+        assert graph.num_edges == 1
+        assert graph.edge(1, 2).label == "b"
+        assert graph.edge(1, 2).weight == 3.0
+
+    def test_directed_edge_orientation(self):
+        graph = Graph(directed=True)
+        graph.add_edge(1, 2)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_undirected_edge_both_orientations(self):
+        graph = Graph(directed=False)
+        graph.add_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert graph.edge(2, 1) is graph.edge(1, 2)
+
+    def test_missing_edge_raises(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node(2)
+        with pytest.raises(EdgeNotFoundError):
+            graph.edge(1, 2)
+
+    def test_remove_edge(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.remove_edge(1, 2)
+        assert graph.num_edges == 0
+        assert graph.has_node(1)
+
+    def test_remove_undirected_edge_by_reverse_orientation(self):
+        graph = Graph(directed=False)
+        graph.add_edge(1, 2)
+        graph.remove_edge(2, 1)
+        assert graph.num_edges == 0
+
+    def test_self_loop_allowed(self):
+        graph = Graph()
+        graph.add_edge(1, 1, label="self")
+        assert graph.has_edge(1, 1)
+        assert graph.edge(1, 1).other(1) == 1
+
+
+class TestAdjacency:
+    def test_successors_predecessors_neighbors(self, small_graph):
+        assert small_graph.successors(1) == {2, 4}
+        assert small_graph.predecessors(4) == {1, 3}
+        assert small_graph.neighbors(2) == {1, 3}
+
+    def test_degrees_directed(self, small_graph):
+        assert small_graph.out_degree(1) == 2
+        assert small_graph.in_degree(1) == 0
+        assert small_graph.degree(1) == 2
+        assert small_graph.degree(4) == 2
+
+    def test_degree_undirected(self):
+        graph = Graph(directed=False)
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        assert graph.degree(1) == 2
+
+    def test_incident_edges(self, small_graph):
+        labels = sorted(edge.label for edge in small_graph.incident_edges(1))
+        assert labels == ["knows", "likes"]
+
+    def test_adjacency_unknown_node_raises(self):
+        graph = Graph()
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbors(9)
+        with pytest.raises(NodeNotFoundError):
+            graph.degree(9)
+
+
+class TestGraphOperations:
+    def test_subgraph_induces_edges(self, small_graph):
+        sub = small_graph.subgraph([1, 2, 4])
+        assert sub.num_nodes == 3
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(1, 4)
+        assert not sub.has_edge(3, 4)
+
+    def test_subgraph_copies_attributes(self, small_graph):
+        sub = small_graph.subgraph([1, 2])
+        assert sub.node(1).label == "Alice"
+        sub.node(1).label = "changed"
+        assert small_graph.node(1).label == "Alice"
+
+    def test_copy_is_deep_for_structure(self, small_graph):
+        clone = small_graph.copy()
+        clone.remove_node(1)
+        assert small_graph.has_node(1)
+        assert clone.num_nodes == small_graph.num_nodes - 1
+
+    def test_relabel_remaps_edges(self, small_graph):
+        relabeled = small_graph.relabel({1: 10, 2: 20})
+        assert relabeled.has_edge(10, 20)
+        assert relabeled.has_edge(10, 4)
+        assert not relabeled.has_node(1)
+
+    def test_relabel_merging_nodes_drops_self_loops(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        merged = graph.relabel({2: 1})
+        assert merged.num_nodes == 1
+        assert merged.num_edges == 0
+
+    def test_node_and_edge_types(self, small_graph):
+        assert small_graph.node_types() == {"person", "topic"}
+        assert small_graph.edge_types() == {""}

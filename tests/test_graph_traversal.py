@@ -1,0 +1,114 @@
+"""Unit tests for graph traversals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.model import Graph
+from repro.graph.traversal import (
+    bfs_layers,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    ego_network,
+    k_hop_neighbourhood,
+    largest_component,
+    shortest_path,
+)
+
+
+class TestBFS:
+    def test_bfs_order_visits_everything_reachable(self, small_graph):
+        order = bfs_order(small_graph, 1)
+        assert set(order) == {1, 2, 3, 4}
+        assert order[0] == 1
+
+    def test_bfs_respects_direction_when_asked(self, small_graph):
+        order = bfs_order(small_graph, 3, directed=True)
+        assert set(order) == {3, 4}
+
+    def test_bfs_layers_depths(self):
+        graph = path_graph(5)
+        layers = bfs_layers(graph, 0)
+        assert layers == [[0], [1], [2], [3], [4]]
+
+    def test_bfs_unknown_start_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            bfs_order(small_graph, 99)
+
+
+class TestDFS:
+    def test_dfs_visits_everything(self, small_graph):
+        assert set(dfs_order(small_graph, 1)) == {1, 2, 3, 4}
+
+    def test_dfs_on_path_is_linear(self):
+        graph = path_graph(4)
+        assert dfs_order(graph, 0) == [0, 1, 2, 3]
+
+
+class TestComponents:
+    def test_single_component(self, small_graph):
+        components = connected_components(small_graph)
+        assert len(components) == 1
+        assert set(components[0]) == {1, 2, 3, 4}
+
+    def test_multiple_components_sorted_by_size(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(10, 11)
+        graph.add_node(99)
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [3, 2, 1]
+        assert set(largest_component(graph)) == {1, 2, 3}
+
+    def test_empty_graph_has_no_components(self):
+        assert connected_components(Graph()) == []
+        assert largest_component(Graph()) == []
+
+
+class TestShortestPath:
+    def test_trivial_path(self, small_graph):
+        assert shortest_path(small_graph, 1, 1) == [1]
+
+    def test_path_found(self):
+        graph = path_graph(5)
+        assert shortest_path(graph, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_no_path_returns_none(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node(2)
+        assert shortest_path(graph, 1, 2) is None
+
+    def test_directed_path_respects_orientation(self):
+        graph = Graph(directed=True)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert shortest_path(graph, 3, 1, directed=True) is None
+        assert shortest_path(graph, 3, 1, directed=False) == [3, 2, 1]
+
+    def test_unknown_endpoint_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(small_graph, 1, 99)
+
+
+class TestNeighbourhoods:
+    def test_ego_network_is_focus_on_node(self):
+        graph = star_graph(6)
+        ego = ego_network(graph, 0)
+        assert ego.num_nodes == 7
+        leaf_ego = ego_network(graph, 3)
+        assert set(leaf_ego.node_ids()) == {0, 3}
+
+    def test_k_hop_neighbourhood(self):
+        graph = path_graph(7)
+        assert k_hop_neighbourhood(graph, 3, 0) == {3}
+        assert k_hop_neighbourhood(graph, 3, 1) == {2, 3, 4}
+        assert k_hop_neighbourhood(graph, 3, 2) == {1, 2, 3, 4, 5}
+
+    def test_k_hop_negative_raises(self, small_graph):
+        with pytest.raises(ValueError):
+            k_hop_neighbourhood(small_graph, 1, -1)

@@ -1,0 +1,58 @@
+"""Unit tests for the uniform-grid spatial index (ablation alternative)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SpatialIndexError
+from repro.spatial.geometry import Point, Rect
+from repro.spatial.grid_index import GridIndex
+
+
+def random_rects(count: int, seed: int = 0) -> list[Rect]:
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(count):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        rects.append(Rect(x, y, x + rng.uniform(0, 40), y + rng.uniform(0, 40)))
+    return rects
+
+
+class TestGridIndex:
+    def test_invalid_cell_size(self):
+        with pytest.raises(SpatialIndexError):
+            GridIndex(cell_size=0)
+
+    def test_insert_and_query(self):
+        index = GridIndex(cell_size=100)
+        index.insert(Rect(10, 10, 20, 20), "a")
+        index.insert(Rect(500, 500, 520, 520), "b")
+        assert index.window_query(Rect(0, 0, 50, 50)) == ["a"]
+        assert set(index.window_query(Rect(0, 0, 1000, 1000))) == {"a", "b"}
+        assert len(index) == 2
+
+    def test_matches_brute_force(self):
+        rects = random_rects(200, seed=4)
+        index = GridIndex.bulk_load([(rect, i) for i, rect in enumerate(rects)], cell_size=120)
+        window = Rect(200, 200, 600, 600)
+        expected = {i for i, rect in enumerate(rects) if rect.intersects(window)}
+        assert set(index.window_query(window)) == expected
+
+    def test_entry_spanning_cells_is_not_duplicated(self):
+        index = GridIndex(cell_size=10)
+        index.insert(Rect(0, 0, 35, 5), "wide")
+        assert index.window_query(Rect(-5, -5, 50, 50)) == ["wide"]
+        assert index.num_cells() == 4
+
+    def test_point_query(self):
+        index = GridIndex(cell_size=50)
+        index.insert(Rect(0, 0, 10, 10), "a")
+        assert index.point_query(Point(5, 5)) == ["a"]
+        assert index.point_query(Point(30, 30)) == []
+
+    def test_negative_coordinates(self):
+        index = GridIndex(cell_size=50)
+        index.insert(Rect(-120, -80, -100, -60), "neg")
+        assert index.window_query(Rect(-150, -100, -90, -50)) == ["neg"]

@@ -1,0 +1,139 @@
+"""End-to-end integration tests crossing every subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.simulator import ClientSimulator
+from repro.config import (
+    AbstractionConfig,
+    GraphVizDBConfig,
+    LayoutConfig,
+    PartitionConfig,
+    StorageConfig,
+)
+from repro.core.pipeline import PreprocessingPipeline
+from repro.core.query_manager import QueryManager
+from repro.core.server import GraphVizDBServer
+from repro.graph.generators import wikidata_like
+from repro.graph.io import write_edge_list, read_edge_list
+from repro.spatial.geometry import Rect
+from repro.storage.sqlite_backend import load_from_sqlite, save_to_sqlite
+
+
+class TestEndToEnd:
+    def test_window_queries_consistent_with_ground_truth(self, patent_result):
+        """Window queries through the indexes return exactly the geometry-overlapping rows."""
+        table = patent_result.database.table(0)
+        bounds = patent_result.database.bounds(0)
+        window = Rect.from_center(bounds.center, bounds.width / 4, bounds.height / 4)
+        via_index = {row.row_id for row in table.window_query(window)}
+        via_scan = {
+            row.row_id for row in table.scan() if row.segment().intersects_rect(window)
+        }
+        assert via_index == via_scan
+
+    def test_layer_zero_matches_original_graph(self, patent_result):
+        graph = patent_result.hierarchy.layer(0).graph
+        table = patent_result.database.table(0)
+        stored_edges = {
+            (row.node1_id, row.node2_id) for row in table.scan() if not row.is_node_row()
+        }
+        original_edges = {(edge.source, edge.target) for edge in graph.edges()}
+        assert stored_edges == original_edges
+
+    def test_keyword_search_then_focus_then_pan_workflow(self, wikidata_result):
+        """The demo scenario: search for an entity, focus on it, explore horizontally."""
+        server_manager = QueryManager(wikidata_result.database)
+        from repro.core.session import ExplorationSession
+
+        session = ExplorationSession(server_manager)
+        matches = session.search("faloutsos", limit=5)
+        if matches.num_matches == 0:
+            matches = session.search("on", limit=5)
+        assert matches.num_matches > 0
+        node_id = matches.matches[0]["node_id"]
+        focus_result = session.focus_on(node_id)
+        assert any(node_id in (r.node1_id, r.node2_id) for r in focus_result.rows)
+        pan_result = session.pan(session.viewport.width_px / 2, 0)
+        assert pan_result.num_objects >= 0
+
+    def test_vertical_navigation_reduces_detail(self, wikidata_result):
+        manager = QueryManager(wikidata_result.database)
+        viewport = manager.default_viewport().zoomed(0.2)
+        layer0 = manager.window_query(viewport.window(), layer=0)
+        top_layer = wikidata_result.database.layers()[-1]
+        abstract = manager.change_layer(viewport, top_layer)
+        assert abstract.num_objects <= layer0.num_objects
+
+    def test_full_round_trip_through_files_and_sqlite(self, tmp_path, small_config):
+        # Graph -> edge list file -> preprocess -> SQLite -> reload -> query.
+        graph = wikidata_like(num_entities=80, seed=12)
+        path = tmp_path / "wiki.edges"
+        write_edge_list(graph, path)
+        loaded_graph = read_edge_list(path, name="wiki")
+        assert loaded_graph.num_edges == graph.num_edges
+
+        result = PreprocessingPipeline(small_config).run(loaded_graph)
+        db_path = tmp_path / "wiki.db"
+        save_to_sqlite(result.database, db_path)
+        reloaded = load_from_sqlite(db_path)
+
+        manager = QueryManager(reloaded)
+        viewport = manager.default_viewport()
+        assert manager.viewport_query(viewport).num_objects > 0
+
+    def test_file_backend_pipeline(self, tmp_path):
+        config = GraphVizDBConfig(
+            partition=PartitionConfig(max_partition_nodes=60),
+            layout=LayoutConfig(iterations=10),
+            abstraction=AbstractionConfig(num_layers=1),
+            storage=StorageConfig(backend="file", path=str(tmp_path)),
+        )
+        graph = wikidata_like(num_entities=60, seed=5)
+        result = PreprocessingPipeline(config).run(graph)
+        result.database.validate()
+        manager = QueryManager(result.database)
+        assert manager.viewport_query(manager.default_viewport()).num_objects > 0
+
+    def test_editing_visible_through_queries(self, small_config):
+        server = GraphVizDBServer(small_config)
+        graph = wikidata_like(num_entities=60, seed=8)
+        graph.name = "editable"
+        server.load_dataset(graph)
+        editor = server.create_editor("editable")
+        node_id = next(iter(graph.node_ids()))
+        editor.rename_node(node_id, "A Completely Unique Label")
+        session = server.create_session("editable")
+        assert session.search("completely unique").num_matches == 1
+        server.dataset("editable").database.validate()
+
+    def test_client_breakdown_dominated_by_rendering(self, patent_result):
+        """The Fig. 3 shape holds on the integration dataset."""
+        simulator = ClientSimulator(QueryManager(patent_result.database))
+        bounds = patent_result.database.bounds(0)
+        sizes = [bounds.width / 8, bounds.width / 4, bounds.width / 2]
+        previous_objects = -1
+        for size in sizes:
+            window = Rect.from_center(bounds.center, size, size)
+            timing = simulator.execute_window(window)
+            assert timing.communication_rendering_seconds >= timing.db_query_seconds
+            assert timing.num_objects >= previous_objects
+            previous_objects = timing.num_objects
+
+    def test_abstraction_layers_preserve_mental_map(self, patent_result):
+        """Nodes surviving to layer 1 keep their layer-0 coordinates (filter criteria)."""
+        database = patent_result.database
+        if patent_result.hierarchy.num_layers < 2:
+            pytest.skip("hierarchy has a single layer")
+        layer1 = patent_result.hierarchy.layer(1)
+        layer0_layout = patent_result.hierarchy.layer(0).layout
+        if not layer1.criterion.startswith("filter"):
+            pytest.skip("merge-based layers move nodes to centroids")
+        for node_id in list(layer1.graph.node_ids())[:20]:
+            assert layer1.layout.position(node_id) == layer0_layout.position(node_id)
+        # And the stored tables agree with the layouts.
+        table1 = database.table(1)
+        for node_id in list(layer1.graph.node_ids())[:10]:
+            stored = table1.node_position(node_id)
+            assert stored is not None

@@ -1,0 +1,99 @@
+"""Unit tests for JSON payload building and chunked streaming."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.json_builder import build_payload, payload_to_json
+from repro.core.streaming import chunk_count, stream_payload
+from repro.graph.model import Graph
+from repro.layout.base import Layout
+from repro.spatial.geometry import Point
+from repro.storage.schema import rows_from_graph
+
+
+@pytest.fixture
+def rows(small_graph):
+    layout = Layout({
+        1: Point(0.0, 0.0), 2: Point(10.0, 0.0), 3: Point(10.0, 10.0), 4: Point(0.0, 10.0),
+    })
+    return rows_from_graph(small_graph, layout)
+
+
+class TestPayload:
+    def test_nodes_deduplicated(self, rows):
+        payload = build_payload(rows)
+        assert len(payload.nodes) == 4
+        assert len(payload.edges) == 4
+        assert payload.num_objects == 8
+        assert payload.node_ids() == {1, 2, 3, 4}
+
+    def test_node_coordinates_come_from_geometry(self, rows):
+        payload = build_payload(rows)
+        node1 = next(node for node in payload.nodes if node["id"] == 1)
+        assert (node1["x"], node1["y"]) == (0.0, 0.0)
+
+    def test_edge_records_direction(self, rows):
+        payload = build_payload(rows)
+        assert all(edge["directed"] for edge in payload.edges)
+
+    def test_isolated_node_row_becomes_node_only(self):
+        graph = Graph()
+        graph.add_node(7, label="alone")
+        payload = build_payload(rows_from_graph(graph, Layout({7: Point(1, 1)})))
+        assert len(payload.nodes) == 1
+        assert payload.edges == []
+
+    def test_empty_payload(self):
+        payload = build_payload([])
+        assert payload.num_objects == 0
+
+    def test_payload_to_json_is_valid(self, rows):
+        payload = build_payload(rows)
+        parsed = json.loads(payload_to_json(payload))
+        assert len(parsed["nodes"]) == 4
+        assert len(parsed["edges"]) == 4
+
+
+class TestStreaming:
+    def test_chunk_count(self, rows):
+        payload = build_payload(rows)
+        assert chunk_count(payload, 3) == 3  # 8 objects in chunks of 3
+        assert chunk_count(payload, 100) == 1
+        assert chunk_count(build_payload([]), 10) == 1
+
+    def test_chunk_count_invalid(self, rows):
+        with pytest.raises(ValueError):
+            chunk_count(build_payload(rows), 0)
+
+    def test_chunks_cover_all_objects_once(self, rows):
+        payload = build_payload(rows)
+        chunks = list(stream_payload(payload, chunk_size=3))
+        assert len(chunks) == 3
+        total_objects = sum(chunk.num_objects for chunk in chunks)
+        assert total_objects == payload.num_objects
+        assert chunks[-1].is_last
+        assert [chunk.index for chunk in chunks] == [0, 1, 2]
+
+    def test_nodes_stream_before_edges(self, rows):
+        payload = build_payload(rows)
+        chunks = list(stream_payload(payload, chunk_size=4))
+        assert len(chunks[0].nodes) == 4
+        assert len(chunks[0].edges) == 0
+        assert len(chunks[1].edges) == 4
+
+    def test_empty_payload_yields_one_empty_chunk(self):
+        chunks = list(stream_payload(build_payload([]), chunk_size=10))
+        assert len(chunks) == 1
+        assert chunks[0].num_objects == 0
+        assert chunks[0].is_last
+
+    def test_chunk_json_and_bytes(self, rows):
+        payload = build_payload(rows)
+        chunk = next(stream_payload(payload, chunk_size=100))
+        parsed = json.loads(chunk.to_json())
+        assert parsed["chunk"] == 0
+        assert chunk.byte_size == len(chunk.to_json().encode("utf-8"))
+        assert chunk.byte_size > 0

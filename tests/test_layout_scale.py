@@ -1,0 +1,82 @@
+"""Unit tests for layout post-processing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import path_graph
+from repro.layout.base import Layout
+from repro.layout.scale import (
+    average_edge_length,
+    count_node_overlaps,
+    fit_to_area,
+    normalize_layout,
+    spread_coincident_nodes,
+)
+from repro.spatial.geometry import Point
+
+
+class TestNormalize:
+    def test_normalized_layout_starts_at_origin(self):
+        layout = Layout({1: Point(-5, 10), 2: Point(5, 20)})
+        normalized = normalize_layout(layout)
+        rect = normalized.bounding_rect()
+        assert rect.min_x == 0 and rect.min_y == 0
+        assert rect.width == 10 and rect.height == 10
+
+    def test_empty_layout(self):
+        assert len(normalize_layout(Layout({}))) == 0
+
+
+class TestFitToArea:
+    def test_density_matches_target(self):
+        layout = Layout({i: Point(i * 1.0, 0.0) for i in range(16)})
+        fitted = fit_to_area(layout, area_per_node=100.0)
+        rect = fitted.bounding_rect()
+        target_side = (100.0 * 16) ** 0.5
+        assert max(rect.width, rect.height) == pytest.approx(target_side)
+
+    def test_degenerate_single_point_layout(self):
+        layout = Layout({1: Point(5, 5), 2: Point(5, 5), 3: Point(5, 5)})
+        fitted = fit_to_area(layout, area_per_node=100.0)
+        rect = fitted.bounding_rect()
+        assert rect.width > 0 or rect.height > 0
+
+    def test_empty_layout(self):
+        assert len(fit_to_area(Layout({}), 100.0)) == 0
+
+
+class TestSpreadCoincident:
+    def test_coincident_nodes_are_separated(self):
+        layout = Layout({i: Point(0, 0) for i in range(5)})
+        spread = spread_coincident_nodes(layout, spacing=10.0)
+        distinct = {(round(p.x, 6), round(p.y, 6)) for p in spread.positions.values()}
+        assert len(distinct) == 5
+
+    def test_distinct_nodes_untouched(self):
+        layout = Layout({1: Point(0, 0), 2: Point(50, 50)})
+        spread = spread_coincident_nodes(layout)
+        assert spread.positions == layout.positions
+
+
+class TestQualityMeasures:
+    def test_average_edge_length(self):
+        graph = path_graph(3)
+        layout = Layout({0: Point(0, 0), 1: Point(3, 4), 2: Point(3, 4)})
+        assert average_edge_length(graph, layout) == pytest.approx(2.5)
+
+    def test_average_edge_length_no_edges(self):
+        from repro.graph.model import Graph
+
+        graph = Graph()
+        graph.add_node(1)
+        assert average_edge_length(graph, Layout({1: Point(0, 0)})) == 0.0
+
+    def test_count_node_overlaps(self):
+        layout = Layout({1: Point(0, 0), 2: Point(0.1, 0.1), 3: Point(100, 100)})
+        assert count_node_overlaps(layout, radius=1.0) == 1
+        assert count_node_overlaps(layout, radius=0.01) == 0
+
+    def test_count_node_overlaps_zero_radius(self):
+        layout = Layout({1: Point(0, 0), 2: Point(0, 0)})
+        assert count_node_overlaps(layout, radius=0) == 0

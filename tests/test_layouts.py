@@ -1,0 +1,208 @@
+"""Unit tests for the layout algorithms and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import LayoutError, UnknownLayoutError
+from repro.graph.generators import (
+    community_graph,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.model import Graph
+from repro.layout.base import Layout
+from repro.layout.circular import CircularLayout, RandomLayout, StarLayout
+from repro.layout.force_directed import ForceDirectedLayout
+from repro.layout.grid import GridLayout, SpectralLayout
+from repro.layout.hierarchical import HierarchicalLayout
+from repro.layout.registry import available_layouts, create_layout, register_layout
+from repro.layout.scale import average_edge_length
+from repro.spatial.geometry import Point
+
+
+ALL_ALGORITHMS = [
+    ForceDirectedLayout(iterations=20, seed=1),
+    CircularLayout(),
+    StarLayout(),
+    RandomLayout(seed=1),
+    GridLayout(),
+    SpectralLayout(),
+    HierarchicalLayout(),
+]
+
+
+class TestLayoutResult:
+    def test_positions_accessors(self):
+        layout = Layout({1: Point(0, 0), 2: Point(3, 4)})
+        assert len(layout) == 2
+        assert 1 in layout
+        assert layout.position(2) == Point(3, 4)
+        with pytest.raises(LayoutError):
+            layout.position(9)
+
+    def test_bounding_rect_and_translate(self):
+        layout = Layout({1: Point(0, 0), 2: Point(10, 5)})
+        assert layout.bounding_rect().as_tuple() == (0, 0, 10, 5)
+        moved = layout.translated(5, 5)
+        assert moved.position(1) == Point(5, 5)
+        # Original untouched.
+        assert layout.position(1) == Point(0, 0)
+
+    def test_bounding_rect_empty_raises(self):
+        with pytest.raises(LayoutError):
+            Layout({}).bounding_rect()
+
+    def test_scaled(self):
+        layout = Layout({1: Point(0, 0), 2: Point(2, 0)})
+        scaled = layout.scaled(2.0, about=Point(0, 0))
+        assert scaled.position(2) == Point(4, 0)
+        with pytest.raises(LayoutError):
+            layout.scaled(0)
+
+    def test_merged_with(self):
+        first = Layout({1: Point(0, 0)})
+        second = Layout({1: Point(9, 9), 2: Point(1, 1)})
+        merged = first.merged_with(second)
+        assert merged.position(1) == Point(9, 9)
+        assert len(merged) == 2
+
+
+class TestAllAlgorithms:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda a: a.name)
+    def test_every_node_gets_coordinates(self, algorithm):
+        graph = community_graph(num_communities=3, community_size=12, seed=1)
+        layout = algorithm.layout(graph)
+        assert set(layout.positions) == set(graph.node_ids())
+        for point in layout.positions.values():
+            assert math.isfinite(point.x) and math.isfinite(point.y)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda a: a.name)
+    def test_single_node_graph(self, algorithm):
+        graph = Graph()
+        graph.add_node(42, label="solo")
+        layout = algorithm.layout(graph)
+        assert 42 in layout
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda a: a.name)
+    def test_empty_graph_raises(self, algorithm):
+        with pytest.raises(LayoutError):
+            algorithm.layout(Graph())
+
+
+class TestForceDirected:
+    def test_deterministic_given_seed(self):
+        graph = star_graph(15)
+        first = ForceDirectedLayout(iterations=20, seed=3).layout(graph)
+        second = ForceDirectedLayout(iterations=20, seed=3).layout(graph)
+        assert first.positions == second.positions
+
+    def test_connected_nodes_closer_than_average(self):
+        graph = community_graph(num_communities=2, community_size=15, inter_edges=1, seed=2)
+        layout = ForceDirectedLayout(iterations=60, seed=1).layout(graph)
+        edge_length = average_edge_length(graph, layout)
+        # Average distance between arbitrary node pairs should exceed the
+        # average edge length if the layout reflects structure at all.
+        node_ids = sorted(layout.positions)
+        pair_distances = [
+            layout.position(node_ids[i]).distance_to(layout.position(node_ids[i + 7]))
+            for i in range(0, len(node_ids) - 7, 3)
+        ]
+        assert edge_length < sum(pair_distances) / len(pair_distances)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            ForceDirectedLayout(iterations=0)
+
+    def test_grid_approximation_runs(self):
+        graph = path_graph(120)
+        layout = ForceDirectedLayout(
+            iterations=5, seed=1, approximate_threshold=50
+        ).layout(graph)
+        assert len(layout) == 120
+
+
+class TestDeterministicLayouts:
+    def test_circular_nodes_on_circle(self):
+        graph = path_graph(10)
+        layout = CircularLayout().layout(graph)
+        radii = [math.hypot(p.x, p.y) for p in layout.positions.values()]
+        assert max(radii) - min(radii) < 1e-6
+
+    def test_star_center_is_max_degree(self):
+        graph = star_graph(8)
+        layout = StarLayout().layout(graph)
+        assert layout.position(0) == Point(0.0, 0.0)
+
+    def test_grid_layout_spacing(self):
+        graph = grid_graph(3, 3)
+        layout = GridLayout(area_per_node=100.0).layout(graph)
+        xs = sorted({round(p.x, 6) for p in layout.positions.values()})
+        assert len(xs) == 3
+
+    def test_spectral_separates_communities(self):
+        graph = community_graph(num_communities=2, community_size=12, inter_edges=1, seed=4)
+        layout = SpectralLayout().layout(graph)
+        first = [layout.position(n) for n in range(12)]
+        second = [layout.position(n) for n in range(12, 24)]
+        centroid_a = Point(sum(p.x for p in first) / 12, sum(p.y for p in first) / 12)
+        centroid_b = Point(sum(p.x for p in second) / 12, sum(p.y for p in second) / 12)
+        spread_a = max(p.distance_to(centroid_a) for p in first)
+        assert centroid_a.distance_to(centroid_b) > spread_a / 2
+
+    def test_spectral_small_graph_falls_back(self):
+        graph = path_graph(2)
+        layout = SpectralLayout().layout(graph)
+        assert len(layout) == 2
+
+    def test_hierarchical_ranks_increase_along_path(self):
+        graph = Graph(directed=True)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 4)
+        layout = HierarchicalLayout().layout(graph)
+        ys = [layout.position(n).y for n in (1, 2, 3, 4)]
+        assert ys == sorted(ys)
+        assert len(set(ys)) == 4
+
+    def test_hierarchical_handles_cycles(self):
+        graph = Graph(directed=True)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 1)
+        layout = HierarchicalLayout().layout(graph)
+        assert len(layout) == 3
+
+    def test_complete_graph_layouts_do_not_collapse(self):
+        graph = complete_graph(6)
+        layout = CircularLayout().layout(graph)
+        points = list(layout.positions.values())
+        distinct = {(round(p.x, 3), round(p.y, 3)) for p in points}
+        assert len(distinct) == 6
+
+
+class TestRegistry:
+    def test_builtin_layouts_registered(self):
+        names = available_layouts()
+        for expected in ["force_directed", "circular", "star", "grid", "spectral",
+                         "hierarchical", "random"]:
+            assert expected in names
+
+    def test_create_layout_passes_parameters(self):
+        algorithm = create_layout("force_directed", iterations=7, area_per_node=50.0, seed=9)
+        assert algorithm.iterations == 7
+        assert algorithm.area_per_node == 50.0
+
+    def test_unknown_layout_raises_with_suggestions(self):
+        with pytest.raises(UnknownLayoutError) as excinfo:
+            create_layout("sfdp")
+        assert "force_directed" in str(excinfo.value)
+
+    def test_register_custom_layout(self):
+        register_layout("test_custom", lambda i, a, s: CircularLayout(area_per_node=a))
+        assert "test_custom" in available_layouts()
+        assert isinstance(create_layout("test_custom"), CircularLayout)

@@ -1,0 +1,73 @@
+"""Unit tests for the zoom-driven level-of-detail recommendation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query_manager import QueryManager
+from repro.core.session import ExplorationSession
+from repro.errors import QueryError
+
+
+class TestRecommendLayer:
+    def test_small_budget_prefers_abstract_layer(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport().zoomed(0.05)  # huge window
+        layers = patent_result.database.layers()
+        recommended = manager.recommend_layer(viewport, max_objects=5)
+        assert recommended == layers[-1]
+
+    def test_large_budget_prefers_layer_zero(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport()
+        recommended = manager.recommend_layer(viewport, max_objects=10**9)
+        assert recommended == 0
+
+    def test_recommended_layer_respects_budget_when_possible(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport().zoomed(0.3)
+        budget = 200
+        recommended = manager.recommend_layer(viewport, max_objects=budget)
+        layers = patent_result.database.layers()
+        count = patent_result.database.table(recommended).rtree.count_window(viewport.window())
+        if recommended != layers[-1]:
+            assert count <= budget
+
+    def test_invalid_budget_raises(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        with pytest.raises(QueryError):
+            manager.recommend_layer(manager.default_viewport(), max_objects=0)
+
+    def test_current_layer_kept_when_already_recommended(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport()
+        recommended = manager.recommend_layer(
+            viewport, max_objects=10**9, current_layer=0
+        )
+        assert recommended == 0
+
+
+class TestSessionZoomWithLod:
+    def test_zoom_out_switches_to_abstract_layer(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        assert session.layer == 0
+        result = session.zoom_with_level_of_detail(0.05, max_objects=10)
+        assert session.layer == session.available_layers()[-1]
+        assert result.layer == session.layer
+        assert session.history[-1].kind == "zoom_lod"
+
+    def test_zoom_back_in_restores_detail(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        session.zoom_with_level_of_detail(0.05, max_objects=10)
+        session.zoom_with_level_of_detail(40.0, max_objects=10**9)
+        assert session.layer == 0
+
+    def test_result_object_count_tracks_budget(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        budget = 300
+        result = session.zoom_with_level_of_detail(0.2, max_objects=budget)
+        top_layer = session.available_layers()[-1]
+        if session.layer != top_layer:
+            # Note: the budget is expressed in R-tree hits (rows); the payload
+            # counts nodes + edges, so allow the looser bound of 2x.
+            assert result.num_objects <= 2 * budget

@@ -1,0 +1,148 @@
+"""Unit tests for query monitoring and cross-layer edit synchronisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.monitoring import QueryLog
+from repro.core.pipeline import PreprocessingPipeline
+from repro.core.query_manager import QueryManager
+from repro.core.session import ExplorationSession
+from repro.core.sync import LayerSynchronizer
+from repro.graph.generators import patent_like
+from repro.spatial.geometry import Point
+
+
+@pytest.fixture(scope="module")
+def patent_result(request):
+    """A private preprocessed dataset: the sync tests mutate the database, so the
+    shared session-scoped fixture must not be used here."""
+    config = request.getfixturevalue("small_config")
+    graph = patent_like(num_patents=250, seed=9)
+    return PreprocessingPipeline(config).run(graph)
+
+
+class TestQueryLog:
+    def test_empty_log_summary(self):
+        log = QueryLog()
+        summary = log.summary()
+        assert summary["num_window_queries"] == 0
+        assert summary["average_objects_per_window"] == 0.0
+        assert summary["server_latency_seconds"]["p50"] == 0.0
+
+    def test_records_window_queries(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        log = QueryLog()
+        result = manager.viewport_query(manager.default_viewport())
+        record = log.record_window(result)
+        assert record.num_objects == result.num_objects
+        assert record.layer == 0
+        assert log.num_window_queries == 1
+        assert log.queries_per_layer() == {0: 1}
+
+    def test_session_integration(self, patent_result):
+        log = QueryLog()
+        session = ExplorationSession(QueryManager(patent_result.database), query_log=log)
+        session.refresh()
+        session.pan(200, 0)
+        session.change_layer(session.available_layers()[-1])
+        session.search("patent", limit=3)
+        assert log.num_window_queries == 3
+        assert log.num_keyword_queries == 1
+        per_layer = log.queries_per_layer()
+        assert per_layer[0] == 2
+        assert sum(per_layer.values()) == 3
+
+    def test_latency_percentiles_ordering(self, patent_result):
+        log = QueryLog()
+        session = ExplorationSession(QueryManager(patent_result.database), query_log=log)
+        for _ in range(5):
+            session.pan(150, 50)
+        percentiles = log.latency_percentiles((0.5, 0.9, 0.99))
+        assert percentiles[0.5] <= percentiles[0.9] <= percentiles[0.99]
+        assert all(value >= 0 for value in percentiles.values())
+
+    def test_invalid_percentile_raises(self, patent_result):
+        log = QueryLog()
+        session = ExplorationSession(QueryManager(patent_result.database), query_log=log)
+        session.refresh()
+        with pytest.raises(ValueError):
+            log.latency_percentiles((1.5,))
+
+    def test_summary_and_clear(self, patent_result):
+        log = QueryLog()
+        session = ExplorationSession(QueryManager(patent_result.database), query_log=log)
+        session.refresh()
+        summary = log.summary()
+        assert summary["num_window_queries"] == 1
+        assert summary["average_objects_per_window"] > 0
+        log.clear()
+        assert log.num_window_queries == 0
+
+
+class TestLayerSynchronizer:
+    @pytest.fixture
+    def sync_setup(self, patent_result):
+        database = patent_result.database
+        hierarchy = patent_result.hierarchy
+        # A node that survives to the top layer (filter layers keep ids).
+        top_layer = hierarchy.num_layers - 1
+        surviving = next(iter(hierarchy.layer(top_layer).graph.node_ids()))
+        return database, hierarchy, surviving, top_layer
+
+    def test_rename_propagates_to_all_layers_containing_node(self, sync_setup):
+        database, hierarchy, node_id, top_layer = sync_setup
+        synchronizer = LayerSynchronizer(database)
+        report = synchronizer.rename_node(node_id, "renamed-everywhere")
+        assert 0 in report.layers_touched
+        assert top_layer in report.layers_touched
+        for layer in report.layers_touched:
+            matches = dict(database.table(layer).keyword_search("renamed everywhere"))
+            assert node_id in matches
+
+    def test_move_keeps_layers_spatially_consistent(self, sync_setup):
+        database, hierarchy, node_id, top_layer = sync_setup
+        synchronizer = LayerSynchronizer(database)
+        target = Point(123456.0, 654321.0)
+        report = synchronizer.move_node(node_id, target)
+        assert report.total_rows > 0
+        for layer in report.layers_touched:
+            assert database.table(layer).node_position(node_id) == target
+
+    def test_add_edge_only_where_both_endpoints_exist(self, sync_setup, patent_result):
+        database, hierarchy, node_id, top_layer = sync_setup
+        # Find a second node surviving at the top layer.
+        other = next(
+            n for n in hierarchy.layer(top_layer).graph.node_ids() if n != node_id
+        )
+        # And a node that exists only at layer 0 (filtered out of every layer above).
+        upper_layers = [layer for layer in database.layers() if layer > 0]
+        layer0_only = next(
+            n for n in hierarchy.layer(0).graph.node_ids()
+            if all(database.table(layer).node_position(n) is None for layer in upper_layers)
+        )
+        synchronizer = LayerSynchronizer(database)
+        both_layers = synchronizer.add_edge(node_id, other, label="sync-link")
+        assert top_layer in both_layers.layers_touched
+        only_base = synchronizer.add_edge(node_id, layer0_only, label="base-link")
+        assert only_base.layers_touched == [0]
+
+    def test_delete_edge_across_layers(self, sync_setup):
+        database, hierarchy, node_id, top_layer = sync_setup
+        other = next(
+            n for n in hierarchy.layer(top_layer).graph.node_ids() if n != node_id
+        )
+        synchronizer = LayerSynchronizer(database)
+        synchronizer.add_edge(node_id, other, label="temporary")
+        report = synchronizer.delete_edge(node_id, other)
+        assert report.total_rows >= len(report.layers_touched)
+        assert set(report.layers_touched) <= set(database.layers())
+
+    def test_reports_accumulate(self, sync_setup):
+        database, _, node_id, _ = sync_setup
+        synchronizer = LayerSynchronizer(database)
+        synchronizer.rename_node(node_id, "x")
+        synchronizer.move_node(node_id, Point(1.0, 2.0))
+        assert [report.operation for report in synchronizer.reports] == [
+            "rename_node", "move_node",
+        ]

@@ -1,0 +1,167 @@
+"""Unit tests for the partition organizer (paper Step 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OrganizerError
+from repro.graph.generators import community_graph
+from repro.layout.circular import CircularLayout
+from repro.layout.force_directed import ForceDirectedLayout
+from repro.organizer.cost import placement_cost
+from repro.organizer.placement import PartitionOrganizer
+from repro.organizer.spiral import CandidateGenerator
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.simple import BFSPartitioner, RandomPartitioner
+from repro.layout.base import Layout
+from repro.spatial.geometry import Point, Rect
+
+
+@pytest.fixture
+def organized():
+    """A partitioned + organized community graph shared by several tests."""
+    graph = community_graph(num_communities=4, community_size=20, inter_edges=3, seed=8)
+    partition_result = MultilevelPartitioner(seed=2).partition(graph, 4)
+    layouts = [
+        ForceDirectedLayout(iterations=25, seed=3).layout(subgraph)
+        for subgraph in partition_result.subgraphs()
+    ]
+    organizer = PartitionOrganizer(padding=30.0)
+    return graph, partition_result, organizer.organize(partition_result, layouts)
+
+
+class TestCandidateGenerator:
+    def test_first_candidate_on_empty_plane_is_origin_cell(self):
+        generator = CandidateGenerator(gap=10)
+        candidates = list(generator.candidates([], 100, 50))
+        assert candidates == [Rect(0, 0, 100, 50)]
+
+    def test_candidates_do_not_overlap_occupied(self):
+        generator = CandidateGenerator(gap=5)
+        occupied = [Rect(0, 0, 100, 100)]
+        for candidate in generator.candidates(occupied, 50, 50, max_rings=2):
+            assert not candidate.intersects(Rect(1, 1, 99, 99))
+
+    def test_candidates_surround_the_occupied_region(self):
+        generator = CandidateGenerator(gap=5)
+        occupied = [Rect(0, 0, 100, 100)]
+        candidates = list(generator.candidates(occupied, 40, 40, max_rings=1))
+        assert len(candidates) >= 4
+        # There must be candidates on at least three different sides.
+        sides = set()
+        for candidate in candidates:
+            if candidate.min_x >= 100:
+                sides.add("right")
+            if candidate.max_x <= 0:
+                sides.add("left")
+            if candidate.min_y >= 100:
+                sides.add("top")
+            if candidate.max_y <= 0:
+                sides.add("bottom")
+        assert len(sides) >= 3
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateGenerator(gap=-1)
+
+
+class TestPlacementCost:
+    def test_cost_prefers_nearby_cell(self, small_graph):
+        # Edge 1 -> 2 crosses partitions; candidate A keeps node 1 near node 2.
+        edge = small_graph.edge(1, 2)
+        placed = {2: Point(0.0, 0.0)}
+        near = Layout({1: Point(10.0, 0.0), 4: Point(12.0, 0.0)})
+        far = Layout({1: Point(500.0, 0.0), 4: Point(502.0, 0.0)})
+        assert placement_cost(near, [edge], placed) < placement_cost(far, [edge], placed)
+
+    def test_unplaced_neighbours_contribute_small_bias(self, small_graph):
+        edge = small_graph.edge(1, 2)
+        candidate = Layout({1: Point(10.0, 0.0)})
+        cost = placement_cost(candidate, [edge], {})
+        assert 0 < cost < 10
+
+
+class TestOrganizer:
+    def test_all_nodes_get_global_coordinates(self, organized):
+        graph, _, global_layout = organized
+        assert set(global_layout.layout.positions) == set(graph.node_ids())
+
+    def test_partition_cells_do_not_overlap(self, organized):
+        _, _, global_layout = organized
+        cells = [placement.bounds for placement in global_layout.placements]
+        for i in range(len(cells)):
+            for j in range(i + 1, len(cells)):
+                intersection = cells[i].intersection(cells[j])
+                if intersection is not None:
+                    assert intersection.area == pytest.approx(0.0, abs=1e-6)
+
+    def test_nodes_stay_inside_their_cell(self, organized):
+        _, partition_result, global_layout = organized
+        for placement in global_layout.placements:
+            for node_id in partition_result.members(placement.partition):
+                assert placement.bounds.contains_point(global_layout.layout.position(node_id))
+
+    def test_first_placed_partition_has_most_crossing_edges(self, organized):
+        _, partition_result, global_layout = organized
+        counts = partition_result.crossing_edge_counts()
+        first = global_layout.placement_order[0]
+        assert counts[first] == max(counts)
+
+    def test_every_partition_placed_exactly_once(self, organized):
+        _, partition_result, global_layout = organized
+        assert sorted(global_layout.placement_order) == list(range(partition_result.num_partitions))
+
+    def test_organizer_beats_arbitrary_order_on_crossing_length(self):
+        graph = community_graph(num_communities=5, community_size=15, inter_edges=4, seed=3)
+        partition_result = BFSPartitioner(seed=1).partition(graph, 5)
+        layouts = [
+            CircularLayout(area_per_node=400.0).layout(sub) for sub in partition_result.subgraphs()
+        ]
+        organizer = PartitionOrganizer(padding=20.0)
+        organized_layout = organizer.organize(partition_result, layouts)
+
+        # Baseline: place partitions left-to-right in index order.
+        from repro.layout.scale import normalize_layout
+
+        offset = 0.0
+        arbitrary_positions = {}
+        for part, layout in enumerate(layouts):
+            normalized = normalize_layout(layout)
+            shifted = normalized.translated(offset, 0.0)
+            arbitrary_positions.update(shifted.positions)
+            offset += normalized.bounding_rect().width + 40.0
+        arbitrary_total = sum(
+            arbitrary_positions[e.source].distance_to(arbitrary_positions[e.target])
+            for e in partition_result.crossing_edges()
+        )
+        organized_total = organized_layout.total_crossing_length(partition_result)
+        assert organized_total <= arbitrary_total * 1.25
+
+    def test_wrong_number_of_layouts_raises(self, communities):
+        partition_result = BFSPartitioner().partition(communities, 3)
+        with pytest.raises(OrganizerError):
+            PartitionOrganizer().organize(partition_result, [])
+
+    def test_layout_missing_nodes_raises(self, communities):
+        partition_result = BFSPartitioner().partition(communities, 2)
+        incomplete = [Layout({}), Layout({})]
+        with pytest.raises(OrganizerError):
+            PartitionOrganizer().organize(partition_result, incomplete)
+
+    def test_single_partition(self, small_graph):
+        partition_result = BFSPartitioner().partition(small_graph, 1)
+        layouts = [CircularLayout().layout(small_graph)]
+        global_layout = PartitionOrganizer().organize(partition_result, layouts)
+        assert len(global_layout.placements) == 1
+        assert set(global_layout.layout.positions) == set(small_graph.node_ids())
+
+    def test_cell_of_unknown_partition_raises(self, organized):
+        _, _, global_layout = organized
+        with pytest.raises(OrganizerError):
+            global_layout.cell_of(99)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OrganizerError):
+            PartitionOrganizer(padding=-1)
+        with pytest.raises(OrganizerError):
+            PartitionOrganizer(max_candidates=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the drawing-quality metrics of organized layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import community_graph
+from repro.layout.circular import CircularLayout
+from repro.layout.scale import normalize_layout
+from repro.organizer.placement import GlobalLayout, PartitionOrganizer
+from repro.organizer.quality import evaluate_drawing
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.simple import RandomPartitioner
+
+
+@pytest.fixture(scope="module")
+def arranged():
+    graph = community_graph(num_communities=4, community_size=18, inter_edges=3, seed=12)
+    partition_result = MultilevelPartitioner(seed=4).partition(graph, 4)
+    layouts = [
+        CircularLayout(area_per_node=400.0).layout(subgraph)
+        for subgraph in partition_result.subgraphs()
+    ]
+    global_layout = PartitionOrganizer(padding=25.0).organize(partition_result, layouts)
+    return graph, partition_result, layouts, global_layout
+
+
+class TestDrawingQuality:
+    def test_no_overlapping_cells(self, arranged):
+        _, partition_result, _, global_layout = arranged
+        quality = evaluate_drawing(global_layout, partition_result)
+        assert quality.num_overlapping_cell_pairs == 0
+
+    def test_mean_consistent_with_total(self, arranged):
+        _, partition_result, _, global_layout = arranged
+        quality = evaluate_drawing(global_layout, partition_result)
+        crossing = len(partition_result.crossing_edges())
+        assert quality.total_crossing_length >= 0
+        if crossing:
+            assert quality.mean_crossing_length == pytest.approx(
+                quality.total_crossing_length / crossing
+            )
+
+    def test_utilisation_and_aspect_in_reasonable_ranges(self, arranged):
+        _, partition_result, _, global_layout = arranged
+        quality = evaluate_drawing(global_layout, partition_result)
+        assert 0.0 < quality.plane_utilisation <= 1.0
+        assert 0.05 < quality.aspect_ratio < 20.0
+
+    def test_as_dict_round_trip(self, arranged):
+        _, partition_result, _, global_layout = arranged
+        payload = evaluate_drawing(global_layout, partition_result).as_dict()
+        assert set(payload) == {
+            "total_crossing_length", "mean_crossing_length", "plane_utilisation",
+            "aspect_ratio", "num_overlapping_cell_pairs",
+        }
+
+    def test_better_partitioning_gives_shorter_crossings(self):
+        """A good cut (multilevel) should not produce longer crossing edges in
+        total than a random cut of the same graph once both are organized."""
+        graph = community_graph(num_communities=4, community_size=20, inter_edges=2, seed=6)
+        layouts_for = lambda result: [  # noqa: E731 - local helper
+            CircularLayout(area_per_node=400.0).layout(sub) for sub in result.subgraphs()
+        ]
+        organizer = PartitionOrganizer(padding=25.0)
+
+        good = MultilevelPartitioner(seed=2).partition(graph, 4)
+        bad = RandomPartitioner(seed=2).partition(graph, 4)
+        good_quality = evaluate_drawing(organizer.organize(good, layouts_for(good)), good)
+        bad_quality = evaluate_drawing(organizer.organize(bad, layouts_for(bad)), bad)
+        assert good_quality.total_crossing_length < bad_quality.total_crossing_length
+
+    def test_single_partition_has_zero_crossings(self, small_graph):
+        partition_result = MultilevelPartitioner().partition(small_graph, 1)
+        layout = CircularLayout(area_per_node=100.0).layout(small_graph)
+        global_layout = PartitionOrganizer().organize(partition_result, [layout])
+        quality = evaluate_drawing(global_layout, partition_result)
+        assert quality.total_crossing_length == 0.0
+        assert quality.mean_crossing_length == 0.0
+
+    def test_quality_on_manual_global_layout(self, small_graph):
+        """evaluate_drawing works on a hand-built GlobalLayout as well."""
+        from repro.organizer.cost import PlacedPartition
+        from repro.partition.base import PartitionResult
+
+        partition_result = PartitionResult(
+            graph=small_graph,
+            assignment={1: 0, 2: 0, 3: 1, 4: 1},
+            num_partitions=2,
+        )
+        left = normalize_layout(CircularLayout(area_per_node=100.0).layout(
+            small_graph.subgraph([1, 2])
+        ))
+        right = normalize_layout(CircularLayout(area_per_node=100.0).layout(
+            small_graph.subgraph([3, 4])
+        )).translated(500.0, 0.0)
+        merged = left.merged_with(right)
+        global_layout = GlobalLayout(
+            layout=merged,
+            placements=[
+                PlacedPartition(0, left, left.bounding_rect().expanded(10)),
+                PlacedPartition(1, right, right.bounding_rect().expanded(10)),
+            ],
+            placement_order=[0, 1],
+        )
+        quality = evaluate_drawing(global_layout, partition_result)
+        assert quality.total_crossing_length > 0
+        assert quality.num_overlapping_cell_pairs == 0

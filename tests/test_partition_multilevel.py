@@ -1,0 +1,129 @@
+"""Unit tests for coarsening, refinement and the multilevel partitioner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.graph.generators import community_graph, path_graph, star_graph
+from repro.partition.coarsening import coarsen, contract, heavy_edge_matching
+from repro.partition.multilevel import MultilevelPartitioner, create_partitioner
+from repro.partition.quality import balance
+from repro.partition.refinement import refine, refine_assignment
+from repro.partition.simple import RandomPartitioner
+
+
+class TestCoarsening:
+    def test_matching_is_symmetric(self, communities):
+        matching = heavy_edge_matching(communities, seed=1)
+        for node, partner in matching.items():
+            assert matching[partner] == node
+
+    def test_matching_covers_all_nodes(self, communities):
+        matching = heavy_edge_matching(communities, seed=1)
+        assert set(matching) == set(communities.node_ids())
+
+    def test_contract_halves_graph_roughly(self, communities):
+        matching = heavy_edge_matching(communities, seed=1)
+        level = contract(communities, matching)
+        assert level.graph.num_nodes < communities.num_nodes
+        assert level.graph.num_nodes >= communities.num_nodes / 2
+        # Total node weight is conserved.
+        total_weight = sum(
+            level.graph.node(n).properties["weight"] for n in level.graph.node_ids()
+        )
+        assert total_weight == communities.num_nodes
+
+    def test_contract_mapping_is_total(self, communities):
+        matching = heavy_edge_matching(communities, seed=2)
+        level = contract(communities, matching)
+        assert set(level.fine_to_coarse) == set(communities.node_ids())
+        assert set(level.fine_to_coarse.values()) == set(level.graph.node_ids())
+
+    def test_coarsen_reaches_target(self):
+        graph = community_graph(num_communities=4, community_size=40, seed=2)
+        levels = coarsen(graph, target_nodes=30, seed=1)
+        assert levels
+        assert levels[-1].graph.num_nodes <= max(30, graph.num_nodes // 2)
+
+    def test_coarsen_star_terminates(self):
+        # A star has almost no matching structure; coarsening must still stop.
+        graph = star_graph(50)
+        levels = coarsen(graph, target_nodes=5, max_levels=30, seed=0)
+        assert len(levels) <= 30
+
+
+class TestRefinement:
+    def test_refinement_never_increases_cut(self, communities):
+        initial = RandomPartitioner(seed=3).partition(communities, 4)
+        refined = refine(initial)
+        assert refined.edge_cut() <= initial.edge_cut()
+
+    def test_refinement_improves_random_partition_on_communities(self, communities):
+        initial = RandomPartitioner(seed=3).partition(communities, 4)
+        refined = refine(initial, max_passes=6)
+        assert refined.edge_cut() < initial.edge_cut()
+
+    def test_refine_assignment_respects_balance(self, communities):
+        assignment = {node_id: node_id % 4 for node_id in communities.node_ids()}
+        refined = refine_assignment(communities, assignment, 4, balance_factor=1.1)
+        sizes = [0, 0, 0, 0]
+        for part in refined.values():
+            sizes[part] += 1
+        ideal = communities.num_nodes / 4
+        assert max(sizes) <= 1.1 * ideal + 1
+
+    def test_refine_assignment_never_empties_partition(self):
+        graph = path_graph(10)
+        assignment = {node_id: (0 if node_id < 9 else 1) for node_id in graph.node_ids()}
+        refined = refine_assignment(graph, assignment, 2, balance_factor=10.0)
+        assert set(refined.values()) == {0, 1}
+
+
+class TestMultilevelPartitioner:
+    def test_produces_valid_partition(self, communities):
+        result = MultilevelPartitioner(seed=1).partition(communities, 4)
+        assert result.num_partitions == 4
+        assert set(result.assignment) == set(communities.node_ids())
+        assert all(size > 0 for size in result.partition_sizes())
+
+    def test_beats_random_on_community_graph(self):
+        graph = community_graph(num_communities=6, community_size=30, inter_edges=4, seed=9)
+        multilevel_cut = MultilevelPartitioner(seed=1).partition(graph, 6).edge_cut()
+        random_cut = RandomPartitioner(seed=1).partition(graph, 6).edge_cut()
+        assert multilevel_cut < random_cut / 2
+
+    def test_respects_balance(self, communities):
+        result = MultilevelPartitioner(seed=1, balance_factor=1.1).partition(communities, 4)
+        assert balance(result) <= 1.6  # generous bound; includes projection slack
+
+    def test_k_equals_one(self, communities):
+        result = MultilevelPartitioner().partition(communities, 1)
+        assert result.edge_cut() == 0
+        assert result.partition_sizes() == [communities.num_nodes]
+
+    def test_k_larger_than_nodes_is_clamped(self):
+        graph = path_graph(3)
+        result = MultilevelPartitioner().partition(graph, 8)
+        assert result.num_partitions == 3
+
+    def test_deterministic_given_seed(self, communities):
+        first = MultilevelPartitioner(seed=5).partition(communities, 3)
+        second = MultilevelPartitioner(seed=5).partition(communities, 3)
+        assert first.assignment == second.assignment
+
+    def test_small_graph_directly_partitioned(self):
+        graph = path_graph(6)
+        result = MultilevelPartitioner(coarsen_target=100).partition(graph, 2)
+        assert result.num_partitions == 2
+        assert all(size > 0 for size in result.partition_sizes())
+
+
+class TestFactory:
+    def test_create_each_method(self):
+        for method in ["multilevel", "bfs", "random", "hash"]:
+            assert create_partitioner(method).name == method
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(PartitioningError):
+            create_partitioner("metis")

@@ -1,0 +1,131 @@
+"""Unit tests for the simple partitioners and partition result bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.graph.generators import path_graph
+from repro.graph.model import Graph
+from repro.partition.base import PartitionResult
+from repro.partition.quality import balance, evaluate_partition
+from repro.partition.simple import BFSPartitioner, HashPartitioner, RandomPartitioner
+
+
+class TestPartitionResult:
+    def test_members_and_sizes(self, small_graph):
+        result = PartitionResult(
+            graph=small_graph,
+            assignment={1: 0, 2: 0, 3: 1, 4: 1},
+            num_partitions=2,
+        )
+        assert result.members(0) == [1, 2]
+        assert result.members(1) == [3, 4]
+        assert result.partition_sizes() == [2, 2]
+        assert result.partition_of(3) == 1
+
+    def test_crossing_edges_and_cut(self, small_graph):
+        result = PartitionResult(
+            graph=small_graph,
+            assignment={1: 0, 2: 0, 3: 1, 4: 1},
+            num_partitions=2,
+        )
+        # Edges: 1->2 (internal), 2->3 (cross), 1->4 (cross), 3->4 (internal).
+        assert result.edge_cut() == 2
+        counts = result.crossing_edge_counts()
+        assert counts == [2, 2]
+        matrix = result.crossing_matrix()
+        assert matrix[0][1] == 2 and matrix[1][0] == 2
+
+    def test_subgraphs_drop_crossing_edges(self, small_graph):
+        result = PartitionResult(
+            graph=small_graph,
+            assignment={1: 0, 2: 0, 3: 1, 4: 1},
+            num_partitions=2,
+        )
+        subgraphs = result.subgraphs()
+        assert subgraphs[0].num_edges == 1
+        assert subgraphs[1].num_edges == 1
+
+    def test_missing_assignment_raises(self, small_graph):
+        with pytest.raises(PartitioningError):
+            PartitionResult(graph=small_graph, assignment={1: 0}, num_partitions=1)
+
+    def test_invalid_partition_index_raises(self, small_graph):
+        with pytest.raises(PartitioningError):
+            PartitionResult(
+                graph=small_graph,
+                assignment={1: 0, 2: 0, 3: 0, 4: 5},
+                num_partitions=2,
+            )
+
+    def test_unknown_node_partition_of_raises(self, small_graph):
+        result = PartitionResult(
+            graph=small_graph,
+            assignment={n: 0 for n in small_graph.node_ids()},
+            num_partitions=1,
+        )
+        with pytest.raises(PartitioningError):
+            result.partition_of(99)
+
+
+class TestSimplePartitioners:
+    @pytest.mark.parametrize("partitioner", [
+        RandomPartitioner(seed=1), HashPartitioner(), BFSPartitioner(seed=1),
+    ])
+    def test_every_partition_nonempty(self, partitioner, communities):
+        result = partitioner.partition(communities, 4)
+        assert result.num_partitions == 4
+        assert all(size > 0 for size in result.partition_sizes())
+
+    @pytest.mark.parametrize("partitioner", [
+        RandomPartitioner(seed=1), HashPartitioner(), BFSPartitioner(seed=1),
+    ])
+    def test_all_nodes_assigned(self, partitioner, communities):
+        result = partitioner.partition(communities, 3)
+        assert set(result.assignment) == set(communities.node_ids())
+
+    def test_k_clamped_to_node_count(self):
+        graph = path_graph(3)
+        result = BFSPartitioner().partition(graph, 10)
+        assert result.num_partitions == 3
+
+    def test_invalid_k_raises(self, communities):
+        with pytest.raises(PartitioningError):
+            BFSPartitioner().partition(communities, 0)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(PartitioningError):
+            RandomPartitioner().partition(Graph(), 2)
+
+    def test_bfs_is_balanced(self, communities):
+        result = BFSPartitioner(seed=2).partition(communities, 4)
+        assert balance(result) <= 1.3
+
+    def test_bfs_beats_random_on_path(self):
+        graph = path_graph(60)
+        bfs_cut = BFSPartitioner(seed=0).partition(graph, 4).edge_cut()
+        random_cut = RandomPartitioner(seed=0).partition(graph, 4).edge_cut()
+        assert bfs_cut < random_cut
+
+    def test_deterministic_given_seed(self, communities):
+        first = BFSPartitioner(seed=7).partition(communities, 3)
+        second = BFSPartitioner(seed=7).partition(communities, 3)
+        assert first.assignment == second.assignment
+
+
+class TestQualityMetrics:
+    def test_evaluate_partition_fields(self, communities):
+        result = BFSPartitioner(seed=1).partition(communities, 4)
+        quality = evaluate_partition(result)
+        assert quality.num_partitions == 4
+        assert quality.edge_cut == result.edge_cut()
+        assert 0.0 <= quality.cut_ratio <= 1.0
+        assert quality.min_size <= quality.max_size
+        assert quality.as_dict()["balance"] == pytest.approx(quality.balance)
+
+    def test_single_partition_has_zero_cut(self, communities):
+        result = BFSPartitioner().partition(communities, 1)
+        quality = evaluate_partition(result)
+        assert quality.edge_cut == 0
+        assert quality.balance == pytest.approx(1.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the preprocessing pipeline (Steps 1-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AbstractionConfig,
+    GraphVizDBConfig,
+    LayoutConfig,
+    PartitionConfig,
+)
+from repro.core.pipeline import PreprocessingPipeline
+from repro.errors import PipelineError
+from repro.graph.generators import community_graph
+from repro.graph.model import Graph
+
+
+class TestPipelineArtifacts:
+    def test_all_five_steps_timed(self, patent_result):
+        report = patent_result.report
+        assert [timing.step for timing in report.steps] == [1, 2, 3, 4, 5]
+        assert all(timing.seconds >= 0 for timing in report.steps)
+        assert report.total_seconds == pytest.approx(
+            sum(timing.seconds for timing in report.steps)
+        )
+
+    def test_report_metadata(self, patent_result):
+        report = patent_result.report
+        assert report.dataset == "patent-like"
+        assert report.num_nodes > 0 and report.num_edges > 0
+        assert report.step(5).name == "store_and_index"
+        with pytest.raises(PipelineError):
+            report.step(9)
+
+    def test_database_has_one_table_per_layer(self, patent_result):
+        hierarchy = patent_result.hierarchy
+        database = patent_result.database
+        assert database.num_layers == hierarchy.num_layers
+        assert database.metadata["num_layers"] == hierarchy.num_layers
+
+    def test_layer_zero_row_count_matches_graph(self, patent_result):
+        graph = patent_result.hierarchy.layer(0).graph
+        table = patent_result.database.table(0)
+        isolated = sum(1 for n in graph.node_ids() if graph.degree(n) == 0)
+        assert table.num_rows == graph.num_edges + isolated
+
+    def test_partition_count_follows_config(self, patent_result, small_config):
+        expected_k = small_config.partition.resolve_k(
+            patent_result.hierarchy.layer(0).graph.num_nodes
+        )
+        assert patent_result.partition_result.num_partitions == expected_k
+
+    def test_global_layout_covers_all_nodes(self, patent_result):
+        graph = patent_result.hierarchy.layer(0).graph
+        layout = patent_result.global_layout.layout
+        assert set(layout.positions) == set(graph.node_ids())
+
+    def test_layer_indexing_times_recorded(self, patent_result):
+        report = patent_result.report
+        assert set(report.layer_indexing_seconds) == set(
+            layer.level for layer in patent_result.hierarchy
+        )
+        assert report.parallel_step5_seconds() == max(report.layer_indexing_seconds.values())
+        # The parallel-indexing claim: parallel Step 5 <= sequential Step 5.
+        assert report.parallel_step5_seconds() <= report.step(5).seconds
+
+    def test_database_is_consistent(self, patent_result):
+        patent_result.database.validate()
+
+    def test_report_as_dict(self, patent_result):
+        payload = patent_result.report.as_dict()
+        assert payload["dataset"] == "patent-like"
+        assert set(payload["steps"]) == {
+            "partitioning", "layout", "organize_partitions",
+            "abstraction_layers", "store_and_index",
+        }
+
+
+class TestPipelineConfigurations:
+    def test_empty_graph_raises(self):
+        with pytest.raises(PipelineError):
+            PreprocessingPipeline().run(Graph())
+
+    def test_single_node_graph(self):
+        graph = Graph(name="one")
+        graph.add_node(1, label="only")
+        result = PreprocessingPipeline(GraphVizDBConfig.small()).run(graph)
+        assert result.database.table(0).num_rows == 1
+
+    @pytest.mark.parametrize("criterion", ["degree", "pagerank", "merge"])
+    def test_abstraction_criteria(self, criterion):
+        graph = community_graph(num_communities=3, community_size=12, seed=1)
+        config = GraphVizDBConfig(
+            partition=PartitionConfig(num_partitions=2),
+            layout=LayoutConfig(iterations=10),
+            abstraction=AbstractionConfig(num_layers=2, criterion=criterion),
+        )
+        result = PreprocessingPipeline(config).run(graph)
+        assert result.database.num_layers >= 2
+
+    @pytest.mark.parametrize("method", ["bfs", "random", "hash"])
+    def test_alternative_partitioners(self, method):
+        graph = community_graph(num_communities=2, community_size=15, seed=1)
+        config = GraphVizDBConfig(
+            partition=PartitionConfig(num_partitions=2, method=method),
+            layout=LayoutConfig(iterations=10),
+            abstraction=AbstractionConfig(num_layers=1),
+        )
+        result = PreprocessingPipeline(config).run(graph)
+        assert result.partition_result.num_partitions == 2
+
+    @pytest.mark.parametrize("algorithm", ["circular", "grid", "spectral", "hierarchical"])
+    def test_alternative_layouts(self, algorithm):
+        graph = community_graph(num_communities=2, community_size=10, seed=1)
+        config = GraphVizDBConfig(
+            partition=PartitionConfig(num_partitions=2),
+            layout=LayoutConfig(algorithm=algorithm, iterations=10),
+            abstraction=AbstractionConfig(num_layers=1),
+        )
+        result = PreprocessingPipeline(config).run(graph)
+        assert set(result.global_layout.layout.positions) == set(graph.node_ids())
+
+    def test_partition_cells_never_overlap(self, patent_result):
+        placements = patent_result.global_layout.placements
+        for i in range(len(placements)):
+            for j in range(i + 1, len(placements)):
+                overlap = placements[i].bounds.intersection(placements[j].bounds)
+                if overlap is not None:
+                    assert overlap.area == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.model import Graph
+from repro.layout.base import Layout
+from repro.partition.simple import BFSPartitioner
+from repro.spatial.btree import BPlusTree
+from repro.spatial.geometry import LineSegment, Point, Rect, decode_segment, encode_segment
+from repro.spatial.rtree import RTree
+from repro.spatial.trie import FullTextIndex, tokenize
+from repro.storage.schema import EdgeRow, rows_from_graph
+from repro.storage.serialization import decode_row, encode_row
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+coordinates = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coordinates)
+    y1 = draw(coordinates)
+    x2 = draw(coordinates)
+    y2 = draw(coordinates)
+    return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+@st.composite
+def segments(draw):
+    return LineSegment(
+        Point(draw(coordinates), draw(coordinates)),
+        Point(draw(coordinates), draw(coordinates)),
+        directed=draw(st.booleans()),
+    )
+
+
+@st.composite
+def edge_rows(draw):
+    segment = draw(segments())
+    return EdgeRow(
+        row_id=draw(st.integers(min_value=0, max_value=2**40)),
+        node1_id=draw(st.integers(min_value=-2**31, max_value=2**31)),
+        node1_label=draw(st.text(max_size=40)),
+        edge_geometry=encode_segment(segment),
+        edge_label=draw(st.text(max_size=20)),
+        node2_id=draw(st.integers(min_value=-2**31, max_value=2**31)),
+        node2_label=draw(st.text(max_size=40)),
+    )
+
+
+@st.composite
+def random_graphs(draw):
+    """Small random graphs with contiguous node ids."""
+    num_nodes = draw(st.integers(min_value=1, max_value=25))
+    graph = Graph(directed=draw(st.booleans()), name="hyp")
+    for node_id in range(num_nodes):
+        graph.add_node(node_id, label=f"n{node_id}")
+    num_edges = draw(st.integers(min_value=0, max_value=40))
+    for _ in range(num_edges):
+        source = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        target = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        graph.add_edge(source, target, label="e")
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+
+
+class TestGeometryProperties:
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains_rect(a)
+        assert union.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_intersection_symmetric_and_contained(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+
+    @given(rects())
+    def test_enlargement_of_self_is_zero(self, rect):
+        assert rect.enlargement(rect) == 0.0
+
+    @given(segments())
+    def test_segment_binary_roundtrip(self, segment):
+        assert decode_segment(encode_segment(segment)) == segment
+
+    @given(segments())
+    def test_segment_intersects_own_bounding_rect(self, segment):
+        assert segment.intersects_rect(segment.bounding_rect())
+
+    @given(segments(), rects())
+    def test_segment_intersection_implies_bbox_intersection(self, segment, rect):
+        if segment.intersects_rect(rect):
+            assert segment.bounding_rect().intersects(rect)
+
+
+# ---------------------------------------------------------------------------
+# R-tree
+# ---------------------------------------------------------------------------
+
+
+class TestRTreeProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rects(), min_size=0, max_size=80), rects())
+    def test_window_query_matches_linear_scan(self, entry_rects, window):
+        tree = RTree(max_entries=5)
+        for index, rect in enumerate(entry_rects):
+            tree.insert(rect, index)
+        expected = {i for i, rect in enumerate(entry_rects) if rect.intersects(window)}
+        assert set(tree.window_query(window)) == expected
+        tree.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rects(), min_size=1, max_size=80))
+    def test_bulk_load_equivalent_to_insert(self, entry_rects):
+        entries = [(rect, index) for index, rect in enumerate(entry_rects)]
+        bulk = RTree.bulk_load(entries, max_entries=6)
+        assert len(bulk) == len(entries)
+        bulk.check_invariants()
+        window = entry_rects[0]
+        expected = {i for i, rect in enumerate(entry_rects) if rect.intersects(window)}
+        assert set(bulk.window_query(window)) == expected
+
+
+# ---------------------------------------------------------------------------
+# B+-tree
+# ---------------------------------------------------------------------------
+
+
+class TestBPlusTreeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=-10_000, max_value=10_000), max_size=300))
+    def test_keys_sorted_and_search_consistent(self, keys):
+        tree = BPlusTree(order=8)
+        for key in keys:
+            tree.insert(key, key)
+        assert list(tree.keys()) == sorted(set(keys))
+        tree.check_invariants()
+        for key in set(keys):
+            values = tree.search(key)
+            assert len(values) == keys.count(key)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), max_size=200),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_range_search_matches_filter(self, keys, low, high):
+        tree = BPlusTree(order=6)
+        for key in keys:
+            tree.insert(key, key)
+        expected = sorted(key for key in keys if low <= key <= high)
+        assert [key for key, _ in tree.range_search(low, high)] == expected
+
+
+# ---------------------------------------------------------------------------
+# Full-text index
+# ---------------------------------------------------------------------------
+
+
+class TestFullTextProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.integers(0, 200), st.text(min_size=1, max_size=30), max_size=40))
+    def test_every_token_of_every_label_is_findable(self, labels):
+        index = FullTextIndex()
+        for document, label in labels.items():
+            index.add(document, label)
+        for document, label in labels.items():
+            for token in tokenize(label):
+                assert document in index.search(token, mode="exact")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.integers(0, 100), st.text(min_size=1, max_size=20), max_size=20))
+    def test_remove_makes_documents_unfindable(self, labels):
+        index = FullTextIndex()
+        for document, label in labels.items():
+            index.add(document, label)
+        for document in labels:
+            index.remove(document)
+        assert len(index) == 0
+        for label in labels.values():
+            for token in tokenize(label):
+                assert index.search(token, mode="exact") == []
+
+
+# ---------------------------------------------------------------------------
+# Storage rows
+# ---------------------------------------------------------------------------
+
+
+class TestRowProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(edge_rows())
+    def test_row_binary_roundtrip(self, row):
+        assert decode_row(encode_row(row)) == row
+
+
+# ---------------------------------------------------------------------------
+# Partitioning and storage invariants on random graphs
+# ---------------------------------------------------------------------------
+
+
+class TestGraphLevelInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(random_graphs(), st.integers(min_value=1, max_value=5))
+    def test_partition_is_total_and_nonempty(self, graph, k):
+        result = BFSPartitioner(seed=1).partition(graph, k)
+        assert set(result.assignment) == set(graph.node_ids())
+        assert all(size > 0 for size in result.partition_sizes())
+        assert sum(result.partition_sizes()) == graph.num_nodes
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_graphs())
+    def test_rows_cover_all_nodes_and_edges(self, graph):
+        layout = Layout({
+            node_id: Point(float(node_id * 13 % 97), float(node_id * 7 % 89))
+            for node_id in graph.node_ids()
+        })
+        rows = rows_from_graph(graph, layout)
+        edge_rows_count = sum(1 for row in rows if not row.is_node_row())
+        assert edge_rows_count == graph.num_edges
+        covered_nodes = set()
+        for row in rows:
+            covered_nodes.add(row.node1_id)
+            covered_nodes.add(row.node2_id)
+        assert covered_nodes == set(graph.node_ids())
+        # Row ids are unique.
+        assert len({row.row_id for row in rows}) == len(rows)

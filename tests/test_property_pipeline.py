@@ -1,0 +1,134 @@
+"""Property-based tests on pipeline-level invariants (organizer, storage, queries)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    AbstractionConfig,
+    GraphVizDBConfig,
+    LayoutConfig,
+    PartitionConfig,
+)
+from repro.core.pipeline import PreprocessingPipeline
+from repro.graph.generators import community_graph, erdos_renyi
+from repro.layout.circular import CircularLayout
+from repro.organizer.placement import PartitionOrganizer
+from repro.partition.simple import BFSPartitioner
+from repro.spatial.geometry import Rect
+
+
+def fast_config(num_layers: int = 1) -> GraphVizDBConfig:
+    return GraphVizDBConfig(
+        partition=PartitionConfig(max_partition_nodes=40),
+        layout=LayoutConfig(algorithm="circular", iterations=5, area_per_node=400.0),
+        abstraction=AbstractionConfig(num_layers=num_layers),
+    )
+
+
+class TestOrganizerProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_communities=st.integers(min_value=1, max_value=5),
+        community_size=st.integers(min_value=3, max_value=15),
+        k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_cells_never_overlap_and_cover_all_nodes(
+        self, num_communities, community_size, k, seed
+    ):
+        graph = community_graph(
+            num_communities=num_communities, community_size=community_size,
+            inter_edges=2, seed=seed,
+        )
+        partition_result = BFSPartitioner(seed=seed).partition(
+            graph, min(k, graph.num_nodes)
+        )
+        layouts = [
+            CircularLayout(area_per_node=100.0).layout(subgraph)
+            for subgraph in partition_result.subgraphs()
+        ]
+        global_layout = PartitionOrganizer(padding=10.0).organize(partition_result, layouts)
+
+        # Every node is placed.
+        assert set(global_layout.layout.positions) == set(graph.node_ids())
+        # Cells are pairwise non-overlapping (boundary contact allowed).
+        cells = [placement.bounds for placement in global_layout.placements]
+        for i in range(len(cells)):
+            for j in range(i + 1, len(cells)):
+                overlap = cells[i].intersection(cells[j])
+                assert overlap is None or overlap.area < 1e-9
+        # Every node lies inside its partition's cell.
+        for placement in global_layout.placements:
+            for node_id in partition_result.members(placement.partition):
+                assert placement.bounds.contains_point(
+                    global_layout.layout.position(node_id)
+                )
+
+
+class TestPipelineProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=60),
+        edge_probability=st.floats(min_value=0.0, max_value=0.2),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_full_bounds_window_returns_every_row(self, num_nodes, edge_probability, seed):
+        graph = erdos_renyi(num_nodes, edge_probability, seed=seed, name="hyp-er")
+        result = PreprocessingPipeline(fast_config()).run(graph)
+        database = result.database
+        for layer in database.layers():
+            table = database.table(layer)
+            bounds = database.bounds(layer)
+            if bounds is None:
+                assert table.num_rows == 0
+                continue
+            everything = table.window_query(bounds.expanded(1.0))
+            assert len(everything) == table.num_rows
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=50),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_every_node_is_searchable_and_locatable(self, num_nodes, seed):
+        graph = erdos_renyi(num_nodes, 0.1, seed=seed, name="hyp-search")
+        result = PreprocessingPipeline(fast_config()).run(graph)
+        table = result.database.table(0)
+        for node in list(graph.nodes())[:10]:
+            position = table.node_position(node.node_id)
+            assert position is not None
+            # The label ("n<id>") must be findable through the trie.
+            matches = dict(table.keyword_search(node.label, mode="exact"))
+            assert node.node_id in matches
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=5, max_value=50),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    def test_abstraction_layers_are_subsets_for_filter_criteria(self, num_nodes, seed):
+        graph = erdos_renyi(num_nodes, 0.15, seed=seed, name="hyp-layers")
+        result = PreprocessingPipeline(fast_config(num_layers=2)).run(graph)
+        hierarchy = result.hierarchy
+        for level in range(1, hierarchy.num_layers):
+            lower = set(hierarchy.layer(level - 1).graph.node_ids())
+            upper = set(hierarchy.layer(level).graph.node_ids())
+            assert upper <= lower
+            assert len(upper) <= len(lower)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_window_queries_consistent_between_rtree_and_scan(self, seed):
+        graph = community_graph(num_communities=2, community_size=12, seed=seed)
+        result = PreprocessingPipeline(fast_config()).run(graph)
+        table = result.database.table(0)
+        bounds = result.database.bounds(0)
+        # A quarter-sized window positioned by the seed.
+        window = Rect.from_center(bounds.center, bounds.width / 2, bounds.height / 2)
+        via_index = {row.row_id for row in table.window_query(window)}
+        via_scan = {
+            row.row_id for row in table.scan() if row.segment().intersects_rect(window)
+        }
+        assert via_index == via_scan

@@ -1,0 +1,142 @@
+"""Unit tests for the query manager (window queries, keyword search, focus-on-node)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filters import FilterSpec
+from repro.core.query_manager import QueryManager
+from repro.core.viewport import Viewport
+from repro.errors import QueryError
+from repro.spatial.geometry import Point, Rect
+
+
+class TestWindowQuery:
+    def test_whole_plane_returns_every_row(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        bounds = patent_result.database.bounds(0)
+        result = manager.window_query(bounds.expanded(10), layer=0)
+        assert len(result.rows) == patent_result.database.table(0).num_rows
+        assert result.num_objects == len(result.payload.nodes) + len(result.payload.edges)
+
+    def test_small_window_returns_subset(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        bounds = patent_result.database.bounds(0)
+        small = Rect.from_center(bounds.center, bounds.width / 10, bounds.height / 10)
+        full = manager.window_query(bounds, layer=0)
+        subset = manager.window_query(small, layer=0)
+        assert len(subset.rows) < len(full.rows)
+
+    def test_timings_are_recorded(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        result = manager.window_query(patent_result.database.bounds(0), layer=0)
+        assert result.db_query_seconds > 0
+        assert result.json_build_seconds > 0
+        assert result.server_seconds == pytest.approx(
+            result.db_query_seconds + result.json_build_seconds
+        )
+        assert result.total_bytes > 0
+
+    def test_unknown_layer_raises(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        with pytest.raises(QueryError):
+            manager.window_query(Rect(0, 0, 1, 1), layer=77)
+
+    def test_filters_applied_before_payload(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        bounds = patent_result.database.bounds(0)
+        unfiltered = manager.window_query(bounds, layer=0)
+        filtered = manager.window_query(
+            bounds, layer=0, filters=FilterSpec(hidden_edge_labels={"cites"})
+        )
+        assert len(filtered.rows) < len(unfiltered.rows)
+        assert all(row.edge_label != "cites" for row in filtered.rows)
+
+    def test_viewport_query_equivalent_to_window(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport(layer=0)
+        from_viewport = manager.viewport_query(viewport, layer=0)
+        from_window = manager.window_query(viewport.window(), layer=0)
+        assert len(from_viewport.rows) == len(from_window.rows)
+
+
+class TestLayerSwitch:
+    def test_change_layer_uses_same_window(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport(layer=0)
+        upper = manager.change_layer(viewport, new_layer=1)
+        lower = manager.window_query(viewport.window(), layer=0)
+        assert upper.layer == 1
+        assert len(upper.rows) <= len(lower.rows)
+
+    def test_change_to_unknown_layer_raises(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport()
+        with pytest.raises(QueryError):
+            manager.change_layer(viewport, new_layer=99)
+
+
+class TestKeywordSearch:
+    def test_search_finds_labels_containing_keyword(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        result = manager.keyword_search("patent", layer=0, limit=10)
+        assert 0 < result.num_matches <= 10
+        assert all("patent" in match["label"].lower() for match in result.matches)
+        assert all(match["x"] is not None for match in result.matches)
+        assert result.search_seconds > 0
+
+    def test_empty_keyword_raises(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        with pytest.raises(QueryError):
+            manager.keyword_search("   ")
+
+    def test_no_match_returns_empty(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        assert manager.keyword_search("zzzzqqqq").num_matches == 0
+
+    def test_focus_on_node_centers_viewport(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport()
+        node_id = next(iter(patent_result.hierarchy.layer(0).graph.node_ids()))
+        centered, result = manager.focus_on_node(node_id, viewport)
+        position = patent_result.database.table(0).node_position(node_id)
+        assert centered.center == position
+        assert any(
+            row.node1_id == node_id or row.node2_id == node_id for row in result.rows
+        )
+
+    def test_focus_on_unknown_node_raises(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        with pytest.raises(QueryError):
+            manager.focus_on_node(10**9, manager.default_viewport())
+
+
+class TestNodeOperations:
+    def test_neighborhood_returns_incident_rows(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        graph = patent_result.hierarchy.layer(0).graph
+        node_id = max(graph.node_ids(), key=graph.degree)
+        rows = manager.neighborhood(node_id)
+        assert len(rows) == len(patent_result.database.rows_for_node(0, node_id))
+        assert all(node_id in (row.node1_id, row.node2_id) for row in rows)
+
+    def test_neighborhood_unknown_node_raises(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        with pytest.raises(QueryError):
+            manager.neighborhood(10**9)
+
+    def test_node_info(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        graph = patent_result.hierarchy.layer(0).graph
+        node_id = max(graph.node_ids(), key=graph.degree)
+        info = manager.node_info(node_id)
+        assert info["node_id"] == node_id
+        assert info["degree"] == len(info["neighbours"])
+        assert info["degree"] > 0
+        assert info["label"]
+
+    def test_default_viewport_centered_on_drawing(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        viewport = manager.default_viewport()
+        bounds = patent_result.database.bounds(0)
+        assert bounds.contains_point(viewport.center)

@@ -1,0 +1,159 @@
+"""Unit tests for the R-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SpatialIndexError
+from repro.spatial.geometry import Point, Rect
+from repro.spatial.rtree import RTree
+
+
+def random_rects(count: int, seed: int = 0, extent: float = 1000.0) -> list[Rect]:
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(count):
+        x = rng.uniform(0, extent)
+        y = rng.uniform(0, extent)
+        w = rng.uniform(0, extent / 20)
+        h = rng.uniform(0, extent / 20)
+        rects.append(Rect(x, y, x + w, y + h))
+    return rects
+
+
+def brute_force_window(rects: list[Rect], window: Rect) -> set[int]:
+    return {index for index, rect in enumerate(rects) if rect.intersects(window)}
+
+
+class TestInsertAndQuery:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.bounds is None
+        assert tree.window_query(Rect(0, 0, 10, 10)) == []
+
+    def test_single_entry(self):
+        tree = RTree()
+        tree.insert(Rect(1, 1, 2, 2), "a")
+        assert len(tree) == 1
+        assert tree.window_query(Rect(0, 0, 3, 3)) == ["a"]
+        assert tree.window_query(Rect(5, 5, 6, 6)) == []
+
+    def test_window_query_matches_brute_force(self):
+        rects = random_rects(300, seed=7)
+        tree = RTree(max_entries=8)
+        for index, rect in enumerate(rects):
+            tree.insert(rect, index)
+        for window_seed in range(10):
+            rng = random.Random(window_seed)
+            x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+            window = Rect(x, y, x + 150, y + 150)
+            assert set(tree.window_query(window)) == brute_force_window(rects, window)
+
+    def test_invariants_after_many_inserts(self):
+        tree = RTree(max_entries=4)
+        for index, rect in enumerate(random_rects(200, seed=3)):
+            tree.insert(rect, index)
+        tree.check_invariants()
+        stats = tree.stats()
+        assert stats.num_entries == 200
+        assert stats.height >= 3
+
+    def test_constructor_validation(self):
+        with pytest.raises(SpatialIndexError):
+            RTree(max_entries=2)
+        with pytest.raises(SpatialIndexError):
+            RTree(min_fill=0.9)
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_brute_force(self):
+        rects = random_rects(500, seed=11)
+        tree = RTree.bulk_load([(rect, index) for index, rect in enumerate(rects)], max_entries=16)
+        assert len(tree) == 500
+        tree.check_invariants()
+        window = Rect(100, 100, 400, 400)
+        assert set(tree.window_query(window)) == brute_force_window(rects, window)
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+
+    def test_bulk_load_is_shallower_than_repeated_insert(self):
+        rects = random_rects(400, seed=5)
+        entries = [(rect, index) for index, rect in enumerate(rects)]
+        bulk = RTree.bulk_load(entries, max_entries=8)
+        incremental = RTree(max_entries=8)
+        for rect, item in entries:
+            incremental.insert(rect, item)
+        assert bulk.stats().num_nodes <= incremental.stats().num_nodes
+
+
+class TestPointAndNearest:
+    def test_point_query(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 10, 10), "big")
+        tree.insert(Rect(20, 20, 30, 30), "far")
+        assert tree.point_query(Point(5, 5)) == ["big"]
+        assert tree.point_query(Point(15, 15)) == []
+
+    def test_nearest_orders_by_distance(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "near")
+        tree.insert(Rect(10, 10, 11, 11), "mid")
+        tree.insert(Rect(100, 100, 101, 101), "far")
+        assert tree.nearest(Point(0, 0), k=2) == ["near", "mid"]
+
+    def test_nearest_k_larger_than_size(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "only")
+        assert tree.nearest(Point(5, 5), k=10) == ["only"]
+
+    def test_nearest_empty_or_zero_k(self):
+        tree = RTree()
+        assert tree.nearest(Point(0, 0)) == []
+        tree.insert(Rect(0, 0, 1, 1), "x")
+        assert tree.nearest(Point(0, 0), k=0) == []
+
+
+class TestDeletion:
+    def test_delete_existing(self):
+        tree = RTree()
+        rect = Rect(0, 0, 1, 1)
+        tree.insert(rect, "a")
+        tree.insert(Rect(5, 5, 6, 6), "b")
+        assert tree.delete(rect, "a") is True
+        assert len(tree) == 1
+        assert tree.window_query(Rect(-1, -1, 2, 2)) == []
+
+    def test_delete_missing_returns_false(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "a")
+        assert tree.delete(Rect(0, 0, 1, 1), "other") is False
+        assert len(tree) == 1
+
+    def test_delete_many_keeps_queries_correct(self):
+        rects = random_rects(120, seed=9)
+        tree = RTree(max_entries=6)
+        for index, rect in enumerate(rects):
+            tree.insert(rect, index)
+        for index in range(0, 120, 2):
+            assert tree.delete(rects[index], index)
+        window = Rect(0, 0, 1000, 1000)
+        remaining = set(tree.window_query(window))
+        assert remaining == set(range(1, 120, 2))
+
+    def test_count_window(self):
+        rects = random_rects(100, seed=2)
+        tree = RTree.bulk_load([(rect, index) for index, rect in enumerate(rects)])
+        window = Rect(0, 0, 500, 500)
+        assert tree.count_window(window) == len(brute_force_window(rects, window))
+
+    def test_all_items(self):
+        tree = RTree()
+        for index, rect in enumerate(random_rects(30, seed=1)):
+            tree.insert(rect, index)
+        assert set(tree.all_items()) == set(range(30))

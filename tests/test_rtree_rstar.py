@@ -1,0 +1,75 @@
+"""Unit tests for the R*-style split option of the R-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SpatialIndexError
+from repro.spatial.geometry import Rect
+from repro.spatial.rtree import RTree
+
+
+def clustered_rects(count: int, seed: int = 0) -> list[Rect]:
+    """Rectangles drawn from a few dense clusters (stresses split quality)."""
+    rng = random.Random(seed)
+    centers = [(rng.uniform(0, 5000), rng.uniform(0, 5000)) for _ in range(6)]
+    rects = []
+    for _ in range(count):
+        cx, cy = rng.choice(centers)
+        x = cx + rng.gauss(0, 120)
+        y = cy + rng.gauss(0, 120)
+        rects.append(Rect(x, y, x + rng.uniform(1, 30), y + rng.uniform(1, 30)))
+    return rects
+
+
+class TestRStarSplit:
+    def test_unknown_split_method_rejected(self):
+        with pytest.raises(SpatialIndexError):
+            RTree(split_method="linear")
+
+    def test_invariants_hold(self):
+        tree = RTree(max_entries=6, split_method="rstar")
+        for index, rect in enumerate(clustered_rects(300, seed=2)):
+            tree.insert(rect, index)
+        tree.check_invariants()
+        assert len(tree) == 300
+
+    def test_queries_match_brute_force(self):
+        rects = clustered_rects(250, seed=3)
+        tree = RTree(max_entries=8, split_method="rstar")
+        for index, rect in enumerate(rects):
+            tree.insert(rect, index)
+        for seed in range(8):
+            rng = random.Random(seed)
+            x, y = rng.uniform(0, 4500), rng.uniform(0, 4500)
+            window = Rect(x, y, x + 600, y + 600)
+            expected = {i for i, rect in enumerate(rects) if rect.intersects(window)}
+            assert set(tree.window_query(window)) == expected
+
+    def test_rstar_and_quadratic_return_identical_results(self):
+        rects = clustered_rects(200, seed=5)
+        quadratic = RTree(max_entries=8, split_method="quadratic")
+        rstar = RTree(max_entries=8, split_method="rstar")
+        for index, rect in enumerate(rects):
+            quadratic.insert(rect, index)
+            rstar.insert(rect, index)
+        window = Rect(1000, 1000, 3000, 3000)
+        assert set(quadratic.window_query(window)) == set(rstar.window_query(window))
+
+    def test_deletion_still_works(self):
+        rects = clustered_rects(80, seed=7)
+        tree = RTree(max_entries=5, split_method="rstar")
+        for index, rect in enumerate(rects):
+            tree.insert(rect, index)
+        for index in range(0, 80, 2):
+            assert tree.delete(rects[index], index)
+        remaining = set(tree.window_query(Rect(-1e6, -1e6, 1e6, 1e6)))
+        assert remaining == set(range(1, 80, 2))
+
+    def test_min_fan_out_configuration(self):
+        tree = RTree(max_entries=4, split_method="rstar")
+        for index, rect in enumerate(clustered_rects(60, seed=9)):
+            tree.insert(rect, index)
+        tree.check_invariants()

@@ -1,0 +1,103 @@
+"""Unit tests for the sampling-based visualization baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sampling import (
+    ForestFireSampler,
+    RandomEdgeSampler,
+    RandomNodeSampler,
+    sample_quality,
+)
+from repro.graph.generators import barabasi_albert, community_graph, path_graph
+from repro.graph.model import Graph
+
+ALL_SAMPLERS = [RandomNodeSampler(seed=1), RandomEdgeSampler(seed=1), ForestFireSampler(seed=1)]
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_sample_size_close_to_target(self, sampler):
+        graph = community_graph(num_communities=4, community_size=25, seed=3)
+        sample = sampler.sample(graph, target_nodes=30)
+        assert 0 < sample.num_nodes <= 40  # edge sampler may slightly overshoot
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_sample_is_subgraph(self, sampler):
+        graph = community_graph(num_communities=3, community_size=20, seed=4)
+        sample = sampler.sample(graph, target_nodes=25)
+        for node_id in sample.node_ids():
+            assert graph.has_node(node_id)
+        for edge in sample.edges():
+            assert graph.has_edge(edge.source, edge.target)
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_target_larger_than_graph_returns_everything(self, sampler):
+        graph = path_graph(12)
+        sample = sampler.sample(graph, target_nodes=100)
+        assert sample.num_nodes == 12
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_invalid_target_raises(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.sample(path_graph(5), target_nodes=0)
+
+    @pytest.mark.parametrize("sampler", ALL_SAMPLERS, ids=lambda s: s.name)
+    def test_deterministic_given_seed(self, sampler):
+        graph = community_graph(num_communities=3, community_size=15, seed=6)
+        first = sampler.sample(graph, target_nodes=20)
+        second = type(sampler)(seed=1).sample(graph, target_nodes=20)
+        assert set(first.node_ids()) == set(second.node_ids())
+
+    def test_edge_sampler_on_edgeless_graph(self):
+        graph = Graph()
+        for node_id in range(5):
+            graph.add_node(node_id)
+        sample = RandomEdgeSampler(seed=2).sample(graph, target_nodes=3)
+        assert sample.num_nodes == 3
+        assert sample.num_edges == 0
+
+    def test_forest_fire_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ForestFireSampler(forward_probability=1.5)
+
+    def test_forest_fire_preserves_degree_better_than_node_sampling(self):
+        graph = barabasi_albert(400, edges_per_node=3, seed=9)
+        target = 80
+        fire = ForestFireSampler(seed=2).sample(graph, target)
+        uniform = RandomNodeSampler(seed=2).sample(graph, target)
+        fire_quality = sample_quality(graph, fire)
+        uniform_quality = sample_quality(graph, uniform)
+        assert fire_quality.degree_ratio > uniform_quality.degree_ratio
+
+
+class TestSampleQuality:
+    def test_full_sample_has_full_coverage(self):
+        graph = community_graph(num_communities=2, community_size=10, seed=1)
+        quality = sample_quality(graph, graph.copy())
+        assert quality.node_coverage == pytest.approx(1.0)
+        assert quality.edge_coverage == pytest.approx(1.0)
+        assert quality.degree_ratio == pytest.approx(1.0)
+
+    def test_partial_sample_coverage_below_one(self):
+        graph = community_graph(num_communities=2, community_size=15, seed=2)
+        sample = RandomNodeSampler(seed=3).sample(graph, target_nodes=10)
+        quality = sample_quality(graph, sample)
+        assert 0 < quality.node_coverage < 1
+        assert 0 <= quality.edge_coverage < 1
+
+    def test_as_dict_fields(self):
+        graph = path_graph(6)
+        quality = sample_quality(graph, RandomNodeSampler(seed=1).sample(graph, 3))
+        payload = quality.as_dict()
+        assert set(payload) == {
+            "node_coverage", "edge_coverage", "average_degree_original",
+            "average_degree_sample", "degree_ratio",
+        }
+
+    def test_empty_original_graph(self):
+        empty = Graph()
+        quality = sample_quality(empty, Graph())
+        assert quality.node_coverage == 1.0
+        assert quality.edge_coverage == 1.0

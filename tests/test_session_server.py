@@ -1,0 +1,153 @@
+"""Unit tests for exploration sessions and the server façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GraphVizDBConfig
+from repro.core.query_manager import QueryManager
+from repro.core.server import GraphVizDBServer
+from repro.core.session import ExplorationSession
+from repro.errors import QueryError
+from repro.graph.generators import community_graph
+from repro.spatial.geometry import Point
+
+
+@pytest.fixture(scope="module")
+def server(request):
+    config = request.getfixturevalue("small_config")
+    server = GraphVizDBServer(config)
+    graph = community_graph(num_communities=3, community_size=20, seed=4)
+    graph.name = "communities"
+    server.load_dataset(graph)
+    return server
+
+
+class TestSession:
+    def test_refresh_returns_objects(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        result = session.refresh()
+        assert result.num_objects > 0
+        assert session.last_result is result
+
+    def test_pan_changes_viewport_and_history(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        before = session.viewport.center
+        session.pan(300, 0)
+        assert session.viewport.center != before
+        assert session.history[-1].kind == "pan"
+
+    def test_zoom_out_fetches_at_least_as_many_objects(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        zoomed_in = session.zoom(2.0)
+        zoomed_out = session.zoom(0.25)
+        assert zoomed_out.num_objects >= zoomed_in.num_objects
+
+    def test_change_layer(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        layers = session.available_layers()
+        assert 0 in layers and len(layers) >= 2
+        result = session.change_layer(layers[-1])
+        assert result.layer == layers[-1]
+        assert session.layer == layers[-1]
+
+    def test_change_to_missing_layer_raises(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        with pytest.raises(QueryError):
+            session.change_layer(42)
+
+    def test_search_and_focus(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        matches = session.search("patent", limit=5)
+        assert matches.num_matches > 0
+        node_id = matches.matches[0]["node_id"]
+        result = session.focus_on(node_id)
+        assert session.viewport.center == Point(
+            matches.matches[0]["x"], matches.matches[0]["y"]
+        )
+        assert any(node_id in (row.node1_id, row.node2_id) for row in result.rows)
+
+    def test_filters_through_session(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        unfiltered = session.refresh().num_objects
+        filtered = session.hide_edge_label("cites").num_objects
+        assert filtered < unfiltered
+        restored = session.clear_filters().num_objects
+        assert restored == unfiltered
+
+    def test_show_only_edges(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        result = session.show_only_edges({"cites"})
+        assert all(row.edge_label == "cites" or row.is_node_row() for row in result.rows)
+
+    def test_jump_to(self, patent_result):
+        session = ExplorationSession(QueryManager(patent_result.database))
+        target = patent_result.database.bounds(0).center
+        session.jump_to(target)
+        assert session.viewport.center == target
+
+    def test_invalid_start_layer(self, patent_result):
+        with pytest.raises(QueryError):
+            ExplorationSession(QueryManager(patent_result.database), start_layer=9)
+
+
+class TestServer:
+    def test_dataset_listing(self, server):
+        assert server.datasets() == ["communities"]
+        handle = server.dataset("communities")
+        assert handle.database.num_layers >= 2
+
+    def test_unknown_dataset_raises(self, server):
+        with pytest.raises(QueryError):
+            server.dataset("dblp")
+
+    def test_create_session_and_explore(self, server):
+        session = server.create_session("communities")
+        assert session.refresh().num_objects > 0
+
+    def test_statistics(self, server):
+        stats = server.dataset_statistics("communities")
+        assert stats.num_nodes == 60
+        layer_stats = server.layer_statistics("communities", 0)
+        assert layer_stats.num_nodes == 60
+        assert layer_stats.average_degree > 0
+
+    def test_preprocessing_report(self, server):
+        report = server.preprocessing_report("communities")
+        assert len(report.steps) == 5
+
+    def test_editor_roundtrip(self, server):
+        editor = server.create_editor("communities")
+        node_id = next(iter(server.dataset("communities").graph.node_ids()))
+        editor.rename_node(node_id, "Renamed Node")
+        session = server.create_session("communities")
+        assert session.search("renamed").num_matches >= 1
+
+    def test_load_multiple_and_unload(self, small_config):
+        server = GraphVizDBServer(small_config)
+        first = community_graph(num_communities=2, community_size=10, seed=1)
+        first.name = "a"
+        second = community_graph(num_communities=2, community_size=10, seed=2)
+        second.name = "b"
+        server.load_dataset(first)
+        server.load_dataset(second)
+        assert server.datasets() == ["a", "b"]
+        server.unload_dataset("a")
+        assert server.datasets() == ["b"]
+        with pytest.raises(QueryError):
+            server.unload_dataset("a")
+
+    def test_register_database_path(self, server, small_config):
+        handle = server.dataset("communities")
+        other = GraphVizDBServer(small_config)
+        registered = other.register_database(handle.graph, handle.database, "imported")
+        assert other.datasets() == ["imported"]
+        session = other.create_session("imported")
+        assert session.refresh().num_objects > 0
+        with pytest.raises(QueryError):
+            other.preprocessing_report("imported")
+        assert registered.name == "imported"
+
+    def test_default_config_used_when_none(self):
+        server = GraphVizDBServer()
+        assert isinstance(server.config, GraphVizDBConfig)

@@ -1,0 +1,139 @@
+"""Unit tests for the multi-layer database and the SQLite backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abstraction.hierarchy import build_hierarchy
+from repro.config import AbstractionConfig, StorageConfig
+from repro.errors import ConfigurationError, LayerNotFoundError, StorageError
+from repro.graph.generators import community_graph
+from repro.layout.circular import CircularLayout
+from repro.spatial.geometry import Rect
+from repro.storage.database import GraphVizDatabase
+from repro.storage.schema import rows_from_graph
+from repro.storage.sqlite_backend import load_from_sqlite, save_to_sqlite
+
+
+@pytest.fixture
+def hierarchy():
+    graph = community_graph(num_communities=3, community_size=12, seed=2)
+    layout = CircularLayout(area_per_node=400.0).layout(graph)
+    return build_hierarchy(graph, layout, AbstractionConfig(num_layers=2))
+
+
+@pytest.fixture
+def database(hierarchy):
+    database = GraphVizDatabase(name="communities")
+    database.load_hierarchy(hierarchy)
+    return database
+
+
+class TestDatabase:
+    def test_layers_created(self, database, hierarchy):
+        assert database.num_layers == hierarchy.num_layers
+        assert database.layers() == list(range(hierarchy.num_layers))
+        assert database.has_layer(0)
+        assert not database.has_layer(99)
+
+    def test_unknown_layer_raises(self, database):
+        with pytest.raises(LayerNotFoundError):
+            database.table(42)
+
+    def test_window_query_per_layer(self, database):
+        bounds0 = database.bounds(0)
+        everything = database.window_query(0, bounds0.expanded(10))
+        assert len(everything) == database.table(0).num_rows
+        # Higher layers contain fewer rows.
+        higher = database.window_query(1, database.bounds(1).expanded(10))
+        assert len(higher) < len(everything)
+
+    def test_keyword_search(self, database):
+        matches = database.keyword_search(0, "c0")
+        assert matches
+        assert all("c0" in label for _, label in matches)
+
+    def test_rows_for_node(self, database, hierarchy):
+        node = next(iter(hierarchy.layer(0).graph.node_ids()))
+        rows = database.rows_for_node(0, node)
+        assert rows
+        assert all(node in (row.node1_id, row.node2_id) for row in rows)
+
+    def test_validate_passes_on_consistent_database(self, database):
+        database.validate()
+
+    def test_validate_detects_missing_rtree_entry(self, database):
+        table = database.table(0)
+        row = next(table.scan())
+        table.rtree.delete(row.bounding_rect(), row.row_id)
+        with pytest.raises(StorageError):
+            database.validate()
+
+    def test_storage_summary(self, database):
+        summary = database.storage_summary()
+        assert summary["num_layers"] == database.num_layers
+        assert len(summary["layers"]) == database.num_layers
+        assert all("rtree_height" in entry for entry in summary["layers"])
+
+    def test_create_layer_idempotent(self, database):
+        table = database.create_layer(0)
+        assert table is database.table(0)
+
+    def test_file_backend(self, hierarchy, tmp_path):
+        config = StorageConfig(backend="file", path=str(tmp_path))
+        database = GraphVizDatabase(name="ondisk", config=config)
+        database.load_hierarchy(hierarchy)
+        assert database.table(0).num_rows > 0
+        assert (tmp_path / "ondisk-layer0.rows").exists()
+        database.validate()
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StorageConfig(backend="mysql")
+
+
+class TestSQLiteBackend:
+    def test_roundtrip(self, database, tmp_path):
+        path = tmp_path / "graph.db"
+        save_to_sqlite(database, path)
+        loaded = load_from_sqlite(path)
+        assert loaded.name == database.name
+        assert loaded.layers() == database.layers()
+        for layer in database.layers():
+            assert loaded.table(layer).num_rows == database.table(layer).num_rows
+        loaded.validate()
+
+    def test_queries_work_after_reload(self, database, tmp_path):
+        path = tmp_path / "graph.db"
+        save_to_sqlite(database, path)
+        loaded = load_from_sqlite(path)
+        bounds = loaded.bounds(0)
+        assert len(loaded.window_query(0, bounds)) == loaded.table(0).num_rows
+        assert loaded.keyword_search(0, "c1")
+
+    def test_save_overwrites_existing_layer_rows(self, database, tmp_path):
+        path = tmp_path / "graph.db"
+        save_to_sqlite(database, path)
+        save_to_sqlite(database, path)  # second save must not duplicate rows
+        loaded = load_from_sqlite(path)
+        assert loaded.table(0).num_rows == database.table(0).num_rows
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_from_sqlite(tmp_path / "missing.db")
+
+    def test_non_graphvizdb_file_raises(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "other.db"
+        with sqlite3.connect(path) as connection:
+            connection.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(StorageError):
+            load_from_sqlite(path)
+
+    def test_empty_database_roundtrip(self, tmp_path):
+        empty = GraphVizDatabase(name="empty")
+        path = tmp_path / "empty.db"
+        save_to_sqlite(empty, path)
+        loaded = load_from_sqlite(path)
+        assert loaded.num_layers == 0

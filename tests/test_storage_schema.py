@@ -1,0 +1,137 @@
+"""Unit tests for the paper's storage scheme and binary row serialisation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.model import Graph
+from repro.layout.base import Layout
+from repro.spatial.geometry import Point
+from repro.storage.schema import COLUMNS, EdgeRow, rows_from_graph
+from repro.storage.serialization import decode_row, encode_row, read_rows, write_rows
+
+
+@pytest.fixture
+def laid_out_graph(small_graph):
+    layout = Layout({
+        1: Point(0.0, 0.0),
+        2: Point(100.0, 0.0),
+        3: Point(100.0, 100.0),
+        4: Point(0.0, 100.0),
+    })
+    return small_graph, layout
+
+
+class TestSchema:
+    def test_columns_match_paper_figure2(self):
+        assert COLUMNS == (
+            "node1_id", "node1_label", "edge_geometry", "edge_label", "node2_id", "node2_label",
+        )
+
+    def test_rows_from_graph_one_row_per_edge(self, laid_out_graph):
+        graph, layout = laid_out_graph
+        rows = rows_from_graph(graph, layout)
+        assert len(rows) == graph.num_edges
+        assert {row.row_id for row in rows} == set(range(len(rows)))
+
+    def test_row_carries_labels_and_geometry(self, laid_out_graph):
+        graph, layout = laid_out_graph
+        rows = rows_from_graph(graph, layout)
+        row = next(r for r in rows if r.node1_id == 1 and r.node2_id == 2)
+        assert row.node1_label == "Alice"
+        assert row.node2_label == "Bob"
+        assert row.edge_label == "knows"
+        start, end = row.endpoints()
+        assert start == Point(0.0, 0.0)
+        assert end == Point(100.0, 0.0)
+        assert row.segment().directed is True
+
+    def test_isolated_nodes_become_self_rows(self):
+        graph = Graph()
+        graph.add_node(1, label="lonely")
+        graph.add_edge(2, 3, label="x")
+        layout = Layout({1: Point(5, 5), 2: Point(0, 0), 3: Point(1, 1)})
+        rows = rows_from_graph(graph, layout)
+        self_rows = [row for row in rows if row.is_node_row()]
+        assert len(self_rows) == 1
+        assert self_rows[0].node1_id == 1
+        assert self_rows[0].bounding_rect().area == 0.0
+
+    def test_start_row_id_offset(self, laid_out_graph):
+        graph, layout = laid_out_graph
+        rows = rows_from_graph(graph, layout, start_row_id=100)
+        assert min(row.row_id for row in rows) == 100
+
+    def test_bounding_rect_covers_both_endpoints(self, laid_out_graph):
+        graph, layout = laid_out_graph
+        for row in rows_from_graph(graph, layout):
+            rect = row.bounding_rect()
+            start, end = row.endpoints()
+            assert rect.contains_point(start) and rect.contains_point(end)
+
+    def test_as_dict_contains_all_columns(self, laid_out_graph):
+        graph, layout = laid_out_graph
+        row = rows_from_graph(graph, layout)[0]
+        as_dict = row.as_dict()
+        for column in COLUMNS:
+            assert column in as_dict
+
+
+class TestSerialization:
+    @pytest.fixture
+    def row(self, laid_out_graph):
+        graph, layout = laid_out_graph
+        return rows_from_graph(graph, layout)[0]
+
+    def test_encode_decode_roundtrip(self, row):
+        assert decode_row(encode_row(row)) == row
+
+    def test_unicode_labels_roundtrip(self, row):
+        unicode_row = EdgeRow(
+            row_id=7,
+            node1_id=1,
+            node1_label="Μπικάκης 日本語",
+            edge_geometry=row.edge_geometry,
+            edge_label="πρᾶξις",
+            node2_id=2,
+            node2_label="ünïcödé",
+        )
+        assert decode_row(encode_row(unicode_row)) == unicode_row
+
+    def test_truncated_blob_raises(self, row):
+        blob = encode_row(row)
+        with pytest.raises(StorageError):
+            decode_row(blob[:10])
+        with pytest.raises(StorageError):
+            decode_row(blob + b"extra")
+
+    def test_stream_roundtrip(self, laid_out_graph):
+        graph, layout = laid_out_graph
+        rows = rows_from_graph(graph, layout)
+        buffer = io.BytesIO()
+        assert write_rows(rows, buffer) == len(rows)
+        buffer.seek(0)
+        loaded = list(read_rows(buffer))
+        assert loaded == rows
+
+    def test_stream_truncated_record_raises(self, row):
+        buffer = io.BytesIO()
+        write_rows([row], buffer)
+        data = buffer.getvalue()
+        truncated = io.BytesIO(data[:-5])
+        with pytest.raises(StorageError):
+            list(read_rows(truncated))
+
+    def test_empty_stream(self):
+        assert list(read_rows(io.BytesIO(b""))) == []
+
+    def test_oversized_field_raises(self, row):
+        huge = EdgeRow(
+            row_id=1, node1_id=1, node1_label="x" * 70000,
+            edge_geometry=row.edge_geometry, edge_label="", node2_id=2, node2_label="",
+        )
+        with pytest.raises(StorageError):
+            encode_row(huge)

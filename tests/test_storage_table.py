@@ -1,0 +1,180 @@
+"""Unit tests for layer tables and row stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.model import Graph
+from repro.layout.base import Layout
+from repro.spatial.geometry import Point, Rect
+from repro.storage.schema import rows_from_graph
+from repro.storage.table import FileRowStore, LayerTable, MemoryRowStore
+
+
+@pytest.fixture
+def rows(small_graph):
+    layout = Layout({
+        1: Point(0.0, 0.0),
+        2: Point(100.0, 0.0),
+        3: Point(100.0, 100.0),
+        4: Point(0.0, 100.0),
+    })
+    return rows_from_graph(small_graph, layout)
+
+
+class TestMemoryRowStore:
+    def test_put_get_delete(self, rows):
+        store = MemoryRowStore()
+        store.put(rows[0])
+        assert store.get(rows[0].row_id) == rows[0]
+        store.delete(rows[0].row_id)
+        assert len(store) == 0
+        with pytest.raises(StorageError):
+            store.get(rows[0].row_id)
+        with pytest.raises(StorageError):
+            store.delete(rows[0].row_id)
+
+    def test_scan_in_row_id_order(self, rows):
+        store = MemoryRowStore()
+        for row in reversed(rows):
+            store.put(row)
+        scanned = list(store.scan())
+        assert [row.row_id for row in scanned] == sorted(row.row_id for row in rows)
+
+
+class TestFileRowStore:
+    def test_rows_survive_reopen(self, rows, tmp_path):
+        path = tmp_path / "layer.rows"
+        store = FileRowStore(path)
+        for row in rows:
+            store.put(row)
+        reopened = FileRowStore(path)
+        assert len(reopened) == len(rows)
+        assert reopened.get(rows[1].row_id) == rows[1]
+        assert list(reopened.scan()) == rows
+
+    def test_delete_and_compact(self, rows, tmp_path):
+        path = tmp_path / "layer.rows"
+        store = FileRowStore(path)
+        for row in rows:
+            store.put(row)
+        store.delete(rows[0].row_id)
+        assert len(store) == len(rows) - 1
+        size_before = path.stat().st_size
+        store.compact()
+        assert path.stat().st_size < size_before
+        assert len(list(store.scan())) == len(rows) - 1
+
+    def test_get_missing_raises(self, tmp_path):
+        store = FileRowStore(tmp_path / "x.rows")
+        with pytest.raises(StorageError):
+            store.get(0)
+
+    def test_load_all(self, rows, tmp_path):
+        store = FileRowStore(tmp_path / "layer.rows")
+        for row in rows:
+            store.put(row)
+        assert store.load_all() == rows
+
+
+class TestLayerTable:
+    @pytest.fixture
+    def table(self, rows):
+        table = LayerTable(layer=0)
+        table.bulk_load(rows)
+        return table
+
+    def test_bulk_load_counts(self, rows, table):
+        assert table.num_rows == len(rows)
+        assert len(table) == len(rows)
+
+    def test_window_query_returns_overlapping_edges(self, table):
+        # Window around node 1 (0,0) should return its two incident edges.
+        result = table.window_query(Rect(-10, -10, 10, 10))
+        assert {(row.node1_id, row.node2_id) for row in result} == {(1, 2), (1, 4)}
+
+    def test_window_query_whole_plane(self, rows, table):
+        assert len(table.window_query(Rect(-1000, -1000, 1000, 1000))) == len(rows)
+
+    def test_window_query_empty_region(self, table):
+        assert table.window_query(Rect(500, 500, 600, 600)) == []
+
+    def test_window_query_exact_segment_filtering(self, table):
+        # The diagonal-free small graph: a window in the middle of the square but
+        # away from all four edges returns nothing even though edge bounding
+        # boxes cover the whole square boundary.
+        assert table.window_query(Rect(40, 40, 60, 60)) == []
+
+    def test_count_window_matches_query(self, table):
+        window = Rect(-10, -10, 110, 10)
+        assert table.count_window(window) == len(table.window_query(window))
+
+    def test_rows_for_node_via_btrees(self, table):
+        rows_for_1 = table.rows_for_node(1)
+        assert {row.edge_label for row in rows_for_1} == {"knows", "likes"}
+        assert table.rows_for_node(999) == []
+
+    def test_node_position(self, table):
+        assert table.node_position(3) == Point(100.0, 100.0)
+        assert table.node_position(999) is None
+
+    def test_keyword_search_contains(self, table):
+        matches = table.keyword_search("ali")
+        assert matches == [(1, "Alice")]
+
+    def test_keyword_search_exact_mode(self, table):
+        assert table.keyword_search("alice", mode="exact") == [(1, "Alice")]
+        assert table.keyword_search("ali", mode="exact") == []
+
+    def test_edge_keyword_search(self, table):
+        rows = table.edge_keyword_search("knows")
+        assert len(rows) == 2
+
+    def test_insert_single_row_updates_indexes(self, rows):
+        table = LayerTable(layer=0)
+        table.insert(rows[0])
+        assert table.num_rows == 1
+        assert table.rows_for_node(rows[0].node1_id) == [rows[0]]
+        assert len(table.window_query(rows[0].bounding_rect().expanded(1))) == 1
+
+    def test_delete_row_removes_from_all_indexes(self, table, rows):
+        victim = rows[0]
+        table.delete_row(victim.row_id)
+        assert table.num_rows == len(rows) - 1
+        assert victim.row_id not in [r.row_id for r in table.rows_for_node(victim.node1_id)]
+        window_ids = {r.row_id for r in table.window_query(Rect(-1000, -1000, 1000, 1000))}
+        assert victim.row_id not in window_ids
+
+    def test_update_row_changes_label(self, table, rows):
+        original = rows[0]
+        from repro.storage.schema import EdgeRow
+
+        updated = EdgeRow(
+            row_id=original.row_id,
+            node1_id=original.node1_id,
+            node1_label="Renamed",
+            edge_geometry=original.edge_geometry,
+            edge_label=original.edge_label,
+            node2_id=original.node2_id,
+            node2_label=original.node2_label,
+        )
+        table.update_row(updated)
+        assert table.get(original.row_id).node1_label == "Renamed"
+        assert (original.node1_id, "Renamed") in table.keyword_search("renamed")
+
+    def test_next_row_id(self, table, rows):
+        assert table.next_row_id() == max(row.row_id for row in rows) + 1
+
+    def test_distinct_node_ids(self, table):
+        assert table.distinct_node_ids() == {1, 2, 3, 4}
+
+    def test_bounds(self, table):
+        bounds = table.bounds()
+        assert bounds is not None
+        assert bounds.contains_point(Point(50, 50))
+
+    def test_file_backed_table(self, rows, tmp_path):
+        table = LayerTable(layer=0, store=FileRowStore(tmp_path / "t.rows"))
+        table.bulk_load(rows)
+        assert len(table.window_query(Rect(-10, -10, 110, 110))) == len(rows)

@@ -1,0 +1,60 @@
+"""Unit tests for the interaction-trace workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.traces import exploration_trace, panning_trace
+from repro.client.simulator import ClientSimulator
+from repro.core.query_manager import QueryManager
+from repro.core.session import ExplorationSession
+
+
+class TestPanningTrace:
+    def test_structure(self):
+        trace = panning_trace(num_steps=10, step_px=100.0, seed=1)
+        assert trace[0] == {"op": "refresh"}
+        assert len(trace) == 11
+        assert all(entry["op"] == "pan" for entry in trace[1:])
+
+    def test_step_magnitude(self):
+        trace = panning_trace(num_steps=5, step_px=200.0, seed=2)
+        for entry in trace[1:]:
+            magnitude = (entry["dx"] ** 2 + entry["dy"] ** 2) ** 0.5
+            assert magnitude == pytest.approx(200.0)
+
+    def test_deterministic(self):
+        assert panning_trace(num_steps=8, seed=3) == panning_trace(num_steps=8, seed=3)
+
+    def test_direction_drifts(self):
+        trace = panning_trace(num_steps=30, step_px=100.0, seed=4)
+        directions = {(round(e["dx"], 3), round(e["dy"], 3)) for e in trace[1:]}
+        assert len(directions) > 5
+
+
+class TestExplorationTrace:
+    def test_only_valid_operations(self, patent_result):
+        trace = exploration_trace(patent_result.database, num_interactions=25, seed=5)
+        assert trace[0] == {"op": "refresh"}
+        assert len(trace) == 26
+        valid = {"refresh", "pan", "zoom", "layer", "focus"}
+        assert all(entry["op"] in valid for entry in trace)
+
+    def test_layers_and_nodes_exist_in_database(self, patent_result):
+        trace = exploration_trace(patent_result.database, num_interactions=40, seed=6)
+        layers = set(patent_result.database.layers())
+        node_ids = patent_result.database.table(0).distinct_node_ids()
+        for entry in trace:
+            if entry["op"] == "layer":
+                assert entry["layer"] in layers
+            if entry["op"] == "focus":
+                assert entry["node_id"] in node_ids
+
+    def test_trace_is_replayable(self, patent_result):
+        manager = QueryManager(patent_result.database)
+        session = ExplorationSession(manager)
+        simulator = ClientSimulator(manager)
+        trace = exploration_trace(patent_result.database, num_interactions=12, seed=7)
+        timings = simulator.replay_session_trace(session, trace)
+        assert len(timings) == len(trace)
+        assert all(t.total_seconds >= 0 for t in timings)

@@ -1,0 +1,121 @@
+"""Unit tests for the trie and the full-text label index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spatial.trie import FullTextIndex, Trie, tokenize
+
+
+class TestTokenize:
+    def test_basic_tokenisation(self):
+        assert tokenize("Christos Faloutsos") == ["christos", "faloutsos"]
+
+    def test_punctuation_splits_tokens(self):
+        assert tokenize("graph-viz_db (2016)!") == ["graph", "viz", "db", "2016"]
+
+    def test_empty_and_whitespace(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+
+class TestTrie:
+    def test_insert_and_exact(self):
+        trie = Trie()
+        trie.insert("graph", 1)
+        trie.insert("graph", 2)
+        assert trie.exact("graph") == {1, 2}
+        assert trie.exact("gra") == set()
+        assert len(trie) == 1
+
+    def test_starts_with(self):
+        trie = Trie()
+        trie.insert("graph", 1)
+        trie.insert("graphs", 2)
+        trie.insert("grid", 3)
+        assert trie.starts_with("graph") == {1, 2}
+        assert trie.starts_with("gr") == {1, 2, 3}
+        assert trie.starts_with("z") == set()
+
+    def test_remove_prunes_branches(self):
+        trie = Trie()
+        trie.insert("abc", 1)
+        assert trie.remove("abc", 1) is True
+        assert trie.exact("abc") == set()
+        assert len(trie) == 0
+        assert list(trie.words()) == []
+
+    def test_remove_missing(self):
+        trie = Trie()
+        trie.insert("abc", 1)
+        assert trie.remove("abd", 1) is False
+        assert trie.remove("abc", 99) is False
+
+    def test_words_in_order(self):
+        trie = Trie()
+        for word in ["pear", "apple", "peach"]:
+            trie.insert(word, word)
+        assert list(trie.words()) == ["apple", "peach", "pear"]
+
+
+class TestFullTextIndex:
+    @pytest.fixture
+    def index(self) -> FullTextIndex:
+        index = FullTextIndex()
+        index.add(1, "Christos Faloutsos")
+        index.add(2, "Graph Databases")
+        index.add(3, "database indexing")
+        return index
+
+    def test_exact_mode(self, index):
+        assert index.search("faloutsos", mode="exact") == [1]
+        assert index.search("falout", mode="exact") == []
+
+    def test_prefix_mode(self, index):
+        assert set(index.search("data", mode="prefix")) == {2, 3}
+
+    def test_contains_mode_substring(self, index):
+        # 'base' appears inside 'databases' and 'database'.
+        assert set(index.search("base", mode="contains")) == {2, 3}
+
+    def test_multiple_tokens_are_intersected(self, index):
+        assert index.search("christos faloutsos") == [1]
+        assert index.search("christos databases") == []
+
+    def test_case_insensitive(self, index):
+        assert index.search("FALOUTSOS") == [1]
+
+    def test_empty_keyword_returns_nothing(self, index):
+        assert index.search("") == []
+        assert index.search("   ") == []
+
+    def test_unknown_mode_raises(self, index):
+        with pytest.raises(ValueError):
+            index.search("graph", mode="regex")
+
+    def test_reindexing_replaces_old_label(self, index):
+        index.add(1, "Renamed Person")
+        assert index.search("faloutsos") == []
+        assert index.search("renamed") == [1]
+
+    def test_remove_document(self, index):
+        assert index.remove(2) is True
+        assert index.search("graph") == []
+        assert index.remove(2) is False
+        assert len(index) == 2
+
+    def test_results_sorted_by_label(self):
+        index = FullTextIndex()
+        index.add(10, "zebra graph")
+        index.add(11, "alpha graph")
+        assert index.search("graph") == [11, 10]
+
+    def test_contains_without_substring_index(self):
+        index = FullTextIndex(index_substrings=False)
+        index.add(1, "Databases")
+        assert index.search("base", mode="contains") == [1]
+        assert index.search("atabase", mode="contains") == [1]
+
+    def test_label_of(self, index):
+        assert index.label_of(1) == "Christos Faloutsos"
+        assert index.label_of(99) is None

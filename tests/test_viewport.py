@@ -1,0 +1,81 @@
+"""Unit tests for the viewport model (pixel <-> plane mapping, zoom)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClientConfig
+from repro.core.viewport import Viewport
+from repro.errors import QueryError
+from repro.spatial.geometry import Point
+
+
+class TestWindowMapping:
+    def test_window_at_zoom_one(self):
+        viewport = Viewport(center=Point(0, 0), width_px=200, height_px=100)
+        window = viewport.window()
+        assert window.as_tuple() == (-100, -50, 100, 50)
+
+    def test_zoom_in_shrinks_window(self):
+        viewport = Viewport(center=Point(0, 0), width_px=200, height_px=200, zoom=2.0)
+        assert viewport.window().width == 100
+
+    def test_zoom_out_grows_window(self):
+        viewport = Viewport(center=Point(0, 0), width_px=200, height_px=200, zoom=0.5)
+        assert viewport.window().width == 400
+
+    def test_invalid_viewport(self):
+        with pytest.raises(QueryError):
+            Viewport(center=Point(0, 0), width_px=0, height_px=100)
+        with pytest.raises(QueryError):
+            Viewport(center=Point(0, 0), width_px=10, height_px=10, zoom=0)
+
+
+class TestNavigation:
+    def test_pan_moves_center_by_plane_units(self):
+        viewport = Viewport(center=Point(0, 0), width_px=100, height_px=100, zoom=2.0)
+        panned = viewport.panned(50, -20)
+        assert panned.center == Point(25, -10)
+        # Original is immutable.
+        assert viewport.center == Point(0, 0)
+
+    def test_moved_to(self):
+        viewport = Viewport(center=Point(0, 0), width_px=100, height_px=100)
+        assert viewport.moved_to(Point(7, 8)).center == Point(7, 8)
+
+    def test_zoomed_with_clamping(self):
+        config = ClientConfig(min_zoom=0.5, max_zoom=2.0)
+        viewport = Viewport(center=Point(0, 0), width_px=100, height_px=100)
+        assert viewport.zoomed(10.0, config).zoom == 2.0
+        assert viewport.zoomed(0.01, config).zoom == 0.5
+        assert viewport.zoomed(1.5).zoom == pytest.approx(1.5)
+
+    def test_zoomed_invalid_factor(self):
+        viewport = Viewport(center=Point(0, 0), width_px=100, height_px=100)
+        with pytest.raises(QueryError):
+            viewport.zoomed(0)
+
+    def test_resized(self):
+        viewport = Viewport(center=Point(0, 0), width_px=100, height_px=100)
+        assert viewport.resized(300, 200).window().width == 300
+
+
+class TestPixelMapping:
+    def test_roundtrip(self):
+        viewport = Viewport(center=Point(10, 20), width_px=200, height_px=100, zoom=2.0)
+        point = Point(12.5, 21.25)
+        px, py = viewport.plane_to_pixel(point)
+        back = viewport.pixel_to_plane(px, py)
+        assert back.x == pytest.approx(point.x)
+        assert back.y == pytest.approx(point.y)
+
+    def test_center_maps_to_canvas_middle(self):
+        viewport = Viewport(center=Point(5, 5), width_px=400, height_px=300)
+        px, py = viewport.plane_to_pixel(Point(5, 5))
+        assert (px, py) == (200, 150)
+
+    def test_from_config(self):
+        config = ClientConfig(viewport_width=640, viewport_height=480)
+        viewport = Viewport.from_config(config)
+        assert viewport.width_px == 640
+        assert viewport.center == Point(0.0, 0.0)
