@@ -32,12 +32,14 @@ class InteractionTiming:
     num_nodes: int
     num_edges: int
     bytes_transferred: int
+    filter_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         """End-to-end time (the "Total Time" series of Fig. 3)."""
         return (
             self.db_query_seconds
+            + self.filter_seconds
             + self.json_build_seconds
             + self.communication_rendering_seconds
         )
@@ -46,6 +48,7 @@ class InteractionTiming:
         """Return the breakdown as a flat dictionary (used by the bench reporters)."""
         return {
             "db_query_seconds": self.db_query_seconds,
+            "filter_seconds": self.filter_seconds,
             "json_build_seconds": self.json_build_seconds,
             "communication_rendering_seconds": self.communication_rendering_seconds,
             "total_seconds": self.total_seconds,
@@ -79,6 +82,7 @@ class ClientSimulator:
         frame = self.render(result)
         return InteractionTiming(
             db_query_seconds=result.db_query_seconds,
+            filter_seconds=result.filter_seconds,
             json_build_seconds=result.json_build_seconds,
             communication_rendering_seconds=frame.client_seconds,
             num_objects=result.num_objects,

@@ -150,6 +150,12 @@ class StorageConfig:
     backend:
         ``"memory"`` (pure-Python tables), ``"file"`` (binary row files) or
         ``"sqlite"`` (standard-library SQLite database).
+    index_kind:
+        Spatial index used by bulk-loaded layer tables: ``"packed"`` (default;
+        the immutable flat-array :class:`~repro.spatial.packed_rtree.PackedRTree`,
+        built once after preprocessing since online tables are read-mostly) or
+        ``"rtree"`` (the dynamic pointer-based R-tree).  Tables transparently
+        fall back to the dynamic tree when the Edit panel mutates geometry.
     rtree_max_entries:
         Maximum fan-out of R-tree nodes.
     rtree_bulk_load:
@@ -163,6 +169,7 @@ class StorageConfig:
     """
 
     backend: str = "memory"
+    index_kind: str = "packed"
     rtree_max_entries: int = 32
     rtree_bulk_load: bool = True
     btree_order: int = 64
@@ -172,6 +179,10 @@ class StorageConfig:
         if self.backend not in {"memory", "file", "sqlite"}:
             raise ConfigurationError(
                 f"unknown storage backend {self.backend!r}; expected memory, file or sqlite"
+            )
+        if self.index_kind not in {"rtree", "packed"}:
+            raise ConfigurationError(
+                f"unknown index kind {self.index_kind!r}; expected rtree or packed"
             )
         if self.rtree_max_entries < 4:
             raise ConfigurationError("rtree_max_entries must be >= 4")

@@ -65,6 +65,7 @@ def _payload_dict(result: WindowQueryResult) -> dict[str, object]:
         "chunks": len(result.chunks),
         "timings_ms": {
             "db_query": result.db_query_seconds * 1000.0,
+            "filter": result.filter_seconds * 1000.0,
             "build_json": result.json_build_seconds * 1000.0,
         },
     }

@@ -15,6 +15,7 @@ abstraction layer, with containment-based reuse — and is wired into
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -161,19 +162,33 @@ class CachingQueryManager:
 
         cached_rows = self.cache.lookup(layer, window)
         if cached_rows is not None:
-            return self._result_from_rows(window, layer, cached_rows)
+            return self._result_from_rows(
+                window, layer, cached_rows, trusted_rows=False
+            )
 
         if self.prefetch_margin > 0:
+            # Fetch the enlarged window through the batched rows entry point:
+            # no payload is built for the (larger) prefetch window, only for
+            # the exact window the client asked for.
             margin = max(window.width, window.height) * self.prefetch_margin
             prefetch_window = window.expanded(margin)
-            prefetched = self.inner.window_query(prefetch_window, layer=layer)
-            self.cache.store(layer, prefetch_window, prefetched.rows)
+            started = time.perf_counter()
+            (prefetched_rows,) = self.inner.rows_for_windows(
+                [prefetch_window], layer=layer
+            )
+            db_seconds = time.perf_counter() - started
+            self.cache.store(layer, prefetch_window, prefetched_rows)
             self.cache.stats.prefetches += 1
+            started = time.perf_counter()
+            segment_of = self.inner.database.table(layer).segment_of
             rows = [
-                row for row in prefetched.rows if row.segment().intersects_rect(window)
+                row for row in prefetched_rows
+                if segment_of(row).intersects_rect(window)
             ]
+            filter_seconds = time.perf_counter() - started
             return self._result_from_rows(
-                window, layer, rows, db_seconds=prefetched.db_query_seconds
+                window, layer, rows,
+                db_seconds=db_seconds, filter_seconds=filter_seconds,
             )
 
         result = self.inner.window_query(window, layer=layer)
@@ -223,15 +238,27 @@ class CachingQueryManager:
         layer: int,
         rows: list[EdgeRow],
         db_seconds: float = 0.0,
+        filter_seconds: float = 0.0,
+        trusted_rows: bool = True,
     ) -> WindowQueryResult:
-        """Build a WindowQueryResult from cached rows (JSON work still happens)."""
-        import time
+        """Build a WindowQueryResult from cached rows (JSON work still happens).
 
-        from .json_builder import build_payload
+        ``trusted_rows`` marks rows that came straight from the table (the
+        prefetch path); rows replayed from the window cache may be stale after
+        an edit, so their fragment misses must not be written back into the
+        table's authoritative fragment cache.
+        """
+        from .json_builder import build_payload, table_fragments
         from .streaming import stream_payload
 
+        table = self.inner.database.table(layer)
         started = time.perf_counter()
-        payload = build_payload(rows)
+        payload = build_payload(
+            rows,
+            fragments=table.fragment_cache
+            if trusted_rows
+            else table_fragments(table, populate=False),
+        )
         chunks = list(stream_payload(payload, self.inner.client_config.chunk_size))
         json_seconds = time.perf_counter() - started
         return WindowQueryResult(
@@ -242,4 +269,5 @@ class CachingQueryManager:
             chunks=chunks,
             db_query_seconds=db_seconds,
             json_build_seconds=json_seconds,
+            filter_seconds=filter_seconds,
         )

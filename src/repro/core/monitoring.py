@@ -28,11 +28,12 @@ class WindowQueryRecord:
     num_objects: int
     db_query_seconds: float
     json_build_seconds: float
+    filter_seconds: float = 0.0
 
     @property
     def server_seconds(self) -> float:
-        """Total server-side time."""
-        return self.db_query_seconds + self.json_build_seconds
+        """Total server-side time (DB + filtering + JSON)."""
+        return self.db_query_seconds + self.filter_seconds + self.json_build_seconds
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,7 @@ class QueryLog:
             num_objects=result.num_objects,
             db_query_seconds=result.db_query_seconds,
             json_build_seconds=result.json_build_seconds,
+            filter_seconds=result.filter_seconds,
         )
         self.window_queries.append(record)
         return record

@@ -75,16 +75,27 @@ def stream_payload(payload: GraphPayload, chunk_size: int = 200) -> Iterator[Pay
     not arrived yet.
     """
     total = chunk_count(payload, chunk_size)
-    items: list[tuple[str, dict[str, object]]] = [
-        ("node", node) for node in payload.nodes
-    ] + [("edge", edge) for edge in payload.edges]
+    nodes = payload.nodes
+    edges = payload.edges
+    num_nodes = len(nodes)
 
-    if not items:
+    if num_nodes == 0 and not edges:
         yield PayloadChunk(index=0, total_chunks=1, nodes=(), edges=())
         return
 
+    # Objects are emitted in payload order (nodes first, then edges); each
+    # chunk is carved out of the two lists by slicing — no per-object
+    # tagging tuples are allocated.
     for index in range(total):
-        window = items[index * chunk_size:(index + 1) * chunk_size]
-        nodes = tuple(item for kind, item in window if kind == "node")
-        edges = tuple(item for kind, item in window if kind == "edge")
-        yield PayloadChunk(index=index, total_chunks=total, nodes=nodes, edges=edges)
+        start = index * chunk_size
+        end = start + chunk_size
+        chunk_nodes = tuple(nodes[start:end]) if start < num_nodes else ()
+        if end <= num_nodes:
+            chunk_edges: tuple = ()
+        else:
+            chunk_edges = tuple(
+                edges[max(start - num_nodes, 0):end - num_nodes]
+            )
+        yield PayloadChunk(
+            index=index, total_chunks=total, nodes=chunk_nodes, edges=chunk_edges
+        )

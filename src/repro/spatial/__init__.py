@@ -10,6 +10,7 @@ from .geometry import (
     encode_segment,
 )
 from .grid_index import GridIndex
+from .packed_rtree import PackedRTree, hilbert_d
 from .rtree import RTree, RTreeEntry, RTreeStats
 from .trie import FullTextIndex, Trie, tokenize
 
@@ -22,6 +23,8 @@ __all__ = [
     "decode_segment",
     "encode_segment",
     "GridIndex",
+    "PackedRTree",
+    "hilbert_d",
     "RTree",
     "RTreeEntry",
     "RTreeStats",

@@ -1,0 +1,463 @@
+"""Flat packed (static) R-tree.
+
+The dynamic :class:`~repro.spatial.rtree.RTree` stores one Python object per
+node and per entry; every window query chases pointers through dataclasses and
+allocates intermediate rectangles.  For the online phase of graphVizdb the
+tables are read-mostly — geometry changes only through the Edit panel — so the
+hot path can instead use an **immutable, array-backed** index:
+
+* entries are sorted once along a Hilbert curve over their centres and stored
+  in four flat ``array('d')`` coordinate columns (structure-of-arrays) plus a
+  parallel ``items`` list;
+* tree nodes are packed bottom-up over that single global order, so every node
+  covers a *contiguous* range of the entry arrays.  A window that fully
+  contains a node's rectangle is answered by slicing that range — no
+  per-entry test at all;
+* traversal is iterative (an explicit stack of integer node ids): no
+  recursion, no per-step allocation beyond the result list;
+* a batched entry point (:meth:`window_query_batch`) evaluates many windows in
+  one call — the window-cache prefetcher uses it to fetch several windows'
+  rows without building intermediate payloads per window.
+
+The query surface mirrors ``RTree`` (``window_query`` / ``count_window`` /
+``point_query`` / ``nearest`` / ``all_items`` / ``bounds`` / ``stats``) so the
+storage layer can swap one for the other; mutation is not supported
+(``supports_updates`` is ``False``) and the table falls back to the dynamic
+tree when the Edit panel needs to change geometry.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Iterable, Iterator
+
+from ..errors import SpatialIndexError
+from .geometry import Point, Rect
+from .rtree import RTreeStats
+
+__all__ = ["PackedRTree", "hilbert_d"]
+
+#: Resolution (bits per axis) of the Hilbert curve used for the packing order.
+_HILBERT_ORDER = 16
+_HILBERT_SIDE = 1 << _HILBERT_ORDER
+
+
+def hilbert_d(x: int, y: int, order: int = _HILBERT_ORDER) -> int:
+    """Return the distance of integer cell ``(x, y)`` along a Hilbert curve.
+
+    Standard iterative xy→d conversion; ``order`` bits per axis.  Used to sort
+    entry centres into a cache-friendly, spatially local packing order.
+    """
+    rx = ry = 0
+    d = 0
+    s = 1 << (order - 1)
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant so the curve stays continuous.
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        s >>= 1
+    return d
+
+
+class PackedRTree:
+    """An immutable Hilbert-packed R-tree over ``(Rect, item)`` entries.
+
+    Build it with :meth:`bulk_load`; the constructor is internal.  All
+    coordinate data lives in flat ``array('d')`` columns and all tree topology
+    in flat integer arrays, indexed by node id.  Node ids ``< num_leaves`` are
+    leaves; the root is the last node.
+    """
+
+    supports_updates = False
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 4:
+            raise SpatialIndexError("max_entries must be >= 4")
+        self.max_entries = max_entries
+        # Entry columns (structure of arrays), in Hilbert order.
+        self._ex0 = array("d")
+        self._ey0 = array("d")
+        self._ex1 = array("d")
+        self._ey1 = array("d")
+        self._items: list[object] = []
+        # Node columns.  For a leaf node, children are entries and
+        # (child_first, child_count) index the entry columns; for an internal
+        # node they index the node columns.  (entry_start, entry_end) always
+        # delimit the contiguous entry range the node's subtree covers.
+        self._nx0 = array("d")
+        self._ny0 = array("d")
+        self._nx1 = array("d")
+        self._ny1 = array("d")
+        self._child_first = array("q")
+        self._child_count = array("q")
+        self._entry_start = array("q")
+        self._entry_end = array("q")
+        self._num_leaves = 0
+        self._height = 0
+        # Query mirrors: plain-list snapshots of the columns above, built once
+        # at pack time.  ``array('d')`` is the compact canonical store, but
+        # CPython boxes a fresh float on every array subscript; list subscripts
+        # return the pre-boxed objects, which is what the hot traversal wants.
+        self._q_nodes: tuple[list, ...] = ([], [], [], [])
+        self._q_entries: tuple[list, ...] = ([], [], [], [])
+        self._q_topology: tuple[list, ...] = ([], [], [], [])
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def bulk_load(
+        cls, entries: Iterable[tuple[Rect, object]], max_entries: int = 32
+    ) -> "PackedRTree":
+        """Pack ``entries`` into a static tree in one bottom-up pass."""
+        tree = cls(max_entries=max_entries)
+        pairs = list(entries)
+        if not pairs:
+            return tree
+
+        # Global bounds for the Hilbert cell mapping.
+        min_x = min_y = float("inf")
+        max_x = max_y = float("-inf")
+        for rect, _ in pairs:
+            if rect.min_x < min_x:
+                min_x = rect.min_x
+            if rect.min_y < min_y:
+                min_y = rect.min_y
+            if rect.max_x > max_x:
+                max_x = rect.max_x
+            if rect.max_y > max_y:
+                max_y = rect.max_y
+        span_x = max_x - min_x
+        span_y = max_y - min_y
+        scale_x = (_HILBERT_SIDE - 1) / span_x if span_x > 0 else 0.0
+        scale_y = (_HILBERT_SIDE - 1) / span_y if span_y > 0 else 0.0
+
+        def sort_key(pair: tuple[Rect, object]) -> int:
+            rect = pair[0]
+            cx = int(((rect.min_x + rect.max_x) * 0.5 - min_x) * scale_x)
+            cy = int(((rect.min_y + rect.max_y) * 0.5 - min_y) * scale_y)
+            return hilbert_d(cx, cy)
+
+        pairs.sort(key=sort_key)
+
+        ex0, ey0, ex1, ey1 = tree._ex0, tree._ey0, tree._ex1, tree._ey1
+        for rect, item in pairs:
+            ex0.append(rect.min_x)
+            ey0.append(rect.min_y)
+            ex1.append(rect.max_x)
+            ey1.append(rect.max_y)
+            tree._items.append(item)
+
+        tree._pack_nodes()
+        return tree
+
+    def _pack_nodes(self) -> None:
+        """Build the node columns bottom-up over the global entry order."""
+        capacity = self.max_entries
+        count = len(self._items)
+        nx0, ny0, nx1, ny1 = self._nx0, self._ny0, self._nx1, self._ny1
+        child_first, child_count = self._child_first, self._child_count
+        entry_start, entry_end = self._entry_start, self._entry_end
+        ex0, ey0, ex1, ey1 = self._ex0, self._ey0, self._ex1, self._ey1
+
+        # Leaf level: consecutive runs of ``capacity`` entries.
+        for start in range(0, count, capacity):
+            end = min(start + capacity, count)
+            bx0 = min(ex0[start:end])
+            by0 = min(ey0[start:end])
+            bx1 = max(ex1[start:end])
+            by1 = max(ey1[start:end])
+            nx0.append(bx0)
+            ny0.append(by0)
+            nx1.append(bx1)
+            ny1.append(by1)
+            child_first.append(start)
+            child_count.append(end - start)
+            entry_start.append(start)
+            entry_end.append(end)
+        self._num_leaves = len(nx0)
+        self._height = 1
+
+        # Upper levels: consecutive runs of ``capacity`` nodes of the level
+        # below, until a single root remains.  Contiguity of the entry range is
+        # preserved because lower-level nodes are never reordered.
+        level_start = 0
+        level_count = self._num_leaves
+        while level_count > 1:
+            next_start = len(nx0)
+            for first in range(level_start, level_start + level_count, capacity):
+                last = min(first + capacity, level_start + level_count)
+                bx0 = min(nx0[first:last])
+                by0 = min(ny0[first:last])
+                bx1 = max(nx1[first:last])
+                by1 = max(ny1[first:last])
+                nx0.append(bx0)
+                ny0.append(by0)
+                nx1.append(bx1)
+                ny1.append(by1)
+                child_first.append(first)
+                child_count.append(last - first)
+                entry_start.append(entry_start[first])
+                entry_end.append(entry_end[last - 1])
+            level_start = next_start
+            level_count = len(nx0) - next_start
+            self._height += 1
+
+        self._q_nodes = (nx0.tolist(), ny0.tolist(), nx1.tolist(), ny1.tolist())
+        self._q_entries = (ex0.tolist(), ey0.tolist(), ex1.tolist(), ey1.tolist())
+        self._q_topology = (
+            child_first.tolist(),
+            child_count.tolist(),
+            entry_start.tolist(),
+            entry_end.tolist(),
+        )
+
+    # ----------------------------------------------------------------- sizing
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def bounds(self) -> Rect | None:
+        """Bounding rectangle of the whole tree (``None`` when empty)."""
+        if not self._items:
+            return None
+        root = len(self._nx0) - 1
+        return Rect(self._nx0[root], self._ny0[root], self._nx1[root], self._ny1[root])
+
+    # ------------------------------------------------------------- mutation --
+
+    def insert(self, rect: Rect, item: object) -> None:
+        """Unsupported: packed trees are immutable (rebuild or fall back)."""
+        raise SpatialIndexError(
+            "PackedRTree is immutable; rebuild it with bulk_load or fall back "
+            "to the dynamic RTree for updates"
+        )
+
+    def delete(self, rect: Rect, item: object) -> bool:
+        """Unsupported: packed trees are immutable (rebuild or fall back)."""
+        raise SpatialIndexError(
+            "PackedRTree is immutable; rebuild it with bulk_load or fall back "
+            "to the dynamic RTree for updates"
+        )
+
+    # ----------------------------------------------------------------- queries
+
+    def window_query(self, window: Rect) -> list[object]:
+        """Return the items of every entry whose rectangle intersects ``window``."""
+        out: list[object] = []
+        if not self._items:
+            return out
+        self._collect(
+            window.min_x, window.min_y, window.max_x, window.max_y, out
+        )
+        return out
+
+    def window_query_batch(self, windows: Iterable[Rect]) -> list[list[object]]:
+        """Evaluate many windows in one call (the prefetcher's entry point).
+
+        Results are returned in input order; each list is identical to what
+        :meth:`window_query` would return for that window.
+        """
+        if not self._items:
+            return [[] for _ in windows]
+        results: list[list[object]] = []
+        for window in windows:
+            out: list[object] = []
+            self._collect(window.min_x, window.min_y, window.max_x, window.max_y, out)
+            results.append(out)
+        return results
+
+    def _collect(
+        self, qx0: float, qy0: float, qx1: float, qy1: float, out: list[object]
+    ) -> None:
+        """Append every item intersecting the query box to ``out`` (iterative)."""
+        nx0, ny0, nx1, ny1 = self._q_nodes
+        ex0, ey0, ex1, ey1 = self._q_entries
+        child_first, child_count, entry_start, entry_end = self._q_topology
+        items = self._items
+        num_leaves = self._num_leaves
+        stack = [len(nx0) - 1]
+        pop = stack.pop
+        extend = out.extend
+        while stack:
+            i = pop()
+            bx0 = nx0[i]
+            if bx0 > qx1:
+                continue
+            bx1 = nx1[i]
+            if bx1 < qx0:
+                continue
+            by0 = ny0[i]
+            if by0 > qy1:
+                continue
+            by1 = ny1[i]
+            if by1 < qy0:
+                continue
+            if qx0 <= bx0 and qy0 <= by0 and bx1 <= qx1 and by1 <= qy1:
+                # Whole subtree inside the window: slice the contiguous range.
+                extend(items[entry_start[i]:entry_end[i]])
+                continue
+            first = child_first[i]
+            last = first + child_count[i]
+            if i < num_leaves:
+                extend([
+                    items[j]
+                    for j in range(first, last)
+                    if ex0[j] <= qx1
+                    and ex1[j] >= qx0
+                    and ey0[j] <= qy1
+                    and ey1[j] >= qy0
+                ])
+            else:
+                stack.extend(range(first, last))
+
+    def count_window(self, window: Rect) -> int:
+        """Return the number of entries intersecting ``window``."""
+        if not self._items:
+            return 0
+        qx0, qy0, qx1, qy1 = window.min_x, window.min_y, window.max_x, window.max_y
+        nx0, ny0, nx1, ny1 = self._q_nodes
+        ex0, ey0, ex1, ey1 = self._q_entries
+        child_first, child_count, entry_start, entry_end = self._q_topology
+        num_leaves = self._num_leaves
+        count = 0
+        stack = [len(nx0) - 1]
+        while stack:
+            i = stack.pop()
+            if nx0[i] > qx1 or nx1[i] < qx0 or ny0[i] > qy1 or ny1[i] < qy0:
+                continue
+            if (
+                qx0 <= nx0[i]
+                and qy0 <= ny0[i]
+                and nx1[i] <= qx1
+                and ny1[i] <= qy1
+            ):
+                count += entry_end[i] - entry_start[i]
+                continue
+            first = child_first[i]
+            last = first + child_count[i]
+            if i < num_leaves:
+                count += sum(
+                    1
+                    for j in range(first, last)
+                    if ex0[j] <= qx1
+                    and ex1[j] >= qx0
+                    and ey0[j] <= qy1
+                    and ey1[j] >= qy0
+                )
+            else:
+                stack.extend(range(first, last))
+        return count
+
+    def point_query(self, point: Point) -> list[object]:
+        """Return items whose rectangle contains ``point``."""
+        out: list[object] = []
+        if not self._items:
+            return out
+        self._collect(point.x, point.y, point.x, point.y, out)
+        return out
+
+    def nearest(self, point: Point, k: int = 1) -> list[object]:
+        """Return the ``k`` entries nearest to ``point`` (best-first search)."""
+        if k <= 0 or not self._items:
+            return []
+        px, py = point.x, point.y
+        nx0, ny0, nx1, ny1 = self._nx0, self._ny0, self._nx1, self._ny1
+        ex0, ey0, ex1, ey1 = self._ex0, self._ey0, self._ex1, self._ey1
+        child_first, child_count = self._child_first, self._child_count
+        num_leaves = self._num_leaves
+        items = self._items
+
+        def box_dist2(bx0: float, by0: float, bx1: float, by1: float) -> float:
+            dx = bx0 - px if px < bx0 else (px - bx1 if px > bx1 else 0.0)
+            dy = by0 - py if py < by0 else (py - by1 if py > by1 else 0.0)
+            return dx * dx + dy * dy
+
+        counter = 0
+        root = len(nx0) - 1
+        # Heap entries: (squared distance, tiebreak, is_entry, index).
+        heap: list[tuple[float, int, bool, int]] = [
+            (box_dist2(nx0[root], ny0[root], nx1[root], ny1[root]), counter, False, root)
+        ]
+        results: list[object] = []
+        while heap and len(results) < k:
+            _, __, is_entry, index = heapq.heappop(heap)
+            if is_entry:
+                results.append(items[index])
+                continue
+            first = child_first[index]
+            if index < num_leaves:
+                for j in range(first, first + child_count[index]):
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (box_dist2(ex0[j], ey0[j], ex1[j], ey1[j]), counter, True, j),
+                    )
+            else:
+                for j in range(first, first + child_count[index]):
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (box_dist2(nx0[j], ny0[j], nx1[j], ny1[j]), counter, False, j),
+                    )
+        return results
+
+    def all_items(self) -> Iterator[object]:
+        """Yield every stored item (packing order)."""
+        return iter(self._items)
+
+    # --------------------------------------------------------------- structure
+
+    def stats(self) -> RTreeStats:
+        """Return structural statistics (same shape as the dynamic tree's)."""
+        return RTreeStats(
+            height=self._height,
+            num_nodes=len(self._nx0),
+            num_leaves=self._num_leaves,
+            num_entries=len(self._items),
+            max_entries=self.max_entries,
+        )
+
+    def check_invariants(self) -> None:
+        """Validate packing invariants; raises :class:`SpatialIndexError`."""
+        count = len(self._items)
+        if count == 0:
+            if len(self._nx0) != 0:
+                raise SpatialIndexError("empty packed tree has nodes")
+            return
+        for i in range(len(self._nx0)):
+            first = self._child_first[i]
+            number = self._child_count[i]
+            if number < 1 or number > self.max_entries:
+                raise SpatialIndexError(f"node {i} has {number} children")
+            if i < self._num_leaves:
+                if (self._entry_start[i], self._entry_end[i]) != (first, first + number):
+                    raise SpatialIndexError(f"leaf {i} entry range mismatch")
+                for j in range(first, first + number):
+                    if (
+                        self._ex0[j] < self._nx0[i]
+                        or self._ey0[j] < self._ny0[i]
+                        or self._ex1[j] > self._nx1[i]
+                        or self._ey1[j] > self._ny1[i]
+                    ):
+                        raise SpatialIndexError(f"leaf {i} MBR does not cover entry {j}")
+            else:
+                if self._entry_start[i] != self._entry_start[first]:
+                    raise SpatialIndexError(f"node {i} entry range start mismatch")
+                if self._entry_end[i] != self._entry_end[first + number - 1]:
+                    raise SpatialIndexError(f"node {i} entry range end mismatch")
+                for j in range(first, first + number):
+                    if (
+                        self._nx0[j] < self._nx0[i]
+                        or self._ny0[j] < self._ny0[i]
+                        or self._nx1[j] > self._nx1[i]
+                        or self._ny1[j] > self._ny1[i]
+                    ):
+                        raise SpatialIndexError(f"node {i} MBR does not cover child {j}")

@@ -44,19 +44,29 @@ class _Node:
     rect: Rect | None = None
 
     def recompute_rect(self) -> None:
-        """Recompute the minimum bounding rectangle from the node's contents."""
-        rects: list[Rect]
+        """Recompute the minimum bounding rectangle from the node's contents.
+
+        Min/max scalars are accumulated and a single :class:`Rect` is built at
+        the end — no intermediate union rectangles are allocated.
+        """
         if self.leaf:
-            rects = [entry.rect for entry in self.entries]
+            rects = (entry.rect for entry in self.entries)
         else:
-            rects = [child.rect for child in self.children if child.rect is not None]
-        if not rects:
-            self.rect = None
-            return
-        rect = rects[0]
-        for other in rects[1:]:
-            rect = rect.union(other)
-        self.rect = rect
+            rects = (child.rect for child in self.children if child.rect is not None)
+        min_x = min_y = math.inf
+        max_x = max_y = -math.inf
+        empty = True
+        for rect in rects:
+            empty = False
+            if rect.min_x < min_x:
+                min_x = rect.min_x
+            if rect.min_y < min_y:
+                min_y = rect.min_y
+            if rect.max_x > max_x:
+                max_x = rect.max_x
+            if rect.max_y > max_y:
+                max_y = rect.max_y
+        self.rect = None if empty else Rect(min_x, min_y, max_x, max_y)
 
     def size(self) -> int:
         """Return the number of entries or children held by this node."""
@@ -89,6 +99,9 @@ class RTree:
         sum, then the split index by minimum overlap).  The storage layer keeps
         the default; the index ablation benchmark compares the two.
     """
+
+    #: Dynamic trees support insert/delete; the packed variant does not.
+    supports_updates = True
 
     def __init__(
         self,
@@ -131,7 +144,12 @@ class RTree:
         self._adjust_upwards(leaf, path)
 
     def _choose_leaf(self, node: _Node, rect: Rect, path: list[_Node]) -> _Node:
-        """Descend to the leaf whose MBR needs the least enlargement."""
+        """Descend to the leaf whose MBR needs the least enlargement.
+
+        Enlargement and area are computed from min/max scalars directly; no
+        intermediate union rectangle is allocated per candidate child.
+        """
+        r_min_x, r_min_y, r_max_x, r_max_y = rect.min_x, rect.min_y, rect.max_x, rect.max_y
         current = node
         while not current.leaf:
             path.append(current)
@@ -139,7 +157,18 @@ class RTree:
             best_key: tuple[float, float] | None = None
             for child in current.children:
                 child_rect = child.rect if child.rect is not None else rect
-                key = (child_rect.enlargement(rect), child_rect.area)
+                width = child_rect.max_x - child_rect.min_x
+                height = child_rect.max_y - child_rect.min_y
+                area = width * height
+                union_w = (
+                    (child_rect.max_x if child_rect.max_x > r_max_x else r_max_x)
+                    - (child_rect.min_x if child_rect.min_x < r_min_x else r_min_x)
+                )
+                union_h = (
+                    (child_rect.max_y if child_rect.max_y > r_max_y else r_max_y)
+                    - (child_rect.min_y if child_rect.min_y < r_min_y else r_min_y)
+                )
+                key = (union_w * union_h - area, area)
                 if best_key is None or key < best_key:
                     best_key = key
                     best_child = child
@@ -396,6 +425,10 @@ class RTree:
             else:
                 stack.extend(node.children)
         return results
+
+    def window_query_batch(self, windows: Iterable[Rect]) -> list[list[object]]:
+        """Evaluate many windows; parity with :class:`PackedRTree`'s batch path."""
+        return [self.window_query(window) for window in windows]
 
     def count_window(self, window: Rect) -> int:
         """Return the number of entries intersecting ``window`` without materialising them."""

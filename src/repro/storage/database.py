@@ -75,6 +75,7 @@ class GraphVizDatabase:
             store=store,
             rtree_max_entries=self.config.rtree_max_entries,
             btree_order=self.config.btree_order,
+            index_kind=self.config.index_kind,
         )
         self._tables[layer] = table
         return table
@@ -102,8 +103,12 @@ class GraphVizDatabase:
     # ----------------------------------------------------------------- queries
 
     def window_query(self, layer: int, window: Rect) -> list[EdgeRow]:
-        """Window query on one layer (delegates to the layer's R-tree)."""
+        """Window query on one layer (delegates to the layer's spatial index)."""
         return self.table(layer).window_query(window)
+
+    def window_query_batch(self, layer: int, windows: list[Rect]) -> list[list[EdgeRow]]:
+        """Evaluate many windows on one layer in one call."""
+        return self.table(layer).window_query_batch(windows)
 
     def keyword_search(
         self, layer: int, keyword: str, mode: str = "contains"

@@ -20,7 +20,8 @@ from typing import Iterable, Iterator
 
 from ..errors import StorageError
 from ..spatial.btree import BPlusTree
-from ..spatial.geometry import Point, Rect
+from ..spatial.geometry import LineSegment, Point, Rect
+from ..spatial.packed_rtree import PackedRTree
 from ..spatial.rtree import RTree
 from ..spatial.trie import FullTextIndex
 from .schema import EdgeRow
@@ -156,6 +157,10 @@ class LayerTable:
         Row store; defaults to :class:`MemoryRowStore`.
     rtree_max_entries / btree_order:
         Index tuning knobs (see :class:`repro.config.StorageConfig`).
+    index_kind:
+        ``"rtree"`` (dynamic, default for hand-built tables) or ``"packed"``
+        (immutable flat-array index built on bulk load; the table demotes to a
+        dynamic tree automatically when a row is inserted, updated or deleted).
     """
 
     def __init__(
@@ -164,17 +169,28 @@ class LayerTable:
         store: MemoryRowStore | FileRowStore | None = None,
         rtree_max_entries: int = 32,
         btree_order: int = 64,
+        index_kind: str = "rtree",
     ) -> None:
+        if index_kind not in {"rtree", "packed"}:
+            raise StorageError(f"unknown index kind {index_kind!r}")
         self.layer = layer
         self.store = store if store is not None else MemoryRowStore()
         self.rtree_max_entries = rtree_max_entries
         self.btree_order = btree_order
-        self.rtree = RTree(max_entries=rtree_max_entries)
+        self.index_kind = index_kind
+        self.rtree: RTree | PackedRTree = RTree(max_entries=rtree_max_entries)
         self.node1_index = BPlusTree(order=btree_order)
         self.node2_index = BPlusTree(order=btree_order)
         self.node_label_index = FullTextIndex()
         self.edge_label_index = FullTextIndex()
         self._next_row_id = 0
+        # Per-row caches for the zero-copy query pipeline: decoded geometry
+        # segments and flat endpoint coordinates (used by the exact window
+        # filter) and JSON fragments (used by the payload builder).  All are
+        # invalidated per row on mutation.
+        self._segment_cache: dict[int, LineSegment] = {}
+        self._coord_cache: dict[int, tuple[float, float, float, float]] = {}
+        self.fragment_cache: dict[int, object] = {}
 
     # ------------------------------------------------------------------ sizing
 
@@ -190,25 +206,64 @@ class LayerTable:
 
     def insert(self, row: EdgeRow) -> None:
         """Insert one row and update every index."""
+        # Demote a packed index *before* the row enters the store: the rebuild
+        # scans the store, so demoting afterwards would index the row twice.
+        self.ensure_dynamic_index()
         self.store.put(row)
         self._next_row_id = max(self._next_row_id, row.row_id + 1)
+        self._invalidate_row_caches(row.row_id)
         self._index_row(row)
 
     def bulk_load(self, rows: Iterable[EdgeRow], bulk_rtree: bool = True) -> int:
-        """Load many rows; optionally STR-bulk-load the R-tree.  Returns the count."""
+        """Load many rows; optionally bulk-load the spatial index.  Returns the count."""
         rows = list(rows)
+        if not bulk_rtree:
+            # Rows will be inserted into the spatial index one by one, which a
+            # packed index cannot do: demote first (before the store changes).
+            self.ensure_dynamic_index()
         for row in rows:
             self.store.put(row)
             self._next_row_id = max(self._next_row_id, row.row_id + 1)
+            if not bulk_rtree:
+                # The bulk_rtree branch below clears the caches wholesale.
+                self._invalidate_row_caches(row.row_id)
             self._index_row(row, skip_rtree=bulk_rtree)
         if bulk_rtree:
-            # Rebuild the R-tree over the full table so repeated bulk loads stay
-            # consistent with the row store.
-            self.rtree = RTree.bulk_load(
-                [(row.bounding_rect(), row.row_id) for row in self.store.scan()],
-                max_entries=self.rtree_max_entries,
-            )
+            # Rebuild the spatial index over the full table so repeated bulk
+            # loads stay consistent with the row store.  ``packed`` builds the
+            # flat Hilbert-packed index; ``rtree`` keeps the dynamic STR tree.
+            entries = [(row.bounding_rect(), row.row_id) for row in self.store.scan()]
+            if self.index_kind == "packed":
+                self.rtree = PackedRTree.bulk_load(
+                    entries, max_entries=self.rtree_max_entries
+                )
+            else:
+                self.rtree = RTree.bulk_load(
+                    entries, max_entries=self.rtree_max_entries
+                )
+            self._segment_cache.clear()
+            self._coord_cache.clear()
+            self.fragment_cache.clear()
         return len(rows)
+
+    def ensure_dynamic_index(self) -> None:
+        """Demote a packed index to a dynamic R-tree so updates can proceed.
+
+        Called automatically before any mutation; a no-op when the active index
+        already supports updates.  The dynamic tree is rebuilt with STR bulk
+        loading over the current rows, so query results are unchanged.
+        """
+        if self.rtree.supports_updates:
+            return
+        self.rtree = RTree.bulk_load(
+            [(row.bounding_rect(), row.row_id) for row in self.store.scan()],
+            max_entries=self.rtree_max_entries,
+        )
+
+    def _invalidate_row_caches(self, row_id: int) -> None:
+        self._segment_cache.pop(row_id, None)
+        self._coord_cache.pop(row_id, None)
+        self.fragment_cache.pop(row_id, None)
 
     def _index_row(self, row: EdgeRow, skip_rtree: bool = False) -> None:
         if not skip_rtree:
@@ -231,7 +286,11 @@ class LayerTable:
     def delete_row(self, row_id: int) -> None:
         """Delete a row and remove it from every index."""
         row = self.store.get(row_id)
+        # Demote a packed index while the row is still in the store, so the
+        # rebuilt dynamic tree contains it and the delete below finds it.
+        self.ensure_dynamic_index()
         self.store.delete(row_id)
+        self._invalidate_row_caches(row_id)
         self.rtree.delete(row.bounding_rect(), row_id)
         self.node1_index.remove(row.node1_id, row_id)
         self.node2_index.remove(row.node2_id, row_id)
@@ -254,20 +313,83 @@ class LayerTable:
         """Yield every row."""
         return self.store.scan()
 
+    def segment_of(self, row: EdgeRow) -> LineSegment:
+        """Return the row's decoded geometry, memoised per ``row_id``.
+
+        Decoding the binary blob dominates the exact window filter on hot
+        paths; rows are immutable, so the decoded segment can be reused until
+        the row is updated or deleted.
+        """
+        segment = self._segment_cache.get(row.row_id)
+        if segment is None:
+            segment = row.segment()
+            self._segment_cache[row.row_id] = segment
+            self._coord_cache[row.row_id] = (
+                segment.start.x, segment.start.y, segment.end.x, segment.end.y
+            )
+        return segment
+
     def window_query(self, window: Rect) -> list[EdgeRow]:
         """Return rows whose edge geometry intersects ``window``.
 
-        The R-tree prunes by bounding rectangle; an exact segment/rectangle test
-        then removes false positives (a diagonal edge whose bounding box overlaps
-        the window but whose segment does not).
+        The spatial index prunes by bounding rectangle; an exact
+        segment/rectangle test then removes false positives (a diagonal edge
+        whose bounding box overlaps the window but whose segment does not).
         """
-        candidates = self.rtree.window_query(window)
+        return self._exact_rows(self.rtree.window_query(window), window)
+
+    def window_query_batch(self, windows: list[Rect]) -> list[list[EdgeRow]]:
+        """Evaluate many windows in one call; per-window results are identical
+        to :meth:`window_query`."""
+        candidate_lists = self.rtree.window_query_batch(windows)
+        return [
+            self._exact_rows(candidates, window)
+            for candidates, window in zip(candidate_lists, windows)
+        ]
+
+    def _exact_rows(self, candidates: list[object], window: Rect) -> list[EdgeRow]:
+        """Fetch candidate rows and apply the exact segment/window test.
+
+        Candidate ids are sorted up front (a C-level integer sort), so the
+        result list is in row-id order by construction.  The test is fully
+        inlined over the flat coordinate cache: an endpoint inside the window
+        decides the common case, and because the index already guaranteed the
+        segment's bounding box overlaps the window, the both-endpoints-outside
+        case reduces to the corner-straddle test on the supporting line (the
+        same predicate as :meth:`LineSegment.intersects_rect`, minus the
+        redundant bounding-box work).
+        """
+        get = self.store.get
+        segment_of = self.segment_of
+        coords = self._coord_cache
+        coords_get = coords.get
+        wx0, wy0, wx1, wy1 = window.min_x, window.min_y, window.max_x, window.max_y
         results: list[EdgeRow] = []
-        for row_id in candidates:
-            row = self.store.get(row_id)  # type: ignore[arg-type]
-            if row.segment().intersects_rect(window):
-                results.append(row)
-        results.sort(key=lambda row: row.row_id)
+        append = results.append
+        for row_id in sorted(candidates):  # type: ignore[type-var]
+            row = get(row_id)  # type: ignore[arg-type]
+            flat = coords_get(row_id)
+            if flat is None:
+                segment_of(row)
+                flat = coords[row_id]
+            x1, y1, x2, y2 = flat
+            if (wx0 <= x1 <= wx1 and wy0 <= y1 <= wy1) or (
+                wx0 <= x2 <= wx1 and wy0 <= y2 <= wy1
+            ):
+                append(row)
+                continue
+            dx = x2 - x1
+            dy = y2 - y1
+            s1 = dx * (wy0 - y1) - dy * (wx0 - x1)
+            s2 = dx * (wy0 - y1) - dy * (wx1 - x1)
+            s3 = dx * (wy1 - y1) - dy * (wx0 - x1)
+            s4 = dx * (wy1 - y1) - dy * (wx1 - x1)
+            if (s1 > 0 or s2 > 0 or s3 > 0 or s4 > 0) and (
+                s1 < 0 or s2 < 0 or s3 < 0 or s4 < 0
+            ):
+                append(row)
+            elif s1 == 0 or s2 == 0 or s3 == 0 or s4 == 0:
+                append(row)
         return results
 
     def count_window(self, window: Rect) -> int:

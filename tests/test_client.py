@@ -41,6 +41,7 @@ class TestSimulator:
         timing = simulator.execute_window(bounds, layer=0)
         assert timing.total_seconds == pytest.approx(
             timing.db_query_seconds
+            + timing.filter_seconds
             + timing.json_build_seconds
             + timing.communication_rendering_seconds
         )

@@ -156,6 +156,7 @@ class TestDatabaseConsistencyChecks:
         table = database.table(0)
         from repro.spatial.geometry import Rect
 
+        table.ensure_dynamic_index()
         table.rtree.insert(Rect(0, 0, 1, 1), 10**9)
         with pytest.raises(StorageError):
             database.validate()

@@ -1,0 +1,357 @@
+"""PackedRTree: cross-checks against the dynamic RTree plus table fallback.
+
+The packed index must be a drop-in replacement for the online read path:
+window, count and kNN queries over randomized rectangle sets (including
+degenerate zero-area rectangles) must return exactly the same result sets as
+the dynamic tree, and a table built with the packed index must transparently
+demote to a dynamic tree when the Edit panel mutates geometry.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.config import StorageConfig
+from repro.core.json_builder import build_payload, payload_to_json, table_fragments
+from repro.core.query_manager import QueryManager
+from repro.errors import ConfigurationError, SpatialIndexError
+from repro.spatial.geometry import Point, Rect
+from repro.spatial.packed_rtree import PackedRTree, hilbert_d
+from repro.spatial.rtree import RTree
+from repro.storage.database import GraphVizDatabase
+
+
+@pytest.fixture()
+def fresh_database(patent_result):
+    """A mutable copy of the patent layer-0 table under the default (packed) config."""
+    database = GraphVizDatabase(name="editable")
+    database.load_layer(0, list(patent_result.database.table(0).scan()))
+    return database
+
+
+def random_rects(rng: random.Random, count: int) -> list[tuple[Rect, int]]:
+    """Random rectangles, one third of them degenerate (zero width/height/both)."""
+    entries: list[tuple[Rect, int]] = []
+    for index in range(count):
+        x = rng.uniform(-500, 500)
+        y = rng.uniform(-500, 500)
+        shape = index % 3
+        if shape == 0:
+            w = rng.uniform(0, 60)
+            h = rng.uniform(0, 60)
+        elif shape == 1:
+            w, h = 0.0, rng.uniform(0, 40)  # vertical segment
+        else:
+            w = h = 0.0  # point
+        entries.append((Rect(x, y, x + w, y + h), index))
+    return entries
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+@pytest.mark.parametrize("count", [0, 1, 5, 33, 400])
+def test_window_and_count_match_dynamic_rtree(seed, count):
+    rng = random.Random(seed)
+    entries = random_rects(rng, count)
+    dynamic = RTree(max_entries=8)
+    for rect, item in entries:
+        dynamic.insert(rect, item)
+    packed = PackedRTree.bulk_load(entries, max_entries=8)
+    packed.check_invariants()
+    assert len(packed) == len(dynamic) == count
+
+    windows = [
+        Rect(-600, -600, 600, 600),  # everything
+        Rect(500, 500, 501, 501),    # likely empty corner
+    ] + [
+        Rect(x, y, x + rng.uniform(0, 200), y + rng.uniform(0, 200))
+        for x, y in ((rng.uniform(-550, 450), rng.uniform(-550, 450)) for _ in range(25))
+    ]
+    for window in windows:
+        expected = sorted(dynamic.window_query(window))
+        got = sorted(packed.window_query(window))
+        assert got == expected
+        assert packed.count_window(window) == len(expected)
+
+    # Point queries via degenerate windows.
+    for rect, _ in entries[:20]:
+        point = Point(rect.min_x, rect.min_y)
+        assert sorted(packed.point_query(point)) == sorted(dynamic.point_query(point))
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_knn_matches_dynamic_rtree(seed):
+    rng = random.Random(seed)
+    entries = random_rects(rng, 150)
+    dynamic = RTree(max_entries=8)
+    for rect, item in entries:
+        dynamic.insert(rect, item)
+    packed = PackedRTree.bulk_load(entries, max_entries=8)
+
+    rect_by_item = {item: rect for rect, item in entries}
+    for _ in range(10):
+        query = Point(rng.uniform(-600, 600), rng.uniform(-600, 600))
+        for k in (1, 5, 17):
+            got = packed.nearest(query, k=k)
+            expected = dynamic.nearest(query, k=k)
+            assert len(got) == len(expected) == min(k, len(entries))
+            got_d = [rect_by_item[item].min_distance_to_point(query) for item in got]
+            expected_d = [
+                rect_by_item[item].min_distance_to_point(query) for item in expected
+            ]
+            # Same distance profile; identical items whenever ties are absent.
+            assert got_d == pytest.approx(expected_d)
+
+
+def test_batched_window_query_matches_sequential():
+    rng = random.Random(42)
+    entries = random_rects(rng, 300)
+    packed = PackedRTree.bulk_load(entries, max_entries=16)
+    windows = [
+        Rect(x, y, x + 120, y + 120)
+        for x, y in ((rng.uniform(-550, 450), rng.uniform(-550, 450)) for _ in range(12))
+    ]
+    batched = packed.window_query_batch(windows)
+    assert len(batched) == len(windows)
+    for window, result in zip(windows, batched):
+        assert sorted(result) == sorted(packed.window_query(window))
+
+
+def test_empty_tree_queries():
+    packed = PackedRTree.bulk_load([], max_entries=8)
+    window = Rect(0, 0, 10, 10)
+    assert packed.window_query(window) == []
+    assert packed.window_query_batch([window, window]) == [[], []]
+    assert packed.count_window(window) == 0
+    assert packed.nearest(Point(0, 0), k=3) == []
+    assert packed.bounds is None
+    assert list(packed.all_items()) == []
+    packed.check_invariants()
+
+
+def test_packed_tree_is_immutable():
+    packed = PackedRTree.bulk_load([(Rect(0, 0, 1, 1), 0)], max_entries=8)
+    assert not packed.supports_updates
+    with pytest.raises(SpatialIndexError):
+        packed.insert(Rect(2, 2, 3, 3), 1)
+    with pytest.raises(SpatialIndexError):
+        packed.delete(Rect(0, 0, 1, 1), 0)
+
+
+def test_stats_and_bounds():
+    entries = random_rects(random.Random(5), 200)
+    packed = PackedRTree.bulk_load(entries, max_entries=8)
+    stats = packed.stats()
+    assert stats.num_entries == 200
+    assert stats.num_leaves == 25
+    assert stats.height >= 2
+    assert stats.max_entries == 8
+    bounds = packed.bounds
+    for rect, _ in entries:
+        assert bounds.contains_rect(rect)
+
+
+def test_hilbert_d_is_a_bijection_on_a_small_grid():
+    order = 4
+    side = 1 << order
+    values = {hilbert_d(x, y, order) for x in range(side) for y in range(side)}
+    assert values == set(range(side * side))
+
+
+def test_invalid_index_kind_rejected():
+    with pytest.raises(ConfigurationError):
+        StorageConfig(index_kind="quadtree")
+
+
+class TestPackedLayerTable:
+    """LayerTable + database behaviour with the packed index active."""
+
+    @pytest.fixture()
+    def database(self, patent_result):
+        # patent_result uses the default StorageConfig (packed).
+        return patent_result.database
+
+    def test_default_config_builds_packed_index(self, database):
+        assert isinstance(database.table(0).rtree, PackedRTree)
+        database.validate()
+
+    def test_rtree_config_builds_dynamic_index(self, patent_result):
+        config = StorageConfig(index_kind="rtree")
+        rebuilt = GraphVizDatabase(name="dyn", config=config)
+        rows = list(patent_result.database.table(0).scan())
+        rebuilt.load_layer(0, rows)
+        assert isinstance(rebuilt.table(0).rtree, RTree)
+
+    def test_packed_and_dynamic_tables_return_identical_rows(self, patent_result):
+        packed_table = patent_result.database.table(0)
+        config = StorageConfig(index_kind="rtree")
+        rebuilt = GraphVizDatabase(name="dyn", config=config)
+        rebuilt.load_layer(0, list(packed_table.scan()))
+        dynamic_table = rebuilt.table(0)
+        bounds = packed_table.bounds()
+        rng = random.Random(9)
+        for _ in range(10):
+            cx = rng.uniform(bounds.min_x, bounds.max_x)
+            cy = rng.uniform(bounds.min_y, bounds.max_y)
+            window = Rect.from_center(Point(cx, cy), 800, 800)
+            packed_rows = [row.row_id for row in packed_table.window_query(window)]
+            dynamic_rows = [row.row_id for row in dynamic_table.window_query(window)]
+            assert packed_rows == dynamic_rows
+
+    def test_edit_demotes_packed_to_dynamic(self, fresh_database):
+        database = fresh_database
+        table = database.table(0)
+        assert isinstance(table.rtree, PackedRTree)
+
+        victim = next(table.scan())
+        table.delete_row(victim.row_id)
+        assert isinstance(table.rtree, RTree)
+        database.validate()
+
+        # Re-inserting through the dynamic tree keeps everything consistent.
+        table.insert(victim)
+        database.validate()
+        window = victim.bounding_rect().expanded(1.0)
+        assert victim.row_id in {row.row_id for row in table.window_query(window)}
+
+    def test_insert_as_first_edit_indexes_row_exactly_once(self, fresh_database):
+        """An insert demoting the packed index must not double-index the row."""
+        table = fresh_database.table(0)
+        assert isinstance(table.rtree, PackedRTree)
+        template = next(table.scan())
+        new_row = type(template)(
+            row_id=table.next_row_id(),
+            node1_id=10**6,
+            node1_label="fresh",
+            edge_geometry=template.edge_geometry,
+            edge_label="",
+            node2_id=10**6,
+            node2_label="fresh",
+        )
+        table.insert(new_row)
+        assert isinstance(table.rtree, RTree)
+        assert len(table.rtree) == table.num_rows
+        matches = [
+            row_id for row_id in table.rtree.window_query(new_row.bounding_rect())
+            if row_id == new_row.row_id
+        ]
+        assert matches == [new_row.row_id]
+        fresh_database.validate()
+
+    def test_incremental_bulk_load_demotes_and_invalidates(self, fresh_database):
+        """bulk_load(bulk_rtree=False) on a packed table must demote first and
+        refresh per-row caches for overwritten rows."""
+        table = fresh_database.table(0)
+        assert isinstance(table.rtree, PackedRTree)
+        manager = QueryManager(fresh_database)
+        bounds = table.bounds()
+        manager.window_query(bounds, layer=0)  # warm segment/fragment caches
+
+        victim = next(table.scan())
+        relabelled = type(victim)(
+            row_id=victim.row_id,
+            node1_id=victim.node1_id,
+            node1_label="BULK-RELOADED",
+            edge_geometry=victim.edge_geometry,
+            edge_label=victim.edge_label,
+            node2_id=victim.node2_id,
+            node2_label=victim.node2_label,
+        )
+        table.bulk_load([relabelled], bulk_rtree=False)
+        assert isinstance(table.rtree, RTree)
+        result = manager.window_query(bounds, layer=0)
+        labels = {node["id"]: node["label"] for node in result.payload.nodes}
+        assert labels[victim.node1_id] == "BULK-RELOADED"
+
+    def test_delete_as_first_edit(self, fresh_database):
+        table = fresh_database.table(0)
+        victim = next(table.scan())
+        table.delete_row(victim.row_id)
+        assert len(table.rtree) == table.num_rows
+        assert victim.row_id not in set(table.rtree.all_items())
+        fresh_database.validate()
+
+    def test_batched_table_query_matches_sequential(self, database):
+        table = database.table(0)
+        bounds = table.bounds()
+        rng = random.Random(13)
+        windows = [
+            Rect.from_center(
+                Point(
+                    rng.uniform(bounds.min_x, bounds.max_x),
+                    rng.uniform(bounds.min_y, bounds.max_y),
+                ),
+                600,
+                600,
+            )
+            for _ in range(8)
+        ]
+        batched = table.window_query_batch(windows)
+        for window, result in zip(windows, batched):
+            assert [row.row_id for row in result] == [
+                row.row_id for row in table.window_query(window)
+            ]
+
+
+class TestZeroCopyPayload:
+    def test_fragment_payload_matches_plain_payload(self, patent_result):
+        table = patent_result.database.table(0)
+        rows = table.window_query(table.bounds())
+        plain = build_payload(rows)
+        fast = build_payload(rows, fragments=table_fragments(table))
+        assert fast.nodes == plain.nodes
+        assert fast.edges == plain.edges
+        # Concatenated pre-serialised fragments are byte-identical to a full dump.
+        assert payload_to_json(fast) == payload_to_json(plain)
+        assert json.loads(payload_to_json(fast)) == plain.as_dict()
+
+    def test_fragments_are_reused_across_queries(self, patent_result):
+        table = patent_result.database.table(0)
+        manager = QueryManager(patent_result.database)
+        window = table.bounds()
+        first = manager.window_query(window, layer=0)
+        second = manager.window_query(window, layer=0)
+        # The cached node dictionaries are the very same objects (zero-copy).
+        assert first.payload.nodes[0] is second.payload.nodes[0]
+
+    def test_fragment_cache_invalidated_on_edit(self, fresh_database):
+        database = fresh_database
+        manager = QueryManager(database)
+        table = database.table(0)
+        bounds = table.bounds()
+        before = manager.window_query(bounds, layer=0)
+        assert table.fragment_cache
+
+        from repro.core.editing import GraphEditor
+
+        node_id = before.payload.nodes[0]["id"]
+        GraphEditor(database).rename_node(node_id, "RENAMED")
+        after = manager.window_query(bounds, layer=0)
+        labels = {node["id"]: node["label"] for node in after.payload.nodes}
+        assert labels[node_id] == "RENAMED"
+        assert json.loads(payload_to_json(after.payload)) == after.payload.as_dict()
+
+    def test_stale_window_cache_hit_does_not_poison_fragments(self, fresh_database):
+        """A cache hit served between an edit and invalidate() may show stale
+        rows (pre-existing window-cache semantics), but it must not write
+        stale fragments back into the table's authoritative cache."""
+        from repro.core.cache import CachingQueryManager
+        from repro.core.editing import GraphEditor
+
+        database = fresh_database
+        caching = CachingQueryManager(QueryManager(database), prefetch_margin=0.5)
+        table = database.table(0)
+        window = table.bounds()
+        first = caching.window_query(window, layer=0)
+        node_id = first.payload.nodes[0]["id"]
+
+        GraphEditor(database).rename_node(node_id, "RENAMED")
+        # Serve a cache hit before the session invalidates the window cache.
+        caching.window_query(window, layer=0)
+
+        # A fresh (uncached) query must see the new label.
+        fresh = QueryManager(database).window_query(window, layer=0)
+        labels = {node["id"]: node["label"] for node in fresh.payload.nodes}
+        assert labels[node_id] == "RENAMED"

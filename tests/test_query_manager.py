@@ -32,8 +32,9 @@ class TestWindowQuery:
         result = manager.window_query(patent_result.database.bounds(0), layer=0)
         assert result.db_query_seconds > 0
         assert result.json_build_seconds > 0
+        assert result.filter_seconds >= 0
         assert result.server_seconds == pytest.approx(
-            result.db_query_seconds + result.json_build_seconds
+            result.db_query_seconds + result.filter_seconds + result.json_build_seconds
         )
         assert result.total_bytes > 0
 
@@ -93,6 +94,25 @@ class TestKeywordSearch:
     def test_no_match_returns_empty(self, patent_result):
         manager = QueryManager(patent_result.database)
         assert manager.keyword_search("zzzzqqqq").num_matches == 0
+
+    def test_limit_bounds_position_lookups(self, patent_result, monkeypatch):
+        """``limit=k`` must trigger exactly ``k`` node-position lookups."""
+        manager = QueryManager(patent_result.database)
+        table = patent_result.database.table(0)
+        unlimited = manager.keyword_search("patent", layer=0)
+        assert unlimited.num_matches > 3
+
+        calls = []
+        original = type(table).node_position
+
+        def counting_node_position(self, node_id):
+            calls.append(node_id)
+            return original(self, node_id)
+
+        monkeypatch.setattr(type(table), "node_position", counting_node_position)
+        limited = manager.keyword_search("patent", layer=0, limit=3)
+        assert limited.num_matches == 3
+        assert len(calls) == 3
 
     def test_focus_on_node_centers_viewport(self, patent_result):
         manager = QueryManager(patent_result.database)

@@ -65,6 +65,7 @@ class TestDatabase:
     def test_validate_detects_missing_rtree_entry(self, database):
         table = database.table(0)
         row = next(table.scan())
+        table.ensure_dynamic_index()
         table.rtree.delete(row.bounding_rect(), row.row_id)
         with pytest.raises(StorageError):
             database.validate()
