@@ -21,12 +21,14 @@ from pathlib import Path
 
 from repro.bench.reporting import format_comparison
 from repro.bench.workloads import random_windows
+from repro.spatial.geometry import Point
 from repro.spatial.grid_index import GridIndex
 from repro.spatial.packed_rtree import PackedRTree
 from repro.spatial.rtree import RTree
 
 WINDOW_SIZE = 1500
 NUM_WINDOWS = 50
+NEAREST_K = 10
 
 #: Where the index-ablation trajectory is recorded (repo root).
 TRAJECTORY_PATH = Path(__file__).resolve().parents[1] / "BENCH_indexes.json"
@@ -212,6 +214,33 @@ def _packed_vs_dynamic(preprocessed, dataset_name: str, capsys) -> None:
     batch_seconds = time.perf_counter() - started
     batched_matches = sum(len(result) for result in batched)
 
+    # --------------------------------------- kNN / count-window parity paths
+    # The ROADMAP parity item: the ablation must also track the non-window
+    # query surface (best-first kNN and the counting traversal) so a future
+    # regression in either shows up in the trajectory.
+    centers = [
+        Point((w.min_x + w.max_x) / 2, (w.min_y + w.max_y) / 2) for w in windows
+    ]
+
+    def nearest_workload(tree) -> int:
+        return sum(len(tree.nearest(center, k=NEAREST_K)) for center in centers)
+
+    nearest_workload(dynamic)
+    nearest_workload(packed)
+    started = time.perf_counter()
+    dynamic_nearest_total = nearest_workload(dynamic)
+    dynamic_nearest_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    packed_nearest_total = nearest_workload(packed)
+    packed_nearest_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dynamic_counts = [dynamic.count_window(window) for window in windows]
+    dynamic_count_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    packed_counts = [packed.count_window(window) for window in windows]
+    packed_count_seconds = time.perf_counter() - started
+
     # ------------------------------------------------------ pipeline latency
     chunk_size = 200
 
@@ -253,6 +282,11 @@ def _packed_vs_dynamic(preprocessed, dataset_name: str, capsys) -> None:
         "packed_pipeline_ms": packed_seconds * 1000,
         "index_speedup": index_speedup,
         "speedup": pipeline_speedup,
+        "nearest_k": NEAREST_K,
+        "dynamic_nearest_ms": dynamic_nearest_seconds * 1000,
+        "packed_nearest_ms": packed_nearest_seconds * 1000,
+        "dynamic_count_ms": dynamic_count_seconds * 1000,
+        "packed_count_ms": packed_count_seconds * 1000,
     })
 
     with capsys.disabled():
@@ -274,6 +308,15 @@ def _packed_vs_dynamic(preprocessed, dataset_name: str, capsys) -> None:
             f"  pipeline— legacy  {legacy_seconds * 1000:7.1f} ms, "
             f"packed {packed_seconds * 1000:7.1f} ms: {pipeline_speedup:.1f}x"
         )
+        print(
+            f"  nearest — dynamic {dynamic_nearest_seconds * 1000:7.1f} ms, "
+            f"packed {packed_nearest_seconds * 1000:7.1f} ms "
+            f"(k={NEAREST_K}, {len(centers)} probes)"
+        )
+        print(
+            f"  count   — dynamic {dynamic_count_seconds * 1000:7.1f} ms, "
+            f"packed {packed_count_seconds * 1000:7.1f} ms"
+        )
         print(format_comparison(
             "flat packed index + zero-copy pipeline accelerate the hottest path",
             "ISSUE 1 target: >= 2x on window-query latency vs the dynamic R-tree path",
@@ -283,6 +326,31 @@ def _packed_vs_dynamic(preprocessed, dataset_name: str, capsys) -> None:
 
     # Identical result sets, sequential and batched; identical wire payloads.
     assert packed_matches == dynamic_matches == batched_matches
+    # Count and kNN parity: counts must agree exactly per window; for kNN the
+    # returned neighbour *distances* must agree per probe (tie-breaking order
+    # between equidistant entries may legitimately differ across trees).
+    assert packed_counts == dynamic_counts
+    assert dynamic_nearest_total == packed_nearest_total
+    rects = {item: rect for rect, item in entries}
+
+    def neighbour_distances(tree, center) -> list[float]:
+        px, py = center.x, center.y
+        distances = []
+        for item in tree.nearest(center, k=NEAREST_K):
+            rect = rects[item]
+            dx = rect.min_x - px if px < rect.min_x else (
+                px - rect.max_x if px > rect.max_x else 0.0
+            )
+            dy = rect.min_y - py if py < rect.min_y else (
+                py - rect.max_y if py > rect.max_y else 0.0
+            )
+            distances.append(dx * dx + dy * dy)
+        return distances
+
+    for center in centers[:10]:
+        assert neighbour_distances(packed, center) == neighbour_distances(
+            dynamic, center
+        )
     assert packed_objects == legacy_objects
     for window, batch_result in zip(windows, batched):
         assert sorted(batch_result) == sorted(packed.window_query(window))

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Smoke-run the index ablation benchmark at a small scale and record the
-# packed-vs-dynamic window-query trajectory in BENCH_indexes.json, so every PR
-# has a perf baseline to compare against.
+# Smoke-run the perf benchmarks at a small scale and record the trajectories:
+#   * packed-vs-dynamic window/kNN/count queries  -> BENCH_indexes.json
+#   * SQLite cold start (page restore vs rebuild) -> BENCH_coldstart.json
+# so every PR has a perf baseline to compare against.
 #
 # Usage: scripts/bench_smoke.sh [extra pytest args]
 # Scale can be overridden: REPRO_BENCH_SCALE=0.5 scripts/bench_smoke.sh
@@ -11,8 +12,9 @@ cd "$(dirname "$0")/.."
 export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.1}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "index ablation smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
-python -m pytest benchmarks/test_bench_ablation_indexes.py -q -p no:cacheprovider "$@"
+echo "index + cold-start smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
+python -m pytest benchmarks/test_bench_ablation_indexes.py \
+    benchmarks/test_bench_coldstart.py -q -p no:cacheprovider "$@"
 echo "trajectory written to BENCH_indexes.json:"
 python - <<'EOF'
 import json
@@ -20,9 +22,24 @@ from pathlib import Path
 
 history = json.loads(Path("BENCH_indexes.json").read_text())
 for entry in history[-4:]:
+    nearest = entry.get("packed_nearest_ms")
+    nearest_text = f" knn={nearest:.1f}ms" if nearest is not None else ""
     print(
         f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
         f"dynamic={entry['dynamic_rtree_ms']:.1f}ms packed={entry['packed_rtree_ms']:.1f}ms "
+        f"speedup={entry['speedup']:.1f}x{nearest_text}"
+    )
+EOF
+echo "trajectory written to BENCH_coldstart.json:"
+python - <<'EOF'
+import json
+from pathlib import Path
+
+history = json.loads(Path("BENCH_coldstart.json").read_text())
+for entry in history[-4:]:
+    print(
+        f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
+        f"rebuild={entry['rebuild_open_ms']:.1f}ms restore={entry['restore_open_ms']:.1f}ms "
         f"speedup={entry['speedup']:.1f}x"
     )
 EOF

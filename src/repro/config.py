@@ -166,6 +166,19 @@ class StorageConfig:
     path:
         Directory (file backend) or database file (sqlite backend); ``None``
         selects a temporary location.
+    index_pages:
+        Persist the packed spatial index as versioned BLOB pages when saving
+        to SQLite, and restore from those pages (instead of re-packing from
+        rows) when loading — the zero-rebuild cold-start path.  Opt out with
+        ``False`` to always rebuild indexes from rows on load.
+    lazy_secondary_indexes:
+        Build the node-id B+-trees and the label tries on first use instead of
+        at load time, so window-query-only workloads never pay for them.
+        ``False`` restores the eager build-at-load behaviour.
+    cache_capacity:
+        Per-table LRU bound on each of the row-level caches (decoded segments,
+        flat endpoint coordinates, JSON fragments), in rows.  ``0`` means
+        unbounded.
     """
 
     backend: str = "memory"
@@ -174,6 +187,9 @@ class StorageConfig:
     rtree_bulk_load: bool = True
     btree_order: int = 64
     path: str | None = None
+    index_pages: bool = True
+    lazy_secondary_indexes: bool = True
+    cache_capacity: int = 65536
 
     def __post_init__(self) -> None:
         if self.backend not in {"memory", "file", "sqlite"}:
@@ -188,6 +204,8 @@ class StorageConfig:
             raise ConfigurationError("rtree_max_entries must be >= 4")
         if self.btree_order < 3:
             raise ConfigurationError("btree_order must be >= 3")
+        if self.cache_capacity < 0:
+            raise ConfigurationError("cache_capacity must be >= 0 (0 = unbounded)")
 
 
 @dataclass(frozen=True)

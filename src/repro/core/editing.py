@@ -135,6 +135,21 @@ class GraphEditor:
         }))
         return row
 
+    def repack(self) -> bool:
+        """Re-pack the layer's spatial index after a burst of edits.
+
+        Edits demote the table to the dynamic R-tree; once the user's editing
+        session quiesces, calling this rebuilds the immutable packed index
+        over the current rows, re-enabling the zero-copy window-query
+        pipeline (and making the index persistable again as a SQLite page).
+        Returns ``True`` if the active index actually changed.
+        """
+        changed = self._table().repack()
+        self.journal.append(EditOperation("repack", {
+            "rows": self._table().num_rows, "changed": changed,
+        }))
+        return changed
+
     def delete_edge(self, source_id: int, target_id: int) -> int:
         """Delete every edge row between the two nodes; return rows removed."""
         table = self._table()

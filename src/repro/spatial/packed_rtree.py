@@ -29,6 +29,9 @@ tree when the Edit panel needs to change geometry.
 from __future__ import annotations
 
 import heapq
+import struct
+import sys
+import zlib
 from array import array
 from typing import Iterable, Iterator
 
@@ -36,7 +39,19 @@ from ..errors import SpatialIndexError
 from .geometry import Point, Rect
 from .rtree import RTreeStats
 
-__all__ = ["PackedRTree", "hilbert_d"]
+__all__ = ["PackedRTree", "hilbert_d", "PACKED_PAGE_VERSION"]
+
+#: Version of the :meth:`PackedRTree.to_bytes` page format.  Bump on any layout
+#: change; :meth:`PackedRTree.from_bytes` rejects other versions so persisted
+#: pages from an incompatible build fall back to an index rebuild.
+PACKED_PAGE_VERSION = 1
+
+#: Page header: magic, version, flags (bit 0: little-endian payload),
+#: max_entries, num_entries, num_nodes, num_leaves, height, CRC-32 of the
+#: column payload (everything after the header).
+_PAGE_MAGIC = b"GVPR"
+_PAGE_HEADER = struct.Struct("<4sHHIQQQQI")
+_FLAG_LITTLE_ENDIAN = 1
 
 #: Resolution (bits per axis) of the Hilbert curve used for the packing order.
 _HILBERT_ORDER = 16
@@ -217,6 +232,166 @@ class PackedRTree:
             entry_start.tolist(),
             entry_end.tolist(),
         )
+
+    # ------------------------------------------------------------- persistence
+
+    def to_bytes(self) -> bytes:
+        """Serialise the tree into one flat, versioned page (see docs/persistence.md).
+
+        The page is the versioned header followed by every structure-of-arrays
+        column as its raw ``array.tobytes()`` buffer, in a fixed order:
+        entry coordinates (x0, y0, x1, y1), items, node coordinates
+        (x0, y0, x1, y1), then topology (child_first, child_count,
+        entry_start, entry_end).  Items must be integers (the storage layer
+        stores row ids); anything else raises :class:`SpatialIndexError`.
+        """
+        try:
+            items = array("q", self._items)
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise SpatialIndexError(
+                "only trees whose items are 64-bit integers can be serialised"
+            ) from exc
+        flags = _FLAG_LITTLE_ENDIAN if sys.byteorder == "little" else 0
+        body = b"".join((
+            self._ex0.tobytes(),
+            self._ey0.tobytes(),
+            self._ex1.tobytes(),
+            self._ey1.tobytes(),
+            items.tobytes(),
+            self._nx0.tobytes(),
+            self._ny0.tobytes(),
+            self._nx1.tobytes(),
+            self._ny1.tobytes(),
+            self._child_first.tobytes(),
+            self._child_count.tobytes(),
+            self._entry_start.tobytes(),
+            self._entry_end.tobytes(),
+        ))
+        header = _PAGE_HEADER.pack(
+            _PAGE_MAGIC,
+            PACKED_PAGE_VERSION,
+            flags,
+            self.max_entries,
+            len(self._items),
+            len(self._nx0),
+            self._num_leaves,
+            self._height,
+            zlib.crc32(body),
+        )
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "PackedRTree":
+        """Reconstruct a tree from :meth:`to_bytes` output without re-packing.
+
+        This is the zero-rebuild cold-start path: every column is restored
+        with ``array.frombytes`` (an O(n) memory copy; byte-swapped when the
+        page was written on a machine of the other endianness), and the
+        query-mirror lists are rebuilt with ``tolist``.  Malformed input —
+        wrong magic, unknown version, truncated or oversized payload,
+        inconsistent counts — raises :class:`SpatialIndexError` so callers can
+        fall back to rebuilding from rows.
+        """
+        if len(blob) < _PAGE_HEADER.size:
+            raise SpatialIndexError("packed index page is truncated")
+        (
+            magic,
+            version,
+            flags,
+            max_entries,
+            num_entries,
+            num_nodes,
+            num_leaves,
+            height,
+            checksum,
+        ) = _PAGE_HEADER.unpack_from(blob, 0)
+        if magic != _PAGE_MAGIC:
+            raise SpatialIndexError("not a packed index page (bad magic)")
+        if version != PACKED_PAGE_VERSION:
+            raise SpatialIndexError(
+                f"unsupported packed index page version {version}"
+            )
+        if max_entries < 4:
+            raise SpatialIndexError("packed index page has invalid max_entries")
+        if num_leaves > num_nodes or (num_entries > 0) != (num_nodes > 0):
+            raise SpatialIndexError("packed index page has inconsistent counts")
+        expected = _PAGE_HEADER.size + 8 * (5 * num_entries + 8 * num_nodes)
+        if len(blob) != expected:
+            raise SpatialIndexError(
+                f"packed index page has {len(blob)} bytes, expected {expected}"
+            )
+        if zlib.crc32(blob[_PAGE_HEADER.size:]) != checksum:
+            raise SpatialIndexError("packed index page checksum mismatch")
+
+        tree = cls(max_entries=max_entries)
+        view = memoryview(blob)
+        offset = _PAGE_HEADER.size
+        swap = bool(flags & _FLAG_LITTLE_ENDIAN) != (sys.byteorder == "little")
+
+        def take(column: array, count: int) -> array:
+            nonlocal offset
+            column.frombytes(view[offset:offset + 8 * count])
+            offset += 8 * count
+            if swap:
+                column.byteswap()
+            return column
+
+        take(tree._ex0, num_entries)
+        take(tree._ey0, num_entries)
+        take(tree._ex1, num_entries)
+        take(tree._ey1, num_entries)
+        tree._items = take(array("q"), num_entries).tolist()
+        take(tree._nx0, num_nodes)
+        take(tree._ny0, num_nodes)
+        take(tree._nx1, num_nodes)
+        take(tree._ny1, num_nodes)
+        take(tree._child_first, num_nodes)
+        take(tree._child_count, num_nodes)
+        take(tree._entry_start, num_nodes)
+        take(tree._entry_end, num_nodes)
+        tree._num_leaves = num_leaves
+        tree._height = height
+
+        # The checksum catches storage-level corruption; this O(num_nodes)
+        # bounds check additionally guarantees that every traversal index the
+        # query paths follow stays inside the restored columns, so a page a
+        # checksum cannot vouch for (e.g. written by a buggy producer) fails
+        # here instead of raising IndexError mid-query.
+        child_first, child_count = tree._child_first, tree._child_count
+        entry_start, entry_end = tree._entry_start, tree._entry_end
+        for i in range(num_nodes):
+            first = child_first[i]
+            count = child_count[i]
+            if count < 1 or count > max_entries or first < 0:
+                raise SpatialIndexError(f"packed index page: node {i} fan-out invalid")
+            limit = num_entries if i < num_leaves else i
+            if first + count > limit:
+                raise SpatialIndexError(
+                    f"packed index page: node {i} children out of bounds"
+                )
+            if not 0 <= entry_start[i] <= entry_end[i] <= num_entries:
+                raise SpatialIndexError(
+                    f"packed index page: node {i} entry range invalid"
+                )
+        tree._q_nodes = (
+            tree._nx0.tolist(),
+            tree._ny0.tolist(),
+            tree._nx1.tolist(),
+            tree._ny1.tolist(),
+        )
+        tree._q_entries = (
+            tree._ex0.tolist(),
+            tree._ey0.tolist(),
+            tree._ex1.tolist(),
+            tree._ey1.tolist(),
+        )
+        tree._q_topology = (
+            tree._child_first.tolist(),
+            tree._child_count.tolist(),
+            tree._entry_start.tolist(),
+            tree._entry_end.tolist(),
+        )
+        return tree
 
     # ----------------------------------------------------------------- sizing
 

@@ -76,6 +76,8 @@ class GraphVizDatabase:
             rtree_max_entries=self.config.rtree_max_entries,
             btree_order=self.config.btree_order,
             index_kind=self.config.index_kind,
+            lazy_secondary_indexes=self.config.lazy_secondary_indexes,
+            cache_capacity=self.config.cache_capacity,
         )
         self._tables[layer] = table
         return table
@@ -127,7 +129,14 @@ class GraphVizDatabase:
     # ------------------------------------------------------------------- stats
 
     def storage_summary(self) -> dict[str, object]:
-        """Return a per-layer summary used by the Statistics panel and EXPERIMENTS.md."""
+        """Return a per-layer summary used by the Statistics panel and EXPERIMENTS.md.
+
+        The summary names the *active* spatial index per layer — ``"packed"``
+        for the immutable flat index, ``"rtree"`` for the dynamic tree a table
+        demotes to after edits — instead of pretending every table runs the
+        dynamic R-tree.  Lazily-deferred secondary indexes are reported as
+        such rather than force-built just to read their height.
+        """
         layers_summary = []
         for layer in self.layers():
             table = self._tables[layer]
@@ -135,10 +144,20 @@ class GraphVizDatabase:
             layers_summary.append({
                 "layer": layer,
                 "rows": table.num_rows,
-                "distinct_nodes": len(table.distinct_node_ids()),
+                "index": "rtree" if table.rtree.supports_updates else "packed",
                 "rtree_height": rtree_stats.height,
                 "rtree_nodes": rtree_stats.num_nodes,
-                "btree_height": table.node1_index.height(),
+                "btree_height": (
+                    table.node1_index.height() if table.node_indexes_built else None
+                ),
+                "distinct_nodes": (
+                    len(table.distinct_node_ids())
+                    if table.node_indexes_built
+                    else None
+                ),
+                "secondary_indexes": (
+                    "built" if table.node_indexes_built else "lazy"
+                ),
             })
         return {
             "name": self.name,

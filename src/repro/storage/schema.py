@@ -72,6 +72,28 @@ class EdgeRow:
         segment = self.segment()
         return segment.start, segment.end
 
+    def to_record(self) -> tuple:
+        """Return the row as a flat tuple: ``row_id`` followed by :data:`COLUMNS`.
+
+        This is the canonical wire order shared by the SQLite backend's
+        INSERT/SELECT statements and the row-content fingerprint
+        (:class:`repro.storage.serialization.RowContentHasher`).
+        """
+        return (
+            self.row_id,
+            self.node1_id,
+            self.node1_label,
+            self.edge_geometry,
+            self.edge_label,
+            self.node2_id,
+            self.node2_label,
+        )
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "EdgeRow":
+        """Build a row from a :meth:`to_record` tuple (dataclass field order)."""
+        return cls(*record)
+
     def as_dict(self) -> dict[str, object]:
         """Return the row as a plain dictionary (geometry kept as bytes)."""
         return {

@@ -13,17 +13,68 @@ The format is:
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from typing import BinaryIO, Iterator
 
 from ..errors import StorageError
 from .schema import EdgeRow
 
-__all__ = ["encode_row", "decode_row", "write_rows", "read_rows"]
+__all__ = [
+    "encode_row",
+    "decode_row",
+    "write_rows",
+    "read_rows",
+    "RowContentHasher",
+]
 
 _HEADER = struct.Struct("<QqqI")  # row_id, node1_id, node2_id, payload length marker
 _LENGTH_PREFIX = struct.Struct("<I")
 _FIELD_PREFIX = struct.Struct("<H")
+
+_FP_IDS = struct.Struct("<qqq")  # row_id, node1_id, node2_id
+_FP_LEN = struct.Struct("<I")
+_FP_COUNT = struct.Struct("<Q")
+
+
+class RowContentHasher:
+    """Order-sensitive fingerprint over row records.
+
+    Used by the SQLite backend to detect whether a persisted packed-index page
+    still matches the rows it was built from: the save path hashes each record
+    as it is inserted, the load path hashes each record as it is fetched, and
+    the two digests agree exactly when row content, order and count are
+    unchanged.  Records are the 7-tuples of
+    :meth:`repro.storage.schema.EdgeRow.to_record`.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of records hashed so far."""
+        return self._count
+
+    def update(self, record: tuple) -> None:
+        """Fold one row record into the fingerprint."""
+        row_id, node1_id, node1_label, geometry, edge_label, node2_id, node2_label = record
+        update = self._hash.update
+        update(_FP_IDS.pack(row_id, node1_id, node2_id))
+        for text in (node1_label, edge_label, node2_label):
+            data = text.encode("utf-8")
+            update(_FP_LEN.pack(len(data)))
+            update(data)
+        update(_FP_LEN.pack(len(geometry)))
+        update(geometry)
+        self._count += 1
+
+    def hexdigest(self) -> str:
+        """Return the fingerprint of everything hashed so far (count included)."""
+        closing = self._hash.copy()
+        closing.update(_FP_COUNT.pack(self._count))
+        return closing.hexdigest()
 
 
 def _pack_field(value: bytes) -> bytes:

@@ -4,21 +4,43 @@ The original system stores everything in MySQL.  For deployments that want a
 durable single-file database instead of the in-memory/file row stores, this
 module round-trips a :class:`~repro.storage.database.GraphVizDatabase` to SQLite
 (standard library ``sqlite3``), one table per layer with exactly the paper's
-six-attribute schema.  On load, the in-memory indexes (R-tree, B+-trees, tries)
-are rebuilt, mirroring how MySQL materialises its indexes from the table data.
+six-attribute schema.
+
+The paper's offline preprocessing exists so the online system never pays
+indexing cost at query time; accordingly, opening a preprocessed database is a
+*deserialisation* problem here, not an indexing problem.  ``save_to_sqlite``
+persists each layer's packed spatial index as a versioned BLOB page in
+``layer_index_pages`` alongside a fingerprint of the layer's row content;
+``load_from_sqlite`` restores the index from that page with a flat
+``frombytes`` copy and installs it via
+:meth:`~repro.storage.table.LayerTable.attach_packed_index`, falling back to a
+full rebuild from rows when pages are absent, stale (fingerprint mismatch) or
+version-incompatible.  Secondary indexes (B+-trees, tries) are not persisted at
+all — with ``StorageConfig.lazy_secondary_indexes`` they are built on first
+use, so a window-query-only workload never pays for them.  See
+``docs/persistence.md`` for the on-disk format.
 """
 
 from __future__ import annotations
 
 import sqlite3
+from contextlib import closing
 from pathlib import Path
 
 from ..config import StorageConfig
-from ..errors import StorageError
+from ..errors import SpatialIndexError, StorageError
+from ..spatial.packed_rtree import PACKED_PAGE_VERSION, PackedRTree
 from .database import GraphVizDatabase
 from .schema import EdgeRow
+from .serialization import RowContentHasher
 
 __all__ = ["save_to_sqlite", "load_from_sqlite"]
+
+#: Rows fetched per cursor round-trip when loading a layer.
+_FETCH_CHUNK = 4096
+
+#: ``layer_index_pages.kind`` value for the packed spatial index page.
+_PACKED_KIND = "packed_rtree"
 
 _CREATE_META = """
 CREATE TABLE IF NOT EXISTS graphvizdb_meta (
@@ -44,52 +66,160 @@ _CREATE_LAYER_INDEXES = (
     "CREATE INDEX IF NOT EXISTS idx_layer_{layer}_node2 ON layer_{layer}(node2_id)",
 )
 
+_CREATE_PAGES = """
+CREATE TABLE IF NOT EXISTS layer_index_pages (
+    layer INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    version INTEGER NOT NULL,
+    fingerprint TEXT NOT NULL,
+    payload BLOB NOT NULL,
+    PRIMARY KEY (layer, kind)
+)
+"""
+
+_SELECT_ROWS = (
+    "SELECT row_id, node1_id, node1_label, edge_geometry, edge_label, "
+    "node2_id, node2_label FROM layer_{layer} ORDER BY row_id"
+)
+
 
 def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> None:
-    """Persist every layer of ``database`` into a SQLite file at ``path``."""
+    """Persist every layer of ``database`` into a SQLite file at ``path``.
+
+    Rows are written in one transaction per call (WAL journal,
+    ``synchronous=NORMAL``) with a single ``executemany`` per layer.  When the
+    layer's active spatial index is a packed tree and
+    ``database.config.index_pages`` is on, the index is serialised into
+    ``layer_index_pages`` together with the fingerprint of the rows it covers,
+    so the next :func:`load_from_sqlite` can skip the re-pack entirely.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with sqlite3.connect(path) as connection:
-        cursor = connection.cursor()
-        cursor.execute(_CREATE_META)
-        cursor.execute(
-            "INSERT OR REPLACE INTO graphvizdb_meta(key, value) VALUES (?, ?)",
-            ("name", database.name),
-        )
-        cursor.execute(
-            "INSERT OR REPLACE INTO graphvizdb_meta(key, value) VALUES (?, ?)",
-            ("layers", ",".join(str(layer) for layer in database.layers())),
-        )
-        for layer in database.layers():
-            cursor.execute(_CREATE_LAYER.format(layer=layer))
-            for statement in _CREATE_LAYER_INDEXES:
-                cursor.execute(statement.format(layer=layer))
-            cursor.execute(f"DELETE FROM layer_{layer}")
-            cursor.executemany(
-                f"INSERT INTO layer_{layer} VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (
-                    (
-                        row.row_id,
-                        row.node1_id,
-                        row.node1_label,
-                        row.edge_geometry,
-                        row.edge_label,
-                        row.node2_id,
-                        row.node2_label,
-                    )
-                    for row in database.table(layer).scan()
-                ),
+    with closing(sqlite3.connect(path)) as connection:
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        with connection:  # one transaction for the whole save
+            cursor = connection.cursor()
+            cursor.execute(_CREATE_META)
+            cursor.execute(_CREATE_PAGES)
+            cursor.execute(
+                "INSERT OR REPLACE INTO graphvizdb_meta(key, value) VALUES (?, ?)",
+                ("name", database.name),
             )
-        connection.commit()
+            cursor.execute(
+                "INSERT OR REPLACE INTO graphvizdb_meta(key, value) VALUES (?, ?)",
+                ("layers", ",".join(str(layer) for layer in database.layers())),
+            )
+            for layer in database.layers():
+                cursor.execute(_CREATE_LAYER.format(layer=layer))
+                for statement in _CREATE_LAYER_INDEXES:
+                    cursor.execute(statement.format(layer=layer))
+                cursor.execute(f"DELETE FROM layer_{layer}")
+                cursor.execute(
+                    "DELETE FROM layer_index_pages WHERE layer = ?", (layer,)
+                )
+                table = database.table(layer)
+                hasher = RowContentHasher()
+
+                def records():
+                    for row in table.scan():
+                        record = row.to_record()
+                        hasher.update(record)
+                        yield record
+
+                cursor.executemany(
+                    f"INSERT INTO layer_{layer} VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    records(),
+                )
+                _save_index_page(cursor, database, layer, hasher)
+
+
+def _save_index_page(
+    cursor: sqlite3.Cursor,
+    database: GraphVizDatabase,
+    layer: int,
+    hasher: RowContentHasher,
+) -> None:
+    """Persist the layer's packed index page, if one can be written.
+
+    Skipped when pages are disabled, when the table runs the dynamic R-tree
+    (e.g. after Edit-panel mutations demoted it — ``repack()`` first to get
+    the page back), or when the index cannot be serialised; the loader then
+    simply rebuilds from rows.
+    """
+    if not database.config.index_pages:
+        return
+    tree = database.table(layer).rtree
+    if not isinstance(tree, PackedRTree) or len(tree) != hasher.count:
+        return
+    try:
+        payload = tree.to_bytes()
+    except SpatialIndexError:
+        return
+    cursor.execute(
+        "INSERT OR REPLACE INTO layer_index_pages(layer, kind, version, "
+        "fingerprint, payload) VALUES (?, ?, ?, ?, ?)",
+        (layer, _PACKED_KIND, PACKED_PAGE_VERSION, hasher.hexdigest(), payload),
+    )
+
+
+def _load_index_pages(cursor: sqlite3.Cursor) -> dict[int, tuple[int, str, bytes]]:
+    """Read every current-version packed-index page, keyed by layer.
+
+    Version-incompatible pages are filtered out here so the row loop never
+    bothers fingerprinting a layer whose page is doomed anyway.  Databases
+    written before pages existed have no ``layer_index_pages`` table; they
+    load fine through the rebuild path.
+    """
+    try:
+        cursor.execute(
+            "SELECT layer, version, fingerprint, payload FROM layer_index_pages "
+            "WHERE kind = ? AND version = ?",
+            (_PACKED_KIND, PACKED_PAGE_VERSION),
+        )
+    except sqlite3.OperationalError:
+        return {}
+    return {
+        record[0]: (record[1], record[2], record[3]) for record in cursor.fetchall()
+    }
+
+
+def _restore_packed_index(
+    page: tuple[int, str, bytes] | None,
+    fingerprint: str,
+    num_rows: int,
+) -> PackedRTree | None:
+    """Deserialise a page when it is present, current and content-matched."""
+    if page is None:
+        return None
+    version, page_fingerprint, payload = page
+    if version != PACKED_PAGE_VERSION or page_fingerprint != fingerprint:
+        return None
+    try:
+        tree = PackedRTree.from_bytes(payload)
+    except SpatialIndexError:
+        return None
+    if len(tree) != num_rows:
+        return None
+    return tree
 
 
 def load_from_sqlite(path: str | Path, config: StorageConfig | None = None) -> GraphVizDatabase:
-    """Load a SQLite file written by :func:`save_to_sqlite` and rebuild indexes."""
+    """Load a SQLite file written by :func:`save_to_sqlite`.
+
+    Cold start is I/O-bound by design: rows stream in chunked batches off a
+    single ordered SELECT per layer, and when a valid packed-index page exists
+    the spatial index is restored with a flat ``frombytes`` copy instead of an
+    O(n log n) re-pack.  The rebuild path remains as the fallback for missing,
+    stale or version-mismatched pages (and for ``index_kind="rtree"`` or
+    ``index_pages=False`` configurations).
+    """
     path = Path(path)
     if not path.exists():
         raise StorageError(f"SQLite database {path} does not exist")
     config = config or StorageConfig()
-    with sqlite3.connect(path) as connection:
+    restore_wanted = config.index_pages and config.index_kind == "packed"
+    with closing(sqlite3.connect(path)) as connection:
         cursor = connection.cursor()
         try:
             cursor.execute("SELECT value FROM graphvizdb_meta WHERE key = 'name'")
@@ -101,23 +231,34 @@ def load_from_sqlite(path: str | Path, config: StorageConfig | None = None) -> G
         database = GraphVizDatabase(name=name_row[0] if name_row else "", config=config)
         if not layers_row or not layers_row[0]:
             return database
+        pages = _load_index_pages(cursor) if restore_wanted else {}
+        from_record = EdgeRow.from_record
         for layer_text in layers_row[0].split(","):
             layer = int(layer_text)
-            cursor.execute(
-                f"SELECT row_id, node1_id, node1_label, edge_geometry, edge_label, "
-                f"node2_id, node2_label FROM layer_{layer} ORDER BY row_id"
+            page = pages.get(layer)
+            cursor.execute(_SELECT_ROWS.format(layer=layer))
+            rows: list[EdgeRow] = []
+            append = rows.append
+            hasher = RowContentHasher() if page is not None else None
+            while True:
+                chunk = cursor.fetchmany(_FETCH_CHUNK)
+                if not chunk:
+                    break
+                if hasher is not None:
+                    update = hasher.update
+                    for record in chunk:
+                        update(record)
+                        append(from_record(record))
+                else:
+                    for record in chunk:
+                        append(from_record(record))
+            tree = (
+                _restore_packed_index(page, hasher.hexdigest(), len(rows))
+                if hasher is not None
+                else None
             )
-            rows = [
-                EdgeRow(
-                    row_id=record[0],
-                    node1_id=record[1],
-                    node1_label=record[2],
-                    edge_geometry=record[3],
-                    edge_label=record[4],
-                    node2_id=record[5],
-                    node2_label=record[6],
-                )
-                for record in cursor.fetchall()
-            ]
-            database.load_layer(layer, rows)
+            if tree is not None:
+                database.create_layer(layer).attach_packed_index(tree, rows=rows)
+            else:
+                database.load_layer(layer, rows)
     return database

@@ -27,7 +27,38 @@ from ..spatial.trie import FullTextIndex
 from .schema import EdgeRow
 from .serialization import read_rows, write_rows
 
-__all__ = ["MemoryRowStore", "FileRowStore", "LayerTable"]
+__all__ = ["MemoryRowStore", "FileRowStore", "LayerTable", "LRUCache"]
+
+class LRUCache(dict):
+    """A ``dict`` bounded by write-time LRU eviction.
+
+    Subclasses ``dict`` (rather than wrapping one) so the zero-copy payload
+    builder's ``isinstance(fragments, dict)`` fast path keeps working when a
+    table's fragment cache is bounded.  ``capacity <= 0`` disables eviction,
+    reducing the cache to a plain dict.
+
+    Reads (``get`` / ``[]``) are *not* overridden: the per-row caches sit on
+    the hottest query paths, and replacing the C-level ``dict.get`` with a
+    Python method measurably taxes every warm window query.  Recency is
+    therefore tracked on writes only — eviction order is dict insertion
+    order, and a write to an existing key re-inserts it at the back.  An
+    entry that is evicted while still hot is simply re-cached on its next
+    miss, so this approximates LRU without touching the read path.
+    """
+
+    __slots__ = ("capacity",)
+
+    def __init__(self, capacity: int = 0) -> None:
+        super().__init__()
+        self.capacity = capacity
+
+    def __setitem__(self, key, value) -> None:
+        if self.capacity > 0:
+            if dict.__contains__(self, key):
+                dict.__delitem__(self, key)
+            elif len(self) >= self.capacity:
+                dict.__delitem__(self, next(iter(self)))
+        dict.__setitem__(self, key, value)
 
 
 class MemoryRowStore:
@@ -49,6 +80,10 @@ class MemoryRowStore:
             return self._rows[row_id]
         except KeyError:
             raise StorageError(f"row {row_id} does not exist") from None
+
+    def contains(self, row_id: int) -> bool:
+        """Return ``True`` if a row with this id is stored."""
+        return row_id in self._rows
 
     def delete(self, row_id: int) -> None:
         """Delete a row by id."""
@@ -120,6 +155,10 @@ class FileRowStore:
 
         return decode_row(record)
 
+    def contains(self, row_id: int) -> bool:
+        """Return ``True`` if a live row with this id is stored."""
+        return row_id in self._offsets
+
     def delete(self, row_id: int) -> None:
         """Drop the row from the offset map (space reclaimed on compaction)."""
         if row_id not in self._offsets:
@@ -161,6 +200,14 @@ class LayerTable:
         ``"rtree"`` (dynamic, default for hand-built tables) or ``"packed"``
         (immutable flat-array index built on bulk load; the table demotes to a
         dynamic tree automatically when a row is inserted, updated or deleted).
+    lazy_secondary_indexes:
+        When ``True``, the node-id B+-trees and the label tries are not
+        populated at load time; they are built from the row store on first
+        use (node lookup, keyword search, or property access).  Mutations
+        while an index is unbuilt are simply absorbed by the later
+        build-from-store, so results are identical either way.
+    cache_capacity:
+        LRU bound (in rows) on each per-row cache; ``0`` means unbounded.
     """
 
     def __init__(
@@ -170,6 +217,8 @@ class LayerTable:
         rtree_max_entries: int = 32,
         btree_order: int = 64,
         index_kind: str = "rtree",
+        lazy_secondary_indexes: bool = False,
+        cache_capacity: int = 0,
     ) -> None:
         if index_kind not in {"rtree", "packed"}:
             raise StorageError(f"unknown index kind {index_kind!r}")
@@ -178,19 +227,136 @@ class LayerTable:
         self.rtree_max_entries = rtree_max_entries
         self.btree_order = btree_order
         self.index_kind = index_kind
+        self.lazy_secondary_indexes = lazy_secondary_indexes
+        self.cache_capacity = cache_capacity
         self.rtree: RTree | PackedRTree = RTree(max_entries=rtree_max_entries)
-        self.node1_index = BPlusTree(order=btree_order)
-        self.node2_index = BPlusTree(order=btree_order)
-        self.node_label_index = FullTextIndex()
-        self.edge_label_index = FullTextIndex()
+        # Secondary indexes: ``None`` means "not built yet" (lazy mode); the
+        # public accessors below build them from the row store on first use.
+        self._node1_index: BPlusTree | None = None
+        self._node2_index: BPlusTree | None = None
+        self._node_label_index: FullTextIndex | None = None
+        self._edge_label_index: FullTextIndex | None = None
+        if not lazy_secondary_indexes:
+            # Eager mode starts from empty indexes (the seed behaviour): rows
+            # are indexed as they are inserted/bulk-loaded, never re-derived
+            # from a pre-existing on-disk store at construction time.
+            self._node1_index = BPlusTree(order=btree_order)
+            self._node2_index = BPlusTree(order=btree_order)
+            self._node_label_index = FullTextIndex()
+            self._edge_label_index = FullTextIndex()
         self._next_row_id = 0
         # Per-row caches for the zero-copy query pipeline: decoded geometry
         # segments and flat endpoint coordinates (used by the exact window
         # filter) and JSON fragments (used by the payload builder).  All are
-        # invalidated per row on mutation.
-        self._segment_cache: dict[int, LineSegment] = {}
-        self._coord_cache: dict[int, tuple[float, float, float, float]] = {}
-        self.fragment_cache: dict[int, object] = {}
+        # invalidated per row on mutation and LRU-bounded by cache_capacity.
+        self._segment_cache: LRUCache = LRUCache(cache_capacity)
+        self._coord_cache: LRUCache = LRUCache(cache_capacity)
+        self.fragment_cache: LRUCache = LRUCache(cache_capacity)
+
+    # ------------------------------------------------------- secondary indexes
+
+    @property
+    def node_indexes_built(self) -> bool:
+        """``True`` when the node-id B+-trees are materialised."""
+        return self._node1_index is not None
+
+    @property
+    def label_indexes_built(self) -> bool:
+        """``True`` when the label tries are materialised."""
+        return self._node_label_index is not None
+
+    @property
+    def node1_index(self) -> BPlusTree:
+        """B+-tree on ``node1_id`` (built from the store on first access)."""
+        self._ensure_node_indexes()
+        return self._node1_index
+
+    @property
+    def node2_index(self) -> BPlusTree:
+        """B+-tree on ``node2_id`` (built from the store on first access)."""
+        self._ensure_node_indexes()
+        return self._node2_index
+
+    @property
+    def node_label_index(self) -> FullTextIndex:
+        """Trie over node labels (built from the store on first access)."""
+        self._ensure_label_indexes()
+        return self._node_label_index
+
+    @property
+    def edge_label_index(self) -> FullTextIndex:
+        """Trie over edge labels (built from the store on first access)."""
+        self._ensure_label_indexes()
+        return self._edge_label_index
+
+    @staticmethod
+    def _index_row_secondary(
+        row: EdgeRow,
+        node1: BPlusTree | None,
+        node2: BPlusTree | None,
+        node_labels: FullTextIndex | None,
+        edge_labels: FullTextIndex | None,
+    ) -> None:
+        """Add one row to whichever secondary indexes are given.
+
+        The single source of truth for the row-to-secondary-index mapping:
+        incremental maintenance and every lazy/eager build-from-store path go
+        through here, so the indexing rules cannot drift apart.
+        """
+        if node1 is not None:
+            node1.insert(row.node1_id, row.row_id)
+            node2.insert(row.node2_id, row.row_id)
+        if node_labels is not None:
+            if row.node1_label:
+                node_labels.add(("n1", row.row_id), row.node1_label)
+            if row.node2_label and not row.is_node_row():
+                node_labels.add(("n2", row.row_id), row.node2_label)
+            if row.edge_label:
+                edge_labels.add(row.row_id, row.edge_label)
+
+    def _ensure_node_indexes(self) -> None:
+        if self._node1_index is not None:
+            return
+        node1 = BPlusTree(order=self.btree_order)
+        node2 = BPlusTree(order=self.btree_order)
+        for row in self.store.scan():
+            self._index_row_secondary(row, node1, node2, None, None)
+        self._node1_index = node1
+        self._node2_index = node2
+
+    def _ensure_label_indexes(self) -> None:
+        if self._node_label_index is not None:
+            return
+        node_labels = FullTextIndex()
+        edge_labels = FullTextIndex()
+        for row in self.store.scan():
+            self._index_row_secondary(row, None, None, node_labels, edge_labels)
+        self._node_label_index = node_labels
+        self._edge_label_index = edge_labels
+
+    def _reset_secondary_indexes(self) -> None:
+        """Discard the secondary indexes; they rebuild from the store on use.
+
+        In eager mode all four are rebuilt immediately in a single pass over
+        the store (a ``FileRowStore`` scan decodes every row, so one pass
+        matters on the cold-start path).
+        """
+        self._node1_index = None
+        self._node2_index = None
+        self._node_label_index = None
+        self._edge_label_index = None
+        if self.lazy_secondary_indexes:
+            return
+        node1 = BPlusTree(order=self.btree_order)
+        node2 = BPlusTree(order=self.btree_order)
+        node_labels = FullTextIndex()
+        edge_labels = FullTextIndex()
+        for row in self.store.scan():
+            self._index_row_secondary(row, node1, node2, node_labels, edge_labels)
+        self._node1_index = node1
+        self._node2_index = node2
+        self._node_label_index = node_labels
+        self._edge_label_index = edge_labels
 
     # ------------------------------------------------------------------ sizing
 
@@ -260,22 +426,92 @@ class LayerTable:
             max_entries=self.rtree_max_entries,
         )
 
+    def attach_packed_index(
+        self, tree: PackedRTree, rows: Iterable[EdgeRow] | None = None
+    ) -> None:
+        """Install a deserialised packed index without re-indexing any row.
+
+        This is the zero-rebuild cold-start path: ``rows`` (when given) are
+        placed into the row store with no per-row index maintenance, ``tree``
+        becomes the active spatial index, and the secondary indexes are left
+        to the lazy build-from-store gate (or rebuilt immediately in eager
+        mode).  The caller is responsible for ``tree`` having been built over
+        exactly these rows — the SQLite backend enforces that with a
+        content fingerprint; as a last line of defence the entry count is
+        checked here.
+        """
+        # Validate the count BEFORE mutating anything, so a mismatched tree
+        # leaves the table exactly as it was (no rows without index entries).
+        if rows is not None:
+            rows = list(rows)
+            new_ids = {row.row_id for row in rows}
+            contains = self.store.contains
+            projected = len(self.store) + sum(
+                1 for row_id in new_ids if not contains(row_id)
+            )
+        else:
+            projected = len(self.store)
+        if len(tree) != projected:
+            raise StorageError(
+                f"packed index covers {len(tree)} rows but the store would hold "
+                f"{projected}"
+            )
+        if rows is not None:
+            put = self.store.put
+            next_id = self._next_row_id
+            for row in rows:
+                put(row)
+                if row.row_id >= next_id:
+                    next_id = row.row_id + 1
+            self._next_row_id = next_id
+        self.rtree = tree
+        self.index_kind = "packed"
+        self._segment_cache.clear()
+        self._coord_cache.clear()
+        self.fragment_cache.clear()
+        self._reset_secondary_indexes()
+
+    def repack(self) -> bool:
+        """Rebuild the packed spatial index from the current rows.
+
+        After Edit-panel mutations demote the table to the dynamic R-tree,
+        calling this (e.g. from :meth:`repro.core.editing.GraphEditor.repack`
+        once writes quiesce) re-packs the rows into the immutable flat index
+        and re-enables the zero-copy query pipeline.  Row-level caches are
+        kept: they are keyed by row id and invalidated per mutation, so they
+        are still exact.  Returns ``True`` when the active index changed.
+
+        Already-packed tables return ``False`` without rebuilding: mutations
+        always demote to the dynamic tree first, so a packed index is
+        necessarily current and a quiesce timer can call this unconditionally.
+        """
+        if not self.rtree.supports_updates:
+            return False
+        self.rtree = PackedRTree.bulk_load(
+            ((row.bounding_rect(), row.row_id) for row in self.store.scan()),
+            max_entries=self.rtree_max_entries,
+        )
+        self.index_kind = "packed"
+        return True
+
     def _invalidate_row_caches(self, row_id: int) -> None:
         self._segment_cache.pop(row_id, None)
         self._coord_cache.pop(row_id, None)
         self.fragment_cache.pop(row_id, None)
 
     def _index_row(self, row: EdgeRow, skip_rtree: bool = False) -> None:
+        # Unbuilt (lazy) secondary indexes are passed as None and skipped: the
+        # row is already in the store, so the eventual build-from-store picks
+        # it up.
         if not skip_rtree:
             self.rtree.insert(row.bounding_rect(), row.row_id)
-        self.node1_index.insert(row.node1_id, row.row_id)
-        self.node2_index.insert(row.node2_id, row.row_id)
-        if row.node1_label:
-            self.node_label_index.add(("n1", row.row_id), row.node1_label)
-        if row.node2_label and not row.is_node_row():
-            self.node_label_index.add(("n2", row.row_id), row.node2_label)
-        if row.edge_label:
-            self.edge_label_index.add(row.row_id, row.edge_label)
+        self._index_row_secondary(
+            row,
+            self._node1_index,
+            self._node2_index,
+            self._node_label_index,
+            self._edge_label_index,
+        )
 
     def next_row_id(self) -> int:
         """Return the next unused surrogate row id."""
@@ -292,11 +528,15 @@ class LayerTable:
         self.store.delete(row_id)
         self._invalidate_row_caches(row_id)
         self.rtree.delete(row.bounding_rect(), row_id)
-        self.node1_index.remove(row.node1_id, row_id)
-        self.node2_index.remove(row.node2_id, row_id)
-        self.node_label_index.remove(("n1", row_id))
-        self.node_label_index.remove(("n2", row_id))
-        self.edge_label_index.remove(row_id)
+        # Unbuilt (lazy) secondary indexes need no removal: the row is already
+        # gone from the store the eventual build scans.
+        if self._node1_index is not None:
+            self._node1_index.remove(row.node1_id, row_id)
+            self._node2_index.remove(row.node2_id, row_id)
+        if self._node_label_index is not None:
+            self._node_label_index.remove(("n1", row_id))
+            self._node_label_index.remove(("n2", row_id))
+            self._edge_label_index.remove(row_id)
 
     def update_row(self, row: EdgeRow) -> None:
         """Replace an existing row (same ``row_id``) and refresh the indexes."""
@@ -324,9 +564,6 @@ class LayerTable:
         if segment is None:
             segment = row.segment()
             self._segment_cache[row.row_id] = segment
-            self._coord_cache[row.row_id] = (
-                segment.start.x, segment.start.y, segment.end.x, segment.end.y
-            )
         return segment
 
     def window_query(self, window: Rect) -> list[EdgeRow]:
@@ -370,8 +607,13 @@ class LayerTable:
             row = get(row_id)  # type: ignore[arg-type]
             flat = coords_get(row_id)
             if flat is None:
-                segment_of(row)
-                flat = coords[row_id]
+                # Derive the flat coordinates from the (possibly cached)
+                # segment rather than reading the coord cache back: the two
+                # LRU caches evict independently, so a segment hit does not
+                # imply a coord entry.
+                segment = segment_of(row)
+                flat = (segment.start.x, segment.start.y, segment.end.x, segment.end.y)
+                coords[row_id] = flat
             x1, y1, x2, y2 = flat
             if (wx0 <= x1 <= wx1 and wy0 <= y1 <= wy1) or (
                 wx0 <= x2 <= wx1 and wy0 <= y2 <= wy1

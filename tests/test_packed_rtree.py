@@ -355,3 +355,140 @@ class TestZeroCopyPayload:
         fresh = QueryManager(database).window_query(window, layer=0)
         labels = {node["id"]: node["label"] for node in fresh.payload.nodes}
         assert labels[node_id] == "RENAMED"
+
+
+class TestPackedSerialization:
+    """to_bytes/from_bytes: the zero-rebuild persistence format."""
+
+    def _tree(self, seed: int = 3, count: int = 200) -> PackedRTree:
+        return PackedRTree.bulk_load(
+            random_rects(random.Random(seed), count), max_entries=8
+        )
+
+    def test_round_trip_is_query_identical(self):
+        tree = self._tree()
+        restored = PackedRTree.from_bytes(tree.to_bytes())
+        restored.check_invariants()
+        assert len(restored) == len(tree)
+        assert restored.stats() == tree.stats()
+        assert restored.bounds == tree.bounds
+        assert list(restored.all_items()) == list(tree.all_items())
+        rng = random.Random(11)
+        for _ in range(25):
+            x, y = rng.uniform(-600, 600), rng.uniform(-600, 600)
+            window = Rect(x, y, x + rng.uniform(0, 200), y + rng.uniform(0, 200))
+            assert restored.window_query(window) == tree.window_query(window)
+            assert restored.count_window(window) == tree.count_window(window)
+            point = Point(x, y)
+            assert restored.nearest(point, k=7) == tree.nearest(point, k=7)
+
+    def test_round_trip_bytes_are_stable(self):
+        """Serialising a restored tree reproduces the page byte-for-byte."""
+        page = self._tree().to_bytes()
+        assert PackedRTree.from_bytes(page).to_bytes() == page
+
+    def test_empty_tree_round_trip(self):
+        tree = PackedRTree.bulk_load([])
+        restored = PackedRTree.from_bytes(tree.to_bytes())
+        assert len(restored) == 0
+        assert restored.bounds is None
+        assert restored.window_query(Rect(-1, -1, 1, 1)) == []
+
+    def test_truncated_page_rejected(self):
+        page = self._tree().to_bytes()
+        with pytest.raises(SpatialIndexError):
+            PackedRTree.from_bytes(page[: len(page) - 9])
+        with pytest.raises(SpatialIndexError):
+            PackedRTree.from_bytes(page[:10])
+        with pytest.raises(SpatialIndexError):
+            PackedRTree.from_bytes(page + b"\x00")
+
+    def test_bad_magic_and_version_rejected(self):
+        page = bytearray(self._tree().to_bytes())
+        bad_magic = bytes(page)
+        bad_magic = b"XXXX" + bad_magic[4:]
+        with pytest.raises(SpatialIndexError):
+            PackedRTree.from_bytes(bad_magic)
+        bad_version = bytes(page[:4]) + (999).to_bytes(2, "little") + bytes(page[6:])
+        with pytest.raises(SpatialIndexError):
+            PackedRTree.from_bytes(bad_version)
+
+    def test_non_integer_items_not_serialisable(self):
+        tree = PackedRTree.bulk_load([(Rect(0, 0, 1, 1), "not-an-int")])
+        with pytest.raises(SpatialIndexError):
+            tree.to_bytes()
+
+    def test_same_length_corruption_rejected(self):
+        """A flipped byte in the body must fail the checksum, not crash a query."""
+        page = bytearray(self._tree().to_bytes())
+        page[len(page) // 2] ^= 0xFF
+        with pytest.raises(SpatialIndexError):
+            PackedRTree.from_bytes(bytes(page))
+
+    def test_out_of_bounds_topology_rejected(self):
+        """A crafted page with a valid checksum but broken topology is refused."""
+        import struct
+        import zlib
+
+        from repro.spatial.packed_rtree import _PAGE_HEADER
+
+        page = bytearray(self._tree().to_bytes())
+        # Corrupt the first child_first value (the topology block starts after
+        # the entry columns, items and node coordinate columns).
+        header = _PAGE_HEADER.unpack_from(page, 0)
+        num_entries, num_nodes = header[4], header[5]
+        offset = _PAGE_HEADER.size + 8 * (5 * num_entries + 4 * num_nodes)
+        struct.pack_into("<q", page, offset, 10**9)
+        # Re-seal the checksum so only the bounds check can catch it.
+        struct.pack_into(
+            "<I", page, _PAGE_HEADER.size - 4,
+            zlib.crc32(bytes(page[_PAGE_HEADER.size:])),
+        )
+        with pytest.raises(SpatialIndexError):
+            PackedRTree.from_bytes(bytes(page))
+
+
+class TestRepack:
+    """Edit-panel demote -> repack() -> packed round trip."""
+
+    def test_demote_then_repack_restores_packed_index(self, fresh_database):
+        from repro.core.editing import GraphEditor
+
+        database = fresh_database
+        table = database.table(0)
+        editor = GraphEditor(database)
+        assert isinstance(table.rtree, PackedRTree)
+
+        node_id = next(table.scan()).node1_id
+        editor.rename_node(node_id, "EDITED")
+        editor.move_node(node_id, Point(12345.0, -6789.0))
+        assert isinstance(table.rtree, RTree)  # demoted by the edits
+
+        reference = {
+            row.row_id for row in table.window_query(table.bounds().expanded(10))
+        }
+        changed = editor.repack()
+        assert changed
+        assert isinstance(table.rtree, PackedRTree)
+        assert table.index_kind == "packed"
+        assert editor.journal[-1].kind == "repack"
+        repacked = {
+            row.row_id for row in table.window_query(table.bounds().expanded(10))
+        }
+        assert repacked == reference
+        database.validate()
+
+        # Repacking an already-packed table is a no-op signal, still packed.
+        assert editor.repack() is False
+        assert isinstance(table.rtree, PackedRTree)
+
+    def test_repack_then_edit_demotes_again(self, fresh_database):
+        table = fresh_database.table(0)
+        victim = next(table.scan())
+        table.delete_row(victim.row_id)
+        assert table.repack() is True
+        # The packed index reflects the deletion and supports further edits.
+        assert victim.row_id not in set(table.rtree.all_items())
+        table.insert(victim)
+        assert isinstance(table.rtree, RTree)
+        fresh_database.validate()

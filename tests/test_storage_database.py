@@ -138,3 +138,217 @@ class TestSQLiteBackend:
         save_to_sqlite(empty, path)
         loaded = load_from_sqlite(path)
         assert loaded.num_layers == 0
+
+
+class TestIndexPages:
+    """Persistent packed-index pages: zero-rebuild restore plus every fallback."""
+
+    def _save(self, database, tmp_path):
+        path = tmp_path / "graph.db"
+        save_to_sqlite(database, path)
+        return path
+
+    def test_pages_written_and_restored(self, database, tmp_path):
+        import sqlite3
+
+        from repro.spatial.packed_rtree import PackedRTree
+
+        path = self._save(database, tmp_path)
+        with sqlite3.connect(path) as connection:
+            kinds = connection.execute(
+                "SELECT layer, kind FROM layer_index_pages ORDER BY layer"
+            ).fetchall()
+        assert kinds == [(layer, "packed_rtree") for layer in database.layers()]
+
+        loaded = load_from_sqlite(path)
+        for layer in loaded.layers():
+            table = loaded.table(layer)
+            assert isinstance(table.rtree, PackedRTree)
+            # The restore path defers secondary indexes entirely.
+            assert not table.node_indexes_built
+            assert not table.label_indexes_built
+        loaded.validate()
+
+    def test_restored_queries_byte_identical_to_fresh(self, database, tmp_path):
+        from repro.core.json_builder import build_payload, payload_to_json
+        from repro.spatial.geometry import Point
+
+        path = self._save(database, tmp_path)
+        restored = load_from_sqlite(path)
+        rebuilt = load_from_sqlite(
+            path, config=StorageConfig(index_pages=False, lazy_secondary_indexes=False)
+        )
+        for layer in database.layers():
+            fresh_table = database.table(layer)
+            bounds = fresh_table.bounds().expanded(5)
+            for other in (restored, rebuilt):
+                table = other.table(layer)
+                fresh_rows = fresh_table.window_query(bounds)
+                other_rows = table.window_query(bounds)
+                assert other_rows == fresh_rows  # EdgeRow equality is per-field
+                assert payload_to_json(build_payload(other_rows)) == payload_to_json(
+                    build_payload(fresh_rows)
+                )
+                assert table.count_window(bounds) == fresh_table.count_window(bounds)
+                center = Point(
+                    (bounds.min_x + bounds.max_x) / 2, (bounds.min_y + bounds.max_y) / 2
+                )
+                assert table.rtree.nearest(center, k=5) == fresh_table.rtree.nearest(
+                    center, k=5
+                )
+
+    def test_stale_page_falls_back_to_rebuild(self, database, tmp_path):
+        import sqlite3
+
+        path = self._save(database, tmp_path)
+        # Mutate a row behind the page's back: the fingerprint no longer matches,
+        # so the loader must rebuild instead of trusting the stale page.
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE layer_0 SET node1_label = 'tampered' "
+                "WHERE row_id = (SELECT MIN(row_id) FROM layer_0)"
+            )
+        loaded = load_from_sqlite(path)
+        loaded.validate()
+        labels = {row.node1_label for row in loaded.table(0).scan()}
+        assert "tampered" in labels
+        # The rebuilt index covers the updated rows exactly.
+        assert len(loaded.table(0).rtree) == loaded.table(0).num_rows
+
+    def test_missing_page_falls_back_to_rebuild(self, database, tmp_path):
+        import sqlite3
+
+        from repro.spatial.packed_rtree import PackedRTree
+
+        path = self._save(database, tmp_path)
+        with sqlite3.connect(path) as connection:
+            connection.execute("DELETE FROM layer_index_pages")
+        loaded = load_from_sqlite(path)
+        loaded.validate()
+        assert isinstance(loaded.table(0).rtree, PackedRTree)  # rebuilt, still packed
+        assert loaded.table(0).num_rows == database.table(0).num_rows
+
+    def test_version_mismatch_falls_back_to_rebuild(self, database, tmp_path):
+        import sqlite3
+
+        path = self._save(database, tmp_path)
+        with sqlite3.connect(path) as connection:
+            connection.execute("UPDATE layer_index_pages SET version = 999")
+        loaded = load_from_sqlite(path)
+        loaded.validate()
+        assert loaded.table(0).num_rows == database.table(0).num_rows
+
+    def test_corrupt_page_payload_falls_back_to_rebuild(self, database, tmp_path):
+        import sqlite3
+
+        path = self._save(database, tmp_path)
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE layer_index_pages SET payload = ?", (b"garbage-page",)
+            )
+        loaded = load_from_sqlite(path)
+        loaded.validate()
+        assert loaded.table(0).num_rows == database.table(0).num_rows
+
+    def test_bitflipped_page_payload_falls_back_to_rebuild(self, database, tmp_path):
+        """Same-length corruption (a flipped byte mid-payload) must be caught
+        by the page checksum and fall back, never crash a later query."""
+        import sqlite3
+
+        path = self._save(database, tmp_path)
+        with sqlite3.connect(path) as connection:
+            payload = bytearray(connection.execute(
+                "SELECT payload FROM layer_index_pages WHERE layer = 0"
+            ).fetchone()[0])
+            payload[len(payload) // 2] ^= 0xFF
+            connection.execute(
+                "UPDATE layer_index_pages SET payload = ? WHERE layer = 0",
+                (bytes(payload),),
+            )
+        loaded = load_from_sqlite(path)
+        loaded.validate()
+        bounds = loaded.bounds(0)
+        assert len(loaded.window_query(0, bounds.expanded(5))) == loaded.table(0).num_rows
+
+    def test_pages_opt_out_config(self, database, tmp_path):
+        import sqlite3
+
+        config = StorageConfig(index_pages=False)
+        no_pages = GraphVizDatabase(name=database.name, config=config)
+        for layer in database.layers():
+            no_pages.load_layer(layer, list(database.table(layer).scan()))
+        path = tmp_path / "nopages.db"
+        save_to_sqlite(no_pages, path)
+        with sqlite3.connect(path) as connection:
+            count = connection.execute(
+                "SELECT COUNT(*) FROM layer_index_pages"
+            ).fetchone()[0]
+        assert count == 0
+        load_from_sqlite(path).validate()
+
+    def test_dynamic_index_kind_ignores_pages(self, database, tmp_path):
+        from repro.spatial.rtree import RTree
+
+        path = self._save(database, tmp_path)
+        loaded = load_from_sqlite(path, config=StorageConfig(index_kind="rtree"))
+        assert isinstance(loaded.table(0).rtree, RTree)
+        loaded.validate()
+
+    def test_demoted_table_saves_without_page_and_reloads(self, database, tmp_path):
+        import sqlite3
+
+        from repro.spatial.packed_rtree import PackedRTree
+
+        edited = GraphVizDatabase(name="edited")
+        edited.load_layer(0, list(database.table(0).scan()))
+        table = edited.table(0)
+        victim = next(table.scan())
+        table.delete_row(victim.row_id)  # demotes layer 0 to the dynamic tree
+        path = tmp_path / "edited.db"
+        save_to_sqlite(edited, path)
+        with sqlite3.connect(path) as connection:
+            count = connection.execute(
+                "SELECT COUNT(*) FROM layer_index_pages WHERE layer = 0"
+            ).fetchone()[0]
+        assert count == 0
+        loaded = load_from_sqlite(path)  # rebuild path
+        loaded.validate()
+        assert loaded.table(0).num_rows == table.num_rows
+        # After an explicit repack, the page is written again.
+        table.repack()
+        save_to_sqlite(edited, path)
+        with sqlite3.connect(path) as connection:
+            count = connection.execute(
+                "SELECT COUNT(*) FROM layer_index_pages WHERE layer = 0"
+            ).fetchone()[0]
+        assert count == 1
+        reloaded = load_from_sqlite(path)
+        assert isinstance(reloaded.table(0).rtree, PackedRTree)
+        assert not reloaded.table(0).node_indexes_built
+
+    def test_empty_layer_round_trip(self, tmp_path):
+        database = GraphVizDatabase(name="sparse")
+        database.load_layer(0, [])
+        path = self._save(database, tmp_path)
+        loaded = load_from_sqlite(path)
+        assert loaded.layers() == [0]
+        assert loaded.table(0).num_rows == 0
+        assert loaded.table(0).bounds() is None
+        assert loaded.window_query(0, Rect(-1, -1, 1, 1)) == []
+        loaded.validate()
+
+    def test_storage_summary_reports_active_index(self, database, tmp_path):
+        path = self._save(database, tmp_path)
+        loaded = load_from_sqlite(path)
+        summary = loaded.storage_summary()
+        assert all(entry["index"] == "packed" for entry in summary["layers"])
+        assert all(
+            entry["secondary_indexes"] == "lazy" for entry in summary["layers"]
+        )
+        table = loaded.table(0)
+        victim = next(table.scan())
+        table.delete_row(victim.row_id)  # demote layer 0
+        summary = loaded.storage_summary()
+        by_layer = {entry["layer"]: entry for entry in summary["layers"]}
+        assert by_layer[0]["index"] == "rtree"
+        assert by_layer[1]["index"] == "packed"

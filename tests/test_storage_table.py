@@ -178,3 +178,177 @@ class TestLayerTable:
         table = LayerTable(layer=0, store=FileRowStore(tmp_path / "t.rows"))
         table.bulk_load(rows)
         assert len(table.window_query(Rect(-10, -10, 110, 110))) == len(rows)
+
+
+class TestLRUCache:
+    def test_unbounded_behaves_like_dict(self):
+        from repro.storage.table import LRUCache
+
+        cache = LRUCache(0)
+        for key in range(1000):
+            cache[key] = key * 2
+        assert len(cache) == 1000
+        assert cache.get(17) == 34
+        assert cache[999] == 1998
+        assert isinstance(cache, dict)  # the payload builder's fast-path check
+
+    def test_capacity_holds_and_evicts_in_write_order(self):
+        from repro.storage.table import LRUCache
+
+        cache = LRUCache(3)
+        cache["a"], cache["b"], cache["c"] = 1, 2, 3
+        # Reads are C-level dict reads: no recency bookkeeping on the hot path.
+        assert cache.get("a") == 1
+        cache["d"] = 4  # evicts the oldest *written* entry ("a")
+        assert len(cache) == 3
+        assert "a" not in cache
+        assert set(cache) == {"b", "c", "d"}
+        # Overwriting an existing key refreshes its recency, never evicts.
+        cache["b"] = 20
+        cache["e"] = 5  # "c" is now the oldest write
+        assert set(cache) == {"b", "d", "e"}
+        assert cache["b"] == 20
+        # pop/clear (inherited) keep working.
+        assert cache.pop("d", None) == 4
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_table_caches_respect_capacity_and_results_unchanged(self, rows):
+        unbounded = LayerTable(layer=0, index_kind="packed")
+        unbounded.bulk_load(rows)
+        bounded = LayerTable(layer=0, index_kind="packed", cache_capacity=2)
+        bounded.bulk_load(rows)
+        window = Rect(-1000, -1000, 1000, 1000)
+        assert [row.row_id for row in bounded.window_query(window)] == [
+            row.row_id for row in unbounded.window_query(window)
+        ]
+        # The exact filter touched every row, but the cap held.
+        assert len(bounded._segment_cache) <= 2
+        assert len(bounded._coord_cache) <= 2
+        assert len(unbounded._segment_cache) == len(rows)
+        # Repeated (cache-hitting and cache-missing) queries agree too.
+        for _ in range(3):
+            assert [row.row_id for row in bounded.window_query(window)] == [
+                row.row_id for row in unbounded.window_query(window)
+            ]
+
+
+class TestLazySecondaryIndexes:
+    def test_lazy_table_defers_and_builds_on_first_use(self, rows):
+        table = LayerTable(layer=0, index_kind="packed", lazy_secondary_indexes=True)
+        table.bulk_load(rows)
+        assert not table.node_indexes_built
+        assert not table.label_indexes_built
+        # Window queries never touch the secondary indexes.
+        assert table.window_query(Rect(-1000, -1000, 1000, 1000))
+        assert not table.node_indexes_built
+        # First node lookup builds the B+-trees (and only those).
+        eager = LayerTable(layer=0)
+        eager.bulk_load(rows)
+        assert [r.row_id for r in table.rows_for_node(1)] == [
+            r.row_id for r in eager.rows_for_node(1)
+        ]
+        assert table.node_indexes_built
+        assert not table.label_indexes_built
+        # First keyword search builds the tries.
+        assert table.keyword_search("alice") == eager.keyword_search("alice")
+        assert table.label_indexes_built
+        assert table.distinct_node_ids() == eager.distinct_node_ids()
+
+    def test_mutations_while_unbuilt_are_absorbed_by_the_build(self, rows):
+        table = LayerTable(layer=0, index_kind="packed", lazy_secondary_indexes=True)
+        table.bulk_load(rows)
+        victim = rows[0]
+        table.delete_row(victim.row_id)
+        assert not table.node_indexes_built
+        replacement = type(victim)(
+            row_id=table.next_row_id(),
+            node1_id=77,
+            node1_label="Grace",
+            edge_geometry=victim.edge_geometry,
+            edge_label="mentors",
+            node2_id=2,
+            node2_label="Bob",
+        )
+        table.insert(replacement)
+        # The late build sees exactly the post-mutation store.
+        assert {r.row_id for r in table.rows_for_node(77)} == {replacement.row_id}
+        assert victim.row_id not in table.node1_index.search(victim.node1_id)
+        assert table.keyword_search("grace") == [(77, "Grace")]
+        assert table.edge_keyword_search("mentors")[0].row_id == replacement.row_id
+        # Once built, further mutations maintain the indexes incrementally.
+        table.delete_row(replacement.row_id)
+        assert table.rows_for_node(77) == []
+        assert table.keyword_search("grace") == []
+
+    def test_attach_packed_index_round_trip(self, rows):
+        from repro.spatial.packed_rtree import PackedRTree
+
+        source = LayerTable(layer=0, index_kind="packed")
+        source.bulk_load(rows)
+        page = source.rtree.to_bytes()
+
+        restored = LayerTable(layer=0, index_kind="packed", lazy_secondary_indexes=True)
+        restored.attach_packed_index(PackedRTree.from_bytes(page), rows=rows)
+        assert restored.num_rows == len(rows)
+        assert restored.next_row_id() == source.next_row_id()
+        window = Rect(-1000, -1000, 1000, 1000)
+        assert [r.row_id for r in restored.window_query(window)] == [
+            r.row_id for r in source.window_query(window)
+        ]
+        assert restored.keyword_search("alice") == source.keyword_search("alice")
+
+    def test_attach_packed_index_count_mismatch_raises(self, rows):
+        from repro.spatial.packed_rtree import PackedRTree
+
+        source = LayerTable(layer=0, index_kind="packed")
+        source.bulk_load(rows)
+        table = LayerTable(layer=0)
+        with pytest.raises(StorageError):
+            table.attach_packed_index(source.rtree, rows=rows[:2])
+
+    def test_attach_packed_index_on_eager_table_rebuilds_secondary(self, rows):
+        from repro.spatial.packed_rtree import PackedRTree
+
+        source = LayerTable(layer=0, index_kind="packed")
+        source.bulk_load(rows)
+        table = LayerTable(layer=0)  # eager
+        table.attach_packed_index(
+            PackedRTree.from_bytes(source.rtree.to_bytes()), rows=rows
+        )
+        assert table.node_indexes_built and table.label_indexes_built
+        assert table.distinct_node_ids() == source.distinct_node_ids()
+
+    def test_bounded_caches_divergence_regression(self, rows):
+        """Segment/coord caches evict independently; a segment hit must not be
+        assumed to imply a coord entry (regression: KeyError in _exact_rows)."""
+        table = LayerTable(layer=0, index_kind="packed", cache_capacity=3)
+        table.bulk_load(rows)
+        whole = Rect(-1000, -1000, 1000, 1000)
+        # Alternate between small windows (touching different row subsets) and
+        # the whole plane so the two caches churn out of lockstep.
+        small_windows = [
+            Rect(-10, -10, 10, 10),
+            Rect(90, -10, 110, 10),
+            Rect(90, 90, 110, 110),
+            Rect(-10, 90, 10, 110),
+        ]
+        for _ in range(4):
+            for window in small_windows:
+                table.window_query(window)
+            assert len(table.window_query(whole)) == len(rows)
+        assert len(table._coord_cache) <= 3
+        assert len(table._segment_cache) <= 3
+
+    def test_attach_mismatch_leaves_table_untouched(self, rows):
+        from repro.spatial.packed_rtree import PackedRTree
+
+        source = LayerTable(layer=0, index_kind="packed")
+        source.bulk_load(rows)
+        table = LayerTable(layer=0)
+        with pytest.raises(StorageError):
+            table.attach_packed_index(source.rtree, rows=rows[:2])
+        # Nothing was half-installed: empty store, original (dynamic) index.
+        assert table.num_rows == 0
+        assert table.next_row_id() == 0
+        assert len(table.rtree) == 0
