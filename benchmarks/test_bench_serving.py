@@ -1,0 +1,303 @@
+"""Serving under concurrency: coalesced dispatch, pool opens, background repack.
+
+Three questions the new serving subsystem must answer with numbers:
+
+* **Does coalescing pay off?**  N client threads replay the same guided pan
+  path over the layer-0 drawing (the popular-region pattern: every new client
+  starts at the default viewport and follows the tour).  Serial dispatch
+  evaluates every request individually on one thread; the service coalesces
+  the concurrent bursts through
+  :meth:`~repro.storage.table.LayerTable.window_query_batch` and deduplicates
+  identical windows inside a batch.  The acceptance bar is a coalesced win at
+  >= 8 clients.
+* **Does the pool make multi-dataset serving cheap?**  A warm
+  :meth:`~repro.service.pool.DatasetPool.get` must beat a cold
+  ``load_from_sqlite`` open by a wide margin (it is a dict hit).
+* **Does background maintenance close the repack loop?**  After Edit-panel
+  mutations demote layer 0, the maintenance scheduler must restore the packed
+  index — observed via ``storage_summary()`` — without anyone calling
+  ``repack()``.
+
+Measurements append to ``BENCH_serving.json`` at the repository root,
+building a trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.bench.reporting import format_comparison
+from repro.config import GraphVizDBConfig, ServiceConfig, StorageConfig
+from repro.core.editing import GraphEditor
+from repro.core.query_manager import QueryManager
+from repro.service.frontend import GraphVizDBService, ServiceRuntime
+from repro.service.pool import DatasetPool
+from repro.storage.sqlite_backend import load_from_sqlite, save_to_sqlite
+
+#: Where the serving trajectory is recorded (repo root).
+TRAJECTORY_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+#: Client-thread counts compared against serial dispatch.
+CLIENT_COUNTS = (2, 8)
+
+#: Window queries each client issues.
+REQUESTS_PER_CLIENT = 12
+
+#: Distinct windows along the shared pan path.
+NUM_WINDOWS = 8
+
+#: Timed pool/cold opens; the minimum is reported.
+OPEN_REPEATS = 3
+
+#: Repeats per dispatch measurement (best-of, to shed scheduler noise at
+#: small smoke scales where a whole run is a few milliseconds).
+DISPATCH_REPEATS = 3
+
+
+def record_trajectory(dataset: str, measurements: dict) -> None:
+    """Append one dataset's measurements to the BENCH_serving.json trajectory."""
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "0.5")),
+        "dataset": dataset,
+        **measurements,
+    }
+    history: list = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(entry)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _pan_path(manager: QueryManager) -> list:
+    """The windows of the shared exploration tour (every client replays it)."""
+    base = manager.default_viewport().window()
+    step = base.width / 3
+    return [
+        base.translated((index % 4) * step, (index // 4) * step)
+        for index in range(NUM_WINDOWS)
+    ]
+
+
+def _run_serial(manager: QueryManager, windows: list, total_requests: int) -> float:
+    """Dispatch the whole workload one request at a time (the seed behaviour)."""
+    started = time.perf_counter()
+    for index in range(total_requests):
+        manager.window_query(windows[index % len(windows)])
+    return time.perf_counter() - started
+
+
+def _run_concurrent(
+    runtime: ServiceRuntime, dataset: str, windows: list, num_clients: int
+) -> float:
+    """N client threads replay the tour through the coalescing front-end."""
+    barrier = threading.Barrier(num_clients + 1)
+    errors: list[Exception] = []
+
+    def client() -> None:
+        try:
+            barrier.wait()
+            for index in range(REQUESTS_PER_CLIENT):
+                runtime.window_query(dataset, windows[index % len(windows)])
+        except Exception as exc:  # pragma: no cover - surfaced via assert below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client) for _ in range(num_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return elapsed
+
+
+def _concurrent_run(
+    database, windows, num_clients: int, coalesce: bool
+) -> tuple[float, dict]:
+    """One concurrent measurement with its own service instance.
+
+    ``coalesce_max_batch`` is sized to the client count — the deployment
+    guidance this benchmark encodes: a full concurrent burst then flushes the
+    moment its last member arrives instead of waiting out the timer, and the
+    timer only matters for stragglers.
+    """
+    service_config = ServiceConfig(
+        coalesce_window_seconds=0.001,
+        coalesce_max_batch=num_clients if coalesce else 1,
+    )
+    service = GraphVizDBService(GraphVizDBConfig(service=service_config))
+    service.register_dataset("patent-like", database)
+    with ServiceRuntime(service) as runtime:
+        runtime.window_query("patent-like", windows[0])  # warm the loop path
+        elapsed = min(
+            _run_concurrent(runtime, "patent-like", windows, num_clients)
+            for _ in range(DISPATCH_REPEATS)
+        )
+        return elapsed, runtime.metrics_summary()["coalescer"]
+
+
+def test_coalesced_vs_serial_dispatch(patent_preprocessed, capsys):
+    """Coalesced concurrent window queries must beat serial dispatch at 8 clients."""
+    database = patent_preprocessed.database
+    manager = QueryManager(database)
+    windows = _pan_path(manager)
+
+    # Warm both pipelines (row/fragment caches are shared via the table), so
+    # the comparison measures dispatch strategy, not first-touch cache fills.
+    for window in windows:
+        manager.window_query(window)
+
+    measurements: dict[str, object] = {}
+    for num_clients in CLIENT_COUNTS:
+        total = num_clients * REQUESTS_PER_CLIENT
+        serial_seconds = min(
+            _run_serial(manager, windows, total) for _ in range(DISPATCH_REPEATS)
+        )
+        concurrent_seconds, coalescer = _concurrent_run(
+            database, windows, num_clients, coalesce=True
+        )
+        uncoalesced_seconds, _ = _concurrent_run(
+            database, windows, num_clients, coalesce=False
+        )
+        measurements[f"serial_{num_clients}c_ms"] = serial_seconds * 1000
+        measurements[f"coalesced_{num_clients}c_ms"] = concurrent_seconds * 1000
+        measurements[f"uncoalesced_{num_clients}c_ms"] = uncoalesced_seconds * 1000
+        measurements[f"speedup_{num_clients}c"] = (
+            serial_seconds / max(concurrent_seconds, 1e-9)
+        )
+        measurements[f"throughput_{num_clients}c_rps"] = total / max(
+            concurrent_seconds, 1e-9
+        )
+        measurements[f"coalesce_ratio_{num_clients}c"] = coalescer["ratio"]
+    measurements["coalesce_ratio"] = measurements[
+        f"coalesce_ratio_{CLIENT_COUNTS[-1]}c"
+    ]
+    record_trajectory("patent-like", {"kind": "dispatch", **measurements})
+
+    speedup = measurements["speedup_8c"]
+    with capsys.disabled():
+        print()
+        print(f"Dispatch on patent-like ({REQUESTS_PER_CLIENT} requests/client):")
+        for num_clients in CLIENT_COUNTS:
+            print(
+                f"  {num_clients} clients: serial "
+                f"{measurements[f'serial_{num_clients}c_ms']:8.1f} ms | coalesced "
+                f"{measurements[f'coalesced_{num_clients}c_ms']:8.1f} ms | "
+                f"uncoalesced {measurements[f'uncoalesced_{num_clients}c_ms']:8.1f} ms | "
+                f"{measurements[f'speedup_{num_clients}c']:.1f}x | "
+                f"{measurements[f'throughput_{num_clients}c_rps']:7.0f} req/s"
+            )
+        print(format_comparison(
+            "window-batch coalescing under concurrency",
+            "ISSUE 3 target: coalesced beats serial dispatch at >= 8 clients",
+            f"speedup at 8 clients: {speedup:.1f}x "
+            f"(coalesce ratio {measurements['coalesce_ratio']:.1f})",
+            speedup > 1.0,
+        ))
+    assert speedup > 1.0, (
+        f"coalesced dispatch slower than serial at 8 clients ({speedup:.2f}x)"
+    )
+
+
+def test_pool_warm_open_vs_cold_load(patent_preprocessed, tmp_path, capsys):
+    """A pool-warm open must beat a cold ``load_from_sqlite`` open."""
+    path = tmp_path / "patent-pool.db"
+    save_to_sqlite(patent_preprocessed.database, path)
+
+    cold_seconds = float("inf")
+    for _ in range(OPEN_REPEATS):
+        started = time.perf_counter()
+        load_from_sqlite(path, config=StorageConfig())
+        cold_seconds = min(cold_seconds, time.perf_counter() - started)
+
+    pool = DatasetPool(capacity=2)
+    pool.get(path)  # the one cold open the pool ever pays
+    warm_seconds = float("inf")
+    for _ in range(OPEN_REPEATS):
+        started = time.perf_counter()
+        entry = pool.get(path)
+        warm_seconds = min(warm_seconds, time.perf_counter() - started)
+    assert entry.database.num_layers == patent_preprocessed.database.num_layers
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    record_trajectory("patent-like", {
+        "kind": "pool_open",
+        "cold_open_ms": cold_seconds * 1000,
+        "warm_open_ms": warm_seconds * 1000,
+        "speedup": speedup,
+    })
+    with capsys.disabled():
+        print()
+        print(f"Pool open on patent-like ({path.stat().st_size / 1024:.0f} KiB):")
+        print(f"  cold load_from_sqlite : {cold_seconds * 1000:10.3f} ms")
+        print(f"  pool-warm get         : {warm_seconds * 1000:10.3f} ms")
+        print(format_comparison(
+            "dataset pool makes re-opens free",
+            "ISSUE 3 target: warm open beats cold load_from_sqlite",
+            f"speedup: {speedup:.0f}x",
+            warm_seconds < cold_seconds,
+        ))
+    assert warm_seconds < cold_seconds
+
+
+def test_background_repack_restores_packed_index(
+    patent_preprocessed, tmp_path, capsys
+):
+    """Maintenance must repack a demoted layer with no explicit repack() call."""
+    path = tmp_path / "patent-repack.db"
+    save_to_sqlite(patent_preprocessed.database, path)
+    database = load_from_sqlite(path)
+
+    service = GraphVizDBService(GraphVizDBConfig(service=ServiceConfig(
+        repack_edit_threshold=1,
+        repack_quiescence_seconds=0.05,
+        maintenance_interval_seconds=0.02,
+    )))
+    service.register_dataset("patent-like", database)
+    with ServiceRuntime(service):
+        editor = GraphEditor(database, layer=0)
+        row = next(iter(database.table(0).scan()))
+        editor.rename_node(row.node1_id, "BackgroundRepackProbe")
+        summary = database.storage_summary()
+        assert summary["layers"][0]["index"] == "rtree"  # edits demoted layer 0
+
+        started = time.perf_counter()
+        deadline = started + 30.0
+        while time.perf_counter() < deadline:
+            summary = database.storage_summary()
+            if summary["layers"][0]["index"] == "packed":
+                break
+            time.sleep(0.02)
+        repack_latency = time.perf_counter() - started
+
+    summary = database.storage_summary()
+    assert summary["layers"][0]["index"] == "packed", (
+        "maintenance never repacked layer 0"
+    )
+    assert database.table(0).edits_since_repack == 0
+    assert service.metrics.repack_runs >= 1
+    record_trajectory("patent-like", {
+        "kind": "background_repack",
+        "repack_latency_ms": repack_latency * 1000,
+        "repack_runs": service.metrics.repack_runs,
+    })
+    with capsys.disabled():
+        print()
+        print(format_comparison(
+            "background repack closes the demote loop",
+            "ISSUE 3 target: packed index restored without an explicit repack()",
+            f"restored in {repack_latency * 1000:.0f} ms after quiescence",
+            True,
+        ))

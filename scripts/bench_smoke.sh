@@ -2,6 +2,7 @@
 # Smoke-run the perf benchmarks at a small scale and record the trajectories:
 #   * packed-vs-dynamic window/kNN/count queries  -> BENCH_indexes.json
 #   * SQLite cold start (page restore vs rebuild) -> BENCH_coldstart.json
+#   * concurrent serving (coalescing/pool/repack) -> BENCH_serving.json
 # so every PR has a perf baseline to compare against.
 #
 # Usage: scripts/bench_smoke.sh [extra pytest args]
@@ -12,9 +13,10 @@ cd "$(dirname "$0")/.."
 export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.1}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "index + cold-start smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
+echo "index + cold-start + serving smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
 python -m pytest benchmarks/test_bench_ablation_indexes.py \
-    benchmarks/test_bench_coldstart.py -q -p no:cacheprovider "$@"
+    benchmarks/test_bench_coldstart.py \
+    benchmarks/test_bench_serving.py -q -p no:cacheprovider "$@"
 echo "trajectory written to BENCH_indexes.json:"
 python - <<'EOF'
 import json
@@ -41,5 +43,32 @@ for entry in history[-4:]:
         f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
         f"rebuild={entry['rebuild_open_ms']:.1f}ms restore={entry['restore_open_ms']:.1f}ms "
         f"speedup={entry['speedup']:.1f}x"
+    )
+EOF
+echo "trajectory written to BENCH_serving.json:"
+python - <<'EOF'
+import json
+from pathlib import Path
+
+history = json.loads(Path("BENCH_serving.json").read_text())
+for entry in history[-6:]:
+    kind = entry.get("kind", "?")
+    if kind == "dispatch":
+        detail = (
+            f"serial8c={entry['serial_8c_ms']:.1f}ms "
+            f"coalesced8c={entry['coalesced_8c_ms']:.1f}ms "
+            f"speedup={entry['speedup_8c']:.1f}x "
+            f"ratio={entry['coalesce_ratio']:.1f}"
+        )
+    elif kind == "pool_open":
+        detail = (
+            f"cold={entry['cold_open_ms']:.1f}ms warm={entry['warm_open_ms']:.3f}ms "
+            f"speedup={entry['speedup']:.0f}x"
+        )
+    else:
+        detail = f"repack_latency={entry['repack_latency_ms']:.0f}ms"
+    print(
+        f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
+        f"{kind:<17} {detail}"
     )
 EOF

@@ -23,6 +23,7 @@ from .config import (
     GraphVizDBConfig,
     LayoutConfig,
     PartitionConfig,
+    ServiceConfig,
     StorageConfig,
 )
 from .core.pipeline import PreprocessingPipeline, PreprocessingReport, PreprocessingResult
@@ -32,10 +33,11 @@ from .core.session import ExplorationSession
 from .core.viewport import Viewport
 from .errors import GraphVizDBError
 from .graph.model import Edge, Graph, Node
+from .service import DatasetPool, GraphVizDBService, ServiceRuntime
 from .spatial.geometry import Point, Rect
 from .storage.database import GraphVizDatabase
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AbstractionConfig",
@@ -43,7 +45,11 @@ __all__ = [
     "GraphVizDBConfig",
     "LayoutConfig",
     "PartitionConfig",
+    "ServiceConfig",
     "StorageConfig",
+    "DatasetPool",
+    "GraphVizDBService",
+    "ServiceRuntime",
     "PreprocessingPipeline",
     "PreprocessingReport",
     "PreprocessingResult",

@@ -7,7 +7,9 @@ Exposes the main workflows of the library without writing Python:
 * ``explore`` — run a scripted exploration (window query, keyword search,
   layer walk) against a preprocessed SQLite database and print the results;
 * ``stats`` — print the statistics-panel summary of a dataset or database;
-* ``bench`` — run the Table I / Fig. 3 harness at a chosen scale.
+* ``bench`` — run the Table I / Fig. 3 harness at a chosen scale;
+* ``serve`` — serve one or more preprocessed SQLite databases to concurrent
+  clients over HTTP (or run a self-contained concurrency smoke workload).
 
 Run as ``python -m repro <command> ...``; see ``--help`` on each command.
 """
@@ -154,6 +156,95 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve preprocessed SQLite databases to concurrent clients."""
+    import asyncio
+
+    from .config import ServiceConfig
+    from .service.frontend import GraphVizDBService
+    from .service.http import serve_http
+
+    config = GraphVizDBConfig(
+        service=ServiceConfig(
+            max_workers=args.workers,
+            max_queue_depth=args.max_queue_depth,
+            pool_capacity=max(args.pool_capacity, len(args.database)),
+        )
+    )
+    service = GraphVizDBService(config)
+    for path_text in args.database:
+        path = Path(path_text)
+        if not path.exists():
+            raise SystemExit(f"database file {path} does not exist")
+        if path.stem in service.datasets():
+            raise SystemExit(
+                f"duplicate dataset name {path.stem!r} (file stems must be "
+                f"unique; rename one of the --database files)"
+            )
+        service.attach_sqlite(path.stem, path)
+    print(f"serving datasets: {', '.join(service.datasets())}")
+
+    if args.smoke:
+        return _serve_smoke(service, requests=args.smoke, clients=args.clients)
+
+    async def run() -> None:
+        async with service:
+            server = await serve_http(service, host=args.host, port=args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"listening on http://{host}:{port} (Ctrl-C to stop)")
+            async with server:
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _serve_smoke(service, requests: int, clients: int) -> int:
+    """Drive the service with an in-process concurrent workload, print metrics.
+
+    This is the no-network proof that the serving stack works end to end:
+    ``clients`` threads issue ``requests`` window queries each (drawn from a
+    small shared set of windows, like users crowding popular regions), and the
+    resulting metrics snapshot goes to stdout as JSON.
+    """
+    import threading
+
+    from .service.frontend import ServiceRuntime
+
+    with ServiceRuntime(service) as runtime:
+        dataset = service.datasets()[0]
+        first = runtime.window_query(dataset)
+        window = first.window
+        step = window.width / 4
+        windows = [
+            window.translated(i * step, 0) for i in range(4)
+        ]
+        errors: list[Exception] = []
+
+        def client(seed: int) -> None:
+            for i in range(requests):
+                try:
+                    runtime.window_query(dataset, windows[(seed + i) % len(windows)])
+                except Exception as exc:  # surface, don't hang the join
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        summary = runtime.metrics_summary()
+    if errors:
+        raise SystemExit(f"smoke workload failed: {errors[0]}")
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -218,6 +309,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets = subparsers.add_parser("datasets", help="list the named demo datasets")
     datasets.set_defaults(handler=cmd_datasets)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve preprocessed SQLite databases to concurrent clients"
+    )
+    serve.add_argument("--database", action="append", required=True,
+                       help="SQLite file from 'preprocess' (repeatable; the file "
+                            "stem becomes the dataset name)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="HTTP port (0 = pick a free one)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query worker threads")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="per-dataset admission limit before 503")
+    serve.add_argument("--pool-capacity", type=int, default=4,
+                       help="max simultaneously open datasets")
+    serve.add_argument("--smoke", type=int, default=0, metavar="REQUESTS",
+                       help="instead of listening, run REQUESTS window queries "
+                            "per client in-process and print the metrics")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads for --smoke")
+    serve.set_defaults(handler=cmd_serve)
 
     return parser
 

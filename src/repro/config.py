@@ -241,6 +241,85 @@ class ClientConfig:
 
 
 @dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the concurrent serving subsystem (:mod:`repro.service`).
+
+    Attributes
+    ----------
+    max_workers:
+        Size of the thread pool that executes blocking query work behind the
+        asyncio front-end.
+    max_queue_depth:
+        Per-dataset admission limit: when this many requests are already
+        admitted (queued or executing) for one dataset, further requests are
+        rejected immediately with
+        :class:`~repro.errors.ServiceOverloadedError` instead of growing the
+        queue without bound (explicit backpressure).
+    coalesce_window_seconds:
+        How long the window-query coalescer holds the first request of a batch
+        open for more concurrent requests on the same (dataset, layer) before
+        dispatching.  ``0`` dispatches on the next event-loop tick (requests
+        arriving in the same tick still batch).
+    coalesce_max_batch:
+        Dispatch a batch as soon as it reaches this many requests, without
+        waiting out the coalescing window.  ``1`` disables coalescing
+        entirely: every window query dispatches individually.
+    pool_capacity:
+        Maximum number of SQLite-backed datasets the pool keeps open at once;
+        opening one more evicts the least recently used.
+    pool_idle_seconds:
+        A pooled dataset unused for this long is evicted by the maintenance
+        scheduler (``0`` disables idle eviction).
+    repack_edit_threshold:
+        Number of edits to a layer table after which the maintenance
+        scheduler considers a background ``repack()``.
+    repack_quiescence_seconds:
+        How long a table's writes must have been quiet before a background
+        repack may run (repacking mid-edit-burst would be wasted work).
+    maintenance_interval_seconds:
+        Poll interval of the background maintenance thread.
+    session_idle_seconds:
+        Exploration sessions with no command for this long are expired by the
+        maintenance scheduler — clients that never call ``close_session``
+        (e.g. browsers that just disconnect) cannot grow server memory
+        without bound.  ``0`` disables expiry.
+    """
+
+    max_workers: int = 4
+    max_queue_depth: int = 64
+    coalesce_window_seconds: float = 0.002
+    coalesce_max_batch: int = 16
+    pool_capacity: int = 4
+    pool_idle_seconds: float = 300.0
+    repack_edit_threshold: int = 64
+    repack_quiescence_seconds: float = 0.25
+    maintenance_interval_seconds: float = 0.05
+    session_idle_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive")
+        if self.max_queue_depth <= 0:
+            raise ConfigurationError("max_queue_depth must be positive")
+        if self.coalesce_window_seconds < 0:
+            raise ConfigurationError("coalesce_window_seconds must be >= 0")
+        if self.coalesce_max_batch <= 0:
+            raise ConfigurationError("coalesce_max_batch must be positive")
+        if self.pool_capacity <= 0:
+            raise ConfigurationError("pool_capacity must be positive")
+        if self.pool_idle_seconds < 0:
+            raise ConfigurationError("pool_idle_seconds must be >= 0 (0 = never)")
+        if self.repack_edit_threshold <= 0:
+            raise ConfigurationError("repack_edit_threshold must be positive")
+        if self.repack_quiescence_seconds < 0:
+            raise ConfigurationError("repack_quiescence_seconds must be >= 0")
+        if self.maintenance_interval_seconds <= 0:
+            raise ConfigurationError("maintenance_interval_seconds must be positive")
+        if self.session_idle_seconds < 0:
+            raise ConfigurationError("session_idle_seconds must be >= 0 (0 = never)")
+
+
+@dataclass(frozen=True)
 class GraphVizDBConfig:
     """Top-level configuration bundling every subsystem's settings."""
 
@@ -249,6 +328,7 @@ class GraphVizDBConfig:
     abstraction: AbstractionConfig = field(default_factory=AbstractionConfig)
     storage: StorageConfig = field(default_factory=StorageConfig)
     client: ClientConfig = field(default_factory=ClientConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
 
     @classmethod
     def small(cls) -> "GraphVizDBConfig":

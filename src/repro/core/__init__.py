@@ -6,7 +6,7 @@ from .decimation import DecimationResult, decimate_rows
 from .editing import EditOperation, GraphEditor
 from .filters import FilterSpec, apply_filters
 from .json_builder import GraphPayload, build_payload, payload_to_json
-from .monitoring import KeywordQueryRecord, QueryLog, WindowQueryRecord
+from .monitoring import KeywordQueryRecord, QueryLog, ServiceMetrics, WindowQueryRecord
 from .pipeline import (
     PreprocessingPipeline,
     PreprocessingReport,
@@ -38,6 +38,7 @@ __all__ = [
     "payload_to_json",
     "KeywordQueryRecord",
     "QueryLog",
+    "ServiceMetrics",
     "WindowQueryRecord",
     "LayerSynchronizer",
     "SyncReport",

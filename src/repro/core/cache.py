@@ -172,6 +172,9 @@ class CachingQueryManager:
             # the exact window the client asked for.
             margin = max(window.width, window.height) * self.prefetch_margin
             prefetch_window = window.expanded(margin)
+            table = self.inner.database.table(layer)
+            # Guard captured before the fetch: see LayerTable.fragment_fill_guard.
+            fragments = table.fragment_fill_guard()
             started = time.perf_counter()
             (prefetched_rows,) = self.inner.rows_for_windows(
                 [prefetch_window], layer=layer
@@ -180,7 +183,7 @@ class CachingQueryManager:
             self.cache.store(layer, prefetch_window, prefetched_rows)
             self.cache.stats.prefetches += 1
             started = time.perf_counter()
-            segment_of = self.inner.database.table(layer).segment_of
+            segment_of = table.segment_of
             rows = [
                 row for row in prefetched_rows
                 if segment_of(row).intersects_rect(window)
@@ -189,6 +192,7 @@ class CachingQueryManager:
             return self._result_from_rows(
                 window, layer, rows,
                 db_seconds=db_seconds, filter_seconds=filter_seconds,
+                fragments=fragments,
             )
 
         result = self.inner.window_query(window, layer=layer)
@@ -240,25 +244,28 @@ class CachingQueryManager:
         db_seconds: float = 0.0,
         filter_seconds: float = 0.0,
         trusted_rows: bool = True,
+        fragments=None,
     ) -> WindowQueryResult:
         """Build a WindowQueryResult from cached rows (JSON work still happens).
 
         ``trusted_rows`` marks rows that came straight from the table (the
         prefetch path); rows replayed from the window cache may be stale after
         an edit, so their fragment misses must not be written back into the
-        table's authoritative fragment cache.
+        table's authoritative fragment cache.  The prefetch path passes its
+        own ``fragments`` guard, captured before the rows were fetched.
         """
         from .json_builder import build_payload, table_fragments
         from .streaming import stream_payload
 
         table = self.inner.database.table(layer)
+        if fragments is None:
+            fragments = (
+                table.fragment_fill_guard()
+                if trusted_rows
+                else table_fragments(table, populate=False)
+            )
         started = time.perf_counter()
-        payload = build_payload(
-            rows,
-            fragments=table.fragment_cache
-            if trusted_rows
-            else table_fragments(table, populate=False),
-        )
+        payload = build_payload(rows, fragments=fragments)
         chunks = list(stream_payload(payload, self.inner.client_config.chunk_size))
         json_seconds = time.perf_counter() - started
         return WindowQueryResult(

@@ -11,11 +11,12 @@ interaction of a session is recorded automatically.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from .query_manager import KeywordSearchResult, WindowQueryResult
 
-__all__ = ["WindowQueryRecord", "KeywordQueryRecord", "QueryLog"]
+__all__ = ["WindowQueryRecord", "KeywordQueryRecord", "QueryLog", "ServiceMetrics"]
 
 
 @dataclass(frozen=True)
@@ -139,3 +140,135 @@ class QueryLog:
             },
             "average_objects_per_window": self.average_objects_per_window(),
         }
+
+
+class ServiceMetrics:
+    """Thread-safe counters for the concurrent serving subsystem.
+
+    One instance is shared by the front-end (admission control), the window
+    coalescer, the dataset pool and the maintenance scheduler, so
+    :meth:`summary` is the single operator view of the serving layer: queue
+    depth and rejections, coalescing effectiveness, pool hit rate and
+    background repack activity.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_admitted = 0
+        self.requests_completed = 0
+        self.requests_rejected = 0
+        self.queue_depth: dict[str, int] = {}
+        self.peak_queue_depth = 0
+        self.coalesced_batches = 0
+        self.coalesced_requests = 0
+        self.duplicate_window_hits = 0
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self.pool_evictions = 0
+        self.repack_runs = 0
+
+    # ---------------------------------------------------------------- admission
+
+    def try_admit(self, dataset: str, limit: int) -> int | None:
+        """Atomically admit one request unless the dataset is at ``limit``.
+
+        This is the authoritative queue-depth counter — the front-end's
+        admission decision and the ``/metrics`` snapshot read the same state
+        under the same lock.  Returns the new depth when admitted, ``None``
+        (counting a rejection) when the dataset is saturated.
+        """
+        with self._lock:
+            depth = self.queue_depth.get(dataset, 0)
+            if depth >= limit:
+                self.requests_rejected += 1
+                return None
+            self.requests_admitted += 1
+            depth += 1
+            self.queue_depth[dataset] = depth
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
+            return depth
+
+    def record_completed(self, dataset: str) -> None:
+        """Count one finished (or failed) request leaving the dataset's queue."""
+        with self._lock:
+            self.requests_completed += 1
+            depth = self.queue_depth.get(dataset, 0) - 1
+            if depth > 0:
+                self.queue_depth[dataset] = depth
+            else:
+                self.queue_depth.pop(dataset, None)
+
+    def current_queue_depth(self, dataset: str) -> int:
+        """The dataset's current admitted-request count."""
+        with self._lock:
+            return self.queue_depth.get(dataset, 0)
+
+    # --------------------------------------------------------------- coalescing
+
+    def record_batch(self, num_requests: int, num_unique: int) -> None:
+        """Count one dispatched window batch of ``num_requests`` requests."""
+        with self._lock:
+            self.coalesced_batches += 1
+            self.coalesced_requests += num_requests
+            self.duplicate_window_hits += num_requests - num_unique
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Mean window requests served per index dispatch (1.0 = no batching)."""
+        with self._lock:
+            if not self.coalesced_batches:
+                return 0.0
+            return self.coalesced_requests / self.coalesced_batches
+
+    # --------------------------------------------------------------------- pool
+
+    def record_pool_hit(self) -> None:
+        """Count one pool lookup served by an already-open dataset."""
+        with self._lock:
+            self.pool_hits += 1
+
+    def record_pool_miss(self) -> None:
+        """Count one pool lookup that had to open the dataset from SQLite."""
+        with self._lock:
+            self.pool_misses += 1
+
+    def record_pool_eviction(self) -> None:
+        """Count one dataset evicted from the pool (capacity or idle)."""
+        with self._lock:
+            self.pool_evictions += 1
+
+    # -------------------------------------------------------------- maintenance
+
+    def record_repack(self) -> None:
+        """Count one background repack performed by the scheduler."""
+        with self._lock:
+            self.repack_runs += 1
+
+    # ------------------------------------------------------------------ summary
+
+    def summary(self) -> dict[str, object]:
+        """Return the JSON-serialisable serving metrics snapshot."""
+        with self._lock:
+            batches = self.coalesced_batches
+            return {
+                "requests": {
+                    "admitted": self.requests_admitted,
+                    "completed": self.requests_completed,
+                    "rejected": self.requests_rejected,
+                },
+                "queue_depth": dict(self.queue_depth),
+                "peak_queue_depth": self.peak_queue_depth,
+                "coalescer": {
+                    "batches": batches,
+                    "requests": self.coalesced_requests,
+                    "duplicate_window_hits": self.duplicate_window_hits,
+                    "ratio": self.coalesced_requests / batches if batches else 0.0,
+                },
+                "pool": {
+                    "hits": self.pool_hits,
+                    "misses": self.pool_misses,
+                    "evictions": self.pool_evictions,
+                },
+                "repack_runs": self.repack_runs,
+            }

@@ -126,13 +126,28 @@ class PreprocessingResult:
         The Step-3 global layout of the input graph.
     report:
         Per-step timings (Table I).
+
+    Only ``database`` is guaranteed: a result built from an already-persisted
+    database (:meth:`from_database`, e.g. after ``load_from_sqlite``) carries
+    ``None`` for the offline artefacts, since they are not stored.
     """
 
     database: GraphVizDatabase
-    hierarchy: LayerHierarchy
-    partition_result: PartitionResult
-    global_layout: GlobalLayout
-    report: PreprocessingReport
+    hierarchy: LayerHierarchy | None
+    partition_result: PartitionResult | None
+    global_layout: GlobalLayout | None
+    report: PreprocessingReport | None
+
+    @classmethod
+    def from_database(cls, database: GraphVizDatabase) -> "PreprocessingResult":
+        """Wrap an already-built database with no offline artefacts attached."""
+        return cls(
+            database=database,
+            hierarchy=None,
+            partition_result=None,
+            global_layout=None,
+            report=None,
+        )
 
 
 class PreprocessingPipeline:

@@ -107,6 +107,15 @@ class QueryManager:
         The preprocessed, indexed database.
     client_config:
         Streaming/viewport parameters (chunk size, default viewport).
+
+    Thread safety: the manager itself is stateless (both attributes are set
+    once and only read), so one instance may serve concurrent reads from many
+    threads — the serving subsystem does exactly that.  The shared mutable
+    state lives in the layer tables: per-row caches tolerate racing writers,
+    lazy secondary-index builds are single-flight, mutations serialise on a
+    per-table write lock, spatial reads share that lock only while a table
+    runs the edit-demoted dynamic tree (packed-index reads are lock-free),
+    and row fetches tolerate ids deleted behind an index snapshot.
     """
 
     def __init__(
@@ -137,6 +146,9 @@ class QueryManager:
         if not self.database.has_layer(layer):
             raise QueryError(f"layer {layer} does not exist")
         table = self.database.table(layer)
+        # Captured before the rows are fetched: fragment-cache fills for rows
+        # a concurrent edit invalidates mid-query are dropped, not stored.
+        fragments = table.fragment_fill_guard()
 
         started = time.perf_counter()
         rows = table.window_query(window)
@@ -151,7 +163,7 @@ class QueryManager:
         filter_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        payload = build_payload(rows, fragments=table.fragment_cache)
+        payload = build_payload(rows, fragments=fragments)
         chunks = list(stream_payload(payload, self.client_config.chunk_size))
         json_seconds = time.perf_counter() - started
 
@@ -317,7 +329,7 @@ class QueryManager:
             raise QueryError("the database has no layers")
         chosen = layers[-1]
         for layer in layers:
-            count = self.database.table(layer).rtree.count_window(window)
+            count = self.database.table(layer).count_window_index(window)
             if count <= max_objects:
                 chosen = layer
                 break

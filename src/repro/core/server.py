@@ -86,13 +86,7 @@ class GraphVizDBServer:
         handle = DatasetHandle(
             name=name,
             graph=graph,
-            preprocessing=PreprocessingResult(
-                database=database,
-                hierarchy=None,  # type: ignore[arg-type]
-                partition_result=None,  # type: ignore[arg-type]
-                global_layout=None,  # type: ignore[arg-type]
-                report=None,  # type: ignore[arg-type]
-            ),
+            preprocessing=PreprocessingResult.from_database(database),
             query_manager=query_manager,
         )
         self._datasets[name] = handle
@@ -132,6 +126,27 @@ class GraphVizDBServer:
         """Create a graph editor (Edit panel) for one dataset."""
         handle = self.dataset(name)
         return GraphEditor(handle.database, layer=layer)
+
+    # ----------------------------------------------------------------- serving
+
+    def start_service(self, config: GraphVizDBConfig | None = None):
+        """Start the concurrent serving subsystem over the loaded datasets.
+
+        Returns a running :class:`~repro.service.frontend.ServiceRuntime`
+        (a background event loop + worker pool + maintenance scheduler) with
+        every currently loaded dataset registered.  The synchronous façade
+        keeps working alongside it — the runtime shares the same databases
+        and query managers.  Close the runtime (context manager or
+        ``close()``) when done.
+        """
+        # Imported lazily: repro.service imports from repro.core, so a
+        # module-level import here would be circular.
+        from ..service.frontend import GraphVizDBService, ServiceRuntime
+
+        service = GraphVizDBService(config or self.config)
+        for name, handle in self._datasets.items():
+            service.register_dataset(name, handle.database, handle.query_manager)
+        return ServiceRuntime(service)
 
     # -------------------------------------------------------------- statistics
 

@@ -8,6 +8,7 @@ client simulator drives when replaying interaction traces.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -52,36 +53,45 @@ class ExplorationSession:
         self.history: list[InteractionEvent] = []
         self.last_result: WindowQueryResult | None = None
         self.query_log = query_log
+        # One session is one user's stateful cursor; the serving front-end may
+        # execute its commands on different worker threads, so every operation
+        # that touches viewport/layer/filters/history runs under this lock
+        # (reentrant: navigation ops call refresh()).
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------- navigation
 
     def refresh(self) -> WindowQueryResult:
         """Fetch the current viewport's contents (initial load or after edits)."""
-        result = self.query_manager.viewport_query(
-            self.viewport, layer=self.layer, filters=self.filters
-        )
-        self.last_result = result
+        with self.lock:
+            result = self.query_manager.viewport_query(
+                self.viewport, layer=self.layer, filters=self.filters
+            )
+            self.last_result = result
         if self.query_log is not None:
             self.query_log.record_window(result)
         return result
 
     def pan(self, dx_px: float, dy_px: float) -> WindowQueryResult:
         """Move the viewing window by a pixel offset ("horizontal" navigation)."""
-        self.viewport = self.viewport.panned(dx_px, dy_px)
-        self.history.append(InteractionEvent("pan", {"dx": dx_px, "dy": dy_px}))
-        return self.refresh()
+        with self.lock:
+            self.viewport = self.viewport.panned(dx_px, dy_px)
+            self.history.append(InteractionEvent("pan", {"dx": dx_px, "dy": dy_px}))
+            return self.refresh()
 
     def jump_to(self, center: Point) -> WindowQueryResult:
         """Re-centre the viewport on plane coordinates (birdview click)."""
-        self.viewport = self.viewport.moved_to(center)
-        self.history.append(InteractionEvent("jump", {"x": center.x, "y": center.y}))
-        return self.refresh()
+        with self.lock:
+            self.viewport = self.viewport.moved_to(center)
+            self.history.append(InteractionEvent("jump", {"x": center.x, "y": center.y}))
+            return self.refresh()
 
     def zoom(self, factor: float) -> WindowQueryResult:
         """Zoom in (> 1) or out (< 1); the server window resizes proportionally."""
-        self.viewport = self.viewport.zoomed(factor, self.client_config)
-        self.history.append(InteractionEvent("zoom", {"factor": factor}))
-        return self.refresh()
+        with self.lock:
+            self.viewport = self.viewport.zoomed(factor, self.client_config)
+            self.history.append(InteractionEvent("zoom", {"factor": factor}))
+            return self.refresh()
 
     # ------------------------------------------------------------ layer change
 
@@ -89,9 +99,10 @@ class ExplorationSession:
         """Switch abstraction layer ("vertical" navigation via the Layer Panel)."""
         if not self.query_manager.database.has_layer(new_layer):
             raise QueryError(f"layer {new_layer} does not exist")
-        self.layer = new_layer
-        self.history.append(InteractionEvent("change_layer", {"layer": new_layer}))
-        return self.refresh()
+        with self.lock:
+            self.layer = new_layer
+            self.history.append(InteractionEvent("change_layer", {"layer": new_layer}))
+            return self.refresh()
 
     def available_layers(self) -> list[int]:
         """Return the abstraction layers of the current dataset."""
@@ -108,52 +119,60 @@ class ExplorationSession:
         the most detailed layer that stays below the budget (and back down when
         zooming in again).
         """
-        self.viewport = self.viewport.zoomed(factor, self.client_config)
-        recommended = self.query_manager.recommend_layer(
-            self.viewport, max_objects=max_objects, current_layer=self.layer
-        )
-        if recommended != self.layer:
-            self.layer = recommended
-        self.history.append(InteractionEvent(
-            "zoom_lod", {"factor": factor, "layer": self.layer}
-        ))
-        return self.refresh()
+        with self.lock:
+            self.viewport = self.viewport.zoomed(factor, self.client_config)
+            recommended = self.query_manager.recommend_layer(
+                self.viewport, max_objects=max_objects, current_layer=self.layer
+            )
+            if recommended != self.layer:
+                self.layer = recommended
+            self.history.append(InteractionEvent(
+                "zoom_lod", {"factor": factor, "layer": self.layer}
+            ))
+            return self.refresh()
 
     # ---------------------------------------------------------------- keyword
 
     def search(self, keyword: str, limit: int | None = 20):
         """Keyword search on the current layer (Search panel)."""
-        self.history.append(InteractionEvent("search", {"keyword": keyword}))
-        result = self.query_manager.keyword_search(keyword, layer=self.layer, limit=limit)
+        with self.lock:
+            self.history.append(InteractionEvent("search", {"keyword": keyword}))
+            result = self.query_manager.keyword_search(
+                keyword, layer=self.layer, limit=limit
+            )
         if self.query_log is not None:
             self.query_log.record_search(result)
         return result
 
     def focus_on(self, node_id: int) -> WindowQueryResult:
         """Centre the viewport on a node picked from the search results."""
-        self.viewport, result = self.query_manager.focus_on_node(
-            node_id, self.viewport, layer=self.layer, filters=self.filters
-        )
-        self.history.append(InteractionEvent("focus", {"node_id": node_id}))
-        self.last_result = result
-        return result
+        with self.lock:
+            self.viewport, result = self.query_manager.focus_on_node(
+                node_id, self.viewport, layer=self.layer, filters=self.filters
+            )
+            self.history.append(InteractionEvent("focus", {"node_id": node_id}))
+            self.last_result = result
+            return result
 
     # ----------------------------------------------------------------- filters
 
     def hide_edge_label(self, label: str) -> WindowQueryResult:
         """Hide edges with a given label (Filter panel)."""
-        self.filters.hide_edge_label(label)
-        self.history.append(InteractionEvent("filter", {"hide_edge": label}))
-        return self.refresh()
+        with self.lock:
+            self.filters.hide_edge_label(label)
+            self.history.append(InteractionEvent("filter", {"hide_edge": label}))
+            return self.refresh()
 
     def show_only_edges(self, labels: set[str]) -> WindowQueryResult:
         """Keep only edges with the given labels visible."""
-        self.filters.show_only_edge_labels(labels)
-        self.history.append(InteractionEvent("filter", {"only_edges": sorted(labels)}))
-        return self.refresh()
+        with self.lock:
+            self.filters.show_only_edge_labels(labels)
+            self.history.append(InteractionEvent("filter", {"only_edges": sorted(labels)}))
+            return self.refresh()
 
     def clear_filters(self) -> WindowQueryResult:
         """Remove every active filter."""
-        self.filters.clear()
-        self.history.append(InteractionEvent("filter", {"clear": True}))
-        return self.refresh()
+        with self.lock:
+            self.filters.clear()
+            self.history.append(InteractionEvent("filter", {"clear": True}))
+            return self.refresh()

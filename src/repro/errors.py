@@ -100,5 +100,27 @@ class PipelineError(GraphVizDBError):
     """Errors raised by the offline preprocessing pipeline (``repro.core.pipeline``)."""
 
 
+class ServiceError(GraphVizDBError):
+    """Errors raised by the concurrent serving subsystem (``repro.service``)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """A dataset's admission limit was hit; the request was rejected, not queued.
+
+    Clients should treat this like HTTP 503: back off and retry.  Rejecting at
+    admission keeps queue depth (and therefore tail latency) bounded instead of
+    letting one slow dataset absorb every worker thread.
+    """
+
+    def __init__(self, dataset: str, queue_depth: int, limit: int) -> None:
+        super().__init__(
+            f"dataset {dataset!r} is overloaded: {queue_depth} requests in flight "
+            f"(admission limit {limit}); retry later"
+        )
+        self.dataset = dataset
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
 class ConfigurationError(GraphVizDBError):
     """Invalid configuration values."""

@@ -1,0 +1,39 @@
+"""Concurrent serving subsystem.
+
+The paper's graphVizdb is a *server*: "a number of real-world datasets" is
+offered to interactive clients.  This package turns the library's synchronous
+single-caller façade into that server:
+
+* :mod:`repro.service.frontend` — an asyncio front-end that accepts
+  window / kNN / keyword / session requests, runs the blocking query work on a
+  bounded thread pool, and applies per-dataset admission control (queue-depth
+  limit with an explicit :class:`~repro.errors.ServiceOverloadedError`);
+* :mod:`repro.service.coalescer` — gathers concurrent window queries on the
+  same (dataset, layer) inside a small time/size window and dispatches them
+  through the batched index entry point, fanning results back to callers;
+* :mod:`repro.service.pool` — an LRU pool of open
+  :class:`~repro.storage.database.GraphVizDatabase` instances keyed by SQLite
+  path, so one process serves many preprocessed datasets off the fast-open
+  path within a capacity budget;
+* :mod:`repro.service.maintenance` — a background scheduler that watches
+  per-table edit counts and write quiescence and triggers ``repack()``
+  without operator action, plus idle-eviction of pooled datasets;
+* :mod:`repro.service.http` — a dependency-free HTTP endpoint (asyncio
+  streams) exposing the front-end to real network clients.
+"""
+
+from .coalescer import WindowBatchCoalescer
+from .frontend import GraphVizDBService, ServiceRuntime
+from .http import serve_http
+from .maintenance import MaintenanceScheduler
+from .pool import DatasetPool, PooledDataset
+
+__all__ = [
+    "WindowBatchCoalescer",
+    "GraphVizDBService",
+    "ServiceRuntime",
+    "serve_http",
+    "MaintenanceScheduler",
+    "DatasetPool",
+    "PooledDataset",
+]

@@ -1,0 +1,492 @@
+"""Asyncio front-end of the serving subsystem.
+
+:class:`GraphVizDBService` accepts the online operations of the paper —
+window queries, kNN, keyword search, and stateful exploration sessions — from
+many concurrent clients.  Blocking query work runs on a bounded thread pool;
+the event loop itself never touches an index.  Each dataset has an admission
+limit: when ``max_queue_depth`` requests are already in flight, further
+requests fail fast with :class:`~repro.errors.ServiceOverloadedError` instead
+of queueing without bound, so one slow or popular dataset cannot absorb every
+worker and drive tail latency to infinity (explicit backpressure, the HTTP
+layer maps it to 503).
+
+Plain window queries are routed through the
+:class:`~repro.service.coalescer.WindowBatchCoalescer`; everything else (and
+filtered/decimated window queries) dispatches directly.
+
+:class:`ServiceRuntime` wraps a service in a background event-loop thread and
+exposes blocking calls, so threaded clients — the CLI, benchmarks, or an
+existing synchronous code base — can use the concurrent front-end without
+writing any asyncio themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import GraphVizDBConfig, ServiceConfig
+from ..core.monitoring import ServiceMetrics
+from ..core.query_manager import KeywordSearchResult, QueryManager, WindowQueryResult
+from ..core.session import ExplorationSession
+from ..errors import QueryError, ServiceError, ServiceOverloadedError
+from ..spatial.geometry import Point, Rect
+from ..storage.database import GraphVizDatabase
+from ..storage.schema import EdgeRow
+from .coalescer import WindowBatchCoalescer
+from .maintenance import MaintenanceScheduler
+from .pool import DatasetPool
+
+__all__ = ["GraphVizDBService", "ServiceRuntime"]
+
+#: Session operations a client may invoke through :meth:`session_command`,
+#: mapped to :class:`ExplorationSession` methods.
+_SESSION_OPS = {
+    "refresh": "refresh",
+    "pan": "pan",
+    "zoom": "zoom",
+    "jump_to": "jump_to",
+    "change_layer": "change_layer",
+    "zoom_lod": "zoom_with_level_of_detail",
+    "search": "search",
+    "focus_on": "focus_on",
+}
+
+
+@dataclass
+class _ServingSession:
+    """One served exploration session and the dataset it belongs to.
+
+    ``tail`` is the completion future of the session's most recent command:
+    the front-end chains commands for one session through it on the event
+    loop, so a burst of concurrent commands occupies exactly one worker
+    thread instead of parking the whole pool on the session's lock.  The
+    session's internal reentrant lock remains as the in-process guarantee
+    for direct (non-service) callers.  ``last_used`` (monotonic) drives idle
+    expiry.
+    """
+
+    dataset: str
+    session: ExplorationSession
+    last_used: float = 0.0
+    tail: asyncio.Future | None = None
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+
+class GraphVizDBService:
+    """Concurrent multi-dataset serving front-end.
+
+    Parameters
+    ----------
+    config:
+        Full configuration; ``config.service`` drives the thread pool,
+        admission control, coalescing, pool and maintenance knobs, and
+        ``config.storage`` / ``config.client`` are used when opening pooled
+        SQLite datasets.
+    pool:
+        Optional externally-owned dataset pool (a default one is created
+        otherwise).
+    metrics:
+        Optional externally-owned metrics sink.
+    """
+
+    def __init__(
+        self,
+        config: GraphVizDBConfig | None = None,
+        pool: DatasetPool | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.config = config or GraphVizDBConfig()
+        self.service_config: ServiceConfig = self.config.service
+        self.metrics = metrics or ServiceMetrics()
+        self.pool = pool or DatasetPool(
+            capacity=self.service_config.pool_capacity,
+            idle_seconds=self.service_config.pool_idle_seconds,
+            storage_config=self.config.storage,
+            client_config=self.config.client,
+            metrics=self.metrics,
+        )
+        self.maintenance = MaintenanceScheduler(
+            config=self.service_config, metrics=self.metrics, pool=self.pool
+        )
+        self.maintenance.add_hook(self._expire_idle_sessions)
+        self._memory: dict[str, tuple[GraphVizDatabase, QueryManager]] = {}
+        self._sqlite: dict[str, str] = {}
+        self._sessions: dict[str, _ServingSession] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._coalescer: WindowBatchCoalescer | None = None
+        self._started = False
+
+    # ------------------------------------------------------------- registration
+
+    def register_dataset(
+        self,
+        name: str,
+        database: GraphVizDatabase,
+        query_manager: QueryManager | None = None,
+    ) -> None:
+        """Serve an already-open (in-memory) database under ``name``."""
+        self._memory[name] = (
+            database,
+            query_manager or QueryManager(database, self.config.client),
+        )
+        self.maintenance.watch(name, database)
+
+    def attach_sqlite(self, name: str, path: str | Path) -> None:
+        """Serve a preprocessed SQLite file; opened through the pool on demand."""
+        self._sqlite[name] = str(path)
+
+    def datasets(self) -> list[str]:
+        """Names of every dataset the service can answer for."""
+        return sorted(set(self._memory) | set(self._sqlite))
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> "GraphVizDBService":
+        """Create the worker pool and start background maintenance."""
+        if self._started:
+            return self
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.service_config.max_workers,
+            thread_name_prefix="graphvizdb-worker",
+        )
+        self._coalescer = WindowBatchCoalescer(
+            executor=self._executor,
+            window_seconds=self.service_config.coalesce_window_seconds,
+            max_batch=self.service_config.coalesce_max_batch,
+            metrics=self.metrics,
+        )
+        self.maintenance.start()
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        """Stop maintenance, flush open batches, and shut the worker pool down."""
+        if not self._started:
+            return
+        # Refuse new requests first, so nothing slips into the coalescer or
+        # executor while they tear down (a straggler that still does is
+        # failed by the coalescer's shutdown guard, not left hanging).
+        self._started = False
+        self.maintenance.stop()
+        if self._coalescer is not None:
+            self._coalescer.flush_all()
+        if self._executor is not None:
+            # Let already-submitted batch work finish so no caller is left
+            # awaiting a future that nobody will ever resolve.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._executor.shutdown
+            )
+        self._executor = None
+        self._coalescer = None
+
+    async def __aenter__(self) -> "GraphVizDBService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ---------------------------------------------------------------- admission
+
+    def _admit(self, dataset: str) -> None:
+        # ServiceMetrics.try_admit is the single queue-depth counter, so the
+        # admission decision and the /metrics snapshot can never disagree.
+        limit = self.service_config.max_queue_depth
+        if self.metrics.try_admit(dataset, limit) is None:
+            raise ServiceOverloadedError(
+                dataset, self.metrics.current_queue_depth(dataset), limit
+            )
+
+    def _release(self, dataset: str) -> None:
+        self.metrics.record_completed(dataset)
+
+    def queue_depth(self, dataset: str) -> int:
+        """Current number of admitted requests for one dataset."""
+        return self.metrics.current_queue_depth(dataset)
+
+    # --------------------------------------------------------------- resolution
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ServiceError("service is not started; use 'async with service:'")
+
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        """The managed executor, or an explicit error when stopping.
+
+        ``run_in_executor(None, ...)`` would silently fall back to the event
+        loop's default pool after :meth:`stop` cleared ``_executor`` — work
+        escaping the managed pool whose completion callback can land on a
+        stopped loop and hang the caller forever.  Failing fast instead makes
+        a request racing shutdown an error, not a hang.
+        """
+        executor = self._executor
+        if executor is None:
+            raise ServiceError("service is stopping; request rejected")
+        return executor
+
+    async def _resolve(self, name: str) -> tuple[GraphVizDatabase, QueryManager]:
+        entry = self._memory.get(name)
+        if entry is not None:
+            return entry
+        path = self._sqlite.get(name)
+        if path is not None:
+            # Opening (on a pool miss) is blocking I/O — executor, not loop.
+            pooled = await asyncio.get_running_loop().run_in_executor(
+                self._worker_pool(), self.pool.get, path
+            )
+            return pooled.database, pooled.query_manager
+        raise QueryError(
+            f"dataset {name!r} is not served; available: "
+            f"{', '.join(self.datasets()) or 'none'}"
+        )
+
+    async def _run(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        executor = self._worker_pool()
+        if kwargs:
+            return await loop.run_in_executor(executor, lambda: fn(*args, **kwargs))
+        return await loop.run_in_executor(executor, fn, *args)
+
+    # ----------------------------------------------------------------- requests
+
+    async def window_query(
+        self,
+        dataset: str,
+        window: Rect | None = None,
+        layer: int = 0,
+        filters=None,
+        max_rows: int | None = None,
+    ) -> WindowQueryResult:
+        """Evaluate one window query (coalesced with concurrent neighbours).
+
+        ``window=None`` queries the dataset's default viewport.  Filtered or
+        decimated queries bypass the coalescer (they do not batch), so their
+        results are identical to the direct :class:`QueryManager` path.
+        """
+        self._require_started()
+        self._admit(dataset)
+        try:
+            database, query_manager = await self._resolve(dataset)
+            if window is None:
+                window = query_manager.default_viewport(layer=layer).window()
+            plain = filters is None and max_rows is None
+            if plain and self._coalescer is not None and (
+                self.service_config.coalesce_max_batch > 1
+            ):
+                return await self._coalescer.submit(
+                    dataset, query_manager, window, layer=layer
+                )
+            return await self._run(
+                query_manager.window_query,
+                window,
+                layer=layer,
+                filters=filters,
+                max_rows=max_rows,
+            )
+        finally:
+            self._release(dataset)
+
+    async def keyword_search(
+        self,
+        dataset: str,
+        keyword: str,
+        layer: int = 0,
+        mode: str = "contains",
+        limit: int | None = None,
+    ) -> KeywordSearchResult:
+        """Keyword search over one dataset's node labels."""
+        self._require_started()
+        self._admit(dataset)
+        try:
+            _, query_manager = await self._resolve(dataset)
+            return await self._run(
+                query_manager.keyword_search, keyword, layer=layer, mode=mode,
+                limit=limit,
+            )
+        finally:
+            self._release(dataset)
+
+    async def nearest(
+        self, dataset: str, point: Point, k: int = 1, layer: int = 0
+    ) -> list[EdgeRow]:
+        """k-nearest-neighbour rows around a plane point (kNN request)."""
+        self._require_started()
+        self._admit(dataset)
+        try:
+            database, _ = await self._resolve(dataset)
+            return await self._run(_nearest_rows, database, point, k, layer)
+        finally:
+            self._release(dataset)
+
+    def metrics_summary(self) -> dict[str, object]:
+        """The serving metrics snapshot (queue depth, coalescing, pool, repacks)."""
+        return self.metrics.summary()
+
+    # ----------------------------------------------------------------- sessions
+
+    async def create_session(self, dataset: str, start_layer: int = 0) -> str:
+        """Open an exploration session; returns its id for session commands."""
+        self._require_started()
+        self._admit(dataset)
+        try:
+            _, query_manager = await self._resolve(dataset)
+            session = await self._run(
+                ExplorationSession,
+                query_manager,
+                self.config.client,
+                start_layer=start_layer,
+            )
+            session_id = uuid.uuid4().hex
+            serving = _ServingSession(dataset=dataset, session=session)
+            serving.touch()
+            self._sessions[session_id] = serving
+            return session_id
+        finally:
+            self._release(dataset)
+
+    async def session_command(self, session_id: str, op: str, **kwargs):
+        """Run one session operation (``refresh``, ``pan``, ``zoom``, ...).
+
+        Commands of the same session serialise (a session is one user's
+        stateful cursor — concurrent pans would interleave viewport
+        updates), while different sessions run in parallel on the worker
+        pool.  Serialisation happens on the event loop by chaining each
+        command behind its predecessor's completion future, so a burst of
+        commands for one session holds at most one worker thread — never
+        the whole pool parked on a lock.
+        """
+        self._require_started()
+        serving = self._sessions.get(session_id)
+        if serving is None:
+            raise QueryError(f"session {session_id!r} does not exist")
+        method_name = _SESSION_OPS.get(op)
+        if method_name is None:
+            raise QueryError(
+                f"unknown session op {op!r}; available: "
+                f"{', '.join(sorted(_SESSION_OPS))}"
+            )
+        self._admit(serving.dataset)
+        serving.touch()
+        previous = serving.tail
+        turn: asyncio.Future = asyncio.get_running_loop().create_future()
+        serving.tail = turn
+        try:
+            if previous is not None and not previous.done():
+                # Predecessor futures only ever resolve with None (their
+                # command's own errors propagate to their own caller).
+                await previous
+            return await self._run(getattr(serving.session, method_name), **kwargs)
+        finally:
+            if not turn.done():
+                turn.set_result(None)
+            if serving.tail is turn:
+                serving.tail = None
+            self._release(serving.dataset)
+
+    async def close_session(self, session_id: str) -> bool:
+        """Drop a session; returns ``True`` if it existed."""
+        return self._sessions.pop(session_id, None) is not None
+
+    def _expire_idle_sessions(self) -> list[str]:
+        """Drop sessions idle past ``session_idle_seconds`` (maintenance hook).
+
+        Clients that never close their sessions (a browser that just
+        disconnects) must not grow ``_sessions`` — and the pooled databases
+        those sessions pin — without bound.
+        """
+        idle_limit = self.service_config.session_idle_seconds
+        if idle_limit <= 0:
+            return []
+        now = time.monotonic()
+        expired = [
+            session_id
+            for session_id, serving in list(self._sessions.items())
+            if now - serving.last_used >= idle_limit
+        ]
+        for session_id in expired:
+            self._sessions.pop(session_id, None)
+        return expired
+
+
+def _nearest_rows(
+    database: GraphVizDatabase, point: Point, k: int, layer: int
+) -> list[EdgeRow]:
+    """Fetch the k nearest rows via the layer's spatial index (worker thread)."""
+    return database.table(layer).nearest(point, k=k)
+
+
+class ServiceRuntime:
+    """A :class:`GraphVizDBService` running on a background event-loop thread.
+
+    Gives synchronous, thread-safe access to the async front-end: every method
+    submits a coroutine to the service loop and blocks for its result, so N
+    client threads calling :meth:`window_query` concurrently are exactly the
+    coalescer's target workload.  Use as a context manager, or call
+    :meth:`close` explicitly.
+    """
+
+    def __init__(self, service: GraphVizDBService) -> None:
+        self.service = service
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="graphvizdb-service", daemon=True
+        )
+        self._thread.start()
+        self._call(service.start())
+
+    def _call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    # ------------------------------------------------------------ sync wrappers
+
+    def window_query(self, dataset: str, window: Rect | None = None, **kwargs):
+        """Blocking :meth:`GraphVizDBService.window_query`."""
+        return self._call(self.service.window_query(dataset, window, **kwargs))
+
+    def keyword_search(self, dataset: str, keyword: str, **kwargs):
+        """Blocking :meth:`GraphVizDBService.keyword_search`."""
+        return self._call(self.service.keyword_search(dataset, keyword, **kwargs))
+
+    def nearest(self, dataset: str, point: Point, k: int = 1, layer: int = 0):
+        """Blocking :meth:`GraphVizDBService.nearest`."""
+        return self._call(self.service.nearest(dataset, point, k=k, layer=layer))
+
+    def create_session(self, dataset: str, start_layer: int = 0) -> str:
+        """Blocking :meth:`GraphVizDBService.create_session`."""
+        return self._call(self.service.create_session(dataset, start_layer))
+
+    def session_command(self, session_id: str, op: str, **kwargs):
+        """Blocking :meth:`GraphVizDBService.session_command`."""
+        return self._call(self.service.session_command(session_id, op, **kwargs))
+
+    def close_session(self, session_id: str) -> bool:
+        """Blocking :meth:`GraphVizDBService.close_session`."""
+        return self._call(self.service.close_session(session_id))
+
+    def metrics_summary(self) -> dict[str, object]:
+        """The service's metrics snapshot."""
+        return self.service.metrics_summary()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Stop the service and tear the loop thread down (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        self._call(self.service.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+    def __enter__(self) -> "ServiceRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,247 @@
+"""Dependency-free HTTP endpoint for the serving front-end.
+
+A deliberately small HTTP/1.1 GET server on ``asyncio`` streams (the container
+ships no web framework, and none is needed for a JSON API this size).  It
+exposes the online operations of :class:`~repro.service.frontend.GraphVizDBService`
+to real network clients:
+
+====================================  =============================================
+``GET /datasets``                     served dataset names
+``GET /window?dataset=N&...``         window query (optional ``layer``, ``min_x``,
+                                      ``min_y``, ``max_x``, ``max_y``, ``payload=1``)
+``GET /keyword?dataset=N&q=K&...``    keyword search (optional ``layer``, ``mode``,
+                                      ``limit``)
+``GET /nearest?dataset=N&x=&y=&...``  kNN rows around a point (optional ``k``,
+                                      ``layer``)
+``GET /session/new?dataset=N``        open an exploration session
+``GET /session/<id>/<op>?...``        run a session op (``refresh``, ``pan``, ...)
+``GET /session/<id>/close``           close a session (idle ones auto-expire)
+``GET /metrics``                      serving metrics snapshot
+====================================  =============================================
+
+Admission-control rejections surface as HTTP 503 with a ``Retry-After`` hint —
+the wire form of the subsystem's explicit backpressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.json_builder import payload_to_json
+from ..core.query_manager import KeywordSearchResult, WindowQueryResult
+from ..errors import (
+    GraphVizDBError,
+    LayerNotFoundError,
+    QueryError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from ..spatial.geometry import Point, Rect
+from .frontend import GraphVizDBService
+
+__all__ = ["serve_http"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+async def serve_http(
+    service: GraphVizDBService, host: str = "127.0.0.1", port: int = 8080
+) -> asyncio.AbstractServer:
+    """Start serving ``service`` over HTTP; returns the asyncio server.
+
+    The caller owns the lifecycle: ``server.close()`` + ``await
+    server.wait_closed()`` to stop, or ``await server.serve_forever()`` to
+    block.  Bind ``port=0`` to let the OS pick a free port (tests do).
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            status, body = await _respond(service, reader)
+        except Exception:  # defence: a handler bug must not kill the server
+            status, body = 500, {"error": "internal server error"}
+        payload = body if isinstance(body, bytes) else json.dumps(body).encode()
+        headers = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            + ("Retry-After: 1\r\n" if status == 503 else "")
+            + "Connection: close\r\n\r\n"
+        )
+        writer.write(headers.encode() + payload)
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host=host, port=port)
+
+
+async def _respond(
+    service: GraphVizDBService, reader: asyncio.StreamReader
+) -> tuple[int, object]:
+    """Parse one request and produce ``(status, json_body_or_bytes)``."""
+    request_line = (await reader.readline()).decode("latin-1").strip()
+    parts = request_line.split()
+    if len(parts) != 3 or parts[0] != "GET":
+        return 400, {"error": "only GET requests are supported"}
+    while True:  # drain headers; the API is GET-only so the body is ignored
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+    split = urlsplit(parts[1])
+    path = split.path.rstrip("/") or "/"
+    params = {key: values[-1] for key, values in parse_qs(split.query).items()}
+    try:
+        return await _route(service, path, params)
+    except ServiceOverloadedError as exc:
+        return 503, {"error": str(exc), "queue_depth": exc.queue_depth}
+    except (KeyError, ValueError) as exc:
+        return 400, {"error": f"bad request: {exc}"}
+    except (QueryError, LayerNotFoundError) as exc:
+        # Lookup failures (unknown dataset/layer/node/session) are the
+        # client's fault: not found.
+        return 404, {"error": str(exc)}
+    except ServiceError as exc:
+        # e.g. a request racing shutdown — retryable, like overload.
+        return 503, {"error": str(exc)}
+    except GraphVizDBError as exc:
+        # Anything else (corrupt storage, index failures) is a server-side
+        # problem; 404 would mislead clients and monitoring into treating it
+        # as a bad URL.
+        return 500, {"error": str(exc)}
+
+
+async def _route(
+    service: GraphVizDBService, path: str, params: dict[str, str]
+) -> tuple[int, object]:
+    if path == "/datasets":
+        return 200, {"datasets": service.datasets()}
+    if path == "/metrics":
+        return 200, service.metrics_summary()
+    if path == "/window":
+        result = await service.window_query(
+            params["dataset"],
+            window=_window_from(params),
+            layer=int(params.get("layer", "0")),
+        )
+        return 200, _window_body(result, with_payload=params.get("payload") == "1")
+    if path == "/keyword":
+        result = await service.keyword_search(
+            params["dataset"],
+            params["q"],
+            layer=int(params.get("layer", "0")),
+            mode=params.get("mode", "contains"),
+            limit=int(params["limit"]) if "limit" in params else None,
+        )
+        return 200, _keyword_body(result)
+    if path == "/nearest":
+        rows = await service.nearest(
+            params["dataset"],
+            Point(float(params["x"]), float(params["y"])),
+            k=int(params.get("k", "1")),
+            layer=int(params.get("layer", "0")),
+        )
+        return 200, {"rows": [_row_body(row) for row in rows]}
+    if path == "/session/new":
+        session_id = await service.create_session(
+            params["dataset"], start_layer=int(params.get("layer", "0"))
+        )
+        return 200, {"session_id": session_id}
+    if path.startswith("/session/"):
+        _, _, rest = path.partition("/session/")
+        session_id, _, op = rest.partition("/")
+        if not session_id or not op:
+            return 400, {"error": "use /session/<id>/<op>"}
+        if op == "close":
+            closed = await service.close_session(session_id)
+            return 200, {"closed": closed}
+        result = await service.session_command(
+            session_id, op, **_session_kwargs(op, params)
+        )
+        if isinstance(result, WindowQueryResult):
+            return 200, _window_body(
+                result, with_payload=params.get("payload") == "1"
+            )
+        if isinstance(result, KeywordSearchResult):
+            return 200, _keyword_body(result)
+        return 200, {"result": result}
+    return 404, {"error": f"unknown path {path!r}"}
+
+
+def _window_from(params: dict[str, str]) -> Rect | None:
+    keys = ("min_x", "min_y", "max_x", "max_y")
+    if not any(key in params for key in keys):
+        return None
+    return Rect(*(float(params[key]) for key in keys))
+
+
+def _session_kwargs(op: str, params: dict[str, str]) -> dict[str, object]:
+    """Translate query parameters into the session method's arguments."""
+    if op == "pan":
+        return {"dx_px": float(params["dx"]), "dy_px": float(params["dy"])}
+    if op in ("zoom", "zoom_lod"):
+        return {"factor": float(params["factor"])}
+    if op == "jump_to":
+        return {"center": Point(float(params["x"]), float(params["y"]))}
+    if op == "change_layer":
+        return {"new_layer": int(params["layer"])}
+    if op == "search":
+        kwargs: dict[str, object] = {"keyword": params["q"]}
+        if "limit" in params:
+            kwargs["limit"] = int(params["limit"])
+        return kwargs
+    if op == "focus_on":
+        return {"node_id": int(params["node_id"])}
+    return {}
+
+
+def _window_body(result: WindowQueryResult, with_payload: bool = False) -> bytes:
+    meta = {
+        "layer": result.layer,
+        "num_objects": result.num_objects,
+        "num_rows": len(result.rows),
+        "num_chunks": len(result.chunks),
+        "total_bytes": result.total_bytes,
+        "db_query_seconds": result.db_query_seconds,
+        "filter_seconds": result.filter_seconds,
+        "json_build_seconds": result.json_build_seconds,
+        "server_seconds": result.server_seconds,
+    }
+    if not with_payload:
+        return json.dumps(meta).encode()
+    # The payload is already JSON (fragment-cached concatenation); splice it
+    # in verbatim instead of parse + re-encode.
+    return (
+        b'{"meta": ' + json.dumps(meta).encode()
+        + b', "payload": ' + payload_to_json(result.payload).encode()
+        + b"}"
+    )
+
+
+def _keyword_body(result: KeywordSearchResult) -> dict[str, object]:
+    return {
+        "keyword": result.keyword,
+        "layer": result.layer,
+        "num_matches": result.num_matches,
+        "matches": result.matches,
+        "search_seconds": result.search_seconds,
+    }
+
+
+def _row_body(row) -> dict[str, object]:
+    return {
+        "row_id": row.row_id,
+        "node1_id": row.node1_id,
+        "node1_label": row.node1_label,
+        "edge_label": row.edge_label,
+        "node2_id": row.node2_id,
+        "node2_label": row.node2_label,
+    }

@@ -1,0 +1,174 @@
+"""Background maintenance: automatic repack and pool hygiene.
+
+Edit-panel mutations demote a layer table from the immutable packed index to
+the dynamic R-tree; PR 2 added the explicit ``repack()`` that restores the
+fast path once writes quiesce, but left *when* to call it to an operator.
+This scheduler closes that loop: it polls the edit counters and the
+write-quiescence hook exposed by the storage layer
+(:meth:`~repro.storage.database.GraphVizDatabase.layers_due_for_repack`) and
+re-packs demoted layers in the background — queries keep running throughout,
+because :meth:`~repro.storage.table.LayerTable.repack` swaps the index under
+the table's write lock.
+
+The same poll also evicts idle entries from the dataset pool, so long-running
+servers shed datasets nobody is looking at.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..config import ServiceConfig
+from ..core.monitoring import ServiceMetrics
+from ..storage.database import GraphVizDatabase
+from .pool import DatasetPool
+
+__all__ = ["MaintenanceScheduler"]
+
+
+class MaintenanceScheduler:
+    """Watches databases for demoted indexes and re-packs them once writes quiesce.
+
+    Parameters
+    ----------
+    config:
+        Serving configuration; uses ``repack_edit_threshold``,
+        ``repack_quiescence_seconds`` and ``maintenance_interval_seconds``.
+    metrics:
+        Optional shared :class:`ServiceMetrics` receiving repack counts.
+    pool:
+        Optional :class:`DatasetPool` — its open databases are watched too,
+        and its idle entries are evicted on every poll.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        metrics: ServiceMetrics | None = None,
+        pool: DatasetPool | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = metrics
+        self.pool = pool
+        self._watched: dict[str, GraphVizDatabase] = {}
+        self._hooks: list[Callable[[], object]] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: The most recent exception a maintenance cycle swallowed (operator
+        #: visibility; the background thread itself never dies of one).
+        self.last_error: Exception | None = None
+
+    # ----------------------------------------------------------------- watching
+
+    def watch(self, name: str, database: GraphVizDatabase) -> None:
+        """Add a database to the maintenance scan (idempotent by name)."""
+        with self._lock:
+            self._watched[name] = database
+
+    def unwatch(self, name: str) -> None:
+        """Remove a database from the scan."""
+        with self._lock:
+            self._watched.pop(name, None)
+
+    def watched(self) -> list[str]:
+        """Names currently under maintenance (pool datasets not included)."""
+        with self._lock:
+            return sorted(self._watched)
+
+    def add_hook(self, hook: Callable[[], object]) -> None:
+        """Register an extra callable run on every maintenance cycle.
+
+        Used by the front-end to piggyback housekeeping (idle-session expiry)
+        on the existing poll; hook errors are swallowed like any other
+        maintenance error.
+        """
+        with self._lock:
+            if hook not in self._hooks:
+                self._hooks.append(hook)
+
+    # -------------------------------------------------------------------- cycle
+
+    def run_once(self) -> dict[str, object]:
+        """One maintenance cycle: repack due layers, evict idle pool entries.
+
+        Exposed for deterministic tests and for callers that drive their own
+        schedule; the background thread calls this on every poll.  Returns
+        what happened: ``{"repacked": {name: [layers]}, "evicted": [keys]}``.
+
+        Errors from one database (or one hook) are recorded in
+        :attr:`last_error` and do not stop the cycle, let alone kill the
+        background thread — a single corrupt table must not silently disable
+        repack and eviction for every other dataset forever.
+        """
+        with self._lock:
+            databases = list(self._watched.items())
+            hooks = list(self._hooks)
+        if self.pool is not None:
+            databases.extend(self.pool.databases())
+        repacked: dict[str, list[int]] = {}
+        seen: set[int] = set()
+        for name, database in databases:
+            if id(database) in seen:  # a watched dataset may also sit in the pool
+                continue
+            seen.add(id(database))
+            try:
+                due = database.layers_due_for_repack(
+                    edit_threshold=self.config.repack_edit_threshold,
+                    quiescence_seconds=self.config.repack_quiescence_seconds,
+                )
+                done: list[int] = []
+                for layer in due:
+                    if database.repack_layer(layer):
+                        done.append(layer)
+                        if self.metrics is not None:
+                            self.metrics.record_repack()
+            except Exception as exc:  # noqa: BLE001 - survive one bad dataset
+                self.last_error = exc
+                continue
+            if done:
+                repacked[name] = done
+        evicted: list[str] = []
+        if self.pool is not None:
+            try:
+                evicted = self.pool.evict_idle()
+            except Exception as exc:  # noqa: BLE001
+                self.last_error = exc
+        for hook in hooks:
+            try:
+                hook()
+            except Exception as exc:  # noqa: BLE001
+                self.last_error = exc
+        return {"repacked": repacked, "evicted": evicted}
+
+    # ------------------------------------------------------------------- thread
+
+    @property
+    def running(self) -> bool:
+        """``True`` while the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background poll thread (idempotent)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="graphvizdb-maintenance", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background thread and wait for it to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.maintenance_interval_seconds):
+            try:
+                self.run_once()
+            except Exception as exc:  # noqa: BLE001 - the thread must survive
+                self.last_error = exc

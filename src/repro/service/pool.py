@@ -1,0 +1,208 @@
+"""LRU pool of open SQLite-backed datasets.
+
+PR 2 made opening a preprocessed database I/O-bound (packed-index pages restore
+with a flat ``frombytes`` copy instead of an O(n log n) re-pack); this module
+makes that fast-open path *shared*: one process serves many preprocessed
+datasets, keeping at most ``capacity`` of them open at once and evicting the
+least recently used — the paper's "select a dataset from a number of
+real-world datasets" at serving scale.
+
+Opens are **single-flight**: when several threads ask for the same path at the
+same moment, exactly one runs :func:`~repro.storage.sqlite_backend.load_from_sqlite`
+while the others wait on its result, so a popular cold dataset is never opened
+twice concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import ClientConfig, StorageConfig
+from ..core.monitoring import ServiceMetrics
+from ..core.query_manager import QueryManager
+from ..errors import ServiceError
+from ..storage.database import GraphVizDatabase
+from ..storage.sqlite_backend import load_from_sqlite
+
+__all__ = ["PooledDataset", "DatasetPool"]
+
+
+@dataclass
+class PooledDataset:
+    """One open dataset: the database, its query manager, and usage bookkeeping."""
+
+    key: str
+    database: GraphVizDatabase
+    query_manager: QueryManager
+    opened_at: float
+    open_seconds: float
+    last_used: float = 0.0
+    uses: int = 0
+
+    def touch(self) -> None:
+        """Mark the entry as just used (refreshes the idle-eviction clock)."""
+        self.last_used = time.monotonic()
+        self.uses += 1
+
+
+class DatasetPool:
+    """Thread-safe LRU of open :class:`GraphVizDatabase` instances by SQLite path.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of datasets kept open; exceeding it evicts the least
+        recently used entry.
+    idle_seconds:
+        Entries unused for this long are dropped by :meth:`evict_idle`
+        (called periodically by the maintenance scheduler); ``0`` disables
+        idle eviction.
+    storage_config:
+        Configuration passed to ``load_from_sqlite`` (default: the fast-open
+        defaults — packed pages, lazy secondary indexes).
+    client_config:
+        Client configuration for the per-dataset query managers.
+    metrics:
+        Optional shared :class:`ServiceMetrics` receiving hit/miss/eviction
+        counts.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4,
+        idle_seconds: float = 300.0,
+        storage_config: StorageConfig | None = None,
+        client_config: ClientConfig | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ServiceError("pool capacity must be positive")
+        if idle_seconds < 0:
+            raise ServiceError("idle_seconds must be >= 0 (0 = never evict idle)")
+        self.capacity = capacity
+        self.idle_seconds = idle_seconds
+        self.storage_config = storage_config
+        self.client_config = client_config
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, PooledDataset] = OrderedDict()
+        self._opening: dict[str, threading.Event] = {}
+
+    @staticmethod
+    def _key(path: str | Path) -> str:
+        return str(Path(path).resolve())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def open_paths(self) -> list[str]:
+        """Resolved paths of the currently open datasets (LRU → MRU order)."""
+        with self._lock:
+            return list(self._entries)
+
+    def databases(self) -> list[tuple[str, GraphVizDatabase]]:
+        """Snapshot of the open databases (for the maintenance scheduler)."""
+        with self._lock:
+            return [(key, entry.database) for key, entry in self._entries.items()]
+
+    # ------------------------------------------------------------------- lookup
+
+    def get(self, path: str | Path) -> PooledDataset:
+        """Return the pooled dataset for ``path``, opening it if necessary.
+
+        Thread-safe with open-once semantics: concurrent callers for a cold
+        path block until the single opener finishes (or retry the open
+        themselves if the opener failed).
+        """
+        key = self._key(path)
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    entry.touch()
+                    if self.metrics is not None:
+                        self.metrics.record_pool_hit()
+                    return entry
+                event = self._opening.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._opening[key] = event
+                    opener = True
+                else:
+                    opener = False
+            if not opener:
+                event.wait()
+                continue  # the opener published the entry (or failed: we retry)
+            try:
+                entry = self._open(key, path)
+            finally:
+                with self._lock:
+                    self._opening.pop(key, None)
+                event.set()
+            return entry
+
+    def _open(self, key: str, path: str | Path) -> PooledDataset:
+        started = time.monotonic()
+        database = load_from_sqlite(path, config=self.storage_config)
+        open_seconds = time.monotonic() - started
+        entry = PooledDataset(
+            key=key,
+            database=database,
+            query_manager=QueryManager(database, self.client_config),
+            opened_at=started,
+            open_seconds=open_seconds,
+        )
+        entry.touch()
+        if self.metrics is not None:
+            self.metrics.record_pool_miss()
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                if self.metrics is not None:
+                    self.metrics.record_pool_eviction()
+        return entry
+
+    # ----------------------------------------------------------------- eviction
+
+    def evict(self, path: str | Path) -> bool:
+        """Explicitly drop one dataset; returns ``True`` if it was open."""
+        key = self._key(path)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+        if entry is not None and self.metrics is not None:
+            self.metrics.record_pool_eviction()
+        return entry is not None
+
+    def evict_idle(self, now: float | None = None) -> list[str]:
+        """Drop entries unused for ``idle_seconds``; returns the evicted keys.
+
+        Called by the maintenance scheduler on its poll interval.  A zero
+        ``idle_seconds`` makes this a no-op.
+        """
+        if self.idle_seconds <= 0:
+            return []
+        if now is None:
+            now = time.monotonic()
+        evicted: list[str] = []
+        with self._lock:
+            for key in list(self._entries):
+                if now - self._entries[key].last_used >= self.idle_seconds:
+                    del self._entries[key]
+                    evicted.append(key)
+        if self.metrics is not None:
+            for _ in evicted:
+                self.metrics.record_pool_eviction()
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every entry (not counted as evictions)."""
+        with self._lock:
+            self._entries.clear()

@@ -126,6 +126,49 @@ class GraphVizDatabase:
         """Bounding rectangle of one layer's drawing."""
         return self.table(layer).bounds()
 
+    # ------------------------------------------------------------- maintenance
+
+    def edit_summary(self) -> dict[int, dict[str, object]]:
+        """Per-layer edit counters for the maintenance scheduler.
+
+        Returns ``layer -> {"edits_since_repack", "last_edit_age_seconds",
+        "packed"}``; a layer with a non-zero edit count and ``packed=False``
+        is a candidate for background :meth:`repack_layer` once its writes
+        quiesce.
+        """
+        summary: dict[int, dict[str, object]] = {}
+        for layer in self.layers():
+            table = self._tables[layer]
+            summary[layer] = {
+                "edits_since_repack": table.edits_since_repack,
+                "last_edit_age_seconds": table.last_edit_age_seconds,
+                "packed": not table.rtree.supports_updates,
+            }
+        return summary
+
+    def layers_due_for_repack(
+        self, edit_threshold: int = 1, quiescence_seconds: float = 0.0
+    ) -> list[int]:
+        """Layers whose demoted index should be re-packed in the background.
+
+        A layer is due when it currently runs the dynamic (demoted) index,
+        has accumulated at least ``edit_threshold`` edits, and has seen no
+        write for ``quiescence_seconds``.
+        """
+        due: list[int] = []
+        for layer in self.layers():
+            table = self._tables[layer]
+            if table.rtree.supports_updates and (
+                table.edits_since_repack >= edit_threshold
+                and table.write_quiesced(quiescence_seconds)
+            ):
+                due.append(layer)
+        return due
+
+    def repack_layer(self, layer: int) -> bool:
+        """Re-pack one layer's spatial index (see :meth:`LayerTable.repack`)."""
+        return self.table(layer).repack()
+
     # ------------------------------------------------------------------- stats
 
     def storage_summary(self) -> dict[str, object]:

@@ -83,7 +83,7 @@ _SELECT_ROWS = (
 )
 
 
-def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> None:
+def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> dict[str, list[int]]:
     """Persist every layer of ``database`` into a SQLite file at ``path``.
 
     Rows are written in one transaction per call (WAL journal,
@@ -92,9 +92,19 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> None:
     ``database.config.index_pages`` is on, the index is serialised into
     ``layer_index_pages`` together with the fingerprint of the rows it covers,
     so the next :func:`load_from_sqlite` can skip the re-pack entirely.
+
+    Re-saving over an existing file is **incremental**: each layer's
+    :class:`~repro.storage.serialization.RowContentHasher` fingerprint is
+    compared against the one recorded at the previous save
+    (``fingerprint_layer_{n}`` meta keys), and layers whose content is
+    unchanged skip the DELETE + INSERT entirely — after a small edit only the
+    touched layers are rewritten.  Returns ``{"written": [...], "skipped":
+    [...]}`` naming the layers that were rewritten vs left in place.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    written: list[int] = []
+    skipped: list[int] = []
     with closing(sqlite3.connect(path)) as connection:
         connection.execute("PRAGMA journal_mode=WAL")
         connection.execute("PRAGMA synchronous=NORMAL")
@@ -102,6 +112,7 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> None:
             cursor = connection.cursor()
             cursor.execute(_CREATE_META)
             cursor.execute(_CREATE_PAGES)
+            previous = _stored_fingerprints(cursor)
             cursor.execute(
                 "INSERT OR REPLACE INTO graphvizdb_meta(key, value) VALUES (?, ?)",
                 ("name", database.name),
@@ -111,6 +122,60 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> None:
                 ("layers", ",".join(str(layer) for layer in database.layers())),
             )
             for layer in database.layers():
+                table = database.table(layer)
+                # The table's write lock covers the snapshot — hashing, the
+                # record materialisation and the index-page serialisation —
+                # so the fingerprint always describes exactly the rows and
+                # page this save writes; a concurrent edit between the hash
+                # pass and the write pass could otherwise pair
+                # fingerprint(state A) with rows(state B).  The SQLite disk
+                # writes below run *outside* the lock, so saving a large
+                # layer does not stall that table's readers for the I/O.
+                with table.write_lock:
+                    hasher = RowContentHasher()
+                    write_layer = True
+                    if previous.get(layer) is not None:
+                        # A previous save exists: hash first (retaining
+                        # nothing) to decide whether the layer can be
+                        # skipped; only a genuinely changed layer pays the
+                        # second scan that materialises its records.
+                        for row in table.scan():
+                            hasher.update(row.to_record())
+                        fingerprint = hasher.hexdigest()
+                        if previous[layer] == fingerprint:
+                            # Unchanged since the last save: rows stay, and
+                            # any stored page carrying the same fingerprint
+                            # stays valid.  Only a missing page (e.g. the
+                            # previous save ran while the table was demoted
+                            # and it has been repacked since) is topped up —
+                            # serialised here, inserted below, outside the
+                            # lock.
+                            write_layer = False
+                            records = []
+                            payload = (
+                                None
+                                if _page_current(cursor, layer, fingerprint)
+                                else _serialise_index_page(database, layer, hasher)
+                            )
+                        else:
+                            records = [row.to_record() for row in table.scan()]
+                            payload = _serialise_index_page(database, layer, hasher)
+                    else:
+                        # No previous fingerprint (fresh file or new layer):
+                        # the layer is certainly written, so hash while
+                        # materialising in a single pass.
+                        records = []
+                        for row in table.scan():
+                            record = row.to_record()
+                            hasher.update(record)
+                            records.append(record)
+                        fingerprint = hasher.hexdigest()
+                        payload = _serialise_index_page(database, layer, hasher)
+                if not write_layer:
+                    skipped.append(layer)
+                    if payload is not None:
+                        _insert_index_page(cursor, layer, fingerprint, payload)
+                    continue
                 cursor.execute(_CREATE_LAYER.format(layer=layer))
                 for statement in _CREATE_LAYER_INDEXES:
                     cursor.execute(statement.format(layer=layer))
@@ -118,48 +183,86 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> None:
                 cursor.execute(
                     "DELETE FROM layer_index_pages WHERE layer = ?", (layer,)
                 )
-                table = database.table(layer)
-                hasher = RowContentHasher()
-
-                def records():
-                    for row in table.scan():
-                        record = row.to_record()
-                        hasher.update(record)
-                        yield record
-
                 cursor.executemany(
                     f"INSERT INTO layer_{layer} VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    records(),
+                    records,
                 )
-                _save_index_page(cursor, database, layer, hasher)
+                cursor.execute(
+                    "INSERT OR REPLACE INTO graphvizdb_meta(key, value) "
+                    "VALUES (?, ?)",
+                    (f"fingerprint_layer_{layer}", fingerprint),
+                )
+                written.append(layer)
+                if payload is not None:
+                    _insert_index_page(cursor, layer, fingerprint, payload)
+    return {"written": written, "skipped": skipped}
 
 
-def _save_index_page(
-    cursor: sqlite3.Cursor,
-    database: GraphVizDatabase,
-    layer: int,
-    hasher: RowContentHasher,
-) -> None:
-    """Persist the layer's packed index page, if one can be written.
+def _stored_fingerprints(cursor: sqlite3.Cursor) -> dict[int, str]:
+    """Read the per-layer row fingerprints recorded by a previous save.
 
-    Skipped when pages are disabled, when the table runs the dynamic R-tree
+    A layer's fingerprint only counts when its table actually exists (a
+    half-created file must not make the incremental path skip a rewrite).
+    """
+    cursor.execute(
+        "SELECT key, value FROM graphvizdb_meta WHERE key LIKE 'fingerprint_layer_%'"
+    )
+    fingerprints = {
+        int(key.rsplit("_", 1)[1]): value for key, value in cursor.fetchall()
+    }
+    if not fingerprints:
+        return {}
+    cursor.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' AND name LIKE 'layer_%'"
+    )
+    existing = {name for (name,) in cursor.fetchall()}
+    return {
+        layer: fingerprint
+        for layer, fingerprint in fingerprints.items()
+        if f"layer_{layer}" in existing
+    }
+
+
+def _serialise_index_page(
+    database: GraphVizDatabase, layer: int, hasher: RowContentHasher
+) -> bytes | None:
+    """Serialise the layer's packed index page, or ``None`` when it cannot be.
+
+    ``None`` when pages are disabled, when the table runs the dynamic R-tree
     (e.g. after Edit-panel mutations demoted it — ``repack()`` first to get
     the page back), or when the index cannot be serialised; the loader then
-    simply rebuilds from rows.
+    simply rebuilds from rows.  Called under the table's write lock so the
+    serialised tree matches the hashed rows.
     """
     if not database.config.index_pages:
-        return
+        return None
     tree = database.table(layer).rtree
     if not isinstance(tree, PackedRTree) or len(tree) != hasher.count:
-        return
+        return None
     try:
-        payload = tree.to_bytes()
+        return tree.to_bytes()
     except SpatialIndexError:
-        return
+        return None
+
+
+def _page_current(cursor: sqlite3.Cursor, layer: int, fingerprint: str) -> bool:
+    """``True`` when a current-version page with this fingerprint is stored."""
+    cursor.execute(
+        "SELECT 1 FROM layer_index_pages WHERE layer = ? AND kind = ? "
+        "AND version = ? AND fingerprint = ?",
+        (layer, _PACKED_KIND, PACKED_PAGE_VERSION, fingerprint),
+    )
+    return cursor.fetchone() is not None
+
+
+def _insert_index_page(
+    cursor: sqlite3.Cursor, layer: int, fingerprint: str, payload: bytes
+) -> None:
+    """Write one serialised packed-index page."""
     cursor.execute(
         "INSERT OR REPLACE INTO layer_index_pages(layer, kind, version, "
         "fingerprint, payload) VALUES (?, ?, ?, ?, ?)",
-        (layer, _PACKED_KIND, PACKED_PAGE_VERSION, hasher.hexdigest(), payload),
+        (layer, _PACKED_KIND, PACKED_PAGE_VERSION, fingerprint, payload),
     )
 
 

@@ -15,6 +15,8 @@ memory requirements" claim corresponds to.
 
 from __future__ import annotations
 
+import threading
+import time
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -27,7 +29,34 @@ from ..spatial.trie import FullTextIndex
 from .schema import EdgeRow
 from .serialization import read_rows, write_rows
 
-__all__ = ["MemoryRowStore", "FileRowStore", "LayerTable", "LRUCache"]
+__all__ = ["MemoryRowStore", "FileRowStore", "LayerTable", "LRUCache", "CacheFillGuard"]
+
+
+class CacheFillGuard(dict):
+    """A write-guarded view of one table cache for payload builders.
+
+    Subclasses ``dict`` (empty) purely so ``build_payload``'s
+    ``isinstance(fragments, dict)`` fast path takes it; ``get`` reads the
+    real cache and ``__setitem__`` routes through the table's
+    generation-checked :meth:`LayerTable._cache_put`, dropping fills that a
+    concurrent mutation has made stale.  The generation is captured at
+    construction — create the guard *before* fetching the rows it will be
+    used with.
+    """
+
+    __slots__ = ("_table", "_cache", "_generation")
+
+    def __init__(self, table: "LayerTable", cache: "LRUCache") -> None:
+        super().__init__()
+        self._table = table
+        self._cache = cache
+        self._generation = table._cache_generation
+
+    def get(self, key, default=None):
+        return self._cache.get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        self._table._cache_put(self._generation, self._cache, key, value)
 
 class LRUCache(dict):
     """A ``dict`` bounded by write-time LRU eviction.
@@ -55,9 +84,16 @@ class LRUCache(dict):
     def __setitem__(self, key, value) -> None:
         if self.capacity > 0:
             if dict.__contains__(self, key):
-                dict.__delitem__(self, key)
+                dict.pop(self, key, None)
             elif len(self) >= self.capacity:
-                dict.__delitem__(self, next(iter(self)))
+                # Concurrent readers may race this eviction (the per-row caches
+                # are written from query threads without a lock); pop-with-
+                # default and the StopIteration guard make a lost race a no-op
+                # instead of a KeyError escaping into a window query.
+                try:
+                    dict.pop(self, next(iter(self)), None)
+                except (StopIteration, RuntimeError):
+                    pass
         dict.__setitem__(self, key, value)
 
 
@@ -252,6 +288,27 @@ class LayerTable:
         self._segment_cache: LRUCache = LRUCache(cache_capacity)
         self._coord_cache: LRUCache = LRUCache(cache_capacity)
         self.fragment_cache: LRUCache = LRUCache(cache_capacity)
+        # Concurrency state for the serving subsystem.  Mutations and repacks
+        # serialise on the write lock (reentrant: update_row = delete + insert);
+        # the secondary lock makes the lazy build-from-store single-flight so
+        # two concurrent readers never observe a half-assigned index pair.
+        # Spatial reads are lock-free on the packed index (immutable, swapped
+        # atomically) but take the write lock while the table runs the
+        # demoted dynamic tree, whose node splits mutate in place — see
+        # :meth:`_spatial_candidates`.
+        self._write_lock = threading.RLock()
+        self._secondary_lock = threading.Lock()
+        # Bumped (under the write lock) on every cache invalidation.  Readers
+        # capture it before fetching rows and their cache fills are dropped
+        # if it moved — otherwise a fill computed from a pre-mutation row
+        # object could land *after* the writer's invalidation and serve
+        # stale geometry/JSON forever.  See :meth:`_cache_put`.
+        self._cache_generation = 0
+        # Edit tracking for background maintenance: how many mutations hit the
+        # table since the packed index was last current, and when the last one
+        # happened (monotonic clock), so a scheduler can detect quiescence.
+        self.edits_since_repack = 0
+        self._last_edit_monotonic: float | None = None
 
     # ------------------------------------------------------- secondary indexes
 
@@ -317,22 +374,35 @@ class LayerTable:
     def _ensure_node_indexes(self) -> None:
         if self._node1_index is not None:
             return
-        node1 = BPlusTree(order=self.btree_order)
-        node2 = BPlusTree(order=self.btree_order)
-        for row in self.store.scan():
-            self._index_row_secondary(row, node1, node2, None, None)
-        self._node1_index = node1
-        self._node2_index = node2
+        # Double-checked lock: without it, a reader arriving between the two
+        # attribute assignments of a racing builder could see ``node1_index``
+        # set but ``node2_index`` still ``None``.  The write lock is taken
+        # first (always in that order) so the build's store scan cannot race
+        # a concurrent mutation — and a writer checking ``_node1_index`` to
+        # decide whether to maintain the index can never interleave with a
+        # half-done build.
+        with self._write_lock, self._secondary_lock:
+            if self._node1_index is not None:
+                return
+            node1 = BPlusTree(order=self.btree_order)
+            node2 = BPlusTree(order=self.btree_order)
+            for row in self.store.scan():
+                self._index_row_secondary(row, node1, node2, None, None)
+            self._node2_index = node2
+            self._node1_index = node1
 
     def _ensure_label_indexes(self) -> None:
         if self._node_label_index is not None:
             return
-        node_labels = FullTextIndex()
-        edge_labels = FullTextIndex()
-        for row in self.store.scan():
-            self._index_row_secondary(row, None, None, node_labels, edge_labels)
-        self._node_label_index = node_labels
-        self._edge_label_index = edge_labels
+        with self._write_lock, self._secondary_lock:
+            if self._node_label_index is not None:
+                return
+            node_labels = FullTextIndex()
+            edge_labels = FullTextIndex()
+            for row in self.store.scan():
+                self._index_row_secondary(row, None, None, node_labels, edge_labels)
+            self._edge_label_index = edge_labels
+            self._node_label_index = node_labels
 
     def _reset_secondary_indexes(self) -> None:
         """Discard the secondary indexes; they rebuild from the store on use.
@@ -341,22 +411,25 @@ class LayerTable:
         the store (a ``FileRowStore`` scan decodes every row, so one pass
         matters on the cold-start path).
         """
-        self._node1_index = None
-        self._node2_index = None
-        self._node_label_index = None
-        self._edge_label_index = None
-        if self.lazy_secondary_indexes:
-            return
-        node1 = BPlusTree(order=self.btree_order)
-        node2 = BPlusTree(order=self.btree_order)
-        node_labels = FullTextIndex()
-        edge_labels = FullTextIndex()
-        for row in self.store.scan():
-            self._index_row_secondary(row, node1, node2, node_labels, edge_labels)
-        self._node1_index = node1
-        self._node2_index = node2
-        self._node_label_index = node_labels
-        self._edge_label_index = edge_labels
+        with self._secondary_lock:
+            self._node1_index = None
+            self._node2_index = None
+            self._node_label_index = None
+            self._edge_label_index = None
+            if self.lazy_secondary_indexes:
+                return
+            node1 = BPlusTree(order=self.btree_order)
+            node2 = BPlusTree(order=self.btree_order)
+            node_labels = FullTextIndex()
+            edge_labels = FullTextIndex()
+            for row in self.store.scan():
+                self._index_row_secondary(row, node1, node2, node_labels, edge_labels)
+            # The guard attributes (node1 / node_labels) are assigned last so a
+            # lock-free reader that sees the guard set also sees its partner.
+            self._node2_index = node2
+            self._edge_label_index = edge_labels
+            self._node1_index = node1
+            self._node_label_index = node_labels
 
     # ------------------------------------------------------------------ sizing
 
@@ -372,13 +445,16 @@ class LayerTable:
 
     def insert(self, row: EdgeRow) -> None:
         """Insert one row and update every index."""
-        # Demote a packed index *before* the row enters the store: the rebuild
-        # scans the store, so demoting afterwards would index the row twice.
-        self.ensure_dynamic_index()
-        self.store.put(row)
-        self._next_row_id = max(self._next_row_id, row.row_id + 1)
-        self._invalidate_row_caches(row.row_id)
-        self._index_row(row)
+        with self._write_lock:
+            # Demote a packed index *before* the row enters the store: the
+            # rebuild scans the store, so demoting afterwards would index the
+            # row twice.
+            self.ensure_dynamic_index()
+            self.store.put(row)
+            self._next_row_id = max(self._next_row_id, row.row_id + 1)
+            self._invalidate_row_caches(row.row_id)
+            self._index_row(row)
+            self._record_edit()
 
     def bulk_load(self, rows: Iterable[EdgeRow], bulk_rtree: bool = True) -> int:
         """Load many rows; optionally bulk-load the spatial index.  Returns the count."""
@@ -407,9 +483,12 @@ class LayerTable:
                 self.rtree = RTree.bulk_load(
                     entries, max_entries=self.rtree_max_entries
                 )
-            self._segment_cache.clear()
-            self._coord_cache.clear()
-            self.fragment_cache.clear()
+            with self._write_lock:
+                self._cache_generation += 1
+                self._segment_cache.clear()
+                self._coord_cache.clear()
+                self.fragment_cache.clear()
+            self.edits_since_repack = 0
         return len(rows)
 
     def ensure_dynamic_index(self) -> None:
@@ -466,9 +545,12 @@ class LayerTable:
             self._next_row_id = next_id
         self.rtree = tree
         self.index_kind = "packed"
-        self._segment_cache.clear()
-        self._coord_cache.clear()
-        self.fragment_cache.clear()
+        self.edits_since_repack = 0
+        with self._write_lock:
+            self._cache_generation += 1
+            self._segment_cache.clear()
+            self._coord_cache.clear()
+            self.fragment_cache.clear()
         self._reset_secondary_indexes()
 
     def repack(self) -> bool:
@@ -484,20 +566,87 @@ class LayerTable:
         Already-packed tables return ``False`` without rebuilding: mutations
         always demote to the dynamic tree first, so a packed index is
         necessarily current and a quiesce timer can call this unconditionally.
+
+        Safe to call from a background maintenance thread: the rebuild runs
+        under the table's write lock, so no mutation can slip between the row
+        scan and the index swap, and concurrent readers see either the old
+        dynamic tree or the new packed tree (both cover the same rows).
         """
-        if not self.rtree.supports_updates:
-            return False
-        self.rtree = PackedRTree.bulk_load(
-            ((row.bounding_rect(), row.row_id) for row in self.store.scan()),
-            max_entries=self.rtree_max_entries,
-        )
-        self.index_kind = "packed"
-        return True
+        with self._write_lock:
+            if not self.rtree.supports_updates:
+                return False
+            self.rtree = PackedRTree.bulk_load(
+                ((row.bounding_rect(), row.row_id) for row in self.store.scan()),
+                max_entries=self.rtree_max_entries,
+            )
+            self.index_kind = "packed"
+            self.edits_since_repack = 0
+            return True
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The table's reentrant write lock.
+
+        Held by mutations, repack and index builds; external callers that
+        need a multi-step consistent view of the rows (e.g. the SQLite save
+        path hashing and then streaming them) hold it across their scans.
+        """
+        return self._write_lock
+
+    # ------------------------------------------------------------ edit tracking
+
+    def _record_edit(self) -> None:
+        """Note one mutation for the background-maintenance heuristics."""
+        self.edits_since_repack += 1
+        self._last_edit_monotonic = time.monotonic()
+
+    @property
+    def last_edit_age_seconds(self) -> float | None:
+        """Seconds since the last mutation, or ``None`` if never mutated."""
+        if self._last_edit_monotonic is None:
+            return None
+        return time.monotonic() - self._last_edit_monotonic
+
+    def write_quiesced(self, for_seconds: float) -> bool:
+        """Return ``True`` when no mutation happened in the last ``for_seconds``.
+
+        This is the quiescence hook the maintenance scheduler polls before
+        triggering a background :meth:`repack`; a never-edited table counts as
+        quiesced.
+        """
+        age = self.last_edit_age_seconds
+        return age is None or age >= for_seconds
 
     def _invalidate_row_caches(self, row_id: int) -> None:
+        # Callers hold the write lock; the bump and the pops are therefore
+        # atomic with respect to guarded cache fills.
+        self._cache_generation += 1
         self._segment_cache.pop(row_id, None)
         self._coord_cache.pop(row_id, None)
         self.fragment_cache.pop(row_id, None)
+
+    def _cache_put(self, generation: int, cache: LRUCache, key, value) -> None:
+        """Install a cache fill unless an invalidation landed since ``generation``.
+
+        ``generation`` must have been read from ``_cache_generation`` before
+        the row the value was computed from was fetched; the check-and-set
+        runs under the write lock, so a racing writer either invalidates
+        after this fill (removing it) or bumps the generation first (and the
+        fill is dropped).  Only cache *misses* pay the lock.
+        """
+        with self._write_lock:
+            if self._cache_generation == generation:
+                cache[key] = value
+
+    def fragment_fill_guard(self) -> "CacheFillGuard":
+        """A view of the fragment cache whose writes are generation-guarded.
+
+        Capture it *before* fetching the rows whose fragments will be built;
+        pass it to :func:`repro.core.json_builder.build_payload` in place of
+        the raw ``fragment_cache``.  Reads hit the real cache directly;
+        writes go through :meth:`_cache_put`.
+        """
+        return CacheFillGuard(self, self.fragment_cache)
 
     def _index_row(self, row: EdgeRow, skip_rtree: bool = False) -> None:
         # Unbuilt (lazy) secondary indexes are passed as None and skipped: the
@@ -521,27 +670,30 @@ class LayerTable:
 
     def delete_row(self, row_id: int) -> None:
         """Delete a row and remove it from every index."""
-        row = self.store.get(row_id)
-        # Demote a packed index while the row is still in the store, so the
-        # rebuilt dynamic tree contains it and the delete below finds it.
-        self.ensure_dynamic_index()
-        self.store.delete(row_id)
-        self._invalidate_row_caches(row_id)
-        self.rtree.delete(row.bounding_rect(), row_id)
-        # Unbuilt (lazy) secondary indexes need no removal: the row is already
-        # gone from the store the eventual build scans.
-        if self._node1_index is not None:
-            self._node1_index.remove(row.node1_id, row_id)
-            self._node2_index.remove(row.node2_id, row_id)
-        if self._node_label_index is not None:
-            self._node_label_index.remove(("n1", row_id))
-            self._node_label_index.remove(("n2", row_id))
-            self._edge_label_index.remove(row_id)
+        with self._write_lock:
+            row = self.store.get(row_id)
+            # Demote a packed index while the row is still in the store, so the
+            # rebuilt dynamic tree contains it and the delete below finds it.
+            self.ensure_dynamic_index()
+            self.store.delete(row_id)
+            self._invalidate_row_caches(row_id)
+            self.rtree.delete(row.bounding_rect(), row_id)
+            # Unbuilt (lazy) secondary indexes need no removal: the row is
+            # already gone from the store the eventual build scans.
+            if self._node1_index is not None:
+                self._node1_index.remove(row.node1_id, row_id)
+                self._node2_index.remove(row.node2_id, row_id)
+            if self._node_label_index is not None:
+                self._node_label_index.remove(("n1", row_id))
+                self._node_label_index.remove(("n2", row_id))
+                self._edge_label_index.remove(row_id)
+            self._record_edit()
 
     def update_row(self, row: EdgeRow) -> None:
         """Replace an existing row (same ``row_id``) and refresh the indexes."""
-        self.delete_row(row.row_id)
-        self.insert(row)
+        with self._write_lock:
+            self.delete_row(row.row_id)
+            self.insert(row)
 
     # ----------------------------------------------------------------- queries
 
@@ -558,13 +710,35 @@ class LayerTable:
 
         Decoding the binary blob dominates the exact window filter on hot
         paths; rows are immutable, so the decoded segment can be reused until
-        the row is updated or deleted.
+        the row is updated or deleted.  The memoisation is generation-guarded
+        against concurrent mutation of the row (callers that held ``row``
+        across a mutation still get the correct segment back — it is derived
+        from ``row`` itself — it just is not cached).
         """
         segment = self._segment_cache.get(row.row_id)
         if segment is None:
+            generation = self._cache_generation
             segment = row.segment()
-            self._segment_cache[row.row_id] = segment
+            self._cache_put(generation, self._segment_cache, row.row_id, segment)
         return segment
+
+    def _spatial_candidates(self, query):
+        """Run one spatial-index read with the demotion-aware locking rule.
+
+        The packed index is immutable and installed with a single attribute
+        swap, so reads against it are lock-free — the common serving case.
+        The dynamic tree a table demotes to after edits splits nodes *in
+        place*, so while it is active, reads serialise with writers on the
+        (reentrant) write lock; background repack restores the lock-free
+        path shortly after writes quiesce.
+        """
+        tree = self.rtree
+        if not tree.supports_updates:
+            return query(tree)
+        with self._write_lock:
+            # Re-read under the lock: the captured tree may have been swapped
+            # (repacked or re-demoted) while we waited for a writer.
+            return query(self.rtree)
 
     def window_query(self, window: Rect) -> list[EdgeRow]:
         """Return rows whose edge geometry intersects ``window``.
@@ -573,16 +747,38 @@ class LayerTable:
         segment/rectangle test then removes false positives (a diagonal edge
         whose bounding box overlaps the window but whose segment does not).
         """
-        return self._exact_rows(self.rtree.window_query(window), window)
+        candidates = self._spatial_candidates(lambda tree: tree.window_query(window))
+        return self._exact_rows(candidates, window)
 
     def window_query_batch(self, windows: list[Rect]) -> list[list[EdgeRow]]:
         """Evaluate many windows in one call; per-window results are identical
         to :meth:`window_query`."""
-        candidate_lists = self.rtree.window_query_batch(windows)
+        candidate_lists = self._spatial_candidates(
+            lambda tree: tree.window_query_batch(windows)
+        )
         return [
             self._exact_rows(candidates, window)
             for candidates, window in zip(candidate_lists, windows)
         ]
+
+    def nearest(self, point: Point, k: int = 1) -> list[EdgeRow]:
+        """Return the rows of the ``k`` spatially nearest index entries.
+
+        The demotion-aware read path for kNN: lock-free on the packed index,
+        serialised with writers while the table runs the dynamic tree, and
+        tolerant of rows deleted behind the index snapshot.
+        """
+        return self.live_rows(
+            self._spatial_candidates(lambda tree: tree.nearest(point, k=k))
+        )
+
+    def count_window_index(self, window: Rect) -> int:
+        """Bounding-box hit count straight off the spatial index (no row I/O).
+
+        Used by layer recommendation; unlike :meth:`count_window` this does
+        not apply the exact segment test, matching ``rtree.count_window``.
+        """
+        return self._spatial_candidates(lambda tree: tree.count_window(window))
 
     def _exact_rows(self, candidates: list[object], window: Rect) -> list[EdgeRow]:
         """Fetch candidate rows and apply the exact segment/window test.
@@ -597,14 +793,26 @@ class LayerTable:
         redundant bounding-box work).
         """
         get = self.store.get
+        contains = self.store.contains
         segment_of = self.segment_of
         coords = self._coord_cache
         coords_get = coords.get
+        # Fills computed from rows fetched after this point are dropped if a
+        # mutation invalidates concurrently (see _cache_put).
+        generation = self._cache_generation
         wx0, wy0, wx1, wy1 = window.min_x, window.min_y, window.max_x, window.max_y
         results: list[EdgeRow] = []
         append = results.append
         for row_id in sorted(candidates):  # type: ignore[type-var]
-            row = get(row_id)  # type: ignore[arg-type]
+            try:
+                row = get(row_id)  # type: ignore[arg-type]
+            except StorageError:
+                # Lock-free readers may hold a spatial-index snapshot from
+                # just before a concurrent delete_row removed the row; skip
+                # it — equivalent to the delete having happened first.
+                if contains(row_id):  # type: ignore[arg-type]
+                    raise  # a different storage failure: do not mask it
+                continue
             flat = coords_get(row_id)
             if flat is None:
                 # Derive the flat coordinates from the (possibly cached)
@@ -613,7 +821,7 @@ class LayerTable:
                 # imply a coord entry.
                 segment = segment_of(row)
                 flat = (segment.start.x, segment.start.y, segment.end.x, segment.end.y)
-                coords[row_id] = flat
+                self._cache_put(generation, coords, row_id, flat)
             x1, y1, x2, y2 = flat
             if (wx0 <= x1 <= wx1 and wy0 <= y1 <= wy1) or (
                 wx0 <= x2 <= wx1 and wy0 <= y2 <= wy1
@@ -638,10 +846,35 @@ class LayerTable:
         """Return the number of rows intersecting ``window`` (exact)."""
         return len(self.window_query(window))
 
+    def live_rows(self, row_ids: Iterable[int]) -> list[EdgeRow]:
+        """Fetch rows by id, skipping ids a concurrent delete already removed.
+
+        The tolerant fetch behind every index-then-load read path (window
+        queries inline the same pattern): index snapshots are read without a
+        lock, so an id may refer to a row a concurrent writer deleted after
+        the snapshot was taken.
+        """
+        get = self.store.get
+        contains = self.store.contains
+        rows: list[EdgeRow] = []
+        for row_id in row_ids:
+            try:
+                rows.append(get(row_id))
+            except StorageError:
+                if contains(row_id):
+                    raise
+        return rows
+
     def rows_for_node(self, node_id: int) -> list[EdgeRow]:
         """Return every row in which ``node_id`` appears as node1 or node2."""
-        row_ids = set(self.node1_index.search(node_id)) | set(self.node2_index.search(node_id))
-        return [self.store.get(row_id) for row_id in sorted(row_ids)]  # type: ignore[arg-type]
+        # Built B+-trees are mutated in place by writers (under the write
+        # lock), so traversals serialise with them the same way demoted-tree
+        # spatial reads do; the row fetch runs outside the lock.
+        with self._write_lock:
+            row_ids = set(self.node1_index.search(node_id)) | set(
+                self.node2_index.search(node_id)
+            )
+        return self.live_rows(sorted(row_ids))  # type: ignore[arg-type]
 
     def node_position(self, node_id: int) -> Point | None:
         """Return the plane coordinates of ``node_id`` (from any incident row)."""
@@ -660,10 +893,19 @@ class LayerTable:
         node labels which are indexed with tries. The result ... is a list of
         nodes whose labels contain the given keyword."
         """
-        matches = self.node_label_index.search(keyword, mode=mode)
+        # Trie traversal serialises with in-place writer mutations; see
+        # :meth:`rows_for_node`.
+        with self._write_lock:
+            matches = self.node_label_index.search(keyword, mode=mode)
         results: dict[int, str] = {}
+        contains = self.store.contains
         for slot, row_id in matches:  # type: ignore[misc]
-            row = self.store.get(row_id)
+            try:
+                row = self.store.get(row_id)
+            except StorageError:
+                if contains(row_id):
+                    raise
+                continue  # deleted by a concurrent writer mid-search
             if slot == "n1":
                 results.setdefault(row.node1_id, row.node1_label)
             else:
@@ -672,8 +914,9 @@ class LayerTable:
 
     def edge_keyword_search(self, keyword: str, mode: str = "contains") -> list[EdgeRow]:
         """Search edge labels; return matching rows."""
-        row_ids = self.edge_label_index.search(keyword, mode=mode)
-        return [self.store.get(row_id) for row_id in sorted(row_ids, key=lambda r: int(r))]  # type: ignore[arg-type]
+        with self._write_lock:
+            row_ids = self.edge_label_index.search(keyword, mode=mode)
+        return self.live_rows(sorted(row_ids, key=lambda r: int(r)))  # type: ignore[arg-type]
 
     def bounds(self) -> Rect | None:
         """Return the bounding rectangle of the layer's drawing."""
@@ -681,4 +924,5 @@ class LayerTable:
 
     def distinct_node_ids(self) -> set[int]:
         """Return every node id appearing in the table."""
-        return set(self.node1_index.keys()) | set(self.node2_index.keys())
+        with self._write_lock:
+            return set(self.node1_index.keys()) | set(self.node2_index.keys())

@@ -101,3 +101,40 @@ class TestCommands:
         assert "Table I" in output
         assert "Figure 3" in output
         assert "wikidata-like" in output and "patent-like" in output
+
+    def test_serve_smoke(self, tmp_path, capsys):
+        database_path = tmp_path / "serve.db"
+        assert main([
+            "preprocess", "--dataset", "acm", "--scale", "0.05",
+            "--output", str(database_path),
+            "--layers", "1", "--layout-iterations", "5",
+            "--max-partition-nodes", "200",
+        ]) == 0
+        capsys.readouterr()
+        exit_code = main([
+            "serve", "--database", str(database_path),
+            "--smoke", "4", "--clients", "4", "--workers", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        summary = json.loads(output[output.index("{"):])
+        assert summary["requests"]["admitted"] >= 17  # 1 probe + 4x4 clients
+        assert summary["requests"]["rejected"] == 0
+        assert summary["pool"]["misses"] == 1
+
+    def test_serve_missing_database(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--database", str(tmp_path / "nope.db"), "--smoke", "1"])
+
+    def test_serve_rejects_duplicate_dataset_names(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        for sub in ("a", "b"):
+            (tmp_path / sub / "same.db").touch()
+        with pytest.raises(SystemExit, match="duplicate dataset name"):
+            main([
+                "serve",
+                "--database", str(tmp_path / "a" / "same.db"),
+                "--database", str(tmp_path / "b" / "same.db"),
+                "--smoke", "1",
+            ])

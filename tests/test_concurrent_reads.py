@@ -1,0 +1,221 @@
+"""Concurrent-read safety: threads hammering one dataset must match serial results.
+
+Guards the mutation-prone read paths the serving subsystem exposes to
+concurrency: the lazily built secondary indexes (first keyword search / node
+lookup triggers a build-from-store) and the LRU-bounded per-row caches
+(segment / coordinate / JSON-fragment caches evict while other threads read).
+The database under test is loaded fresh from SQLite with a tiny cache
+capacity so both paths are exercised under real contention.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import StorageConfig
+from repro.core.query_manager import QueryManager
+from repro.spatial.geometry import Point
+from repro.storage.sqlite_backend import load_from_sqlite, save_to_sqlite
+
+NUM_THREADS = 8
+ROUNDS = 6
+KEYWORDS = ["patent", "node", "a", "e"]
+
+
+@pytest.fixture(scope="module")
+def sqlite_path(request, tmp_path_factory):
+    patent_result = request.getfixturevalue("patent_result")
+    path = tmp_path_factory.mktemp("concurrent") / "patent.db"
+    save_to_sqlite(patent_result.database, path)
+    return path
+
+
+def _workload_windows(manager: QueryManager) -> list:
+    base = manager.default_viewport().window()
+    step = base.width / 2
+    return [base.translated(i * step, (i % 3) * step) for i in range(6)]
+
+
+def _serial_baseline(path):
+    """Expected results, computed on a private instance with lazy paths forced."""
+    database = load_from_sqlite(path)
+    manager = QueryManager(database)
+    windows = _workload_windows(manager)
+    window_rows = [manager.window_query(window).rows for window in windows]
+    searches = {
+        keyword: manager.keyword_search(keyword, limit=10).matches
+        for keyword in KEYWORDS
+    }
+    table = database.table(0)
+    centers = [window.center for window in windows]
+    nearest = [table.rtree.nearest(center, k=5) for center in centers]
+    return windows, window_rows, searches, nearest
+
+
+def test_threaded_reads_match_serial_baseline(sqlite_path):
+    windows, expected_rows, expected_searches, expected_nearest = _serial_baseline(
+        sqlite_path
+    )
+    # Tiny cache capacity: every window query churns the per-row caches, so
+    # eviction races with concurrent readers instead of hiding behind an
+    # unbounded dict.
+    database = load_from_sqlite(
+        sqlite_path, config=StorageConfig(cache_capacity=64)
+    )
+    manager = QueryManager(database)
+    table = database.table(0)
+    assert not table.node_indexes_built  # the threads themselves trigger the build
+
+    failures: list[str] = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def hammer(thread_index: int) -> None:
+        barrier.wait()
+        try:
+            for round_index in range(ROUNDS):
+                offset = thread_index + round_index
+                window = windows[offset % len(windows)]
+                rows = manager.window_query(window).rows
+                if rows != expected_rows[offset % len(windows)]:
+                    failures.append(f"window mismatch (thread {thread_index})")
+                keyword = KEYWORDS[offset % len(KEYWORDS)]
+                matches = manager.keyword_search(keyword, limit=10).matches
+                if matches != expected_searches[keyword]:
+                    failures.append(f"keyword mismatch (thread {thread_index})")
+                center = windows[offset % len(windows)].center
+                found = table.rtree.nearest(center, k=5)
+                if found != expected_nearest[offset % len(windows)]:
+                    failures.append(f"nearest mismatch (thread {thread_index})")
+        except Exception as exc:  # noqa: BLE001 - report, don't hang the join
+            failures.append(f"thread {thread_index} raised {exc!r}")
+
+    threads = [
+        threading.Thread(target=hammer, args=(index,))
+        for index in range(NUM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not failures, failures
+    assert table.node_indexes_built  # built exactly once, under contention
+
+
+def test_reads_tolerate_rows_deleted_behind_the_index(sqlite_path):
+    """A row deleted between index lookup and row fetch is skipped, not fatal.
+
+    Simulates the lock-free reader race deterministically: the row leaves the
+    store while the spatial/secondary indexes still reference it (exactly the
+    window a concurrent ``delete_row`` opens for readers holding an index
+    snapshot).
+    """
+    database = load_from_sqlite(sqlite_path)
+    table = database.table(0)
+    bounds = table.bounds()
+    all_rows = table.window_query(bounds)
+    victim = all_rows[len(all_rows) // 2]
+    table.keyword_search("patent")  # force the label trie before the removal
+    table.rows_for_node(victim.node1_id)  # force the B+-trees too
+    table.store.delete(victim.row_id)  # store-only removal: indexes still point
+
+    survivors = table.window_query(bounds)
+    assert victim not in survivors
+    assert len(survivors) == len(all_rows) - 1
+    assert all(
+        row.row_id != victim.row_id
+        for row in table.rows_for_node(victim.node1_id)
+    )
+    table.keyword_search("patent")  # must not raise either
+    assert table.live_rows([victim.row_id]) == []
+
+
+def test_cache_fills_dropped_after_concurrent_invalidation(sqlite_path):
+    """A fill computed from a pre-mutation row must not land after invalidation.
+
+    Replays the reader/writer interleaving deterministically: the reader
+    captures its fill guard (as every payload-build path does before
+    fetching rows), the writer then updates the row — invalidating the
+    caches — and only afterwards does the reader's fill arrive.  It must be
+    dropped, or the pre-edit fragment would be served forever.
+    """
+    from repro.core.json_builder import row_fragments
+    from repro.storage.schema import EdgeRow
+
+    database = load_from_sqlite(sqlite_path)
+    table = database.table(0)
+    row = next(iter(table.scan()))
+
+    guard = table.fragment_fill_guard()  # reader starts: guard captured
+    stale_piece = row_fragments(row)     # reader derives content from old row
+
+    updated = EdgeRow(                   # writer commits an update meanwhile
+        row_id=row.row_id,
+        node1_id=row.node1_id,
+        node1_label="PostEditLabel",
+        edge_geometry=row.edge_geometry,
+        edge_label=row.edge_label,
+        node2_id=row.node2_id,
+        node2_label=row.node2_label,
+    )
+    table.update_row(updated)
+
+    guard[row.row_id] = stale_piece      # reader's late fill must be dropped
+    assert row.row_id not in table.fragment_cache
+
+    # A fill guarded by a *fresh* generation still lands (warm path intact).
+    fresh_guard = table.fragment_fill_guard()
+    fresh_piece = row_fragments(table.get(row.row_id))
+    fresh_guard[row.row_id] = fresh_piece
+    assert table.fragment_cache[row.row_id].node1_obj["label"] == "PostEditLabel"
+
+
+def test_concurrent_lazy_build_single_flight(sqlite_path):
+    """All threads racing the first keyword search see one consistent index."""
+    database = load_from_sqlite(sqlite_path)
+    table = database.table(0)
+    results = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def search():
+        barrier.wait()
+        results.append(table.keyword_search("patent"))
+
+    threads = [threading.Thread(target=search) for _ in range(NUM_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(results) == NUM_THREADS
+    assert all(result == results[0] for result in results)
+
+
+def test_concurrent_node_lookup_vs_serial(sqlite_path):
+    """rows_for_node through the lazily built B+-trees agrees across threads."""
+    baseline_db = load_from_sqlite(sqlite_path)
+    node_ids = sorted(baseline_db.table(0).distinct_node_ids())[:16]
+    expected = {
+        node_id: baseline_db.rows_for_node(0, node_id) for node_id in node_ids
+    }
+
+    database = load_from_sqlite(sqlite_path)
+    failures = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def lookup(thread_index: int) -> None:
+        barrier.wait()
+        for node_id in node_ids[thread_index::NUM_THREADS] or node_ids:
+            if database.rows_for_node(0, node_id) != expected[node_id]:
+                failures.append(node_id)
+
+    threads = [
+        threading.Thread(target=lookup, args=(index,))
+        for index in range(NUM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures

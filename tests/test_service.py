@@ -1,0 +1,415 @@
+"""Unit tests for the concurrent serving subsystem (``repro.service``)."""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.config import GraphVizDBConfig, ServiceConfig
+from repro.core.editing import GraphEditor
+from repro.core.monitoring import ServiceMetrics
+from repro.core.query_manager import QueryManager
+from repro.core.server import GraphVizDBServer
+from repro.errors import ConfigurationError, QueryError, ServiceOverloadedError
+from repro.graph.generators import community_graph
+from repro.service.frontend import GraphVizDBService, ServiceRuntime
+from repro.service.http import serve_http
+from repro.service.maintenance import MaintenanceScheduler
+from repro.service.pool import DatasetPool
+from repro.spatial.geometry import Point
+from repro.storage.sqlite_backend import save_to_sqlite
+
+
+@pytest.fixture(scope="module")
+def sqlite_paths(request, tmp_path_factory):
+    """Three preprocessed SQLite files (one real dataset saved under 3 names)."""
+    patent_result = request.getfixturevalue("patent_result")
+    base = tmp_path_factory.mktemp("pool")
+    paths = []
+    for index in range(3):
+        path = base / f"dataset-{index}.db"
+        save_to_sqlite(patent_result.database, path)
+        paths.append(path)
+    return paths
+
+
+@pytest.fixture
+def runtime(patent_result):
+    """A running service over the in-memory patent dataset."""
+    service = GraphVizDBService(GraphVizDBConfig.small())
+    service.register_dataset("patent", patent_result.database)
+    with ServiceRuntime(service) as runtime:
+        yield runtime
+
+
+class TestServiceConfig:
+    def test_defaults_valid(self):
+        config = ServiceConfig()
+        assert config.max_workers > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_workers": 0},
+        {"max_queue_depth": 0},
+        {"coalesce_window_seconds": -0.1},
+        {"coalesce_max_batch": 0},
+        {"pool_capacity": 0},
+        {"pool_idle_seconds": -1},
+        {"repack_edit_threshold": 0},
+        {"repack_quiescence_seconds": -1},
+        {"maintenance_interval_seconds": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**kwargs)
+
+
+class TestDatasetPool:
+    def test_miss_then_hit(self, sqlite_paths):
+        metrics = ServiceMetrics()
+        pool = DatasetPool(capacity=2, metrics=metrics)
+        first = pool.get(sqlite_paths[0])
+        again = pool.get(sqlite_paths[0])
+        assert first is again
+        assert metrics.pool_misses == 1
+        assert metrics.pool_hits == 1
+        assert first.uses == 2
+
+    def test_lru_eviction_at_capacity(self, sqlite_paths):
+        metrics = ServiceMetrics()
+        pool = DatasetPool(capacity=2, metrics=metrics)
+        pool.get(sqlite_paths[0])
+        pool.get(sqlite_paths[1])
+        pool.get(sqlite_paths[0])  # refresh 0 so 1 is now LRU
+        pool.get(sqlite_paths[2])  # evicts 1
+        keys = pool.open_paths()
+        assert str(sqlite_paths[1].resolve()) not in keys
+        assert str(sqlite_paths[0].resolve()) in keys
+        assert metrics.pool_evictions == 1
+
+    def test_open_once_under_concurrency(self, sqlite_paths):
+        metrics = ServiceMetrics()
+        pool = DatasetPool(capacity=2, metrics=metrics)
+        entries = []
+        barrier = threading.Barrier(6)
+
+        def open_it():
+            barrier.wait()
+            entries.append(pool.get(sqlite_paths[0]))
+
+        threads = [threading.Thread(target=open_it) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(entry.database) for entry in entries}) == 1
+        assert metrics.pool_misses == 1
+
+    def test_evict_idle(self, sqlite_paths):
+        pool = DatasetPool(capacity=2, idle_seconds=0.01)
+        pool.get(sqlite_paths[0])
+        time.sleep(0.02)
+        evicted = pool.evict_idle()
+        assert evicted == [str(sqlite_paths[0].resolve())]
+        assert len(pool) == 0
+
+    def test_explicit_evict(self, sqlite_paths):
+        pool = DatasetPool(capacity=2)
+        pool.get(sqlite_paths[0])
+        assert pool.evict(sqlite_paths[0]) is True
+        assert pool.evict(sqlite_paths[0]) is False
+
+
+class TestFrontend:
+    def test_window_query_matches_direct(self, runtime, patent_result):
+        direct = QueryManager(patent_result.database)
+        window = direct.default_viewport().window()
+        served = runtime.window_query("patent", window)
+        expected = direct.window_query(window)
+        assert served.rows == expected.rows
+        assert served.payload.num_objects == expected.payload.num_objects
+
+    def test_concurrent_identical_windows_coalesce_and_agree(self, patent_result):
+        direct = QueryManager(patent_result.database)
+        window = direct.default_viewport().window()
+        expected = direct.window_query(window)
+        # A generous coalescing window so all 8 threads land in one batch even
+        # on a loaded CI machine.
+        service = GraphVizDBService(GraphVizDBConfig(
+            service=ServiceConfig(coalesce_window_seconds=0.1)
+        ))
+        service.register_dataset("patent", patent_result.database)
+        results = []
+        barrier = threading.Barrier(8)
+        with ServiceRuntime(service) as runtime:
+            def client():
+                barrier.wait()
+                results.append(runtime.window_query("patent", window))
+
+            threads = [threading.Thread(target=client) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            summary = runtime.metrics_summary()
+        assert len(results) == 8
+        assert all(result.rows == expected.rows for result in results)
+        assert summary["coalescer"]["requests"] >= 8
+        assert summary["coalescer"]["batches"] < summary["coalescer"]["requests"]
+        assert summary["coalescer"]["duplicate_window_hits"] > 0
+
+    def test_distinct_windows_in_one_batch_agree(self, runtime, patent_result):
+        direct = QueryManager(patent_result.database)
+        base = direct.default_viewport().window()
+        windows = [base.translated(i * base.width / 3, 0) for i in range(4)]
+        expected = [direct.window_query(w).rows for w in windows]
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def client(index):
+            barrier.wait()
+            results[index] = runtime.window_query("patent", windows[index])
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(4):
+            assert results[index].rows == expected[index]
+
+    def test_keyword_nearest_and_unknown_dataset(self, runtime, patent_result):
+        search = runtime.keyword_search("patent", "patent", limit=3)
+        assert search.num_matches <= 3
+        rows = runtime.nearest("patent", Point(0.0, 0.0), k=5)
+        assert 0 < len(rows) <= 5
+        with pytest.raises(QueryError):
+            runtime.window_query("nope")
+
+    def test_session_lifecycle(self, runtime):
+        session_id = runtime.create_session("patent")
+        refreshed = runtime.session_command(session_id, "refresh")
+        panned = runtime.session_command(session_id, "pan", dx_px=120, dy_px=40)
+        assert panned.window != refreshed.window
+        with pytest.raises(QueryError):
+            runtime.session_command(session_id, "teleport")
+        with pytest.raises(QueryError):
+            runtime.session_command("missing", "refresh")
+        assert runtime.close_session(session_id) is True
+        assert runtime.close_session(session_id) is False
+
+    def test_overload_rejects_with_explicit_error(self, patent_result):
+        config = GraphVizDBConfig(
+            service=ServiceConfig(
+                max_workers=1,
+                max_queue_depth=1,
+                # keep batches open long enough that a second request finds
+                # the first still admitted
+                coalesce_window_seconds=0.2,
+            )
+        )
+        service = GraphVizDBService(config)
+        service.register_dataset("patent", patent_result.database)
+        with ServiceRuntime(service) as runtime:
+            window = QueryManager(patent_result.database).default_viewport().window()
+            first = asyncio.run_coroutine_threadsafe(
+                service.window_query("patent", window), runtime._loop
+            )
+            deadline = time.monotonic() + 2.0
+            while (
+                service.queue_depth("patent") == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                runtime.window_query("patent", window)
+            assert excinfo.value.dataset == "patent"
+            assert first.result(timeout=5).rows is not None
+            assert service.metrics.requests_rejected == 1
+
+    def test_server_facade_start_service(self, small_config):
+        server = GraphVizDBServer(small_config)
+        graph = community_graph(num_communities=2, community_size=15, seed=9)
+        graph.name = "communities"
+        server.load_dataset(graph)
+        with server.start_service() as runtime:
+            result = runtime.window_query("communities")
+            assert result.num_objects > 0
+
+    def test_sqlite_datasets_via_pool(self, sqlite_paths):
+        service = GraphVizDBService(GraphVizDBConfig.small())
+        service.attach_sqlite("a", sqlite_paths[0])
+        service.attach_sqlite("b", sqlite_paths[1])
+        with ServiceRuntime(service) as runtime:
+            first = runtime.window_query("a")
+            second = runtime.window_query("b")
+            assert first.rows == second.rows  # same saved dataset
+            summary = runtime.metrics_summary()
+            assert summary["pool"]["misses"] == 2
+
+
+class TestMaintenance:
+    def test_run_once_repacks_after_quiescence(self, patent_result, tmp_path):
+        from repro.storage.sqlite_backend import load_from_sqlite
+
+        path = tmp_path / "maint.db"
+        save_to_sqlite(patent_result.database, path)
+        database = load_from_sqlite(path)
+        editor = GraphEditor(database, layer=0)
+        row = next(iter(database.table(0).scan()))
+        editor.rename_node(row.node1_id, "Renamed")
+        assert database.table(0).rtree.supports_updates  # demoted by the edit
+
+        metrics = ServiceMetrics()
+        scheduler = MaintenanceScheduler(
+            config=ServiceConfig(
+                repack_edit_threshold=1, repack_quiescence_seconds=10.0
+            ),
+            metrics=metrics,
+        )
+        scheduler.watch("maint", database)
+        # Not quiesced yet: the edit just happened, threshold met but too fresh.
+        assert scheduler.run_once()["repacked"] == {}
+        scheduler.config = ServiceConfig(
+            repack_edit_threshold=1, repack_quiescence_seconds=0.0
+        )
+        outcome = scheduler.run_once()
+        assert outcome["repacked"] == {"maint": [0]}
+        assert not database.table(0).rtree.supports_updates
+        assert database.table(0).edits_since_repack == 0
+        assert metrics.repack_runs == 1
+        # A second cycle finds nothing to do.
+        assert scheduler.run_once()["repacked"] == {}
+
+    def test_background_thread_lifecycle(self):
+        scheduler = MaintenanceScheduler(
+            config=ServiceConfig(maintenance_interval_seconds=0.01)
+        )
+        scheduler.start()
+        assert scheduler.running
+        scheduler.start()  # idempotent
+        scheduler.stop()
+        assert not scheduler.running
+
+    def test_watch_unwatch(self, patent_result):
+        scheduler = MaintenanceScheduler()
+        scheduler.watch("one", patent_result.database)
+        assert scheduler.watched() == ["one"]
+        scheduler.unwatch("one")
+        assert scheduler.watched() == []
+
+    def test_cycle_survives_failing_hook_and_database(self, patent_result):
+        class ExplodingDatabase:
+            def layers_due_for_repack(self, **kwargs):
+                raise RuntimeError("boom")
+
+        scheduler = MaintenanceScheduler(
+            config=ServiceConfig(repack_edit_threshold=1,
+                                 repack_quiescence_seconds=0.0)
+        )
+        scheduler.watch("bad", ExplodingDatabase())
+        scheduler.watch("good", patent_result.database)
+        hook_calls = []
+
+        def bad_hook():
+            hook_calls.append(True)
+            raise ValueError("hook boom")
+
+        scheduler.add_hook(bad_hook)
+        outcome = scheduler.run_once()  # must not raise
+        assert hook_calls == [True]
+        assert isinstance(scheduler.last_error, ValueError)
+        assert outcome["repacked"] == {}  # the good database had nothing due
+
+    def test_idle_sessions_expire(self, patent_result):
+        service = GraphVizDBService(GraphVizDBConfig(
+            service=ServiceConfig(session_idle_seconds=0.01)
+        ))
+        service.register_dataset("patent", patent_result.database)
+        with ServiceRuntime(service) as runtime:
+            session_id = runtime.create_session("patent")
+            time.sleep(0.03)
+            expired = service._expire_idle_sessions()
+            assert session_id in expired
+            with pytest.raises(QueryError):
+                runtime.session_command(session_id, "refresh")
+
+
+class TestHttp:
+    @pytest.fixture
+    def http_server(self, patent_result):
+        service = GraphVizDBService(GraphVizDBConfig.small())
+        service.register_dataset("patent", patent_result.database)
+        started = threading.Event()
+        stop = {}
+
+        def run_loop():
+            async def main():
+                async with service:
+                    server = await serve_http(service, port=0)
+                    stop["port"] = server.sockets[0].getsockname()[1]
+                    stop["loop"] = asyncio.get_running_loop()
+                    stop["event"] = asyncio.Event()
+                    started.set()
+                    await stop["event"].wait()
+                    server.close()
+                    await server.wait_closed()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_loop, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        yield stop["port"]
+        stop["loop"].call_soon_threadsafe(stop["event"].set)
+        thread.join(timeout=10)
+
+    def _get(self, port, path):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+
+    def test_endpoints(self, http_server):
+        port = http_server
+        status, body = self._get(port, "/datasets")
+        assert status == 200 and body["datasets"] == ["patent"]
+        status, body = self._get(port, "/window?dataset=patent")
+        assert status == 200 and body["num_objects"] > 0
+        status, body = self._get(port, "/window?dataset=patent&payload=1")
+        assert status == 200 and len(body["payload"]["nodes"]) > 0
+        status, body = self._get(port, "/keyword?dataset=patent&q=patent&limit=2")
+        assert status == 200 and body["num_matches"] <= 2
+        status, body = self._get(port, "/nearest?dataset=patent&x=0&y=0&k=2")
+        assert status == 200 and len(body["rows"]) == 2
+        status, body = self._get(port, "/metrics")
+        assert status == 200 and body["requests"]["admitted"] >= 4
+
+    def test_http_sessions(self, http_server):
+        port = http_server
+        status, body = self._get(port, "/session/new?dataset=patent")
+        assert status == 200
+        session_id = body["session_id"]
+        status, body = self._get(port, f"/session/{session_id}/refresh")
+        assert status == 200 and body["num_objects"] > 0
+        status, body = self._get(port, f"/session/{session_id}/pan?dx=100&dy=0")
+        assert status == 200
+        status, body = self._get(port, f"/session/{session_id}/search?q=patent&limit=2")
+        assert status == 200 and body["num_matches"] <= 2
+        status, body = self._get(port, f"/session/{session_id}/close")
+        assert status == 200 and body["closed"] is True
+        status, _ = self._get(port, f"/session/{session_id}/refresh")
+        assert status == 404  # closed sessions are gone
+
+    def test_http_errors(self, http_server):
+        port = http_server
+        status, _ = self._get(port, "/window?dataset=missing")
+        assert status == 404
+        status, _ = self._get(port, "/window")
+        assert status == 400  # dataset parameter missing
+        status, _ = self._get(port, "/nope")
+        assert status == 404
