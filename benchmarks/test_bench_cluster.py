@@ -1,0 +1,339 @@
+"""Cluster scale-out: multi-process throughput and crash recovery.
+
+Two questions the new cluster subsystem must answer with numbers:
+
+* **Does the router beat one process on the CPU-bound workload?**  Eight
+  HTTP clients replay a shared tour of window+payload queries over four
+  dataset shards — the popular-region pattern: the same windows recur across
+  clients and over time.  The baseline is the PR 3 single-process stack
+  behind its own HTTP endpoint; against it run routers over 1, 2 and 4
+  worker processes.  Two effects compound: worker processes build JSON
+  payloads outside the router's GIL, and the router's cross-request
+  :class:`~repro.cluster.cache.WindowResultCache` answers repeated windows
+  without any worker round trip at all (on single-core CI machines the cache
+  is the dominant term; ``cpu_count`` is recorded with every entry).  A
+  cache-off 4-worker run is recorded alongside to keep the two effects
+  separable.  The acceptance bar is 4-worker >= 2.5x single-process.
+* **How fast does a killed worker's data come back?**  Kill the OS process
+  owning a shard, then hammer that shard until it answers again: the router
+  marks the worker dead on the first broken proxy and fails over to the
+  survivor (which cold-opens the shard from SQLite — cheap since PR 2), so
+  recovery must land within one health-check interval.
+
+Measurements append to ``BENCH_cluster.json`` at the repository root,
+building a trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_comparison
+from repro.cluster.router import ClusterRuntime
+from repro.config import ClusterConfig, GraphVizDBConfig, ServiceConfig
+from repro.core.query_manager import QueryManager
+from repro.storage.sqlite_backend import save_to_sqlite
+
+#: Where the cluster trajectory is recorded (repo root).
+TRAJECTORY_PATH = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+
+#: Dataset shards served by every deployment under test.
+NUM_SHARDS = 4
+
+#: Concurrent HTTP client threads.
+NUM_CLIENTS = 8
+
+#: Requests each client issues in a timed run.
+REQUESTS_PER_CLIENT = 24
+
+#: Distinct windows along the shared tour (per shard).
+NUM_WINDOWS = 6
+
+#: Router fleet sizes compared against the single-process baseline.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Supervision cadence for the crash-recovery measurement — the acceptance
+#: bar is recovery within one of these intervals.
+HEALTH_INTERVAL_SECONDS = 0.5
+
+
+def record_trajectory(measurements: dict) -> None:
+    """Append one measurement entry to the BENCH_cluster.json trajectory."""
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "0.5")),
+        "dataset": f"patent-like-x{NUM_SHARDS}",
+        "cpu_count": os.cpu_count(),
+        **measurements,
+    }
+    history: list = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(entry)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def cluster_shards(patent_preprocessed, tmp_path_factory):
+    """``name -> path`` of the shard files plus the shared tour of targets."""
+    base = tmp_path_factory.mktemp("cluster-bench")
+    paths: dict[str, str] = {}
+    for index in range(NUM_SHARDS):
+        path = base / f"shard{index}.db"
+        save_to_sqlite(patent_preprocessed.database, path)
+        paths[f"shard{index}"] = str(path)
+    manager = QueryManager(patent_preprocessed.database)
+    window = manager.default_viewport().window()
+    step = window.width / 3
+    targets = []
+    for name in sorted(paths):
+        for index in range(NUM_WINDOWS):
+            shifted = window.translated((index % 3) * step, (index // 3) * step)
+            targets.append(
+                f"/window?dataset={name}&payload=1"
+                f"&min_x={shifted.min_x:.3f}&min_y={shifted.min_y:.3f}"
+                f"&max_x={shifted.max_x:.3f}&max_y={shifted.max_y:.3f}"
+            )
+    return paths, targets
+
+
+def _drive_clients(port: int, targets: list[str]) -> float:
+    """NUM_CLIENTS keep-alive clients replay the tour; returns elapsed seconds."""
+    barrier = threading.Barrier(NUM_CLIENTS + 1)
+    errors: list[object] = []
+
+    def client(seed: int) -> None:
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            barrier.wait()
+            for index in range(REQUESTS_PER_CLIENT):
+                target = targets[(seed * 7 + index) % len(targets)]
+                connection.request("GET", target)
+                response = connection.getresponse()
+                body = response.read()
+                if response.status != 200:
+                    errors.append((response.status, body[:200]))
+        except Exception as exc:  # pragma: no cover - surfaced via assert
+            errors.append(exc)
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(NUM_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors[:3]
+    return elapsed
+
+
+def _warm(port: int, targets: list[str]) -> None:
+    """One serial pass over every target (opens pools, fills every cache tier)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        for target in targets:
+            connection.request("GET", target)
+            response = connection.getresponse()
+            assert response.status == 200, response.read()[:200]
+            response.read()
+    finally:
+        connection.close()
+
+
+class _SingleProcessServer:
+    """The PR 3 baseline: one service, one process, one HTTP endpoint."""
+
+    def __init__(self, paths: dict[str, str]) -> None:
+        import asyncio
+
+        from repro.service.frontend import GraphVizDBService
+        from repro.service.http import serve_http
+
+        service = GraphVizDBService(GraphVizDBConfig(
+            service=ServiceConfig(pool_capacity=max(4, len(paths)))
+        ))
+        for name, path in paths.items():
+            service.attach_sqlite(name, path)
+        self._started = threading.Event()
+        self._stop: dict = {}
+
+        def run_loop() -> None:
+            async def main() -> None:
+                async with service:
+                    server = await serve_http(service, port=0)
+                    self._stop["port"] = server.sockets[0].getsockname()[1]
+                    self._stop["loop"] = asyncio.get_running_loop()
+                    self._stop["event"] = asyncio.Event()
+                    self._started.set()
+                    await self._stop["event"].wait()
+                    server.close()
+                    await server.wait_closed()
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(target=run_loop, daemon=True)
+        self._thread.start()
+        assert self._started.wait(timeout=30)
+
+    @property
+    def port(self) -> int:
+        return self._stop["port"]
+
+    def close(self) -> None:
+        self._stop["loop"].call_soon_threadsafe(self._stop["event"].set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "_SingleProcessServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _cluster_config(num_workers: int, cache: bool = True) -> GraphVizDBConfig:
+    return GraphVizDBConfig(cluster=ClusterConfig(
+        num_workers=num_workers,
+        cache_capacity=1024 if cache else 0,
+        health_interval_seconds=HEALTH_INTERVAL_SECONDS,
+    ))
+
+
+def test_router_throughput_vs_single_process(cluster_shards, capsys):
+    """A 4-worker router must serve >= 2.5x the single-process throughput."""
+    paths, targets = cluster_shards
+    total_requests = NUM_CLIENTS * REQUESTS_PER_CLIENT
+
+    with _SingleProcessServer(paths) as baseline:
+        _warm(baseline.port, targets)
+        single_seconds = _drive_clients(baseline.port, targets)
+    single_rps = total_requests / single_seconds
+
+    measurements: dict[str, object] = {
+        "kind": "throughput",
+        "clients": NUM_CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "distinct_targets": len(targets),
+        "single_process_rps": single_rps,
+        "single_process_ms": single_seconds * 1000,
+    }
+    for num_workers in WORKER_COUNTS:
+        with ClusterRuntime(paths, config=_cluster_config(num_workers)) as runtime:
+            _warm(runtime.port, targets)
+            elapsed = _drive_clients(runtime.port, targets)
+            cache_hits = runtime.router.metrics.window_cache_hits
+        measurements[f"router_{num_workers}w_rps"] = total_requests / elapsed
+        measurements[f"router_{num_workers}w_ms"] = elapsed * 1000
+        measurements[f"router_{num_workers}w_cache_hits"] = cache_hits
+    with ClusterRuntime(paths, config=_cluster_config(4, cache=False)) as runtime:
+        _warm(runtime.port, targets)
+        nocache_seconds = _drive_clients(runtime.port, targets)
+    measurements["router_4w_nocache_rps"] = total_requests / nocache_seconds
+    speedup = measurements["router_4w_rps"] / single_rps
+    measurements["speedup_4w"] = speedup
+    record_trajectory(measurements)
+
+    with capsys.disabled():
+        print()
+        print(
+            f"Cluster throughput ({NUM_CLIENTS} clients x {REQUESTS_PER_CLIENT} "
+            f"window+payload requests over {NUM_SHARDS} shards, "
+            f"{os.cpu_count()} CPUs):"
+        )
+        print(f"  single process : {single_rps:8.0f} req/s")
+        for num_workers in WORKER_COUNTS:
+            print(
+                f"  router {num_workers}w      : "
+                f"{measurements[f'router_{num_workers}w_rps']:8.0f} req/s "
+                f"({measurements[f'router_{num_workers}w_cache_hits']} cache hits)"
+            )
+        print(
+            f"  router 4w -cache: "
+            f"{measurements['router_4w_nocache_rps']:8.0f} req/s"
+        )
+        print(format_comparison(
+            "multi-process router + window cache under CPU-bound load",
+            "ISSUE 4 target: 4-worker router >= 2.5x single-process throughput",
+            f"speedup: {speedup:.1f}x",
+            speedup >= 2.5,
+        ))
+    assert speedup >= 2.5, (
+        f"4-worker router only reached {speedup:.2f}x single-process throughput"
+    )
+
+
+def test_crash_recovery_within_health_interval(cluster_shards, capsys):
+    """A killed worker's shards must serve again within one health interval."""
+    paths, _ = cluster_shards
+    config = _cluster_config(2)
+    with ClusterRuntime(paths, config=config) as runtime:
+        port = runtime.port
+        _warm(port, [f"/window?dataset={name}" for name in sorted(paths)])
+        assignment = runtime.health_summary()["assignment"]
+        victim = assignment["shard0"]
+        victim_generation = runtime.router._handles[victim].generation
+        runtime.router._handles[victim].process.kill()
+
+        killed_at = time.perf_counter()
+        deadline = killed_at + 30.0
+        recovery_seconds = None
+        while time.perf_counter() < deadline:
+            connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                connection.request("GET", "/window?dataset=shard0")
+                if connection.getresponse().status == 200:
+                    recovery_seconds = time.perf_counter() - killed_at
+                    break
+            except OSError:
+                pass
+            finally:
+                connection.close()
+            time.sleep(0.01)
+        assert recovery_seconds is not None, "shard0 never recovered"
+
+        restart_seconds = None
+        deadline = time.perf_counter() + 60.0
+        while time.perf_counter() < deadline:
+            handle = runtime.router._handles[victim]
+            if handle.healthy and handle.generation > victim_generation:
+                restart_seconds = time.perf_counter() - killed_at
+                break
+            time.sleep(0.05)
+
+    record_trajectory({
+        "kind": "crash_recovery",
+        "recovery_ms": recovery_seconds * 1000,
+        "restart_ms": restart_seconds * 1000 if restart_seconds else None,
+        "health_interval_ms": HEALTH_INTERVAL_SECONDS * 1000,
+    })
+    with capsys.disabled():
+        print()
+        print(format_comparison(
+            "failover after a worker crash",
+            "ISSUE 4 target: killed worker's datasets serve again within one "
+            f"health-check interval ({HEALTH_INTERVAL_SECONDS * 1000:.0f} ms)",
+            f"recovered in {recovery_seconds * 1000:.0f} ms"
+            + (
+                f", replacement worker up in {restart_seconds * 1000:.0f} ms"
+                if restart_seconds else ""
+            ),
+            recovery_seconds <= HEALTH_INTERVAL_SECONDS,
+        ))
+    assert recovery_seconds <= HEALTH_INTERVAL_SECONDS, (
+        f"recovery took {recovery_seconds * 1000:.0f} ms "
+        f"(> one {HEALTH_INTERVAL_SECONDS * 1000:.0f} ms health interval)"
+    )

@@ -3,7 +3,10 @@
 #   * packed-vs-dynamic window/kNN/count queries  -> BENCH_indexes.json
 #   * SQLite cold start (page restore vs rebuild) -> BENCH_coldstart.json
 #   * concurrent serving (coalescing/pool/repack) -> BENCH_serving.json
-# so every PR has a perf baseline to compare against.
+#   * cluster scale-out (router/cache/failover)   -> BENCH_cluster.json
+# so every PR has a perf baseline to compare against.  Also runs the
+# 2-worker cluster lifecycle smoke (start, query through the router, kill a
+# worker, query again, drain).
 #
 # Usage: scripts/bench_smoke.sh [extra pytest args]
 # Scale can be overridden: REPRO_BENCH_SCALE=0.5 scripts/bench_smoke.sh
@@ -13,10 +16,14 @@ cd "$(dirname "$0")/.."
 export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-0.1}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "index + cold-start + serving smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
+echo "2-worker cluster lifecycle smoke (start / query / kill / query / drain)"
+python scripts/cluster_smoke.py
+
+echo "index + cold-start + serving + cluster smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
 python -m pytest benchmarks/test_bench_ablation_indexes.py \
     benchmarks/test_bench_coldstart.py \
-    benchmarks/test_bench_serving.py -q -p no:cacheprovider "$@"
+    benchmarks/test_bench_serving.py \
+    benchmarks/test_bench_cluster.py -q -p no:cacheprovider "$@"
 echo "trajectory written to BENCH_indexes.json:"
 python - <<'EOF'
 import json
@@ -67,6 +74,32 @@ for entry in history[-6:]:
         )
     else:
         detail = f"repack_latency={entry['repack_latency_ms']:.0f}ms"
+    print(
+        f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
+        f"{kind:<17} {detail}"
+    )
+EOF
+echo "trajectory written to BENCH_cluster.json:"
+python - <<'EOF'
+import json
+from pathlib import Path
+
+history = json.loads(Path("BENCH_cluster.json").read_text())
+for entry in history[-4:]:
+    kind = entry.get("kind", "?")
+    if kind == "throughput":
+        detail = (
+            f"single={entry['single_process_rps']:.0f}rps "
+            f"4w={entry['router_4w_rps']:.0f}rps "
+            f"4w-nocache={entry['router_4w_nocache_rps']:.0f}rps "
+            f"speedup={entry['speedup_4w']:.1f}x cpus={entry['cpu_count']}"
+        )
+    else:
+        restart = entry.get("restart_ms")
+        detail = (
+            f"recovery={entry['recovery_ms']:.0f}ms"
+            + (f" restart={restart:.0f}ms" if restart else "")
+        )
     print(
         f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
         f"{kind:<17} {detail}"

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""2-worker cluster smoke: start, query through the router, kill a worker,
+query again, drain.
+
+The no-pytest proof that the cluster subsystem works end to end on a bare
+checkout (CI runs it from ``scripts/bench_smoke.sh``).  Builds two tiny
+preprocessed shards in a temp dir, starts a ``ClusterRuntime`` with two
+worker processes, and walks the lifecycle the subsystem exists for:
+
+1. window + keyword queries through the router (both shards);
+2. a repeated window served by the cross-request cache;
+3. SIGKILL one worker, then query its shard again — failover to the
+   survivor must answer 200, and the supervisor must bring a replacement
+   back to healthy;
+4. graceful drain.
+
+Prints a JSON summary and exits non-zero on any failed expectation.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def get(port: int, target: str, timeout: float = 60.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("GET", target)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def main() -> int:
+    from repro.cluster.router import ClusterRuntime
+    from repro.config import ClusterConfig, GraphVizDBConfig
+    from repro.core.pipeline import PreprocessingPipeline
+    from repro.graph.generators import patent_like
+    from repro.storage.sqlite_backend import save_to_sqlite
+
+    summary: dict[str, object] = {}
+    base = Path(tempfile.mkdtemp(prefix="cluster-smoke-"))
+    result = PreprocessingPipeline(GraphVizDBConfig.small()).run(
+        patent_like(num_patents=200, seed=7)
+    )
+    paths: dict[str, str] = {}
+    for name in ("smoke-a", "smoke-b"):
+        path = base / f"{name}.db"
+        save_to_sqlite(result.database, path)
+        paths[name] = str(path)
+
+    config = GraphVizDBConfig(cluster=ClusterConfig(
+        num_workers=2, health_interval_seconds=0.1, restart_backoff_seconds=0.01
+    ))
+    started = time.perf_counter()
+    with ClusterRuntime(paths, config=config) as runtime:
+        summary["startup_ms"] = round((time.perf_counter() - started) * 1000)
+        port = runtime.port
+
+        status, body = get(port, "/datasets")
+        assert status == 200 and body["datasets"] == ["smoke-a", "smoke-b"], body
+        for name in paths:
+            status, body = get(port, f"/window?dataset={name}&payload=1")
+            assert status == 200 and body["meta"]["num_objects"] > 0, (name, body)
+            status, body = get(port, f"/keyword?dataset={name}&q=patent&limit=2")
+            assert status == 200, (name, body)
+        status, _ = get(port, "/window?dataset=smoke-a&payload=1")
+        assert status == 200
+        assert runtime.router.metrics.window_cache_hits >= 1, "cache never hit"
+        summary["queries_ok"] = True
+        summary["cache_hits"] = runtime.router.metrics.window_cache_hits
+
+        victim = runtime.health_summary()["assignment"]["smoke-a"]
+        generation = runtime.router._handles[victim].generation
+        runtime.router._handles[victim].process.kill()
+        killed_at = time.perf_counter()
+        status, body = get(port, "/keyword?dataset=smoke-a&q=patent")
+        assert status == 200, f"failover query failed: {status} {body}"
+        summary["failover_ms"] = round((time.perf_counter() - killed_at) * 1000)
+
+        deadline = time.perf_counter() + 60.0
+        while time.perf_counter() < deadline:
+            handle = runtime.router._handles[victim]
+            if handle.healthy and handle.generation > generation:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError(f"worker {victim} was never restarted")
+        summary["restart_ms"] = round((time.perf_counter() - killed_at) * 1000)
+        status, _ = get(port, "/window?dataset=smoke-a")
+        assert status == 200, "query after restart failed"
+
+        processes = [h.process for h in runtime.router._handles.values()]
+        drain_started = time.perf_counter()
+    summary["drain_ms"] = round((time.perf_counter() - drain_started) * 1000)
+    assert all(not p.is_alive() for p in processes), "drain left workers running"
+    summary["drained"] = True
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

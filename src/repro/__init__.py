@@ -20,6 +20,7 @@ Quickstart::
 from .config import (
     AbstractionConfig,
     ClientConfig,
+    ClusterConfig,
     GraphVizDBConfig,
     LayoutConfig,
     PartitionConfig,
@@ -42,6 +43,7 @@ __version__ = "1.1.0"
 __all__ = [
     "AbstractionConfig",
     "ClientConfig",
+    "ClusterConfig",
     "GraphVizDBConfig",
     "LayoutConfig",
     "PartitionConfig",

@@ -9,7 +9,9 @@ Exposes the main workflows of the library without writing Python:
 * ``stats`` — print the statistics-panel summary of a dataset or database;
 * ``bench`` — run the Table I / Fig. 3 harness at a chosen scale;
 * ``serve`` — serve one or more preprocessed SQLite databases to concurrent
-  clients over HTTP (or run a self-contained concurrency smoke workload).
+  clients over HTTP: in-process by default, or behind a multi-process cluster
+  router with ``--workers N`` (or run a self-contained concurrency smoke
+  workload with ``--smoke``).
 
 Run as ``python -m repro <command> ...``; see ``--help`` on each command.
 """
@@ -159,47 +161,108 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve preprocessed SQLite databases to concurrent clients."""
     import asyncio
+    import errno
 
-    from .config import ServiceConfig
+    from .config import ClusterConfig, ServiceConfig
     from .service.frontend import GraphVizDBService
     from .service.http import serve_http
 
     config = GraphVizDBConfig(
         service=ServiceConfig(
-            max_workers=args.workers,
+            max_workers=args.threads,
             max_queue_depth=args.max_queue_depth,
             pool_capacity=max(args.pool_capacity, len(args.database)),
-        )
+        ),
+        cluster=ClusterConfig(
+            num_workers=max(args.workers, 0), worker_threads=args.threads
+        ),
     )
-    service = GraphVizDBService(config)
+    datasets: dict[str, str] = {}
     for path_text in args.database:
         path = Path(path_text)
         if not path.exists():
             raise SystemExit(f"database file {path} does not exist")
-        if path.stem in service.datasets():
+        if path.stem in datasets:
             raise SystemExit(
                 f"duplicate dataset name {path.stem!r} (file stems must be "
                 f"unique; rename one of the --database files)"
             )
-        service.attach_sqlite(path.stem, path)
-    print(f"serving datasets: {', '.join(service.datasets())}")
+        datasets[path.stem] = str(path)
+    print(f"serving datasets: {', '.join(sorted(datasets))}")
 
     if args.smoke:
+        if args.workers > 0:
+            raise SystemExit(
+                "--smoke runs an in-process workload and cannot be combined "
+                "with --workers N; drop one of the flags"
+            )
+        service = GraphVizDBService(config)
+        for name, path_text in datasets.items():
+            service.attach_sqlite(name, path_text)
         return _serve_smoke(service, requests=args.smoke, clients=args.clients)
 
-    async def run() -> None:
-        async with service:
-            server = await serve_http(service, host=args.host, port=args.port)
-            host, port = server.sockets[0].getsockname()[:2]
-            print(f"listening on http://{host}:{port} (Ctrl-C to stop)")
-            async with server:
-                await server.serve_forever()
-
+    if args.workers > 0:
+        run = _serve_cluster(datasets, config, host=args.host, port=args.port)
+    else:
+        run = _serve_single(datasets, config, host=args.host, port=args.port)
     try:
-        asyncio.run(run())
+        asyncio.run(run)
     except KeyboardInterrupt:
         print("stopped")
+    except OSError as exc:
+        # The common operational failure (port already bound) must exit with
+        # a clear one-line error, not a raw traceback.
+        if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+            raise SystemExit(
+                f"cannot bind {args.host}:{args.port}: {exc.strerror or exc} "
+                f"(is another server already running on that port?)"
+            ) from exc
+        raise
     return 0
+
+
+async def _serve_single(
+    datasets: dict[str, str], config: GraphVizDBConfig, host: str, port: int
+) -> None:
+    """Serve every dataset from one in-process service (``--workers 0``)."""
+    from .service.frontend import GraphVizDBService
+    from .service.http import serve_http
+
+    service = GraphVizDBService(config)
+    for name, path_text in datasets.items():
+        service.attach_sqlite(name, path_text)
+    async with service:
+        server = await serve_http(service, host=host, port=port)
+        bound_host, bound_port = server.sockets[0].getsockname()[:2]
+        print(f"listening on http://{bound_host}:{bound_port} (Ctrl-C to stop)")
+        async with server:
+            await server.serve_forever()
+
+
+async def _serve_cluster(
+    datasets: dict[str, str], config: GraphVizDBConfig, host: str, port: int
+) -> None:
+    """Serve through a router over ``--workers N`` worker processes."""
+    import asyncio
+    import signal
+
+    from .cluster.router import ClusterRouter
+
+    router = ClusterRouter(datasets, config=config)
+    # A failed public bind tears down the spawned fleet inside start().
+    await router.start(host=host, port=port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    print(
+        f"cluster of {config.cluster.num_workers} workers listening on "
+        f"http://{host}:{router.port} (Ctrl-C to drain and stop)"
+    )
+    await stop.wait()
+    print("draining cluster...")
+    await router.stop()
+    print("stopped")
 
 
 def _serve_smoke(service, requests: int, clients: int) -> int:
@@ -319,8 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="HTTP port (0 = pick a free one)")
-    serve.add_argument("--workers", type=int, default=4,
-                       help="query worker threads")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes behind a cluster router "
+                            "(0 = serve from this process, no router)")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="query worker threads per serving process")
     serve.add_argument("--max-queue-depth", type=int, default=64,
                        help="per-dataset admission limit before 503")
     serve.add_argument("--pool-capacity", type=int, default=4,

@@ -1,0 +1,42 @@
+"""Multi-process cluster subsystem.
+
+PR 3 made one process serve many concurrent clients; this package makes many
+*processes* serve them, sidestepping the GIL for the CPU-bound JSON payload
+builds that dominate interactive window queries:
+
+* :mod:`repro.cluster.hashing` — rendezvous (HRW) dataset-to-worker
+  assignment: coordination-free, balanced, and minimally disrupted by worker
+  loss;
+* :mod:`repro.cluster.worker` — worker processes (each a full PR 3 serving
+  stack behind its own HTTP port), spawn handshake and graceful drain;
+* :mod:`repro.cluster.client` — the router's pooled keep-alive HTTP client,
+  one per worker;
+* :mod:`repro.cluster.cache` — the cross-request
+  :class:`~repro.cluster.cache.WindowResultCache`, invalidated by the
+  per-dataset edit counters workers surface in ``/health``;
+* :mod:`repro.cluster.router` — the asyncio router/supervisor: proxies
+  requests to rendezvous owners, aggregates ``/metrics``, health-checks the
+  fleet, restarts crashed workers (datasets fail over to survivors
+  instantly), and drains on shutdown.  :class:`ClusterRuntime` wraps it for
+  synchronous callers (CLI, benchmarks, tests).
+"""
+
+from .cache import CachedResponse, WindowResultCache
+from .client import WorkerClient
+from .hashing import rendezvous_owner, rendezvous_ranking, rendezvous_score
+from .router import ClusterRouter, ClusterRuntime, merge_summaries
+from .worker import WorkerHandle, WorkerSpec
+
+__all__ = [
+    "CachedResponse",
+    "WindowResultCache",
+    "WorkerClient",
+    "rendezvous_owner",
+    "rendezvous_ranking",
+    "rendezvous_score",
+    "ClusterRouter",
+    "ClusterRuntime",
+    "merge_summaries",
+    "WorkerHandle",
+    "WorkerSpec",
+]

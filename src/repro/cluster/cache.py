@@ -1,0 +1,191 @@
+"""Cross-request window-result cache for the cluster router.
+
+The PR 3 coalescer dedups window queries that are in flight *concurrently*;
+this cache closes the temporal gap: a window anyone queried recently is served
+from the router without touching a worker at all — the common "many users
+crowd the same popular region over minutes" pattern costs one payload build
+cluster-wide instead of one per request.
+
+Entries hold the worker's verbatim response bytes, so a hit is a dict lookup
+plus a socket write.  Invalidation is edit-driven: every worker ``/health``
+response carries a monotonic per-dataset edit counter
+(:meth:`~repro.storage.database.GraphVizDatabase.edit_counter`); the router
+feeds those snapshots to :meth:`WindowResultCache.observe_edit_counters`, and
+*any* change (including the reset that comes with a pool eviction) drops the
+dataset's cached windows.  Bounded both by entry count and by payload bytes —
+window payloads vary by orders of magnitude with zoom level, so a pure entry
+cap would let a few layer-0 megawindows dominate memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..core.monitoring import ServiceMetrics
+
+__all__ = ["CachedResponse", "WindowResultCache"]
+
+
+@dataclass
+class CachedResponse:
+    """One cached worker response: the bytes on the wire plus bookkeeping."""
+
+    key: str
+    dataset: str
+    status: int
+    body: bytes
+    hits: int = 0
+
+
+class WindowResultCache:
+    """LRU cache of window-query responses keyed by canonical request target.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached responses (``0`` disables the cache: every
+        ``get`` misses and every ``put`` is dropped).
+    max_bytes:
+        Budget over the cached body bytes; exceeding it evicts least recently
+        used entries.
+    metrics:
+        Optional shared :class:`ServiceMetrics` receiving hit / miss /
+        invalidation counts.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        max_bytes: int = 64 * 1024 * 1024,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CachedResponse] = OrderedDict()
+        self._total_bytes = 0
+        self._dataset_counters: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held in cached response bodies."""
+        with self._lock:
+            return self._total_bytes
+
+    # ------------------------------------------------------------------ lookup
+
+    def get(self, key: str) -> CachedResponse | None:
+        """The cached response for ``key``, or ``None`` (counting hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if self.metrics is not None:
+                    self.metrics.record_cache_miss()
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+        if self.metrics is not None:
+            self.metrics.record_cache_hit()
+        return entry
+
+    def counter_snapshot(self, dataset: str) -> int | None:
+        """The dataset's last observed edit counter (``None`` before any probe).
+
+        Capture it *before* dispatching the query whose response will be
+        cached, and hand it back to :meth:`put` — closing the race where an
+        edit and its invalidation land while the query is in flight, which
+        would otherwise let the pre-edit response enter the cache *after*
+        the invalidation and be served stale until the next edit.
+        """
+        with self._lock:
+            return self._dataset_counters.get(dataset)
+
+    def put(
+        self,
+        key: str,
+        dataset: str,
+        status: int,
+        body: bytes,
+        counter: int | None = None,
+    ) -> None:
+        """Cache one response, evicting LRU entries past either budget.
+
+        ``counter`` is the :meth:`counter_snapshot` taken before the response
+        was computed; if the dataset's observed counter has moved since, the
+        response predates an invalidation and is dropped instead of cached.
+        """
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if self._dataset_counters.get(dataset) != counter:
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._total_bytes -= len(old.body)
+            self._entries[key] = CachedResponse(
+                key=key, dataset=dataset, status=status, body=body
+            )
+            self._total_bytes += len(body)
+            while len(self._entries) > self.capacity or (
+                self.max_bytes and self._total_bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._total_bytes -= len(evicted.body)
+
+    # -------------------------------------------------------------- invalidation
+
+    def invalidate_dataset(self, dataset: str) -> int:
+        """Drop every cached response of ``dataset``; returns how many."""
+        with self._lock:
+            doomed = [
+                key for key, entry in self._entries.items()
+                if entry.dataset == dataset
+            ]
+            for key in doomed:
+                self._total_bytes -= len(self._entries.pop(key).body)
+        if doomed and self.metrics is not None:
+            self.metrics.record_cache_invalidation(len(doomed))
+        return len(doomed)
+
+    def observe_edit_counters(self, counters: dict[str, int]) -> int:
+        """Compare a health snapshot's edit counters against the last one seen.
+
+        Any dataset whose counter *differs* (not just grew — a pool eviction
+        resets the worker-side counter, and the re-opened state differs from
+        what post-edit cached responses captured) has its entries dropped.
+        Returns the number of invalidated entries.
+        """
+        dropped = 0
+        for dataset, counter in counters.items():
+            with self._lock:
+                known = self._dataset_counters.get(dataset)
+                self._dataset_counters[dataset] = counter
+            if known is not None and known != counter:
+                dropped += self.invalidate_dataset(dataset)
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (not counted as invalidations)."""
+        with self._lock:
+            self._entries.clear()
+            self._total_bytes = 0
+
+    # ------------------------------------------------------------------ summary
+
+    def summary(self) -> dict[str, object]:
+        """JSON-serialisable cache state for the cluster ``/health`` view."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._total_bytes,
+                "capacity": self.capacity,
+                "max_bytes": self.max_bytes,
+            }

@@ -1,0 +1,161 @@
+"""Persistent HTTP/1.1 client the router uses to talk to its workers.
+
+One :class:`WorkerClient` per worker process.  Connections are keep-alive
+(the PR 4 hardening of :mod:`repro.service.http`) and pooled: a request takes
+an idle connection or opens a new one, and returns it after a complete
+exchange — so N concurrent proxied requests cost at most N sockets and a
+steady proxy workload costs zero connection setups.  Failures on a *fresh*
+connection (refused, reset, short read, per-request timeout) close it and
+raise :class:`~repro.errors.WorkerUnavailableError`, which the router treats
+as the worker-failed routing signal.  Failures on a *pooled* connection are
+retried once on a fresh one first: the worker's keep-alive idle timer may
+have closed the socket during a traffic lull, and a routine stale connection
+must not be mistaken for a dead worker (that mistake would trigger a full
+restart).  Pooled connections additionally expire client-side after
+``idle_expiry_seconds`` — kept well below the worker's keep-alive window so
+the race stays rare.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from ..errors import WorkerUnavailableError
+
+__all__ = ["WorkerClient"]
+
+
+class WorkerClient:
+    """Pooled keep-alive GET client for one worker's HTTP endpoint."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        host: str,
+        port: int,
+        timeout_seconds: float = 30.0,
+        idle_expiry_seconds: float = 10.0,
+    ) -> None:
+        self.worker_id = worker_id
+        self.host = host
+        self.port = port
+        self.timeout_seconds = timeout_seconds
+        self.idle_expiry_seconds = idle_expiry_seconds
+        #: Idle connections with the time they were pooled (LIFO).
+        self._idle: list[
+            tuple[asyncio.StreamReader, asyncio.StreamWriter, float]
+        ] = []
+        self._closed = False
+
+    # ---------------------------------------------------------------- requests
+
+    async def get(
+        self, target: str, timeout_seconds: float | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One GET round trip; returns ``(status, headers, body)``.
+
+        The whole exchange (connect if needed, write, read the full response)
+        runs under one timeout.  On success the connection goes back to the
+        idle pool unless the worker answered ``Connection: close``.
+        """
+        if timeout_seconds is None:
+            timeout_seconds = self.timeout_seconds
+        try:
+            return await asyncio.wait_for(self._exchange(target), timeout_seconds)
+        except asyncio.TimeoutError:
+            raise WorkerUnavailableError(
+                self.worker_id, f"no response within {timeout_seconds:g}s"
+            ) from None
+        except WorkerUnavailableError:
+            raise
+        except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
+            raise WorkerUnavailableError(self.worker_id, str(exc)) from exc
+
+    async def get_json(
+        self, target: str, timeout_seconds: float | None = None
+    ) -> tuple[int, object]:
+        """GET ``target`` and decode the JSON body."""
+        status, _, body = await self.get(target, timeout_seconds)
+        return status, json.loads(body)
+
+    def _acquire(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter] | None:
+        """Pop a non-expired idle connection (discarding expired ones), or None."""
+        now = time.monotonic()
+        while self._idle:
+            reader, writer, pooled_at = self._idle.pop()
+            if (
+                self.idle_expiry_seconds > 0
+                and now - pooled_at > self.idle_expiry_seconds
+            ):
+                writer.close()
+                continue
+            return reader, writer
+        return None
+
+    async def _exchange(self, target: str) -> tuple[int, dict[str, str], bytes]:
+        while True:
+            if self._closed:
+                raise WorkerUnavailableError(self.worker_id, "client is closed")
+            pooled = self._acquire()
+            if pooled is None:
+                fresh = True
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+            else:
+                fresh = False
+                reader, writer = pooled
+            try:
+                writer.write(
+                    f"GET {target} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    "Connection: keep-alive\r\n\r\n".encode()
+                )
+                await writer.drain()
+                status, headers, body = await self._read_response(reader)
+            except (OSError, asyncio.IncompleteReadError, ValueError):
+                writer.close()
+                if fresh:
+                    raise
+                continue  # stale pooled connection — retry on a fresh one
+            except BaseException:
+                # Includes CancelledError from wait_for: a half-read
+                # connection must never return to the pool.
+                writer.close()
+                raise
+            if headers.get("connection", "").lower() == "close" or self._closed:
+                writer.close()
+            else:
+                self._idle.append((reader, writer, time.monotonic()))
+            return status, headers, body
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, dict[str, str], bytes]:
+        status_line = (await reader.readline()).decode("latin-1").strip()
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ValueError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ValueError("connection closed inside response headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await reader.readexactly(length) if length else b""
+        return status, headers, body
+
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Close every pooled connection; subsequent requests fail fast."""
+        self._closed = True
+        while self._idle:
+            _, writer, _ = self._idle.pop()
+            writer.close()

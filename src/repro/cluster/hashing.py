@@ -1,0 +1,57 @@
+"""Rendezvous (highest-random-weight) dataset-to-worker assignment.
+
+The router shards *datasets*, not requests: every request for one dataset goes
+to the same worker, so that worker's pool, row caches and JSON fragment caches
+stay hot for it.  Rendezvous hashing gives that mapping three properties a
+supervised fleet needs:
+
+* **No shared state** — the owner is a pure function of ``(dataset, alive
+  workers)``; router restarts and concurrent lookups need no coordination.
+* **Minimal disruption** — when a worker dies, only *its* datasets move (each
+  to its second-highest scorer); every other assignment is untouched.  When
+  the worker comes back, exactly those datasets move home again.
+* **Balance** — scores are independent uniform hashes, so datasets spread
+  evenly across workers in expectation.
+
+Scores hash ``worker_id || dataset`` with blake2b; ties (astronomically rare)
+break on the worker id so the choice stays deterministic everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["rendezvous_score", "rendezvous_owner", "rendezvous_ranking"]
+
+
+def rendezvous_score(dataset: str, worker_id: str) -> int:
+    """The HRW score of ``worker_id`` for ``dataset`` (64-bit uniform hash)."""
+    digest = hashlib.blake2b(
+        worker_id.encode() + b"\x00" + dataset.encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_owner(dataset: str, worker_ids: Iterable[str]) -> str | None:
+    """The owning worker for ``dataset`` among ``worker_ids`` (``None`` if empty)."""
+    best: str | None = None
+    best_score = -1
+    for worker_id in worker_ids:
+        score = rendezvous_score(dataset, worker_id)
+        if score > best_score or (score == best_score and worker_id > (best or "")):
+            best, best_score = worker_id, score
+    return best
+
+
+def rendezvous_ranking(dataset: str, worker_ids: Sequence[str]) -> list[str]:
+    """Workers ordered by descending score — the dataset's failover order.
+
+    ``ranking[0]`` is the owner; if it dies, ``ranking[1]`` takes over, which
+    is exactly what :func:`rendezvous_owner` over the surviving set returns.
+    """
+    return sorted(
+        worker_ids,
+        key=lambda worker_id: (rendezvous_score(dataset, worker_id), worker_id),
+        reverse=True,
+    )

@@ -1,0 +1,684 @@
+"""The cluster router: one front door for a fleet of worker processes.
+
+The router owns no query engine.  It binds the public HTTP port, keeps a
+:class:`~repro.cluster.worker.WorkerHandle` (OS process + persistent
+keep-alive client) per worker, and for every request:
+
+1. answers **locally** when it can — ``/datasets`` (static union), cluster
+   ``/health``, aggregated ``/metrics``, and any ``/window`` found in the
+   cross-request :class:`~repro.cluster.cache.WindowResultCache`;
+2. otherwise resolves the request's dataset (query parameter, or the session
+   registry for ``/session/<id>/...``), picks the owning worker by rendezvous
+   hashing over the *healthy* fleet, and proxies the verbatim target over the
+   worker's pooled connections.
+
+Supervision runs alongside: a health loop probes ``GET /health`` on every
+worker each ``health_interval_seconds``, feeding per-dataset edit counters to
+the window cache (edit-driven invalidation) and counting failures.  A worker
+that fails ``max_health_failures`` probes, dies as an OS process, or breaks
+mid-proxy is marked unhealthy *immediately* — the rendezvous ring shrinks, so
+its datasets re-home to survivors on the very next request (every worker has
+every dataset attached lazily; the survivor cold-opens from SQLite, which
+PR 2 made cheap) — and the supervisor respawns it in the background.  Session
+state lives in workers, so sessions that lived on a crashed worker are lost
+(subsequent commands return 404 and clients reopen); stateless operations
+fail over transparently.
+
+Shutdown is a **drain**: stop admitting (503 + ``Retry-After``), close the
+listener, wait for in-flight proxied requests to finish (bounded by
+``drain_timeout_seconds``), then SIGTERM the fleet — each worker in turn
+drains its own thread pool before exiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from urllib.parse import parse_qs, urlencode, urlsplit
+
+from ..config import ClusterConfig, GraphVizDBConfig
+from ..core.monitoring import ServiceMetrics
+from ..errors import ClusterError, WorkerUnavailableError
+from ..service.http import serve_connection
+from .cache import WindowResultCache
+from .client import WorkerClient
+from .hashing import rendezvous_owner
+from .worker import WorkerHandle, WorkerSpec
+
+__all__ = ["ClusterRouter", "ClusterRuntime", "merge_summaries"]
+
+
+def merge_summaries(summaries: list[dict]) -> dict:
+    """Merge worker metrics snapshots: sum numbers, ``max`` the ``peak_*`` ones."""
+    merged: dict = {}
+    for summary in summaries:
+        _merge_into(merged, summary)
+    return merged
+
+
+def _merge_into(target: dict, source: dict) -> dict:
+    for key, value in source.items():
+        if isinstance(value, dict):
+            existing = target.setdefault(key, {})
+            if isinstance(existing, dict):
+                _merge_into(existing, value)
+            else:
+                target[key] = dict(value)
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            target[key] = value
+        elif key.startswith("peak"):
+            target[key] = max(target.get(key, 0), value)
+        else:
+            target[key] = target.get(key, 0) + value
+    return target
+
+
+class ClusterRouter:
+    """Sharded multi-process serving: router, supervisor, and window cache.
+
+    Parameters
+    ----------
+    datasets:
+        ``name -> SQLite path`` of every served dataset.
+    config:
+        Full configuration; ``config.cluster`` drives fleet size, supervision
+        and the cache, and the rest is handed to each worker process (with
+        ``service.max_workers`` overridden by ``cluster.worker_threads``).
+    metrics:
+        Optional externally-owned metrics sink (cluster counters land here).
+    """
+
+    def __init__(
+        self,
+        datasets: dict[str, str],
+        config: GraphVizDBConfig | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.config = config or GraphVizDBConfig()
+        self.cluster_config: ClusterConfig = self.config.cluster
+        if self.cluster_config.num_workers <= 0:
+            raise ClusterError("ClusterRouter needs cluster.num_workers >= 1")
+        if not datasets:
+            raise ClusterError("ClusterRouter needs at least one dataset")
+        self.datasets = {name: str(path) for name, path in datasets.items()}
+        self.metrics = metrics or ServiceMetrics()
+        self.cache = WindowResultCache(
+            capacity=self.cluster_config.cache_capacity,
+            max_bytes=self.cluster_config.cache_max_bytes,
+            metrics=self.metrics,
+        )
+        self._handles: dict[str, WorkerHandle] = {}
+        self._clients: dict[str, WorkerClient] = {}
+        #: session id -> (dataset, last-used monotonic).  Entries leave on
+        #: close, on a worker 404 (idle-expired or crashed worker), or via
+        #: the router-side idle sweep in :meth:`probe_workers` — abandoned
+        #: browser sessions must not grow this map forever.
+        self._sessions: dict[str, tuple[str, float]] = {}
+        self._restarting: set[str] = set()
+        self._inflight = 0
+        self._draining = False
+        self._server: asyncio.AbstractServer | None = None
+        self._health_task: asyncio.Task | None = None
+        self._restart_tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------ start
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "ClusterRouter":
+        """Spawn the fleet and bind the public endpoint."""
+        worker_config = GraphVizDBConfig(
+            partition=self.config.partition,
+            layout=self.config.layout,
+            abstraction=self.config.abstraction,
+            storage=self.config.storage,
+            client=self.config.client,
+            service=self._worker_service_config(),
+            cluster=self.cluster_config,
+        )
+        dataset_items = tuple(sorted(self.datasets.items()))
+        loop = asyncio.get_running_loop()
+        handles = [
+            WorkerHandle(spec=WorkerSpec(
+                worker_id=f"w{index}",
+                datasets=dataset_items,
+                config=worker_config,
+                host=host,
+            ))
+            for index in range(self.cluster_config.num_workers)
+        ]
+        # Register handles before spawning, so a partial spawn failure (or a
+        # caller's stop()) can terminate whatever did come up.
+        for handle in handles:
+            self._handles[handle.worker_id] = handle
+        try:
+            await asyncio.gather(
+                *(loop.run_in_executor(None, handle.spawn) for handle in handles)
+            )
+        except Exception:
+            await asyncio.gather(*(
+                loop.run_in_executor(None, handle.terminate) for handle in handles
+            ))
+            raise
+        for handle in handles:
+            self._clients[handle.worker_id] = self._make_client(handle)
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, host=host, port=port
+            )
+        except OSError:
+            # The public bind failed (port already in use): the fleet must
+            # not be left running — callers that never call stop() (e.g. a
+            # failed ClusterRuntime constructor) would otherwise leak N
+            # worker processes.
+            for client in self._clients.values():
+                client.close()
+            await asyncio.gather(*(
+                loop.run_in_executor(None, handle.terminate) for handle in handles
+            ))
+            raise
+        self._health_task = asyncio.create_task(self._health_loop())
+        return self
+
+    def _worker_service_config(self):
+        from dataclasses import replace
+
+        return replace(
+            self.config.service, max_workers=self.cluster_config.worker_threads
+        )
+
+    def _make_client(self, handle: WorkerHandle) -> WorkerClient:
+        # Pooled proxy connections expire client-side well inside the
+        # worker's keep-alive window, so a stale socket (which would be
+        # mistaken for a crash and trigger a restart) stays rare.
+        keepalive = self.config.service.http_keepalive_seconds
+        return WorkerClient(
+            handle.worker_id, handle.spec.host, handle.port,
+            timeout_seconds=self.cluster_config.proxy_timeout_seconds,
+            idle_expiry_seconds=keepalive / 3 if keepalive > 0 else 0.0,
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound public port (after :meth:`start`)."""
+        if self._server is None:
+            raise ClusterError("router is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    # ---------------------------------------------------------------- routing
+
+    def alive_workers(self) -> list[str]:
+        """Worker ids currently eligible for routing (healthy, in id order)."""
+        return [
+            worker_id
+            for worker_id, handle in sorted(self._handles.items())
+            if handle.healthy
+        ]
+
+    def worker_for(self, dataset: str) -> str | None:
+        """The dataset's current rendezvous owner (``None``: no healthy worker)."""
+        return rendezvous_owner(dataset, self.alive_workers())
+
+    def assignment(self) -> dict[str, str | None]:
+        """``dataset -> owning worker`` under the current healthy fleet."""
+        return {name: self.worker_for(name) for name in sorted(self.datasets)}
+
+    # ------------------------------------------------------------- HTTP server
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Track the connection task so stop() can cancel parked keep-alive
+        # reads: on Python >= 3.12 ``wait_closed`` waits for every handler,
+        # and an idle connection would otherwise stall the drain until its
+        # keep-alive window expires.
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await serve_connection(
+                reader, writer, self._respond,
+                self.config.service.http_keepalive_seconds,
+            )
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _respond(self, target: str) -> tuple[int, bytes]:
+        self._inflight += 1
+        try:
+            return await self._dispatch(target)
+        except Exception:  # defence: a router bug must not kill the router
+            return 500, _json_bytes({"error": "internal router error"})
+        finally:
+            self._inflight -= 1
+
+    async def _dispatch(self, target: str) -> tuple[int, bytes]:
+        """Answer one request target: locally, from cache, or via a worker."""
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        params = {key: values[-1] for key, values in parse_qs(split.query).items()}
+        if self._draining:
+            return 503, _json_bytes({"error": "router is draining; retry elsewhere"})
+        if path == "/datasets":
+            return 200, _json_bytes({"datasets": sorted(self.datasets)})
+        if path == "/health":
+            return 200, _json_bytes(self.health_summary())
+        if path == "/metrics":
+            return 200, _json_bytes(await self.metrics_summary())
+
+        # Everything else belongs to one dataset's owner.
+        if path == "/session/new":
+            return await self._proxy_session_new(target, params)
+        if path.startswith("/session/"):
+            return await self._proxy_session(path, target)
+        dataset = params.get("dataset")
+        if dataset is None:
+            return 400, _json_bytes({"error": "bad request: 'dataset'"})
+        if dataset not in self.datasets:
+            return 404, _json_bytes({
+                "error": f"dataset {dataset!r} is not served; available: "
+                + (", ".join(sorted(self.datasets)) or "none")
+            })
+        if path == "/window":
+            return await self._window(target, params, dataset)
+        return await self._proxy(target, dataset)
+
+    # ------------------------------------------------------------------ window
+
+    async def _window(
+        self, target: str, params: dict[str, str], dataset: str
+    ) -> tuple[int, bytes]:
+        key = _cache_key(params)
+        entry = self.cache.get(key) if self.cluster_config.cache_capacity else None
+        if entry is not None:
+            return entry.status, entry.body
+        # Snapshot the edit counter before the round trip: if an edit (and
+        # its invalidation) lands while the query is in flight, put() sees a
+        # moved counter and drops the now-pre-edit response.
+        counter = self.cache.counter_snapshot(dataset)
+        status, body = await self._proxy(target, dataset)
+        if status == 200 and self.cluster_config.cache_capacity:
+            self.cache.put(key, dataset, status, body, counter=counter)
+        return status, body
+
+    # ---------------------------------------------------------------- sessions
+
+    async def _proxy_session_new(
+        self, target: str, params: dict[str, str]
+    ) -> tuple[int, bytes]:
+        dataset = params.get("dataset")
+        if dataset is None:
+            return 400, _json_bytes({"error": "bad request: 'dataset'"})
+        status, body = await self._proxy(target, dataset)
+        if status == 200:
+            session_id = json.loads(body).get("session_id")
+            if session_id:
+                self._sessions[session_id] = (dataset, time.monotonic())
+        return status, body
+
+    async def _proxy_session(self, path: str, target: str) -> tuple[int, bytes]:
+        _, _, rest = path.partition("/session/")
+        session_id, _, op = rest.partition("/")
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            return 404, _json_bytes({
+                "error": f"session {session_id!r} does not exist on this cluster"
+            })
+        dataset, _ = entry
+        self._sessions[session_id] = (dataset, time.monotonic())
+        status, body = await self._proxy(target, dataset)
+        if status == 404 or (op == "close" and status == 200):
+            # 404 means the worker no longer knows the session (idle-expired,
+            # or its worker crashed): drop the registry entry so the map
+            # cannot grow with sessions nobody will ever close.
+            self._sessions.pop(session_id, None)
+        return status, body
+
+    # ------------------------------------------------------------------- proxy
+
+    async def _proxy(self, target: str, dataset: str) -> tuple[int, bytes]:
+        """Forward ``target`` to the dataset's owner; fail over once on error.
+
+        A broken worker connection immediately marks the worker unhealthy and
+        schedules its restart; the retry then lands on the dataset's next
+        rendezvous owner.  With nobody healthy (or two failures in a row) the
+        client gets 503 + ``Retry-After`` — the same backpressure contract as
+        a single overloaded worker.
+        """
+        for attempt in range(2):
+            worker_id = self.worker_for(dataset)
+            if worker_id is None:
+                break
+            client = self._clients[worker_id]
+            try:
+                status, _, body = await client.get(target)
+            except WorkerUnavailableError:
+                self._mark_worker_failed(worker_id)
+                if attempt == 0:
+                    self.metrics.record_proxy_retry()
+                continue
+            self.metrics.record_proxied()
+            return status, body
+        return 503, _json_bytes({
+            "error": f"no healthy worker for dataset {dataset!r}; retry later"
+        })
+
+    # -------------------------------------------------------------- supervision
+
+    async def _health_loop(self) -> None:
+        interval = self.cluster_config.health_interval_seconds
+        while True:
+            await asyncio.sleep(interval)
+            await self.probe_workers()
+
+    async def probe_workers(self) -> None:
+        """One supervision pass: probe the fleet concurrently, prune sessions.
+
+        Probes run in parallel (``gather``), so one hung worker costs only
+        its own ``health_timeout_seconds`` — not a serial stall that delays
+        failure detection and cache invalidation for everyone else.
+        """
+        await asyncio.gather(*(
+            self._probe_worker(worker_id)
+            for worker_id in list(self._handles)
+            if worker_id not in self._restarting
+        ))
+        self._expire_idle_sessions()
+
+    def _expire_idle_sessions(self) -> None:
+        """Drop session registry entries idle past the workers' expiry clock.
+
+        Workers expire the sessions themselves after ``session_idle_seconds``;
+        this is the router-side mirror, so abandoned sessions (browsers that
+        disconnect) do not leak registry entries the lazy 404 path would
+        never touch.
+        """
+        idle_limit = self.config.service.session_idle_seconds
+        if idle_limit <= 0:
+            return
+        now = time.monotonic()
+        for session_id, (_, last_used) in list(self._sessions.items()):
+            if now - last_used >= idle_limit:
+                self._sessions.pop(session_id, None)
+
+    async def _probe_worker(self, worker_id: str) -> None:
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            return
+        if not handle.is_alive():
+            self._mark_worker_failed(worker_id)
+            return
+        client = self._clients[worker_id]
+        try:
+            status, health = await client.get_json(
+                "/health",
+                timeout_seconds=self.cluster_config.health_timeout_seconds,
+            )
+        except WorkerUnavailableError:
+            status, health = 0, {}
+        if status != 200 or health.get("status") != "ok":
+            handle.consecutive_failures += 1
+            if handle.consecutive_failures >= self.cluster_config.max_health_failures:
+                self._mark_worker_failed(worker_id)
+        else:
+            handle.consecutive_failures = 0
+            handle.healthy = True
+            counters = {
+                str(name): int(counter)
+                for name, counter in health.get("datasets", {}).items()
+            }
+            handle.edit_counters = counters
+            # Only the *owner's* counter feeds cache invalidation: every
+            # worker reports every dataset (non-owners report 0 since they
+            # never opened it), so mixing workers into one counter stream
+            # would flap owner/non-owner values and drop the dataset's cache
+            # on every probe after the first edit.  An ownership change also
+            # changes whose counter is tracked — that difference invalidates
+            # too, which is correct: the new owner's state is fresh from
+            # disk, not the old owner's in-memory edits.
+            owned = {
+                dataset: counter
+                for dataset, counter in counters.items()
+                if self.worker_for(dataset) == worker_id
+            }
+            self.cache.observe_edit_counters(owned)
+
+    def _mark_worker_failed(self, worker_id: str) -> None:
+        """Shrink the routing ring now; restart the worker in the background."""
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            return
+        handle.healthy = False
+        if worker_id in self._restarting or self._draining:
+            return
+        self._restarting.add(worker_id)
+        task = asyncio.get_running_loop().create_task(self._restart_worker(worker_id))
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _restart_worker(self, worker_id: str) -> None:
+        handle = self._handles[worker_id]
+        loop = asyncio.get_running_loop()
+        try:
+            await asyncio.sleep(self.cluster_config.restart_backoff_seconds)
+            self._clients[worker_id].close()
+            await loop.run_in_executor(None, handle.terminate, 1.0)
+            spawn_future = loop.run_in_executor(None, handle.spawn)
+            try:
+                await asyncio.shield(spawn_future)
+            except asyncio.CancelledError:
+                # stop() cancelled the restart mid-spawn.  The executor
+                # thread finishes regardless and may assign a live process
+                # *after* the fleet was terminated — tear down whatever it
+                # produces on a plain thread (the loop may be closing).
+                spawn_future.add_done_callback(
+                    lambda f: threading.Thread(
+                        target=handle.terminate, daemon=True
+                    ).start() if f.exception() is None else None
+                )
+                raise
+            if self._draining:
+                # Drain raced the respawn: this worker must not outlive it.
+                await loop.run_in_executor(None, handle.terminate)
+                return
+            self._clients[worker_id] = self._make_client(handle)
+            self.metrics.record_worker_restart()
+        except Exception:
+            # The worker stays unhealthy; the next health pass (which skips
+            # only workers mid-restart) will find it dead and try again.
+            handle.healthy = False
+        finally:
+            self._restarting.discard(worker_id)
+
+    # ---------------------------------------------------------------- summaries
+
+    def health_summary(self) -> dict[str, object]:
+        """The cluster's own health view (no worker round trips)."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "workers": {
+                worker_id: {
+                    "healthy": handle.healthy,
+                    "alive": handle.is_alive(),
+                    "port": handle.port,
+                    "generation": handle.generation,
+                    "consecutive_failures": handle.consecutive_failures,
+                }
+                for worker_id, handle in sorted(self._handles.items())
+            },
+            "assignment": self.assignment(),
+            "sessions": len(self._sessions),
+            "inflight": self._inflight,
+            "cache": self.cache.summary(),
+        }
+
+    async def metrics_summary(self) -> dict[str, object]:
+        """Aggregate worker ``/metrics`` plus the router's own counters."""
+        summaries = []
+        for worker_id in self.alive_workers():
+            client = self._clients[worker_id]
+            try:
+                status, summary = await client.get_json(
+                    "/metrics",
+                    timeout_seconds=self.cluster_config.health_timeout_seconds,
+                )
+            except WorkerUnavailableError:
+                continue
+            if status == 200 and isinstance(summary, dict):
+                summaries.append(summary)
+        merged = merge_summaries(summaries)
+        coalescer = merged.get("coalescer")
+        if isinstance(coalescer, dict):
+            # Ratios are not additive across workers; recompute from the
+            # summed numerator/denominator.
+            batches = coalescer.get("batches", 0)
+            coalescer["ratio"] = (
+                coalescer.get("requests", 0) / batches if batches else 0.0
+            )
+        merged["cluster"] = self.metrics.summary()["cluster"]
+        merged["router"] = self.health_summary()
+        return merged
+
+    # --------------------------------------------------------------- lifecycle
+
+    async def stop(self) -> None:
+        """Graceful drain: stop admitting, flush in-flight, terminate the fleet."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        deadline = (
+            asyncio.get_running_loop().time()
+            + self.cluster_config.drain_timeout_seconds
+        )
+        while self._inflight > 0 and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.01)
+        # In-flight work is done (or timed out): cancel lingering connection
+        # handlers — idle keep-alive reads must not hold the drain hostage —
+        # then let the server finish closing (bounded; on Python >= 3.12
+        # wait_closed also waits for handlers, which have just been ended).
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(), 1.0)
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+        for task in list(self._restart_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        for client in self._clients.values():
+            client.close()
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(*(
+            loop.run_in_executor(None, handle.terminate)
+            for handle in self._handles.values()
+        ))
+
+    async def __aenter__(self) -> "ClusterRouter":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+
+def _json_bytes(body: object) -> bytes:
+    return json.dumps(body).encode()
+
+
+async def _cancel_pending_tasks() -> None:
+    """Cancel and await every other task on the current loop (teardown helper)."""
+    tasks = [
+        task for task in asyncio.all_tasks() if task is not asyncio.current_task()
+    ]
+    for task in tasks:
+        task.cancel()
+    await asyncio.gather(*tasks, return_exceptions=True)
+
+
+def _cache_key(params: dict[str, str]) -> str:
+    """Canonical cache key: sorted query items, so param order cannot split hits."""
+    return urlencode(sorted(params.items()))
+
+
+class ClusterRuntime:
+    """A :class:`ClusterRouter` running on a background event-loop thread.
+
+    The synchronous face of the cluster, mirroring
+    :class:`~repro.service.frontend.ServiceRuntime`: the CLI, benchmarks and
+    tests start a fleet with one call and talk plain blocking HTTP to
+    ``http://host:port``.  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        datasets: dict[str, str],
+        config: GraphVizDBConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.router = ClusterRouter(datasets, config=config, metrics=metrics)
+        self.host = host
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="graphvizdb-cluster", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._call(self.router.start(host=host, port=port))
+        except BaseException:
+            self._shutdown_loop()
+            raise
+
+    def _call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    @property
+    def port(self) -> int:
+        """The router's bound public port."""
+        return self.router.port
+
+    def probe_workers(self) -> None:
+        """Run one supervision pass now (deterministic tests)."""
+        self._call(self.router.probe_workers())
+
+    def metrics_summary(self) -> dict[str, object]:
+        """Blocking aggregated :meth:`ClusterRouter.metrics_summary`."""
+        return self._call(self.router.metrics_summary())
+
+    def health_summary(self) -> dict[str, object]:
+        """The router's :meth:`ClusterRouter.health_summary`."""
+        return self.router.health_summary()
+
+    def close(self) -> None:
+        """Drain the cluster and tear the loop thread down (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        self._call(self.router.stop())
+        self._shutdown_loop()
+
+    def _shutdown_loop(self) -> None:
+        with contextlib.suppress(Exception):
+            # Cancel whatever is still parked on the loop (idle keep-alive
+            # connections outlive the drained router) so nothing is destroyed
+            # pending when the loop closes.
+            self._call(_cancel_pending_tasks())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+    def __enter__(self) -> "ClusterRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,163 @@
+"""Worker processes of the cluster: spawn, port handshake, graceful drain.
+
+Each worker is a fresh OS process hosting a full PR 3 serving stack — a
+:class:`~repro.service.frontend.GraphVizDBService` (thread pool, admission
+control, coalescer, dataset pool, background maintenance) behind the
+:func:`~repro.service.http.serve_http` endpoint on a loopback port the OS
+picks.  Every worker gets *all* dataset paths attached: attachment is lazy
+(the pool opens a SQLite file on first request), so this costs nothing until
+a request arrives — and it is what makes failover instant, because any
+surviving worker can serve any dataset the moment the router re-routes to it.
+
+Workers are started with the ``spawn`` method: the router process runs an
+event loop and threads, which a ``fork`` child would inherit in an undefined
+state.  The port travels back over a :func:`multiprocessing.Pipe`; SIGTERM
+triggers a graceful drain (stop accepting, flush in-flight work, exit 0), and
+SIGINT is ignored so a Ctrl-C aimed at the router's terminal group cannot
+kill workers before the router has drained them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+from dataclasses import dataclass, field
+
+from ..config import GraphVizDBConfig
+from ..errors import ClusterError
+
+__all__ = ["WorkerSpec", "WorkerHandle"]
+
+#: How long a freshly spawned worker may take to report its port (covers the
+#: child interpreter start + package import on a loaded machine).
+_SPAWN_TIMEOUT_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs, in picklable form."""
+
+    worker_id: str
+    datasets: tuple[tuple[str, str], ...]  # (name, sqlite path) pairs
+    config: GraphVizDBConfig
+    host: str = "127.0.0.1"
+
+
+def _worker_main(spec: WorkerSpec, port_conn) -> None:
+    """Entry point of the worker process (module-level for ``spawn``)."""
+    import asyncio
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    asyncio.run(_worker_serve(spec, port_conn))
+
+
+async def _worker_serve(spec: WorkerSpec, port_conn) -> None:
+    import asyncio
+
+    from ..service.frontend import GraphVizDBService
+    from ..service.http import serve_http
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    loop.add_signal_handler(signal.SIGTERM, stop.set)
+    service = GraphVizDBService(spec.config)
+    for name, path in spec.datasets:
+        service.attach_sqlite(name, path)
+    async with service:
+        server = await serve_http(service, host=spec.host, port=0)
+        port_conn.send(server.sockets[0].getsockname()[1])
+        port_conn.close()
+        await stop.wait()
+        # Drain: refuse new connections first; the service context exit then
+        # flushes the coalescer and waits out the worker thread pool, so every
+        # admitted request completes before the process exits.
+        server.close()
+        await server.wait_closed()
+
+
+@dataclass
+class WorkerHandle:
+    """Router-side view of one worker process.
+
+    ``healthy`` is the routing flag: the rendezvous ring only considers
+    healthy workers.  It flips off the instant a proxy or health probe fails
+    (or the OS process dies) and back on when the supervisor's replacement
+    reports its port.  ``generation`` counts spawns under this worker id.
+    """
+
+    spec: WorkerSpec
+    process: multiprocessing.process.BaseProcess | None = None
+    port: int = 0
+    generation: int = 0
+    healthy: bool = False
+    consecutive_failures: int = 0
+    #: Last per-dataset edit counters seen in this worker's health response.
+    edit_counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def worker_id(self) -> str:
+        return self.spec.worker_id
+
+    def is_alive(self) -> bool:
+        """``True`` while the worker's OS process exists and runs."""
+        return self.process is not None and self.process.is_alive()
+
+    # ------------------------------------------------------------------- spawn
+
+    def spawn(self) -> "WorkerHandle":
+        """Start (or restart) the worker process and wait for its port.
+
+        Blocking — the router calls this on its executor.  Raises
+        :class:`ClusterError` when the child dies before reporting a port or
+        takes longer than the spawn timeout.
+        """
+        context = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main,
+            args=(self.spec, child_conn),
+            name=f"graphvizdb-{self.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the child's end lives in the child now
+        deadline = time.monotonic() + _SPAWN_TIMEOUT_SECONDS
+        try:
+            while not parent_conn.poll(0.05):
+                if not process.is_alive():
+                    raise ClusterError(
+                        f"worker {self.worker_id!r} exited with code "
+                        f"{process.exitcode} before reporting its port"
+                    )
+                if time.monotonic() > deadline:
+                    process.kill()
+                    raise ClusterError(
+                        f"worker {self.worker_id!r} did not report a port within "
+                        f"{_SPAWN_TIMEOUT_SECONDS:g}s"
+                    )
+            port = parent_conn.recv()
+        finally:
+            parent_conn.close()
+        self.process = process
+        self.port = port
+        self.generation += 1
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.edit_counters = {}
+        return self
+
+    # --------------------------------------------------------------- lifecycle
+
+    def terminate(self, grace_seconds: float = 5.0) -> None:
+        """SIGTERM the worker (graceful drain); SIGKILL if it overstays."""
+        process = self.process
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(grace_seconds)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+        self.healthy = False

@@ -283,6 +283,20 @@ class ServiceConfig:
         maintenance scheduler — clients that never call ``close_session``
         (e.g. browsers that just disconnect) cannot grow server memory
         without bound.  ``0`` disables expiry.
+    pool_max_resident_bytes:
+        Byte budget for the dataset pool: when the estimated resident size of
+        the open datasets (rows + index pages) exceeds it, least recently used
+        entries are evicted even if ``pool_capacity`` is not reached.  ``0``
+        disables byte-budget eviction (count/idleness still apply).
+    http_keepalive_seconds:
+        How long the HTTP endpoint keeps an idle client connection open for
+        further requests before closing it.  ``0`` restores the PR 3
+        connection-per-request behaviour (``Connection: close`` after every
+        response).
+    http_request_timeout_seconds:
+        Per-request wall-clock budget on the HTTP endpoint; a handler that
+        exceeds it is abandoned and the client receives 504.  ``0`` disables
+        the timeout.
     """
 
     max_workers: int = 4
@@ -295,6 +309,9 @@ class ServiceConfig:
     repack_quiescence_seconds: float = 0.25
     maintenance_interval_seconds: float = 0.05
     session_idle_seconds: float = 3600.0
+    pool_max_resident_bytes: int = 0
+    http_keepalive_seconds: float = 30.0
+    http_request_timeout_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -317,6 +334,89 @@ class ServiceConfig:
             raise ConfigurationError("maintenance_interval_seconds must be positive")
         if self.session_idle_seconds < 0:
             raise ConfigurationError("session_idle_seconds must be >= 0 (0 = never)")
+        if self.pool_max_resident_bytes < 0:
+            raise ConfigurationError("pool_max_resident_bytes must be >= 0 (0 = off)")
+        if self.http_keepalive_seconds < 0:
+            raise ConfigurationError("http_keepalive_seconds must be >= 0 (0 = close)")
+        if self.http_request_timeout_seconds < 0:
+            raise ConfigurationError("http_request_timeout_seconds must be >= 0 (0 = none)")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of the multi-process cluster subsystem (:mod:`repro.cluster`).
+
+    Attributes
+    ----------
+    num_workers:
+        Worker processes behind the router.  ``0`` means no cluster: the
+        caller should serve from a single in-process
+        :class:`~repro.service.frontend.GraphVizDBService` instead.
+    health_interval_seconds:
+        Period of the router's health-probe loop (``GET /health`` on every
+        worker); also the cadence at which per-dataset edit counters are
+        refreshed for window-cache invalidation.
+    health_timeout_seconds:
+        Per-probe timeout; a probe that exceeds it counts as one failure.
+    max_health_failures:
+        Consecutive failed probes after which a worker is declared dead and
+        restarted (a dead OS process is declared dead immediately).
+    restart_backoff_seconds:
+        Pause before respawning a crashed worker, so a worker that dies on
+        arrival cannot hot-loop the supervisor.
+    proxy_timeout_seconds:
+        Per-request budget for one proxied round trip to a worker; an
+        exceeded budget fails the worker connection and surfaces 503 +
+        ``Retry-After`` to the client.  Keep it *above* the workers'
+        ``ServiceConfig.http_request_timeout_seconds`` so a merely slow
+        query surfaces as the worker's own 504 instead of tripping
+        failover and restarting a healthy worker.
+    drain_timeout_seconds:
+        On shutdown, how long the router waits for in-flight proxied requests
+        to finish before terminating workers anyway.
+    cache_capacity:
+        Maximum entries in the router's cross-request window-result cache
+        (``0`` disables the cache).
+    cache_max_bytes:
+        Byte budget for cached window payloads; least recently used entries
+        are evicted beyond it.
+    worker_threads:
+        ``max_workers`` (thread-pool size) handed to each worker process's
+        service configuration.
+    """
+
+    num_workers: int = 0
+    health_interval_seconds: float = 0.25
+    health_timeout_seconds: float = 2.0
+    max_health_failures: int = 3
+    restart_backoff_seconds: float = 0.05
+    proxy_timeout_seconds: float = 40.0
+    drain_timeout_seconds: float = 5.0
+    cache_capacity: int = 1024
+    cache_max_bytes: int = 64 * 1024 * 1024
+    worker_threads: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 0:
+            raise ConfigurationError("num_workers must be >= 0 (0 = no cluster)")
+        if self.health_interval_seconds <= 0:
+            raise ConfigurationError("health_interval_seconds must be positive")
+        if self.health_timeout_seconds <= 0:
+            raise ConfigurationError("health_timeout_seconds must be positive")
+        if self.max_health_failures <= 0:
+            raise ConfigurationError("max_health_failures must be positive")
+        if self.restart_backoff_seconds < 0:
+            raise ConfigurationError("restart_backoff_seconds must be >= 0")
+        if self.proxy_timeout_seconds <= 0:
+            raise ConfigurationError("proxy_timeout_seconds must be positive")
+        if self.drain_timeout_seconds < 0:
+            raise ConfigurationError("drain_timeout_seconds must be >= 0")
+        if self.cache_capacity < 0:
+            raise ConfigurationError("cache_capacity must be >= 0 (0 = off)")
+        if self.cache_max_bytes < 0:
+            raise ConfigurationError("cache_max_bytes must be >= 0")
+        if self.worker_threads <= 0:
+            raise ConfigurationError("worker_threads must be positive")
 
 
 @dataclass(frozen=True)
@@ -329,6 +429,7 @@ class GraphVizDBConfig:
     storage: StorageConfig = field(default_factory=StorageConfig)
     client: ClientConfig = field(default_factory=ClientConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     @classmethod
     def small(cls) -> "GraphVizDBConfig":

@@ -166,6 +166,14 @@ class ServiceMetrics:
         self.pool_misses = 0
         self.pool_evictions = 0
         self.repack_runs = 0
+        # Cluster-router counters (zero outside cluster deployments): the
+        # cross-request window cache, proxied traffic and fleet supervision.
+        self.window_cache_hits = 0
+        self.window_cache_misses = 0
+        self.window_cache_invalidations = 0
+        self.proxied_requests = 0
+        self.proxy_retries = 0
+        self.worker_restarts = 0
 
     # ---------------------------------------------------------------- admission
 
@@ -245,6 +253,38 @@ class ServiceMetrics:
         with self._lock:
             self.repack_runs += 1
 
+    # ------------------------------------------------------------------ cluster
+
+    def record_cache_hit(self) -> None:
+        """Count one request answered from the router's window-result cache."""
+        with self._lock:
+            self.window_cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """Count one cacheable request that had to go to a worker."""
+        with self._lock:
+            self.window_cache_misses += 1
+
+    def record_cache_invalidation(self, entries: int = 1) -> None:
+        """Count ``entries`` cached results dropped by edit-driven invalidation."""
+        with self._lock:
+            self.window_cache_invalidations += entries
+
+    def record_proxied(self) -> None:
+        """Count one request proxied to a worker by the cluster router."""
+        with self._lock:
+            self.proxied_requests += 1
+
+    def record_proxy_retry(self) -> None:
+        """Count one proxied request re-routed after its worker failed."""
+        with self._lock:
+            self.proxy_retries += 1
+
+    def record_worker_restart(self) -> None:
+        """Count one crashed worker replaced by the supervisor."""
+        with self._lock:
+            self.worker_restarts += 1
+
     # ------------------------------------------------------------------ summary
 
     def summary(self) -> dict[str, object]:
@@ -271,4 +311,12 @@ class ServiceMetrics:
                     "evictions": self.pool_evictions,
                 },
                 "repack_runs": self.repack_runs,
+                "cluster": {
+                    "window_cache_hits": self.window_cache_hits,
+                    "window_cache_misses": self.window_cache_misses,
+                    "window_cache_invalidations": self.window_cache_invalidations,
+                    "proxied_requests": self.proxied_requests,
+                    "proxy_retries": self.proxy_retries,
+                    "worker_restarts": self.worker_restarts,
+                },
             }

@@ -122,5 +122,23 @@ class ServiceOverloadedError(ServiceError):
         self.limit = limit
 
 
+class ClusterError(ServiceError):
+    """Errors raised by the multi-process cluster subsystem (``repro.cluster``)."""
+
+
+class WorkerUnavailableError(ClusterError):
+    """A worker process could not be reached (crashed, draining, or timed out).
+
+    The router treats this as a routing signal: mark the worker failed, retry
+    the request on the dataset's next rendezvous owner, and let the supervisor
+    restart the fleet member in the background.
+    """
+
+    def __init__(self, worker_id: str, reason: str) -> None:
+        super().__init__(f"worker {worker_id!r} unavailable: {reason}")
+        self.worker_id = worker_id
+        self.reason = reason
+
+
 class ConfigurationError(GraphVizDBError):
     """Invalid configuration values."""

@@ -112,6 +112,7 @@ class GraphVizDBService:
             storage_config=self.config.storage,
             client_config=self.config.client,
             metrics=self.metrics,
+            max_resident_bytes=self.service_config.pool_max_resident_bytes,
         )
         self.maintenance = MaintenanceScheduler(
             config=self.service_config, metrics=self.metrics, pool=self.pool
@@ -328,6 +329,31 @@ class GraphVizDBService:
     def metrics_summary(self) -> dict[str, object]:
         """The serving metrics snapshot (queue depth, coalescing, pool, repacks)."""
         return self.metrics.summary()
+
+    def health_snapshot(self) -> dict[str, object]:
+        """Liveness + cache-invalidation state for the cluster router.
+
+        ``datasets`` maps every served dataset to its monotonic edit counter
+        (:meth:`~repro.storage.database.GraphVizDatabase.edit_counter`); the
+        router compares successive snapshots and drops cached window results
+        for any dataset whose counter moved.  SQLite datasets not currently
+        open in the pool report ``0`` — cheap by design: a health probe must
+        never trigger a cold open (the router invalidates on *any* change,
+        so the reset that comes with eviction is also a change).
+        """
+        counters: dict[str, int] = {}
+        for name, (database, _) in self._memory.items():
+            counters[name] = database.edit_counter()
+        for name, path in self._sqlite.items():
+            entry = self.pool.peek(path)
+            counters[name] = entry.database.edit_counter() if entry else 0
+        return {
+            "status": "ok" if self._started else "stopping",
+            "datasets": counters,
+            "open_datasets": len(self.pool),
+            "resident_bytes": self.pool.total_resident_bytes(),
+            "sessions": len(self._sessions),
+        }
 
     # ----------------------------------------------------------------- sessions
 

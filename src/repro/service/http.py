@@ -17,15 +17,24 @@ to real network clients:
 ``GET /session/<id>/<op>?...``        run a session op (``refresh``, ``pan``, ...)
 ``GET /session/<id>/close``           close a session (idle ones auto-expire)
 ``GET /metrics``                      serving metrics snapshot
+``GET /health``                       liveness + per-dataset edit counters
 ====================================  =============================================
 
 Admission-control rejections surface as HTTP 503 with a ``Retry-After`` hint —
 the wire form of the subsystem's explicit backpressure.
+
+Connections are **keep-alive** (HTTP/1.1 default): one connection serves many
+sequential requests until the client sends ``Connection: close`` or stays idle
+past ``ServiceConfig.http_keepalive_seconds``.  The cluster router depends on
+this — its proxy holds persistent connections to every worker.  Each request
+additionally runs under ``ServiceConfig.http_request_timeout_seconds``; a
+handler that exceeds the budget is abandoned and the client receives 504.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 from urllib.parse import parse_qs, urlsplit
 
@@ -41,7 +50,7 @@ from ..errors import (
 from ..spatial.geometry import Point, Rect
 from .frontend import GraphVizDBService
 
-__all__ = ["serve_http"]
+__all__ = ["serve_http", "serve_connection"]
 
 _STATUS_TEXT = {
     200: "OK",
@@ -49,54 +58,149 @@ _STATUS_TEXT = {
     404: "Not Found",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
+async def serve_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    respond,
+    keepalive_seconds: float,
+) -> None:
+    """Drive one HTTP/1.1 keep-alive connection until it closes.
+
+    The single connection loop shared by the worker endpoint and the cluster
+    router: reads requests (idle-expiring after ``keepalive_seconds``; ``0``
+    closes after one response), answers non-GET with 400, and otherwise
+    delegates to ``respond`` — an async callable ``(target) -> (status,
+    payload_bytes)`` that must not raise.  503/504 responses carry a
+    ``Retry-After`` hint (both are the retryable statuses of this API).
+    """
+    try:
+        while True:
+            request = await _read_request(reader, idle_seconds=keepalive_seconds)
+            if request is None:  # EOF, malformed preamble, or idle expiry
+                break
+            method, target, headers = request
+            keep_alive = (
+                keepalive_seconds > 0
+                and headers.get("connection", "").lower() != "close"
+            )
+            if method != "GET":
+                status: int = 400
+                payload: bytes = json.dumps(
+                    {"error": "only GET requests are supported"}
+                ).encode()
+                keep_alive = False
+            else:
+                status, payload = await respond(target)
+            response_headers = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                + ("Retry-After: 1\r\n" if status in (503, 504) else "")
+                + f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+            )
+            writer.write(response_headers.encode() + payload)
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+        # Client went away mid-exchange, or sent an unparseable preamble
+        # (e.g. a request line past the StreamReader limit raises
+        # LimitOverrunError, a ValueError) — close without a response.
+        pass
+    except asyncio.CancelledError:
+        # Shutdown cancelled this connection's task (drain closes the
+        # listener first, so no admitted request is lost — only the idle
+        # keep-alive wait).  Exit quietly instead of letting the stream
+        # machinery log the cancellation as an error.
+        pass
+    finally:
+        with contextlib.suppress(Exception):
+            writer.close()
+            await writer.wait_closed()
+
+
 async def serve_http(
-    service: GraphVizDBService, host: str = "127.0.0.1", port: int = 8080
+    service: GraphVizDBService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    keepalive_seconds: float | None = None,
+    request_timeout_seconds: float | None = None,
 ) -> asyncio.AbstractServer:
     """Start serving ``service`` over HTTP; returns the asyncio server.
 
     The caller owns the lifecycle: ``server.close()`` + ``await
     server.wait_closed()`` to stop, or ``await server.serve_forever()`` to
     block.  Bind ``port=0`` to let the OS pick a free port (tests do).
-    """
 
-    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    ``keepalive_seconds`` / ``request_timeout_seconds`` override the service
+    configuration (``0`` disables keep-alive / the timeout respectively).
+    """
+    config = service.service_config
+    if keepalive_seconds is None:
+        keepalive_seconds = config.http_keepalive_seconds
+    if request_timeout_seconds is None:
+        request_timeout_seconds = config.http_request_timeout_seconds
+
+    async def respond(target: str) -> tuple[int, bytes]:
         try:
-            status, body = await _respond(service, reader)
+            if request_timeout_seconds > 0:
+                status, body = await asyncio.wait_for(
+                    _respond(service, target), request_timeout_seconds
+                )
+            else:
+                status, body = await _respond(service, target)
+        except asyncio.TimeoutError:
+            status, body = 504, {
+                "error": "request exceeded the "
+                f"{request_timeout_seconds:g}s server budget"
+            }
         except Exception:  # defence: a handler bug must not kill the server
             status, body = 500, {"error": "internal server error"}
-        payload = body if isinstance(body, bytes) else json.dumps(body).encode()
-        headers = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            + ("Retry-After: 1\r\n" if status == 503 else "")
-            + "Connection: close\r\n\r\n"
-        )
-        writer.write(headers.encode() + payload)
-        try:
-            await writer.drain()
-        finally:
-            writer.close()
+        return status, body if isinstance(body, bytes) else json.dumps(body).encode()
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        await serve_connection(reader, writer, respond, keepalive_seconds)
 
     return await asyncio.start_server(handle, host=host, port=port)
 
 
-async def _respond(
-    service: GraphVizDBService, reader: asyncio.StreamReader
-) -> tuple[int, object]:
-    """Parse one request and produce ``(status, json_body_or_bytes)``."""
-    request_line = (await reader.readline()).decode("latin-1").strip()
+async def _read_request(
+    reader: asyncio.StreamReader, idle_seconds: float
+) -> tuple[str, str, dict[str, str]] | None:
+    """Read one request preamble: ``(method, target, headers)``.
+
+    Returns ``None`` on EOF, on a malformed request line, or when no request
+    arrives within the keep-alive idle window (``idle_seconds > 0``) — all
+    cases where the connection should simply be closed.
+    """
+    try:
+        if idle_seconds > 0:
+            first = await asyncio.wait_for(reader.readline(), idle_seconds)
+        else:
+            first = await reader.readline()
+    except asyncio.TimeoutError:
+        return None
+    request_line = first.decode("latin-1").strip()
     parts = request_line.split()
-    if len(parts) != 3 or parts[0] != "GET":
-        return 400, {"error": "only GET requests are supported"}
-    while True:  # drain headers; the API is GET-only so the body is ignored
+    if len(parts) != 3:
+        return None
+    headers: dict[str, str] = {}
+    while True:  # the API is GET-only, so any body is ignored
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
-    split = urlsplit(parts[1])
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return parts[0], parts[1], headers
+
+
+async def _respond(service: GraphVizDBService, target: str) -> tuple[int, object]:
+    """Dispatch one request target and produce ``(status, json_body_or_bytes)``."""
+    split = urlsplit(target)
     path = split.path.rstrip("/") or "/"
     params = {key: values[-1] for key, values in parse_qs(split.query).items()}
     try:
@@ -126,6 +230,10 @@ async def _route(
         return 200, {"datasets": service.datasets()}
     if path == "/metrics":
         return 200, service.metrics_summary()
+    if path == "/health":
+        # Liveness must answer even while the service drains (the router
+        # watches workers through their whole lifecycle).
+        return 200, service.health_snapshot()
     if path == "/window":
         result = await service.window_query(
             params["dataset"],

@@ -42,6 +42,9 @@ class PooledDataset:
     open_seconds: float
     last_used: float = 0.0
     uses: int = 0
+    #: Estimated resident size (rows + index pages), captured once at open
+    #: time; drives the pool's ``max_resident_bytes`` budget.
+    resident_bytes: int = 0
 
     def touch(self) -> None:
         """Mark the entry as just used (refreshes the idle-eviction clock)."""
@@ -69,6 +72,13 @@ class DatasetPool:
     metrics:
         Optional shared :class:`ServiceMetrics` receiving hit/miss/eviction
         counts.
+    max_resident_bytes:
+        Byte budget over the estimated resident sizes of the open datasets
+        (:meth:`~repro.storage.database.GraphVizDatabase.resident_bytes`);
+        exceeding it evicts least recently used entries even below
+        ``capacity``.  The most recently opened dataset is never evicted, so
+        one dataset larger than the whole budget still serves (the budget
+        degrades to "keep one open").  ``0`` disables byte-budget eviction.
     """
 
     def __init__(
@@ -78,13 +88,17 @@ class DatasetPool:
         storage_config: StorageConfig | None = None,
         client_config: ClientConfig | None = None,
         metrics: ServiceMetrics | None = None,
+        max_resident_bytes: int = 0,
     ) -> None:
         if capacity <= 0:
             raise ServiceError("pool capacity must be positive")
         if idle_seconds < 0:
             raise ServiceError("idle_seconds must be >= 0 (0 = never evict idle)")
+        if max_resident_bytes < 0:
+            raise ServiceError("max_resident_bytes must be >= 0 (0 = unlimited)")
         self.capacity = capacity
         self.idle_seconds = idle_seconds
+        self.max_resident_bytes = max_resident_bytes
         self.storage_config = storage_config
         self.client_config = client_config
         self.metrics = metrics
@@ -109,6 +123,20 @@ class DatasetPool:
         """Snapshot of the open databases (for the maintenance scheduler)."""
         with self._lock:
             return [(key, entry.database) for key, entry in self._entries.items()]
+
+    def peek(self, path: str | Path) -> PooledDataset | None:
+        """The entry for ``path`` if it is open, without opening or touching it.
+
+        Used by the worker health endpoint to read edit counters of open
+        datasets — a health probe must never trigger a cold open.
+        """
+        with self._lock:
+            return self._entries.get(self._key(path))
+
+    def total_resident_bytes(self) -> int:
+        """Sum of the open datasets' estimated resident sizes."""
+        with self._lock:
+            return sum(entry.resident_bytes for entry in self._entries.values())
 
     # ------------------------------------------------------------------- lookup
 
@@ -157,6 +185,7 @@ class DatasetPool:
             query_manager=QueryManager(database, self.client_config),
             opened_at=started,
             open_seconds=open_seconds,
+            resident_bytes=database.resident_bytes() if self.max_resident_bytes else 0,
         )
         entry.touch()
         if self.metrics is not None:
@@ -168,6 +197,13 @@ class DatasetPool:
                 self._entries.popitem(last=False)
                 if self.metrics is not None:
                     self.metrics.record_pool_eviction()
+            if self.max_resident_bytes:
+                total = sum(e.resident_bytes for e in self._entries.values())
+                while total > self.max_resident_bytes and len(self._entries) > 1:
+                    _, evicted = self._entries.popitem(last=False)
+                    total -= evicted.resident_bytes
+                    if self.metrics is not None:
+                        self.metrics.record_pool_eviction()
         return entry
 
     # ----------------------------------------------------------------- eviction

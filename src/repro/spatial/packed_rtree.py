@@ -399,6 +399,18 @@ class PackedRTree:
         return len(self._items)
 
     @property
+    def nbytes(self) -> int:
+        """Resident bytes of the index columns (canonical arrays + query mirrors).
+
+        Entries cost 5 columns (4 coordinates + the item id) and nodes 8; the
+        plain-list query mirrors duplicate every column as boxed objects, which
+        the factor of 3 approximates (an 8-byte pointer plus a shared or
+        per-slot float object).  Used by the dataset pool's memory-budget
+        accounting, so it only needs to be proportional, not exact.
+        """
+        return 3 * 8 * (5 * len(self._items) + 8 * len(self._nx0))
+
+    @property
     def bounds(self) -> Rect | None:
         """Bounding rectangle of the whole tree (``None`` when empty)."""
         if not self._items:

@@ -169,6 +169,24 @@ class GraphVizDatabase:
         """Re-pack one layer's spatial index (see :meth:`LayerTable.repack`)."""
         return self.table(layer).repack()
 
+    def edit_counter(self) -> int:
+        """Monotonic dataset-wide mutation counter (sum over layer tables).
+
+        Unlike ``edits_since_repack`` this never resets, so two snapshots
+        compare equal *iff* no write happened in between — the invalidation
+        signal the cluster router's window-result cache keys on (surfaced by
+        the worker ``/health`` endpoint).
+        """
+        return sum(table.total_edits for table in self._tables.values())
+
+    def resident_bytes(self) -> int:
+        """Estimated resident size of the whole dataset (rows + index pages).
+
+        Drives the dataset pool's ``max_resident_bytes`` eviction budget; see
+        :meth:`LayerTable.resident_bytes` for the estimation contract.
+        """
+        return sum(table.resident_bytes() for table in self._tables.values())
+
     # ------------------------------------------------------------------- stats
 
     def storage_summary(self) -> dict[str, object]:

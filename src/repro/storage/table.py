@@ -308,6 +308,10 @@ class LayerTable:
         # table since the packed index was last current, and when the last one
         # happened (monotonic clock), so a scheduler can detect quiescence.
         self.edits_since_repack = 0
+        #: Monotonic mutation counter: never reset (repack clears
+        #: ``edits_since_repack`` but not this), so remote caches can compare
+        #: two snapshots and know whether *any* write happened in between.
+        self.total_edits = 0
         self._last_edit_monotonic: float | None = None
 
     # ------------------------------------------------------- secondary indexes
@@ -440,6 +444,38 @@ class LayerTable:
     def num_rows(self) -> int:
         """Number of stored rows."""
         return len(self.store)
+
+    def resident_bytes(self, sample_size: int = 256) -> int:
+        """Estimated resident size of this table: rows plus spatial-index bytes.
+
+        Row cost is extrapolated from a sample (geometry blob + label text +
+        a fixed per-object overhead for the dataclass, ids and store slot), so
+        the estimate stays O(sample) however large the table is.  The spatial
+        index reports its own bytes when packed; the dynamic tree is estimated
+        from its node count.  Used by the dataset pool's memory budget —
+        proportionality matters, exactness does not.
+        """
+        count = self.num_rows
+        if count == 0:
+            return 0
+        sampled = 0
+        sample_bytes = 0
+        for row in self.store.scan():
+            sample_bytes += (
+                len(row.edge_geometry)
+                + len(row.node1_label) + len(row.node2_label) + len(row.edge_label)
+                + 160  # dataclass + 2 ids + row_id + store-slot overhead
+            )
+            sampled += 1
+            if sampled >= sample_size:
+                break
+        row_bytes = (sample_bytes * count) // sampled
+        rtree = self.rtree
+        if hasattr(rtree, "nbytes"):
+            index_bytes = rtree.nbytes
+        else:  # dynamic tree: nodes hold boxed rects + child/entry lists
+            index_bytes = rtree.stats().num_nodes * 64 * 8
+        return row_bytes + index_bytes
 
     # ----------------------------------------------------------------- loading
 
@@ -598,6 +634,7 @@ class LayerTable:
     def _record_edit(self) -> None:
         """Note one mutation for the background-maintenance heuristics."""
         self.edits_since_repack += 1
+        self.total_edits += 1
         self._last_edit_monotonic = time.monotonic()
 
     @property

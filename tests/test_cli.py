@@ -113,7 +113,7 @@ class TestCommands:
         capsys.readouterr()
         exit_code = main([
             "serve", "--database", str(database_path),
-            "--smoke", "4", "--clients", "4", "--workers", "2",
+            "--smoke", "4", "--clients", "4", "--threads", "2",
         ])
         assert exit_code == 0
         output = capsys.readouterr().out
@@ -125,6 +125,30 @@ class TestCommands:
     def test_serve_missing_database(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["serve", "--database", str(tmp_path / "nope.db"), "--smoke", "1"])
+
+    def test_serve_port_already_bound_exits_cleanly(self, tmp_path, capsys):
+        import socket
+
+        database_path = tmp_path / "busy.db"
+        assert main([
+            "preprocess", "--dataset", "acm", "--scale", "0.05",
+            "--output", str(database_path),
+            "--layers", "1", "--layout-iterations", "5",
+            "--max-partition-nodes", "200",
+        ]) == 0
+        capsys.readouterr()
+        squatter = socket.socket()
+        try:
+            squatter.bind(("127.0.0.1", 0))
+            squatter.listen(1)
+            port = squatter.getsockname()[1]
+            with pytest.raises(SystemExit, match="cannot bind"):
+                main([
+                    "serve", "--database", str(database_path),
+                    "--port", str(port),
+                ])
+        finally:
+            squatter.close()
 
     def test_serve_rejects_duplicate_dataset_names(self, tmp_path):
         (tmp_path / "a").mkdir()

@@ -1,0 +1,449 @@
+"""Tests for the multi-process cluster subsystem (``repro.cluster``).
+
+Unit coverage for rendezvous hashing, the cross-request window cache and the
+metrics merge, plus live end-to-end coverage: a real 2-worker fleet behind a
+real router socket — queries, sessions, aggregated metrics, worker crash /
+restart with dataset failover, overload (503 + ``Retry-After``) propagation,
+and graceful drain.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cluster.cache import WindowResultCache
+from repro.cluster.hashing import rendezvous_owner, rendezvous_ranking
+from repro.cluster.router import ClusterRuntime, merge_summaries
+from repro.config import ClusterConfig, GraphVizDBConfig, ServiceConfig
+from repro.core.monitoring import ServiceMetrics
+from repro.errors import ClusterError
+from repro.service.pool import DatasetPool
+from repro.storage.sqlite_backend import save_to_sqlite
+
+
+class TestRendezvousHashing:
+    WORKERS = ["w0", "w1", "w2", "w3"]
+    DATASETS = [f"dataset-{i}" for i in range(64)]
+
+    def test_owner_is_deterministic_and_member(self):
+        for dataset in self.DATASETS:
+            owner = rendezvous_owner(dataset, self.WORKERS)
+            assert owner in self.WORKERS
+            assert owner == rendezvous_owner(dataset, list(reversed(self.WORKERS)))
+
+    def test_empty_fleet_has_no_owner(self):
+        assert rendezvous_owner("anything", []) is None
+
+    def test_balance(self):
+        counts = {worker: 0 for worker in self.WORKERS}
+        for dataset in self.DATASETS:
+            counts[rendezvous_owner(dataset, self.WORKERS)] += 1
+        # 64 datasets over 4 workers: every worker should own some.
+        assert all(count > 0 for count in counts.values())
+
+    def test_minimal_disruption_on_worker_loss(self):
+        before = {d: rendezvous_owner(d, self.WORKERS) for d in self.DATASETS}
+        survivors = [w for w in self.WORKERS if w != "w2"]
+        for dataset, owner in before.items():
+            after = rendezvous_owner(dataset, survivors)
+            if owner != "w2":
+                assert after == owner  # unaffected datasets do not move
+            else:
+                assert after in survivors
+
+    def test_ranking_head_is_owner_and_failover_matches(self):
+        for dataset in self.DATASETS:
+            ranking = rendezvous_ranking(dataset, self.WORKERS)
+            assert ranking[0] == rendezvous_owner(dataset, self.WORKERS)
+            survivors = [w for w in self.WORKERS if w != ranking[0]]
+            assert ranking[1] == rendezvous_owner(dataset, survivors)
+
+
+class TestWindowResultCache:
+    def test_hit_miss_and_metrics(self):
+        metrics = ServiceMetrics()
+        cache = WindowResultCache(capacity=4, metrics=metrics)
+        assert cache.get("k1") is None
+        cache.put("k1", "ds", 200, b"payload")
+        entry = cache.get("k1")
+        assert entry is not None and entry.body == b"payload"
+        assert metrics.window_cache_hits == 1
+        assert metrics.window_cache_misses == 1
+
+    def test_capacity_eviction_is_lru(self):
+        cache = WindowResultCache(capacity=2)
+        cache.put("a", "ds", 200, b"1")
+        cache.put("b", "ds", 200, b"2")
+        assert cache.get("a") is not None  # refresh a; b becomes LRU
+        cache.put("c", "ds", 200, b"3")
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+
+    def test_byte_budget_eviction(self):
+        cache = WindowResultCache(capacity=100, max_bytes=100)
+        cache.put("a", "ds", 200, b"x" * 60)
+        cache.put("b", "ds", 200, b"y" * 60)  # 120 bytes > budget: evict a
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.total_bytes == 60
+
+    def test_byte_budget_never_evicts_last_entry(self):
+        cache = WindowResultCache(capacity=10, max_bytes=10)
+        cache.put("huge", "ds", 200, b"z" * 1000)
+        assert cache.get("huge") is not None
+
+    def test_invalidate_dataset(self):
+        metrics = ServiceMetrics()
+        cache = WindowResultCache(capacity=10, metrics=metrics)
+        cache.put("a", "ds1", 200, b"1")
+        cache.put("b", "ds2", 200, b"2")
+        assert cache.invalidate_dataset("ds1") == 1
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert metrics.window_cache_invalidations == 1
+
+    def test_observe_edit_counters(self):
+        cache = WindowResultCache(capacity=10)
+        cache.put("a", "ds1", 200, b"1")
+        # First observation only records the baseline.
+        assert cache.observe_edit_counters({"ds1": 5}) == 0
+        assert cache.get("a") is not None
+        # Unchanged counter: nothing dropped.
+        assert cache.observe_edit_counters({"ds1": 5}) == 0
+        # Moved counter (any difference, including a reset): drop.
+        assert cache.observe_edit_counters({"ds1": 7}) == 1
+        assert cache.get("a") is None
+        cache.put("b", "ds1", 200, b"2", counter=cache.counter_snapshot("ds1"))
+        assert cache.observe_edit_counters({"ds1": 0}) == 1  # eviction reset
+        assert cache.get("b") is None
+
+    def test_put_rejects_response_older_than_an_invalidation(self):
+        cache = WindowResultCache(capacity=10)
+        cache.observe_edit_counters({"ds1": 1})
+        snapshot = cache.counter_snapshot("ds1")  # taken before the "query"
+        # While the query was in flight, an edit moved the counter and the
+        # invalidation ran — the pre-edit response must not enter the cache.
+        cache.observe_edit_counters({"ds1": 2})
+        cache.put("stale", "ds1", 200, b"pre-edit", counter=snapshot)
+        assert cache.get("stale") is None
+        # A response computed after the snapshot refreshed is accepted.
+        cache.put("fresh", "ds1", 200, b"post", counter=cache.counter_snapshot("ds1"))
+        assert cache.get("fresh") is not None
+
+    def test_zero_capacity_disables(self):
+        cache = WindowResultCache(capacity=0)
+        cache.put("a", "ds", 200, b"1")
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestMergeSummaries:
+    def test_sums_numbers_and_maxes_peaks(self):
+        merged = merge_summaries([
+            {"requests": {"admitted": 3}, "peak_queue_depth": 4, "name": "a"},
+            {"requests": {"admitted": 5}, "peak_queue_depth": 2, "name": "b"},
+        ])
+        assert merged["requests"]["admitted"] == 8
+        assert merged["peak_queue_depth"] == 4
+        assert merged["name"] == "b"  # non-numeric: last wins
+
+    def test_nested_dicts_merge_per_key(self):
+        merged = merge_summaries([
+            {"queue_depth": {"ds1": 1}},
+            {"queue_depth": {"ds1": 2, "ds2": 3}},
+        ])
+        assert merged["queue_depth"] == {"ds1": 3, "ds2": 3}
+
+
+class TestPoolMemoryBudget:
+    def test_resident_bytes_estimated_and_summed(self, patent_result, tmp_path):
+        path = tmp_path / "budget.db"
+        save_to_sqlite(patent_result.database, path)
+        pool = DatasetPool(capacity=4, max_resident_bytes=1 << 40)
+        entry = pool.get(path)
+        assert entry.resident_bytes > 0
+        assert pool.total_resident_bytes() == entry.resident_bytes
+
+    def test_budget_evicts_lru_but_keeps_newest(self, patent_result, tmp_path):
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"shard{index}.db"
+            save_to_sqlite(patent_result.database, path)
+            paths.append(path)
+        probe_pool = DatasetPool(capacity=4, max_resident_bytes=1 << 40)
+        one_dataset = probe_pool.get(paths[0]).resident_bytes
+        # Budget fits one dataset but not two: each open evicts the previous.
+        pool = DatasetPool(capacity=4, max_resident_bytes=int(one_dataset * 1.5))
+        pool.get(paths[0])
+        pool.get(paths[1])
+        assert len(pool) == 1
+        assert pool.peek(paths[1]) is not None and pool.peek(paths[0]) is None
+        # A dataset larger than the whole budget still serves (never evict
+        # the entry just opened).
+        tiny = DatasetPool(capacity=4, max_resident_bytes=1)
+        tiny.get(paths[2])
+        assert len(tiny) == 1
+
+    def test_budget_disabled_skips_estimation(self, patent_result, tmp_path):
+        path = tmp_path / "nobudget.db"
+        save_to_sqlite(patent_result.database, path)
+        pool = DatasetPool(capacity=2)
+        assert pool.get(path).resident_bytes == 0
+        assert pool.total_resident_bytes() == 0
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(Exception):
+            DatasetPool(capacity=2, max_resident_bytes=-1)
+
+
+# --------------------------------------------------------------------------
+# Live cluster
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def shard_paths(patent_result, tmp_path_factory):
+    """Three SQLite shards of the small patent dataset."""
+    base = tmp_path_factory.mktemp("cluster-shards")
+    paths = {}
+    for name in ("shard-a", "shard-b", "shard-c"):
+        path = base / f"{name}.db"
+        save_to_sqlite(patent_result.database, path)
+        paths[name] = str(path)
+    return paths
+
+
+def _cluster_config(**cluster_kwargs) -> GraphVizDBConfig:
+    cluster_kwargs.setdefault("num_workers", 2)
+    cluster_kwargs.setdefault("health_interval_seconds", 0.1)
+    cluster_kwargs.setdefault("restart_backoff_seconds", 0.01)
+    return GraphVizDBConfig(cluster=ClusterConfig(**cluster_kwargs))
+
+
+def _get(port: int, path: str, timeout: float = 30.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read()), dict(
+            response.getheaders()
+        )
+    finally:
+        connection.close()
+
+
+@pytest.fixture(scope="module")
+def live_cluster(shard_paths):
+    """A running 2-worker cluster shared by the read-only live tests."""
+    with ClusterRuntime(shard_paths, config=_cluster_config()) as runtime:
+        yield runtime
+
+
+class TestClusterLive:
+    def test_rejects_empty_or_zero_worker_configs(self, shard_paths):
+        with pytest.raises(ClusterError):
+            ClusterRuntime({}, config=_cluster_config())
+        with pytest.raises(ClusterError):
+            ClusterRuntime(shard_paths, config=_cluster_config(num_workers=0))
+
+    def test_datasets_and_assignment(self, live_cluster):
+        status, body, _ = _get(live_cluster.port, "/datasets")
+        assert status == 200
+        assert body["datasets"] == ["shard-a", "shard-b", "shard-c"]
+        assignment = live_cluster.health_summary()["assignment"]
+        assert set(assignment) == set(body["datasets"])
+        assert all(owner in ("w0", "w1") for owner in assignment.values())
+
+    def test_window_query_and_cross_request_cache(self, live_cluster):
+        target = "/window?dataset=shard-a&payload=1"
+        status, body, _ = _get(live_cluster.port, target)
+        assert status == 200 and body["meta"]["num_objects"] > 0
+        before = live_cluster.router.metrics.window_cache_hits
+        status2, body2, _ = _get(live_cluster.port, target)
+        assert status2 == 200 and body2 == body
+        assert live_cluster.router.metrics.window_cache_hits == before + 1
+        # Same window, different parameter order: same canonical cache key.
+        reordered = "/window?payload=1&dataset=shard-a"
+        status3, body3, _ = _get(live_cluster.port, reordered)
+        assert status3 == 200 and body3 == body
+        assert live_cluster.router.metrics.window_cache_hits == before + 2
+
+    def test_keyword_and_nearest_proxy(self, live_cluster):
+        status, body, _ = _get(
+            live_cluster.port, "/keyword?dataset=shard-b&q=patent&limit=2"
+        )
+        assert status == 200 and body["num_matches"] <= 2
+        status, body, _ = _get(
+            live_cluster.port, "/nearest?dataset=shard-c&x=0&y=0&k=2"
+        )
+        assert status == 200 and len(body["rows"]) == 2
+
+    def test_sessions_route_to_owner(self, live_cluster):
+        status, body, _ = _get(live_cluster.port, "/session/new?dataset=shard-a")
+        assert status == 200
+        session_id = body["session_id"]
+        status, body, _ = _get(live_cluster.port, f"/session/{session_id}/refresh")
+        assert status == 200 and body["num_objects"] > 0
+        status, body, _ = _get(live_cluster.port, f"/session/{session_id}/close")
+        assert status == 200 and body["closed"] is True
+        status, _, _ = _get(live_cluster.port, f"/session/{session_id}/refresh")
+        assert status == 404
+
+    def test_unknown_dataset_and_missing_param(self, live_cluster):
+        status, _, _ = _get(live_cluster.port, "/window?dataset=missing")
+        assert status == 404
+        status, _, _ = _get(live_cluster.port, "/window")
+        assert status == 400
+
+    def test_metrics_aggregate_across_workers(self, live_cluster):
+        _get(live_cluster.port, "/keyword?dataset=shard-a&q=patent")
+        _get(live_cluster.port, "/keyword?dataset=shard-c&q=patent")
+        status, body, _ = _get(live_cluster.port, "/metrics")
+        assert status == 200
+        assert body["requests"]["admitted"] >= 2  # merged across both workers
+        assert body["cluster"]["proxied_requests"] >= 2
+        assert set(body["router"]["workers"]) == {"w0", "w1"}
+
+    def test_health_endpoint(self, live_cluster):
+        status, body, _ = _get(live_cluster.port, "/health")
+        assert status == 200 and body["status"] == "ok"
+        assert all(worker["healthy"] for worker in body["workers"].values())
+
+
+class TestClusterFailure:
+    def test_worker_crash_failover_and_restart(self, shard_paths):
+        with ClusterRuntime(shard_paths, config=_cluster_config()) as runtime:
+            port = runtime.port
+            for name in shard_paths:
+                status, _, _ = _get(port, f"/window?dataset={name}")
+                assert status == 200
+            assignment = runtime.health_summary()["assignment"]
+            victim = assignment["shard-b"]
+            survivor = next(w for w in ("w0", "w1") if w != victim)
+            victim_generation = runtime.router._handles[victim].generation
+            status, body, _ = _get(port, "/session/new?dataset=shard-b")
+            assert status == 200
+            doomed_session = body["session_id"]
+            runtime.router._handles[victim].process.kill()
+
+            # The victim's datasets fail over to the survivor on the very
+            # next request (cache off-path: /keyword is never cached).
+            recovered_at = None
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                status, _, _ = _get(port, "/keyword?dataset=shard-b&q=patent")
+                if status == 200:
+                    recovered_at = time.monotonic()
+                    break
+                time.sleep(0.02)
+            assert recovered_at is not None, "dataset never recovered"
+            assert runtime.router.worker_for("shard-b") == survivor
+            assert runtime.router.metrics.proxy_retries >= 1
+
+            # The supervisor replaces the dead process; once its replacement
+            # reports healthy, the dataset moves home again.
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                runtime.probe_workers()
+                handle = runtime.router._handles[victim]
+                if handle.healthy and handle.generation > victim_generation:
+                    break
+                time.sleep(0.05)
+            handle = runtime.router._handles[victim]
+            assert handle.healthy and handle.generation == victim_generation + 1
+            assert runtime.router.metrics.worker_restarts >= 1
+            assert runtime.router.worker_for("shard-b") == victim
+            status, _, _ = _get(port, "/keyword?dataset=shard-b&q=patent")
+            assert status == 200
+            # Health state (edit counters) replayed from the new process.
+            runtime.probe_workers()
+            assert set(handle.edit_counters) == set(shard_paths)
+            # Sessions are worker-local: the crashed worker's session is
+            # gone (404), and the 404 prunes the router's registry entry.
+            status, _, _ = _get(port, f"/session/{doomed_session}/refresh")
+            assert status == 404
+            assert doomed_session not in runtime.router._sessions
+
+    def test_overload_propagates_503_with_retry_after(self, shard_paths):
+        config = GraphVizDBConfig(
+            service=ServiceConfig(
+                max_workers=1, max_queue_depth=1, coalesce_max_batch=1
+            ),
+            cluster=ClusterConfig(
+                num_workers=1, worker_threads=1, cache_capacity=0,
+                health_interval_seconds=0.5,
+            ),
+        )
+        with ClusterRuntime(shard_paths, config=config) as runtime:
+            port = runtime.port
+            statuses: list[int] = []
+            lock = threading.Lock()
+
+            def client(index: int) -> None:
+                # Distinct layers dodge every dedup layer; payload builds
+                # keep the single worker thread busy.
+                status, _, headers = _get(
+                    port, f"/window?dataset=shard-a&payload=1&_client={index}"
+                )
+                with lock:
+                    statuses.append(status)
+                    if status == 503:
+                        assert headers.get("Retry-After") == "1"
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(12)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert statuses.count(200) >= 1
+            assert statuses.count(503) >= 1, statuses
+
+    def test_bind_failure_terminates_spawned_fleet(self, shard_paths):
+        import multiprocessing
+        import socket
+
+        before = {process.pid for process in multiprocessing.active_children()}
+        squatter = socket.socket()
+        try:
+            squatter.bind(("127.0.0.1", 0))
+            squatter.listen(1)
+            with pytest.raises(OSError):
+                ClusterRuntime(
+                    shard_paths, config=_cluster_config(),
+                    port=squatter.getsockname()[1],
+                )
+        finally:
+            squatter.close()
+        # The workers spawned before the failed bind must not survive it
+        # (other tests' clusters may be alive: only *new* children count).
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            leaked = [
+                process for process in multiprocessing.active_children()
+                if process.name.startswith("graphvizdb-")
+                and process.pid not in before
+            ]
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert not leaked
+
+    def test_drain_rejects_new_requests_and_terminates_fleet(self, shard_paths):
+        runtime = ClusterRuntime(shard_paths, config=_cluster_config())
+        port = runtime.port
+        status, _, _ = _get(port, "/window?dataset=shard-a")
+        assert status == 200
+        processes = [
+            handle.process for handle in runtime.router._handles.values()
+        ]
+        runtime.close()
+        assert all(not process.is_alive() for process in processes)
+        with pytest.raises(OSError):
+            _get(port, "/window?dataset=shard-a", timeout=2.0)

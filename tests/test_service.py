@@ -413,3 +413,125 @@ class TestHttp:
         assert status == 400  # dataset parameter missing
         status, _ = self._get(port, "/nope")
         assert status == 404
+
+    def test_health_endpoint_reports_edit_counters(self, http_server, patent_result):
+        port = http_server
+        status, body = self._get(port, "/health")
+        assert status == 200 and body["status"] == "ok"
+        assert body["datasets"]["patent"] == patent_result.database.edit_counter()
+
+    def test_keepalive_serves_sequential_requests_on_one_connection(
+        self, http_server
+    ):
+        connection = http.client.HTTPConnection("127.0.0.1", http_server, timeout=10)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/datasets")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") == "keep-alive"
+                assert json.loads(response.read())["datasets"] == ["patent"]
+        finally:
+            connection.close()
+
+    def test_connection_close_header_is_honoured(self, http_server):
+        connection = http.client.HTTPConnection("127.0.0.1", http_server, timeout=10)
+        try:
+            connection.request("GET", "/datasets", headers={"Connection": "close"})
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+
+class TestHttpHardening:
+    def _serve(self, service, **kwargs):
+        """Run ``serve_http`` on a background loop; yields the bound port."""
+        started = threading.Event()
+        stop: dict = {}
+
+        def run_loop():
+            async def main():
+                async with service:
+                    server = await serve_http(service, port=0, **kwargs)
+                    stop["port"] = server.sockets[0].getsockname()[1]
+                    stop["loop"] = asyncio.get_running_loop()
+                    stop["event"] = asyncio.Event()
+                    started.set()
+                    await stop["event"].wait()
+                    server.close()
+                    await server.wait_closed()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_loop, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        stop["thread"] = thread
+        return stop
+
+    def _stop(self, stop):
+        stop["loop"].call_soon_threadsafe(stop["event"].set)
+        stop["thread"].join(timeout=10)
+
+    def test_request_timeout_returns_504(self, patent_result):
+        service = GraphVizDBService(GraphVizDBConfig.small())
+        service.register_dataset("patent", patent_result.database)
+
+        async def slow_window(*args, **kwargs):
+            await asyncio.sleep(0.5)
+
+        service.window_query = slow_window  # type: ignore[method-assign]
+        stop = self._serve(service, request_timeout_seconds=0.05)
+        try:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", stop["port"], timeout=10
+            )
+            connection.request("GET", "/window?dataset=patent")
+            response = connection.getresponse()
+            assert response.status == 504
+            assert b"budget" in response.read()
+            # The connection survives a timed-out request.
+            connection.request("GET", "/datasets")
+            assert connection.getresponse().status == 200
+            connection.close()
+        finally:
+            self._stop(stop)
+
+    def test_keepalive_idle_expiry_closes_connection(self, patent_result):
+        service = GraphVizDBService(GraphVizDBConfig.small())
+        service.register_dataset("patent", patent_result.database)
+        stop = self._serve(service, keepalive_seconds=0.1)
+        try:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", stop["port"], timeout=10
+            )
+            connection.request("GET", "/datasets")
+            assert connection.getresponse().status == 200
+            time.sleep(0.4)  # idle past the keep-alive window
+            with pytest.raises((http.client.HTTPException, OSError)):
+                connection.request("GET", "/datasets")
+                response = connection.getresponse()
+                response.read()
+            connection.close()
+        finally:
+            self._stop(stop)
+
+    def test_keepalive_zero_restores_connection_per_request(self, patent_result):
+        service = GraphVizDBService(GraphVizDBConfig.small())
+        service.register_dataset("patent", patent_result.database)
+        stop = self._serve(service, keepalive_seconds=0)
+        try:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", stop["port"], timeout=10
+            )
+            connection.request("GET", "/datasets")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Connection") == "close"
+            response.read()
+            connection.close()
+        finally:
+            self._stop(stop)
