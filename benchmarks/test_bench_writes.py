@@ -1,0 +1,260 @@
+"""Durable write path: journalled throughput, cluster read-after-write, replay.
+
+Three questions the new write subsystem must answer with numbers:
+
+* **What does durability cost?**  Apply a burst of edits through the
+  :class:`~repro.writes.coordinator.WriteCoordinator` under each journal
+  fsync policy (``never`` / ``batch`` / ``always``) plus journalling
+  disabled, and record edits/second.  The gap between ``never`` and
+  ``always`` is the price of power-loss durability; ``batch`` (the default)
+  should sit near ``never`` while still surviving any process crash.
+* **How fast is read-after-write through the cluster?**  POST an edit
+  through a live 2-worker router and time until the *next* ``/window`` read
+  reflects it — the eager cache-invalidation path, measured end to end over
+  real sockets.  Without the eager bump this would be one ~500 ms health
+  interval; with it, one round trip.
+* **How long does crash recovery take?**  Apply a burst of acknowledged,
+  un-checkpointed edits, throw the worker memory away (the SIGKILL
+  equivalent — only SQLite + journal survive), and time the fresh open
+  including journal replay, against a plain open as the baseline.
+
+Measurements append to ``BENCH_writes.json`` at the repository root,
+building a trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_comparison
+from repro.cluster.router import ClusterRuntime
+from repro.config import ClusterConfig, GraphVizDBConfig, WriteConfig
+from repro.service.frontend import GraphVizDBService, ServiceRuntime
+from repro.storage.sqlite_backend import load_from_sqlite, save_to_sqlite
+from repro.writes.journal import journal_path_for, replay_journal
+
+
+def bench_scale() -> float:
+    """The shared dataset scale factor (mirrors ``conftest.bench_scale``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+#: Where the write-path trajectory is recorded (repo root).
+TRAJECTORY_PATH = Path(__file__).resolve().parents[1] / "BENCH_writes.json"
+
+#: Edits applied per fsync-policy throughput run.
+EDITS_PER_RUN = 200
+
+#: Acknowledged, un-checkpointed edits behind the replay-recovery measurement.
+REPLAY_EDITS = 150
+
+#: Edit → read round trips in the cluster read-after-write measurement.
+RAW_ROUNDS = 15
+
+
+def record_trajectory(measurements: dict) -> None:
+    """Append one measurement entry to the BENCH_writes.json trajectory."""
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": bench_scale(),
+        "dataset": "patent-like",
+        "cpu_count": os.cpu_count(),
+        **measurements,
+    }
+    history: list = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(entry)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def sqlite_source(patent_preprocessed, tmp_path_factory):
+    """One saved copy of the benchmark dataset; runs clone it per policy."""
+    base = tmp_path_factory.mktemp("bench-writes")
+    path = base / "source.db"
+    save_to_sqlite(patent_preprocessed.database, path)
+    return base, path
+
+
+def _cloned(base: Path, source: Path, name: str) -> Path:
+    clone = base / f"{name}.db"
+    clone.write_bytes(source.read_bytes())
+    return clone
+
+
+def _apply_edits(runtime: ServiceRuntime, count: int, base_id: int) -> float:
+    """Apply ``count`` add_node edits; returns elapsed seconds."""
+    started = time.perf_counter()
+    for index in range(count):
+        runtime.edit("bench", "add_node", {
+            "node_id": base_id + index, "label": f"bench-node-{index}",
+            "x": float(index % 50), "y": float(index // 50),
+        })
+    return time.perf_counter() - started
+
+
+def test_write_throughput_by_fsync_policy(sqlite_source, capsys):
+    """Durability pricing: edits/second under each journal policy."""
+    base, source = sqlite_source
+    measurements: dict[str, object] = {"kind": "throughput", "edits": EDITS_PER_RUN}
+    policies: list[tuple[str, WriteConfig]] = [
+        ("no_journal", WriteConfig(journal_enabled=False)),
+        ("never", WriteConfig(journal_fsync="never")),
+        ("batch", WriteConfig(journal_fsync="batch", journal_fsync_batch=16)),
+        ("always", WriteConfig(journal_fsync="always")),
+    ]
+    rates: dict[str, float] = {}
+    for name, write_config in policies:
+        clone = _cloned(base, source, f"policy-{name}")
+        service = GraphVizDBService(GraphVizDBConfig(write=write_config))
+        service.attach_sqlite("bench", str(clone))
+        with ServiceRuntime(service) as runtime:
+            runtime.window_query("bench")  # warm the pool
+            elapsed = _apply_edits(runtime, EDITS_PER_RUN, base_id=1_000_000)
+        rates[name] = EDITS_PER_RUN / elapsed
+        measurements[f"{name}_eps"] = rates[name]
+        measurements[f"{name}_ms"] = elapsed * 1000
+    record_trajectory(measurements)
+
+    with capsys.disabled():
+        print()
+        print(f"Write throughput ({EDITS_PER_RUN} add_node edits, one writer):")
+        for name, rate in rates.items():
+            print(f"  {name:<10}: {rate:8.0f} edits/s")
+        print(format_comparison(
+            "write-ahead journal durability pricing",
+            "ISSUE 5: batch fsync must not collapse write throughput",
+            f"batch reaches {rates['batch'] / rates['no_journal']:.0%} of "
+            "unjournalled throughput",
+            rates["batch"] > 0,
+        ))
+    # Sanity, not a perf bar: every policy must actually apply every edit.
+    assert all(rate > 0 for rate in rates.values())
+
+
+def test_replay_recovery_time(sqlite_source, capsys):
+    """SIGKILL recovery: fresh open + journal replay vs plain open."""
+    base, source = sqlite_source
+    clone = _cloned(base, source, "replay")
+    service = GraphVizDBService(GraphVizDBConfig(
+        # No automatic checkpoint: every edit must still be in the journal.
+        write=WriteConfig(checkpoint_every_records=0)
+    ))
+    service.attach_sqlite("bench", str(clone))
+    with ServiceRuntime(service) as runtime:
+        runtime.window_query("bench")
+        _apply_edits(runtime, REPLAY_EDITS, base_id=2_000_000)
+    # The runtime is gone: only the SQLite file + journal survive, exactly
+    # the post-SIGKILL state of a worker.
+    assert journal_path_for(clone).exists()
+
+    started = time.perf_counter()
+    plain = load_from_sqlite(clone)
+    plain_open_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    recovered = load_from_sqlite(clone)
+    replayed = replay_journal(recovered, clone)
+    recovery_seconds = time.perf_counter() - started
+    assert replayed == REPLAY_EDITS
+    assert recovered.table(0).rows_for_node(2_000_000)
+    assert not plain.table(0).rows_for_node(2_000_000)
+
+    record_trajectory({
+        "kind": "replay_recovery",
+        "replayed_records": replayed,
+        "plain_open_ms": plain_open_seconds * 1000,
+        "recovery_open_ms": recovery_seconds * 1000,
+        "replay_overhead_ms": (recovery_seconds - plain_open_seconds) * 1000,
+    })
+    with capsys.disabled():
+        print()
+        print(format_comparison(
+            "crash recovery by journal replay",
+            f"ISSUE 5: a SIGKILLed worker's {REPLAY_EDITS} acknowledged edits "
+            "replay on the next open",
+            f"plain open {plain_open_seconds * 1000:.0f} ms, open+replay "
+            f"{recovery_seconds * 1000:.0f} ms ({replayed} records)",
+            replayed == REPLAY_EDITS,
+        ))
+
+
+def test_cluster_read_after_write_latency(sqlite_source, capsys):
+    """Time from POST /edit ack to the next consistent /window read."""
+    base, source = sqlite_source
+    paths = {
+        "raw-a": str(_cloned(base, source, "cluster-a")),
+        "raw-b": str(_cloned(base, source, "cluster-b")),
+    }
+    config = GraphVizDBConfig(cluster=ClusterConfig(
+        num_workers=2, health_interval_seconds=30.0,  # only eager invalidation
+    ))
+    latencies: list[float] = []
+    with ClusterRuntime(paths, config=config) as runtime:
+        port = runtime.port
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            def request(method: str, target: str, body: bytes | None = None):
+                connection.request(method, target, body=body)
+                response = connection.getresponse()
+                return response.status, json.loads(response.read())
+
+            window = (
+                "/window?dataset=raw-a&min_x=0&min_y=0&max_x=60&max_y=10"
+            )
+            status, before = request("GET", window)
+            assert status == 200
+            rows = before["num_rows"]
+            for round_index in range(RAW_ROUNDS):
+                request("GET", window)  # ensure the pre-edit window is cached
+                started = time.perf_counter()
+                status, ack = request(
+                    "POST", f"/edit/add_node?dataset=raw-a",
+                    json.dumps({
+                        "node_id": 3_000_000 + round_index,
+                        "label": f"raw-{round_index}",
+                        "x": float(round_index % 50), "y": 5.0,
+                    }).encode(),
+                )
+                assert status == 200, ack
+                status, after = request("GET", window)
+                elapsed = time.perf_counter() - started
+                assert status == 200 and after["num_rows"] == rows + 1, (
+                    rows, after["num_rows"],
+                )
+                rows = after["num_rows"]
+                latencies.append(elapsed)
+        finally:
+            connection.close()
+    latencies.sort()
+    median_ms = latencies[len(latencies) // 2] * 1000
+    record_trajectory({
+        "kind": "read_after_write",
+        "rounds": RAW_ROUNDS,
+        "median_ms": median_ms,
+        "max_ms": latencies[-1] * 1000,
+        "health_interval_ms": 30_000,
+    })
+    with capsys.disabled():
+        print()
+        print(format_comparison(
+            "cluster read-after-write consistency latency",
+            "ISSUE 5: an edit is visible to the next /window without waiting "
+            "out a health interval",
+            f"median edit→consistent-read {median_ms:.1f} ms "
+            f"(health interval 30000 ms)",
+            median_ms < 30_000,
+        ))
+    assert median_ms < 30_000  # consistent far inside the probe cadence

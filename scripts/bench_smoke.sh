@@ -4,6 +4,7 @@
 #   * SQLite cold start (page restore vs rebuild) -> BENCH_coldstart.json
 #   * concurrent serving (coalescing/pool/repack) -> BENCH_serving.json
 #   * cluster scale-out (router/cache/failover)   -> BENCH_cluster.json
+#   * durable write path (journal/replay/RAW)     -> BENCH_writes.json
 # so every PR has a perf baseline to compare against.  Also runs the
 # 2-worker cluster lifecycle smoke (start, query through the router, kill a
 # worker, query again, drain).
@@ -19,11 +20,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "2-worker cluster lifecycle smoke (start / query / kill / query / drain)"
 python scripts/cluster_smoke.py
 
-echo "index + cold-start + serving + cluster smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
+echo "index + cold-start + serving + cluster + writes smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
 python -m pytest benchmarks/test_bench_ablation_indexes.py \
     benchmarks/test_bench_coldstart.py \
     benchmarks/test_bench_serving.py \
-    benchmarks/test_bench_cluster.py -q -p no:cacheprovider "$@"
+    benchmarks/test_bench_cluster.py \
+    benchmarks/test_bench_writes.py -q -p no:cacheprovider "$@"
 echo "trajectory written to BENCH_indexes.json:"
 python - <<'EOF'
 import json
@@ -105,3 +107,33 @@ for entry in history[-4:]:
         f"{kind:<17} {detail}"
     )
 EOF
+echo "trajectory written to BENCH_writes.json:"
+python - <<'PYEOF'
+import json
+from pathlib import Path
+
+history = json.loads(Path("BENCH_writes.json").read_text())
+for entry in history[-6:]:
+    kind = entry.get("kind", "?")
+    if kind == "throughput":
+        detail = (
+            f"nojournal={entry['no_journal_eps']:.0f}eps "
+            f"batch={entry['batch_eps']:.0f}eps "
+            f"always={entry['always_eps']:.0f}eps"
+        )
+    elif kind == "replay_recovery":
+        detail = (
+            f"open={entry['plain_open_ms']:.0f}ms "
+            f"open+replay={entry['recovery_open_ms']:.0f}ms "
+            f"({entry['replayed_records']} records)"
+        )
+    else:
+        detail = (
+            f"raw_median={entry['median_ms']:.1f}ms "
+            f"raw_max={entry['max_ms']:.1f}ms"
+        )
+    print(
+        f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
+        f"{kind:<17} {detail}"
+    )
+PYEOF

@@ -9,10 +9,14 @@ worker processes, and walks the lifecycle the subsystem exists for:
 
 1. window + keyword queries through the router (both shards);
 2. a repeated window served by the cross-request cache;
-3. SIGKILL one worker, then query its shard again — failover to the
-   survivor must answer 200, and the supervisor must bring a replacement
-   back to healthy;
-4. graceful drain.
+3. a ``POST /edit/add_node`` through the router — the ack carries the
+   journal sequence, the cached window invalidates eagerly, and the edit is
+   immediately visible to the next read;
+4. SIGKILL the worker that owns the edited shard, then query it again —
+   failover to the survivor must answer 200 *with the acknowledged edit
+   present* (cold open + write-ahead-journal replay), and the supervisor
+   must bring a replacement back to healthy;
+5. graceful drain.
 
 Prints a JSON summary and exits non-zero on any failed expectation.
 """
@@ -33,6 +37,16 @@ def get(port: int, target: str, timeout: float = 60.0):
     connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
         connection.request("GET", target)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def post(port: int, target: str, body: dict, timeout: float = 60.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("POST", target, body=json.dumps(body).encode())
         response = connection.getresponse()
         return response.status, json.loads(response.read())
     finally:
@@ -78,13 +92,29 @@ def main() -> int:
         summary["queries_ok"] = True
         summary["cache_hits"] = runtime.router.metrics.window_cache_hits
 
+        # Durable write through the router: journalled ack + eager cache
+        # invalidation (the cached smoke-a window from step 2 must go stale
+        # *now*, not at the next health probe).
+        status, ack = post(port, "/edit/add_node?dataset=smoke-a", {
+            "node_id": 990001, "label": "smoke-edit-probe", "x": 3.0, "y": 3.0,
+        })
+        assert status == 200 and ack["seq"] >= 1, f"edit failed: {status} {ack}"
+        status, body = get(port, "/keyword?dataset=smoke-a&q=smoke-edit-probe")
+        assert status == 200 and body["num_matches"] == 1, (status, body)
+        summary["write_ok"] = True
+        summary["write_seq"] = ack["seq"]
+
         victim = runtime.health_summary()["assignment"]["smoke-a"]
         generation = runtime.router._handles[victim].generation
         runtime.router._handles[victim].process.kill()
         killed_at = time.perf_counter()
-        status, body = get(port, "/keyword?dataset=smoke-a&q=patent")
+        # Failover must replay the journal: the acknowledged edit survives
+        # the SIGKILL of the worker that held it in memory.
+        status, body = get(port, "/keyword?dataset=smoke-a&q=smoke-edit-probe")
         assert status == 200, f"failover query failed: {status} {body}"
+        assert body["num_matches"] == 1, f"acknowledged edit lost: {body}"
         summary["failover_ms"] = round((time.perf_counter() - killed_at) * 1000)
+        summary["edit_survived_kill"] = True
 
         deadline = time.perf_counter() + 60.0
         while time.perf_counter() < deadline:

@@ -163,7 +163,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import errno
 
-    from .config import ClusterConfig, ServiceConfig
+    from .config import ClusterConfig, ServiceConfig, WriteConfig
     from .service.frontend import GraphVizDBService
     from .service.http import serve_http
 
@@ -175,6 +175,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         cluster=ClusterConfig(
             num_workers=max(args.workers, 0), worker_threads=args.threads
+        ),
+        write=WriteConfig(
+            journal_enabled=not args.no_journal,
+            journal_fsync=args.fsync,
         ),
     )
     datasets: dict[str, str] = {}
@@ -391,6 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-dataset admission limit before 503")
     serve.add_argument("--pool-capacity", type=int, default=4,
                        help="max simultaneously open datasets")
+    serve.add_argument("--fsync", default="batch",
+                       choices=["always", "batch", "never"],
+                       help="write-ahead journal fsync policy for POST /edit/* "
+                            "(always = every edit survives power loss; batch = "
+                            "acknowledged edits survive process crashes)")
+    serve.add_argument("--no-journal", action="store_true",
+                       help="disable the write-ahead journal (edits are applied "
+                            "in memory only and a crash loses them)")
     serve.add_argument("--smoke", type=int, default=0, metavar="REQUESTS",
                        help="instead of listening, run REQUESTS window queries "
                             "per client in-process and print the metrics")

@@ -14,17 +14,24 @@ builds that dominate interactive window queries:
 * :mod:`repro.cluster.cache` — the cross-request
   :class:`~repro.cluster.cache.WindowResultCache`, invalidated by the
   per-dataset edit counters workers surface in ``/health``;
+* :mod:`repro.cluster.sessions` — the router-side
+  :class:`~repro.cluster.sessions.SessionDirectory` replicating session
+  cursors (dataset, layer, viewport) so a crashed owner's sessions reopen
+  transparently on the new owner;
 * :mod:`repro.cluster.router` — the asyncio router/supervisor: proxies
-  requests to rendezvous owners, aggregates ``/metrics``, health-checks the
-  fleet, restarts crashed workers (datasets fail over to survivors
-  instantly), and drains on shutdown.  :class:`ClusterRuntime` wraps it for
-  synchronous callers (CLI, benchmarks, tests).
+  requests (including ``POST /edit/*`` writes, with eager cache
+  invalidation) to rendezvous owners, aggregates ``/metrics``,
+  health-checks the fleet, restarts crashed workers (datasets fail over to
+  survivors instantly, replaying their write-ahead journals), and drains on
+  shutdown.  :class:`ClusterRuntime` wraps it for synchronous callers (CLI,
+  benchmarks, tests).
 """
 
 from .cache import CachedResponse, WindowResultCache
 from .client import WorkerClient
 from .hashing import rendezvous_owner, rendezvous_ranking, rendezvous_score
 from .router import ClusterRouter, ClusterRuntime, merge_summaries
+from .sessions import SessionCursor, SessionDirectory
 from .worker import WorkerHandle, WorkerSpec
 
 __all__ = [
@@ -37,6 +44,8 @@ __all__ = [
     "ClusterRouter",
     "ClusterRuntime",
     "merge_summaries",
+    "SessionCursor",
+    "SessionDirectory",
     "WorkerHandle",
     "WorkerSpec",
 ]

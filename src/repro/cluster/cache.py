@@ -155,6 +155,31 @@ class WindowResultCache:
             self.metrics.record_cache_invalidation(len(doomed))
         return len(doomed)
 
+    def note_write(self, dataset: str, counter: int | None = None) -> int:
+        """Eagerly invalidate after a write the router itself proxied.
+
+        Health probes deliver edit counters only every
+        ``health_interval_seconds`` — a read-after-write inside that window
+        would be served a stale cached response.  The router therefore calls
+        this the moment a worker acknowledges a ``POST /edit/*``: the
+        dataset's entries drop *now*, and ``counter`` (the worker's post-edit
+        counter, carried in the acknowledgement) becomes the new baseline so
+        the next health probe does not re-invalidate what this write already
+        handled.  Unlike :meth:`observe_edit_counters`, the entries drop even
+        when no counter was ever observed before (a write can precede the
+        first probe).  Returns the number of invalidated entries.
+        """
+        with self._lock:
+            if counter is not None:
+                self._dataset_counters[dataset] = counter
+            else:
+                # No authoritative value: advance the baseline so in-flight
+                # put()s with pre-write snapshots are rejected.
+                self._dataset_counters[dataset] = (
+                    self._dataset_counters.get(dataset) or 0
+                ) + 1
+        return self.invalidate_dataset(dataset)
+
     def observe_edit_counters(self, counters: dict[str, int]) -> int:
         """Compare a health snapshot's edit counters against the last one seen.
 

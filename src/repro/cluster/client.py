@@ -54,16 +54,32 @@ class WorkerClient:
     async def get(
         self, target: str, timeout_seconds: float | None = None
     ) -> tuple[int, dict[str, str], bytes]:
-        """One GET round trip; returns ``(status, headers, body)``.
+        """One GET round trip; returns ``(status, headers, body)``."""
+        return await self.request("GET", target, timeout_seconds=timeout_seconds)
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        body: bytes = b"",
+        timeout_seconds: float | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One request round trip; returns ``(status, headers, body)``.
 
         The whole exchange (connect if needed, write, read the full response)
         runs under one timeout.  On success the connection goes back to the
-        idle pool unless the worker answered ``Connection: close``.
+        idle pool unless the worker answered ``Connection: close``.  Non-GET
+        requests are **not** retried on a stale pooled connection the way
+        GETs are — a write whose connection died mid-exchange may or may not
+        have been applied, and blindly resending it could apply it twice;
+        the router surfaces that as a worker failure instead.
         """
         if timeout_seconds is None:
             timeout_seconds = self.timeout_seconds
         try:
-            return await asyncio.wait_for(self._exchange(target), timeout_seconds)
+            return await asyncio.wait_for(
+                self._exchange(method, target, body), timeout_seconds
+            )
         except asyncio.TimeoutError:
             raise WorkerUnavailableError(
                 self.worker_id, f"no response within {timeout_seconds:g}s"
@@ -94,7 +110,9 @@ class WorkerClient:
             return reader, writer
         return None
 
-    async def _exchange(self, target: str) -> tuple[int, dict[str, str], bytes]:
+    async def _exchange(
+        self, method: str, target: str, body: bytes = b""
+    ) -> tuple[int, dict[str, str], bytes]:
         while True:
             if self._closed:
                 raise WorkerUnavailableError(self.worker_id, "client is closed")
@@ -107,15 +125,20 @@ class WorkerClient:
                 reader, writer = pooled
             try:
                 writer.write(
-                    f"GET {target} HTTP/1.1\r\n"
+                    f"{method} {target} HTTP/1.1\r\n"
                     f"Host: {self.host}:{self.port}\r\n"
-                    "Connection: keep-alive\r\n\r\n".encode()
+                    "Connection: keep-alive\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
                 )
                 await writer.drain()
-                status, headers, body = await self._read_response(reader)
+                status, headers, response_body = await self._read_response(reader)
             except (OSError, asyncio.IncompleteReadError, ValueError):
                 writer.close()
-                if fresh:
+                if fresh or method != "GET":
+                    # A non-GET on a stale pooled connection is not replayed:
+                    # the worker may have applied the edit before the socket
+                    # died, and a silent resend could apply it twice.
                     raise
                 continue  # stale pooled connection — retry on a fresh one
             except BaseException:
@@ -127,7 +150,7 @@ class WorkerClient:
                 writer.close()
             else:
                 self._idle.append((reader, writer, time.monotonic()))
-            return status, headers, body
+            return status, headers, response_body
 
     @staticmethod
     async def _read_response(

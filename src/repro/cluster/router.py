@@ -18,11 +18,19 @@ the window cache (edit-driven invalidation) and counting failures.  A worker
 that fails ``max_health_failures`` probes, dies as an OS process, or breaks
 mid-proxy is marked unhealthy *immediately* — the rendezvous ring shrinks, so
 its datasets re-home to survivors on the very next request (every worker has
-every dataset attached lazily; the survivor cold-opens from SQLite, which
-PR 2 made cheap) — and the supervisor respawns it in the background.  Session
-state lives in workers, so sessions that lived on a crashed worker are lost
-(subsequent commands return 404 and clients reopen); stateless operations
-fail over transparently.
+every dataset attached lazily; the survivor cold-opens from SQLite and
+replays the dataset's write-ahead journal, which PR 2/PR 5 made cheap) — and
+the supervisor respawns it in the background.  Session cursors are replicated
+router-side (:class:`~repro.cluster.sessions.SessionDirectory`), so a session
+whose worker crashed is transparently reopened on the new owner and the
+command retried; the client never observes a reset.
+
+Writes (``POST /edit/*``) proxy to the rendezvous owner like reads, with two
+differences: a broken write is *not* silently retried (its outcome on the
+dead worker is ambiguous — the journal may already hold it), and a write
+acknowledgement invalidates the router's window cache eagerly, using the
+post-edit counter the worker returns, so read-after-write is consistent
+without waiting for the next health probe.
 
 Shutdown is a **drain**: stop admitting (503 + ``Retry-After``), close the
 listener, wait for in-flight proxied requests to finish (bounded by
@@ -36,7 +44,7 @@ import asyncio
 import contextlib
 import json
 import threading
-import time
+from collections import OrderedDict
 from urllib.parse import parse_qs, urlencode, urlsplit
 
 from ..config import ClusterConfig, GraphVizDBConfig
@@ -46,6 +54,7 @@ from ..service.http import serve_connection
 from .cache import WindowResultCache
 from .client import WorkerClient
 from .hashing import rendezvous_owner
+from .sessions import SessionDirectory
 from .worker import WorkerHandle, WorkerSpec
 
 __all__ = ["ClusterRouter", "ClusterRuntime", "merge_summaries"]
@@ -107,16 +116,27 @@ class ClusterRouter:
         self.metrics = metrics or ServiceMetrics()
         self.cache = WindowResultCache(
             capacity=self.cluster_config.cache_capacity,
-            max_bytes=self.cluster_config.cache_max_bytes,
+            # Adaptive sizing: when the workers' dataset pools run under a
+            # byte budget, the router cache takes a configured fraction of
+            # the same budget instead of an unrelated static knob.
+            max_bytes=self.cluster_config.effective_cache_max_bytes(
+                self.config.service.pool_max_resident_bytes
+            ),
             metrics=self.metrics,
         )
         self._handles: dict[str, WorkerHandle] = {}
         self._clients: dict[str, WorkerClient] = {}
-        #: session id -> (dataset, last-used monotonic).  Entries leave on
-        #: close, on a worker 404 (idle-expired or crashed worker), or via
-        #: the router-side idle sweep in :meth:`probe_workers` — abandoned
-        #: browser sessions must not grow this map forever.
-        self._sessions: dict[str, tuple[str, float]] = {}
+        #: Replicated session cursors (dataset, layer, viewport): the state
+        #: that lets a crashed owner's sessions transparently reopen on the
+        #: next owner.  Entries leave on close, on an unrecoverable worker
+        #: 404, or via the idle sweep in :meth:`probe_workers`.
+        self.sessions = SessionDirectory()
+        #: Recently seen canonical /keyword and /nearest targets, for the
+        #: repeat-rate measurement behind the "cache keyword/kNN too?"
+        #: question (bounded sliding windows; reads only, no caching).
+        self._repeat_windows: dict[str, OrderedDict[str, None]] = {
+            "keyword": OrderedDict(), "nearest": OrderedDict(),
+        }
         self._restarting: set[str] = set()
         self._inflight = 0
         self._draining = False
@@ -137,6 +157,7 @@ class ClusterRouter:
             client=self.config.client,
             service=self._worker_service_config(),
             cluster=self.cluster_config,
+            write=self.config.write,
         )
         dataset_items = tuple(sorted(self.datasets.items()))
         loop = asyncio.get_running_loop()
@@ -246,16 +267,16 @@ class ClusterRouter:
             if task is not None:
                 self._conn_tasks.discard(task)
 
-    async def _respond(self, target: str) -> tuple[int, bytes]:
+    async def _respond(self, method: str, target: str, body: bytes) -> tuple[int, bytes]:
         self._inflight += 1
         try:
-            return await self._dispatch(target)
+            return await self._dispatch(method, target, body)
         except Exception:  # defence: a router bug must not kill the router
             return 500, _json_bytes({"error": "internal router error"})
         finally:
             self._inflight -= 1
 
-    async def _dispatch(self, target: str) -> tuple[int, bytes]:
+    async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, bytes]:
         """Answer one request target: locally, from cache, or via a worker."""
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
@@ -282,9 +303,59 @@ class ClusterRouter:
                 "error": f"dataset {dataset!r} is not served; available: "
                 + (", ".join(sorted(self.datasets)) or "none")
             })
+        if path.startswith("/edit/"):
+            return await self._proxy_edit(method, target, body, dataset)
         if path == "/window":
             return await self._window(target, params, dataset)
+        if path in ("/keyword", "/nearest"):
+            self._record_repeat(path.lstrip("/"), _cache_key(params))
         return await self._proxy(target, dataset)
+
+    def _record_repeat(self, kind: str, key: str) -> None:
+        """Track whether a keyword/kNN target repeats within the recent window.
+
+        This settles the ROADMAP "measure before caching" question with live
+        numbers: the repeat rate these counters expose is exactly the hit
+        rate a keyword/kNN result cache could have earned.
+        """
+        window = self._repeat_windows[kind]
+        repeat = key in window
+        self.metrics.record_read_repeat(kind, repeat)
+        if repeat:
+            window.move_to_end(key)
+        else:
+            window[key] = None
+            while len(window) > 4096:
+                window.popitem(last=False)
+
+    # ------------------------------------------------------------------- edits
+
+    async def _proxy_edit(
+        self, method: str, target: str, body: bytes, dataset: str
+    ) -> tuple[int, bytes]:
+        """Forward a write to the dataset's owner and invalidate eagerly.
+
+        Unlike reads, a write whose worker connection breaks is **not**
+        silently retried on the next owner: the dead worker may have
+        journalled (and durably committed) the edit before dying, and a
+        blind replay would apply it twice.  The client gets the standard
+        503 + ``Retry-After`` and decides — exactly the ambiguous-POST
+        contract of plain HTTP.  (Acknowledged edits need no retry at all:
+        they are on disk and replay on the next owner's open.)  On a 200 the
+        worker's acknowledgement carries its post-edit edit counter, which
+        feeds the window cache *now* — a read-after-write through the router
+        must never see a pre-edit cached window, no matter where the health
+        probe cadence stands.
+        """
+        status, response = await self._proxy(target, dataset, method=method, body=body)
+        if status == 200:
+            counter: int | None = None
+            try:
+                counter = int(json.loads(response).get("edit_counter"))
+            except (ValueError, TypeError):
+                counter = None
+            self.cache.note_write(dataset, counter)
+        return status, response
 
     # ------------------------------------------------------------------ window
 
@@ -314,54 +385,87 @@ class ClusterRouter:
             return 400, _json_bytes({"error": "bad request: 'dataset'"})
         status, body = await self._proxy(target, dataset)
         if status == 200:
-            session_id = json.loads(body).get("session_id")
+            decoded = json.loads(body)
+            session_id = decoded.get("session_id")
             if session_id:
-                self._sessions[session_id] = (dataset, time.monotonic())
+                cursor = self.sessions.record(session_id, dataset)
+                reported = decoded.get("cursor")
+                if isinstance(reported, dict):
+                    cursor.update(reported)
         return status, body
 
     async def _proxy_session(self, path: str, target: str) -> tuple[int, bytes]:
         _, _, rest = path.partition("/session/")
         session_id, _, op = rest.partition("/")
-        entry = self._sessions.get(session_id)
-        if entry is None:
+        cursor = self.sessions.get(session_id)
+        if cursor is None:
             return 404, _json_bytes({
                 "error": f"session {session_id!r} does not exist on this cluster"
             })
-        dataset, _ = entry
-        self._sessions[session_id] = (dataset, time.monotonic())
-        status, body = await self._proxy(target, dataset)
-        if status == 404 or (op == "close" and status == 200):
-            # 404 means the worker no longer knows the session (idle-expired,
-            # or its worker crashed): drop the registry entry so the map
-            # cannot grow with sessions nobody will ever close.
-            self._sessions.pop(session_id, None)
+        cursor.touch()
+        status, body = await self._proxy(target, cursor.dataset)
+        session_alive = True
+        if status == 404 and op != "close":
+            # 404 is ambiguous: the worker may not know the *session* (its
+            # previous owner crashed, or it idle-expired) — or the session
+            # is fine and the *command itself* 404'd (e.g. focus_on an
+            # unknown node id).  Reopen in place from the replicated cursor
+            # on the dataset's current owner and retry once: a recovered
+            # session answers the retry (failover), while a command-level
+            # 404 repeats — in which case the session provably exists (the
+            # reopen just succeeded) and must be neither dropped nor counted
+            # as a failover.
+            reopen_status, _ = await self._proxy(
+                cursor.reopen_target(), cursor.dataset
+            )
+            if reopen_status == 200:
+                status, body = await self._proxy(target, cursor.dataset)
+                if status != 404:
+                    self.metrics.record_session_failover()
+            else:
+                session_alive = False
+        if status == 200 and op != "close":
+            reported = _extract_cursor(body)
+            if reported is not None:
+                cursor.update(reported)
+        if (op == "close" and status in (200, 404)) or not session_alive:
+            # An explicit close (or a close on a session no worker knows),
+            # or a session that could not even be reopened: drop the
+            # directory entry so the map cannot grow with sessions nobody
+            # will ever close.
+            self.sessions.drop(session_id)
         return status, body
 
     # ------------------------------------------------------------------- proxy
 
-    async def _proxy(self, target: str, dataset: str) -> tuple[int, bytes]:
+    async def _proxy(
+        self, target: str, dataset: str, method: str = "GET", body: bytes = b""
+    ) -> tuple[int, bytes]:
         """Forward ``target`` to the dataset's owner; fail over once on error.
 
         A broken worker connection immediately marks the worker unhealthy and
-        schedules its restart; the retry then lands on the dataset's next
-        rendezvous owner.  With nobody healthy (or two failures in a row) the
-        client gets 503 + ``Retry-After`` — the same backpressure contract as
-        a single overloaded worker.
+        schedules its restart; for GETs the retry then lands on the dataset's
+        next rendezvous owner (POSTs are not retried — their outcome on the
+        broken worker is ambiguous, see :meth:`_proxy_edit`).  With nobody
+        healthy (or two failures in a row) the client gets 503 +
+        ``Retry-After`` — the same backpressure contract as a single
+        overloaded worker.
         """
-        for attempt in range(2):
+        attempts = 2 if method == "GET" else 1
+        for attempt in range(attempts):
             worker_id = self.worker_for(dataset)
             if worker_id is None:
                 break
             client = self._clients[worker_id]
             try:
-                status, _, body = await client.get(target)
+                status, _, response = await client.request(method, target, body)
             except WorkerUnavailableError:
                 self._mark_worker_failed(worker_id)
-                if attempt == 0:
+                if attempt == 0 and attempts > 1:
                     self.metrics.record_proxy_retry()
                 continue
             self.metrics.record_proxied()
-            return status, body
+            return status, response
         return 503, _json_bytes({
             "error": f"no healthy worker for dataset {dataset!r}; retry later"
         })
@@ -389,20 +493,14 @@ class ClusterRouter:
         self._expire_idle_sessions()
 
     def _expire_idle_sessions(self) -> None:
-        """Drop session registry entries idle past the workers' expiry clock.
+        """Drop session directory entries idle past the workers' expiry clock.
 
         Workers expire the sessions themselves after ``session_idle_seconds``;
         this is the router-side mirror, so abandoned sessions (browsers that
-        disconnect) do not leak registry entries the lazy 404 path would
+        disconnect) do not leak directory entries the lazy 404 path would
         never touch.
         """
-        idle_limit = self.config.service.session_idle_seconds
-        if idle_limit <= 0:
-            return
-        now = time.monotonic()
-        for session_id, (_, last_used) in list(self._sessions.items()):
-            if now - last_used >= idle_limit:
-                self._sessions.pop(session_id, None)
+        self.sessions.expire_idle(self.config.service.session_idle_seconds)
 
     async def _probe_worker(self, worker_id: str) -> None:
         handle = self._handles.get(worker_id)
@@ -510,7 +608,7 @@ class ClusterRouter:
                 for worker_id, handle in sorted(self._handles.items())
             },
             "assignment": self.assignment(),
-            "sessions": len(self._sessions),
+            "sessions": len(self.sessions),
             "inflight": self._inflight,
             "cache": self.cache.summary(),
         }
@@ -593,6 +691,29 @@ class ClusterRouter:
 
 def _json_bytes(body: object) -> bytes:
     return json.dumps(body).encode()
+
+
+#: Session-response bodies past this size are not parsed for their cursor
+#: (a payload-carrying pan can be megabytes; the directory then keeps the
+#: previous replica, which costs a failed-over session at most one stale
+#: viewport — not worth a megabyte JSON parse on the router's event loop).
+_CURSOR_PARSE_LIMIT = 256 * 1024
+
+
+def _extract_cursor(body: bytes) -> dict[str, object] | None:
+    """Pull the ``cursor`` object out of a worker session response, if cheap."""
+    if len(body) > _CURSOR_PARSE_LIMIT:
+        return None
+    try:
+        decoded = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(decoded, dict):
+        return None
+    cursor = decoded.get("cursor")
+    if cursor is None and isinstance(decoded.get("meta"), dict):
+        cursor = decoded["meta"].get("cursor")
+    return cursor if isinstance(cursor, dict) else None
 
 
 async def _cancel_pending_tasks() -> None:

@@ -1,0 +1,116 @@
+"""Router-side session directory: replicated cursors for failover.
+
+PR 4 kept only ``session id -> dataset`` in the router; the session's actual
+state (layer, viewport) lived solely in its worker and died with it.  The
+:class:`SessionDirectory` replicates the *cursor* of every proxied session —
+dataset, abstraction layer, viewport centre and zoom, as reported in the
+``cursor`` object workers attach to session responses — so that when the
+owning worker crashes, the router can transparently reopen the session on
+the dataset's next rendezvous owner (``/session/new`` with the original
+public session id and the replicated cursor) and retry the command.  The
+client observes one slightly slower request, not a 404-and-reset.
+
+The directory is bookkeeping, not a source of truth: a cursor is whatever
+the worker last reported, which is exactly what a reopened session needs to
+resume where the user left off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlencode
+
+__all__ = ["SessionCursor", "SessionDirectory"]
+
+
+@dataclass
+class SessionCursor:
+    """One session's replicated cursor."""
+
+    session_id: str
+    dataset: str
+    layer: int = 0
+    x: float | None = None
+    y: float | None = None
+    zoom: float | None = None
+    last_used: float = field(default_factory=time.monotonic)
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def update(self, cursor: dict[str, object]) -> None:
+        """Absorb a ``cursor`` object from a worker's session response."""
+        try:
+            if "layer" in cursor:
+                self.layer = int(cursor["layer"])  # type: ignore[arg-type]
+            if "x" in cursor and "y" in cursor:
+                self.x = float(cursor["x"])  # type: ignore[arg-type]
+                self.y = float(cursor["y"])  # type: ignore[arg-type]
+            if "zoom" in cursor:
+                self.zoom = float(cursor["zoom"])  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            # A malformed cursor must never fail the request it rode on; the
+            # directory simply keeps the previous replica.
+            pass
+
+    def reopen_target(self) -> str:
+        """The ``/session/new`` request that recreates this session in place."""
+        params: dict[str, str] = {
+            "dataset": self.dataset,
+            "session_id": self.session_id,
+            "layer": str(self.layer),
+        }
+        if self.x is not None and self.y is not None:
+            params["x"] = repr(self.x)
+            params["y"] = repr(self.y)
+        if self.zoom is not None:
+            params["zoom"] = repr(self.zoom)
+        return "/session/new?" + urlencode(params)
+
+
+class SessionDirectory:
+    """All replicated session cursors, keyed by public session id.
+
+    Single-threaded by design: every access happens on the router's event
+    loop.  Entries leave on explicit close, on an unrecoverable worker 404,
+    or via :meth:`expire_idle` (mirroring the workers' own idle expiry, so
+    abandoned browser sessions cannot grow the directory forever).
+    """
+
+    def __init__(self) -> None:
+        self._cursors: dict[str, SessionCursor] = {}
+
+    def __len__(self) -> int:
+        return len(self._cursors)
+
+    def get(self, session_id: str) -> SessionCursor | None:
+        """The session's cursor, or ``None`` when unknown."""
+        return self._cursors.get(session_id)
+
+    def record(self, session_id: str, dataset: str) -> SessionCursor:
+        """Register a session observed through ``/session/new`` (idempotent)."""
+        cursor = self._cursors.get(session_id)
+        if cursor is None or cursor.dataset != dataset:
+            cursor = SessionCursor(session_id=session_id, dataset=dataset)
+            self._cursors[session_id] = cursor
+        cursor.touch()
+        return cursor
+
+    def drop(self, session_id: str) -> None:
+        """Forget a session (closed, or confirmed gone)."""
+        self._cursors.pop(session_id, None)
+
+    def expire_idle(self, idle_seconds: float) -> list[str]:
+        """Drop cursors idle past ``idle_seconds``; returns the expired ids."""
+        if idle_seconds <= 0:
+            return []
+        now = time.monotonic()
+        expired = [
+            session_id
+            for session_id, cursor in list(self._cursors.items())
+            if now - cursor.last_used >= idle_seconds
+        ]
+        for session_id in expired:
+            self._cursors.pop(session_id, None)
+        return expired

@@ -175,6 +175,13 @@ class StorageConfig:
         Build the node-id B+-trees and the label tries on first use instead of
         at load time, so window-query-only workloads never pay for them.
         ``False`` restores the eager build-at-load behaviour.
+    secondary_index_pages:
+        Persist *built* secondary indexes (node-id B+-trees, label tries) as
+        versioned BLOB pages when saving to SQLite, and restore from those
+        pages instead of the lazy build-from-store scan on the next open —
+        so a keyword-heavy server that has materialised its tries once never
+        re-derives them after a restart.  Indexes that were never built
+        (pure window workloads) are neither persisted nor restored.
     cache_capacity:
         Per-table LRU bound on each of the row-level caches (decoded segments,
         flat endpoint coordinates, JSON fragments), in rows.  ``0`` means
@@ -189,6 +196,7 @@ class StorageConfig:
     path: str | None = None
     index_pages: bool = True
     lazy_secondary_indexes: bool = True
+    secondary_index_pages: bool = True
     cache_capacity: int = 65536
 
     def __post_init__(self) -> None:
@@ -343,6 +351,59 @@ class ServiceConfig:
 
 
 @dataclass(frozen=True)
+class WriteConfig:
+    """Configuration of the durable write subsystem (:mod:`repro.writes`).
+
+    Attributes
+    ----------
+    journal_enabled:
+        Write every edit to a per-dataset write-ahead journal *before*
+        applying it, and replay un-checkpointed journal records when the
+        dataset is next opened from SQLite.  ``False`` applies edits to the
+        in-memory tables only — a crash then loses every edit since the last
+        explicit save (the pre-PR 5 behaviour).
+    journal_fsync:
+        Durability policy for journal appends: ``"always"`` fsyncs after
+        every record (an acknowledged edit survives power loss),
+        ``"batch"`` fsyncs once per ``journal_fsync_batch`` records (an
+        acknowledged edit survives a process crash; power loss may lose the
+        last partial batch), ``"never"`` leaves flushing to the OS.
+    journal_fsync_batch:
+        Records per fsync under the ``"batch"`` policy.
+    checkpoint_every_records:
+        After this many journalled edits, the write coordinator checkpoints
+        the dataset — an incremental ``save_to_sqlite`` followed by a journal
+        truncation — in the background.  ``0`` disables automatic
+        checkpointing (the journal grows until an explicit checkpoint).
+    max_record_bytes:
+        Upper bound on one journal record's payload; a larger edit is
+        rejected before it is written (defence against a malformed client
+        request growing the journal without bound).
+    """
+
+    journal_enabled: bool = True
+    journal_fsync: str = "batch"
+    journal_fsync_batch: int = 16
+    checkpoint_every_records: int = 512
+    max_record_bytes: int = 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.journal_fsync not in {"always", "batch", "never"}:
+            raise ConfigurationError(
+                f"unknown journal_fsync policy {self.journal_fsync!r}; "
+                "expected always, batch or never"
+            )
+        if self.journal_fsync_batch <= 0:
+            raise ConfigurationError("journal_fsync_batch must be positive")
+        if self.checkpoint_every_records < 0:
+            raise ConfigurationError(
+                "checkpoint_every_records must be >= 0 (0 = manual only)"
+            )
+        if self.max_record_bytes <= 0:
+            raise ConfigurationError("max_record_bytes must be positive")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Configuration of the multi-process cluster subsystem (:mod:`repro.cluster`).
 
@@ -379,7 +440,15 @@ class ClusterConfig:
         (``0`` disables the cache).
     cache_max_bytes:
         Byte budget for cached window payloads; least recently used entries
-        are evicted beyond it.
+        are evicted beyond it.  When the service configuration carries a
+        dataset-pool byte budget (``ServiceConfig.pool_max_resident_bytes``),
+        the router derives the effective cache budget as
+        ``cache_memory_fraction`` of it instead — cache and pool then share
+        one memory story rather than two unrelated static knobs.
+    cache_memory_fraction:
+        Fraction of ``ServiceConfig.pool_max_resident_bytes`` granted to the
+        router's window-result cache when that pool budget is set (the
+        adaptive sizing above); ignored when the pool budget is ``0``.
     worker_threads:
         ``max_workers`` (thread-pool size) handed to each worker process's
         service configuration.
@@ -394,7 +463,14 @@ class ClusterConfig:
     drain_timeout_seconds: float = 5.0
     cache_capacity: int = 1024
     cache_max_bytes: int = 64 * 1024 * 1024
+    cache_memory_fraction: float = 0.25
     worker_threads: int = 4
+
+    def effective_cache_max_bytes(self, pool_max_resident_bytes: int) -> int:
+        """The window-cache byte budget under the shared-memory-budget rule."""
+        if pool_max_resident_bytes > 0:
+            return max(1, int(pool_max_resident_bytes * self.cache_memory_fraction))
+        return self.cache_max_bytes
 
     def __post_init__(self) -> None:
         if self.num_workers < 0:
@@ -415,6 +491,8 @@ class ClusterConfig:
             raise ConfigurationError("cache_capacity must be >= 0 (0 = off)")
         if self.cache_max_bytes < 0:
             raise ConfigurationError("cache_max_bytes must be >= 0")
+        if not 0.0 < self.cache_memory_fraction <= 1.0:
+            raise ConfigurationError("cache_memory_fraction must be in (0, 1]")
         if self.worker_threads <= 0:
             raise ConfigurationError("worker_threads must be positive")
 
@@ -430,6 +508,7 @@ class GraphVizDBConfig:
     client: ClientConfig = field(default_factory=ClientConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    write: WriteConfig = field(default_factory=WriteConfig)
 
     @classmethod
     def small(cls) -> "GraphVizDBConfig":

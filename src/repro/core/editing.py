@@ -95,6 +95,46 @@ class GraphEditor:
         }))
         return len(rows)
 
+    def add_node(self, node_id: int, label: str, position: Point) -> EdgeRow:
+        """Place a new isolated node on the canvas; returns its self-row.
+
+        Stored as the schema's self-row form (``node1 == node2``, empty edge
+        label, zero-length geometry) so window queries return it; a later
+        :meth:`add_edge` connects it.
+        """
+        table = self._table()
+        if table.rows_for_node(node_id):
+            raise QueryError(
+                f"node {node_id} already exists in layer {self.layer}"
+            )
+        row = EdgeRow(
+            row_id=table.next_row_id(),
+            node1_id=node_id,
+            node1_label=label,
+            edge_geometry=encode_segment(
+                LineSegment(position, position, directed=False)
+            ),
+            edge_label="",
+            node2_id=node_id,
+            node2_label=label,
+        )
+        table.insert(row)
+        self.journal.append(EditOperation("add_node", {
+            "node_id": node_id, "label": label, "x": position.x, "y": position.y,
+        }))
+        return row
+
+    def delete_node(self, node_id: int) -> int:
+        """Remove a node and every incident edge; return rows removed."""
+        rows = self._rows_for_node(node_id)
+        table = self._table()
+        for row in rows:
+            table.delete_row(row.row_id)
+        self.journal.append(EditOperation("delete_node", {
+            "node_id": node_id, "rows": len(rows),
+        }))
+        return len(rows)
+
     def add_edge(
         self,
         source_id: int,

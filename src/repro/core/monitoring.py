@@ -174,6 +174,19 @@ class ServiceMetrics:
         self.proxied_requests = 0
         self.proxy_retries = 0
         self.worker_restarts = 0
+        self.session_failovers = 0
+        # Keyword / kNN repeat-rate observation (the "measure before caching"
+        # question): how much of that router traffic re-asks a recent target.
+        self.keyword_requests = 0
+        self.keyword_repeats = 0
+        self.nearest_requests = 0
+        self.nearest_repeats = 0
+        # Durable-write-path counters (zero on read-only deployments).
+        self.writes_applied = 0
+        self.journal_appends = 0
+        self.journal_fsyncs = 0
+        self.journal_replayed_records = 0
+        self.checkpoint_runs = 0
 
     # ---------------------------------------------------------------- admission
 
@@ -285,6 +298,46 @@ class ServiceMetrics:
         with self._lock:
             self.worker_restarts += 1
 
+    def record_session_failover(self) -> None:
+        """Count one session transparently reopened on a dataset's new owner."""
+        with self._lock:
+            self.session_failovers += 1
+
+    def record_read_repeat(self, kind: str, repeat: bool) -> None:
+        """Count one ``/keyword`` or ``/nearest`` router request and whether
+        its canonical target was seen recently (the cache-worthiness signal)."""
+        with self._lock:
+            if kind == "keyword":
+                self.keyword_requests += 1
+                self.keyword_repeats += 1 if repeat else 0
+            else:
+                self.nearest_requests += 1
+                self.nearest_repeats += 1 if repeat else 0
+
+    # ------------------------------------------------------------------- writes
+
+    def record_write(self) -> None:
+        """Count one edit applied by the write coordinator."""
+        with self._lock:
+            self.writes_applied += 1
+
+    def record_journal_append(self, synced: bool) -> None:
+        """Count one journal record written (and whether it fsynced)."""
+        with self._lock:
+            self.journal_appends += 1
+            if synced:
+                self.journal_fsyncs += 1
+
+    def record_journal_replay(self, records: int) -> None:
+        """Count ``records`` journal records re-applied on a dataset open."""
+        with self._lock:
+            self.journal_replayed_records += records
+
+    def record_checkpoint(self) -> None:
+        """Count one checkpoint (incremental save + journal truncation)."""
+        with self._lock:
+            self.checkpoint_runs += 1
+
     # ------------------------------------------------------------------ summary
 
     def summary(self) -> dict[str, object]:
@@ -318,5 +371,17 @@ class ServiceMetrics:
                     "proxied_requests": self.proxied_requests,
                     "proxy_retries": self.proxy_retries,
                     "worker_restarts": self.worker_restarts,
+                    "session_failovers": self.session_failovers,
+                    "keyword_requests": self.keyword_requests,
+                    "keyword_repeats": self.keyword_repeats,
+                    "nearest_requests": self.nearest_requests,
+                    "nearest_repeats": self.nearest_repeats,
+                },
+                "writes": {
+                    "applied": self.writes_applied,
+                    "journal_appends": self.journal_appends,
+                    "journal_fsyncs": self.journal_fsyncs,
+                    "journal_replayed_records": self.journal_replayed_records,
+                    "checkpoints": self.checkpoint_runs,
                 },
             }

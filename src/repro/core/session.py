@@ -59,6 +59,43 @@ class ExplorationSession:
         # (reentrant: navigation ops call refresh()).
         self.lock = threading.RLock()
 
+    # ----------------------------------------------------------------- cursor
+
+    def cursor(self) -> dict[str, object]:
+        """A lock-free snapshot of the session's cursor (for replication).
+
+        Reads the layer and viewport attributes without taking :attr:`lock`:
+        both are immutable values swapped atomically, so the worst a racing
+        command can produce is a *slightly stale* cursor — acceptable for the
+        router-side session directory, and crucially this can never block an
+        event loop behind a command holding the lock for a full query.
+        """
+        viewport = self.viewport
+        return {
+            "layer": self.layer,
+            "x": viewport.center.x,
+            "y": viewport.center.y,
+            "zoom": viewport.zoom,
+        }
+
+    def restore_cursor(
+        self, center: Point | None = None, zoom: float | None = None
+    ) -> None:
+        """Re-position a fresh session from a replicated cursor (failover).
+
+        Applied once right after construction by the serving front-end when a
+        session is transparently reopened on a new worker; the zoom is set
+        absolutely (it is a replicated value, not a user gesture, so the
+        relative :meth:`zoom` clamping path does not apply).
+        """
+        with self.lock:
+            if center is not None:
+                self.viewport = self.viewport.moved_to(center)
+            if zoom is not None and zoom > 0:
+                from dataclasses import replace
+
+                self.viewport = replace(self.viewport, zoom=zoom)
+
     # ------------------------------------------------------------- navigation
 
     def refresh(self) -> WindowQueryResult:

@@ -122,6 +122,31 @@ class ServiceOverloadedError(ServiceError):
         self.limit = limit
 
 
+class WriteError(ServiceError):
+    """Errors raised by the durable write subsystem (``repro.writes``)."""
+
+
+class JournalError(WriteError):
+    """The write-ahead journal could not be appended to, replayed or truncated.
+
+    Raised for I/O failures and for structurally corrupt journal files; a
+    *torn tail* (a partially written final record after a crash) is not an
+    error — replay stops at it, because everything before the tear was
+    acknowledged with a complete record.
+    """
+
+
+class UnknownEditError(WriteError):
+    """An edit operation name was not recognised by the write subsystem."""
+
+    def __init__(self, op: str, available: list[str]) -> None:
+        super().__init__(
+            f"unknown edit operation {op!r}; available: {', '.join(sorted(available))}"
+        )
+        self.op = op
+        self.available = list(available)
+
+
 class ClusterError(ServiceError):
     """Errors raised by the multi-process cluster subsystem (``repro.cluster``)."""
 

@@ -38,6 +38,7 @@ from ..errors import QueryError, ServiceError, ServiceOverloadedError
 from ..spatial.geometry import Point, Rect
 from ..storage.database import GraphVizDatabase
 from ..storage.schema import EdgeRow
+from ..writes.coordinator import WriteCoordinator
 from .coalescer import WindowBatchCoalescer
 from .maintenance import MaintenanceScheduler
 from .pool import DatasetPool
@@ -68,13 +69,17 @@ class _ServingSession:
     thread instead of parking the whole pool on the session's lock.  The
     session's internal reentrant lock remains as the in-process guarantee
     for direct (non-service) callers.  ``last_used`` (monotonic) drives idle
-    expiry.
+    expiry; ``inflight`` counts commands between admission and completion, so
+    the idle sweep can never reap a session that is mid-request (a command
+    parked behind a long predecessor chain does not refresh ``last_used``
+    while it waits — without the counter it would look idle).
     """
 
     dataset: str
     session: ExplorationSession
     last_used: float = 0.0
     tail: asyncio.Future | None = None
+    inflight: int = 0
 
     def touch(self) -> None:
         self.last_used = time.monotonic()
@@ -113,7 +118,9 @@ class GraphVizDBService:
             client_config=self.config.client,
             metrics=self.metrics,
             max_resident_bytes=self.service_config.pool_max_resident_bytes,
+            write_config=self.config.write,
         )
+        self.writes = WriteCoordinator(config=self.config, metrics=self.metrics)
         self.maintenance = MaintenanceScheduler(
             config=self.service_config, metrics=self.metrics, pool=self.pool
         )
@@ -177,6 +184,7 @@ class GraphVizDBService:
         # failed by the coalescer's shutdown guard, not left hanging).
         self._started = False
         self.maintenance.stop()
+        await self.writes.drain()
         if self._coalescer is not None:
             self._coalescer.flush_all()
         if self._executor is not None:
@@ -326,6 +334,55 @@ class GraphVizDBService:
         finally:
             self._release(dataset)
 
+    async def edit(
+        self, dataset: str, op: str, args: dict, layer: int = 0
+    ) -> dict[str, object]:
+        """Apply one durable edit (the HTTP ``POST /edit/<op>`` entry point).
+
+        Edits share the read path's per-dataset admission control, then
+        serialise on the :class:`~repro.writes.coordinator.WriteCoordinator`'s
+        single-writer lock: the journal append and the table mutation are one
+        atomic step relative to other writers, while reads (which never take
+        this lock) continue against the tables' own synchronisation.  The
+        acknowledgement carries the journal sequence number and the dataset's
+        post-edit edit counter; by the time the caller sees it, the edit is
+        journalled on disk — a SIGKILL immediately after loses nothing.
+
+        A checkpoint (incremental save + journal truncation) is scheduled in
+        the background once the journal passes the configured depth; the
+        triggering edit does not wait for it.
+        """
+        self._require_started()
+        self._admit(dataset)
+        try:
+            database, _ = await self._resolve(dataset)
+            path = self._sqlite.get(dataset)
+            async with self.writes.lock_for(dataset):
+                result = await self._run(
+                    self.writes.apply_sync, dataset, database, path, op, args,
+                    layer,
+                )
+            if path is not None and self.writes.checkpoint_due(dataset):
+                self.writes.schedule_checkpoint(
+                    dataset, path, self._run, self._pooled_database(path)
+                )
+            return result
+        finally:
+            self._release(dataset)
+
+    def _pooled_database(self, path: str):
+        """An execution-time resolver for the dataset currently pooled at ``path``.
+
+        Handed to the write coordinator's checkpoint scheduler: the pool entry
+        is looked up when the checkpoint actually runs, never captured early
+        (see :meth:`WriteCoordinator.schedule_checkpoint`).
+        """
+        def resolve():
+            entry = self.pool.peek(path)
+            return entry.database if entry is not None else None
+
+        return resolve
+
     def metrics_summary(self) -> dict[str, object]:
         """The serving metrics snapshot (queue depth, coalescing, pool, repacks)."""
         return self.metrics.summary()
@@ -357,11 +414,31 @@ class GraphVizDBService:
 
     # ----------------------------------------------------------------- sessions
 
-    async def create_session(self, dataset: str, start_layer: int = 0) -> str:
-        """Open an exploration session; returns its id for session commands."""
+    async def create_session(
+        self,
+        dataset: str,
+        start_layer: int = 0,
+        session_id: str | None = None,
+        center: Point | None = None,
+        zoom: float | None = None,
+    ) -> str:
+        """Open an exploration session; returns its id for session commands.
+
+        ``session_id`` lets the cluster router *reopen* a session under its
+        existing public id after the worker that held it crashed: the new
+        worker rebuilds the cursor from the replicated ``center`` / ``zoom``
+        / ``start_layer`` and the client never observes a reset.  If the id
+        is already live here (a failover retry racing the original), the
+        existing session is kept.
+        """
         self._require_started()
         self._admit(dataset)
         try:
+            if session_id is not None:
+                existing = self._sessions.get(session_id)
+                if existing is not None and existing.dataset == dataset:
+                    existing.touch()
+                    return session_id
             _, query_manager = await self._resolve(dataset)
             session = await self._run(
                 ExplorationSession,
@@ -369,13 +446,28 @@ class GraphVizDBService:
                 self.config.client,
                 start_layer=start_layer,
             )
-            session_id = uuid.uuid4().hex
+            if center is not None or zoom is not None:
+                session.restore_cursor(center=center, zoom=zoom)
+            if session_id is None:
+                session_id = uuid.uuid4().hex
             serving = _ServingSession(dataset=dataset, session=session)
             serving.touch()
             self._sessions[session_id] = serving
             return session_id
         finally:
             self._release(dataset)
+
+    def session_cursor(self, session_id: str) -> dict[str, object] | None:
+        """The session's replication cursor: dataset + layer + viewport.
+
+        A lock-free snapshot (see :meth:`ExplorationSession.cursor`) the HTTP
+        layer attaches to session responses so the cluster router can mirror
+        every cursor it proxies.
+        """
+        serving = self._sessions.get(session_id)
+        if serving is None:
+            return None
+        return {"dataset": serving.dataset, **serving.session.cursor()}
 
     async def session_command(self, session_id: str, op: str, **kwargs):
         """Run one session operation (``refresh``, ``pan``, ``zoom``, ...).
@@ -400,6 +492,7 @@ class GraphVizDBService:
             )
         self._admit(serving.dataset)
         serving.touch()
+        serving.inflight += 1
         previous = serving.tail
         turn: asyncio.Future = asyncio.get_running_loop().create_future()
         serving.tail = turn
@@ -414,6 +507,11 @@ class GraphVizDBService:
                 turn.set_result(None)
             if serving.tail is turn:
                 serving.tail = None
+            serving.inflight -= 1
+            # Touch again at completion: the idle clock starts when the
+            # command *finished*, not when it was admitted (a long command
+            # chain must not look idle the moment it drains).
+            serving.touch()
             self._release(serving.dataset)
 
     async def close_session(self, session_id: str) -> bool:
@@ -431,13 +529,21 @@ class GraphVizDBService:
         if idle_limit <= 0:
             return []
         now = time.monotonic()
-        expired = [
+        stale = [
             session_id
             for session_id, serving in list(self._sessions.items())
-            if now - serving.last_used >= idle_limit
+            if serving.inflight == 0 and now - serving.last_used >= idle_limit
         ]
-        for session_id in expired:
-            self._sessions.pop(session_id, None)
+        expired: list[str] = []
+        for session_id in stale:
+            # Re-check before the pop: a command admitted after the scan
+            # above must not have its session reaped out from under it (the
+            # hook runs on the maintenance thread, concurrently with the
+            # event loop's admissions).
+            serving = self._sessions.get(session_id)
+            if serving is not None and serving.inflight == 0:
+                self._sessions.pop(session_id, None)
+                expired.append(session_id)
         return expired
 
 
@@ -483,6 +589,10 @@ class ServiceRuntime:
     def nearest(self, dataset: str, point: Point, k: int = 1, layer: int = 0):
         """Blocking :meth:`GraphVizDBService.nearest`."""
         return self._call(self.service.nearest(dataset, point, k=k, layer=layer))
+
+    def edit(self, dataset: str, op: str, args: dict, layer: int = 0):
+        """Blocking :meth:`GraphVizDBService.edit`."""
+        return self._call(self.service.edit(dataset, op, args, layer=layer))
 
     def create_session(self, dataset: str, start_layer: int = 0) -> str:
         """Blocking :meth:`GraphVizDBService.create_session`."""

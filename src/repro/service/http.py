@@ -1,6 +1,6 @@
 """Dependency-free HTTP endpoint for the serving front-end.
 
-A deliberately small HTTP/1.1 GET server on ``asyncio`` streams (the container
+A deliberately small HTTP/1.1 server on ``asyncio`` streams (the container
 ships no web framework, and none is needed for a JSON API this size).  It
 exposes the online operations of :class:`~repro.service.frontend.GraphVizDBService`
 to real network clients:
@@ -13,12 +13,25 @@ to real network clients:
                                       ``limit``)
 ``GET /nearest?dataset=N&x=&y=&...``  kNN rows around a point (optional ``k``,
                                       ``layer``)
-``GET /session/new?dataset=N``        open an exploration session
+``GET /session/new?dataset=N``        open an exploration session (optional
+                                      ``layer``, and — for cluster failover —
+                                      ``session_id``, ``x``, ``y``, ``zoom``)
 ``GET /session/<id>/<op>?...``        run a session op (``refresh``, ``pan``, ...)
 ``GET /session/<id>/close``           close a session (idle ones auto-expire)
+``POST /edit/<op>?dataset=N&...``     apply one durable edit (``add_node``,
+                                      ``delete_node``, ``move_node``, ``relabel``,
+                                      ``add_edge``, ``delete_edge``, ``repack``);
+                                      the JSON body carries the op arguments
 ``GET /metrics``                      serving metrics snapshot
 ``GET /health``                       liveness + per-dataset edit counters
 ====================================  =============================================
+
+Edits are journalled before they are applied (see :mod:`repro.writes`); a
+200 acknowledgement therefore means the edit is durable against a crashed
+worker.  Session responses carry a ``cursor`` object (dataset, layer,
+viewport centre, zoom) the cluster router mirrors into its session
+directory, so a session can be transparently reopened on another worker
+after a failover.
 
 Admission-control rejections surface as HTTP 503 with a ``Retry-After`` hint —
 the wire form of the subsystem's explicit backpressure.
@@ -42,10 +55,12 @@ from ..core.json_builder import payload_to_json
 from ..core.query_manager import KeywordSearchResult, WindowQueryResult
 from ..errors import (
     GraphVizDBError,
+    JournalError,
     LayerNotFoundError,
     QueryError,
     ServiceError,
     ServiceOverloadedError,
+    UnknownEditError,
 )
 from ..spatial.geometry import Point, Rect
 from .frontend import GraphVizDBService
@@ -56,10 +71,16 @@ _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    405: "Method Not Allowed",
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+#: Request bodies past this size are rejected before they are read into
+#: memory (an edit payload is a handful of scalars; anything larger is a
+#: malformed or hostile client).
+_MAX_BODY_BYTES = 1024 * 1024
 
 
 async def serve_connection(
@@ -72,29 +93,30 @@ async def serve_connection(
 
     The single connection loop shared by the worker endpoint and the cluster
     router: reads requests (idle-expiring after ``keepalive_seconds``; ``0``
-    closes after one response), answers non-GET with 400, and otherwise
-    delegates to ``respond`` — an async callable ``(target) -> (status,
-    payload_bytes)`` that must not raise.  503/504 responses carry a
-    ``Retry-After`` hint (both are the retryable statuses of this API).
+    closes after one response), answers methods other than GET/POST with 405,
+    and otherwise delegates to ``respond`` — an async callable ``(method,
+    target, body) -> (status, payload_bytes)`` that must not raise.  503/504
+    responses carry a ``Retry-After`` hint (both are the retryable statuses
+    of this API).
     """
     try:
         while True:
             request = await _read_request(reader, idle_seconds=keepalive_seconds)
             if request is None:  # EOF, malformed preamble, or idle expiry
                 break
-            method, target, headers = request
+            method, target, headers, body = request
             keep_alive = (
                 keepalive_seconds > 0
                 and headers.get("connection", "").lower() != "close"
             )
-            if method != "GET":
-                status: int = 400
+            if method not in ("GET", "POST"):
+                status: int = 405
                 payload: bytes = json.dumps(
-                    {"error": "only GET requests are supported"}
+                    {"error": "only GET and POST requests are supported"}
                 ).encode()
                 keep_alive = False
             else:
-                status, payload = await respond(target)
+                status, payload = await respond(method, target, body)
             response_headers = (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
                 "Content-Type: application/json\r\n"
@@ -145,14 +167,15 @@ async def serve_http(
     if request_timeout_seconds is None:
         request_timeout_seconds = config.http_request_timeout_seconds
 
-    async def respond(target: str) -> tuple[int, bytes]:
+    async def respond(method: str, target: str, request_body: bytes) -> tuple[int, bytes]:
         try:
             if request_timeout_seconds > 0:
                 status, body = await asyncio.wait_for(
-                    _respond(service, target), request_timeout_seconds
+                    _respond(service, method, target, request_body),
+                    request_timeout_seconds,
                 )
             else:
-                status, body = await _respond(service, target)
+                status, body = await _respond(service, method, target, request_body)
         except asyncio.TimeoutError:
             status, body = 504, {
                 "error": "request exceeded the "
@@ -170,12 +193,13 @@ async def serve_http(
 
 async def _read_request(
     reader: asyncio.StreamReader, idle_seconds: float
-) -> tuple[str, str, dict[str, str]] | None:
-    """Read one request preamble: ``(method, target, headers)``.
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Read one full request: ``(method, target, headers, body)``.
 
-    Returns ``None`` on EOF, on a malformed request line, or when no request
-    arrives within the keep-alive idle window (``idle_seconds > 0``) — all
-    cases where the connection should simply be closed.
+    Returns ``None`` on EOF, on a malformed request line, on an oversized
+    body, or when no request arrives within the keep-alive idle window
+    (``idle_seconds > 0``) — all cases where the connection should simply be
+    closed.
     """
     try:
         if idle_seconds > 0:
@@ -189,30 +213,46 @@ async def _read_request(
     if len(parts) != 3:
         return None
     headers: dict[str, str] = {}
-    while True:  # the API is GET-only, so any body is ignored
+    while True:
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
-    return parts[0], parts[1], headers
+    body = b""
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        return None
+    if length:
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length)
+    return parts[0], parts[1], headers, body
 
 
-async def _respond(service: GraphVizDBService, target: str) -> tuple[int, object]:
+async def _respond(
+    service: GraphVizDBService, method: str, target: str, body: bytes
+) -> tuple[int, object]:
     """Dispatch one request target and produce ``(status, json_body_or_bytes)``."""
     split = urlsplit(target)
     path = split.path.rstrip("/") or "/"
     params = {key: values[-1] for key, values in parse_qs(split.query).items()}
     try:
-        return await _route(service, path, params)
+        return await _route(service, method, path, params, body)
     except ServiceOverloadedError as exc:
         return 503, {"error": str(exc), "queue_depth": exc.queue_depth}
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, UnknownEditError) as exc:
         return 400, {"error": f"bad request: {exc}"}
     except (QueryError, LayerNotFoundError) as exc:
         # Lookup failures (unknown dataset/layer/node/session) are the
         # client's fault: not found.
         return 404, {"error": str(exc)}
+    except JournalError as exc:
+        # The edit could not be made durable: a server-side storage problem,
+        # and emphatically not retryable-as-503 (retrying cannot help until
+        # an operator fixes the journal's disk).
+        return 500, {"error": str(exc)}
     except ServiceError as exc:
         # e.g. a request racing shutdown — retryable, like overload.
         return 503, {"error": str(exc)}
@@ -224,8 +264,18 @@ async def _respond(service: GraphVizDBService, target: str) -> tuple[int, object
 
 
 async def _route(
-    service: GraphVizDBService, path: str, params: dict[str, str]
+    service: GraphVizDBService,
+    method: str,
+    path: str,
+    params: dict[str, str],
+    body: bytes,
 ) -> tuple[int, object]:
+    if path.startswith("/edit/"):
+        if method != "POST":
+            return 405, {"error": "edits require POST"}
+        return await _route_edit(service, path, params, body)
+    if method != "GET":
+        return 405, {"error": f"{path} only supports GET"}
     if path == "/datasets":
         return 200, {"datasets": service.datasets()}
     if path == "/metrics":
@@ -259,10 +309,20 @@ async def _route(
         )
         return 200, {"rows": [_row_body(row) for row in rows]}
     if path == "/session/new":
+        center = None
+        if "x" in params and "y" in params:
+            center = Point(float(params["x"]), float(params["y"]))
         session_id = await service.create_session(
-            params["dataset"], start_layer=int(params.get("layer", "0"))
+            params["dataset"],
+            start_layer=int(params.get("layer", "0")),
+            session_id=params.get("session_id"),
+            center=center,
+            zoom=float(params["zoom"]) if "zoom" in params else None,
         )
-        return 200, {"session_id": session_id}
+        return 200, {
+            "session_id": session_id,
+            "cursor": service.session_cursor(session_id),
+        }
     if path.startswith("/session/"):
         _, _, rest = path.partition("/session/")
         session_id, _, op = rest.partition("/")
@@ -274,14 +334,36 @@ async def _route(
         result = await service.session_command(
             session_id, op, **_session_kwargs(op, params)
         )
+        cursor = service.session_cursor(session_id)
         if isinstance(result, WindowQueryResult):
             return 200, _window_body(
-                result, with_payload=params.get("payload") == "1"
+                result, with_payload=params.get("payload") == "1", cursor=cursor
             )
         if isinstance(result, KeywordSearchResult):
-            return 200, _keyword_body(result)
-        return 200, {"result": result}
+            keyword_body = _keyword_body(result)
+            keyword_body["cursor"] = cursor
+            return 200, keyword_body
+        return 200, {"result": result, "cursor": cursor}
     return 404, {"error": f"unknown path {path!r}"}
+
+
+async def _route_edit(
+    service: GraphVizDBService, path: str, params: dict[str, str], body: bytes
+) -> tuple[int, object]:
+    """Apply one ``POST /edit/<op>`` request through the write coordinator."""
+    _, _, op = path.partition("/edit/")
+    if not op or "/" in op:
+        return 400, {"error": "use POST /edit/<op>?dataset=<name>"}
+    try:
+        args = json.loads(body) if body else {}
+    except ValueError as exc:
+        return 400, {"error": f"bad request: edit body is not JSON ({exc})"}
+    if not isinstance(args, dict):
+        return 400, {"error": "bad request: edit body must be a JSON object"}
+    result = await service.edit(
+        params["dataset"], op, args, layer=int(params.get("layer", "0"))
+    )
+    return 200, result
 
 
 def _window_from(params: dict[str, str]) -> Rect | None:
@@ -311,7 +393,11 @@ def _session_kwargs(op: str, params: dict[str, str]) -> dict[str, object]:
     return {}
 
 
-def _window_body(result: WindowQueryResult, with_payload: bool = False) -> bytes:
+def _window_body(
+    result: WindowQueryResult,
+    with_payload: bool = False,
+    cursor: dict[str, object] | None = None,
+) -> bytes:
     meta = {
         "layer": result.layer,
         "num_objects": result.num_objects,
@@ -323,10 +409,14 @@ def _window_body(result: WindowQueryResult, with_payload: bool = False) -> bytes
         "json_build_seconds": result.json_build_seconds,
         "server_seconds": result.server_seconds,
     }
+    if cursor is not None:
+        meta["cursor"] = cursor
     if not with_payload:
         return json.dumps(meta).encode()
     # The payload is already JSON (fragment-cached concatenation); splice it
-    # in verbatim instead of parse + re-encode.
+    # in verbatim instead of parse + re-encode.  The cursor rides at the
+    # front of the object so the router can mirror it without scanning past
+    # a large payload.
     return (
         b'{"meta": ' + json.dumps(meta).encode()
         + b', "payload": ' + payload_to_json(result.payload).encode()

@@ -21,12 +21,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..config import ClientConfig, StorageConfig
+from ..config import ClientConfig, StorageConfig, WriteConfig
 from ..core.monitoring import ServiceMetrics
 from ..core.query_manager import QueryManager
 from ..errors import ServiceError
 from ..storage.database import GraphVizDatabase
 from ..storage.sqlite_backend import load_from_sqlite
+from ..writes.journal import replay_journal
 
 __all__ = ["PooledDataset", "DatasetPool"]
 
@@ -79,6 +80,13 @@ class DatasetPool:
         ``capacity``.  The most recently opened dataset is never evicted, so
         one dataset larger than the whole budget still serves (the budget
         degrades to "keep one open").  ``0`` disables byte-budget eviction.
+    write_config:
+        Durable-write configuration.  When journalling is enabled, every open
+        replays the dataset's un-checkpointed write-ahead journal tail
+        through the edit path before the database is published — so
+        acknowledged edits survive both worker crashes (the next owner's
+        open replays them) and the pool's own evictions (an evicted dataset's
+        in-memory edits are reconstructed on the next open).
     """
 
     def __init__(
@@ -89,6 +97,7 @@ class DatasetPool:
         client_config: ClientConfig | None = None,
         metrics: ServiceMetrics | None = None,
         max_resident_bytes: int = 0,
+        write_config: WriteConfig | None = None,
     ) -> None:
         if capacity <= 0:
             raise ServiceError("pool capacity must be positive")
@@ -102,6 +111,7 @@ class DatasetPool:
         self.storage_config = storage_config
         self.client_config = client_config
         self.metrics = metrics
+        self.write_config = write_config
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, PooledDataset] = OrderedDict()
         self._opening: dict[str, threading.Event] = {}
@@ -178,6 +188,11 @@ class DatasetPool:
     def _open(self, key: str, path: str | Path) -> PooledDataset:
         started = time.monotonic()
         database = load_from_sqlite(path, config=self.storage_config)
+        if self.write_config is not None and self.write_config.journal_enabled:
+            replay_journal(
+                database, path, write_config=self.write_config,
+                metrics=self.metrics,
+            )
         open_seconds = time.monotonic() - started
         entry = PooledDataset(
             key=key,

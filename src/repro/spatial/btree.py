@@ -66,6 +66,53 @@ class BPlusTree:
         """Number of distinct keys."""
         return self._num_keys
 
+    # -------------------------------------------------------------- bulk build
+
+    @classmethod
+    def bulk_build(
+        cls, items: list[tuple[int, list[object]]], order: int = 64
+    ) -> "BPlusTree":
+        """Build a tree from sorted ``(key, values)`` pairs without inserts.
+
+        ``items`` must be in strictly ascending key order (the order
+        :meth:`items` yields, which is how persisted index pages are laid
+        out).  Leaves are constructed directly at a 2/3 fill factor and the
+        internal levels grown bottom-up, so restoring a persisted index is
+        O(n) instead of n × O(log n) root-to-leaf descents.
+        """
+        tree = cls(order=order)
+        if not items:
+            return tree
+        fill = max(2, (order * 2) // 3)
+        leaves: list[_LeafNode] = []
+        for start in range(0, len(items), fill):
+            chunk = items[start:start + fill]
+            leaf = _LeafNode(
+                keys=[key for key, _ in chunk],
+                values=[list(values) for _, values in chunk],
+            )
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        tree._num_keys = len(items)
+        tree._num_values = sum(len(values) for _, values in items)
+        level: list[object] = list(leaves)
+        min_keys = [leaf.keys[0] for leaf in leaves]
+        while len(level) > 1:
+            parents: list[object] = []
+            parent_mins: list[int] = []
+            for start in range(0, len(level), fill):
+                children = level[start:start + fill]
+                child_mins = min_keys[start:start + fill]
+                parents.append(
+                    _InternalNode(keys=child_mins[1:], children=list(children))
+                )
+                parent_mins.append(child_mins[0])
+            level = parents
+            min_keys = parent_mins
+        tree._root = level[0]  # type: ignore[assignment]
+        return tree
+
     # ---------------------------------------------------------------- mutation
 
     def insert(self, key: int, value: object) -> None:

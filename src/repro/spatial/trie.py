@@ -71,6 +71,21 @@ class Trie:
             self._num_words += 1
         node.documents.add(document)
 
+    def insert_many(self, word: str, documents: Iterable[object]) -> None:
+        """Associate many documents with ``word`` in one descent.
+
+        The bulk-restore path for persisted label pages: one walk to the
+        terminal node and a set update, instead of one full descent per
+        document.
+        """
+        node = self._root
+        for char in word:
+            node = node.children.setdefault(char, _TrieNode())
+        if not node.terminal:
+            node.terminal = True
+            self._num_words += 1
+        node.documents.update(documents)
+
     def remove(self, word: str, document: object) -> bool:
         """Remove the association; return ``True`` if it existed.
 
@@ -187,6 +202,35 @@ class FullTextIndex:
     def label_of(self, document: object) -> str | None:
         """Return the indexed label of ``document`` (``None`` if not indexed)."""
         return self._labels.get(document)
+
+    def labeled_documents(self) -> list[tuple[object, str]]:
+        """Every ``(document, label)`` pair — the index's persistable content."""
+        return list(self._labels.items())
+
+    @classmethod
+    def bulk_build(
+        cls, entries: list[tuple[object, str]], index_substrings: bool = True
+    ) -> "FullTextIndex":
+        """Build an index from ``(document, label)`` pairs, grouping by label.
+
+        The restore path for persisted label pages: each *distinct* label is
+        tokenised once and every token (and suffix, for contains-mode) is
+        inserted with the whole set of documents sharing that label — node
+        labels repeat across many rows, so this is far cheaper than the
+        per-document :meth:`add` loop while producing an identical index.
+        """
+        index = cls(index_substrings=index_substrings)
+        by_label: dict[str, list[object]] = {}
+        for document, label in entries:
+            index._labels[document] = label
+            by_label.setdefault(label, []).append(document)
+        for label, documents in by_label.items():
+            for token in set(tokenize(label)):
+                index._trie.insert_many(token, documents)
+                if index._suffix_trie is not None:
+                    for start in range(len(token)):
+                        index._suffix_trie.insert_many(token[start:], documents)
+        return index
 
     def search(self, keyword: str, mode: str = "contains") -> list[object]:
         """Return documents matching ``keyword``.

@@ -217,7 +217,9 @@ class GraphVizDatabase:
                     else None
                 ),
                 "secondary_indexes": (
-                    "built" if table.node_indexes_built else "lazy"
+                    "built" if table.node_indexes_built
+                    else "paged" if table.has_pending_secondary_pages
+                    else "lazy"
                 ),
             })
         return {

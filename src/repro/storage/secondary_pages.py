@@ -1,0 +1,166 @@
+"""Serialisation of secondary indexes as SQLite pages.
+
+PR 2 persisted the packed spatial index as a versioned BLOB page so cold
+starts skip the O(n log n) re-pack; this module extends the same
+``layer_index_pages`` scheme to the *secondary* indexes — the node-id
+B+-trees and the label tries — so keyword-heavy cold starts skip the lazy
+build-from-store scan too.
+
+Two page kinds per layer:
+
+* ``node_btrees`` — both node-id B+-trees as one flat signed-64-bit array
+  (``[tree count, then per tree: key count, then per key: key, value count,
+  row ids...]``), restored through :meth:`BPlusTree.bulk_build` (direct leaf
+  construction — no per-row inserts, no store scan).
+* ``label_tries`` — the ``document -> label`` maps of both full-text indexes
+  as compact JSON, restored through :meth:`FullTextIndex.bulk_build`, which
+  tokenises each *distinct* label once and inserts each token/suffix with its
+  whole document set (node labels repeat across many rows, so this is far
+  cheaper than the per-row build the lazy path runs).
+
+Pages carry the same row-content fingerprint as the packed spatial page and
+are validated against it at load time; a stale or undecodable page simply
+falls back to the lazy build.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from array import array
+
+from ..errors import StorageError
+from ..spatial.btree import BPlusTree
+from ..spatial.trie import FullTextIndex
+
+__all__ = [
+    "NODE_BTREE_KIND",
+    "LABEL_TRIE_KIND",
+    "SECONDARY_PAGE_VERSION",
+    "encode_node_btrees",
+    "decode_node_btrees",
+    "encode_label_tries",
+    "decode_label_tries",
+]
+
+#: ``layer_index_pages.kind`` values for the two secondary-index pages.
+NODE_BTREE_KIND = "node_btrees"
+LABEL_TRIE_KIND = "label_tries"
+
+#: Bumped whenever either payload layout changes (pages of other versions are
+#: ignored at load time and rebuilt from rows).
+SECONDARY_PAGE_VERSION = 1
+
+_BTREE_MAGIC = b"GVB1"
+_BIG_ENDIAN_FLAG = b"B"
+_LITTLE_ENDIAN_FLAG = b"L"
+
+
+# ------------------------------------------------------------------- B+-trees
+
+
+def encode_node_btrees(node1: BPlusTree, node2: BPlusTree) -> bytes:
+    """Serialise both node-id B+-trees into one flat int64 page."""
+    ints: list[int] = [2]
+    for tree in (node1, node2):
+        postings = _postings(tree)
+        ints.append(len(postings))
+        for key, values in postings:
+            ints.append(key)
+            ints.append(len(values))
+            ints.extend(values)
+    flag = _LITTLE_ENDIAN_FLAG if sys.byteorder == "little" else _BIG_ENDIAN_FLAG
+    return _BTREE_MAGIC + flag + array("q", ints).tobytes()
+
+
+def _postings(tree: BPlusTree) -> list[tuple[int, list[int]]]:
+    """``(key, sorted row ids)`` per distinct key, in key order."""
+    grouped: list[tuple[int, list[int]]] = []
+    for key, value in tree.items():
+        if grouped and grouped[-1][0] == key:
+            grouped[-1][1].append(int(value))  # type: ignore[arg-type]
+        else:
+            grouped.append((key, [int(value)]))  # type: ignore[arg-type]
+    return grouped
+
+
+def decode_node_btrees(payload: bytes, order: int) -> tuple[BPlusTree, BPlusTree]:
+    """Restore both node-id B+-trees from a :func:`encode_node_btrees` page."""
+    if len(payload) < 5 or payload[:4] != _BTREE_MAGIC:
+        raise StorageError("not a node-btree page")
+    flag = payload[4:5]
+    if flag not in (_LITTLE_ENDIAN_FLAG, _BIG_ENDIAN_FLAG):
+        raise StorageError(f"unknown endian flag {flag!r} in node-btree page")
+    ints = array("q")
+    try:
+        ints.frombytes(payload[5:])
+    except ValueError as exc:
+        raise StorageError(f"truncated node-btree page: {exc}") from exc
+    stored_little = flag == _LITTLE_ENDIAN_FLAG
+    if stored_little != (sys.byteorder == "little"):
+        ints.byteswap()
+    cursor = 0
+
+    def take(count: int) -> array:
+        nonlocal cursor
+        if cursor + count > len(ints):
+            raise StorageError("node-btree page ends mid-structure")
+        chunk = ints[cursor:cursor + count]
+        cursor += count
+        return chunk
+
+    (tree_count,) = take(1)
+    if tree_count != 2:
+        raise StorageError(f"node-btree page holds {tree_count} trees, expected 2")
+    trees: list[BPlusTree] = []
+    for _ in range(2):
+        (num_keys,) = take(1)
+        items: list[tuple[int, list[object]]] = []
+        for _ in range(num_keys):
+            key, value_count = take(2)
+            items.append((key, list(take(value_count))))
+        trees.append(BPlusTree.bulk_build(items, order=order))
+    if cursor != len(ints):
+        raise StorageError("trailing data after node-btree page structures")
+    return trees[0], trees[1]
+
+
+# ---------------------------------------------------------------------- tries
+
+
+def encode_label_tries(
+    node_labels: FullTextIndex, edge_labels: FullTextIndex
+) -> bytes:
+    """Serialise both label indexes' ``document -> label`` maps as JSON.
+
+    Node-label documents are ``(slot, row_id)`` tuples, stored as two-element
+    arrays; edge-label documents are plain row ids.
+    """
+    return json.dumps({
+        "node_labels": [
+            [slot, row_id, label]
+            for (slot, row_id), label in node_labels.labeled_documents()
+        ],
+        "edge_labels": [
+            [row_id, label] for row_id, label in edge_labels.labeled_documents()
+        ],
+    }, separators=(",", ":")).encode()
+
+
+def decode_label_tries(payload: bytes) -> tuple[FullTextIndex, FullTextIndex]:
+    """Restore both label indexes from an :func:`encode_label_tries` page."""
+    try:
+        decoded = json.loads(payload)
+        node_entries = [
+            ((str(slot), int(row_id)), str(label))
+            for slot, row_id, label in decoded["node_labels"]
+        ]
+        edge_entries = [
+            (int(row_id), str(label)) for row_id, label in decoded["edge_labels"]
+        ]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise StorageError(f"undecodable label-trie page: {exc}") from exc
+    return (
+        FullTextIndex.bulk_build(node_entries),
+        FullTextIndex.bulk_build(edge_entries),
+    )

@@ -32,9 +32,16 @@ from ..errors import SpatialIndexError, StorageError
 from ..spatial.packed_rtree import PACKED_PAGE_VERSION, PackedRTree
 from .database import GraphVizDatabase
 from .schema import EdgeRow
+from .secondary_pages import (
+    LABEL_TRIE_KIND,
+    NODE_BTREE_KIND,
+    SECONDARY_PAGE_VERSION,
+    encode_label_tries,
+    encode_node_btrees,
+)
 from .serialization import RowContentHasher
 
-__all__ = ["save_to_sqlite", "load_from_sqlite"]
+__all__ = ["save_to_sqlite", "load_from_sqlite", "read_meta_value"]
 
 #: Rows fetched per cursor round-trip when loading a layer.
 _FETCH_CHUNK = 4096
@@ -83,7 +90,11 @@ _SELECT_ROWS = (
 )
 
 
-def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> dict[str, list[int]]:
+def save_to_sqlite(
+    database: GraphVizDatabase,
+    path: str | Path,
+    extra_meta: dict[str, str] | None = None,
+) -> dict[str, list[int]]:
     """Persist every layer of ``database`` into a SQLite file at ``path``.
 
     Rows are written in one transaction per call (WAL journal,
@@ -92,6 +103,9 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> dict[str, li
     ``database.config.index_pages`` is on, the index is serialised into
     ``layer_index_pages`` together with the fingerprint of the rows it covers,
     so the next :func:`load_from_sqlite` can skip the re-pack entirely.
+    With ``database.config.secondary_index_pages`` the *built* secondary
+    indexes (node B+-trees, label tries) are persisted the same way, so
+    keyword-heavy cold starts skip the lazy build-from-store scan too.
 
     Re-saving over an existing file is **incremental**: each layer's
     :class:`~repro.storage.serialization.RowContentHasher` fingerprint is
@@ -100,6 +114,11 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> dict[str, li
     unchanged skip the DELETE + INSERT entirely — after a small edit only the
     touched layers are rewritten.  Returns ``{"written": [...], "skipped":
     [...]}`` naming the layers that were rewritten vs left in place.
+
+    ``extra_meta`` key/value pairs are written into ``graphvizdb_meta``
+    inside the same transaction — the write-ahead journal records its
+    checkpoint watermark this way, so the watermark can never name a save
+    that did not commit.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -121,6 +140,12 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> dict[str, li
                 "INSERT OR REPLACE INTO graphvizdb_meta(key, value) VALUES (?, ?)",
                 ("layers", ",".join(str(layer) for layer in database.layers())),
             )
+            for key, value in (extra_meta or {}).items():
+                cursor.execute(
+                    "INSERT OR REPLACE INTO graphvizdb_meta(key, value) "
+                    "VALUES (?, ?)",
+                    (str(key), str(value)),
+                )
             for layer in database.layers():
                 table = database.table(layer)
                 # The table's write lock covers the snapshot — hashing, the
@@ -145,21 +170,43 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> dict[str, li
                         if previous[layer] == fingerprint:
                             # Unchanged since the last save: rows stay, and
                             # any stored page carrying the same fingerprint
-                            # stays valid.  Only a missing page (e.g. the
+                            # stays valid.  Only missing pages (e.g. the
                             # previous save ran while the table was demoted
-                            # and it has been repacked since) is topped up —
-                            # serialised here, inserted below, outside the
-                            # lock.
+                            # or before its secondary indexes were built) are
+                            # topped up — serialised here, inserted below,
+                            # outside the lock.
                             write_layer = False
                             records = []
                             payload = (
                                 None
-                                if _page_current(cursor, layer, fingerprint)
+                                if _page_current(
+                                    cursor, layer, _PACKED_KIND,
+                                    PACKED_PAGE_VERSION, fingerprint,
+                                )
                                 else _serialise_index_page(database, layer, hasher)
                             )
+                            # Like the packed page: consult the stored pages
+                            # first and serialise only the missing kinds —
+                            # walking the B+-trees and tries on every
+                            # incremental save, under the write lock, just to
+                            # discard the bytes would stall readers for
+                            # nothing.
+                            secondary = {}
+                            for kind in (NODE_BTREE_KIND, LABEL_TRIE_KIND):
+                                if _page_current(
+                                    cursor, layer, kind,
+                                    SECONDARY_PAGE_VERSION, fingerprint,
+                                ):
+                                    continue
+                                page = _serialise_secondary_page(
+                                    database, layer, kind
+                                )
+                                if page is not None:
+                                    secondary[kind] = page
                         else:
                             records = [row.to_record() for row in table.scan()]
                             payload = _serialise_index_page(database, layer, hasher)
+                            secondary = _serialise_secondary_pages(database, layer)
                     else:
                         # No previous fingerprint (fresh file or new layer):
                         # the layer is certainly written, so hash while
@@ -171,10 +218,19 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> dict[str, li
                             records.append(record)
                         fingerprint = hasher.hexdigest()
                         payload = _serialise_index_page(database, layer, hasher)
+                        secondary = _serialise_secondary_pages(database, layer)
                 if not write_layer:
                     skipped.append(layer)
                     if payload is not None:
-                        _insert_index_page(cursor, layer, fingerprint, payload)
+                        _insert_index_page(
+                            cursor, layer, _PACKED_KIND, PACKED_PAGE_VERSION,
+                            fingerprint, payload,
+                        )
+                    for kind, page in secondary.items():
+                        _insert_index_page(
+                            cursor, layer, kind, SECONDARY_PAGE_VERSION,
+                            fingerprint, page,
+                        )
                     continue
                 cursor.execute(_CREATE_LAYER.format(layer=layer))
                 for statement in _CREATE_LAYER_INDEXES:
@@ -194,7 +250,15 @@ def save_to_sqlite(database: GraphVizDatabase, path: str | Path) -> dict[str, li
                 )
                 written.append(layer)
                 if payload is not None:
-                    _insert_index_page(cursor, layer, fingerprint, payload)
+                    _insert_index_page(
+                        cursor, layer, _PACKED_KIND, PACKED_PAGE_VERSION,
+                        fingerprint, payload,
+                    )
+                for kind, page in secondary.items():
+                    _insert_index_page(
+                        cursor, layer, kind, SECONDARY_PAGE_VERSION,
+                        fingerprint, page,
+                    )
     return {"written": written, "skipped": skipped}
 
 
@@ -245,46 +309,96 @@ def _serialise_index_page(
         return None
 
 
-def _page_current(cursor: sqlite3.Cursor, layer: int, fingerprint: str) -> bool:
+def _serialise_secondary_page(
+    database: GraphVizDatabase, layer: int, kind: str
+) -> bytes | None:
+    """Serialise one secondary-index page, or ``None`` when it is not *built*.
+
+    Unbuilt (lazy) indexes are not force-built just to persist them — a
+    window-only workload stays free of them end to end.  Called under the
+    table's write lock so the serialised postings match the hashed rows.
+    """
+    if not database.config.secondary_index_pages:
+        return None
+    table = database.table(layer)
+    if kind == NODE_BTREE_KIND and table.node_indexes_built:
+        return encode_node_btrees(table.node1_index, table.node2_index)
+    if kind == LABEL_TRIE_KIND and table.label_indexes_built:
+        return encode_label_tries(
+            table.node_label_index, table.edge_label_index
+        )
+    return None
+
+
+def _serialise_secondary_pages(
+    database: GraphVizDatabase, layer: int
+) -> dict[str, bytes]:
+    """Serialise every built secondary index of the layer (rewrite branches)."""
+    pages: dict[str, bytes] = {}
+    for kind in (NODE_BTREE_KIND, LABEL_TRIE_KIND):
+        page = _serialise_secondary_page(database, layer, kind)
+        if page is not None:
+            pages[kind] = page
+    return pages
+
+
+def _page_current(
+    cursor: sqlite3.Cursor, layer: int, kind: str, version: int, fingerprint: str
+) -> bool:
     """``True`` when a current-version page with this fingerprint is stored."""
     cursor.execute(
         "SELECT 1 FROM layer_index_pages WHERE layer = ? AND kind = ? "
         "AND version = ? AND fingerprint = ?",
-        (layer, _PACKED_KIND, PACKED_PAGE_VERSION, fingerprint),
+        (layer, kind, version, fingerprint),
     )
     return cursor.fetchone() is not None
 
 
 def _insert_index_page(
-    cursor: sqlite3.Cursor, layer: int, fingerprint: str, payload: bytes
+    cursor: sqlite3.Cursor,
+    layer: int,
+    kind: str,
+    version: int,
+    fingerprint: str,
+    payload: bytes,
 ) -> None:
-    """Write one serialised packed-index page."""
+    """Write one serialised index page."""
     cursor.execute(
         "INSERT OR REPLACE INTO layer_index_pages(layer, kind, version, "
         "fingerprint, payload) VALUES (?, ?, ?, ?, ?)",
-        (layer, _PACKED_KIND, PACKED_PAGE_VERSION, fingerprint, payload),
+        (layer, kind, version, fingerprint, payload),
     )
 
 
-def _load_index_pages(cursor: sqlite3.Cursor) -> dict[int, tuple[int, str, bytes]]:
-    """Read every current-version packed-index page, keyed by layer.
+def _load_index_pages(
+    cursor: sqlite3.Cursor, kinds: dict[str, int]
+) -> dict[int, dict[str, tuple[int, str, bytes]]]:
+    """Read every wanted index page: ``layer -> kind -> (version, fp, payload)``.
 
-    Version-incompatible pages are filtered out here so the row loop never
+    ``kinds`` maps each wanted page kind to its current version;
+    version-incompatible pages are filtered out here so the row loop never
     bothers fingerprinting a layer whose page is doomed anyway.  Databases
     written before pages existed have no ``layer_index_pages`` table; they
     load fine through the rebuild path.
     """
+    if not kinds:
+        return {}
     try:
         cursor.execute(
-            "SELECT layer, version, fingerprint, payload FROM layer_index_pages "
-            "WHERE kind = ? AND version = ?",
-            (_PACKED_KIND, PACKED_PAGE_VERSION),
+            "SELECT layer, kind, version, fingerprint, payload "
+            "FROM layer_index_pages WHERE kind IN ({})".format(
+                ",".join("?" for _ in kinds)
+            ),
+            tuple(kinds),
         )
     except sqlite3.OperationalError:
         return {}
-    return {
-        record[0]: (record[1], record[2], record[3]) for record in cursor.fetchall()
-    }
+    pages: dict[int, dict[str, tuple[int, str, bytes]]] = {}
+    for layer, kind, version, fingerprint, payload in cursor.fetchall():
+        if version != kinds[kind]:
+            continue
+        pages.setdefault(layer, {})[kind] = (version, fingerprint, payload)
+    return pages
 
 
 def _restore_packed_index(
@@ -313,15 +427,24 @@ def load_from_sqlite(path: str | Path, config: StorageConfig | None = None) -> G
     Cold start is I/O-bound by design: rows stream in chunked batches off a
     single ordered SELECT per layer, and when a valid packed-index page exists
     the spatial index is restored with a flat ``frombytes`` copy instead of an
-    O(n log n) re-pack.  The rebuild path remains as the fallback for missing,
-    stale or version-mismatched pages (and for ``index_kind="rtree"`` or
-    ``index_pages=False`` configurations).
+    O(n log n) re-pack.  Persisted secondary-index pages (node B+-trees,
+    label tries) are staged on the tables and consumed by the lazy
+    build-on-first-use gates, replacing the full store scan.  The rebuild
+    path remains as the fallback for missing, stale or version-mismatched
+    pages (and for ``index_kind="rtree"`` or ``index_pages=False``
+    configurations).
     """
     path = Path(path)
     if not path.exists():
         raise StorageError(f"SQLite database {path} does not exist")
     config = config or StorageConfig()
     restore_wanted = config.index_pages and config.index_kind == "packed"
+    wanted_kinds: dict[str, int] = {}
+    if restore_wanted:
+        wanted_kinds[_PACKED_KIND] = PACKED_PAGE_VERSION
+    if config.secondary_index_pages and config.lazy_secondary_indexes:
+        wanted_kinds[NODE_BTREE_KIND] = SECONDARY_PAGE_VERSION
+        wanted_kinds[LABEL_TRIE_KIND] = SECONDARY_PAGE_VERSION
     with closing(sqlite3.connect(path)) as connection:
         cursor = connection.cursor()
         try:
@@ -334,15 +457,16 @@ def load_from_sqlite(path: str | Path, config: StorageConfig | None = None) -> G
         database = GraphVizDatabase(name=name_row[0] if name_row else "", config=config)
         if not layers_row or not layers_row[0]:
             return database
-        pages = _load_index_pages(cursor) if restore_wanted else {}
+        pages = _load_index_pages(cursor, wanted_kinds)
         from_record = EdgeRow.from_record
         for layer_text in layers_row[0].split(","):
             layer = int(layer_text)
-            page = pages.get(layer)
+            layer_pages = pages.get(layer, {})
+            page = layer_pages.get(_PACKED_KIND)
             cursor.execute(_SELECT_ROWS.format(layer=layer))
             rows: list[EdgeRow] = []
             append = rows.append
-            hasher = RowContentHasher() if page is not None else None
+            hasher = RowContentHasher() if layer_pages else None
             while True:
                 chunk = cursor.fetchmany(_FETCH_CHUNK)
                 if not chunk:
@@ -355,13 +479,54 @@ def load_from_sqlite(path: str | Path, config: StorageConfig | None = None) -> G
                 else:
                     for record in chunk:
                         append(from_record(record))
+            fingerprint = hasher.hexdigest() if hasher is not None else ""
             tree = (
-                _restore_packed_index(page, hasher.hexdigest(), len(rows))
-                if hasher is not None
+                _restore_packed_index(page, fingerprint, len(rows))
+                if page is not None
                 else None
             )
             if tree is not None:
-                database.create_layer(layer).attach_packed_index(tree, rows=rows)
+                table = database.create_layer(layer)
+                table.attach_packed_index(tree, rows=rows)
             else:
                 database.load_layer(layer, rows)
+                table = database.table(layer)
+            node_page = _secondary_payload(
+                layer_pages.get(NODE_BTREE_KIND), fingerprint
+            )
+            label_page = _secondary_payload(
+                layer_pages.get(LABEL_TRIE_KIND), fingerprint
+            )
+            if node_page is not None or label_page is not None:
+                table.attach_secondary_pages(node_page, label_page)
     return database
+
+
+def _secondary_payload(
+    page: tuple[int, str, bytes] | None, fingerprint: str
+) -> bytes | None:
+    """A secondary page's payload when its fingerprint matches the loaded rows."""
+    if page is None:
+        return None
+    _, page_fingerprint, payload = page
+    return payload if page_fingerprint == fingerprint else None
+
+
+def read_meta_value(path: str | Path, key: str) -> str | None:
+    """Read one ``graphvizdb_meta`` value from a dataset file (``None``: absent).
+
+    Used by the write-ahead journal to find the checkpoint watermark without
+    paying for a full :func:`load_from_sqlite`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    with closing(sqlite3.connect(path)) as connection:
+        try:
+            cursor = connection.execute(
+                "SELECT value FROM graphvizdb_meta WHERE key = ?", (key,)
+            )
+        except sqlite3.OperationalError:
+            return None
+        record = cursor.fetchone()
+    return record[0] if record else None

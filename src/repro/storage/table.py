@@ -272,6 +272,12 @@ class LayerTable:
         self._node2_index: BPlusTree | None = None
         self._node_label_index: FullTextIndex | None = None
         self._edge_label_index: FullTextIndex | None = None
+        # Persisted secondary-index pages (see storage.secondary_pages)
+        # attached by the SQLite loader: consumed by the lazy build gates
+        # below instead of a store scan, and dropped on the first mutation —
+        # a page describes exactly the rows it was saved with.
+        self._pending_node_page: bytes | None = None
+        self._pending_label_page: bytes | None = None
         if not lazy_secondary_indexes:
             # Eager mode starts from empty indexes (the seed behaviour): rows
             # are indexed as they are inserted/bulk-loaded, never re-derived
@@ -388,10 +394,14 @@ class LayerTable:
         with self._write_lock, self._secondary_lock:
             if self._node1_index is not None:
                 return
-            node1 = BPlusTree(order=self.btree_order)
-            node2 = BPlusTree(order=self.btree_order)
-            for row in self.store.scan():
-                self._index_row_secondary(row, node1, node2, None, None)
+            restored = self._restore_node_page()
+            if restored is not None:
+                node1, node2 = restored
+            else:
+                node1 = BPlusTree(order=self.btree_order)
+                node2 = BPlusTree(order=self.btree_order)
+                for row in self.store.scan():
+                    self._index_row_secondary(row, node1, node2, None, None)
             self._node2_index = node2
             self._node1_index = node1
 
@@ -401,12 +411,76 @@ class LayerTable:
         with self._write_lock, self._secondary_lock:
             if self._node_label_index is not None:
                 return
-            node_labels = FullTextIndex()
-            edge_labels = FullTextIndex()
-            for row in self.store.scan():
-                self._index_row_secondary(row, None, None, node_labels, edge_labels)
+            restored = self._restore_label_page()
+            if restored is not None:
+                node_labels, edge_labels = restored
+            else:
+                node_labels = FullTextIndex()
+                edge_labels = FullTextIndex()
+                for row in self.store.scan():
+                    self._index_row_secondary(
+                        row, None, None, node_labels, edge_labels
+                    )
             self._edge_label_index = edge_labels
             self._node_label_index = node_labels
+
+    # ------------------------------------------------- secondary index pages
+
+    def attach_secondary_pages(
+        self, node_page: bytes | None, label_page: bytes | None
+    ) -> None:
+        """Stage persisted secondary-index pages for the lazy build gates.
+
+        Called by the SQLite loader after the rows are in place; the caller
+        (``load_from_sqlite``) has already validated each page's fingerprint
+        against the loaded row content.  Decoding is deferred to first use,
+        so a window-only workload never pays for it — and a page that fails
+        to decode falls back to the ordinary build-from-store scan.
+        """
+        with self._secondary_lock:
+            if self._node1_index is None:
+                self._pending_node_page = node_page
+            if self._node_label_index is None:
+                self._pending_label_page = label_page
+
+    @property
+    def has_pending_secondary_pages(self) -> bool:
+        """``True`` while staged pages await their first-use restore."""
+        return (
+            self._pending_node_page is not None
+            or self._pending_label_page is not None
+        )
+
+    def _restore_node_page(self):
+        """Decode the staged node-btree page, or ``None`` (caller holds locks)."""
+        page, self._pending_node_page = self._pending_node_page, None
+        if page is None:
+            return None
+        from .secondary_pages import decode_node_btrees
+
+        try:
+            return decode_node_btrees(page, order=self.btree_order)
+        except StorageError:
+            return None  # undecodable page: the store scan below rebuilds
+
+    def _restore_label_page(self):
+        """Decode the staged label-trie page, or ``None`` (caller holds locks)."""
+        page, self._pending_label_page = self._pending_label_page, None
+        if page is None:
+            return None
+        from .secondary_pages import decode_label_tries
+
+        try:
+            return decode_label_tries(page)
+        except StorageError:
+            return None
+
+    def _drop_pending_secondary_pages(self) -> None:
+        # Mutations invalidate staged pages: they describe the rows the save
+        # wrote, not the rows a later build-from-store would scan.  Callers
+        # hold the write lock.
+        self._pending_node_page = None
+        self._pending_label_page = None
 
     def _reset_secondary_indexes(self) -> None:
         """Discard the secondary indexes; they rebuild from the store on use.
@@ -636,6 +710,7 @@ class LayerTable:
         self.edits_since_repack += 1
         self.total_edits += 1
         self._last_edit_monotonic = time.monotonic()
+        self._drop_pending_secondary_pages()
 
     @property
     def last_edit_age_seconds(self) -> float | None:

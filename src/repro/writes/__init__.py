@@ -1,0 +1,30 @@
+"""Durable write subsystem: journalled, serialised edits for the serving stack.
+
+The Edit panel of the paper is a first-class online operation, but the
+serving/cluster layers of PRs 3-4 were read-only.  This package threads a
+durable write path through them:
+
+* :mod:`repro.writes.journal` — a per-dataset append-only write-ahead journal
+  (length-prefixed JSON records with blake2b checksums, batched fsync).  An
+  edit is journalled *before* it is applied, so an acknowledged edit survives
+  a SIGKILLed worker: the next open replays the un-checkpointed tail.
+* :mod:`repro.writes.ops` — the edit-operation registry shared by the live
+  apply path and journal replay (one deterministic semantics for both).
+* :mod:`repro.writes.coordinator` — the :class:`WriteCoordinator` the service
+  front-end dispatches ``POST /edit/*`` requests through: a single-writer
+  queue per dataset, journal-then-apply ordering, and background checkpoints
+  (incremental ``save_to_sqlite`` + journal truncation).
+"""
+
+from .coordinator import WriteCoordinator
+from .journal import JournalRecord, WriteAheadJournal, replay_journal
+from .ops import EDIT_OPS, apply_edit
+
+__all__ = [
+    "EDIT_OPS",
+    "JournalRecord",
+    "WriteAheadJournal",
+    "WriteCoordinator",
+    "apply_edit",
+    "replay_journal",
+]

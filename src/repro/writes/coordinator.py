@@ -1,0 +1,235 @@
+"""Write coordination for the service front-end.
+
+:class:`WriteCoordinator` owns the write path of one
+:class:`~repro.service.frontend.GraphVizDBService`:
+
+* **one writer per dataset** — every edit runs under the dataset's asyncio
+  lock, so edits serialise (the Edit panel is a single user's cursor; two
+  racing structural edits would interleave half-applied geometry updates)
+  while edits to *different* datasets, and all reads, proceed in parallel;
+* **journal before apply** — SQLite-backed datasets get a
+  :class:`~repro.writes.journal.WriteAheadJournal` next to their database
+  file; the record is on disk before the edit touches a table, so an
+  acknowledged edit survives a SIGKILLed worker (in-memory datasets have no
+  durable home and skip journalling);
+* **background checkpoints** — once a dataset's journal accumulates
+  ``WriteConfig.checkpoint_every_records`` records, the coordinator schedules
+  an incremental ``save_to_sqlite`` (unchanged layers skip, the PR 3
+  machinery) plus a journal truncation, bounding both replay time after a
+  crash and journal growth, without blocking the edit that tripped it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from pathlib import Path
+
+from ..config import GraphVizDBConfig, WriteConfig
+from ..core.editing import GraphEditor
+from ..core.monitoring import ServiceMetrics
+from ..errors import ServiceError
+from ..storage.database import GraphVizDatabase
+from .journal import (
+    CHECKPOINT_META_KEY,
+    WriteAheadJournal,
+    journal_path_for,
+    last_checkpoint_seq,
+)
+from .ops import apply_edit
+
+__all__ = ["WriteCoordinator"]
+
+
+class WriteCoordinator:
+    """Serialised, journalled edit application for the serving front-end."""
+
+    def __init__(
+        self,
+        config: GraphVizDBConfig | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        self.config = config or GraphVizDBConfig()
+        self.write_config: WriteConfig = self.config.write
+        self.metrics = metrics or ServiceMetrics()
+        self._locks: dict[str, asyncio.Lock] = {}
+        self._journals: dict[str, WriteAheadJournal] = {}
+        self._checkpointing: set[str] = set()
+        self._checkpoint_tasks: set[asyncio.Task] = set()
+
+    # ----------------------------------------------------------- serialisation
+
+    def lock_for(self, dataset: str) -> asyncio.Lock:
+        """The dataset's single-writer lock (created on first use)."""
+        lock = self._locks.get(dataset)
+        if lock is None:
+            lock = self._locks[dataset] = asyncio.Lock()
+        return lock
+
+    # ---------------------------------------------------------------- journals
+
+    def journal_for(self, dataset: str, sqlite_path: str | None) -> WriteAheadJournal | None:
+        """The dataset's journal — ``None`` for in-memory datasets or when disabled."""
+        if sqlite_path is None or not self.write_config.journal_enabled:
+            return None
+        journal = self._journals.get(dataset)
+        if journal is None:
+            journal = self._journals[dataset] = WriteAheadJournal(
+                journal_path_for(sqlite_path),
+                fsync=self.write_config.journal_fsync,
+                fsync_batch=self.write_config.journal_fsync_batch,
+                max_record_bytes=self.write_config.max_record_bytes,
+                # Seed the numbering past the stored checkpoint watermark:
+                # after a checkpoint truncated the file to empty, a fresh
+                # process restarting at seq 1 would have its acknowledged
+                # edits skipped by replay (they would sit at or below the
+                # watermark).
+                min_seq=last_checkpoint_seq(sqlite_path),
+            )
+        return journal
+
+    def journal_depth(self, dataset: str) -> int:
+        """Un-checkpointed records currently in the dataset's journal."""
+        journal = self._journals.get(dataset)
+        return len(journal) if journal is not None else 0
+
+    # ------------------------------------------------------------------- apply
+
+    def apply_sync(
+        self,
+        dataset: str,
+        database: GraphVizDatabase,
+        sqlite_path: str | None,
+        op: str,
+        args: dict,
+        layer: int = 0,
+    ) -> dict[str, object]:
+        """Journal and apply one edit (worker thread; caller holds the lock).
+
+        Returns the acknowledgement payload: the op's own result plus the
+        journal sequence number (``0`` when unjournalled) and the dataset's
+        post-edit monotonic edit counter — the router uses the latter to
+        invalidate its window cache eagerly instead of waiting for the next
+        health probe.
+        """
+        # The layer is carried out-of-band (query parameter / replay record
+        # key), never inside the op arguments — a stray "layer" in the body
+        # would otherwise make the replayed edit target a different layer
+        # than the live apply did.
+        args = dict(args)
+        args.pop("layer", None)
+        journal = self.journal_for(dataset, sqlite_path)
+        seq = 0
+        if journal is not None:
+            record_args = dict(args)
+            if layer:
+                record_args["layer"] = layer
+            seq, synced = journal.append(op, record_args)
+            self.metrics.record_journal_append(synced)
+        editor = GraphEditor(database, layer=layer)
+        result = apply_edit(editor, op, args)
+        self.metrics.record_write()
+        return {
+            "op": op,
+            "dataset": dataset,
+            "seq": seq,
+            "edit_counter": database.edit_counter(),
+            **result,
+        }
+
+    # ------------------------------------------------------------- checkpoints
+
+    def checkpoint_due(self, dataset: str) -> bool:
+        """``True`` when the journal has grown past the checkpoint threshold."""
+        threshold = self.write_config.checkpoint_every_records
+        if threshold <= 0 or dataset in self._checkpointing:
+            return False
+        return self.journal_depth(dataset) >= threshold
+
+    def schedule_checkpoint(self, dataset: str, sqlite_path: str, run,
+                            resolve) -> None:
+        """Start a background checkpoint task (at most one per dataset).
+
+        ``run`` is the front-end's executor dispatch; the task takes the
+        dataset's write lock, so the checkpoint's save + truncate cannot
+        interleave with a concurrent edit's journal append.  ``resolve`` is
+        called *at execution time* to fetch the dataset's current in-memory
+        database (``None`` skips the checkpoint): capturing the object at
+        schedule time would be wrong — a pool eviction + reopen in between
+        would leave the task saving a stale snapshot and truncating journal
+        records whose edits only the *new* object carries.
+        """
+        if dataset in self._checkpointing:
+            return
+        self._checkpointing.add(dataset)
+        task = asyncio.get_running_loop().create_task(
+            self._checkpoint(dataset, sqlite_path, run, resolve)
+        )
+        self._checkpoint_tasks.add(task)
+        task.add_done_callback(self._checkpoint_tasks.discard)
+
+    async def _checkpoint(self, dataset: str, sqlite_path: str, run,
+                          resolve) -> None:
+        try:
+            async with self.lock_for(dataset):
+                await run(self._checkpoint_current, dataset, sqlite_path, resolve)
+        except ServiceError:
+            # The service is stopping: the journal keeps every record, so the
+            # next open simply replays instead of restoring a checkpoint.
+            pass
+        finally:
+            self._checkpointing.discard(dataset)
+
+    def _checkpoint_current(self, dataset: str, sqlite_path: str, resolve) -> int:
+        """Checkpoint whatever database currently serves the dataset.
+
+        The current pool entry always holds the union of the SQLite file and
+        the journal (replay-on-open plus every later edit), so saving *it* is
+        always safe; an evicted-and-not-reopened dataset has nothing better
+        than the journal, which stays intact for the next open's replay.
+        """
+        database = resolve()
+        if database is None:
+            return 0
+        return self.checkpoint_sync(dataset, database, sqlite_path)
+
+    def checkpoint_sync(self, dataset: str, database: GraphVizDatabase,
+                        sqlite_path: str | Path) -> int:
+        """Incremental save + journal truncation (worker thread; lock held).
+
+        The last journalled sequence number is written into the SQLite file's
+        meta table *inside the save's transaction*; a crash between the save
+        and the truncation therefore cannot double-apply — replay skips
+        records at or below the stored watermark.  Returns the number of
+        journal records that survived the truncation (appends racing the
+        checkpoint; normally 0 because the lock is held).
+        """
+        from ..storage.sqlite_backend import save_to_sqlite
+
+        journal = self.journal_for(dataset, str(sqlite_path))
+        if journal is None:
+            return 0
+        watermark = journal.last_seq
+        save_to_sqlite(
+            database, sqlite_path,
+            extra_meta={CHECKPOINT_META_KEY: str(watermark)},
+        )
+        remaining = journal.truncate_through(watermark)
+        self.metrics.record_checkpoint()
+        return remaining
+
+    # --------------------------------------------------------------- lifecycle
+
+    async def drain(self) -> None:
+        """Wait for in-flight background checkpoints, then close every journal."""
+        tasks = list(self._checkpoint_tasks)
+        for task in tasks:
+            with contextlib.suppress(Exception):
+                await task
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close every open journal handle."""
+        for journal in self._journals.values():
+            with contextlib.suppress(Exception):
+                journal.close()

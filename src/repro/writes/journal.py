@@ -1,0 +1,425 @@
+"""Per-dataset write-ahead journal.
+
+One journal file sits next to each served SQLite dataset
+(``<dataset>.db.journal``).  Every edit is appended *before* it is applied to
+the in-memory tables, so the sequence
+
+    append record -> apply edit -> acknowledge client
+
+guarantees that an acknowledged edit exists on disk even if the worker is
+SIGKILLed the instant after the ack: the next open of the dataset replays the
+journal tail through the same :func:`~repro.writes.ops.apply_edit` path the
+live write used.
+
+On-disk format — one record is::
+
+    [4-byte little-endian payload length]
+    [16-byte blake2b-128 digest of the payload]
+    [payload: UTF-8 JSON {"seq": int, "op": str, "args": {...}}]
+
+The checksum detects torn or corrupted records.  A *torn tail* (the file ends
+inside a record, or the final record fails its checksum) is the expected
+signature of a crash mid-append and is silently discarded — everything before
+it was acknowledged with a complete record.  A bad record *followed by more
+valid bytes* is genuine corruption and raises :class:`~repro.errors.JournalError`
+rather than silently dropping acknowledged edits.
+
+Durability policy (``WriteConfig.journal_fsync``): appends always reach the
+OS (``write`` + ``flush``) before the edit is applied — that alone makes an
+acknowledged edit survive any *process* death, because the page cache outlives
+the process.  ``fsync`` additionally protects against power loss: ``always``
+syncs every record, ``batch`` every ``journal_fsync_batch`` records, ``never``
+leaves it to the OS.
+
+Checkpointing: after an incremental ``save_to_sqlite`` the coordinator calls
+:meth:`WriteAheadJournal.truncate_through` with the last sequence number the
+save covered.  The same number is stored inside the SQLite file itself
+(``journal_checkpoint_seq`` meta key, written in the save's transaction), so
+a crash *between* the save and the truncation cannot double-apply: replay
+skips records at or below the checkpoint recorded in the database.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..config import WriteConfig
+from ..errors import (
+    JournalError,
+    LayerNotFoundError,
+    QueryError,
+    UnknownEditError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.monitoring import ServiceMetrics
+    from ..storage.database import GraphVizDatabase
+
+__all__ = [
+    "JournalRecord",
+    "WriteAheadJournal",
+    "journal_path_for",
+    "read_journal_records",
+    "replay_journal",
+]
+
+#: SQLite meta key holding the last journal sequence number covered by a save.
+CHECKPOINT_META_KEY = "journal_checkpoint_seq"
+
+_DIGEST_BYTES = 16
+_LENGTH_BYTES = 4
+
+
+def journal_path_for(sqlite_path: str | Path) -> Path:
+    """The journal file that belongs to one SQLite dataset file."""
+    path = Path(sqlite_path)
+    return path.with_name(path.name + ".journal")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal record."""
+
+    seq: int
+    op: str
+    args: dict[str, object]
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=_DIGEST_BYTES).digest()
+
+
+def read_journal_records(path: str | Path) -> list[JournalRecord]:
+    """Decode every complete record of a journal file, discarding a torn tail.
+
+    Raises :class:`JournalError` when a corrupt record is followed by further
+    bytes (mid-file corruption can silently drop acknowledged edits; a torn
+    *final* record cannot — nothing after it was ever acknowledged).
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = path.read_bytes()
+    records: list[JournalRecord] = []
+    offset = 0
+    header = _LENGTH_BYTES + _DIGEST_BYTES
+    while offset < len(data):
+        if offset + header > len(data):
+            break  # torn tail: crashed inside a record header
+        length = int.from_bytes(data[offset:offset + _LENGTH_BYTES], "little")
+        start = offset + header
+        end = start + length
+        if end > len(data):
+            break  # torn tail: crashed inside a record payload
+        payload = data[start:end]
+        stored = data[offset + _LENGTH_BYTES:start]
+        if _digest(payload) != stored:
+            if end < len(data):
+                raise JournalError(
+                    f"journal {path} is corrupt at offset {offset} "
+                    f"(bad checksum mid-file)"
+                )
+            break  # torn tail: checksum of the final record does not close
+        try:
+            decoded = json.loads(payload)
+            record = JournalRecord(
+                seq=int(decoded["seq"]),
+                op=str(decoded["op"]),
+                args=dict(decoded.get("args") or {}),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise JournalError(
+                f"journal {path} holds an undecodable record at offset {offset}: {exc}"
+            ) from exc
+        records.append(record)
+        offset = end
+    return records
+
+
+class WriteAheadJournal:
+    """Append-only journal for one dataset's edits.
+
+    Thread-safe (appends, sync and truncation serialise on an internal lock),
+    though the write coordinator already serialises writers per dataset.
+
+    Parameters
+    ----------
+    path:
+        Journal file location (see :func:`journal_path_for`).
+    fsync:
+        ``"always"`` / ``"batch"`` / ``"never"`` — see the module docstring.
+    fsync_batch:
+        Records per fsync under the ``"batch"`` policy.
+    max_record_bytes:
+        Appends whose encoded payload exceeds this raise
+        :class:`JournalError` before touching the file.
+    min_seq:
+        A floor for the sequence numbering, normally the dataset's stored
+        checkpoint watermark (``journal_checkpoint_seq``).  Without it, a
+        process opening a journal that a checkpoint just truncated to empty
+        would restart numbering at 1 — and replay, which skips records at or
+        below the watermark, would silently drop those acknowledged edits.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: str = "batch",
+        fsync_batch: int = 16,
+        max_record_bytes: int = 1024 * 1024,
+        min_seq: int = 0,
+    ) -> None:
+        if fsync not in {"always", "batch", "never"}:
+            raise JournalError(f"unknown fsync policy {fsync!r}")
+        self.path = Path(path)
+        self.fsync = fsync
+        self.fsync_batch = max(1, fsync_batch)
+        self.max_record_bytes = max_record_bytes
+        self._lock = threading.Lock()
+        self._handle = None
+        self._unsynced = 0
+        # Resume the sequence past both the file's tail and the checkpoint
+        # watermark (a worker taking over a crashed — or freshly
+        # checkpointed — owner's dataset must never reuse sequence numbers
+        # that were acknowledged or checkpointed before).
+        existing = read_journal_records(self.path)
+        tail_seq = existing[-1].seq if existing else 0
+        self._next_seq = max(tail_seq, min_seq) + 1
+        self._pending_records = len(existing)
+
+    # ------------------------------------------------------------------ append
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next append will get."""
+        with self._lock:
+            return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the most recent append (``0``: none yet)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    def __len__(self) -> int:
+        """Number of records currently in the file (the un-truncated tail)."""
+        with self._lock:
+            return self._pending_records
+
+    def append(self, op: str, args: dict[str, object]) -> tuple[int, bool]:
+        """Write one record; returns ``(seq, fsynced)``.
+
+        The record is on its way to the OS (``write`` + ``flush``) when this
+        returns — the caller may apply the edit and acknowledge the client.
+        """
+        with self._lock:
+            seq = self._next_seq
+            payload = json.dumps(
+                {"seq": seq, "op": op, "args": args}, separators=(",", ":")
+            ).encode()
+            if len(payload) > self.max_record_bytes:
+                raise JournalError(
+                    f"edit record of {len(payload)} bytes exceeds the "
+                    f"{self.max_record_bytes}-byte journal record limit"
+                )
+            handle = self._open_handle()
+            try:
+                handle.write(
+                    len(payload).to_bytes(_LENGTH_BYTES, "little")
+                    + _digest(payload)
+                    + payload
+                )
+                handle.flush()
+                self._next_seq = seq + 1
+                self._pending_records += 1
+                self._unsynced += 1
+                synced = False
+                if self.fsync == "always" or (
+                    self.fsync == "batch" and self._unsynced >= self.fsync_batch
+                ):
+                    os.fsync(handle.fileno())
+                    self._unsynced = 0
+                    synced = True
+            except OSError as exc:
+                raise JournalError(f"journal append to {self.path} failed: {exc}") from exc
+            return seq, synced
+
+    def sync(self) -> None:
+        """Force an fsync of everything appended so far (any policy)."""
+        with self._lock:
+            if self._handle is None:
+                return
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except OSError as exc:
+                raise JournalError(f"journal sync of {self.path} failed: {exc}") from exc
+            self._unsynced = 0
+
+    def _open_handle(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    # -------------------------------------------------------------- truncation
+
+    def records(self) -> list[JournalRecord]:
+        """Decode the journal's current records (snapshot)."""
+        with self._lock:
+            self._flush_locked()
+            return read_journal_records(self.path)
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop records with ``record.seq <= seq``; returns how many were kept.
+
+        Called after a checkpoint save covered everything up to ``seq``.  The
+        survivors (appends that raced the checkpoint) are rewritten to a
+        temporary file which atomically replaces the journal, so a crash
+        mid-truncation leaves either the old complete journal or the new one
+        — never a half-truncated file.
+        """
+        with self._lock:
+            self._flush_locked()
+            remaining = [
+                record for record in read_journal_records(self.path)
+                if record.seq > seq
+            ]
+            temp = self.path.with_name(self.path.name + ".truncate")
+            try:
+                with open(temp, "wb") as handle:
+                    for record in remaining:
+                        payload = json.dumps(
+                            {"seq": record.seq, "op": record.op, "args": record.args},
+                            separators=(",", ":"),
+                        ).encode()
+                        handle.write(
+                            len(payload).to_bytes(_LENGTH_BYTES, "little")
+                            + _digest(payload)
+                            + payload
+                        )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
+                temp.replace(self.path)
+            except OSError as exc:
+                raise JournalError(
+                    f"journal truncation of {self.path} failed: {exc}"
+                ) from exc
+            self._pending_records = len(remaining)
+            self._unsynced = 0
+            return len(remaining)
+
+    def _flush_locked(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    # --------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Flush and close the file handle (the journal object stays usable)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                self._handle.close()
+                self._handle = None
+
+
+# ---------------------------------------------------------------------- replay
+
+
+def replay_journal(
+    database: "GraphVizDatabase",
+    sqlite_path: str | Path,
+    write_config: WriteConfig | None = None,
+    metrics: "ServiceMetrics | None" = None,
+) -> int:
+    """Apply the un-checkpointed journal tail to a freshly opened database.
+
+    Called by the dataset pool right after ``load_from_sqlite``: records with
+    a sequence number above the ``journal_checkpoint_seq`` recorded inside
+    the SQLite file are re-applied through the same
+    :func:`~repro.writes.ops.apply_edit` path live writes use.  Records whose
+    original apply failed (the journal is written *before* validation) fail
+    identically here and are skipped — replay reproduces the pre-crash state,
+    error-for-error.  Returns the number of records re-applied.
+    """
+    from ..core.editing import GraphEditor
+    from .ops import apply_edit
+
+    config = write_config or WriteConfig()
+    if not config.journal_enabled:
+        return 0
+    path = journal_path_for(sqlite_path)
+    records = read_journal_records(path)
+    if not records:
+        return 0
+    checkpoint_seq = _read_checkpoint_seq(sqlite_path)
+    editors: dict[int, GraphEditor] = {}
+    replayed = 0
+    for record in records:
+        if record.seq <= checkpoint_seq:
+            continue
+        args = dict(record.args)
+        layer = int(args.pop("layer", 0))
+        editor = editors.get(layer)
+        if editor is None:
+            editor = editors[layer] = GraphEditor(database, layer=layer)
+        try:
+            apply_edit(editor, record.op, args)
+        except (
+            QueryError,          # edit references graph elements that are gone
+            LayerNotFoundError,  # edit targets a layer this file never had
+            UnknownEditError,    # op name the registry rejects
+            KeyError,            # malformed argument payload...
+            ValueError,          # ...or uncoercible argument values
+            TypeError,
+        ):
+            # Deterministic re-failure of an edit that failed when it was
+            # first attempted (the journal is written before validation):
+            # skipping it is exactly what the original apply did.  Every
+            # error class the live HTTP path maps to a 4xx must be listed
+            # here — anything narrower would let one rejected request brick
+            # every subsequent open of the dataset.
+            continue
+        replayed += 1
+    if metrics is not None and replayed:
+        metrics.record_journal_replay(replayed)
+    return replayed
+
+
+def _read_checkpoint_seq(sqlite_path: str | Path) -> int:
+    from ..storage.sqlite_backend import read_meta_value
+
+    value = read_meta_value(sqlite_path, CHECKPOINT_META_KEY)
+    try:
+        return int(value) if value is not None else 0
+    except ValueError:
+        return 0
+
+
+def last_checkpoint_seq(sqlite_path: str | Path) -> int:
+    """The checkpoint watermark stored inside a dataset file (``0``: none).
+
+    The floor for journal sequence numbering (see ``min_seq``) and the
+    skip-below threshold for :func:`replay_journal`.
+    """
+    return _read_checkpoint_seq(sqlite_path)
+
+
+def unreplayed_count(sqlite_path: str | Path) -> int:
+    """How many journal records a fresh open of ``sqlite_path`` would replay."""
+    checkpoint = _read_checkpoint_seq(sqlite_path)
+    return sum(
+        1
+        for record in read_journal_records(journal_path_for(sqlite_path))
+        if record.seq > checkpoint
+    )

@@ -1,0 +1,90 @@
+"""The edit-operation registry: one semantics for live writes and replay.
+
+Every HTTP edit (``POST /edit/<op>``) and every journal record goes through
+:func:`apply_edit`, which coerces the JSON argument payload and dispatches to
+the matching :class:`~repro.core.editing.GraphEditor` method.  Keeping the
+argument coercion here (rather than in the HTTP layer) is what makes journal
+replay deterministic: a replayed record is applied by literally the same code
+path, with the same validation, as the original request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.editing import GraphEditor
+from ..errors import UnknownEditError
+from ..spatial.geometry import Point
+
+__all__ = ["EDIT_OPS", "apply_edit"]
+
+
+def _op_add_node(editor: GraphEditor, args: dict) -> dict[str, object]:
+    row = editor.add_node(
+        int(args["node_id"]),
+        str(args.get("label", "")),
+        Point(float(args["x"]), float(args["y"])),
+    )
+    return {"row_id": row.row_id}
+
+
+def _op_delete_node(editor: GraphEditor, args: dict) -> dict[str, object]:
+    return {"rows_removed": editor.delete_node(int(args["node_id"]))}
+
+
+def _op_move_node(editor: GraphEditor, args: dict) -> dict[str, object]:
+    rows = editor.move_node(
+        int(args["node_id"]), Point(float(args["x"]), float(args["y"]))
+    )
+    return {"rows_updated": rows}
+
+
+def _op_relabel_node(editor: GraphEditor, args: dict) -> dict[str, object]:
+    rows = editor.rename_node(int(args["node_id"]), str(args["label"]))
+    return {"rows_updated": rows}
+
+
+def _op_add_edge(editor: GraphEditor, args: dict) -> dict[str, object]:
+    row = editor.add_edge(
+        int(args["source"]),
+        int(args["target"]),
+        label=str(args.get("label", "")),
+        directed=bool(args.get("directed", True)),
+    )
+    return {"row_id": row.row_id}
+
+
+def _op_delete_edge(editor: GraphEditor, args: dict) -> dict[str, object]:
+    return {
+        "rows_removed": editor.delete_edge(int(args["source"]), int(args["target"]))
+    }
+
+
+def _op_repack(editor: GraphEditor, args: dict) -> dict[str, object]:
+    return {"changed": editor.repack()}
+
+
+#: ``op name -> applier`` — the operations the write subsystem accepts.
+EDIT_OPS: dict[str, Callable[[GraphEditor, dict], dict[str, object]]] = {
+    "add_node": _op_add_node,
+    "delete_node": _op_delete_node,
+    "move_node": _op_move_node,
+    "relabel": _op_relabel_node,
+    "add_edge": _op_add_edge,
+    "delete_edge": _op_delete_edge,
+    "repack": _op_repack,
+}
+
+
+def apply_edit(editor: GraphEditor, op: str, args: dict) -> dict[str, object]:
+    """Apply one edit operation; returns the acknowledgement payload.
+
+    Raises :class:`~repro.errors.UnknownEditError` for an unregistered name,
+    ``KeyError`` / ``ValueError`` for a malformed argument payload (the HTTP
+    layer maps both to 400), and :class:`~repro.errors.QueryError` when the
+    edit references graph elements that do not exist (mapped to 404).
+    """
+    applier = EDIT_OPS.get(op)
+    if applier is None:
+        raise UnknownEditError(op, list(EDIT_OPS))
+    return applier(editor, args)

@@ -363,11 +363,13 @@ class TestClusterFailure:
             # Health state (edit counters) replayed from the new process.
             runtime.probe_workers()
             assert set(handle.edit_counters) == set(shard_paths)
-            # Sessions are worker-local: the crashed worker's session is
-            # gone (404), and the 404 prunes the router's registry entry.
-            status, _, _ = _get(port, f"/session/{doomed_session}/refresh")
-            assert status == 404
-            assert doomed_session not in runtime.router._sessions
+            # Session failover: the crashed worker's session is transparently
+            # reopened (same public id) on the dataset's current owner from
+            # the router-side cursor replica — no client-visible reset.
+            status, body, _ = _get(port, f"/session/{doomed_session}/refresh")
+            assert status == 200, body
+            assert runtime.router.metrics.session_failovers >= 1
+            assert runtime.router.sessions.get(doomed_session) is not None
 
     def test_overload_propagates_503_with_retry_after(self, shard_paths):
         config = GraphVizDBConfig(
@@ -447,3 +449,238 @@ class TestClusterFailure:
         assert all(not process.is_alive() for process in processes)
         with pytest.raises(OSError):
             _get(port, "/window?dataset=shard-a", timeout=2.0)
+
+
+class TestSessionDirectory:
+    def test_record_update_and_reopen_target(self):
+        from urllib.parse import parse_qs, urlsplit
+
+        from repro.cluster.sessions import SessionDirectory
+
+        directory = SessionDirectory()
+        cursor = directory.record("s1", "ds")
+        cursor.update({"layer": 2, "x": 1.5, "y": -2.5, "zoom": 0.5})
+        target = cursor.reopen_target()
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(urlsplit(target).query).items()
+        }
+        assert params["dataset"] == "ds" and params["session_id"] == "s1"
+        assert params["layer"] == "2"
+        assert float(params["x"]) == 1.5 and float(params["y"]) == -2.5
+        assert float(params["zoom"]) == 0.5
+        # A malformed cursor report keeps the previous replica.
+        cursor.update({"layer": "not-a-number"})
+        assert cursor.layer == 2
+        # Re-recording the same id keeps the cursor; a dataset change resets.
+        assert directory.record("s1", "ds") is cursor
+        assert directory.record("s1", "other") is not cursor
+
+    def test_expire_idle(self):
+        from repro.cluster.sessions import SessionDirectory
+
+        directory = SessionDirectory()
+        directory.record("old", "ds").last_used -= 100.0
+        directory.record("fresh", "ds")
+        assert directory.expire_idle(50.0) == ["old"]
+        assert directory.get("old") is None and directory.get("fresh") is not None
+        assert directory.expire_idle(0) == []  # 0 disables
+
+
+class TestAdaptiveCacheSizing:
+    def test_cache_budget_derives_from_pool_budget(self, shard_paths):
+        from repro.cluster.router import ClusterRouter
+
+        config = GraphVizDBConfig(
+            service=ServiceConfig(pool_max_resident_bytes=100 * 1024 * 1024),
+            cluster=ClusterConfig(num_workers=1, cache_memory_fraction=0.25),
+        )
+        router = ClusterRouter(shard_paths, config=config)
+        assert router.cache.max_bytes == 25 * 1024 * 1024
+
+    def test_static_budget_without_pool_budget(self, shard_paths):
+        from repro.cluster.router import ClusterRouter
+
+        config = GraphVizDBConfig(cluster=ClusterConfig(
+            num_workers=1, cache_max_bytes=7 * 1024 * 1024
+        ))
+        router = ClusterRouter(shard_paths, config=config)
+        assert router.cache.max_bytes == 7 * 1024 * 1024
+
+    def test_fraction_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(cache_memory_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(cache_memory_fraction=1.5)
+
+
+def _post(port: int, path: str, body: dict, timeout: float = 30.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("POST", path, body=json.dumps(body).encode())
+        response = connection.getresponse()
+        return response.status, json.loads(response.read()), dict(
+            response.getheaders()
+        )
+    finally:
+        connection.close()
+
+
+class TestClusterWrites:
+    """Live write path: POST through the router, durability across SIGKILL."""
+
+    @pytest.fixture
+    def write_shards(self, patent_result, tmp_path):
+        """Fresh shards per test — writes must not leak across tests."""
+        paths = {}
+        for name in ("edit-a", "edit-b"):
+            path = tmp_path / f"{name}.db"
+            save_to_sqlite(patent_result.database, path)
+            paths[name] = str(path)
+        return paths
+
+    def test_write_visible_and_cache_invalidated_eagerly(self, write_shards):
+        # A long health interval guarantees that only the eager write-path
+        # invalidation (not a health probe) can drop the cached window.
+        config = _cluster_config(num_workers=2, health_interval_seconds=30.0)
+        with ClusterRuntime(write_shards, config=config) as runtime:
+            port = runtime.port
+            window = (
+                "/window?dataset=edit-a"
+                "&min_x=100&min_y=100&max_x=110&max_y=110"
+            )
+            status, body, _ = _get(port, window)
+            assert status == 200
+            rows_before = body["num_rows"]
+            status, cached, _ = _get(port, window)
+            assert cached == body
+            assert runtime.router.metrics.window_cache_hits >= 1
+
+            status, ack, _ = _post(port, "/edit/add_node?dataset=edit-a", {
+                "node_id": 880001, "label": "cluster-edit-probe",
+                "x": 105.0, "y": 105.0,
+            })
+            assert status == 200, ack
+            assert ack["seq"] == 1 and ack["edit_counter"] >= 1
+
+            # Read-after-write through the router: the cached pre-edit window
+            # must be gone *immediately* (no health-probe staleness window).
+            status, after, _ = _get(port, window)
+            assert status == 200 and after["num_rows"] == rows_before + 1
+            status, keyword, _ = _get(
+                port, "/keyword?dataset=edit-a&q=cluster-edit-probe"
+            )
+            assert status == 200 and keyword["num_matches"] == 1
+            # The untouched shard's cache entries were not collateral damage.
+            assert runtime.router.metrics.window_cache_invalidations >= 1
+
+    def test_sigkill_after_ack_loses_nothing_and_session_resumes(self, write_shards):
+        with ClusterRuntime(write_shards, config=_cluster_config()) as runtime:
+            port = runtime.port
+            status, body, _ = _get(port, "/session/new?dataset=edit-a")
+            assert status == 200
+            session_id = body["session_id"]
+            status, panned, _ = _get(port, f"/session/{session_id}/pan?dx=50&dy=0")
+            assert status == 200
+            cursor_before = runtime.router.sessions.get(session_id)
+            assert cursor_before is not None and cursor_before.x is not None
+
+            status, ack, _ = _post(port, "/edit/add_node?dataset=edit-a", {
+                "node_id": 880002, "label": "post-kill-probe",
+                "x": 7.0, "y": 7.0,
+            })
+            assert status == 200, ack  # acknowledged => journalled on disk
+
+            victim = runtime.health_summary()["assignment"]["edit-a"]
+            runtime.router._handles[victim].process.kill()
+
+            # Zero acknowledged-edit loss: the new owner cold-opens the shard
+            # and replays the journal tail before serving.
+            found = None
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                status, keyword, _ = _get(
+                    port, "/keyword?dataset=edit-a&q=post-kill-probe"
+                )
+                if status == 200:
+                    found = keyword
+                    break
+                time.sleep(0.02)
+            assert found is not None and found["num_matches"] == 1
+
+            # The session survives its worker: transparently reopened on the
+            # new owner with the replicated cursor (same pan offset).
+            status, refreshed, _ = _get(port, f"/session/{session_id}/refresh")
+            assert status == 200, refreshed
+            assert runtime.router.metrics.session_failovers >= 1
+            cursor_after = runtime.router.sessions.get(session_id)
+            assert cursor_after is not None
+            assert cursor_after.x == pytest.approx(cursor_before.x)
+
+    def test_write_to_unknown_dataset_is_404(self, write_shards):
+        with ClusterRuntime(write_shards, config=_cluster_config()) as runtime:
+            status, _, _ = _post(runtime.port, "/edit/add_node?dataset=nope", {
+                "node_id": 1, "x": 0.0, "y": 0.0,
+            })
+            assert status == 404
+
+
+class TestReadRepeatMeasurement:
+    """Satellite: measure keyword/kNN repeat rates before caching them."""
+
+    def test_repeat_rates_recorded_in_metrics(self, live_cluster):
+        port = live_cluster.port
+        metrics = live_cluster.router.metrics
+        keyword_target = "/keyword?dataset=shard-b&q=repeat-rate-probe"
+        nearest_target = "/nearest?dataset=shard-b&x=123&y=456"
+        kw_requests = metrics.keyword_requests
+        kw_repeats = metrics.keyword_repeats
+        nn_requests = metrics.nearest_requests
+        nn_repeats = metrics.nearest_repeats
+
+        for _ in range(3):
+            status, _, _ = _get(port, keyword_target)
+            assert status == 200
+        status, _, _ = _get(port, nearest_target)
+        assert status == 200
+        status, _, _ = _get(port, nearest_target)
+        assert status == 200
+        # Parameter order must not split the repeat window (canonical keys).
+        status, _, _ = _get(port, "/nearest?y=456&x=123&dataset=shard-b")
+        assert status == 200
+
+        assert metrics.keyword_requests == kw_requests + 3
+        assert metrics.keyword_repeats == kw_repeats + 2
+        assert metrics.nearest_requests == nn_requests + 3
+        assert metrics.nearest_repeats == nn_repeats + 2
+        summary = live_cluster.metrics_summary()["cluster"]
+        assert summary["keyword_requests"] >= 3
+        assert summary["keyword_repeats"] >= 2
+        assert summary["nearest_repeats"] >= 2
+
+
+class TestSessionCommandLevel404:
+    """Regression: a command-level 404 must not tear down a live session."""
+
+    def test_focus_on_unknown_node_keeps_session(self, live_cluster):
+        port = live_cluster.port
+        status, body, _ = _get(port, "/session/new?dataset=shard-a")
+        assert status == 200
+        session_id = body["session_id"]
+        failovers_before = live_cluster.router.metrics.session_failovers
+        # focus_on an id that does not exist: the worker's QueryError maps
+        # to 404 — a *command* failure on a perfectly alive session.
+        status, _, _ = _get(
+            port, f"/session/{session_id}/focus_on?node_id=999999999"
+        )
+        assert status == 404
+        # Not a failover, and the session (directory entry included) lives.
+        assert live_cluster.router.metrics.session_failovers == failovers_before
+        assert live_cluster.router.sessions.get(session_id) is not None
+        status, body, _ = _get(port, f"/session/{session_id}/refresh")
+        assert status == 200 and body["num_objects"] > 0
+        status, body, _ = _get(port, f"/session/{session_id}/close")
+        assert status == 200 and body["closed"] is True
+        assert live_cluster.router.sessions.get(session_id) is None

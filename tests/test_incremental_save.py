@@ -91,16 +91,16 @@ class TestIncrementalSave:
         save_to_sqlite(database, path)
         with sqlite3.connect(path) as connection:
             pages = connection.execute(
-                "SELECT layer FROM layer_index_pages"
+                "SELECT layer FROM layer_index_pages WHERE kind = 'packed_rtree'"
             ).fetchall()
-        assert (0,) not in pages  # demoted layer saved without a page
+        assert (0,) not in pages  # demoted layer saved without a spatial page
 
         assert table.repack() is True
         summary = save_to_sqlite(database, path)
         assert 0 in summary["skipped"]  # content unchanged...
         with sqlite3.connect(path) as connection:
             pages = connection.execute(
-                "SELECT layer FROM layer_index_pages"
+                "SELECT layer FROM layer_index_pages WHERE kind = 'packed_rtree'"
             ).fetchall()
         assert (0,) in pages  # ...but the page was still topped up
 

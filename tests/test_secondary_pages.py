@@ -1,0 +1,246 @@
+"""Tests for persisted secondary-index pages (``repro.storage.secondary_pages``).
+
+The node-id B+-trees and label tries ride the same ``layer_index_pages``
+versioning/fingerprint scheme as the packed spatial index: built indexes are
+serialised at save time and restored — instead of lazily rebuilt from a full
+store scan — on the next open.  Coverage: bulk-build equivalence for both
+index types, page encode/decode round trips, corrupt-page fallback, and the
+SQLite save/load integration including staleness invalidation.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+
+import pytest
+
+from repro.config import StorageConfig
+from repro.errors import StorageError
+from repro.spatial.btree import BPlusTree
+from repro.spatial.trie import FullTextIndex
+from repro.storage.secondary_pages import (
+    LABEL_TRIE_KIND,
+    NODE_BTREE_KIND,
+    decode_label_tries,
+    decode_node_btrees,
+    encode_label_tries,
+    encode_node_btrees,
+)
+from repro.storage.sqlite_backend import load_from_sqlite, save_to_sqlite
+
+
+class TestBPlusTreeBulkBuild:
+    def test_equivalence_with_incremental_inserts(self):
+        rng = random.Random(7)
+        pairs = [(key, rng.randrange(1000)) for key in range(200) for _ in range(rng.randrange(1, 4))]
+        incremental = BPlusTree(order=8)
+        for key, value in pairs:
+            incremental.insert(key, value)
+        grouped: dict[int, list[object]] = {}
+        for key, value in pairs:
+            grouped.setdefault(key, []).append(value)
+        bulk = BPlusTree.bulk_build(sorted(grouped.items()), order=8)
+        assert len(bulk) == len(incremental)
+        assert bulk.num_keys == incremental.num_keys
+        assert list(bulk.items()) == list(incremental.items())
+        assert bulk.range_search(50, 70) == incremental.range_search(50, 70)
+        bulk.check_invariants()
+
+    def test_empty_and_single_key(self):
+        assert list(BPlusTree.bulk_build([], order=4).keys()) == []
+        tree = BPlusTree.bulk_build([(5, ["a", "b"])], order=4)
+        assert tree.search(5) == ["a", "b"]
+        tree.check_invariants()
+
+    def test_bulk_built_tree_accepts_further_mutations(self):
+        tree = BPlusTree.bulk_build([(k, [k]) for k in range(100)], order=6)
+        tree.insert(1000, "late")
+        assert tree.search(1000) == ["late"]
+        assert tree.remove(50) == 1
+        assert tree.search(50) == []
+        tree.check_invariants()
+
+
+class TestFullTextBulkBuild:
+    ENTRIES = [
+        (("n1", 1), "Christos Faloutsos"),
+        (("n2", 1), "Graph Mining"),
+        (("n1", 2), "Christos Faloutsos"),  # repeated label, distinct doc
+        (("n1", 3), "Patent 42"),
+    ]
+
+    def test_equivalence_with_per_document_adds(self):
+        incremental = FullTextIndex()
+        for document, label in self.ENTRIES:
+            incremental.add(document, label)
+        bulk = FullTextIndex.bulk_build(list(self.ENTRIES))
+        for keyword in ("christos", "falo", "graph", "42", "patent"):
+            for mode in ("exact", "prefix", "contains"):
+                assert bulk.search(keyword, mode=mode) == incremental.search(
+                    keyword, mode=mode
+                ), (keyword, mode)
+        assert len(bulk) == len(incremental)
+
+    def test_bulk_built_index_accepts_mutations(self):
+        bulk = FullTextIndex.bulk_build(list(self.ENTRIES))
+        bulk.add(("n1", 9), "Novelty")
+        assert ("n1", 9) in bulk.search("novelty")
+        assert bulk.remove(("n1", 1)) is True
+        assert ("n1", 1) not in bulk.search("christos")
+
+
+class TestPageRoundTrips:
+    def test_node_btrees_round_trip(self):
+        node1 = BPlusTree(order=8)
+        node2 = BPlusTree(order=8)
+        for row_id in range(50):
+            node1.insert(row_id % 10, row_id)
+            node2.insert(row_id % 7, row_id)
+        payload = encode_node_btrees(node1, node2)
+        restored1, restored2 = decode_node_btrees(payload, order=8)
+        assert list(restored1.items()) == list(node1.items())
+        assert list(restored2.items()) == list(node2.items())
+
+    def test_node_btrees_rejects_garbage(self):
+        with pytest.raises(StorageError):
+            decode_node_btrees(b"not a page at all", order=8)
+        good = encode_node_btrees(BPlusTree(), BPlusTree())
+        with pytest.raises(StorageError):
+            decode_node_btrees(good[:-3], order=8)  # truncated int64 array
+
+    def test_label_tries_round_trip(self):
+        node_labels = FullTextIndex()
+        node_labels.add(("n1", 1), "Alpha Beta")
+        node_labels.add(("n2", 2), "Gamma")
+        edge_labels = FullTextIndex()
+        edge_labels.add(7, "cites")
+        payload = encode_label_tries(node_labels, edge_labels)
+        restored_nodes, restored_edges = decode_label_tries(payload)
+        assert restored_nodes.search("alpha") == node_labels.search("alpha")
+        assert restored_edges.search("cites") == edge_labels.search("cites")
+        assert restored_nodes.label_of(("n2", 2)) == "Gamma"
+
+    def test_label_tries_rejects_garbage(self):
+        with pytest.raises(StorageError):
+            decode_label_tries(b"\xff\xfe not json")
+        with pytest.raises(StorageError):
+            decode_label_tries(b'{"node_labels": 17}')
+
+
+class TestSqliteIntegration:
+    def _page_kinds(self, path) -> set[str]:
+        with sqlite3.connect(path) as connection:
+            return {
+                kind for (kind,) in connection.execute(
+                    "SELECT DISTINCT kind FROM layer_index_pages"
+                )
+            }
+
+    def test_built_indexes_are_persisted_and_restored(self, patent_result, tmp_path):
+        path = tmp_path / "paged.db"
+        database = patent_result.database
+        save_to_sqlite(database, path)
+        # First open: lazy rebuild (initial save had nothing built), then the
+        # indexes materialise and an incremental re-save persists them.
+        first = load_from_sqlite(path)
+        reference_kw = first.table(0).keyword_search("patent")
+        reference_rows = [r.row_id for r in first.table(0).rows_for_node(
+            next(iter(first.table(0).distinct_node_ids()))
+        )]
+        save_to_sqlite(first, path)
+        assert {NODE_BTREE_KIND, LABEL_TRIE_KIND} <= self._page_kinds(path)
+
+        second = load_from_sqlite(path)
+        table = second.table(0)
+        assert table.has_pending_secondary_pages
+        assert second.storage_summary()["layers"][0]["secondary_indexes"] == "paged"
+        # First use consumes the page instead of scanning the store...
+        assert table.keyword_search("patent") == reference_kw
+        node_id = next(iter(first.table(0).distinct_node_ids()))
+        assert [r.row_id for r in table.rows_for_node(node_id)] == reference_rows
+        assert table.node_indexes_built and table.label_indexes_built
+
+    def test_mutation_drops_staged_pages(self, patent_result, tmp_path):
+        path = tmp_path / "stale.db"
+        database = patent_result.database
+        save_to_sqlite(database, path)
+        warmed = load_from_sqlite(path)
+        warmed.table(0).keyword_search("patent")
+        warmed.table(0).rows_for_node(next(iter(warmed.table(0).distinct_node_ids())))
+        save_to_sqlite(warmed, path)
+
+        loaded = load_from_sqlite(path)
+        table = loaded.table(0)
+        assert table.has_pending_secondary_pages
+        victim = next(iter(table.scan()))
+        table.delete_row(victim.row_id)
+        # The staged pages describe pre-delete rows: they must be gone, and
+        # the eventual lazy build must reflect the mutation.
+        assert not table.has_pending_secondary_pages
+        assert victim.row_id not in set(table.node1_index.search(victim.node1_id))
+
+    def test_unbuilt_indexes_are_not_persisted(self, small_graph, tmp_path):
+        # A pristine database (other tests may have built the shared
+        # fixture's indexes): lazy secondary indexes exist only as gates.
+        from repro.layout.base import Layout
+        from repro.spatial.geometry import Point
+        from repro.storage.database import GraphVizDatabase
+        from repro.storage.schema import rows_from_graph
+
+        layout = Layout({
+            node_id: Point(float(node_id), 0.0)
+            for node_id in small_graph.node_ids()
+        })
+        database = GraphVizDatabase(name="pristine")
+        database.load_layer(0, rows_from_graph(small_graph, layout))
+        assert not database.table(0).node_indexes_built
+        path = tmp_path / "unbuilt.db"
+        save_to_sqlite(database, path)
+        loaded = load_from_sqlite(path)  # never touches secondary indexes
+        save_to_sqlite(loaded, path)
+        assert NODE_BTREE_KIND not in self._page_kinds(path)
+        assert LABEL_TRIE_KIND not in self._page_kinds(path)
+
+    def test_opt_out_disables_pages(self, patent_result, tmp_path):
+        base = tmp_path / "base.db"
+        save_to_sqlite(patent_result.database, base)
+        optout = StorageConfig(secondary_index_pages=False)
+        # Save side: a database running the opt-out config writes no
+        # secondary pages to a fresh file, even with its indexes built.
+        warmed = load_from_sqlite(base, config=optout)
+        warmed.table(0).keyword_search("patent")
+        warmed.table(0).rows_for_node(
+            next(iter(warmed.table(0).distinct_node_ids()))
+        )
+        target = tmp_path / "optout.db"
+        save_to_sqlite(warmed, target)
+        assert LABEL_TRIE_KIND not in self._page_kinds(target)
+        assert NODE_BTREE_KIND not in self._page_kinds(target)
+        # Load side: pages present in a file are ignored under the opt-out.
+        opted_in = load_from_sqlite(base)
+        opted_in.table(0).keyword_search("patent")
+        opted_in.table(0).rows_for_node(
+            next(iter(opted_in.table(0).distinct_node_ids()))
+        )
+        paged = tmp_path / "paged.db"
+        save_to_sqlite(opted_in, paged)
+        assert LABEL_TRIE_KIND in self._page_kinds(paged)
+        reloaded = load_from_sqlite(paged, config=optout)
+        assert not reloaded.table(0).has_pending_secondary_pages
+
+    def test_corrupt_page_falls_back_to_rebuild(self, patent_result, tmp_path):
+        path = tmp_path / "corrupt.db"
+        database = patent_result.database
+        save_to_sqlite(database, path)
+        warmed = load_from_sqlite(path)
+        reference = warmed.table(0).keyword_search("patent")
+        warmed.table(0).rows_for_node(next(iter(warmed.table(0).distinct_node_ids())))
+        save_to_sqlite(warmed, path)
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE layer_index_pages SET payload = x'deadbeef' WHERE kind = ?",
+                (LABEL_TRIE_KIND,),
+            )
+        loaded = load_from_sqlite(path)
+        assert loaded.table(0).keyword_search("patent") == reference

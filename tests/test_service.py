@@ -535,3 +535,168 @@ class TestHttpHardening:
             connection.close()
         finally:
             self._stop(stop)
+
+
+class TestHttpEdits:
+    """The POST /edit/* write API on the worker endpoint."""
+
+    @pytest.fixture
+    def edit_server(self, patent_result, tmp_path):
+        """An HTTP service over a private SQLite copy (writes stay local)."""
+        path = tmp_path / "editable.db"
+        save_to_sqlite(patent_result.database, path)
+        service = GraphVizDBService(GraphVizDBConfig.small())
+        service.attach_sqlite("patent", str(path))
+        started = threading.Event()
+        stop = {}
+
+        def run_loop():
+            async def main():
+                async with service:
+                    server = await serve_http(service, port=0)
+                    stop["port"] = server.sockets[0].getsockname()[1]
+                    stop["loop"] = asyncio.get_running_loop()
+                    stop["event"] = asyncio.Event()
+                    started.set()
+                    await stop["event"].wait()
+                    server.close()
+                    await server.wait_closed()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_loop, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        yield stop["port"], path
+        stop["loop"].call_soon_threadsafe(stop["event"].set)
+        thread.join(timeout=10)
+
+    def _request(self, port, method, path, body=None):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            connection.request(
+                method, path,
+                body=json.dumps(body).encode() if body is not None else None,
+            )
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_edit_round_trip_over_http(self, edit_server):
+        port, path = edit_server
+        status, ack = self._request(port, "POST", "/edit/add_node?dataset=patent", {
+            "node_id": 777001, "label": "http-edit-probe", "x": 4.5, "y": 4.5,
+        })
+        assert status == 200, ack
+        assert ack["seq"] == 1 and ack["edit_counter"] >= 1
+        # Read-after-write on the same worker: keyword search finds it.
+        status, body = self._request(
+            port, "GET", "/keyword?dataset=patent&q=http-edit-probe"
+        )
+        assert status == 200 and body["num_matches"] == 1
+        # The window around the new node contains it.
+        status, body = self._request(
+            port, "GET",
+            "/window?dataset=patent&min_x=4&min_y=4&max_x=5&max_y=5",
+        )
+        assert status == 200 and body["num_rows"] >= 1
+        # And the journal holds the acknowledged record.
+        from repro.writes.journal import journal_path_for, read_journal_records
+
+        assert len(read_journal_records(journal_path_for(path))) == 1
+
+    def test_edit_error_mapping(self, edit_server):
+        port, _ = edit_server
+        status, body = self._request(port, "POST", "/edit/frobnicate?dataset=patent", {})
+        assert status == 400 and "unknown edit operation" in body["error"]
+        status, _ = self._request(
+            port, "POST", "/edit/delete_node?dataset=patent", {"node_id": 999999999}
+        )
+        assert status == 404
+        status, _ = self._request(port, "POST", "/edit/add_node?dataset=patent", {})
+        assert status == 400  # missing required arguments
+        status, _ = self._request(port, "GET", "/edit/add_node?dataset=patent")
+        assert status == 405  # edits require POST
+        status, _ = self._request(port, "POST", "/window?dataset=patent", {})
+        assert status == 405  # reads require GET
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/edit/add_node?dataset=patent", body=b"not json {"
+            )
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+    def test_health_counter_moves_with_edits(self, edit_server):
+        port, _ = edit_server
+        _, before = self._request(port, "GET", "/health")
+        status, _ = self._request(port, "POST", "/edit/add_node?dataset=patent", {
+            "node_id": 777002, "label": "counter-probe", "x": 0.0, "y": 0.0,
+        })
+        assert status == 200
+        _, after = self._request(port, "GET", "/health")
+        assert after["datasets"]["patent"] > before["datasets"]["patent"]
+
+    def test_repack_over_http(self, edit_server):
+        port, _ = edit_server
+        status, _ = self._request(port, "POST", "/edit/add_node?dataset=patent", {
+            "node_id": 777003, "label": "demoter", "x": 1.0, "y": 1.0,
+        })
+        assert status == 200
+        status, ack = self._request(port, "POST", "/edit/repack?dataset=patent", {})
+        assert status == 200 and ack["changed"] is True
+
+
+class TestSessionCursor:
+    def test_session_responses_carry_cursor(self, patent_result):
+        service = GraphVizDBService(GraphVizDBConfig.small())
+        service.register_dataset("patent", patent_result.database)
+        with ServiceRuntime(service) as runtime:
+            session_id = runtime.create_session("patent")
+            cursor = service.session_cursor(session_id)
+            assert cursor["dataset"] == "patent" and cursor["layer"] == 0
+            runtime.session_command(session_id, "pan", dx_px=120.0, dy_px=0.0)
+            moved = service.session_cursor(session_id)
+            assert moved["x"] != cursor["x"]
+            assert service.session_cursor("missing") is None
+
+    def test_create_session_with_replicated_cursor(self, patent_result):
+        service = GraphVizDBService(GraphVizDBConfig.small())
+        service.register_dataset("patent", patent_result.database)
+        with ServiceRuntime(service) as runtime:
+            session_id = runtime._call(service.create_session(
+                "patent", start_layer=1, session_id="replica-1",
+                center=Point(42.0, 24.0), zoom=2.0,
+            ))
+            assert session_id == "replica-1"
+            cursor = service.session_cursor("replica-1")
+            assert cursor["layer"] == 1
+            assert cursor["x"] == 42.0 and cursor["y"] == 24.0
+            assert cursor["zoom"] == 2.0
+            # Reopening an id that is already live keeps the session.
+            again = runtime._call(service.create_session(
+                "patent", session_id="replica-1"
+            ))
+            assert again == "replica-1"
+            assert service.session_cursor("replica-1")["x"] == 42.0
+
+    def test_inflight_session_survives_idle_expiry(self, patent_result):
+        """Satellite fix: the idle sweep must not reap a mid-request session."""
+        service = GraphVizDBService(GraphVizDBConfig(
+            service=ServiceConfig(session_idle_seconds=0.01)
+        ))
+        service.register_dataset("patent", patent_result.database)
+        with ServiceRuntime(service) as runtime:
+            session_id = runtime.create_session("patent")
+            serving = service._sessions[session_id]
+            # Simulate a command parked behind a long predecessor: admitted
+            # (inflight), but its last_used timestamp already stale.
+            serving.inflight = 1
+            serving.last_used -= 10.0
+            assert session_id not in service._expire_idle_sessions()
+            assert session_id in service._sessions
+            # Once the command completes, the ordinary expiry applies again.
+            serving.inflight = 0
+            assert session_id in service._expire_idle_sessions()

@@ -1,0 +1,518 @@
+"""Tests for the durable write subsystem (``repro.writes``).
+
+Unit coverage for the write-ahead journal (record framing, checksums, torn
+tails, truncation, fsync policies), the edit-op registry, and the write
+coordinator driven through a real :class:`GraphVizDBService` — including the
+crash contract: an acknowledged edit survives losing the worker's memory,
+because the next open replays the journal tail.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import GraphVizDBConfig, WriteConfig
+from repro.core.editing import GraphEditor
+from repro.errors import (
+    ConfigurationError,
+    JournalError,
+    QueryError,
+    UnknownEditError,
+)
+from repro.graph.model import Graph
+from repro.layout.base import Layout
+from repro.service.frontend import GraphVizDBService, ServiceRuntime
+from repro.spatial.geometry import Point
+from repro.storage.database import GraphVizDatabase
+from repro.storage.schema import rows_from_graph
+from repro.storage.sqlite_backend import (
+    load_from_sqlite,
+    read_meta_value,
+    save_to_sqlite,
+)
+from repro.writes.journal import (
+    CHECKPOINT_META_KEY,
+    WriteAheadJournal,
+    journal_path_for,
+    read_journal_records,
+    replay_journal,
+    unreplayed_count,
+)
+from repro.writes.ops import EDIT_OPS, apply_edit
+
+
+def _square_database(name: str = "editable") -> GraphVizDatabase:
+    """A 4-node square graph database, layer 0 only (freshly built per call)."""
+    graph = Graph(directed=True, name=name)
+    for node_id, label in ((1, "Alice"), (2, "Bob"), (3, "Carol"), (4, "Dave")):
+        graph.add_node(node_id, label=label)
+    graph.add_edge(1, 2, label="knows")
+    graph.add_edge(2, 3, label="knows")
+    graph.add_edge(3, 4, label="likes")
+    layout = Layout({
+        1: Point(0.0, 0.0), 2: Point(10.0, 0.0),
+        3: Point(10.0, 10.0), 4: Point(0.0, 10.0),
+    })
+    database = GraphVizDatabase(name=name)
+    database.load_layer(0, rows_from_graph(graph, layout))
+    return database
+
+
+class TestWriteConfig:
+    def test_defaults_valid(self):
+        config = WriteConfig()
+        assert config.journal_enabled and config.journal_fsync == "batch"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"journal_fsync": "sometimes"},
+        {"journal_fsync_batch": 0},
+        {"checkpoint_every_records": -1},
+        {"max_record_bytes": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WriteConfig(**kwargs)
+
+
+class TestJournal:
+    def test_append_and_read_round_trip(self, tmp_path):
+        journal = WriteAheadJournal(tmp_path / "j.journal")
+        seq1, _ = journal.append("add_node", {"node_id": 9, "x": 1.0, "y": 2.0})
+        seq2, _ = journal.append("delete_edge", {"source": 1, "target": 2})
+        assert (seq1, seq2) == (1, 2)
+        journal.close()
+        records = read_journal_records(tmp_path / "j.journal")
+        assert [record.seq for record in records] == [1, 2]
+        assert records[0].op == "add_node"
+        assert records[0].args == {"node_id": 9, "x": 1.0, "y": 2.0}
+
+    def test_sequence_resumes_after_reopen(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = WriteAheadJournal(path)
+        journal.append("repack", {})
+        journal.close()
+        reopened = WriteAheadJournal(path)
+        seq, _ = reopened.append("repack", {})
+        assert seq == 2
+        assert len(reopened) == 2
+
+    def test_torn_tail_is_discarded_silently(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = WriteAheadJournal(path)
+        journal.append("repack", {"n": 1})
+        journal.append("repack", {"n": 2})
+        journal.close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])  # crash mid-append of the final record
+        records = read_journal_records(path)
+        assert [record.args["n"] for record in records] == [1]
+        # And a journal opened over the torn file resumes after the last
+        # *complete* record.
+        reopened = WriteAheadJournal(path)
+        assert reopened.next_seq == 2
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = WriteAheadJournal(path)
+        journal.append("repack", {"n": 1})
+        journal.append("repack", {"n": 2})
+        journal.close()
+        data = bytearray(path.read_bytes())
+        data[25] ^= 0xFF  # flip a byte inside the first record's payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalError):
+            read_journal_records(path)
+
+    def test_truncate_through_keeps_later_records(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = WriteAheadJournal(path)
+        for n in range(1, 5):
+            journal.append("repack", {"n": n})
+        assert journal.truncate_through(2) == 2
+        records = read_journal_records(path)
+        assert [record.seq for record in records] == [3, 4]
+        # Appends continue with the original sequence.
+        seq, _ = journal.append("repack", {"n": 5})
+        assert seq == 5
+        journal.close()
+
+    def test_fsync_policies(self, tmp_path):
+        always = WriteAheadJournal(tmp_path / "a.journal", fsync="always")
+        assert always.append("repack", {})[1] is True
+        always.close()
+        batch = WriteAheadJournal(
+            tmp_path / "b.journal", fsync="batch", fsync_batch=2
+        )
+        assert batch.append("repack", {})[1] is False
+        assert batch.append("repack", {})[1] is True  # batch boundary
+        batch.close()
+        never = WriteAheadJournal(tmp_path / "n.journal", fsync="never")
+        assert never.append("repack", {})[1] is False
+        never.close()
+        with pytest.raises(JournalError):
+            WriteAheadJournal(tmp_path / "x.journal", fsync="sometimes")
+
+    def test_oversized_record_rejected_before_write(self, tmp_path):
+        journal = WriteAheadJournal(tmp_path / "j.journal", max_record_bytes=64)
+        with pytest.raises(JournalError):
+            journal.append("relabel", {"label": "x" * 1000})
+        assert len(journal) == 0
+        journal.close()
+
+    def test_journal_path_sits_next_to_dataset(self, tmp_path):
+        assert journal_path_for(tmp_path / "ds.db") == tmp_path / "ds.db.journal"
+
+
+class TestEditOps:
+    def test_add_and_delete_node(self):
+        database = _square_database()
+        editor = GraphEditor(database)
+        ack = apply_edit(editor, "add_node", {
+            "node_id": 99, "label": "Newcomer", "x": 5.0, "y": 5.0,
+        })
+        row = database.table(0).get(ack["row_id"])
+        assert row.is_node_row() and row.node1_label == "Newcomer"
+        assert apply_edit(editor, "delete_node", {"node_id": 99}) == {
+            "rows_removed": 1
+        }
+        assert database.table(0).rows_for_node(99) == []
+
+    def test_add_node_rejects_existing_id(self):
+        editor = GraphEditor(_square_database())
+        with pytest.raises(QueryError):
+            apply_edit(editor, "add_node", {"node_id": 1, "x": 0.0, "y": 0.0})
+
+    def test_delete_node_removes_incident_edges(self):
+        database = _square_database()
+        editor = GraphEditor(database)
+        removed = apply_edit(editor, "delete_node", {"node_id": 2})
+        assert removed["rows_removed"] == 2  # 1->2 and 2->3
+        assert database.table(0).rows_for_node(2) == []
+
+    def test_move_relabel_add_delete_edge(self):
+        database = _square_database()
+        editor = GraphEditor(database)
+        assert apply_edit(editor, "move_node", {
+            "node_id": 2, "x": -5.0, "y": -5.0,
+        })["rows_updated"] == 2  # edges 1->2 and 2->3
+        assert database.table(0).node_position(2) == Point(-5.0, -5.0)
+        assert apply_edit(editor, "relabel", {
+            "node_id": 2, "label": "Roberto",
+        })["rows_updated"] == 2
+        ack = apply_edit(editor, "add_edge", {
+            "source": 1, "target": 4, "label": "mentors",
+        })
+        assert database.table(0).get(ack["row_id"]).edge_label == "mentors"
+        assert apply_edit(editor, "delete_edge", {
+            "source": 1, "target": 4,
+        })["rows_removed"] == 1
+        assert apply_edit(editor, "repack", {})["changed"] is True
+
+    def test_unknown_op_raises_with_catalogue(self):
+        editor = GraphEditor(_square_database())
+        with pytest.raises(UnknownEditError) as excinfo:
+            apply_edit(editor, "frobnicate", {})
+        assert set(excinfo.value.available) == set(EDIT_OPS)
+
+    def test_string_arguments_are_coerced(self):
+        """The HTTP layer hands JSON scalars through; strings must coerce."""
+        editor = GraphEditor(_square_database())
+        ack = apply_edit(editor, "add_node", {
+            "node_id": "77", "label": "S", "x": "1.5", "y": "2.5",
+        })
+        assert editor.database.table(0).get(ack["row_id"]).node1_id == 77
+
+
+@pytest.fixture
+def served_sqlite(tmp_path):
+    """A SQLite copy of the square dataset plus a service runtime over it."""
+    path = tmp_path / "editable.db"
+    save_to_sqlite(_square_database(), path)
+    return path
+
+
+def _service_runtime(path, **write_kwargs):
+    config = GraphVizDBConfig(write=WriteConfig(**write_kwargs))
+    service = GraphVizDBService(config)
+    service.attach_sqlite("editable", str(path))
+    return service, ServiceRuntime(service)
+
+
+class TestWriteCoordinator:
+    def test_ack_carries_seq_and_edit_counter(self, served_sqlite):
+        service, runtime = _service_runtime(served_sqlite)
+        try:
+            ack = runtime.edit("editable", "add_node", {
+                "node_id": 50, "label": "Journaled", "x": 3.0, "y": 3.0,
+            })
+            assert ack["seq"] == 1 and ack["edit_counter"] >= 1
+            ack2 = runtime.edit("editable", "add_edge", {
+                "source": 50, "target": 1,
+            })
+            assert ack2["seq"] == 2
+            assert ack2["edit_counter"] > ack["edit_counter"]
+            assert service.metrics.writes_applied == 2
+            assert service.metrics.journal_appends == 2
+        finally:
+            runtime.close()
+        assert len(read_journal_records(journal_path_for(served_sqlite))) == 2
+
+    def test_acknowledged_edit_survives_losing_worker_memory(self, served_sqlite):
+        _, runtime = _service_runtime(served_sqlite)
+        try:
+            runtime.edit("editable", "add_node", {
+                "node_id": 60, "label": "survivor-probe", "x": 1.0, "y": 1.0,
+            })
+        finally:
+            runtime.close()  # the in-memory tables die with the runtime
+        # A brand new open (as after SIGKILL: only disk survives) must show
+        # the acknowledged edit once the journal tail replays.
+        database = load_from_sqlite(served_sqlite)
+        assert database.table(0).rows_for_node(60) == []  # not in the save...
+        assert replay_journal(database, served_sqlite) == 1
+        rows = database.table(0).rows_for_node(60)
+        assert rows and rows[0].node1_label == "survivor-probe"
+
+    def test_pool_open_replays_automatically(self, served_sqlite):
+        _, runtime = _service_runtime(served_sqlite)
+        try:
+            runtime.edit("editable", "relabel", {"node_id": 1, "label": "Replayed"})
+        finally:
+            runtime.close()
+        service2, runtime2 = _service_runtime(served_sqlite)
+        try:
+            result = runtime2.keyword_search("editable", "Replayed")
+            assert result.num_matches == 1
+            assert service2.metrics.journal_replayed_records == 1
+        finally:
+            runtime2.close()
+
+    def test_failed_edit_is_skipped_on_replay(self, served_sqlite):
+        _, runtime = _service_runtime(served_sqlite)
+        try:
+            with pytest.raises(QueryError):
+                runtime.edit("editable", "delete_node", {"node_id": 424242})
+            runtime.edit("editable", "add_node", {
+                "node_id": 61, "label": "after-failure", "x": 0.0, "y": 0.0,
+            })
+        finally:
+            runtime.close()
+        # The failed op was journalled (journal-before-validate) but replay
+        # skips it the same deterministic way the live apply failed.
+        assert len(read_journal_records(journal_path_for(served_sqlite))) == 2
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 1
+        assert database.table(0).rows_for_node(61)
+
+    def test_checkpoint_truncates_and_sets_watermark(self, served_sqlite):
+        service, runtime = _service_runtime(
+            served_sqlite, checkpoint_every_records=3
+        )
+        try:
+            for index in range(3):
+                runtime.edit("editable", "add_node", {
+                    "node_id": 70 + index, "label": f"cp{index}",
+                    "x": float(index), "y": 20.0,
+                })
+            deadline = 100
+            while service.metrics.checkpoint_runs == 0 and deadline:
+                import time
+
+                time.sleep(0.02)
+                deadline -= 1
+            assert service.metrics.checkpoint_runs >= 1
+        finally:
+            runtime.close()
+        assert read_meta_value(served_sqlite, CHECKPOINT_META_KEY) == "3"
+        assert unreplayed_count(served_sqlite) == 0
+        # The checkpointed save carries the edits; replay must not double-apply.
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 0
+        for index in range(3):
+            assert len(database.table(0).rows_for_node(70 + index)) == 1
+
+    def test_replay_skips_records_at_or_below_watermark(self, served_sqlite):
+        """A crash between checkpoint-save and truncation cannot double-apply."""
+        _, runtime = _service_runtime(served_sqlite)
+        try:
+            runtime.edit("editable", "add_node", {
+                "node_id": 80, "label": "pre-watermark", "x": 0.0, "y": 30.0,
+            })
+        finally:
+            runtime.close()
+        # Simulate the torn checkpoint: the save (with watermark) committed,
+        # but the journal truncation never ran.
+        database = load_from_sqlite(served_sqlite)
+        replay_journal(database, served_sqlite)
+        save_to_sqlite(database, served_sqlite, extra_meta={CHECKPOINT_META_KEY: "1"})
+        assert len(read_journal_records(journal_path_for(served_sqlite))) == 1
+        fresh = load_from_sqlite(served_sqlite)
+        assert replay_journal(fresh, served_sqlite) == 0  # skipped, not re-applied
+        assert len(fresh.table(0).rows_for_node(80)) == 1
+
+    def test_journal_disabled_applies_in_memory_only(self, served_sqlite):
+        _, runtime = _service_runtime(served_sqlite, journal_enabled=False)
+        try:
+            ack = runtime.edit("editable", "add_node", {
+                "node_id": 90, "label": "volatile", "x": 0.0, "y": 40.0,
+            })
+            assert ack["seq"] == 0  # unjournalled
+        finally:
+            runtime.close()
+        assert not journal_path_for(served_sqlite).exists()
+
+    def test_memory_dataset_edits_without_journal(self):
+        database = _square_database()
+        service = GraphVizDBService(GraphVizDBConfig())
+        service.register_dataset("mem", database)
+        with ServiceRuntime(service) as runtime:
+            ack = runtime.edit("mem", "add_node", {
+                "node_id": 95, "label": "in-memory", "x": 2.0, "y": 2.0,
+            })
+            assert ack["seq"] == 0 and ack["edit_counter"] == 1
+        assert database.table(0).rows_for_node(95)
+
+    def test_concurrent_edits_serialise_per_dataset(self, served_sqlite):
+        import threading
+
+        _, runtime = _service_runtime(served_sqlite)
+        errors: list[Exception] = []
+        try:
+            def writer(base: int) -> None:
+                try:
+                    for offset in range(5):
+                        runtime.edit("editable", "add_node", {
+                            "node_id": base + offset, "label": f"c{base + offset}",
+                            "x": float(base), "y": float(offset),
+                        })
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=writer, args=(1000 * (i + 1),))
+                for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors[:2]
+        finally:
+            runtime.close()
+        records = read_journal_records(journal_path_for(served_sqlite))
+        assert len(records) == 20
+        # Strictly increasing sequence: the per-dataset lock serialised them.
+        assert [record.seq for record in records] == list(range(1, 21))
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 20
+
+
+class TestReplayRecordFormat:
+    def test_replay_respects_layer_argument(self, tmp_path):
+        database = _square_database()
+        path = tmp_path / "layered.db"
+        save_to_sqlite(database, path)
+        journal = WriteAheadJournal(journal_path_for(path))
+        journal.append("add_node", {"node_id": 88, "label": "L0", "x": 1.0, "y": 1.0})
+        journal.close()
+        loaded = load_from_sqlite(path)
+        assert replay_journal(loaded, path) == 1
+        assert loaded.table(0).rows_for_node(88)
+
+    def test_replay_disabled_by_config(self, tmp_path):
+        database = _square_database()
+        path = tmp_path / "off.db"
+        save_to_sqlite(database, path)
+        journal = WriteAheadJournal(journal_path_for(path))
+        journal.append("add_node", {"node_id": 88, "label": "L0", "x": 1.0, "y": 1.0})
+        journal.close()
+        loaded = load_from_sqlite(path)
+        config = WriteConfig(journal_enabled=False)
+        assert replay_journal(loaded, path, write_config=config) == 0
+        assert loaded.table(0).rows_for_node(88) == []
+
+    def test_record_payload_is_json(self, tmp_path):
+        """The on-disk payload stays human-debuggable JSON."""
+        path = tmp_path / "j.journal"
+        journal = WriteAheadJournal(path)
+        journal.append("add_edge", {"source": 1, "target": 2})
+        journal.close()
+        raw = path.read_bytes()
+        payload = raw[20:]  # 4-byte length + 16-byte digest
+        decoded = json.loads(payload)
+        assert decoded == {
+            "seq": 1, "op": "add_edge", "args": {"source": 1, "target": 2},
+        }
+
+
+class TestReplayRobustness:
+    """Regressions: journalled-but-rejected edits must never brick an open."""
+
+    def test_malformed_record_is_skipped_not_fatal(self, served_sqlite):
+        _, runtime = _service_runtime(served_sqlite)
+        try:
+            # Each of these was journalled (journal-before-validate) and then
+            # rejected by the live apply with a client-error status.
+            with pytest.raises(KeyError):
+                runtime.edit("editable", "add_node", {})  # missing args
+            with pytest.raises(Exception):
+                runtime.edit("editable", "frobnicate", {})  # unknown op
+            with pytest.raises(ValueError):
+                runtime.edit("editable", "add_node", {
+                    "node_id": "nope", "x": "a", "y": "b",
+                })  # uncoercible args
+            runtime.edit("editable", "add_node", {
+                "node_id": 64, "label": "after-garbage", "x": 0.0, "y": 0.0,
+            })
+        finally:
+            runtime.close()
+        assert len(read_journal_records(journal_path_for(served_sqlite))) == 4
+        # Replay skips every rejected record exactly as the live apply did,
+        # and the open (the pool path) survives.
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 1
+        assert database.table(0).rows_for_node(64)
+        service2, runtime2 = _service_runtime(served_sqlite)
+        try:
+            assert runtime2.keyword_search("editable", "after-garbage").num_matches == 1
+        finally:
+            runtime2.close()
+
+    def test_sequence_resumes_above_checkpoint_watermark(self, served_sqlite):
+        """A post-checkpoint fresh process must not reuse checkpointed seqs."""
+        # Process 1: three edits, then a checkpoint (watermark 3, journal
+        # truncated to empty).
+        service, runtime = _service_runtime(served_sqlite)
+        try:
+            for index in range(3):
+                runtime.edit("editable", "add_node", {
+                    "node_id": 40 + index, "label": f"w{index}",
+                    "x": float(index), "y": 50.0,
+                })
+            database = load_from_sqlite(served_sqlite)  # peek is irrelevant:
+            # run the checkpoint through the coordinator directly.
+            entry = service.pool.peek(served_sqlite)
+            assert service.writes.checkpoint_sync(
+                "editable", entry.database, served_sqlite
+            ) == 0
+        finally:
+            runtime.close()
+        assert read_meta_value(served_sqlite, CHECKPOINT_META_KEY) == "3"
+        assert len(read_journal_records(journal_path_for(served_sqlite))) == 0
+
+        # Process 2 (fresh coordinator, fresh journal object over the empty
+        # file): its acknowledged edit must get seq 4, not seq 1.
+        _, runtime2 = _service_runtime(served_sqlite)
+        try:
+            ack = runtime2.edit("editable", "add_node", {
+                "node_id": 49, "label": "post-checkpoint", "x": 9.0, "y": 50.0,
+            })
+            assert ack["seq"] == 4
+        finally:
+            runtime2.close()
+        # Process 3 (the SIGKILL survivor): replay must apply it.
+        fresh = load_from_sqlite(served_sqlite)
+        assert replay_journal(fresh, served_sqlite) == 1
+        assert fresh.table(0).rows_for_node(49)
