@@ -5,9 +5,10 @@
 #   * concurrent serving (coalescing/pool/repack) -> BENCH_serving.json
 #   * cluster scale-out (router/cache/failover)   -> BENCH_cluster.json
 #   * durable write path (journal/replay/RAW)     -> BENCH_writes.json
+#   * seeded chaos schedules (retry/replay/stale) -> BENCH_faults.json
 # so every PR has a perf baseline to compare against.  Also runs the
 # 2-worker cluster lifecycle smoke (start, query through the router, kill a
-# worker, query again, drain).
+# worker, query again, drain) and the fault-injection chaos smoke.
 #
 # Usage: scripts/bench_smoke.sh [extra pytest args]
 # Scale can be overridden: REPRO_BENCH_SCALE=0.5 scripts/bench_smoke.sh
@@ -19,6 +20,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "2-worker cluster lifecycle smoke (start / query / kill / query / drain)"
 python scripts/cluster_smoke.py
+
+echo "seeded chaos smoke (owner kill mid-ack / acked-write replay / degraded stale reads)"
+python scripts/chaos_smoke.py
 
 echo "index + cold-start + serving + cluster + writes smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
 python -m pytest benchmarks/test_bench_ablation_indexes.py \
@@ -135,5 +139,21 @@ for entry in history[-6:]:
     print(
         f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
         f"{kind:<17} {detail}"
+    )
+PYEOF
+echo "trajectory written to BENCH_faults.json:"
+python - <<'PYEOF'
+import json
+from pathlib import Path
+
+history = json.loads(Path("BENCH_faults.json").read_text())
+for entry in history[-4:]:
+    print(
+        f"  {entry['recorded_at']}  {entry['dataset']:<14} "
+        f"retry_recovery={entry['retry_recovery_ms']}ms "
+        f"replay_recovery={entry['durability_recovery_ms']}ms "
+        f"degraded_read={entry['degraded_read_ms']}ms "
+        f"lost={entry['acked_writes_lost']}/{entry['acked_writes']} "
+        f"double={entry['double_applies']}"
     )
 PYEOF

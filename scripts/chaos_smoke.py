@@ -1,0 +1,261 @@
+#!/usr/bin/env python
+"""Seeded chaos harness: fault-plan schedules against a live cluster.
+
+The no-pytest proof of the robustness contract (CI runs it from
+``scripts/bench_smoke.sh``).  Each scenario builds a fresh two-shard cluster,
+installs a deterministic :mod:`repro.faults` plan, and drives the exact
+failure the write path claims to survive:
+
+1. **retry + dedup** — a fault plan SIGKILLs the shard's rendezvous owner
+   *after* it applied and journalled an edit but *before* the ack leaves
+   (the ambiguous-outcome window).  The router must retry the keyed write on
+   the survivor, whose journal replay already carries the idempotency key:
+   the client sees one 200 ack, marked ``deduplicated``, and exactly one
+   copy of the edit exists afterwards — zero acked-write loss, zero
+   double-apply.
+2. **acked-write durability** — several acknowledged edits, then SIGKILL the
+   owner with no fault plan at all; every acknowledged edit must be present
+   exactly once on the failover owner (cold open + journal replay).
+3. **degraded serving** — kill a single-worker fleet's only worker; the
+   router must answer the cached window from its stale archive with explicit
+   ``X-GVDB-Stale`` / ``X-GVDB-Degraded`` headers instead of a blank 503.
+
+Recovery latencies and the retry / dedup / degraded counters are appended to
+``BENCH_faults.json`` (same trajectory format as the other BENCH files).
+Prints a JSON summary and exits non-zero on any failed expectation.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+TRAJECTORY_PATH = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+
+#: One seed drives every fault plan below: the same binary reruns the same
+#: schedule, misfire for misfire.
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "11"))
+
+
+def get(port: int, target: str, headers: dict | None = None,
+        timeout: float = 60.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("GET", target, headers=headers or {})
+        response = connection.getresponse()
+        return (
+            response.status,
+            json.loads(response.read()),
+            {key.lower(): value for key, value in response.getheaders()},
+        )
+    finally:
+        connection.close()
+
+
+def post(port: int, target: str, body: dict, timeout: float = 60.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("POST", target, body=json.dumps(body).encode())
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def record_trajectory(measurements: dict) -> None:
+    """Append one measurement entry to the BENCH_faults.json trajectory."""
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "dataset": "patent-like",
+        "cpu_count": os.cpu_count(),
+        "chaos_seed": CHAOS_SEED,
+        **measurements,
+    }
+    history: list = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(entry)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main() -> int:
+    from repro import faults
+    from repro.cluster.hashing import rendezvous_owner
+    from repro.cluster.router import ClusterRuntime
+    from repro.config import ClusterConfig, GraphVizDBConfig
+    from repro.core.pipeline import PreprocessingPipeline
+    from repro.faults import FaultPlan, FaultRule
+    from repro.graph.generators import patent_like
+    from repro.storage.sqlite_backend import save_to_sqlite
+
+    summary: dict[str, object] = {"chaos_seed": CHAOS_SEED}
+    base = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    result = PreprocessingPipeline(GraphVizDBConfig.small()).run(
+        patent_like(num_patents=200, seed=7)
+    )
+
+    def fresh_shards(tag: str) -> dict[str, str]:
+        """Per-scenario shard copies: edits must not leak across scenarios."""
+        scenario_dir = base / tag
+        scenario_dir.mkdir()
+        paths: dict[str, str] = {}
+        for name in ("chaos-a", "chaos-b"):
+            path = scenario_dir / f"{name}.db"
+            save_to_sqlite(result.database, path)
+            paths[name] = str(path)
+        return paths
+
+    def cluster_config(**cluster_kwargs) -> GraphVizDBConfig:
+        cluster_kwargs.setdefault("num_workers", 2)
+        cluster_kwargs.setdefault("health_interval_seconds", 0.1)
+        cluster_kwargs.setdefault("restart_backoff_seconds", 0.01)
+        return GraphVizDBConfig(cluster=ClusterConfig(**cluster_kwargs))
+
+    # ------------------------------------------------ 1. retry + dedup
+    # Kill the owner in the ambiguous window: edit applied and journalled,
+    # ack not yet written.  A naive retry double-applies; a keyed retry must
+    # land exactly once.
+    victim = rendezvous_owner("chaos-a", ["w0", "w1"])
+    plan = FaultPlan(
+        [FaultRule(
+            point="worker.response", action="kill", worker=victim,
+            match="/edit/", times=1, name="kill-owner-post-apply",
+        )],
+        seed=CHAOS_SEED, name="chaos-retry",
+    )
+    try:
+        with ClusterRuntime(
+            fresh_shards("retry"),
+            config=cluster_config(fault_plan=plan.to_json()),
+        ) as runtime:
+            port = runtime.port
+            started = time.perf_counter()
+            status, ack = post(
+                port,
+                "/edit/add_node?dataset=chaos-a&idempotency_key=chaos-retry-1",
+                {"node_id": 990001, "label": "chaos-retry-probe",
+                 "x": 3.0, "y": 4.0},
+            )
+            retry_latency_ms = round((time.perf_counter() - started) * 1000)
+            assert status == 200, f"retried edit failed: {status} {ack}"
+            assert ack.get("deduplicated") is True, (
+                f"survivor did not deduplicate the retried key: {ack}"
+            )
+            retries = runtime.router.metrics.edit_retries
+            assert retries >= 1, "router never retried the killed edit"
+            status, body, _ = get(
+                port, "/keyword?dataset=chaos-a&q=chaos-retry-probe"
+            )
+            assert status == 200 and body["num_matches"] == 1, (
+                f"edit must exist exactly once, got {body}"
+            )
+            summary["retry_recovery_ms"] = retry_latency_ms
+            summary["edit_retries"] = retries
+            summary["deduplicated_acks"] = 1 if ack.get("deduplicated") else 0
+            summary["retry_exactly_once"] = True
+    finally:
+        faults.clear()  # the router installs the plan in this process too
+
+    # ------------------------------------------ 2. acked-write durability
+    # No fault plan: plain SIGKILL after N acknowledged writes.  Every ack
+    # is a durability promise; journal replay on the failover owner must
+    # honour all of them, each exactly once.
+    acked = []
+    with ClusterRuntime(
+        fresh_shards("durability"), config=cluster_config()
+    ) as runtime:
+        port = runtime.port
+        for index in range(5):
+            label = f"chaos-durable-{index}"
+            status, ack = post(
+                port,
+                f"/edit/add_node?dataset=chaos-a&idempotency_key={label}",
+                {"node_id": 991000 + index, "label": label,
+                 "x": 5.0 + index, "y": 5.0},
+            )
+            assert status == 200, f"edit {index} failed: {status} {ack}"
+            acked.append(label)
+        owner = runtime.health_summary()["assignment"]["chaos-a"]
+        runtime.router._handles[owner].process.kill()
+        killed_at = time.perf_counter()
+        lost = []
+        doubled = []
+        for label in acked:
+            status, body, _ = get(port, f"/keyword?dataset=chaos-a&q={label}")
+            assert status == 200, f"failover query failed: {status} {body}"
+            if body["num_matches"] == 0:
+                lost.append(label)
+            elif body["num_matches"] > 1:
+                doubled.append(label)
+        recovery_ms = round((time.perf_counter() - killed_at) * 1000)
+        assert not lost, f"acknowledged writes lost after SIGKILL: {lost}"
+        assert not doubled, f"writes applied more than once: {doubled}"
+        summary["acked_writes"] = len(acked)
+        summary["acked_writes_lost"] = 0
+        summary["double_applies"] = 0
+        summary["durability_recovery_ms"] = recovery_ms
+
+    # ----------------------------------------------- 3. degraded serving
+    # Kill the only worker: the router has no healthy owner at all and must
+    # serve the last-known-good window, explicitly marked stale.
+    with ClusterRuntime(
+        fresh_shards("degraded"),
+        config=cluster_config(
+            num_workers=1,
+            restart_backoff_seconds=5.0,
+            health_interval_seconds=30.0,
+        ),
+    ) as runtime:
+        port = runtime.port
+        window = (
+            "/window?dataset=chaos-a&min_x=100&min_y=100&max_x=110&max_y=110"
+        )
+        status, before, _ = get(port, window)
+        assert status == 200, "priming window query failed"
+        status, ack = post(port, "/edit/add_node?dataset=chaos-a", {
+            "node_id": 992000, "label": "chaos-degraded-probe",
+            "x": 105.0, "y": 105.0,
+        })
+        assert status == 200, f"edit failed: {status} {ack}"
+        handle = runtime.router._handles["w0"]
+        handle.process.kill()
+        deadline = time.perf_counter() + 10.0
+        while handle.process.is_alive() and time.perf_counter() < deadline:
+            time.sleep(0.02)
+        killed_at = time.perf_counter()
+        status, body, headers = get(port, window)
+        degraded_ms = round((time.perf_counter() - killed_at) * 1000)
+        assert status == 200, f"degraded read failed: {status} {body}"
+        assert headers.get("x-gvdb-stale") == "1", headers
+        assert headers.get("x-gvdb-degraded") == "no-healthy-owner", headers
+        assert body == before, "stale archive served the wrong window"
+        summary["degraded_reads"] = runtime.router.metrics.degraded_reads
+        summary["degraded_read_ms"] = degraded_ms
+        summary["degraded_served_stale"] = True
+
+    record_trajectory({
+        key: summary[key]
+        for key in (
+            "retry_recovery_ms", "edit_retries", "deduplicated_acks",
+            "acked_writes", "acked_writes_lost", "double_applies",
+            "durability_recovery_ms", "degraded_reads", "degraded_read_ms",
+        )
+    })
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,12 @@ class WindowResultCache:
     metrics:
         Optional shared :class:`ServiceMetrics` receiving hit / miss /
         invalidation counts.
+    stale_capacity:
+        Entries kept in the *stale archive*: responses leaving the live cache
+        (edit-driven invalidation or LRU eviction) are retained here rather
+        than discarded, so the router can serve a last-known-good window —
+        explicitly marked stale — while a dataset has no healthy owner at
+        all.  ``0`` disables archiving.
     """
 
     def __init__(
@@ -60,12 +66,15 @@ class WindowResultCache:
         capacity: int = 1024,
         max_bytes: int = 64 * 1024 * 1024,
         metrics: ServiceMetrics | None = None,
+        stale_capacity: int = 256,
     ) -> None:
         self.capacity = capacity
         self.max_bytes = max_bytes
         self.metrics = metrics
+        self.stale_capacity = stale_capacity
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, CachedResponse] = OrderedDict()
+        self._stale: OrderedDict[str, CachedResponse] = OrderedDict()
         self._total_bytes = 0
         self._dataset_counters: dict[str, int] = {}
 
@@ -132,6 +141,8 @@ class WindowResultCache:
             self._entries[key] = CachedResponse(
                 key=key, dataset=dataset, status=status, body=body
             )
+            # A fresh response supersedes whatever the archive held.
+            self._stale.pop(key, None)
             self._total_bytes += len(body)
             while len(self._entries) > self.capacity or (
                 self.max_bytes and self._total_bytes > self.max_bytes
@@ -139,6 +150,29 @@ class WindowResultCache:
             ):
                 _, evicted = self._entries.popitem(last=False)
                 self._total_bytes -= len(evicted.body)
+                self._archive_locked(evicted)
+
+    def _archive_locked(self, entry: CachedResponse) -> None:
+        """Move a response leaving the live cache into the stale archive."""
+        if self.stale_capacity <= 0 or entry.status != 200:
+            return
+        self._stale[entry.key] = entry
+        self._stale.move_to_end(entry.key)
+        while len(self._stale) > self.stale_capacity:
+            self._stale.popitem(last=False)
+
+    def get_stale(self, key: str) -> CachedResponse | None:
+        """The archived (known-stale) response for ``key``, if any.
+
+        The degraded-read path: only consulted when a dataset has no healthy
+        owner, and always served with an explicit staleness header — the
+        archive never silently substitutes for a live response.
+        """
+        with self._lock:
+            entry = self._stale.get(key)
+            if entry is not None:
+                self._stale.move_to_end(key)
+            return entry
 
     # -------------------------------------------------------------- invalidation
 
@@ -150,7 +184,9 @@ class WindowResultCache:
                 if entry.dataset == dataset
             ]
             for key in doomed:
-                self._total_bytes -= len(self._entries.pop(key).body)
+                entry = self._entries.pop(key)
+                self._total_bytes -= len(entry.body)
+                self._archive_locked(entry)
         if doomed and self.metrics is not None:
             self.metrics.record_cache_invalidation(len(doomed))
         return len(doomed)
@@ -198,9 +234,10 @@ class WindowResultCache:
         return dropped
 
     def clear(self) -> None:
-        """Drop every entry (not counted as invalidations)."""
+        """Drop every entry, stale archive included (not counted as invalidations)."""
         with self._lock:
             self._entries.clear()
+            self._stale.clear()
             self._total_bytes = 0
 
     # ------------------------------------------------------------------ summary
@@ -213,4 +250,5 @@ class WindowResultCache:
                 "bytes": self._total_bytes,
                 "capacity": self.capacity,
                 "max_bytes": self.max_bytes,
+                "stale_entries": len(self._stale),
             }

@@ -8,27 +8,40 @@ steady proxy workload costs zero connection setups.  Failures on a *fresh*
 connection (refused, reset, short read, per-request timeout) close it and
 raise :class:`~repro.errors.WorkerUnavailableError`, which the router treats
 as the worker-failed routing signal.  Failures on a *pooled* connection are
-retried once on a fresh one first: the worker's keep-alive idle timer may
-have closed the socket during a traffic lull, and a routine stale connection
-must not be mistaken for a dead worker (that mistake would trigger a full
-restart).  Pooled connections additionally expire client-side after
-``idle_expiry_seconds`` — kept well below the worker's keep-alive window so
-the race stays rare.
+retried on **exactly one** fresh connection first (counted in the
+``proxy_stale_retries`` metric): the worker's keep-alive idle timer may have
+closed the socket during a traffic lull, and a routine stale connection must
+not be mistaken for a dead worker (that mistake would trigger a full
+restart) — but if the fresh attempt fails too, the worker really is
+unreachable and no amount of further dialing changes that.  Pooled
+connections additionally expire client-side after ``idle_expiry_seconds`` —
+kept well below the worker's keep-alive window so the race stays rare — and
+expired sockets are closed *and awaited* on discard, not leaked half-closed.
+
+The stale-retry rule extends to non-GET requests only when the caller marks
+the request ``idempotent`` — the router does so for ``POST /edit/*`` carrying
+an idempotency key, whose re-application the write coordinator suppresses.
+An unkeyed write on a stale socket is still never replayed: the worker may
+have applied it before the socket died, and a blind resend could apply it
+twice.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import time
 
+from ..core.monitoring import ServiceMetrics
 from ..errors import WorkerUnavailableError
+from ..faults import FaultInjected, fault_check
 
 __all__ = ["WorkerClient"]
 
 
 class WorkerClient:
-    """Pooled keep-alive GET client for one worker's HTTP endpoint."""
+    """Pooled keep-alive HTTP client for one worker's endpoint."""
 
     def __init__(
         self,
@@ -37,12 +50,14 @@ class WorkerClient:
         port: int,
         timeout_seconds: float = 30.0,
         idle_expiry_seconds: float = 10.0,
+        metrics: ServiceMetrics | None = None,
     ) -> None:
         self.worker_id = worker_id
         self.host = host
         self.port = port
         self.timeout_seconds = timeout_seconds
         self.idle_expiry_seconds = idle_expiry_seconds
+        self.metrics = metrics
         #: Idle connections with the time they were pooled (LIFO).
         self._idle: list[
             tuple[asyncio.StreamReader, asyncio.StreamWriter, float]
@@ -63,22 +78,24 @@ class WorkerClient:
         target: str,
         body: bytes = b"",
         timeout_seconds: float | None = None,
+        headers: dict[str, str] | None = None,
+        idempotent: bool = False,
     ) -> tuple[int, dict[str, str], bytes]:
         """One request round trip; returns ``(status, headers, body)``.
 
         The whole exchange (connect if needed, write, read the full response)
         runs under one timeout.  On success the connection goes back to the
-        idle pool unless the worker answered ``Connection: close``.  Non-GET
-        requests are **not** retried on a stale pooled connection the way
-        GETs are — a write whose connection died mid-exchange may or may not
-        have been applied, and blindly resending it could apply it twice;
-        the router surfaces that as a worker failure instead.
+        idle pool unless the worker answered ``Connection: close``.
+        ``headers`` are extra request headers (e.g. the propagated deadline);
+        ``idempotent`` opts a non-GET request into the single stale-pooled
+        retry (see the module docstring).
         """
         if timeout_seconds is None:
             timeout_seconds = self.timeout_seconds
         try:
             return await asyncio.wait_for(
-                self._exchange(method, target, body), timeout_seconds
+                self._exchange(method, target, body, headers or {}, idempotent),
+                timeout_seconds,
             )
         except asyncio.TimeoutError:
             raise WorkerUnavailableError(
@@ -86,6 +103,8 @@ class WorkerClient:
             ) from None
         except WorkerUnavailableError:
             raise
+        except FaultInjected as exc:
+            raise WorkerUnavailableError(self.worker_id, str(exc)) from exc
         except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
             raise WorkerUnavailableError(self.worker_id, str(exc)) from exc
 
@@ -96,8 +115,15 @@ class WorkerClient:
         status, _, body = await self.get(target, timeout_seconds)
         return status, json.loads(body)
 
-    def _acquire(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter] | None:
-        """Pop a non-expired idle connection (discarding expired ones), or None."""
+    async def _acquire(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter] | None:
+        """Pop a non-expired idle connection, or ``None``.
+
+        Expired connections are closed *and awaited* here: ``close()``
+        without ``wait_closed()`` would strand half-closed transports on the
+        event loop for as long as the peer dawdles on its FIN.
+        """
         now = time.monotonic()
         while self._idle:
             reader, writer, pooled_at = self._idle.pop()
@@ -106,17 +132,29 @@ class WorkerClient:
                 and now - pooled_at > self.idle_expiry_seconds
             ):
                 writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
                 continue
             return reader, writer
         return None
 
     async def _exchange(
-        self, method: str, target: str, body: bytes = b""
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        headers: dict[str, str],
+        idempotent: bool,
     ) -> tuple[int, dict[str, str], bytes]:
+        stale_retried = False
         while True:
             if self._closed:
                 raise WorkerUnavailableError(self.worker_id, "client is closed")
-            pooled = self._acquire()
+            # After one stale retry the attempt must be on a fresh socket:
+            # a second pooled connection could be just as stale, and an
+            # unbounded pool walk would hide a genuinely dead worker behind
+            # a parade of ancient sockets.
+            pooled = None if stale_retried else await self._acquire()
             if pooled is None:
                 fresh = True
                 reader, writer = await asyncio.open_connection(self.host, self.port)
@@ -124,33 +162,52 @@ class WorkerClient:
                 fresh = False
                 reader, writer = pooled
             try:
-                writer.write(
+                extra = "".join(
+                    f"{name}: {value}\r\n" for name, value in headers.items()
+                )
+                head = (
                     f"{method} {target} HTTP/1.1\r\n"
                     f"Host: {self.host}:{self.port}\r\n"
                     "Connection: keep-alive\r\n"
-                    f"Content-Length: {len(body)}\r\n\r\n".encode()
-                    + body
+                    + extra
+                    + f"Content-Length: {len(body)}\r\n\r\n"
                 )
+                writer.write(head.encode("latin-1") + body)
                 await writer.drain()
-                status, headers, response_body = await self._read_response(reader)
+                # The router-side injection point: the simulated failure is
+                # the worker's connection dying between request and response.
+                fault_check(
+                    "client.exchange",
+                    worker=self.worker_id, method=method, target=target,
+                )
+                status, response_headers, response_body = (
+                    await self._read_response(reader)
+                )
+            except FaultInjected:
+                writer.close()
+                raise  # surfaced as WorkerUnavailableError by request()
             except (OSError, asyncio.IncompleteReadError, ValueError):
                 writer.close()
-                if fresh or method != "GET":
-                    # A non-GET on a stale pooled connection is not replayed:
-                    # the worker may have applied the edit before the socket
-                    # died, and a silent resend could apply it twice.
+                if fresh or (method != "GET" and not idempotent):
+                    # A non-idempotent write on a stale pooled connection is
+                    # not replayed: the worker may have applied the edit
+                    # before the socket died, and a silent resend could
+                    # apply it twice.
                     raise
-                continue  # stale pooled connection — retry on a fresh one
+                stale_retried = True
+                if self.metrics is not None:
+                    self.metrics.record_proxy_stale_retry()
+                continue  # stale pooled connection — one retry, fresh socket
             except BaseException:
                 # Includes CancelledError from wait_for: a half-read
                 # connection must never return to the pool.
                 writer.close()
                 raise
-            if headers.get("connection", "").lower() == "close" or self._closed:
+            if response_headers.get("connection", "").lower() == "close" or self._closed:
                 writer.close()
             else:
                 self._idle.append((reader, writer, time.monotonic()))
-            return status, headers, response_body
+            return status, response_headers, response_body
 
     @staticmethod
     async def _read_response(

@@ -1,0 +1,96 @@
+"""Retry and circuit-breaking primitives for the cluster router.
+
+Two small, dependency-free pieces the router composes into its proxy path:
+
+* :func:`jittered_backoff` — exponential backoff with decorrelating jitter
+  between failover retries, so a burst of clients whose owner just died does
+  not hammer the survivor in lockstep;
+* :class:`CircuitBreaker` — a per-worker breaker over *connection-level*
+  failures (:class:`~repro.errors.WorkerUnavailableError`).  After N
+  consecutive failures the circuit opens and the worker leaves the routing
+  ring entirely, so requests stop paying a connect-timeout tax to a host that
+  keeps refusing.  The health loop keeps probing it regardless; the first
+  successful probe is the half-open trial that closes the circuit.
+
+The breaker is deliberately not reset when the supervisor respawns the
+worker process: a worker that comes up and immediately starts failing again
+must not be handed live traffic just because its PID is new.  Only an
+observed success (probe or proxied request) closes the circuit.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+__all__ = ["CircuitBreaker", "jittered_backoff"]
+
+
+class CircuitBreaker:
+    """Open after ``threshold`` consecutive failures; close on any success.
+
+    ``threshold <= 0`` disables the breaker (it never opens).  Thread-safe,
+    though the router drives it from one event loop.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._open = False
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def state(self) -> str:
+        """``"open"`` or ``"closed"`` (half-open is the probe's perspective)."""
+        return "open" if self._open else "closed"
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def record_failure(self) -> bool:
+        """Count one connection-level failure; ``True`` if this one opened
+        the circuit (callers use the edge to count ``circuit_opens`` once)."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                not self._open
+                and self.threshold > 0
+                and self._consecutive_failures >= self.threshold
+            ):
+                self._open = True
+                return True
+            return False
+
+    def record_success(self) -> bool:
+        """Count one success; ``True`` if it closed an open circuit."""
+        with self._lock:
+            was_open = self._open
+            self._consecutive_failures = 0
+            self._open = False
+            return was_open
+
+
+def jittered_backoff(
+    attempt: int,
+    base_seconds: float,
+    max_seconds: float,
+    jitter_fraction: float,
+    rng: random.Random | None = None,
+) -> float:
+    """The wait before retry ``attempt`` (1-based): capped exponential + jitter.
+
+    ``base * 2**(attempt-1)``, capped at ``max_seconds``, then extended by a
+    uniform random fraction up to ``jitter_fraction`` — the decorrelation
+    that keeps a fleet of synchronized failures from retrying as one wave.
+    """
+    if base_seconds <= 0:
+        return 0.0
+    delay = min(max_seconds, base_seconds * (2 ** max(0, attempt - 1)))
+    if jitter_fraction > 0:
+        delay *= 1.0 + (rng or random).uniform(0.0, jitter_fraction)
+    return delay

@@ -25,12 +25,22 @@ router-side (:class:`~repro.cluster.sessions.SessionDirectory`), so a session
 whose worker crashed is transparently reopened on the new owner and the
 command retried; the client never observes a reset.
 
-Writes (``POST /edit/*``) proxy to the rendezvous owner like reads, with two
-differences: a broken write is *not* silently retried (its outcome on the
-dead worker is ambiguous — the journal may already hold it), and a write
-acknowledgement invalidates the router's window cache eagerly, using the
-post-edit counter the worker returns, so read-after-write is consistent
-without waiting for the next health probe.
+Writes (``POST /edit/*``) proxy to the rendezvous owner like reads.  Every
+edit carries an idempotency key (client-supplied or router-minted), journalled
+with the edit itself, so a write whose connection broke mid-exchange — whose
+outcome on the dead worker is ambiguous — can be safely resent to the next
+owner: the write coordinator deduplicates keys it has already applied, replay
+included.  A write acknowledgement additionally invalidates the router's
+window cache eagerly, using the post-edit counter the worker returns, so
+read-after-write is consistent without waiting for the next health probe.
+
+Failure handling is deadline- and budget-bounded (PR 6): clients may cap a
+request with ``X-GVDB-Deadline-Ms`` (propagated to workers, who refuse to
+start work past it), failed attempts retry with jittered exponential backoff
+up to ``retry_budget`` times, per-worker circuit breakers take persistently
+failing workers out of the ring between probes, and a dataset with no healthy
+owner can still answer ``/window`` from the stale archive of the router cache
+— explicitly marked ``X-GVDB-Stale`` — instead of going dark.
 
 Shutdown is a **drain**: stop admitting (503 + ``Retry-After``), close the
 listener, wait for in-flight proxied requests to finish (bounded by
@@ -42,22 +52,36 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import json
+import random
 import threading
+import uuid
 from collections import OrderedDict
 from urllib.parse import parse_qs, urlencode, urlsplit
 
 from ..config import ClusterConfig, GraphVizDBConfig
 from ..core.monitoring import ServiceMetrics
 from ..errors import ClusterError, WorkerUnavailableError
-from ..service.http import serve_connection
+from ..service.http import DEADLINE_HEADER, serve_connection
 from .cache import WindowResultCache
 from .client import WorkerClient
 from .hashing import rendezvous_owner
+from .resilience import CircuitBreaker, jittered_backoff
 from .sessions import SessionDirectory
 from .worker import WorkerHandle, WorkerSpec
 
 __all__ = ["ClusterRouter", "ClusterRuntime", "merge_summaries"]
+
+#: Absolute (event-loop clock) deadline of the request currently being
+#: dispatched, from the client's ``X-GVDB-Deadline-Ms`` header.  A contextvar
+#: rather than a parameter because the deadline must reach :meth:`_proxy`
+#: through every dispatch path (windows, sessions, edits) without widening
+#: each signature; connection handlers are separate tasks, so contexts never
+#: bleed between concurrent requests.
+_request_deadline: contextvars.ContextVar[float | None] = contextvars.ContextVar(
+    "gvdb_request_deadline", default=None
+)
 
 
 def merge_summaries(summaries: list[dict]) -> dict:
@@ -123,9 +147,18 @@ class ClusterRouter:
                 self.config.service.pool_max_resident_bytes
             ),
             metrics=self.metrics,
+            stale_capacity=(
+                self.cluster_config.degraded_stale_entries
+                if self.cluster_config.degraded_stale_reads else 0
+            ),
         )
         self._handles: dict[str, WorkerHandle] = {}
         self._clients: dict[str, WorkerClient] = {}
+        #: Per-worker circuit breakers over connection-level failures; an
+        #: open breaker removes the worker from the routing ring until a
+        #: probe (or proxied request) observes a success.
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._backoff_rng = random.Random()
         #: Replicated session cursors (dataset, layer, viewport): the state
         #: that lets a crashed owner's sessions transparently reopen on the
         #: next owner.  Entries leave on close, on an unrecoverable worker
@@ -149,6 +182,16 @@ class ClusterRouter:
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> "ClusterRouter":
         """Spawn the fleet and bind the public endpoint."""
+        if self.cluster_config.fault_plan:
+            # Configured fault plans cover the router process too (the
+            # ``client.exchange`` injection point lives here); workers
+            # install the same plan in their own interpreters on spawn.
+            from .. import faults
+
+            if faults.active_plan() is None:
+                faults.install(
+                    faults.FaultPlan.from_json(self.cluster_config.fault_plan)
+                )
         worker_config = GraphVizDBConfig(
             partition=self.config.partition,
             layout=self.config.layout,
@@ -219,6 +262,7 @@ class ClusterRouter:
             handle.worker_id, handle.spec.host, handle.port,
             timeout_seconds=self.cluster_config.proxy_timeout_seconds,
             idle_expiry_seconds=keepalive / 3 if keepalive > 0 else 0.0,
+            metrics=self.metrics,
         )
 
     @property
@@ -231,12 +275,35 @@ class ClusterRouter:
     # ---------------------------------------------------------------- routing
 
     def alive_workers(self) -> list[str]:
-        """Worker ids currently eligible for routing (healthy, in id order)."""
+        """Worker ids currently eligible for routing (healthy, in id order).
+
+        A worker whose circuit breaker is open is excluded even if its
+        process looks healthy: it has failed ``circuit_breaker_failures``
+        consecutive exchanges, and routing to it again only taxes requests
+        with connect timeouts.  The health loop keeps probing it; the first
+        successful probe closes the circuit and readmits it.
+        """
         return [
             worker_id
             for worker_id, handle in sorted(self._handles.items())
-            if handle.healthy
+            if handle.healthy and not self._breaker(worker_id).is_open
         ]
+
+    def _breaker(self, worker_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(worker_id)
+        if breaker is None:
+            breaker = CircuitBreaker(self.cluster_config.circuit_breaker_failures)
+            self._breakers[worker_id] = breaker
+        return breaker
+
+    def _note_worker_failure(self, worker_id: str) -> None:
+        """One connection-level failure: feed the breaker, shrink the ring."""
+        if self._breaker(worker_id).record_failure():
+            self.metrics.record_circuit_open()
+        self._mark_worker_failed(worker_id)
+
+    def _note_worker_success(self, worker_id: str) -> None:
+        self._breaker(worker_id).record_success()
 
     def worker_for(self, dataset: str) -> str | None:
         """The dataset's current rendezvous owner (``None``: no healthy worker)."""
@@ -267,13 +334,33 @@ class ClusterRouter:
             if task is not None:
                 self._conn_tasks.discard(task)
 
-    async def _respond(self, method: str, target: str, body: bytes) -> tuple[int, bytes]:
+    async def _respond(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ):
         self._inflight += 1
+        token = None
+        remaining = _header_deadline_seconds(headers)
+        if remaining is not None:
+            if remaining <= 0:
+                self._inflight -= 1
+                self.metrics.record_deadline_rejection()
+                return 504, _json_bytes(
+                    {"error": "deadline expired before admission"}
+                )
+            token = _request_deadline.set(
+                asyncio.get_running_loop().time() + remaining
+            )
         try:
             return await self._dispatch(method, target, body)
         except Exception:  # defence: a router bug must not kill the router
             return 500, _json_bytes({"error": "internal router error"})
         finally:
+            if token is not None:
+                _request_deadline.reset(token)
             self._inflight -= 1
 
     async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, bytes]:
@@ -335,19 +422,29 @@ class ClusterRouter:
     ) -> tuple[int, bytes]:
         """Forward a write to the dataset's owner and invalidate eagerly.
 
-        Unlike reads, a write whose worker connection breaks is **not**
-        silently retried on the next owner: the dead worker may have
-        journalled (and durably committed) the edit before dying, and a
-        blind replay would apply it twice.  The client gets the standard
-        503 + ``Retry-After`` and decides — exactly the ambiguous-POST
-        contract of plain HTTP.  (Acknowledged edits need no retry at all:
-        they are on disk and replay on the next owner's open.)  On a 200 the
-        worker's acknowledgement carries its post-edit edit counter, which
-        feeds the window cache *now* — a read-after-write through the router
-        must never see a pre-edit cached window, no matter where the health
-        probe cadence stands.
+        Every proxied edit carries an **idempotency key** (the client's, or
+        one the router mints here), persisted in the owner's write-ahead
+        journal alongside the edit itself.  That key is what makes write
+        retries safe: a broken worker connection is ambiguous — the dead
+        worker may have journalled (and durably committed) the edit before
+        dying — but resending the same key is harmless, because the write
+        coordinator deduplicates keys it has already applied (including
+        across journal replay on the next owner).  So unlike the pre-key
+        contract, a failed write *is* retried on the next rendezvous owner,
+        up to ``retry_budget`` times within the request deadline; the edit
+        lands exactly once no matter which attempt got through.  On a 200
+        the worker's acknowledgement carries its post-edit edit counter,
+        which feeds the window cache *now* — a read-after-write through the
+        router must never see a pre-edit cached window, no matter where the
+        health probe cadence stands.
         """
-        status, response = await self._proxy(target, dataset, method=method, body=body)
+        split = urlsplit(target)
+        if "idempotency_key" not in parse_qs(split.query):
+            separator = "&" if split.query else "?"
+            target = f"{target}{separator}idempotency_key={uuid.uuid4().hex}"
+        status, response = await self._proxy(
+            target, dataset, method=method, body=body, retryable=True
+        )
         if status == 200:
             counter: int | None = None
             try:
@@ -359,9 +456,7 @@ class ClusterRouter:
 
     # ------------------------------------------------------------------ window
 
-    async def _window(
-        self, target: str, params: dict[str, str], dataset: str
-    ) -> tuple[int, bytes]:
+    async def _window(self, target: str, params: dict[str, str], dataset: str):
         key = _cache_key(params)
         entry = self.cache.get(key) if self.cluster_config.cache_capacity else None
         if entry is not None:
@@ -373,6 +468,22 @@ class ClusterRouter:
         status, body = await self._proxy(target, dataset)
         if status == 200 and self.cluster_config.cache_capacity:
             self.cache.put(key, dataset, status, body, counter=counter)
+        elif (
+            status in (503, 504)
+            and self.cluster_config.degraded_stale_reads
+            and self.worker_for(dataset) is None
+        ):
+            # Degraded mode: no healthy owner at all.  A last-known-good
+            # window beats a blank viewport mid-incident — but only with the
+            # staleness declared, so clients can render it greyed out and
+            # keep polling for the live response.
+            stale = self.cache.get_stale(key)
+            if stale is not None:
+                self.metrics.record_degraded_read()
+                return 200, stale.body, {
+                    "X-GVDB-Stale": "1",
+                    "X-GVDB-Degraded": "no-healthy-owner",
+                }
         return status, body
 
     # ---------------------------------------------------------------- sessions
@@ -439,31 +550,79 @@ class ClusterRouter:
     # ------------------------------------------------------------------- proxy
 
     async def _proxy(
-        self, target: str, dataset: str, method: str = "GET", body: bytes = b""
+        self,
+        target: str,
+        dataset: str,
+        method: str = "GET",
+        body: bytes = b"",
+        retryable: bool | None = None,
     ) -> tuple[int, bytes]:
-        """Forward ``target`` to the dataset's owner; fail over once on error.
+        """Forward ``target`` to the dataset's owner, retrying within budget.
 
-        A broken worker connection immediately marks the worker unhealthy and
-        schedules its restart; for GETs the retry then lands on the dataset's
-        next rendezvous owner (POSTs are not retried — their outcome on the
-        broken worker is ambiguous, see :meth:`_proxy_edit`).  With nobody
-        healthy (or two failures in a row) the client gets 503 +
-        ``Retry-After`` — the same backpressure contract as a single
-        overloaded worker.
+        Every attempt runs under the request's **deadline** — the router's
+        ``proxy_timeout_seconds``, tightened by the client's
+        ``X-GVDB-Deadline-Ms`` header if present — and the remaining time is
+        propagated to the worker in the same header, so a worker never spends
+        longer computing an answer than anyone is still waiting for.
+
+        A broken worker connection feeds the worker's circuit breaker, marks
+        it unhealthy (scheduling its restart) and — when the request is
+        retryable — retries on the dataset's next rendezvous owner after a
+        jittered exponential backoff, up to ``retry_budget`` extra attempts
+        or until the deadline runs out, whichever comes first.  GETs are
+        retryable by definition; edits are retryable because
+        :meth:`_proxy_edit` gives every one an idempotency key the worker
+        deduplicates.  With nobody healthy (or the budget exhausted) the
+        client gets 503 + ``Retry-After``; a deadline that expires mid-retry
+        gets 504.
         """
-        attempts = 2 if method == "GET" else 1
+        if retryable is None:
+            retryable = method == "GET"
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.cluster_config.proxy_timeout_seconds
+        client_deadline = _request_deadline.get()
+        if client_deadline is not None:
+            deadline = min(deadline, client_deadline)
+        attempts = 1 + (self.cluster_config.retry_budget if retryable else 0)
         for attempt in range(attempts):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self.metrics.record_deadline_rejection()
+                return 504, _json_bytes({
+                    "error": f"deadline exhausted while proxying {method} {target}"
+                })
             worker_id = self.worker_for(dataset)
             if worker_id is None:
                 break
             client = self._clients[worker_id]
             try:
-                status, _, response = await client.request(method, target, body)
+                status, _, response = await client.request(
+                    method, target, body,
+                    timeout_seconds=remaining,
+                    headers={
+                        "X-GVDB-Deadline-Ms": str(max(1, int(remaining * 1000)))
+                    },
+                    idempotent=retryable and method != "GET",
+                )
             except WorkerUnavailableError:
-                self._mark_worker_failed(worker_id)
-                if attempt == 0 and attempts > 1:
+                self._note_worker_failure(worker_id)
+                if attempt + 1 < attempts:
                     self.metrics.record_proxy_retry()
+                    if method != "GET":
+                        self.metrics.record_edit_retry()
+                    delay = jittered_backoff(
+                        attempt + 1,
+                        self.cluster_config.retry_backoff_base_seconds,
+                        self.cluster_config.retry_backoff_max_seconds,
+                        self.cluster_config.retry_backoff_jitter,
+                        self._backoff_rng,
+                    )
+                    # Sleeping past the deadline helps nobody; skip straight
+                    # to the next attempt and let the deadline check rule.
+                    if delay > 0 and loop.time() + delay < deadline:
+                        await asyncio.sleep(delay)
                 continue
+            self._note_worker_success(worker_id)
             self.metrics.record_proxied()
             return status, response
         return 503, _json_bytes({
@@ -517,11 +676,16 @@ class ClusterRouter:
             )
         except WorkerUnavailableError:
             status, health = 0, {}
+            # Probe connections feed the breaker like proxied requests do —
+            # the probe of an open-circuit worker *is* the half-open trial.
+            if self._breaker(worker_id).record_failure():
+                self.metrics.record_circuit_open()
         if status != 200 or health.get("status") != "ok":
             handle.consecutive_failures += 1
             if handle.consecutive_failures >= self.cluster_config.max_health_failures:
                 self._mark_worker_failed(worker_id)
         else:
+            self._note_worker_success(worker_id)
             handle.consecutive_failures = 0
             handle.healthy = True
             counters = {
@@ -561,7 +725,16 @@ class ClusterRouter:
         handle = self._handles[worker_id]
         loop = asyncio.get_running_loop()
         try:
-            await asyncio.sleep(self.cluster_config.restart_backoff_seconds)
+            backoff = self.cluster_config.restart_backoff_seconds
+            if self.cluster_config.restart_backoff_jitter > 0:
+                # Decorrelate restarts: a correlated fleet failure (OOM
+                # killer sweep, machine stall) must not respawn every worker
+                # in the same instant and recreate the thundering herd that
+                # killed them.
+                backoff *= 1.0 + self._backoff_rng.uniform(
+                    0.0, self.cluster_config.restart_backoff_jitter
+                )
+            await asyncio.sleep(backoff)
             self._clients[worker_id].close()
             await loop.run_in_executor(None, handle.terminate, 1.0)
             spawn_future = loop.run_in_executor(None, handle.spawn)
@@ -604,6 +777,7 @@ class ClusterRouter:
                     "port": handle.port,
                     "generation": handle.generation,
                     "consecutive_failures": handle.consecutive_failures,
+                    "circuit": self._breaker(worker_id).state,
                 }
                 for worker_id, handle in sorted(self._handles.items())
             },
@@ -691,6 +865,17 @@ class ClusterRouter:
 
 def _json_bytes(body: object) -> bytes:
     return json.dumps(body).encode()
+
+
+def _header_deadline_seconds(headers: dict[str, str] | None) -> float | None:
+    """Seconds of budget a client granted via ``X-GVDB-Deadline-Ms``, if any."""
+    raw = (headers or {}).get(DEADLINE_HEADER)
+    if raw is None:
+        return None
+    try:
+        return float(raw) / 1000.0
+    except ValueError:
+        return None
 
 
 #: Session-response bodies past this size are not parsed for their cursor

@@ -48,7 +48,17 @@ def _worker_main(spec: WorkerSpec, port_conn) -> None:
     """Entry point of the worker process (module-level for ``spawn``)."""
     import asyncio
 
+    from .. import faults
+
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Fault injection (tests / chaos harness): the worker declares who it is
+    # so worker-scoped rules target the right process, and installs the
+    # cluster-wide plan — spawn children do not inherit the parent's
+    # in-process registry, only its config (and the REPRO_FAULTS env var,
+    # which the import of repro.faults already honoured).
+    faults.set_identity(spec.worker_id)
+    if spec.config.cluster.fault_plan:
+        faults.install(faults.FaultPlan.from_json(spec.config.cluster.fault_plan))
     asyncio.run(_worker_serve(spec, port_conn))
 
 

@@ -452,6 +452,38 @@ class ClusterConfig:
     worker_threads:
         ``max_workers`` (thread-pool size) handed to each worker process's
         service configuration.
+    restart_backoff_jitter:
+        Random extension of the restart backoff, as a fraction of
+        ``restart_backoff_seconds`` (``0.5`` sleeps between 1.0x and 1.5x the
+        base) — a fleet whose workers all died together must not respawn in
+        lockstep.
+    retry_budget:
+        Additional proxy attempts after the first one fails with a worker
+        error.  Applies to GETs and — now that edits carry idempotency keys —
+        to ``POST /edit/*`` as well.  ``0`` disables failover retries.
+    retry_backoff_base_seconds / retry_backoff_max_seconds / retry_backoff_jitter:
+        Exponential backoff between proxy retry attempts: attempt ``n`` waits
+        ``min(max, base * 2**(n-1))`` extended by a random fraction up to
+        ``retry_backoff_jitter`` — decorrelating a thundering herd of
+        retries.  The wait is skipped when it would cross the request's
+        deadline.
+    circuit_breaker_failures:
+        Consecutive :class:`~repro.errors.WorkerUnavailableError`\\ s (proxy
+        or probe connection failures) after which a worker's circuit opens:
+        it leaves the routing ring until a health probe succeeds again (the
+        half-open close).  ``0`` disables the breaker.
+    degraded_stale_reads:
+        When a dataset has no healthy owner, serve ``/window`` requests from
+        the router's stale-response archive (the last good response the
+        window cache held before invalidation or eviction) with an explicit
+        ``X-GVDB-Stale: 1`` header, instead of an immediate 503.  The paper's
+        interactive panning survives a full owner outage with stale tiles
+        rather than a frozen viewport.
+    degraded_stale_entries:
+        Capacity of the stale-response archive (``0`` disables archiving).
+    fault_plan:
+        JSON-encoded :class:`~repro.faults.FaultPlan` installed in every
+        worker process at startup (chaos testing); empty string disables.
     """
 
     num_workers: int = 0
@@ -465,6 +497,15 @@ class ClusterConfig:
     cache_max_bytes: int = 64 * 1024 * 1024
     cache_memory_fraction: float = 0.25
     worker_threads: int = 4
+    restart_backoff_jitter: float = 0.5
+    retry_budget: int = 2
+    retry_backoff_base_seconds: float = 0.02
+    retry_backoff_max_seconds: float = 0.5
+    retry_backoff_jitter: float = 0.5
+    circuit_breaker_failures: int = 5
+    degraded_stale_reads: bool = True
+    degraded_stale_entries: int = 256
+    fault_plan: str = ""
 
     def effective_cache_max_bytes(self, pool_max_resident_bytes: int) -> int:
         """The window-cache byte budget under the shared-memory-budget rule."""
@@ -495,6 +536,22 @@ class ClusterConfig:
             raise ConfigurationError("cache_memory_fraction must be in (0, 1]")
         if self.worker_threads <= 0:
             raise ConfigurationError("worker_threads must be positive")
+        if self.restart_backoff_jitter < 0:
+            raise ConfigurationError("restart_backoff_jitter must be >= 0")
+        if self.retry_budget < 0:
+            raise ConfigurationError("retry_budget must be >= 0 (0 = no retries)")
+        if self.retry_backoff_base_seconds < 0:
+            raise ConfigurationError("retry_backoff_base_seconds must be >= 0")
+        if self.retry_backoff_max_seconds < 0:
+            raise ConfigurationError("retry_backoff_max_seconds must be >= 0")
+        if self.retry_backoff_jitter < 0:
+            raise ConfigurationError("retry_backoff_jitter must be >= 0")
+        if self.circuit_breaker_failures < 0:
+            raise ConfigurationError(
+                "circuit_breaker_failures must be >= 0 (0 = disabled)"
+            )
+        if self.degraded_stale_entries < 0:
+            raise ConfigurationError("degraded_stale_entries must be >= 0 (0 = off)")
 
 
 @dataclass(frozen=True)

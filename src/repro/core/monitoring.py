@@ -173,8 +173,13 @@ class ServiceMetrics:
         self.window_cache_invalidations = 0
         self.proxied_requests = 0
         self.proxy_retries = 0
+        self.proxy_stale_retries = 0
+        self.edit_retries = 0
+        self.circuit_opens = 0
+        self.degraded_reads = 0
         self.worker_restarts = 0
         self.session_failovers = 0
+        self.deadline_rejections = 0
         # Keyword / kNN repeat-rate observation (the "measure before caching"
         # question): how much of that router traffic re-asks a recent target.
         self.keyword_requests = 0
@@ -183,10 +188,14 @@ class ServiceMetrics:
         self.nearest_repeats = 0
         # Durable-write-path counters (zero on read-only deployments).
         self.writes_applied = 0
+        self.writes_deduplicated = 0
         self.journal_appends = 0
         self.journal_fsyncs = 0
         self.journal_replayed_records = 0
         self.checkpoint_runs = 0
+        self.checkpoint_failures = 0
+        self.read_only_transitions = 0
+        self.read_only_rejections = 0
 
     # ---------------------------------------------------------------- admission
 
@@ -293,6 +302,34 @@ class ServiceMetrics:
         with self._lock:
             self.proxy_retries += 1
 
+    def record_proxy_stale_retry(self) -> None:
+        """Count one proxied request replayed on a fresh socket after its
+        pooled keep-alive connection turned out to be stale."""
+        with self._lock:
+            self.proxy_stale_retries += 1
+
+    def record_edit_retry(self) -> None:
+        """Count one idempotency-keyed write retried on another owner."""
+        with self._lock:
+            self.edit_retries += 1
+
+    def record_circuit_open(self) -> None:
+        """Count one worker circuit breaker tripping open."""
+        with self._lock:
+            self.circuit_opens += 1
+
+    def record_degraded_read(self) -> None:
+        """Count one read served from the stale window archive because the
+        dataset had no healthy owner (explicitly marked stale on the wire)."""
+        with self._lock:
+            self.degraded_reads += 1
+
+    def record_deadline_rejection(self) -> None:
+        """Count one request rejected because its propagated deadline had
+        already expired at admission."""
+        with self._lock:
+            self.deadline_rejections += 1
+
     def record_worker_restart(self) -> None:
         """Count one crashed worker replaced by the supervisor."""
         with self._lock:
@@ -338,6 +375,26 @@ class ServiceMetrics:
         with self._lock:
             self.checkpoint_runs += 1
 
+    def record_checkpoint_failure(self) -> None:
+        """Count one background checkpoint that failed (journal kept intact)."""
+        with self._lock:
+            self.checkpoint_failures += 1
+
+    def record_write_deduplicated(self) -> None:
+        """Count one write suppressed by idempotency-key deduplication."""
+        with self._lock:
+            self.writes_deduplicated += 1
+
+    def record_read_only_transition(self) -> None:
+        """Count one dataset entering fail-stop read-only degraded mode."""
+        with self._lock:
+            self.read_only_transitions += 1
+
+    def record_read_only_rejection(self) -> None:
+        """Count one write rejected because its dataset is read-only."""
+        with self._lock:
+            self.read_only_rejections += 1
+
     # ------------------------------------------------------------------ summary
 
     def summary(self) -> dict[str, object]:
@@ -349,6 +406,7 @@ class ServiceMetrics:
                     "admitted": self.requests_admitted,
                     "completed": self.requests_completed,
                     "rejected": self.requests_rejected,
+                    "deadline_rejected": self.deadline_rejections,
                 },
                 "queue_depth": dict(self.queue_depth),
                 "peak_queue_depth": self.peak_queue_depth,
@@ -370,6 +428,10 @@ class ServiceMetrics:
                     "window_cache_invalidations": self.window_cache_invalidations,
                     "proxied_requests": self.proxied_requests,
                     "proxy_retries": self.proxy_retries,
+                    "proxy_stale_retries": self.proxy_stale_retries,
+                    "edit_retries": self.edit_retries,
+                    "circuit_opens": self.circuit_opens,
+                    "degraded_reads": self.degraded_reads,
                     "worker_restarts": self.worker_restarts,
                     "session_failovers": self.session_failovers,
                     "keyword_requests": self.keyword_requests,
@@ -379,9 +441,13 @@ class ServiceMetrics:
                 },
                 "writes": {
                     "applied": self.writes_applied,
+                    "deduplicated": self.writes_deduplicated,
                     "journal_appends": self.journal_appends,
                     "journal_fsyncs": self.journal_fsyncs,
                     "journal_replayed_records": self.journal_replayed_records,
                     "checkpoints": self.checkpoint_runs,
+                    "checkpoint_failures": self.checkpoint_failures,
+                    "read_only_transitions": self.read_only_transitions,
+                    "read_only_rejections": self.read_only_rejections,
                 },
             }

@@ -133,7 +133,36 @@ class JournalError(WriteError):
     *torn tail* (a partially written final record after a crash) is not an
     error — replay stops at it, because everything before the tear was
     acknowledged with a complete record.
+
+    ``io_fault`` marks failures of the journal's own I/O (failed write,
+    fsync or truncation) as opposed to structural problems like an oversized
+    record: an I/O fault means the durability of further appends is
+    undefined, and the write coordinator responds by moving the dataset into
+    fail-stop read-only mode.
     """
+
+    def __init__(self, message: str, io_fault: bool = False) -> None:
+        super().__init__(message)
+        self.io_fault = io_fault
+
+
+class DatasetReadOnlyError(WriteError):
+    """The dataset is in fail-stop read-only degraded mode; writes are rejected.
+
+    Entered when the dataset's journal hits an I/O fault (disk full, failed
+    fsync, torn write): accepting further edits whose durability cannot be
+    guaranteed would silently break the acknowledged-means-durable contract,
+    so the coordinator rejects them loudly (HTTP 503) while reads continue.
+    Cleared only by reopening the service over repaired storage.
+    """
+
+    def __init__(self, dataset: str, reason: str) -> None:
+        super().__init__(
+            f"dataset {dataset!r} is read-only (degraded): {reason}; "
+            "reads continue, edits are rejected until storage is repaired"
+        )
+        self.dataset = dataset
+        self.reason = reason
 
 
 class UnknownEditError(WriteError):

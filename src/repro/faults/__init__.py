@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the write and cluster subsystems."""
+
+from .registry import (
+    ENV_VAR,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear,
+    fault_check,
+    install,
+    install_from_env,
+    set_identity,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear",
+    "fault_check",
+    "install",
+    "install_from_env",
+    "set_identity",
+]

@@ -1,0 +1,320 @@
+"""Deterministic, seeded fault-injection registry.
+
+Robustness claims ("an acknowledged edit survives a SIGKILL", "the router
+retries a write across an owner crash without double-apply") are only testable
+if the failures themselves are reproducible.  This module provides named
+**injection points** compiled into the hot paths of the write and cluster
+subsystems, and a :class:`FaultPlan` — a seeded schedule of :class:`FaultRule`
+triggers — that decides, deterministically, which hits of which point misfire
+and how.
+
+Injection points currently wired in (the catalog; see ``docs/robustness.md``):
+
+======================  =====================================================
+``journal.append``      before a journal record's bytes reach the file
+                        (``error`` fails the append; ``torn`` writes half the
+                        frame first — a crash mid-``write``)
+``journal.fsync``       before the fsync of an append or an explicit sync
+``journal.truncate``    before a checkpoint's journal truncation
+``checkpoint.save``     before a checkpoint's incremental ``save_to_sqlite``
+``checkpoint.truncate`` between the save and the truncation (the
+                        double-apply crash window)
+``worker.request``      worker HTTP endpoint, before dispatching a request
+``worker.response``     worker HTTP endpoint, after the handler but before
+                        the response bytes are written (``drop`` closes the
+                        socket — the "worker died after applying, before
+                        acking" shape; ``kill`` SIGKILLs the process)
+``client.exchange``     router side, between writing a proxied request and
+                        reading the worker's response
+======================  =====================================================
+
+A point costs one module-global ``None`` check when no plan is installed —
+the production fast path.  Plans are installed per process: explicitly via
+:func:`install`, or (for spawned worker processes) from the ``REPRO_FAULTS``
+environment variable or ``ClusterConfig.fault_plan`` at worker start.  Rules
+can be scoped to one process identity (``worker="w0"``; workers call
+:func:`set_identity` at startup), so a cluster-wide plan can SIGKILL exactly
+the dataset's rendezvous owner and nobody else.
+
+Everything is thread-safe: hit counters advance under a lock, and the
+per-rule ``random.Random`` streams are derived from ``(plan seed, rule
+index)``, so two runs of the same plan misfire on exactly the same hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear",
+    "fault_check",
+    "install",
+    "install_from_env",
+    "set_identity",
+]
+
+#: Environment variable holding a JSON-encoded plan; spawned worker processes
+#: inherit it and auto-install at import time.
+ENV_VAR = "REPRO_FAULTS"
+
+_ACTIONS = {"error", "torn", "drop", "delay", "kill"}
+
+
+class FaultInjected(Exception):
+    """Raised at an injection point when a rule with a raising action fires.
+
+    ``action`` tells the instrumented call site what failure to simulate:
+    ``error`` (a generic I/O or handler failure), ``torn`` (a partial journal
+    write), or ``drop`` (close the connection without responding).  ``delay``
+    and ``kill`` never surface as this exception — they happen inside the
+    check itself.
+    """
+
+    def __init__(self, point: str, action: str, rule: str = "") -> None:
+        super().__init__(f"injected {action!r} fault at {point!r}"
+                         + (f" (rule {rule!r})" if rule else ""))
+        self.point = point
+        self.action = action
+        self.rule = rule
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One trigger schedule for one injection point.
+
+    A rule observes every *hit* of its point (after ``worker`` / ``match``
+    scoping) and fires according to its schedule:
+
+    ``nth``
+        Fire on exactly the nth scoped hit (1-based).  "Fail the 3rd fsync".
+    ``every``
+        Fire on every k-th scoped hit.  "Drop every 5th proxy connection".
+    ``after``
+        Skip the first ``after`` scoped hits, then let ``nth`` / ``every`` /
+        ``probability`` apply to the rest.
+    ``times``
+        Stop firing after this many fires (``0``: unlimited).
+    ``probability``
+        Fire each eligible hit with this probability, from the rule's own
+        seeded random stream — deterministic for a fixed plan seed.
+
+    ``worker`` scopes the rule to one process identity (see
+    :func:`set_identity`); ``match`` requires the substring to occur in one of
+    the call site's context values (e.g. the request target).  ``delay_ms``
+    applies to ``delay`` (sleep then continue) and ``kill`` (sleep in a
+    background thread, then SIGKILL — "die 10ms after the ack went out").
+    """
+
+    point: str
+    action: str = "error"
+    nth: int = 0
+    every: int = 0
+    after: int = 0
+    times: int = 0
+    probability: float = 1.0
+    delay_ms: float = 0.0
+    worker: str = ""
+    match: str = ""
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of "
+                + ", ".join(sorted(_ACTIONS))
+            )
+        if not self.point:
+            raise ValueError("a fault rule needs an injection point")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+
+
+@dataclass
+class _RuleState:
+    """Mutable per-rule bookkeeping (hits seen, fires granted, RNG stream)."""
+
+    rule: FaultRule
+    rng: random.Random
+    hits: int = 0
+    fires: int = 0
+
+
+class FaultPlan:
+    """A named, seeded set of fault rules evaluated at every injection point."""
+
+    def __init__(self, rules: list[FaultRule] | tuple[FaultRule, ...],
+                 seed: int = 0, name: str = "plan") -> None:
+        self.name = name
+        self.seed = int(seed)
+        self.rules: tuple[FaultRule, ...] = tuple(rules)
+        self._lock = threading.Lock()
+        self._states = [
+            _RuleState(rule=rule, rng=random.Random(f"{self.seed}:{index}"))
+            for index, rule in enumerate(self.rules)
+        ]
+
+    # -------------------------------------------------------------- evaluation
+
+    def check(self, point: str, ctx: dict[str, object], identity: str) -> None:
+        """Evaluate every rule against one hit of ``point``.
+
+        Raises :class:`FaultInjected` for raising actions; sleeps for
+        ``delay``; arms (or performs) a SIGKILL for ``kill``.  At most one
+        rule fires per hit — the first matching one in plan order.
+        """
+        fired: FaultRule | None = None
+        with self._lock:
+            for state in self._states:
+                rule = state.rule
+                if rule.point != point:
+                    continue
+                if rule.worker and rule.worker != identity:
+                    continue
+                if rule.match and not any(
+                    rule.match in str(value) for value in ctx.values()
+                ):
+                    continue
+                state.hits += 1
+                scoped = state.hits
+                if rule.after and scoped <= rule.after:
+                    continue
+                if rule.times and state.fires >= rule.times:
+                    continue
+                if rule.nth and scoped - rule.after != rule.nth:
+                    continue
+                if rule.every and (scoped - rule.after) % rule.every != 0:
+                    continue
+                if rule.probability < 1.0 and state.rng.random() >= rule.probability:
+                    continue
+                state.fires += 1
+                fired = rule
+                break
+        if fired is None:
+            return
+        self._perform(point, fired)
+
+    @staticmethod
+    def _perform(point: str, rule: FaultRule) -> None:
+        if rule.action == "delay":
+            # Deliberately blocking, even on an event loop: the simulated
+            # failure is a *hung process*, not a politely-async slow query.
+            time.sleep(rule.delay_ms / 1000.0)
+            return
+        if rule.action == "kill":
+            if rule.delay_ms > 0:
+                # Let the caller finish (flush the ack) before dying — the
+                # "SIGKILL 10ms after ack" schedule.
+                timer = threading.Timer(
+                    rule.delay_ms / 1000.0,
+                    os.kill, args=(os.getpid(), signal.SIGKILL),
+                )
+                timer.daemon = True
+                timer.start()
+                return
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover - the line above does not return
+        raise FaultInjected(point, rule.action, rule.name)
+
+    # ------------------------------------------------------------- observation
+
+    def fire_count(self, point: str | None = None) -> int:
+        """Total fires so far, optionally restricted to one point."""
+        with self._lock:
+            return sum(
+                state.fires for state in self._states
+                if point is None or state.rule.point == point
+            )
+
+    def hit_count(self, point: str | None = None) -> int:
+        """Total scoped hits observed, optionally restricted to one point."""
+        with self._lock:
+            return sum(
+                state.hits for state in self._states
+                if point is None or state.rule.point == point
+            )
+
+    # ----------------------------------------------------------- serialisation
+
+    def to_json(self) -> str:
+        """Serialise the plan (rules + seed) for env/config transport."""
+        return json.dumps({
+            "name": self.name,
+            "seed": self.seed,
+            "rules": [asdict(rule) for rule in self.rules],
+        }, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        decoded = json.loads(text)
+        rules = [FaultRule(**raw) for raw in decoded.get("rules", [])]
+        return cls(
+            rules, seed=int(decoded.get("seed", 0)),
+            name=str(decoded.get("name", "plan")),
+        )
+
+
+# ------------------------------------------------------------- module globals
+
+_PLAN: FaultPlan | None = None
+_IDENTITY = ""
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Activate ``plan`` in this process; returns it."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def clear() -> None:
+    """Deactivate fault injection in this process."""
+    global _PLAN
+    _PLAN = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, or ``None``."""
+    return _PLAN
+
+
+def set_identity(identity: str) -> None:
+    """Declare this process's identity for ``FaultRule.worker`` scoping."""
+    global _IDENTITY
+    _IDENTITY = identity
+
+
+def install_from_env() -> FaultPlan | None:
+    """Install the plan carried by ``$REPRO_FAULTS`` (``None`` if unset)."""
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    return install(FaultPlan.from_json(text))
+
+
+def fault_check(point: str, **ctx: object) -> None:
+    """The injection-point hook compiled into instrumented call sites.
+
+    One ``None`` check when no plan is installed; with a plan, evaluates the
+    rules (raising :class:`FaultInjected`, sleeping, or killing the process
+    as scheduled).
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    plan.check(point, ctx, _IDENTITY)
+
+
+# Spawned worker processes inherit the router's environment: a plan published
+# via $REPRO_FAULTS becomes active in every process that imports this module.
+install_from_env()

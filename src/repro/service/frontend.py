@@ -335,7 +335,8 @@ class GraphVizDBService:
             self._release(dataset)
 
     async def edit(
-        self, dataset: str, op: str, args: dict, layer: int = 0
+        self, dataset: str, op: str, args: dict, layer: int = 0,
+        idempotency_key: str | None = None,
     ) -> dict[str, object]:
         """Apply one durable edit (the HTTP ``POST /edit/<op>`` entry point).
 
@@ -351,6 +352,12 @@ class GraphVizDBService:
         A checkpoint (incremental save + journal truncation) is scheduled in
         the background once the journal passes the configured depth; the
         triggering edit does not wait for it.
+
+        ``idempotency_key`` (the ``idempotency_key`` query parameter on
+        ``POST /edit/*``) makes the edit safely retryable: the coordinator
+        journals the key with the record and suppresses re-application, so a
+        client — or the cluster router failing over a write whose first owner
+        died mid-ack — can resend without risking a double apply.
         """
         self._require_started()
         self._admit(dataset)
@@ -360,7 +367,7 @@ class GraphVizDBService:
             async with self.writes.lock_for(dataset):
                 result = await self._run(
                     self.writes.apply_sync, dataset, database, path, op, args,
-                    layer,
+                    layer, idempotency_key,
                 )
             if path is not None and self.writes.checkpoint_due(dataset):
                 self.writes.schedule_checkpoint(
@@ -410,6 +417,7 @@ class GraphVizDBService:
             "open_datasets": len(self.pool),
             "resident_bytes": self.pool.total_resident_bytes(),
             "sessions": len(self._sessions),
+            "read_only": self.writes.read_only_datasets(),
         }
 
     # ----------------------------------------------------------------- sessions
@@ -590,9 +598,12 @@ class ServiceRuntime:
         """Blocking :meth:`GraphVizDBService.nearest`."""
         return self._call(self.service.nearest(dataset, point, k=k, layer=layer))
 
-    def edit(self, dataset: str, op: str, args: dict, layer: int = 0):
+    def edit(self, dataset: str, op: str, args: dict, layer: int = 0,
+             idempotency_key: str | None = None):
         """Blocking :meth:`GraphVizDBService.edit`."""
-        return self._call(self.service.edit(dataset, op, args, layer=layer))
+        return self._call(self.service.edit(
+            dataset, op, args, layer=layer, idempotency_key=idempotency_key
+        ))
 
     def create_session(self, dataset: str, start_layer: int = 0) -> str:
         """Blocking :meth:`GraphVizDBService.create_session`."""

@@ -49,11 +49,13 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import random
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.json_builder import payload_to_json
 from ..core.query_manager import KeywordSearchResult, WindowQueryResult
 from ..errors import (
+    DatasetReadOnlyError,
     GraphVizDBError,
     JournalError,
     LayerNotFoundError,
@@ -62,10 +64,23 @@ from ..errors import (
     ServiceOverloadedError,
     UnknownEditError,
 )
+from ..faults import FaultInjected, fault_check
 from ..spatial.geometry import Point, Rect
 from .frontend import GraphVizDBService
 
-__all__ = ["serve_http", "serve_connection"]
+__all__ = ["serve_http", "serve_connection", "DEADLINE_HEADER"]
+
+#: Request header carrying the remaining deadline budget in milliseconds.
+#: The router stamps it on proxied requests from its own remaining budget;
+#: the worker clamps its per-request timeout to it and rejects requests whose
+#: deadline already expired at admission (no point computing an answer the
+#: proxy has stopped waiting for).
+DEADLINE_HEADER = "x-gvdb-deadline-ms"
+
+#: Jittered Retry-After range (seconds) for 503/504 responses: a fleet of
+#: clients seeing the same outage must not be told to come back in lockstep.
+_RETRY_AFTER_RANGE = (1, 3)
+_retry_after_rng = random.Random()
 
 _STATUS_TEXT = {
     200: "OK",
@@ -95,9 +110,13 @@ async def serve_connection(
     router: reads requests (idle-expiring after ``keepalive_seconds``; ``0``
     closes after one response), answers methods other than GET/POST with 405,
     and otherwise delegates to ``respond`` — an async callable ``(method,
-    target, body) -> (status, payload_bytes)`` that must not raise.  503/504
-    responses carry a ``Retry-After`` hint (both are the retryable statuses
-    of this API).
+    target, body, headers) -> (status, payload_bytes)`` (optionally a
+    three-tuple with extra response headers) that must not raise, except for
+    :class:`~repro.faults.FaultInjected` with the ``drop`` action, which
+    closes the connection without a response (the injected "died before
+    acking" failure shape).  503/504 responses carry a jittered
+    ``Retry-After`` hint (both are the retryable statuses of this API), so
+    synchronized clients do not retry as one wave.
     """
     try:
         while True:
@@ -109,6 +128,7 @@ async def serve_connection(
                 keepalive_seconds > 0
                 and headers.get("connection", "").lower() != "close"
             )
+            extra_headers: dict[str, str] = {}
             if method not in ("GET", "POST"):
                 status: int = 405
                 payload: bytes = json.dumps(
@@ -116,12 +136,27 @@ async def serve_connection(
                 ).encode()
                 keep_alive = False
             else:
-                status, payload = await respond(method, target, body)
+                try:
+                    result = await respond(method, target, body, headers)
+                except FaultInjected:
+                    break  # injected connection drop: no response bytes
+                if len(result) == 3:
+                    status, payload, extra_headers = result
+                else:
+                    status, payload = result
+            retry_after = (
+                f"Retry-After: {_retry_after_rng.randint(*_RETRY_AFTER_RANGE)}\r\n"
+                if status in (503, 504) else ""
+            )
             response_headers = (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(payload)}\r\n"
-                + ("Retry-After: 1\r\n" if status in (503, 504) else "")
+                + retry_after
+                + "".join(
+                    f"{name}: {value}\r\n"
+                    for name, value in extra_headers.items()
+                )
                 + f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
             )
             writer.write(response_headers.encode() + payload)
@@ -167,28 +202,71 @@ async def serve_http(
     if request_timeout_seconds is None:
         request_timeout_seconds = config.http_request_timeout_seconds
 
-    async def respond(method: str, target: str, request_body: bytes) -> tuple[int, bytes]:
+    async def respond(
+        method: str, target: str, request_body: bytes,
+        request_headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes]:
+        request_headers = request_headers or {}
         try:
-            if request_timeout_seconds > 0:
+            fault_check("worker.request", method=method, target=target)
+        except FaultInjected as fault:
+            if fault.action == "drop":
+                raise  # serve_connection closes the socket without a response
+            return 500, json.dumps({"error": str(fault)}).encode()
+        # Deadline admission: honour the router's propagated budget.  An
+        # already-expired deadline is rejected before any work; otherwise the
+        # request timeout is clamped to the remaining budget, so the worker
+        # never computes longer than anyone upstream is still waiting.
+        budget = request_timeout_seconds
+        remaining = _deadline_remaining(request_headers)
+        if remaining is not None:
+            if remaining <= 0:
+                service.metrics.record_deadline_rejection()
+                return 504, json.dumps(
+                    {"error": "deadline expired before admission"}
+                ).encode()
+            budget = min(budget, remaining) if budget > 0 else remaining
+        try:
+            if budget > 0:
                 status, body = await asyncio.wait_for(
-                    _respond(service, method, target, request_body),
-                    request_timeout_seconds,
+                    _respond(service, method, target, request_body), budget
                 )
             else:
                 status, body = await _respond(service, method, target, request_body)
         except asyncio.TimeoutError:
             status, body = 504, {
-                "error": "request exceeded the "
-                f"{request_timeout_seconds:g}s server budget"
+                "error": f"request exceeded the {budget:g}s server budget"
             }
         except Exception:  # defence: a handler bug must not kill the server
             status, body = 500, {"error": "internal server error"}
+        try:
+            fault_check(
+                "worker.response", method=method, target=target, status=status
+            )
+        except FaultInjected as fault:
+            if fault.action == "drop":
+                # The handler ran to completion (an edit is journalled and
+                # applied) but the response is lost: the ambiguous-outcome
+                # failure the idempotency-key machinery exists to make safe.
+                raise
+            return 500, json.dumps({"error": str(fault)}).encode()
         return status, body if isinstance(body, bytes) else json.dumps(body).encode()
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         await serve_connection(reader, writer, respond, keepalive_seconds)
 
     return await asyncio.start_server(handle, host=host, port=port)
+
+
+def _deadline_remaining(headers: dict[str, str]) -> float | None:
+    """Seconds left on the request's propagated deadline (``None``: no header)."""
+    raw = headers.get(DEADLINE_HEADER)
+    if raw is None:
+        return None
+    try:
+        return float(raw) / 1000.0
+    except ValueError:
+        return None
 
 
 async def _read_request(
@@ -248,6 +326,11 @@ async def _respond(
         # Lookup failures (unknown dataset/layer/node/session) are the
         # client's fault: not found.
         return 404, {"error": str(exc)}
+    except DatasetReadOnlyError as exc:
+        # Fail-stop degraded mode: the journal's storage is failing, so the
+        # dataset rejects writes while reads continue.  503 (not 500): the
+        # router may retry on another owner whose storage is healthy.
+        return 503, {"error": str(exc), "read_only": True}
     except JournalError as exc:
         # The edit could not be made durable: a server-side storage problem,
         # and emphatically not retryable-as-503 (retrying cannot help until
@@ -361,7 +444,8 @@ async def _route_edit(
     if not isinstance(args, dict):
         return 400, {"error": "bad request: edit body must be a JSON object"}
     result = await service.edit(
-        params["dataset"], op, args, layer=int(params.get("layer", "0"))
+        params["dataset"], op, args, layer=int(params.get("layer", "0")),
+        idempotency_key=params.get("idempotency_key"),
     )
     return 200, result
 

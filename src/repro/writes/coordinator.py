@@ -23,22 +23,31 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+from collections import OrderedDict
 from pathlib import Path
 
 from ..config import GraphVizDBConfig, WriteConfig
 from ..core.editing import GraphEditor
 from ..core.monitoring import ServiceMetrics
-from ..errors import ServiceError
+from ..errors import DatasetReadOnlyError, JournalError, ServiceError
+from ..faults import fault_check
 from ..storage.database import GraphVizDatabase
 from .journal import (
     CHECKPOINT_META_KEY,
     WriteAheadJournal,
     journal_path_for,
     last_checkpoint_seq,
+    read_journal_records,
 )
 from .ops import apply_edit
 
 __all__ = ["WriteCoordinator"]
+
+#: Per-dataset bound on remembered idempotency keys.  The router retries a
+#: write within seconds of the original, so even a small window suffices; the
+#: bound only exists so a client fabricating fresh keys cannot grow the map
+#: without limit.
+_IDEMPOTENCY_KEYS_PER_DATASET = 4096
 
 
 class WriteCoordinator:
@@ -56,6 +65,27 @@ class WriteCoordinator:
         self._journals: dict[str, WriteAheadJournal] = {}
         self._checkpointing: set[str] = set()
         self._checkpoint_tasks: set[asyncio.Task] = set()
+        #: ``dataset -> idempotency key -> acknowledgement`` (LRU-bounded).
+        #: Seeded from the journal on first open, so dedup survives both a
+        #: process restart and a failover to a worker sharing the journal.
+        self._applied_keys: dict[str, OrderedDict[str, dict]] = {}
+        #: ``dataset -> reason`` for datasets in fail-stop read-only mode.
+        self._read_only: dict[str, str] = {}
+
+    # --------------------------------------------------------------- read-only
+
+    def read_only_reason(self, dataset: str) -> str | None:
+        """Why the dataset is read-only (``None``: it accepts writes)."""
+        return self._read_only.get(dataset)
+
+    def read_only_datasets(self) -> list[str]:
+        """Sorted names of datasets currently in read-only degraded mode."""
+        return sorted(self._read_only)
+
+    def _enter_read_only(self, dataset: str, reason: str) -> None:
+        if dataset not in self._read_only:
+            self._read_only[dataset] = reason
+            self.metrics.record_read_only_transition()
 
     # ----------------------------------------------------------- serialisation
 
@@ -86,7 +116,22 @@ class WriteCoordinator:
                 # watermark).
                 min_seq=last_checkpoint_seq(sqlite_path),
             )
+            # Seed the idempotency map from the journal's surviving records:
+            # an edit acknowledged by a crashed owner is deduplicated here
+            # even though *this* process never applied it live (replay did).
+            keys = self._applied_keys.setdefault(dataset, OrderedDict())
+            for record in read_journal_records(journal.path):
+                idem = record.args.get("idem")
+                if idem:
+                    keys[str(idem)] = {
+                        "op": record.op, "dataset": dataset, "seq": record.seq,
+                    }
+            self._trim_keys(keys)
         return journal
+
+    def _trim_keys(self, keys: "OrderedDict[str, dict]") -> None:
+        while len(keys) > _IDEMPOTENCY_KEYS_PER_DATASET:
+            keys.popitem(last=False)
 
     def journal_depth(self, dataset: str) -> int:
         """Un-checkpointed records currently in the dataset's journal."""
@@ -103,6 +148,7 @@ class WriteCoordinator:
         op: str,
         args: dict,
         layer: int = 0,
+        idempotency_key: str | None = None,
     ) -> dict[str, object]:
         """Journal and apply one edit (worker thread; caller holds the lock).
 
@@ -111,31 +157,71 @@ class WriteCoordinator:
         post-edit monotonic edit counter — the router uses the latter to
         invalidate its window cache eagerly instead of waiting for the next
         health probe.
+
+        ``idempotency_key`` makes the edit safely retryable: a key this
+        coordinator has already applied (live, or via journal replay after a
+        failover) is *not* applied again — the original acknowledgement is
+        returned with ``"deduplicated": True``.  The key is persisted inside
+        the journal record, so the exactly-once guarantee survives crashes
+        and owner changes, not just process-local retries.
         """
-        # The layer is carried out-of-band (query parameter / replay record
-        # key), never inside the op arguments — a stray "layer" in the body
-        # would otherwise make the replayed edit target a different layer
-        # than the live apply did.
+        reason = self._read_only.get(dataset)
+        if reason is not None:
+            self.metrics.record_read_only_rejection()
+            raise DatasetReadOnlyError(dataset, reason)
+        # The layer and idempotency key are carried out-of-band (query
+        # parameter / replay record key), never inside the op arguments — a
+        # stray "layer" in the body would otherwise make the replayed edit
+        # target a different layer than the live apply did.
         args = dict(args)
         args.pop("layer", None)
+        args.pop("idem", None)
         journal = self.journal_for(dataset, sqlite_path)
+        applied = self._applied_keys.setdefault(dataset, OrderedDict())
+        if idempotency_key is not None:
+            previous = applied.get(idempotency_key)
+            if previous is not None:
+                applied.move_to_end(idempotency_key)
+                self.metrics.record_write_deduplicated()
+                return {
+                    **previous,
+                    "deduplicated": True,
+                    "edit_counter": database.edit_counter(),
+                }
         seq = 0
         if journal is not None:
             record_args = dict(args)
             if layer:
                 record_args["layer"] = layer
-            seq, synced = journal.append(op, record_args)
+            if idempotency_key is not None:
+                record_args["idem"] = idempotency_key
+            try:
+                seq, synced = journal.append(op, record_args)
+            except JournalError as exc:
+                if exc.io_fault:
+                    # Fail-stop: durability of further appends is undefined,
+                    # so the dataset stops accepting writes rather than
+                    # silently weakening the acknowledged-means-durable
+                    # contract.  Reads continue.
+                    self._enter_read_only(dataset, str(exc))
+                    self.metrics.record_read_only_rejection()
+                    raise DatasetReadOnlyError(dataset, str(exc)) from exc
+                raise
             self.metrics.record_journal_append(synced)
         editor = GraphEditor(database, layer=layer)
         result = apply_edit(editor, op, args)
         self.metrics.record_write()
-        return {
+        ack: dict[str, object] = {
             "op": op,
             "dataset": dataset,
             "seq": seq,
             "edit_counter": database.edit_counter(),
             **result,
         }
+        if idempotency_key is not None:
+            applied[idempotency_key] = ack
+            self._trim_keys(applied)
+        return ack
 
     # ------------------------------------------------------------- checkpoints
 
@@ -143,6 +229,10 @@ class WriteCoordinator:
         """``True`` when the journal has grown past the checkpoint threshold."""
         threshold = self.write_config.checkpoint_every_records
         if threshold <= 0 or dataset in self._checkpointing:
+            return False
+        if dataset in self._read_only:
+            # A read-only dataset's journal is frozen evidence; a checkpoint
+            # would truncate it against storage already known to be failing.
             return False
         return self.journal_depth(dataset) >= threshold
 
@@ -177,6 +267,12 @@ class WriteCoordinator:
             # The service is stopping: the journal keeps every record, so the
             # next open simply replays instead of restoring a checkpoint.
             pass
+        except Exception:
+            # A failed background checkpoint (I/O error mid-save, injected
+            # fault) is safe to swallow: the journal still holds every
+            # record, so nothing acknowledged is at risk — the next open
+            # replays.  Count it so operators see checkpointing is stuck.
+            self.metrics.record_checkpoint_failure()
         finally:
             self._checkpointing.discard(dataset)
 
@@ -210,10 +306,15 @@ class WriteCoordinator:
         if journal is None:
             return 0
         watermark = journal.last_seq
+        fault_check("checkpoint.save", dataset=dataset, watermark=watermark)
         save_to_sqlite(
             database, sqlite_path,
             extra_meta={CHECKPOINT_META_KEY: str(watermark)},
         )
+        # The crash window between save and truncation: replay skips records
+        # at or below the watermark now inside the SQLite file, so a death
+        # here cannot double-apply.
+        fault_check("checkpoint.truncate", dataset=dataset, watermark=watermark)
         remaining = journal.truncate_through(watermark)
         self.metrics.record_checkpoint()
         return remaining

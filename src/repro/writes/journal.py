@@ -41,6 +41,7 @@ skips records at or below the checkpoint recorded in the database.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -56,6 +57,7 @@ from ..errors import (
     QueryError,
     UnknownEditError,
 )
+from ..faults import FaultInjected, fault_check
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.monitoring import ServiceMetrics
@@ -229,26 +231,73 @@ class WriteAheadJournal:
                     f"{self.max_record_bytes}-byte journal record limit"
                 )
             handle = self._open_handle()
+            frame = (
+                len(payload).to_bytes(_LENGTH_BYTES, "little")
+                + _digest(payload)
+                + payload
+            )
+            # The pre-append file size, for rollback: a record that reached
+            # the file but whose append ultimately *failed* (fsync error) was
+            # never acknowledged, and must not be resurrected by replay.
+            start = self._size_locked(handle)
             try:
-                handle.write(
-                    len(payload).to_bytes(_LENGTH_BYTES, "little")
-                    + _digest(payload)
-                    + payload
-                )
+                fault_check("journal.append", path=str(self.path), seq=seq)
+                handle.write(frame)
                 handle.flush()
-                self._next_seq = seq + 1
-                self._pending_records += 1
-                self._unsynced += 1
                 synced = False
-                if self.fsync == "always" or (
-                    self.fsync == "batch" and self._unsynced >= self.fsync_batch
-                ):
+                will_sync = self.fsync == "always" or (
+                    self.fsync == "batch" and self._unsynced + 1 >= self.fsync_batch
+                )
+                if will_sync:
+                    fault_check("journal.fsync", path=str(self.path), seq=seq)
                     os.fsync(handle.fileno())
-                    self._unsynced = 0
                     synced = True
+            except FaultInjected as exc:
+                if exc.action == "torn":
+                    # Simulate a crash mid-write: leave half the frame behind.
+                    with contextlib.suppress(OSError):
+                        handle.write(frame[: max(1, len(frame) // 2)])
+                        handle.flush()
+                else:
+                    self._rollback_locked(handle, start)
+                raise JournalError(
+                    f"journal append to {self.path} failed: {exc}", io_fault=True
+                ) from exc
             except OSError as exc:
-                raise JournalError(f"journal append to {self.path} failed: {exc}") from exc
+                self._rollback_locked(handle, start)
+                raise JournalError(
+                    f"journal append to {self.path} failed: {exc}", io_fault=True
+                ) from exc
+            self._next_seq = seq + 1
+            self._pending_records += 1
+            if synced:
+                self._unsynced = 0
+            else:
+                self._unsynced += 1
             return seq, synced
+
+    @staticmethod
+    def _size_locked(handle) -> int:
+        try:
+            return os.fstat(handle.fileno()).st_size
+        except OSError:
+            return -1
+
+    @staticmethod
+    def _rollback_locked(handle, size: int) -> None:
+        """Best-effort truncation back to the pre-append size.
+
+        A failed append may have left a complete record on disk (a failed
+        *fsync* follows a successful write): without the rollback, a later
+        replay would apply an edit the client was told failed.  Truncation
+        needs no new disk blocks, so it usually succeeds even when the write
+        failed for lack of space; if it too fails, the coordinator's
+        read-only mode keeps the journal from growing past the damage.
+        """
+        if size < 0:
+            return
+        with contextlib.suppress(OSError, ValueError):
+            handle.truncate(size)
 
     def sync(self) -> None:
         """Force an fsync of everything appended so far (any policy)."""
@@ -256,10 +305,13 @@ class WriteAheadJournal:
             if self._handle is None:
                 return
             try:
+                fault_check("journal.fsync", path=str(self.path), seq=-1)
                 self._handle.flush()
                 os.fsync(self._handle.fileno())
-            except OSError as exc:
-                raise JournalError(f"journal sync of {self.path} failed: {exc}") from exc
+            except (OSError, FaultInjected) as exc:
+                raise JournalError(
+                    f"journal sync of {self.path} failed: {exc}", io_fault=True
+                ) from exc
             self._unsynced = 0
 
     def _open_handle(self):
@@ -293,6 +345,7 @@ class WriteAheadJournal:
             ]
             temp = self.path.with_name(self.path.name + ".truncate")
             try:
+                fault_check("journal.truncate", path=str(self.path), seq=seq)
                 with open(temp, "wb") as handle:
                     for record in remaining:
                         payload = json.dumps(
@@ -310,9 +363,9 @@ class WriteAheadJournal:
                     self._handle.close()
                     self._handle = None
                 temp.replace(self.path)
-            except OSError as exc:
+            except (OSError, FaultInjected) as exc:
                 raise JournalError(
-                    f"journal truncation of {self.path} failed: {exc}"
+                    f"journal truncation of {self.path} failed: {exc}", io_fault=True
                 ) from exc
             self._pending_records = len(remaining)
             self._unsynced = 0
@@ -370,6 +423,9 @@ def replay_journal(
             continue
         args = dict(record.args)
         layer = int(args.pop("layer", 0))
+        # The idempotency key rides in the record out-of-band, like "layer":
+        # it must never reach the op applier as an argument.
+        args.pop("idem", None)
         editor = editors.get(layer)
         if editor is None:
             editor = editors[layer] = GraphEditor(database, layer=layer)

@@ -11,17 +11,21 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time
 
 import pytest
 
+from repro import faults
 from repro.cluster.cache import WindowResultCache
 from repro.cluster.hashing import rendezvous_owner, rendezvous_ranking
+from repro.cluster.resilience import CircuitBreaker, jittered_backoff
 from repro.cluster.router import ClusterRuntime, merge_summaries
 from repro.config import ClusterConfig, GraphVizDBConfig, ServiceConfig
 from repro.core.monitoring import ServiceMetrics
 from repro.errors import ClusterError
+from repro.faults import FaultPlan, FaultRule
 from repro.service.pool import DatasetPool
 from repro.storage.sqlite_backend import save_to_sqlite
 
@@ -395,7 +399,8 @@ class TestClusterFailure:
                 with lock:
                     statuses.append(status)
                     if status == 503:
-                        assert headers.get("Retry-After") == "1"
+                        # Jittered to decorrelate client retry waves.
+                        assert headers.get("Retry-After") in {"1", "2", "3"}
 
             threads = [
                 threading.Thread(target=client, args=(i,)) for i in range(12)
@@ -684,3 +689,206 @@ class TestSessionCommandLevel404:
         status, body, _ = _get(port, f"/session/{session_id}/close")
         assert status == 200 and body["closed"] is True
         assert live_cluster.router.sessions.get(session_id) is None
+
+
+class TestStaleArchive:
+    """Unit: last-known-good responses retained for degraded-mode serving."""
+
+    def test_eviction_and_invalidation_feed_the_archive(self):
+        cache = WindowResultCache(capacity=1, stale_capacity=4)
+        cache.put("a", "ds", 200, b"A")
+        cache.put("b", "ds", 200, b"B")  # LRU-evicts "a" into the archive
+        assert cache.get_stale("a").body == b"A"
+        cache.invalidate_dataset("ds")  # archives "b" on the way out
+        assert cache.get_stale("b").body == b"B"
+        assert len(cache) == 0
+        assert cache.summary()["stale_entries"] == 2
+
+    def test_fresh_response_supersedes_the_archive(self):
+        cache = WindowResultCache(capacity=1, stale_capacity=4)
+        cache.put("a", "ds", 200, b"old")
+        cache.invalidate_dataset("ds")
+        assert cache.get_stale("a") is not None
+        cache.put("a", "ds", 200, b"new")
+        # A live response exists again: the stale copy must never shadow it.
+        assert cache.get_stale("a") is None
+        assert cache.get("a").body == b"new"
+
+    def test_non_200_and_disabled_archive_are_not_kept(self):
+        cache = WindowResultCache(capacity=1, stale_capacity=4)
+        cache.put("err", "ds", 404, b"nope")
+        cache.invalidate_dataset("ds")
+        assert cache.get_stale("err") is None  # only good responses archived
+        disabled = WindowResultCache(capacity=1, stale_capacity=0)
+        disabled.put("a", "ds", 200, b"A")
+        disabled.invalidate_dataset("ds")
+        assert disabled.get_stale("a") is None
+
+    def test_archive_is_lru_bounded(self):
+        cache = WindowResultCache(capacity=1, stale_capacity=2)
+        for index in range(4):  # each put evicts (and archives) its predecessor
+            cache.put(f"k{index}", "ds", 200, str(index).encode())
+        assert cache.get_stale("k0") is None  # pushed out by k1, k2
+        assert cache.get_stale("k1") is not None
+        assert cache.get_stale("k2") is not None
+
+    def test_clear_drops_the_archive_too(self):
+        cache = WindowResultCache(capacity=1, stale_capacity=4)
+        cache.put("a", "ds", 200, b"A")
+        cache.invalidate_dataset("ds")
+        cache.clear()
+        assert cache.get_stale("a") is None
+        assert cache.summary()["stale_entries"] == 0
+
+
+class TestCircuitBreaker:
+    def test_opens_on_threshold_edge_exactly_once(self):
+        breaker = CircuitBreaker(3)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # the opening edge
+        assert breaker.is_open and breaker.state == "open"
+        assert breaker.record_failure() is False  # already open: no new edge
+
+    def test_success_closes_and_resets_the_count(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_failure()
+        assert breaker.record_failure() is True
+        assert breaker.record_success() is True  # closed an open circuit
+        assert not breaker.is_open and breaker.consecutive_failures == 0
+        assert breaker.record_success() is False  # already closed
+        # The failure count restarted from zero.
+        assert breaker.record_failure() is False
+
+    def test_nonpositive_threshold_never_opens(self):
+        breaker = CircuitBreaker(0)
+        for _ in range(10):
+            assert breaker.record_failure() is False
+        assert not breaker.is_open and breaker.state == "closed"
+
+
+class TestJitteredBackoff:
+    def test_zero_base_disables_backoff(self):
+        assert jittered_backoff(3, 0.0, 1.0, 0.5) == 0.0
+
+    def test_exponential_growth_capped_at_max(self):
+        delays = [jittered_backoff(a, 0.1, 0.5, 0.0) for a in range(1, 6)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_extends_within_the_fraction(self):
+        rng = random.Random(7)
+        for attempt in range(1, 8):
+            delay = jittered_backoff(attempt, 0.1, 10.0, 0.5, rng)
+            base = 0.1 * 2 ** (attempt - 1)
+            assert base <= delay <= base * 1.5
+
+
+class TestClusterRobustness:
+    """Fault-plan driven live coverage: write retries with exactly-once
+    semantics across an owner kill, degraded stale window serving with no
+    healthy owner, and client deadline admission."""
+
+    @pytest.fixture
+    def write_shards(self, patent_result, tmp_path):
+        """Fresh shards per test — writes must not leak across tests."""
+        paths = {}
+        for name in ("edit-a", "edit-b"):
+            path = tmp_path / f"{name}.db"
+            save_to_sqlite(patent_result.database, path)
+            paths[name] = str(path)
+        return paths
+
+    def test_edit_retried_across_owner_kill_without_double_apply(
+        self, write_shards
+    ):
+        # SIGKILL the owner after it applied + journalled the edit but
+        # before the acknowledgement leaves — the ambiguous failure that
+        # makes naive write retries double-apply.
+        victim = rendezvous_owner("edit-a", ["w0", "w1"])
+        plan = FaultPlan(
+            [FaultRule(
+                point="worker.response", action="kill", worker=victim,
+                match="/edit/", times=1, name="kill-owner-post-apply",
+            )],
+            seed=11, name="edit-retry",
+        )
+        config = _cluster_config(fault_plan=plan.to_json())
+        try:
+            with ClusterRuntime(write_shards, config=config) as runtime:
+                port = runtime.port
+                status, ack, _ = _post(
+                    port,
+                    "/edit/add_node?dataset=edit-a"
+                    "&idempotency_key=robustness-probe",
+                    {
+                        "node_id": 990001, "label": "retry-across-kill",
+                        "x": 3.0, "y": 4.0,
+                    },
+                )
+                # The router retried on the survivor, whose journal replay
+                # already carried the key: deduplicated, not re-applied.
+                assert status == 200, ack
+                assert ack.get("deduplicated") is True
+                assert runtime.router.metrics.edit_retries >= 1
+                status, keyword, _ = _get(
+                    port, "/keyword?dataset=edit-a&q=retry-across-kill"
+                )
+                assert status == 200
+                assert keyword["num_matches"] == 1  # exactly once
+        finally:
+            # ClusterRouter.start() installs the plan in this (the router's)
+            # process too; the worker-scoped rule can never fire here, but it
+            # must not leak into later tests.
+            faults.clear()
+
+    def test_degraded_stale_window_read_when_no_owner(self, write_shards):
+        # One worker, slow restart, no health probes inside the test window:
+        # after the kill the dataset genuinely has no healthy owner.
+        config = _cluster_config(
+            num_workers=1,
+            restart_backoff_seconds=5.0,
+            health_interval_seconds=30.0,
+        )
+        with ClusterRuntime(write_shards, config=config) as runtime:
+            port = runtime.port
+            window = (
+                "/window?dataset=edit-a"
+                "&min_x=100&min_y=100&max_x=110&max_y=110"
+            )
+            status, before, _ = _get(port, window)
+            assert status == 200
+            # The edit invalidates the cached window into the stale archive.
+            status, ack, _ = _post(port, "/edit/add_node?dataset=edit-a", {
+                "node_id": 990002, "label": "degraded-probe",
+                "x": 105.0, "y": 105.0,
+            })
+            assert status == 200, ack
+            handle = runtime.router._handles["w0"]
+            handle.process.kill()
+            deadline = time.monotonic() + 10.0
+            while handle.process.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            status, body, headers = _get(port, window)
+            lowered = {key.lower(): value for key, value in headers.items()}
+            assert status == 200
+            assert lowered.get("x-gvdb-stale") == "1"
+            assert lowered.get("x-gvdb-degraded") == "no-healthy-owner"
+            assert body == before  # the pre-edit last-known-good window
+            assert runtime.router.metrics.degraded_reads >= 1
+
+    def test_expired_client_deadline_rejected_with_504(self, live_cluster):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", live_cluster.port, timeout=30.0
+        )
+        try:
+            connection.request(
+                "GET", "/window?dataset=shard-a",
+                headers={"X-GVDB-Deadline-Ms": "0"},
+            )
+            response = connection.getresponse()
+            status, body = response.status, json.loads(response.read())
+        finally:
+            connection.close()
+        assert status == 504
+        assert "deadline" in body["error"]
+        assert live_cluster.router.metrics.deadline_rejections >= 1

@@ -3,6 +3,9 @@
 A production storage engine must fail loudly and precisely when its on-disk
 artefacts are damaged; these tests corrupt every persistent format the library
 writes and assert that the right error surfaces (never a silent wrong answer).
+Alongside the artefact-corruption coverage sits the unit suite for the
+:mod:`repro.faults` registry itself — the seeded schedules every
+crash-consistency and chaos test in the repo is built on.
 """
 
 from __future__ import annotations
@@ -11,7 +14,9 @@ import sqlite3
 
 import pytest
 
+from repro import faults
 from repro.errors import GeometryError, GraphFormatError, StorageError
+from repro.faults import FaultInjected, FaultPlan, FaultRule, fault_check
 from repro.graph.generators import community_graph
 from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
 from repro.layout.base import Layout
@@ -138,6 +143,136 @@ class TestCorruptSqlite:
         loaded = load_from_sqlite(path)
         assert loaded.num_layers == 0
         assert loaded.name == "empty-ish"
+
+
+@pytest.fixture
+def registry():
+    """Install-and-clear harness: tests leave no plan (or identity) behind."""
+
+    def _install(*rules: FaultRule, seed: int = 0) -> FaultPlan:
+        return faults.install(FaultPlan(list(rules), seed=seed))
+
+    yield _install
+    faults.clear()
+    faults.set_identity("")
+
+
+def _fire_pattern(point: str, hits: int) -> list[bool]:
+    """Which of ``hits`` consecutive checks of ``point`` raised."""
+    pattern = []
+    for _ in range(hits):
+        try:
+            fault_check(point)
+        except FaultInjected:
+            pattern.append(True)
+        else:
+            pattern.append(False)
+    return pattern
+
+
+class TestFaultRegistry:
+    def test_no_plan_is_a_noop(self):
+        assert faults.active_plan() is None
+        fault_check("journal.append", path="x")  # must not raise
+
+    def test_nth_fires_exactly_once(self, registry):
+        registry(FaultRule(point="p", nth=3))
+        assert _fire_pattern("p", 5) == [False, False, True, False, False]
+
+    def test_every_fires_periodically(self, registry):
+        registry(FaultRule(point="p", every=2))
+        assert _fire_pattern("p", 6) == [False, True, False, True, False, True]
+
+    def test_after_offsets_the_schedule(self, registry):
+        registry(FaultRule(point="p", after=2, every=1))
+        assert _fire_pattern("p", 5) == [False, False, True, True, True]
+
+    def test_times_caps_total_fires(self, registry):
+        registry(FaultRule(point="p", every=1, times=2))
+        assert _fire_pattern("p", 5) == [True, True, False, False, False]
+
+    def test_points_are_independent(self, registry):
+        plan = registry(
+            FaultRule(point="p", nth=1), FaultRule(point="q", nth=2)
+        )
+        assert _fire_pattern("q", 2) == [False, True]
+        assert _fire_pattern("p", 1) == [True]
+        assert plan.fire_count() == 2
+        assert plan.fire_count("p") == 1 and plan.hit_count("q") == 2
+
+    def test_probability_is_deterministic_for_a_seed(self, registry):
+        first = registry(FaultRule(point="p", probability=0.5), seed=42)
+        pattern_a = _fire_pattern("p", 64)
+        faults.clear()
+        registry(FaultRule(point="p", probability=0.5), seed=42)
+        pattern_b = _fire_pattern("p", 64)
+        assert pattern_a == pattern_b  # same seed: identical misfires
+        assert 0 < sum(pattern_a) < 64  # and actually probabilistic
+        assert first.fire_count("p") == sum(pattern_a)
+        # A different seed misfires on different hits.
+        faults.clear()
+        registry(FaultRule(point="p", probability=0.5), seed=43)
+        assert _fire_pattern("p", 64) != pattern_a
+
+    def test_worker_scoping_follows_identity(self, registry):
+        registry(FaultRule(point="p", worker="w1", every=1))
+        faults.set_identity("w0")
+        assert _fire_pattern("p", 3) == [False, False, False]
+        faults.set_identity("w1")
+        assert _fire_pattern("p", 2) == [True, True]
+
+    def test_match_scopes_by_context_substring(self, registry):
+        registry(FaultRule(point="p", match="/edit/", every=1))
+        fault_check("p", target="/window?dataset=a")  # no match: no fire
+        with pytest.raises(FaultInjected) as excinfo:
+            fault_check("p", target="/edit/add_node?dataset=a")
+        assert excinfo.value.point == "p"
+        assert excinfo.value.action == "error"
+
+    def test_first_matching_rule_wins_per_hit(self, registry):
+        registry(
+            FaultRule(point="p", every=1, name="first"),
+            FaultRule(point="p", every=1, name="second"),
+        )
+        with pytest.raises(FaultInjected) as excinfo:
+            fault_check("p")
+        assert excinfo.value.rule == "first"
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [FaultRule(point="journal.fsync", nth=3, worker="w1", name="r")],
+            seed=7, name="chaos",
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.name == "chaos" and restored.seed == 7
+        assert restored.rules == plan.rules
+
+    def test_install_from_env(self, registry, monkeypatch):
+        plan = FaultPlan([FaultRule(point="p", nth=1)], seed=1, name="env")
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        installed = faults.install_from_env()
+        assert installed is not None and installed.name == "env"
+        assert faults.active_plan() is installed
+        with pytest.raises(FaultInjected):
+            fault_check("p")
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.install_from_env() is None
+
+    def test_delay_action_sleeps_and_continues(self, registry):
+        import time
+
+        registry(FaultRule(point="p", action="delay", delay_ms=30, nth=1))
+        start = time.perf_counter()
+        fault_check("p")  # must not raise
+        assert time.perf_counter() - start >= 0.025
+
+    def test_invalid_rules_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(point="p", action="explode")
+        with pytest.raises(ValueError):
+            FaultRule(point="")
+        with pytest.raises(ValueError):
+            FaultRule(point="p", probability=1.5)
 
 
 class TestDatabaseConsistencyChecks:

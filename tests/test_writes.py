@@ -13,14 +13,17 @@ import json
 
 import pytest
 
+from repro import faults
 from repro.config import GraphVizDBConfig, WriteConfig
 from repro.core.editing import GraphEditor
 from repro.errors import (
     ConfigurationError,
+    DatasetReadOnlyError,
     JournalError,
     QueryError,
     UnknownEditError,
 )
+from repro.faults import FaultInjected, FaultPlan, FaultRule
 from repro.graph.model import Graph
 from repro.layout.base import Layout
 from repro.service.frontend import GraphVizDBService, ServiceRuntime
@@ -445,6 +448,272 @@ class TestReplayRecordFormat:
         assert decoded == {
             "seq": 1, "op": "add_edge", "args": {"source": 1, "target": 2},
         }
+
+
+@pytest.fixture
+def inject_faults():
+    """Install a fault plan for one test; always cleared afterwards."""
+
+    def _install(*rules: FaultRule, seed: int = 0) -> FaultPlan:
+        return faults.install(FaultPlan(list(rules), seed=seed))
+
+    yield _install
+    faults.clear()
+
+
+class TestCrashConsistency:
+    """Registry-injected crash windows: torn appends, dead fsyncs, checkpoint
+    crashes.  The invariants under test: an *acknowledged* edit always
+    replays, an *unacknowledged* one never does, and a checkpoint crash can
+    neither lose nor double-apply records."""
+
+    def test_torn_append_enters_read_only_and_keeps_acked_records(
+        self, served_sqlite, inject_faults
+    ):
+        inject_faults(FaultRule(point="journal.append", action="torn", nth=3))
+        service, runtime = _service_runtime(served_sqlite)
+        try:
+            for index in (1, 2):
+                runtime.edit("editable", "add_node", {
+                    "node_id": 100 + index, "label": f"t{index}",
+                    "x": float(index), "y": 60.0,
+                })
+            with pytest.raises(DatasetReadOnlyError):
+                runtime.edit("editable", "add_node", {
+                    "node_id": 103, "label": "t3", "x": 3.0, "y": 60.0,
+                })
+            # Fail-stop: the dataset stops accepting writes entirely...
+            with pytest.raises(DatasetReadOnlyError):
+                runtime.edit("editable", "relabel", {
+                    "node_id": 101, "label": "nope",
+                })
+            # ...but reads keep serving, and health reports the degradation.
+            assert runtime.keyword_search("editable", "t1").num_matches == 1
+            assert service.writes.read_only_datasets() == ["editable"]
+            assert service.health_snapshot()["read_only"] == ["editable"]
+            assert service.metrics.read_only_transitions == 1
+            assert service.metrics.read_only_rejections == 2
+        finally:
+            runtime.close()
+        # The torn half-frame is a discarded tail, exactly like a real crash
+        # mid-write; both acknowledged records replay, the torn one never.
+        records = read_journal_records(journal_path_for(served_sqlite))
+        assert [record.args["node_id"] for record in records] == [101, 102]
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 2
+        assert database.table(0).rows_for_node(103) == []
+
+    def test_failed_fsync_rolls_back_the_unacked_record(
+        self, served_sqlite, inject_faults
+    ):
+        inject_faults(FaultRule(point="journal.fsync", nth=2))
+        _, runtime = _service_runtime(served_sqlite, journal_fsync="always")
+        try:
+            runtime.edit("editable", "add_node", {
+                "node_id": 110, "label": "synced", "x": 0.0, "y": 61.0,
+            })
+            with pytest.raises(DatasetReadOnlyError):
+                runtime.edit("editable", "add_node", {
+                    "node_id": 111, "label": "unsynced", "x": 1.0, "y": 61.0,
+                })
+        finally:
+            runtime.close()
+        # The record whose fsync failed was never acknowledged; it must be
+        # rolled back from the file so replay cannot resurrect it.
+        records = read_journal_records(journal_path_for(served_sqlite))
+        assert [record.args["node_id"] for record in records] == [110]
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 1
+        assert database.table(0).rows_for_node(111) == []
+
+    def test_crash_before_checkpoint_save_keeps_full_replay(
+        self, served_sqlite, inject_faults
+    ):
+        service, runtime = _service_runtime(served_sqlite)
+        try:
+            for index in range(3):
+                runtime.edit("editable", "add_node", {
+                    "node_id": 120 + index, "label": f"cs{index}",
+                    "x": float(index), "y": 62.0,
+                })
+            entry = service.pool.peek(served_sqlite)
+            inject_faults(FaultRule(point="checkpoint.save", times=1))
+            with pytest.raises(FaultInjected):
+                service.writes.checkpoint_sync(
+                    "editable", entry.database, served_sqlite
+                )
+            # No watermark, nothing truncated: the journal still carries
+            # every acknowledged edit for the next open to replay.
+            assert read_meta_value(served_sqlite, CHECKPOINT_META_KEY) is None
+            assert unreplayed_count(served_sqlite) == 3
+            # The crash consumed the one-shot rule; the retried checkpoint
+            # succeeds.
+            assert service.writes.checkpoint_sync(
+                "editable", entry.database, served_sqlite
+            ) == 0
+            assert read_meta_value(served_sqlite, CHECKPOINT_META_KEY) == "3"
+        finally:
+            runtime.close()
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 0
+        for index in range(3):
+            assert len(database.table(0).rows_for_node(120 + index)) == 1
+
+    def test_crash_between_save_and_truncate_cannot_double_apply(
+        self, served_sqlite, inject_faults
+    ):
+        service, runtime = _service_runtime(served_sqlite)
+        try:
+            for index in range(2):
+                runtime.edit("editable", "add_node", {
+                    "node_id": 130 + index, "label": f"ct{index}",
+                    "x": float(index), "y": 63.0,
+                })
+            entry = service.pool.peek(served_sqlite)
+            inject_faults(FaultRule(point="checkpoint.truncate", times=1))
+            with pytest.raises(FaultInjected):
+                service.writes.checkpoint_sync(
+                    "editable", entry.database, served_sqlite
+                )
+        finally:
+            runtime.close()
+        # The save (watermark included) committed, the truncation never ran —
+        # the classic double-apply window.  Replay must skip everything at or
+        # below the watermark.
+        assert read_meta_value(served_sqlite, CHECKPOINT_META_KEY) == "2"
+        assert len(read_journal_records(journal_path_for(served_sqlite))) == 2
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 0
+        for index in range(2):
+            assert len(database.table(0).rows_for_node(130 + index)) == 1
+
+    def test_sigkill_during_checkpoint_save_in_live_worker(
+        self, served_sqlite, inject_faults
+    ):
+        """End-to-end: a checkpoint that dies mid-save loses nothing.
+
+        The background checkpoint hits an injected ``checkpoint.save`` fault
+        (the in-process stand-in for dying there); the journal keeps every
+        acknowledged record and the failure is counted, not raised into the
+        edit path.
+        """
+        inject_faults(FaultRule(point="checkpoint.save", times=1))
+        service, runtime = _service_runtime(
+            served_sqlite, checkpoint_every_records=2
+        )
+        try:
+            for index in range(2):
+                runtime.edit("editable", "add_node", {
+                    "node_id": 140 + index, "label": f"kc{index}",
+                    "x": float(index), "y": 64.0,
+                })
+            deadline = 100
+            import time as time_module
+
+            while service.metrics.checkpoint_failures == 0 and deadline:
+                time_module.sleep(0.02)
+                deadline -= 1
+            assert service.metrics.checkpoint_failures == 1
+        finally:
+            runtime.close()
+        assert read_meta_value(served_sqlite, CHECKPOINT_META_KEY) is None
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 2
+
+
+class TestIdempotency:
+    def test_duplicate_key_applies_once_and_returns_original_ack(
+        self, served_sqlite
+    ):
+        service, runtime = _service_runtime(served_sqlite)
+        try:
+            ack = runtime.edit(
+                "editable", "add_node",
+                {"node_id": 150, "label": "once", "x": 0.0, "y": 65.0},
+                idempotency_key="edit-150",
+            )
+            assert "deduplicated" not in ack
+            duplicate = runtime.edit(
+                "editable", "add_node",
+                {"node_id": 150, "label": "once", "x": 0.0, "y": 65.0},
+                idempotency_key="edit-150",
+            )
+            assert duplicate["deduplicated"] is True
+            assert duplicate["seq"] == ack["seq"]
+            assert service.metrics.writes_deduplicated == 1
+            assert service.metrics.writes_applied == 1
+        finally:
+            runtime.close()
+        # Exactly one journal record; exactly one applied row.
+        records = read_journal_records(journal_path_for(served_sqlite))
+        assert len(records) == 1 and records[0].args["idem"] == "edit-150"
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 1
+        assert len(database.table(0).rows_for_node(150)) == 1
+
+    def test_dedup_survives_process_restart_via_journal(self, served_sqlite):
+        """The failover shape: the retry lands on a *fresh* coordinator."""
+        _, runtime = _service_runtime(served_sqlite)
+        try:
+            runtime.edit(
+                "editable", "add_node",
+                {"node_id": 160, "label": "failover-once", "x": 0.0, "y": 66.0},
+                idempotency_key="edit-160",
+            )
+        finally:
+            runtime.close()
+        # A new process (as after an owner crash + failover) replays the
+        # journal on open and seeds its dedup map from the records — the
+        # retried edit must be suppressed even though this coordinator never
+        # applied it live.
+        service2, runtime2 = _service_runtime(served_sqlite)
+        try:
+            retried = runtime2.edit(
+                "editable", "add_node",
+                {"node_id": 160, "label": "failover-once", "x": 0.0, "y": 66.0},
+                idempotency_key="edit-160",
+            )
+            assert retried["deduplicated"] is True
+            assert service2.metrics.writes_deduplicated == 1
+            assert runtime2.keyword_search(
+                "editable", "failover-once"
+            ).num_matches == 1
+        finally:
+            runtime2.close()
+        assert len(read_journal_records(journal_path_for(served_sqlite))) == 1
+
+    def test_distinct_keys_do_not_dedup(self, served_sqlite):
+        _, runtime = _service_runtime(served_sqlite)
+        try:
+            first = runtime.edit(
+                "editable", "add_node",
+                {"node_id": 170, "label": "a", "x": 0.0, "y": 67.0},
+                idempotency_key="key-a",
+            )
+            second = runtime.edit(
+                "editable", "add_node",
+                {"node_id": 171, "label": "b", "x": 1.0, "y": 67.0},
+                idempotency_key="key-b",
+            )
+            assert "deduplicated" not in second
+            assert second["seq"] == first["seq"] + 1
+        finally:
+            runtime.close()
+
+    def test_replay_strips_idem_key_from_op_args(self, served_sqlite):
+        """The persisted ``idem`` marker must never reach the edit op."""
+        _, runtime = _service_runtime(served_sqlite)
+        try:
+            runtime.edit(
+                "editable", "add_node",
+                {"node_id": 180, "label": "strip", "x": 0.0, "y": 68.0},
+                idempotency_key="edit-180",
+            )
+        finally:
+            runtime.close()
+        database = load_from_sqlite(served_sqlite)
+        assert replay_journal(database, served_sqlite) == 1  # no TypeError
+        assert len(database.table(0).rows_for_node(180)) == 1
 
 
 class TestReplayRobustness:
