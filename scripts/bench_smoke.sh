@@ -6,9 +6,12 @@
 #   * cluster scale-out (router/cache/failover)   -> BENCH_cluster.json
 #   * durable write path (journal/replay/RAW)     -> BENCH_writes.json
 #   * seeded chaos schedules (retry/replay/stale) -> BENCH_faults.json
+#   * replica reads + owner promotion             -> BENCH_replication.json
 # so every PR has a perf baseline to compare against.  Also runs the
 # 2-worker cluster lifecycle smoke (start, query through the router, kill a
-# worker, query again, drain) and the fault-injection chaos smoke.
+# worker, query again, drain) and the fault-injection chaos smoke (which
+# includes the replication chaos scenario: owner SIGKILL mid-feed, replica
+# promoted, zero lost / zero double-applied writes).
 #
 # Usage: scripts/bench_smoke.sh [extra pytest args]
 # Scale can be overridden: REPRO_BENCH_SCALE=0.5 scripts/bench_smoke.sh
@@ -21,15 +24,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "2-worker cluster lifecycle smoke (start / query / kill / query / drain)"
 python scripts/cluster_smoke.py
 
-echo "seeded chaos smoke (owner kill mid-ack / acked-write replay / degraded stale reads)"
+echo "seeded chaos smoke (owner kill mid-ack / acked-write replay / degraded stale reads / replica promotion)"
 python scripts/chaos_smoke.py
 
-echo "index + cold-start + serving + cluster + writes smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
+echo "index + cold-start + serving + cluster + writes + replication smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
 python -m pytest benchmarks/test_bench_ablation_indexes.py \
     benchmarks/test_bench_coldstart.py \
     benchmarks/test_bench_serving.py \
     benchmarks/test_bench_cluster.py \
-    benchmarks/test_bench_writes.py -q -p no:cacheprovider "$@"
+    benchmarks/test_bench_writes.py \
+    benchmarks/test_bench_replication.py -q -p no:cacheprovider "$@"
 echo "trajectory written to BENCH_indexes.json:"
 python - <<'EOF'
 import json
@@ -148,12 +152,42 @@ from pathlib import Path
 
 history = json.loads(Path("BENCH_faults.json").read_text())
 for entry in history[-4:]:
+    promotion = entry.get("promotion_recovery_ms")
+    promotion_text = (
+        f" promotion={promotion}ms" if promotion is not None else ""
+    )
     print(
         f"  {entry['recorded_at']}  {entry['dataset']:<14} "
         f"retry_recovery={entry['retry_recovery_ms']}ms "
         f"replay_recovery={entry['durability_recovery_ms']}ms "
         f"degraded_read={entry['degraded_read_ms']}ms "
         f"lost={entry['acked_writes_lost']}/{entry['acked_writes']} "
-        f"double={entry['double_applies']}"
+        f"double={entry['double_applies']}{promotion_text}"
+    )
+PYEOF
+echo "trajectory written to BENCH_replication.json:"
+python - <<'PYEOF'
+import json
+from pathlib import Path
+
+history = json.loads(Path("BENCH_replication.json").read_text())
+for entry in history[-4:]:
+    kind = entry.get("kind", "?")
+    if kind == "replica_read_capacity":
+        detail = (
+            f"owner_only={entry['owner_only_rps']:.0f}rps "
+            f"assisted={entry['replica_assisted_rps']:.0f}rps "
+            f"replica_reads={entry['replica_reads']} "
+            f"shed={entry['owner_only_shed']}->{entry['replica_assisted_shed']}"
+        )
+    else:
+        detail = (
+            f"recovery={entry['recovery_ms']:.0f}ms "
+            f"promotion={entry['promotion_ms']:.1f}ms "
+            f"budget={entry['budget_ms']:.0f}ms"
+        )
+    print(
+        f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
+        f"{kind:<21} {detail}"
     )
 PYEOF

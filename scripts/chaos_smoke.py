@@ -19,9 +19,16 @@ failure the write path claims to survive:
 3. **degraded serving** — kill a single-worker fleet's only worker; the
    router must answer the cached window from its stale archive with explicit
    ``X-GVDB-Stale`` / ``X-GVDB-Degraded`` headers instead of a blank 503.
+4. **replica promotion** — a journal-streaming replica subscribed to the
+   owner's feed (with a fault plan delaying its polls — the kill lands
+   mid-feed), then SIGKILL the owner.  The router must promote the replica
+   and serve reads *and* writes through it: every acked edit present exactly
+   once, a retried idempotency key deduplicated, and a brand-new write
+   accepted post-promotion.
 
-Recovery latencies and the retry / dedup / degraded counters are appended to
-``BENCH_faults.json`` (same trajectory format as the other BENCH files).
+Recovery latencies and the retry / dedup / degraded / promotion counters are
+appended to ``BENCH_faults.json`` (same trajectory format as the other BENCH
+files).
 Prints a JSON summary and exits non-zero on any failed expectation.
 """
 
@@ -245,12 +252,113 @@ def main() -> int:
         summary["degraded_read_ms"] = degraded_ms
         summary["degraded_served_stale"] = True
 
+    # --------------------------------------------- 4. replica promotion
+    # A replica streams the owner's journal feed (a fault plan delays its
+    # polls, so the SIGKILL lands mid-feed); killing the owner must promote
+    # the replica to serve both reads and writes, with every acked edit
+    # present exactly once and the idempotency dedup still honoured.
+    owner = rendezvous_owner("chaos-a", ["w0", "w1"])
+    replica = "w1" if owner == "w0" else "w0"
+    plan = FaultPlan(
+        [FaultRule(
+            point="replication.feed", action="delay", delay_ms=20.0,
+            worker=replica, every=2, name="lag-the-feed",
+        )],
+        seed=CHAOS_SEED, name="chaos-promotion",
+    )
+    try:
+        with ClusterRuntime(
+            fresh_shards("promotion"),
+            config=cluster_config(
+                fault_plan=plan.to_json(),
+                replicas_per_dataset=1,
+                restart_backoff_seconds=10.0,
+            ),
+        ) as runtime:
+            port = runtime.port
+
+            def watermark() -> dict | None:
+                replication = runtime.health_summary()["replication"]
+                return replication["watermarks"].get(replica, {}).get("chaos-a")
+
+            deadline = time.perf_counter() + 15.0
+            while watermark() is None and time.perf_counter() < deadline:
+                time.sleep(0.05)
+            assert watermark() is not None, "replica never subscribed to feed"
+            promo = []
+            for index in range(5):
+                label = f"chaos-promo-{index}"
+                status, ack = post(
+                    port,
+                    f"/edit/add_node?dataset=chaos-a&idempotency_key={label}",
+                    {"node_id": 993000 + index, "label": label,
+                     "x": 7.0 + index, "y": 7.0},
+                )
+                assert status == 200, f"edit {index} failed: {status} {ack}"
+                promo.append(label)
+            deadline = time.perf_counter() + 15.0
+            while time.perf_counter() < deadline:
+                mark = watermark()
+                if mark and mark.get("applied_seq", 0) >= 5:
+                    break
+                time.sleep(0.05)
+            runtime.router._handles[owner].process.kill()
+            killed_at = time.perf_counter()
+            deadline = killed_at + 15.0
+            status, body = 0, {}
+            while time.perf_counter() < deadline:
+                try:
+                    status, body, _ = get(
+                        port, f"/keyword?dataset=chaos-a&q={promo[0]}"
+                    )
+                except (OSError, json.JSONDecodeError):
+                    status = 0
+                if status == 200:
+                    break
+                time.sleep(0.02)
+            promotion_recovery_ms = round((time.perf_counter() - killed_at) * 1000)
+            assert status == 200, f"promoted read never recovered: {body}"
+            lost = []
+            doubled = []
+            for label in promo:
+                status, body, _ = get(port, f"/keyword?dataset=chaos-a&q={label}")
+                assert status == 200, f"promoted query failed: {status} {body}"
+                if body["num_matches"] == 0:
+                    lost.append(label)
+                elif body["num_matches"] > 1:
+                    doubled.append(label)
+            assert not lost, f"acked writes lost across promotion: {lost}"
+            assert not doubled, f"writes double-applied across promotion: {doubled}"
+            status, ack = post(
+                port,
+                "/edit/add_node?dataset=chaos-a&idempotency_key=chaos-promo-4",
+                {"node_id": 993004, "label": "chaos-promo-4",
+                 "x": 11.0, "y": 7.0},
+            )
+            assert status == 200 and ack.get("deduplicated") is True, (
+                f"promoted owner must dedup the retried key: {status} {ack}"
+            )
+            status, ack = post(port, "/edit/add_node?dataset=chaos-a", {
+                "node_id": 993100, "label": "chaos-post-promotion",
+                "x": 12.0, "y": 7.0,
+            })
+            assert status == 200, f"post-promotion write failed: {status} {ack}"
+            metrics = runtime.router.metrics
+            assert metrics.promotions >= 1, "router never recorded a promotion"
+            summary["promotion_recovery_ms"] = promotion_recovery_ms
+            summary["promotions"] = metrics.promotions
+            summary["promotion_ms"] = round(metrics.last_promotion_ms, 2)
+            summary["promotion_exactly_once"] = True
+    finally:
+        faults.clear()
+
     record_trajectory({
         key: summary[key]
         for key in (
             "retry_recovery_ms", "edit_retries", "deduplicated_acks",
             "acked_writes", "acked_writes_lost", "double_applies",
             "durability_recovery_ms", "degraded_reads", "degraded_read_ms",
+            "promotion_recovery_ms", "promotions", "promotion_ms",
         )
     })
     print(json.dumps(summary, indent=2))

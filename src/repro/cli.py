@@ -158,6 +158,25 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_journal_verify(args: argparse.Namespace) -> int:
+    """Verify a database's write-ahead journal frame by frame.
+
+    Prints a JSON report: the last good sequence number, whether the tail is
+    torn (a crash mid-append — harmless, replay discards it), and whether
+    there is mid-file corruption (a bad checksum *followed by* valid frames —
+    replay refuses such a journal, and so does this command's exit status).
+    """
+    from .writes.journal import journal_path_for, verify_journal
+
+    path = Path(args.database)
+    journal = journal_path_for(path) if path.suffix != ".journal" else path
+    report = verify_journal(journal)
+    print(json.dumps(report, indent=2))
+    if report["corrupt"]:
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve preprocessed SQLite databases to concurrent clients."""
     import asyncio
@@ -376,6 +395,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     datasets = subparsers.add_parser("datasets", help="list the named demo datasets")
     datasets.set_defaults(handler=cmd_datasets)
+
+    journal = subparsers.add_parser(
+        "journal", help="inspect a database's write-ahead journal"
+    )
+    journal_sub = journal.add_subparsers(dest="journal_command", required=True)
+    verify = journal_sub.add_parser(
+        "verify",
+        help="walk the journal frame by frame and report the last good "
+             "sequence, torn-tail bytes, and any mid-file corruption "
+             "(nonzero exit)",
+    )
+    verify.add_argument("database",
+                        help="SQLite file from 'preprocess' (its .journal "
+                             "sibling is verified), or a .journal path "
+                             "directly")
+    verify.set_defaults(handler=cmd_journal_verify)
 
     serve = subparsers.add_parser(
         "serve", help="serve preprocessed SQLite databases to concurrent clients"

@@ -59,6 +59,12 @@ class WindowResultCache:
         than discarded, so the router can serve a last-known-good window —
         explicitly marked stale — while a dataset has no healthy owner at
         all.  ``0`` disables archiving.
+    stale_max_bytes:
+        Byte budget over the archived bodies.  The entry cap alone is not a
+        memory bound — archived windows are exactly the big, popular,
+        long-lived responses, so a few hundred layer-0 megawindows could
+        dwarf the live cache.  Exceeding the budget evicts the oldest
+        archived entries; ``0`` means unbounded (entries-only).
     """
 
     def __init__(
@@ -67,15 +73,18 @@ class WindowResultCache:
         max_bytes: int = 64 * 1024 * 1024,
         metrics: ServiceMetrics | None = None,
         stale_capacity: int = 256,
+        stale_max_bytes: int = 0,
     ) -> None:
         self.capacity = capacity
         self.max_bytes = max_bytes
         self.metrics = metrics
         self.stale_capacity = stale_capacity
+        self.stale_max_bytes = stale_max_bytes
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, CachedResponse] = OrderedDict()
         self._stale: OrderedDict[str, CachedResponse] = OrderedDict()
         self._total_bytes = 0
+        self._stale_bytes = 0
         self._dataset_counters: dict[str, int] = {}
 
     def __len__(self) -> int:
@@ -142,7 +151,9 @@ class WindowResultCache:
                 key=key, dataset=dataset, status=status, body=body
             )
             # A fresh response supersedes whatever the archive held.
-            self._stale.pop(key, None)
+            superseded = self._stale.pop(key, None)
+            if superseded is not None:
+                self._stale_bytes -= len(superseded.body)
             self._total_bytes += len(body)
             while len(self._entries) > self.capacity or (
                 self.max_bytes and self._total_bytes > self.max_bytes
@@ -153,13 +164,27 @@ class WindowResultCache:
                 self._archive_locked(evicted)
 
     def _archive_locked(self, entry: CachedResponse) -> None:
-        """Move a response leaving the live cache into the stale archive."""
+        """Move a response leaving the live cache into the stale archive.
+
+        The archive is bounded by entries *and* bytes; breaching either
+        budget drops the oldest archived responses (but never the one just
+        archived — a single over-budget megawindow still beats an empty
+        archive during an incident).
+        """
         if self.stale_capacity <= 0 or entry.status != 200:
             return
+        previous = self._stale.pop(entry.key, None)
+        if previous is not None:
+            self._stale_bytes -= len(previous.body)
         self._stale[entry.key] = entry
-        self._stale.move_to_end(entry.key)
-        while len(self._stale) > self.stale_capacity:
-            self._stale.popitem(last=False)
+        self._stale_bytes += len(entry.body)
+        while len(self._stale) > self.stale_capacity or (
+            self.stale_max_bytes
+            and self._stale_bytes > self.stale_max_bytes
+            and len(self._stale) > 1
+        ):
+            _, dropped = self._stale.popitem(last=False)
+            self._stale_bytes -= len(dropped.body)
 
     def get_stale(self, key: str) -> CachedResponse | None:
         """The archived (known-stale) response for ``key``, if any.
@@ -239,6 +264,7 @@ class WindowResultCache:
             self._entries.clear()
             self._stale.clear()
             self._total_bytes = 0
+            self._stale_bytes = 0
 
     # ------------------------------------------------------------------ summary
 
@@ -251,4 +277,6 @@ class WindowResultCache:
                 "capacity": self.capacity,
                 "max_bytes": self.max_bytes,
                 "stale_entries": len(self._stale),
+                "stale_bytes": self._stale_bytes,
+                "stale_max_bytes": self.stale_max_bytes,
             }

@@ -22,7 +22,12 @@ from __future__ import annotations
 import hashlib
 from typing import Iterable, Sequence
 
-__all__ = ["rendezvous_score", "rendezvous_owner", "rendezvous_ranking"]
+__all__ = [
+    "rendezvous_score",
+    "rendezvous_owner",
+    "rendezvous_ranking",
+    "rendezvous_replicas",
+]
 
 
 def rendezvous_score(dataset: str, worker_id: str) -> int:
@@ -55,3 +60,17 @@ def rendezvous_ranking(dataset: str, worker_ids: Sequence[str]) -> list[str]:
         key=lambda worker_id: (rendezvous_score(dataset, worker_id), worker_id),
         reverse=True,
     )
+
+
+def rendezvous_replicas(
+    dataset: str, worker_ids: Sequence[str], count: int
+) -> list[str]:
+    """The ``count`` workers ranked directly below the owner.
+
+    These are the dataset's replica set: the workers rendezvous hashing would
+    promote to owner (in order) if the fleet shrank, so streaming the journal
+    to them pre-warms exactly the machines failover lands on.
+    """
+    if count <= 0:
+        return []
+    return rendezvous_ranking(dataset, worker_ids)[1:1 + count]

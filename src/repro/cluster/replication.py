@@ -1,0 +1,533 @@
+"""Journal-streaming read replicas with bounded staleness (worker side).
+
+PR 5's write-ahead journal is a checksummed, sequence-numbered, replayable op
+log — i.e. a replication log the cluster gets for free.  This module is the
+worker-side half of PR 7's replication story:
+
+* a :class:`ReplicationManager` lives in every worker process (created by
+  ``_worker_serve``, reachable through the worker's HTTP control endpoints
+  ``POST /replicate/{start,stop,promote}``);
+* for each dataset the router assigns it, the manager runs one
+  :class:`_Subscription` thread that polls the **owner worker's**
+  ``GET /journal/tail`` feed (bounded long-poll), verifies each record's
+  blake2b digest, appends the verbatim frame to a **local journal copy**
+  (``<db>.journal.<worker_id>``), re-applies the record through the same
+  ops-registry path journal replay uses, and advances an ``applied_seq``
+  watermark;
+* on **promotion** (the router picked this worker as the most-caught-up
+  replica after the owner died) the subscription stops and drains: any
+  record sitting in the local copy past the watermark — received but not yet
+  applied when the feed stopped — is applied before the worker starts
+  serving reads *and writes* for the dataset.
+
+The watermark protocol is what keeps re-application exactly-once: a record
+is applied iff ``seq == applied_seq + 1``.  Records at or below the
+watermark are duplicates (already applied live, or covered by the pool's
+replay-on-open, which records how far its snapshot reached in
+``database.journal_replayed_seq``); a gap above it means the subscriber
+missed records (the owner checkpointed and truncated past our cursor, or
+the pool evicted our copy) and triggers a **resync** — reopen the dataset
+through the pool (SQLite + journal replay) and restart the cursor from the
+fresh watermark.
+
+Failure handling: feed polls that fail (owner dead, connection refused,
+injected ``replication.feed`` faults) back off with decorrelating jitter and
+keep retrying until the router repoints or stops the subscription.  The
+subscription never guesses about ownership — assignment is entirely the
+router's call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+
+from ..errors import (
+    JournalError,
+    LayerNotFoundError,
+    QueryError,
+    UnknownEditError,
+)
+from ..faults import FaultInjected, fault_check
+from ..writes.journal import (
+    encode_journal_frame,
+    journal_path_for,
+    read_journal_records,
+)
+from .resilience import jittered_backoff
+
+__all__ = [
+    "ReplicaJournalCopy",
+    "ReplicationManager",
+    "apply_feed_record",
+    "replica_journal_path",
+]
+
+#: Records requested per feed poll.
+_FEED_BATCH = 256
+
+#: Cap on the failure backoff between polls of an unreachable owner.
+_FAILURE_BACKOFF_MAX_SECONDS = 1.0
+
+
+def replica_journal_path(sqlite_path: str | Path, worker_id: str) -> Path:
+    """This worker's local journal copy for one dataset.
+
+    Distinct from the owner's ``<db>.journal`` — on a shared filesystem the
+    copy must never clobber the authoritative journal, and in a
+    shared-nothing deployment it is the only local durability the replica
+    has between its snapshot and the feed cursor.
+    """
+    base = journal_path_for(sqlite_path)
+    return base.with_name(base.name + f".{worker_id}")
+
+
+def apply_feed_record(database, op: str, args: dict) -> bool:
+    """Apply one streamed record through the ops registry (replay semantics).
+
+    Returns ``False`` for records whose original apply failed — the journal
+    is written before validation, so a record that re-fails here failed
+    identically on the owner, and skipping it reproduces the owner's state
+    error-for-error (the same contract as
+    :func:`~repro.writes.journal.replay_journal`).
+    """
+    from ..core.editing import GraphEditor
+    from ..writes.ops import apply_edit
+
+    args = dict(args)
+    layer = int(args.pop("layer", 0))
+    args.pop("idem", None)
+    editor = GraphEditor(database, layer=layer)
+    try:
+        apply_edit(editor, op, args)
+    except (QueryError, LayerNotFoundError, UnknownEditError,
+            KeyError, ValueError, TypeError):
+        return False
+    return True
+
+
+class ReplicaJournalCopy:
+    """Append-only local copy of the owner's journal, one frame at a time.
+
+    Frames are re-encoded with the canonical journal encoding and verified
+    against the digest the feed shipped before they touch the file, so the
+    copy is byte-compatible with a real journal — :func:`read_journal_records`
+    and ``repro journal verify`` work on it unchanged.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.last_seq = 0
+
+    def reset(self) -> None:
+        """Start a fresh copy (new subscription epoch): truncate to empty."""
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "wb"):
+            pass
+        self.last_seq = 0
+
+    def append(self, seq: int, op: str, args: dict, digest_hex: str) -> None:
+        """Verify one feed record against its digest and append its frame."""
+        frame = encode_journal_frame(seq, op, args)
+        # frame = [length][digest][payload]; offset 4:20 is the digest.
+        if digest_hex and frame[4:20].hex() != digest_hex:
+            raise JournalError(
+                f"feed record seq {seq} failed digest verification "
+                f"(re-encoded {frame[4:20].hex()}, owner sent {digest_hex})"
+            )
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        self._handle.write(frame)
+        self._handle.flush()
+        self.last_seq = seq
+
+    def records(self):
+        """Decode the copy (for the promotion drain)."""
+        self.close()
+        return read_journal_records(self.path)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            with contextlib.suppress(OSError):
+                self._handle.flush()
+                self._handle.close()
+            self._handle = None
+
+
+class _Subscription:
+    """One dataset's feed subscriber: poll, verify, copy, apply, advance."""
+
+    def __init__(
+        self,
+        manager: "ReplicationManager",
+        dataset: str,
+        sqlite_path: str,
+        owner_id: str,
+        owner_host: str,
+        owner_port: int,
+    ) -> None:
+        self.manager = manager
+        self.dataset = dataset
+        self.sqlite_path = sqlite_path
+        self.owner_id = owner_id
+        self.owner_host = owner_host
+        self.owner_port = owner_port
+        self.copy = ReplicaJournalCopy(
+            replica_journal_path(sqlite_path, manager.worker_id)
+        )
+        self.applied_seq = 0
+        self.feed_last_seq = 0
+        self.polls = 0
+        self.records_applied = 0
+        self.resyncs = 0
+        self.last_error: str | None = None
+        self._database = None
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"gvdb-replica-{manager.worker_id}-{dataset}",
+        )
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, join_seconds: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=join_seconds)
+        self._close_connection()
+        self.copy.close()
+
+    @property
+    def lag(self) -> int:
+        """Records the watermark trails the last observed journal head by."""
+        return max(0, self.feed_last_seq - self.applied_seq)
+
+    def status(self) -> dict[str, object]:
+        return {
+            "owner": self.owner_id,
+            "applied_seq": self.applied_seq,
+            "feed_last_seq": self.feed_last_seq,
+            "lag": self.lag,
+            "polls": self.polls,
+            "records_applied": self.records_applied,
+            "resyncs": self.resyncs,
+            "last_error": self.last_error,
+            "running": self._thread.is_alive() and not self._stop.is_set(),
+        }
+
+    # --------------------------------------------------------------- main loop
+
+    def _run(self) -> None:
+        config = self.manager.cluster_config
+        try:
+            self._adopt()
+        except Exception as exc:  # the pool open failed; retry inside the loop
+            self.last_error = str(exc)
+        failures = 0
+        while not self._stop.is_set():
+            try:
+                if self._database is None:
+                    self._adopt()
+                fault_check(
+                    "replication.feed", dataset=self.dataset,
+                    owner=self.owner_id, target="/journal/tail",
+                )
+                frame = self._poll()
+                progressed = self._apply_frame(frame)
+                failures = 0
+                self.last_error = None
+            except (OSError, ValueError, JournalError, FaultInjected) as exc:
+                # Owner unreachable, malformed frame, digest mismatch, or an
+                # injected feed fault: back off (escalating, jittered) and
+                # retry — the router will repoint us if the owner is gone.
+                self.last_error = str(exc)
+                self._close_connection()
+                failures += 1
+                self._sleep(jittered_backoff(
+                    min(failures, 6),
+                    config.replication_poll_seconds,
+                    _FAILURE_BACKOFF_MAX_SECONDS,
+                    config.replication_poll_jitter,
+                ))
+                continue
+            if not progressed:
+                # Idle feed: jittered poll interval, so replicas of many
+                # datasets do not thunder-herd their owners on one tick.
+                self._sleep(jittered_backoff(
+                    1,
+                    config.replication_poll_seconds,
+                    config.replication_poll_seconds * 2,
+                    config.replication_poll_jitter,
+                ))
+
+    def _sleep(self, seconds: float) -> None:
+        self._stop.wait(timeout=seconds)
+
+    # ------------------------------------------------------------ feed plumbing
+
+    def _poll(self) -> dict:
+        """One bounded long-poll of the owner's journal-tail feed."""
+        wait_ms = int(self.manager.cluster_config.replication_poll_seconds * 1000)
+        target = (
+            f"/journal/tail?dataset={self.dataset}&from_seq={self.applied_seq}"
+            f"&max_records={_FEED_BATCH}&wait_ms={wait_ms}"
+        )
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.owner_host, self.owner_port,
+                timeout=max(2.0, wait_ms / 1000.0 + 2.0),
+            )
+        self._connection.request("GET", target)
+        response = self._connection.getresponse()
+        body = response.read()
+        self.polls += 1
+        self.manager.metrics.record_replication_poll()
+        if response.status != 200:
+            raise ValueError(
+                f"journal tail feed returned {response.status}: {body[:200]!r}"
+            )
+        frame = json.loads(body)
+        if not isinstance(frame, dict):
+            raise ValueError("journal tail feed returned a non-object frame")
+        return frame
+
+    def _close_connection(self) -> None:
+        if self._connection is not None:
+            with contextlib.suppress(Exception):
+                self._connection.close()
+            self._connection = None
+
+    # ------------------------------------------------------------- application
+
+    def _adopt(self) -> None:
+        """(Re)open the pooled dataset and restart the cursor from its replay.
+
+        The pool's open replays the dataset's journal and records how far the
+        snapshot reached (``journal_replayed_seq``); everything at or below
+        that watermark is already in the in-memory state, so the feed cursor
+        starts exactly one past it.
+        """
+        entry = self.manager.pool.get(self.sqlite_path)
+        self._database = entry.database
+        self.applied_seq = int(getattr(entry.database, "journal_replayed_seq", 0))
+        self.feed_last_seq = max(self.feed_last_seq, self.applied_seq)
+        self.copy.reset()
+
+    def _apply_frame(self, frame: dict) -> bool:
+        """Apply one feed frame; returns ``True`` when the cursor moved."""
+        current = self.manager.pool.peek(self.sqlite_path)
+        if current is None or current.database is not self._database:
+            # Our copy was evicted (and possibly reopened fresh): the object
+            # we were applying to is gone.  Resync from the pool — its replay
+            # already covers everything we had applied.
+            self._resync()
+            return True
+        records = frame.get("records") or []
+        applied = 0
+        for entry in records:
+            seq = int(entry.get("seq", 0))
+            if seq <= self.applied_seq:
+                continue  # duplicate: already applied (or covered by replay)
+            if seq > self.applied_seq + 1:
+                # Gap: the owner checkpointed and truncated past our cursor.
+                # The feed cannot fill it; resync from the SQLite snapshot.
+                self._resync()
+                return True
+            self.copy.append(
+                seq, str(entry.get("op", "")), dict(entry.get("args") or {}),
+                str(entry.get("digest", "")),
+            )
+            apply_feed_record(
+                self._database, str(entry.get("op", "")),
+                dict(entry.get("args") or {}),
+            )
+            self.applied_seq = seq
+            applied += 1
+        self.feed_last_seq = max(
+            int(frame.get("last_seq", 0)), self.applied_seq
+        )
+        if applied:
+            self.records_applied += applied
+            self.manager.metrics.record_replication_applied(applied)
+        return applied > 0
+
+    def _resync(self) -> None:
+        self.resyncs += 1
+        self.manager.metrics.record_replication_resync()
+        self.manager.pool.evict(self.sqlite_path)
+        self._database = None
+        self._adopt()
+
+    # --------------------------------------------------------------- promotion
+
+    def drain(self) -> tuple[int, int]:
+        """Apply every record the new owner must have (promotion final step).
+
+        Two sources, in order: the **local journal copy** first (the records
+        this replica streamed — normally already applied in lockstep, but a
+        subscription stopped between the copy append and the apply leaves a
+        straggler), then the **authoritative journal** for anything past the
+        watermark the feed never delivered (records acked by the dead owner
+        after our last poll).  Returns ``(drained, caught_up)`` counts.
+        """
+        entry = self.manager.pool.get(self.sqlite_path)
+        if entry.database is not self._database:
+            # A fresh open replayed the authoritative journal, which is a
+            # superset of our copy: adopt its watermark, nothing to drain.
+            self._database = entry.database
+            self.applied_seq = max(
+                self.applied_seq,
+                int(getattr(entry.database, "journal_replayed_seq", 0)),
+            )
+            return 0, 0
+        drained = 0
+        try:
+            copied = self.copy.records()
+        except JournalError:
+            # A torn or corrupt local copy cannot block promotion — the
+            # authoritative journal below covers everything it held.
+            copied = []
+        for record in copied:
+            if record.seq <= self.applied_seq:
+                continue
+            apply_feed_record(self._database, record.op, record.args)
+            self.applied_seq = record.seq
+            drained += 1
+        caught_up = 0
+        authoritative = journal_path_for(self.sqlite_path)
+        if authoritative.exists():
+            for record in read_journal_records(authoritative):
+                if record.seq <= self.applied_seq:
+                    continue
+                apply_feed_record(self._database, record.op, record.args)
+                self.applied_seq = record.seq
+                caught_up += 1
+        self.feed_last_seq = max(self.feed_last_seq, self.applied_seq)
+        return drained, caught_up
+
+
+class ReplicationManager:
+    """All of one worker's replica subscriptions, driven by router control calls."""
+
+    def __init__(self, service, worker_id: str) -> None:
+        self.service = service
+        self.worker_id = worker_id
+        self._lock = threading.Lock()
+        self._subscriptions: dict[str, _Subscription] = {}
+
+    @property
+    def pool(self):
+        return self.service.pool
+
+    @property
+    def metrics(self):
+        return self.service.metrics
+
+    @property
+    def cluster_config(self):
+        return self.service.config.cluster
+
+    # ----------------------------------------------------------- control plane
+
+    def start(self, dataset: str, owner_id: str, owner_host: str,
+              owner_port: int) -> dict[str, object]:
+        """Subscribe ``dataset`` to the owner's feed (idempotent per owner).
+
+        A start naming the same owner endpoint is a no-op acknowledgement; a
+        different owner (failover, restart with a new port) replaces the
+        subscription — the fresh one re-adopts the pooled copy and restarts
+        its cursor from the replay watermark.
+        """
+        sqlite_path = self.service.sqlite_path(dataset)
+        if sqlite_path is None:
+            raise ValueError(f"dataset {dataset!r} has no SQLite backing file")
+        if not self.service.config.write.journal_enabled:
+            raise ValueError("replication needs the write-ahead journal enabled")
+        with self._lock:
+            existing = self._subscriptions.get(dataset)
+            if existing is not None:
+                same_owner = (
+                    existing.owner_id == owner_id
+                    and existing.owner_host == owner_host
+                    and existing.owner_port == owner_port
+                    and existing._thread.is_alive()
+                )
+                if same_owner:
+                    return {"dataset": dataset, **existing.status()}
+                existing.stop()
+            subscription = _Subscription(
+                self, dataset, sqlite_path, owner_id, owner_host, owner_port
+            )
+            self._subscriptions[dataset] = subscription
+            subscription.start()
+            return {"dataset": dataset, **subscription.status()}
+
+    def stop(self, dataset: str) -> dict[str, object]:
+        """Unsubscribe ``dataset`` (this worker is no longer its replica)."""
+        with self._lock:
+            subscription = self._subscriptions.pop(dataset, None)
+        if subscription is None:
+            return {"dataset": dataset, "stopped": False}
+        subscription.stop()
+        return {"dataset": dataset, "stopped": True, **subscription.status()}
+
+    def promote(self, dataset: str) -> dict[str, object]:
+        """Stop the feed and drain the local copy: this worker becomes owner.
+
+        After this returns, the dataset's pooled copy holds every record the
+        subscription ever received, and the write path (which opens the
+        authoritative journal and seeds idempotency keys from it) can serve
+        writes with the exactly-once contract intact.
+        """
+        with self._lock:
+            subscription = self._subscriptions.pop(dataset, None)
+        if subscription is None:
+            # Never subscribed (or already promoted): the ordinary cold-open
+            # failover path — pool replay — covers it.  Report the watermark
+            # the pool would start from.
+            sqlite_path = self.service.sqlite_path(dataset)
+            applied = 0
+            if sqlite_path is not None:
+                entry = self.pool.get(sqlite_path)
+                applied = int(getattr(entry.database, "journal_replayed_seq", 0))
+            self.metrics.record_promotion()
+            return {"dataset": dataset, "applied_seq": applied,
+                    "drained": 0, "caught_up": 0, "was_replica": False}
+        subscription.stop()
+        drained, caught_up = subscription.drain()
+        self.metrics.record_promotion()
+        return {
+            "dataset": dataset,
+            "applied_seq": subscription.applied_seq,
+            "drained": drained,
+            "caught_up": caught_up,
+            "was_replica": True,
+        }
+
+    # ------------------------------------------------------------- observation
+
+    def status(self) -> dict[str, dict[str, object]]:
+        """Per-dataset subscription status (rides on worker ``/health``)."""
+        with self._lock:
+            return {
+                dataset: subscription.status()
+                for dataset, subscription in sorted(self._subscriptions.items())
+            }
+
+    def stop_all(self) -> None:
+        with self._lock:
+            subscriptions = list(self._subscriptions.values())
+            self._subscriptions.clear()
+        for subscription in subscriptions:
+            subscription.stop(join_seconds=0.5)

@@ -37,10 +37,24 @@ read-after-write is consistent without waiting for the next health probe.
 Failure handling is deadline- and budget-bounded (PR 6): clients may cap a
 request with ``X-GVDB-Deadline-Ms`` (propagated to workers, who refuse to
 start work past it), failed attempts retry with jittered exponential backoff
-up to ``retry_budget`` times, per-worker circuit breakers take persistently
-failing workers out of the ring between probes, and a dataset with no healthy
-owner can still answer ``/window`` from the stale archive of the router cache
-— explicitly marked ``X-GVDB-Stale`` — instead of going dark.
+up to ``retry_budget`` times, and per-worker circuit breakers take
+persistently failing workers out of the ring between probes.
+
+Replication (PR 7) rides on the write-ahead journal: each supervision pass
+reconciles every dataset's rendezvous ranks 1..k into journal-feed
+subscribers of the owner (``/replicate/start`` control calls; the workers
+stream ``GET /journal/tail`` among themselves), and their ``applied_seq``
+watermarks come back on health probes.  When an owner dies, the router
+promotes the most-caught-up replica (``/replicate/promote``) and routes the
+dataset's reads *and* writes to it through a promotion overlay until
+rendezvous routing catches up or the home owner returns.  When an owner is
+merely saturated (503), reads fall back to a replica whose lag fits the
+staleness bound (``replica_max_lag_records``, or the request's
+``X-GVDB-Max-Staleness`` header), answered with ``X-GVDB-Replica`` /
+``X-GVDB-Replica-Lag`` provenance headers.  Only when there is no owner
+*and* no in-bound replica does a ``/window`` fall back to the stale archive
+of the router cache — explicitly marked ``X-GVDB-Stale`` — instead of going
+dark.
 
 Shutdown is a **drain**: stop admitting (503 + ``Retry-After``), close the
 listener, wait for in-flight proxied requests to finish (bounded by
@@ -66,12 +80,18 @@ from ..errors import ClusterError, WorkerUnavailableError
 from ..service.http import DEADLINE_HEADER, serve_connection
 from .cache import WindowResultCache
 from .client import WorkerClient
-from .hashing import rendezvous_owner
+from .hashing import rendezvous_owner, rendezvous_ranking, rendezvous_replicas
 from .resilience import CircuitBreaker, jittered_backoff
 from .sessions import SessionDirectory
 from .worker import WorkerHandle, WorkerSpec
 
-__all__ = ["ClusterRouter", "ClusterRuntime", "merge_summaries"]
+__all__ = ["ClusterRouter", "ClusterRuntime", "merge_summaries", "STALENESS_HEADER"]
+
+#: Request header letting a client cap how many journal records a replica-
+#: served read may trail the owner by (overrides the configured
+#: ``replica_max_lag_records`` for that request; ``0`` demands an owner-fresh
+#: answer).  Lowercase, because the HTTP layer lowercases header names.
+STALENESS_HEADER = "x-gvdb-max-staleness"
 
 #: Absolute (event-loop clock) deadline of the request currently being
 #: dispatched, from the client's ``X-GVDB-Deadline-Ms`` header.  A contextvar
@@ -81,6 +101,13 @@ __all__ = ["ClusterRouter", "ClusterRuntime", "merge_summaries"]
 #: bleed between concurrent requests.
 _request_deadline: contextvars.ContextVar[float | None] = contextvars.ContextVar(
     "gvdb_request_deadline", default=None
+)
+
+#: Per-request staleness bound from ``X-GVDB-Max-Staleness`` (same contextvar
+#: pattern as the deadline: it must reach the replica fallback through every
+#: read dispatch path without widening signatures).
+_request_max_staleness: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "gvdb_request_max_staleness", default=None
 )
 
 
@@ -151,6 +178,7 @@ class ClusterRouter:
                 self.cluster_config.degraded_stale_entries
                 if self.cluster_config.degraded_stale_reads else 0
             ),
+            stale_max_bytes=self.cluster_config.degraded_stale_max_bytes,
         )
         self._handles: dict[str, WorkerHandle] = {}
         self._clients: dict[str, WorkerClient] = {}
@@ -171,6 +199,25 @@ class ClusterRouter:
             "keyword": OrderedDict(), "nearest": OrderedDict(),
         }
         self._restarting: set[str] = set()
+        #: Promotion overlay: ``dataset -> worker`` routed *instead of* the
+        #: rendezvous owner after that owner died and a caught-up replica was
+        #: promoted.  Entries clear themselves in the reconcile pass once
+        #: plain rendezvous routing would pick the same worker (or the home
+        #: owner's replacement is back and fresh from disk).
+        self._promoted: dict[str, str] = {}
+        #: ``dataset -> replica workers`` under the current fleet (rendezvous
+        #: ranks 1..k, recomputed each reconcile pass).
+        self._replica_sets: dict[str, tuple[str, ...]] = {}
+        #: Last replication watermarks each worker reported on ``/health``:
+        #: ``worker -> dataset -> {applied_seq, lag, ...}``.  Promotion picks
+        #: the most-caught-up candidate from these; the replica read fallback
+        #: enforces its staleness bound with them.
+        self._replica_status: dict[str, dict[str, dict]] = {}
+        #: Control-plane state: ``(replica, dataset) -> (owner, owner_port)``
+        #: of the last successful ``/replicate/start``, so the reconcile pass
+        #: only re-sends when the assignment (or the owner's endpoint, e.g.
+        #: after a restart) actually changed.
+        self._replica_sent: dict[tuple[str, str], tuple[str, int]] = {}
         self._inflight = 0
         self._draining = False
         self._server: asyncio.AbstractServer | None = None
@@ -306,8 +353,18 @@ class ClusterRouter:
         self._breaker(worker_id).record_success()
 
     def worker_for(self, dataset: str) -> str | None:
-        """The dataset's current rendezvous owner (``None``: no healthy worker)."""
-        return rendezvous_owner(dataset, self.alive_workers())
+        """The dataset's current route target (``None``: no healthy worker).
+
+        Normally the rendezvous owner over the healthy fleet; while a
+        promotion overlay entry is live (the natural owner died and a
+        caught-up replica took over), the promoted worker is the target for
+        reads *and* writes until reconcile re-homes the dataset.
+        """
+        alive = self.alive_workers()
+        promoted = self._promoted.get(dataset)
+        if promoted is not None and promoted in alive:
+            return promoted
+        return rendezvous_owner(dataset, alive)
 
     def assignment(self) -> dict[str, str | None]:
         """``dataset -> owning worker`` under the current healthy fleet."""
@@ -343,6 +400,7 @@ class ClusterRouter:
     ):
         self._inflight += 1
         token = None
+        staleness_token = None
         remaining = _header_deadline_seconds(headers)
         if remaining is not None:
             if remaining <= 0:
@@ -354,6 +412,14 @@ class ClusterRouter:
             token = _request_deadline.set(
                 asyncio.get_running_loop().time() + remaining
             )
+        raw_staleness = (headers or {}).get(STALENESS_HEADER)
+        if raw_staleness is not None:
+            try:
+                staleness_token = _request_max_staleness.set(
+                    max(0, int(raw_staleness))
+                )
+            except ValueError:
+                pass  # an unparseable bound falls back to the configured one
         try:
             return await self._dispatch(method, target, body)
         except Exception:  # defence: a router bug must not kill the router
@@ -361,6 +427,8 @@ class ClusterRouter:
         finally:
             if token is not None:
                 _request_deadline.reset(token)
+            if staleness_token is not None:
+                _request_max_staleness.reset(staleness_token)
             self._inflight -= 1
 
     async def _dispatch(self, method: str, target: str, body: bytes) -> tuple[int, bytes]:
@@ -396,6 +464,14 @@ class ClusterRouter:
             return await self._window(target, params, dataset)
         if path in ("/keyword", "/nearest"):
             self._record_repeat(path.lstrip("/"), _cache_key(params))
+            status, body = await self._proxy(target, dataset)
+            if status == 503:
+                # Owner saturated (or gone): a replica inside the staleness
+                # bound beats a 503.
+                replica = await self._proxy_replica(target, dataset)
+                if replica is not None:
+                    return replica
+            return status, body
         return await self._proxy(target, dataset)
 
     def _record_repeat(self, kind: str, key: str) -> None:
@@ -468,15 +544,24 @@ class ClusterRouter:
         status, body = await self._proxy(target, dataset)
         if status == 200 and self.cluster_config.cache_capacity:
             self.cache.put(key, dataset, status, body, counter=counter)
-        elif (
+            return status, body
+        if status == 503:
+            # Owner saturated or gone: a replica within the staleness bound
+            # is the first fallback — it serves a live (bounded-stale) index,
+            # not an archived response.  Replica answers are deliberately not
+            # cached: the window cache must only ever hold owner-fresh bodies.
+            replica = await self._proxy_replica(target, dataset)
+            if replica is not None:
+                return replica
+        if (
             status in (503, 504)
             and self.cluster_config.degraded_stale_reads
             and self.worker_for(dataset) is None
         ):
-            # Degraded mode: no healthy owner at all.  A last-known-good
-            # window beats a blank viewport mid-incident — but only with the
-            # staleness declared, so clients can render it greyed out and
-            # keep polling for the live response.
+            # Last resort: no healthy owner, no replica inside the bound.  A
+            # last-known-good window beats a blank viewport mid-incident —
+            # but only with the staleness declared, so clients can render it
+            # greyed out and keep polling for the live response.
             stale = self.cache.get_stale(key)
             if stale is not None:
                 self.metrics.record_degraded_read()
@@ -629,12 +714,85 @@ class ClusterRouter:
             "error": f"no healthy worker for dataset {dataset!r}; retry later"
         })
 
+    async def _proxy_replica(self, target: str, dataset: str):
+        """Try the dataset's replicas, most-caught-up first, within the bound.
+
+        The staleness bound is the request's ``X-GVDB-Max-Staleness`` header
+        if present, otherwise ``replica_max_lag_records``.  A replica is only
+        eligible when its last-reported lag fits the bound — a lagging
+        replica is skipped entirely (the caller falls through to the owner's
+        error or the degraded archive), never silently served.  Successful
+        answers carry honest provenance headers: which replica answered and
+        how many records it trailed the owner by when last probed.
+
+        Returns ``None`` when no eligible replica produced a 200.
+        """
+        bound = _request_max_staleness.get()
+        if bound is None:
+            bound = self.cluster_config.replica_max_lag_records
+        alive = set(self.alive_workers())
+        owner = self.worker_for(dataset)
+        candidates: list[tuple[int, int, str]] = []
+        for worker_id in self._replica_sets.get(dataset, ()):
+            if worker_id == owner or worker_id not in alive:
+                continue
+            status = (self._replica_status.get(worker_id) or {}).get(dataset)
+            if not isinstance(status, dict) or "applied_seq" not in status:
+                continue  # never heard a watermark: staleness is unknowable
+            lag = max(0, int(status.get("lag", 0)))
+            if lag > bound:
+                continue
+            candidates.append((lag, -int(status.get("applied_seq", 0)), worker_id))
+        candidates.sort()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.cluster_config.proxy_timeout_seconds
+        client_deadline = _request_deadline.get()
+        if client_deadline is not None:
+            deadline = min(deadline, client_deadline)
+        for lag, _, worker_id in candidates:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return None
+            client = self._clients.get(worker_id)
+            if client is None:
+                continue
+            try:
+                status, _, body = await client.request(
+                    "GET", target, b"",
+                    timeout_seconds=remaining,
+                    headers={
+                        "X-GVDB-Deadline-Ms": str(max(1, int(remaining * 1000)))
+                    },
+                )
+            except WorkerUnavailableError:
+                self._note_worker_failure(worker_id)
+                continue
+            if status == 200:
+                self._note_worker_success(worker_id)
+                self.metrics.record_replica_read()
+                headers = {
+                    "X-GVDB-Replica": worker_id,
+                    "X-GVDB-Replica-Lag": str(lag),
+                }
+                if lag > 0:
+                    headers["X-GVDB-Stale"] = "1"
+                return 200, body, headers
+        return None
+
     # -------------------------------------------------------------- supervision
 
     async def _health_loop(self) -> None:
         interval = self.cluster_config.health_interval_seconds
+        jitter = self.cluster_config.health_interval_jitter
         while True:
-            await asyncio.sleep(interval)
+            # Jittered cadence: many routers (tests, CI, colocated fleets)
+            # must not probe — and reconcile-replicate — in lockstep.
+            delay = (
+                jittered_backoff(1, interval, interval * 2, jitter,
+                                 self._backoff_rng)
+                if jitter > 0 else interval
+            )
+            await asyncio.sleep(delay)
             await self.probe_workers()
 
     async def probe_workers(self) -> None:
@@ -649,6 +807,7 @@ class ClusterRouter:
             for worker_id in list(self._handles)
             if worker_id not in self._restarting
         ))
+        await self._reconcile_replication()
         self._expire_idle_sessions()
 
     def _expire_idle_sessions(self) -> None:
@@ -693,6 +852,13 @@ class ClusterRouter:
                 for name, counter in health.get("datasets", {}).items()
             }
             handle.edit_counters = counters
+            replication = health.get("replication")
+            if isinstance(replication, dict):
+                self._replica_status[worker_id] = {
+                    str(name): status
+                    for name, status in replication.items()
+                    if isinstance(status, dict)
+                }
             # Only the *owner's* counter feeds cache invalidation: every
             # worker reports every dataset (non-owners report 0 since they
             # never opened it), so mixing workers into one counter stream
@@ -713,7 +879,32 @@ class ClusterRouter:
         handle = self._handles.get(worker_id)
         if handle is None:
             return
+        was_routable = handle.healthy
         handle.healthy = False
+        # Any promotion overlay pointing at the failed worker is dead weight:
+        # routing falls straight back to rendezvous over the survivors.
+        for dataset, promoted in list(self._promoted.items()):
+            if promoted == worker_id:
+                del self._promoted[dataset]
+        if was_routable and not self._draining:
+            # Datasets this worker was serving lose their owner right now;
+            # kick off promotion of their most-caught-up replicas in the
+            # background.  Routing does not wait: rendezvous failover (cold
+            # open + journal replay on the next-ranked worker) remains the
+            # correctness path — promotion is the warm path that usually
+            # wins the race.
+            lost = [
+                dataset for dataset in self.datasets
+                if rendezvous_owner(
+                    dataset, sorted(set(self.alive_workers()) | {worker_id})
+                ) == worker_id
+            ]
+            if lost and self.cluster_config.replicas_per_dataset > 0:
+                task = asyncio.get_running_loop().create_task(
+                    self._promote_replicas(worker_id, lost)
+                )
+                self._restart_tasks.add(task)
+                task.add_done_callback(self._restart_tasks.discard)
         if worker_id in self._restarting or self._draining:
             return
         self._restarting.add(worker_id)
@@ -756,6 +947,12 @@ class ClusterRouter:
                 await loop.run_in_executor(None, handle.terminate)
                 return
             self._clients[worker_id] = self._make_client(handle)
+            # A fresh process has no subscriptions and no watermarks: forget
+            # the control-plane state so reconcile re-sends what it needs.
+            self._replica_status.pop(worker_id, None)
+            for key in list(self._replica_sent):
+                if key[0] == worker_id:
+                    del self._replica_sent[key]
             self.metrics.record_worker_restart()
         except Exception:
             # The worker stays unhealthy; the next health pass (which skips
@@ -763,6 +960,188 @@ class ClusterRouter:
             handle.healthy = False
         finally:
             self._restarting.discard(worker_id)
+
+    # -------------------------------------------------------------- replication
+
+    async def _reconcile_replication(self) -> None:
+        """Drive every worker's subscriptions toward the desired topology.
+
+        Runs at the end of each supervision pass.  For every dataset: the
+        replica set is the rendezvous ranks 1..k over the healthy fleet
+        (excluding the current route target), and each replica must be
+        subscribed to the *current owner's* endpoint.  Control calls only go
+        out when the desired state differs from the last acknowledged one —
+        a stable fleet reconciles with zero requests.  The same pass retires
+        promotion overlay entries once plain rendezvous routing would pick
+        the promoted worker anyway, or the home owner's replacement is back
+        (fresh from disk + journal replay, so re-homing loses nothing).
+        """
+        if (
+            self.cluster_config.replicas_per_dataset <= 0
+            or not self.config.write.journal_enabled
+        ):
+            return
+        alive = self.alive_workers()
+        alive_set = set(alive)
+        for dataset, promoted in list(self._promoted.items()):
+            if promoted not in alive_set:
+                del self._promoted[dataset]
+                continue
+            if rendezvous_owner(dataset, alive) == promoted:
+                del self._promoted[dataset]  # the overlay became the default
+                continue
+            home = rendezvous_owner(dataset, sorted(self._handles))
+            if home in alive_set:
+                del self._promoted[dataset]  # the home owner is back
+        calls = []
+        desired: set[tuple[str, str]] = set()
+        for dataset in self.datasets:
+            owner = self.worker_for(dataset)
+            if owner is None:
+                self._replica_sets[dataset] = ()
+                continue
+            if self._promoted.get(dataset) == owner:
+                # Under an overlay the replica set is everyone ranked below
+                # the *promoted* owner, which plain rank-slicing cannot
+                # express — take the top alive workers that are not it.
+                ranked = [
+                    worker_id
+                    for worker_id in rendezvous_ranking(dataset, alive)
+                    if worker_id != owner
+                ][: self.cluster_config.replicas_per_dataset]
+                replicas = tuple(ranked)
+            else:
+                replicas = tuple(
+                    worker_id
+                    for worker_id in rendezvous_replicas(
+                        dataset, alive, self.cluster_config.replicas_per_dataset
+                    )
+                )
+            self._replica_sets[dataset] = replicas
+            owner_handle = self._handles[owner]
+            endpoint = (owner, owner_handle.port)
+            for worker_id in replicas:
+                desired.add((worker_id, dataset))
+                if self._replica_sent.get((worker_id, dataset)) != endpoint:
+                    calls.append(self._replicate_start(
+                        worker_id, dataset, owner, owner_handle
+                    ))
+        for key in list(self._replica_sent):
+            if key not in desired:
+                del self._replica_sent[key]
+                if key[0] in alive_set:
+                    calls.append(self._replicate_stop(key[0], key[1]))
+        if calls:
+            await asyncio.gather(*calls, return_exceptions=True)
+
+    async def _replicate_start(
+        self, worker_id: str, dataset: str, owner: str, owner_handle: WorkerHandle
+    ) -> None:
+        client = self._clients.get(worker_id)
+        if client is None:
+            return
+        body = json.dumps({
+            "owner_id": owner,
+            "owner_host": owner_handle.spec.host,
+            "owner_port": owner_handle.port,
+        }).encode()
+        try:
+            status, _, response = await client.request(
+                "POST", f"/replicate/start?dataset={dataset}", body,
+                timeout_seconds=self.cluster_config.health_timeout_seconds,
+            )
+        except WorkerUnavailableError:
+            return
+        if status == 200:
+            self._replica_sent[(worker_id, dataset)] = (owner, owner_handle.port)
+            # The acknowledgement carries the subscription's watermark —
+            # seed the status map so a promotion between health probes has
+            # something to rank by.
+            try:
+                decoded = json.loads(response)
+            except ValueError:
+                return
+            if isinstance(decoded, dict) and "applied_seq" in decoded:
+                self._replica_status.setdefault(worker_id, {})[dataset] = {
+                    key: value for key, value in decoded.items()
+                    if key != "dataset"
+                }
+
+    async def _replicate_stop(self, worker_id: str, dataset: str) -> None:
+        client = self._clients.get(worker_id)
+        if client is None:
+            return
+        with contextlib.suppress(WorkerUnavailableError):
+            await client.request(
+                "POST", f"/replicate/stop?dataset={dataset}", b"",
+                timeout_seconds=self.cluster_config.health_timeout_seconds,
+            )
+        status = self._replica_status.get(worker_id)
+        if status is not None:
+            status.pop(dataset, None)
+
+    async def _promote_replicas(
+        self, failed_worker: str, datasets: list[str]
+    ) -> None:
+        """Promote the most-caught-up replica of each dataset the dead owner held.
+
+        Candidates are ranked by their last-reported ``applied_seq`` (health
+        probes and start acknowledgements keep it current).  A successful
+        ``/replicate/promote`` — the replica stops its feed, drains its local
+        journal copy, and catches up from the authoritative journal — puts
+        the worker into the promotion overlay, after which reads *and writes*
+        route to it.  Failures simply leave the overlay unset: rendezvous
+        failover over the survivors (cold open + replay + idempotency-key
+        dedup) already guarantees correctness; promotion only buys the warm
+        copy and the most-caught-up choice.
+        """
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        for dataset in datasets:
+            alive = set(self.alive_workers())
+            candidates: list[tuple[int, str]] = []
+            for worker_id in self._replica_sets.get(dataset, ()):
+                if worker_id == failed_worker or worker_id not in alive:
+                    continue
+                status = (self._replica_status.get(worker_id) or {}).get(dataset)
+                if not isinstance(status, dict):
+                    continue
+                candidates.append((int(status.get("applied_seq", 0)), worker_id))
+            candidates.sort(reverse=True)
+            for _, worker_id in candidates:
+                client = self._clients.get(worker_id)
+                if client is None:
+                    continue
+                try:
+                    status_code, _, response = await client.request(
+                        "POST", f"/replicate/promote?dataset={dataset}", b"",
+                        timeout_seconds=self.cluster_config.health_timeout_seconds,
+                    )
+                except WorkerUnavailableError:
+                    self._note_worker_failure(worker_id)
+                    continue
+                if status_code != 200:
+                    continue
+                self._promoted[dataset] = worker_id
+                self._replica_sent.pop((worker_id, dataset), None)
+                # Ownership moved: cached windows keyed to the old owner's
+                # counter stream are no longer trustworthy.
+                self.cache.invalidate_dataset(dataset)
+                self.metrics.record_promotion((loop.time() - started) * 1000.0)
+                await self._reopen_sessions(dataset)
+                break
+
+    async def _reopen_sessions(self, dataset: str) -> None:
+        """Best-effort: rebuild the dataset's sessions on its new owner now.
+
+        The lazy 404-triggered reopen in :meth:`_proxy_session` remains the
+        correctness path; doing it eagerly at promotion just means the first
+        post-failover command of each session does not pay the reopen round
+        trip.
+        """
+        for _, cursor in self.sessions.for_dataset(dataset):
+            with contextlib.suppress(Exception):
+                await self._proxy(cursor.reopen_target(), dataset)
 
     # ---------------------------------------------------------------- summaries
 
@@ -782,6 +1161,18 @@ class ClusterRouter:
                 for worker_id, handle in sorted(self._handles.items())
             },
             "assignment": self.assignment(),
+            "replication": {
+                "promoted": dict(sorted(self._promoted.items())),
+                "replica_sets": {
+                    dataset: list(replicas)
+                    for dataset, replicas in sorted(self._replica_sets.items())
+                },
+                "watermarks": {
+                    worker_id: status
+                    for worker_id, status in sorted(self._replica_status.items())
+                    if status
+                },
+            },
             "sessions": len(self.sessions),
             "inflight": self._inflight,
             "cache": self.cache.summary(),

@@ -101,6 +101,19 @@ class SessionDirectory:
         """Forget a session (closed, or confirmed gone)."""
         self._cursors.pop(session_id, None)
 
+    def for_dataset(self, dataset: str) -> list[tuple[str, SessionCursor]]:
+        """Every live ``(session_id, cursor)`` of one dataset.
+
+        The promotion path uses this to eagerly rebuild a dead owner's
+        sessions on the promoted replica, instead of waiting for each
+        session's next command to 404 its way through the lazy reopen.
+        """
+        return [
+            (session_id, cursor)
+            for session_id, cursor in list(self._cursors.items())
+            if cursor.dataset == dataset
+        ]
+
     def expire_idle(self, idle_seconds: float) -> list[str]:
         """Drop cursors idle past ``idle_seconds``; returns the expired ids."""
         if idle_seconds <= 0:

@@ -67,6 +67,7 @@ async def _worker_serve(spec: WorkerSpec, port_conn) -> None:
 
     from ..service.frontend import GraphVizDBService
     from ..service.http import serve_http
+    from .replication import ReplicationManager
 
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
@@ -74,6 +75,10 @@ async def _worker_serve(spec: WorkerSpec, port_conn) -> None:
     service = GraphVizDBService(spec.config)
     for name, path in spec.datasets:
         service.attach_sqlite(name, path)
+    # Every worker can act as a read replica: the router's reconcile loop
+    # decides which datasets this worker actually subscribes to (and when to
+    # promote it).  The service stops the manager's feed threads on drain.
+    service.replication = ReplicationManager(service, spec.worker_id)
     async with service:
         server = await serve_http(service, host=spec.host, port=0)
         port_conn.send(server.sockets[0].getsockname()[1])

@@ -481,6 +481,35 @@ class ClusterConfig:
         rather than a frozen viewport.
     degraded_stale_entries:
         Capacity of the stale-response archive (``0`` disables archiving).
+    degraded_stale_max_bytes:
+        Byte budget over the archived response payloads.  Window payloads
+        vary by orders of magnitude with zoom level, so an entry count alone
+        cannot bound the archive's memory; the byte budget evicts oldest
+        entries beyond it (``0`` disables the byte bound).
+    health_interval_jitter:
+        Random extension of each health-probe sleep, as a fraction of
+        ``health_interval_seconds`` — N routers (or one router restarted in
+        lockstep with its fleet) must not probe every worker on the same
+        tick forever.
+    replicas_per_dataset:
+        Journal-streaming read replicas per dataset: the next
+        ``replicas_per_dataset`` workers in the dataset's rendezvous ranking
+        subscribe to the owner's journal-tail feed and keep a warm,
+        near-current copy.  ``0`` disables replication (owner-only serving,
+        the pre-PR 7 behaviour).
+    replica_max_lag_records:
+        Bounded-staleness contract: a replica whose applied watermark trails
+        the owner's journal head by more than this many records is not
+        eligible for reads (the router falls through to the owner, or to the
+        degraded stale archive).  Clients may tighten the bound per request
+        with the ``X-GVDB-Max-Staleness`` header.
+    replication_poll_seconds:
+        Base interval between a replica's journal-tail polls when the feed
+        is idle (a poll that returned records immediately polls again).
+    replication_poll_jitter:
+        Random extension of each idle poll sleep, as a fraction of
+        ``replication_poll_seconds`` — replicas of many datasets must not
+        thunder-herd their owners on the same tick.
     fault_plan:
         JSON-encoded :class:`~repro.faults.FaultPlan` installed in every
         worker process at startup (chaos testing); empty string disables.
@@ -505,6 +534,12 @@ class ClusterConfig:
     circuit_breaker_failures: int = 5
     degraded_stale_reads: bool = True
     degraded_stale_entries: int = 256
+    degraded_stale_max_bytes: int = 16 * 1024 * 1024
+    health_interval_jitter: float = 0.2
+    replicas_per_dataset: int = 1
+    replica_max_lag_records: int = 64
+    replication_poll_seconds: float = 0.05
+    replication_poll_jitter: float = 0.5
     fault_plan: str = ""
 
     def effective_cache_max_bytes(self, pool_max_resident_bytes: int) -> int:
@@ -552,6 +587,22 @@ class ClusterConfig:
             )
         if self.degraded_stale_entries < 0:
             raise ConfigurationError("degraded_stale_entries must be >= 0 (0 = off)")
+        if self.degraded_stale_max_bytes < 0:
+            raise ConfigurationError(
+                "degraded_stale_max_bytes must be >= 0 (0 = no byte bound)"
+            )
+        if self.health_interval_jitter < 0:
+            raise ConfigurationError("health_interval_jitter must be >= 0")
+        if self.replicas_per_dataset < 0:
+            raise ConfigurationError(
+                "replicas_per_dataset must be >= 0 (0 = no replication)"
+            )
+        if self.replica_max_lag_records < 0:
+            raise ConfigurationError("replica_max_lag_records must be >= 0")
+        if self.replication_poll_seconds <= 0:
+            raise ConfigurationError("replication_poll_seconds must be positive")
+        if self.replication_poll_jitter < 0:
+            raise ConfigurationError("replication_poll_jitter must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -196,6 +196,18 @@ class ServiceMetrics:
         self.checkpoint_failures = 0
         self.read_only_transitions = 0
         self.read_only_rejections = 0
+        # Replication counters.  Worker side: feed polls, records re-applied
+        # from the owner's journal stream, full resyncs (gap past the feed
+        # floor).  Router side: reads answered by an in-bound replica and
+        # replica promotions after owner death (with the last/worst observed
+        # promotion latency).
+        self.replication_polls = 0
+        self.replication_records_applied = 0
+        self.replication_resyncs = 0
+        self.replica_reads = 0
+        self.promotions = 0
+        self.last_promotion_ms = 0.0
+        self.peak_promotion_ms = 0.0
 
     # ---------------------------------------------------------------- admission
 
@@ -395,6 +407,37 @@ class ServiceMetrics:
         with self._lock:
             self.read_only_rejections += 1
 
+    # -------------------------------------------------------------- replication
+
+    def record_replication_poll(self) -> None:
+        """Count one poll of an owner's journal-tail feed by a replica."""
+        with self._lock:
+            self.replication_polls += 1
+
+    def record_replication_applied(self, records: int) -> None:
+        """Count ``records`` journal records re-applied from the feed."""
+        with self._lock:
+            self.replication_records_applied += records
+
+    def record_replication_resync(self) -> None:
+        """Count one replica resync (feed gap forced a snapshot reload)."""
+        with self._lock:
+            self.replication_resyncs += 1
+
+    def record_replica_read(self) -> None:
+        """Count one read answered by a bounded-staleness replica."""
+        with self._lock:
+            self.replica_reads += 1
+
+    def record_promotion(self, latency_ms: float | None = None) -> None:
+        """Count one replica promoted to owner (router passes the latency)."""
+        with self._lock:
+            self.promotions += 1
+            if latency_ms is not None:
+                self.last_promotion_ms = latency_ms
+                if latency_ms > self.peak_promotion_ms:
+                    self.peak_promotion_ms = latency_ms
+
     # ------------------------------------------------------------------ summary
 
     def summary(self) -> dict[str, object]:
@@ -438,6 +481,10 @@ class ServiceMetrics:
                     "keyword_repeats": self.keyword_repeats,
                     "nearest_requests": self.nearest_requests,
                     "nearest_repeats": self.nearest_repeats,
+                    "replica_reads": self.replica_reads,
+                    "promotions": self.promotions,
+                    "last_promotion_ms": self.last_promotion_ms,
+                    "peak_promotion_ms": self.peak_promotion_ms,
                 },
                 "writes": {
                     "applied": self.writes_applied,
@@ -449,5 +496,10 @@ class ServiceMetrics:
                     "checkpoint_failures": self.checkpoint_failures,
                     "read_only_transitions": self.read_only_transitions,
                     "read_only_rejections": self.read_only_rejections,
+                },
+                "replication": {
+                    "polls": self.replication_polls,
+                    "records_applied": self.replication_records_applied,
+                    "resyncs": self.replication_resyncs,
                 },
             }

@@ -26,6 +26,10 @@ Injection points currently wired in (the catalog; see ``docs/robustness.md``):
                         acking" shape; ``kill`` SIGKILLs the process)
 ``client.exchange``     router side, between writing a proxied request and
                         reading the worker's response
+``replication.feed``    replica side, before each poll of the owner's
+                        journal-tail feed (``error``/``drop`` fail the poll,
+                        ``delay`` stalls it — a lagging or partitioned
+                        replica)
 ======================  =====================================================
 
 A point costs one module-global ``None`` check when no plan is installed —

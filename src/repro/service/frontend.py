@@ -131,6 +131,10 @@ class GraphVizDBService:
         self._executor: ThreadPoolExecutor | None = None
         self._coalescer: WindowBatchCoalescer | None = None
         self._started = False
+        # Set by the cluster worker bootstrap when this service runs inside a
+        # supervised fleet: a ReplicationManager driving this worker's
+        # journal-feed subscriptions (None in single-process deployments).
+        self.replication = None
 
     # ------------------------------------------------------------- registration
 
@@ -154,6 +158,10 @@ class GraphVizDBService:
     def datasets(self) -> list[str]:
         """Names of every dataset the service can answer for."""
         return sorted(set(self._memory) | set(self._sqlite))
+
+    def sqlite_path(self, name: str) -> str | None:
+        """The SQLite backing file of ``name`` (``None`` for in-memory datasets)."""
+        return self._sqlite.get(name)
 
     # -------------------------------------------------------------- lifecycle
 
@@ -184,6 +192,10 @@ class GraphVizDBService:
         # failed by the coalescer's shutdown guard, not left hanging).
         self._started = False
         self.maintenance.stop()
+        if self.replication is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.replication.stop_all
+            )
         await self.writes.drain()
         if self._coalescer is not None:
             self._coalescer.flush_all()
@@ -377,6 +389,51 @@ class GraphVizDBService:
         finally:
             self._release(dataset)
 
+    async def journal_tail(
+        self,
+        dataset: str,
+        from_seq: int = 0,
+        max_records: int = 256,
+        wait_seconds: float = 0.0,
+    ) -> dict[str, object]:
+        """Serve one journal-tail feed poll (``GET /journal/tail``).
+
+        Returns the journal records with ``seq > from_seq`` (at most
+        ``max_records``), each with its blake2b digest so the subscriber can
+        verify the bytes it re-encodes, plus the journal head (``last_seq``,
+        the replica's lag reference) and the oldest retained sequence
+        (``floor_seq`` — a cursor below it means the owner checkpointed past
+        the subscriber, who must resync from the snapshot).
+
+        ``wait_seconds > 0`` turns the poll into a bounded long-poll: when
+        nothing is newer than ``from_seq``, the call parks on the write
+        coordinator's append signal until a record lands or the wait times
+        out, so an idle feed costs one request per wait window instead of a
+        busy poll.  Feed polls bypass per-dataset admission on purpose —
+        replication must keep draining exactly when the dataset is saturated
+        with client traffic.
+        """
+        self._require_started()
+        path = self._sqlite.get(dataset)
+        if dataset not in self._memory and path is None:
+            raise QueryError(
+                f"dataset {dataset!r} is not served; available: "
+                f"{', '.join(self.datasets()) or 'none'}"
+            )
+
+        def read() -> dict[str, object]:
+            frame = self.writes.journal_tail(dataset, path, from_seq, max_records)
+            if not frame["records"] and wait_seconds > 0:
+                if self.writes.wait_for_append(dataset, from_seq, wait_seconds):
+                    return self.writes.journal_tail(
+                        dataset, path, from_seq, max_records
+                    )
+            return frame
+
+        frame = await self._run(read)
+        frame["dataset"] = dataset
+        return frame
+
     def _pooled_database(self, path: str):
         """An execution-time resolver for the dataset currently pooled at ``path``.
 
@@ -418,6 +475,9 @@ class GraphVizDBService:
             "resident_bytes": self.pool.total_resident_bytes(),
             "sessions": len(self._sessions),
             "read_only": self.writes.read_only_datasets(),
+            "replication": (
+                self.replication.status() if self.replication is not None else {}
+            ),
         }
 
     # ----------------------------------------------------------------- sessions

@@ -24,6 +24,13 @@ to real network clients:
                                       the JSON body carries the op arguments
 ``GET /metrics``                      serving metrics snapshot
 ``GET /health``                       liveness + per-dataset edit counters
+                                      (+ replication watermarks when subscribed)
+``GET /journal/tail?dataset=N&...``   journal feed for read replicas (optional
+                                      ``from_seq``, ``max_records``, ``wait_ms``
+                                      bounded long-poll)
+``POST /replicate/<op>?dataset=N``    replication control plane (``start`` /
+                                      ``stop`` / ``promote``), driven by the
+                                      cluster router
 ====================================  =============================================
 
 Edits are journalled before they are applied (see :mod:`repro.writes`); a
@@ -357,8 +364,20 @@ async def _route(
         if method != "POST":
             return 405, {"error": "edits require POST"}
         return await _route_edit(service, path, params, body)
+    if path.startswith("/replicate/"):
+        if method != "POST":
+            return 405, {"error": "replication control requires POST"}
+        return await _route_replicate(service, path, params, body)
     if method != "GET":
         return 405, {"error": f"{path} only supports GET"}
+    if path == "/journal/tail":
+        frame = await service.journal_tail(
+            params["dataset"],
+            from_seq=int(params.get("from_seq", "0")),
+            max_records=max(1, min(int(params.get("max_records", "256")), 4096)),
+            wait_seconds=min(float(params.get("wait_ms", "0")) / 1000.0, 5.0),
+        )
+        return 200, frame
     if path == "/datasets":
         return 200, {"datasets": service.datasets()}
     if path == "/metrics":
@@ -428,6 +447,45 @@ async def _route(
             return 200, keyword_body
         return 200, {"result": result, "cursor": cursor}
     return 404, {"error": f"unknown path {path!r}"}
+
+
+async def _route_replicate(
+    service: GraphVizDBService, path: str, params: dict[str, str], body: bytes
+) -> tuple[int, object]:
+    """Drive the worker's replication manager (router control plane).
+
+    ``POST /replicate/start`` (JSON body: ``owner_id``, ``owner_host``,
+    ``owner_port``) subscribes a dataset to its owner's journal feed;
+    ``/replicate/stop`` unsubscribes; ``/replicate/promote`` stops the feed,
+    drains the local journal copy and reports the final ``applied_seq`` —
+    after which the router routes the dataset's reads *and writes* here.
+    """
+    _, _, op = path.partition("/replicate/")
+    manager = service.replication
+    if manager is None:
+        return 503, {"error": "replication is not enabled on this worker"}
+    dataset = params["dataset"]
+    try:
+        args = json.loads(body) if body else {}
+    except ValueError as exc:
+        return 400, {"error": f"bad request: body is not JSON ({exc})"}
+    if not isinstance(args, dict):
+        return 400, {"error": "bad request: body must be a JSON object"}
+    if op == "start":
+        result = await service._run(
+            manager.start,
+            dataset,
+            str(args["owner_id"]),
+            str(args["owner_host"]),
+            int(args["owner_port"]),
+        )
+    elif op == "stop":
+        result = await service._run(manager.stop, dataset)
+    elif op == "promote":
+        result = await service._run(manager.promote, dataset)
+    else:
+        return 400, {"error": "use POST /replicate/{start,stop,promote}"}
+    return 200, result
 
 
 async def _route_edit(

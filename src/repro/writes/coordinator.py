@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 
@@ -71,6 +73,13 @@ class WriteCoordinator:
         self._applied_keys: dict[str, OrderedDict[str, dict]] = {}
         #: ``dataset -> reason`` for datasets in fail-stop read-only mode.
         self._read_only: dict[str, str] = {}
+        #: Publish-on-append hook for the replication feed: long-polling
+        #: ``/journal/tail`` handlers wait on the dataset's condition, and
+        #: every successful journal append notifies it (see
+        #: :meth:`wait_for_append`).
+        self._feed_lock = threading.Lock()
+        self._feed_conditions: dict[str, threading.Condition] = {}
+        self._feed_heads: dict[str, int] = {}
 
     # --------------------------------------------------------------- read-only
 
@@ -137,6 +146,64 @@ class WriteCoordinator:
         """Un-checkpointed records currently in the dataset's journal."""
         journal = self._journals.get(dataset)
         return len(journal) if journal is not None else 0
+
+    # -------------------------------------------------------- replication feed
+
+    def _feed_condition(self, dataset: str) -> threading.Condition:
+        with self._feed_lock:
+            condition = self._feed_conditions.get(dataset)
+            if condition is None:
+                condition = self._feed_conditions[dataset] = threading.Condition()
+            return condition
+
+    def _publish_append(self, dataset: str, seq: int) -> None:
+        """Wake long-polling feed readers after a successful journal append."""
+        condition = self._feed_condition(dataset)
+        with condition:
+            if seq > self._feed_heads.get(dataset, 0):
+                self._feed_heads[dataset] = seq
+            condition.notify_all()
+
+    def wait_for_append(self, dataset: str, after_seq: int,
+                        timeout_seconds: float) -> bool:
+        """Block (worker thread) until an append past ``after_seq`` is published.
+
+        The bounded long-poll half of the feed protocol: returns ``True`` as
+        soon as a record with a higher sequence number has been journalled,
+        ``False`` on timeout.  Only appends made by *this* process wake the
+        wait — a subscriber polling a non-owner simply times out and retries.
+        """
+        if timeout_seconds <= 0:
+            return self._feed_heads.get(dataset, 0) > after_seq
+        condition = self._feed_condition(dataset)
+        deadline = time.monotonic() + timeout_seconds
+        with condition:
+            while self._feed_heads.get(dataset, 0) <= after_seq:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                condition.wait(remaining)
+            return True
+
+    def journal_tail(self, dataset: str, sqlite_path: str | None,
+                     from_seq: int, max_records: int) -> dict[str, object]:
+        """One feed frame of the dataset's journal (see ``read_journal_tail``).
+
+        Served through the open journal object when this process owns one
+        (flushing buffered appends first), falling back to a plain file read
+        so a process that never wrote the dataset can still serve its feed.
+        """
+        journal = self.journal_for(dataset, sqlite_path)
+        if journal is not None:
+            return journal.tail(from_seq=from_seq, max_records=max_records)
+        from .journal import journal_path_for as _path_for
+        from .journal import read_journal_tail
+
+        if sqlite_path is None:
+            return {"records": [], "last_seq": 0, "floor_seq": 0}
+        return read_journal_tail(
+            _path_for(sqlite_path), from_seq=from_seq, max_records=max_records
+        )
 
     # ------------------------------------------------------------------- apply
 
@@ -208,6 +275,7 @@ class WriteCoordinator:
                     raise DatasetReadOnlyError(dataset, str(exc)) from exc
                 raise
             self.metrics.record_journal_append(synced)
+            self._publish_append(dataset, seq)
         editor = GraphEditor(database, layer=layer)
         result = apply_edit(editor, op, args)
         self.metrics.record_write()

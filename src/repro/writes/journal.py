@@ -68,7 +68,9 @@ __all__ = [
     "WriteAheadJournal",
     "journal_path_for",
     "read_journal_records",
+    "read_journal_tail",
     "replay_journal",
+    "verify_journal",
 ]
 
 #: SQLite meta key holding the last journal sequence number covered by a save.
@@ -142,6 +144,137 @@ def read_journal_records(path: str | Path) -> list[JournalRecord]:
         records.append(record)
         offset = end
     return records
+
+
+def read_journal_tail(
+    path: str | Path, from_seq: int = 0, max_records: int = 256
+) -> dict[str, object]:
+    """Read one feed frame of the journal: records past a cursor, with digests.
+
+    The replication feed cursor protocol (see ``docs/replication.md``): a
+    subscriber asks for records with ``seq > from_seq`` and gets back at most
+    ``max_records`` of them, each carrying the hex blake2b digest of its
+    on-disk payload so the subscriber can verify its own re-encoding
+    byte-for-byte before appending the record to its local journal copy.
+
+    Returns ``{"records": [...], "last_seq": int, "floor_seq": int}`` where
+    ``last_seq`` is the journal head (the newest complete record on disk, for
+    lag accounting even when the frame is capped) and ``floor_seq`` is the
+    oldest seq still present — a subscriber whose cursor has fallen below
+    ``floor_seq`` (the owner checkpointed and truncated past it) must resync
+    from the SQLite file instead of the feed.  Torn tails are tolerated;
+    mid-file corruption raises :class:`JournalError` like
+    :func:`read_journal_records`.
+    """
+    records = read_journal_records(path)
+    head = records[-1].seq if records else 0
+    floor = records[0].seq if records else 0
+    frame = [record for record in records if record.seq > from_seq][:max_records]
+    entries: list[dict[str, object]] = []
+    for record in frame:
+        payload = json.dumps(
+            {"seq": record.seq, "op": record.op, "args": record.args},
+            separators=(",", ":"),
+        ).encode()
+        entries.append({
+            "seq": record.seq,
+            "op": record.op,
+            "args": record.args,
+            "digest": _digest(payload).hex(),
+        })
+    return {"records": entries, "last_seq": head, "floor_seq": floor}
+
+
+def encode_journal_frame(seq: int, op: str, args: dict[str, object]) -> bytes:
+    """Re-encode one record into its on-disk frame (length + digest + payload).
+
+    The canonical encoding (:meth:`WriteAheadJournal.append` uses the same
+    ``json.dumps`` call), so a feed subscriber that re-frames a received
+    record writes bytes identical to the owner's — verifiable against the
+    digest the feed shipped.
+    """
+    payload = json.dumps(
+        {"seq": int(seq), "op": str(op), "args": dict(args)},
+        separators=(",", ":"),
+    ).encode()
+    return (
+        len(payload).to_bytes(_LENGTH_BYTES, "little")
+        + _digest(payload)
+        + payload
+    )
+
+
+def verify_journal(path: str | Path) -> dict[str, object]:
+    """Scan a journal and report its integrity without raising.
+
+    The operator-facing half of the replication story (``repro journal
+    verify``): walks every frame like :func:`read_journal_records` but turns
+    each failure mode into a field of the report instead of an exception::
+
+        {
+          "path": str, "exists": bool, "total_bytes": int,
+          "records": int,          # complete, checksum-valid records
+          "first_seq": int, "last_good_seq": int,
+          "torn_tail": bool,       # file ends inside a frame (benign crash)
+          "torn_bytes": int,       # bytes past the last good record
+          "corrupt": bool,         # bad checksum/undecodable record mid-file
+          "error": str | None,     # human-readable description of the damage
+        }
+
+    ``corrupt`` is the only condition that can silently drop acknowledged
+    edits; a torn tail is the expected signature of a crash mid-append.
+    """
+    path = Path(path)
+    report: dict[str, object] = {
+        "path": str(path), "exists": path.exists(), "total_bytes": 0,
+        "records": 0, "first_seq": 0, "last_good_seq": 0,
+        "torn_tail": False, "torn_bytes": 0, "corrupt": False, "error": None,
+    }
+    if not path.exists():
+        return report
+    data = path.read_bytes()
+    report["total_bytes"] = len(data)
+    offset = 0
+    header = _LENGTH_BYTES + _DIGEST_BYTES
+    while offset < len(data):
+        if offset + header > len(data):
+            report["torn_tail"] = True
+            report["error"] = f"torn record header at offset {offset}"
+            break
+        length = int.from_bytes(data[offset:offset + _LENGTH_BYTES], "little")
+        start = offset + header
+        end = start + length
+        if end > len(data):
+            report["torn_tail"] = True
+            report["error"] = f"torn record payload at offset {offset}"
+            break
+        payload = data[start:end]
+        if _digest(payload) != data[offset + _LENGTH_BYTES:start]:
+            if end < len(data):
+                report["corrupt"] = True
+                report["error"] = (
+                    f"bad checksum at offset {offset} with valid bytes after "
+                    f"it (mid-file corruption)"
+                )
+            else:
+                report["torn_tail"] = True
+                report["error"] = f"bad checksum on the final record at offset {offset}"
+            break
+        try:
+            decoded = json.loads(payload)
+            seq = int(decoded["seq"])
+        except (ValueError, KeyError, TypeError) as exc:
+            report["corrupt"] = True
+            report["error"] = f"undecodable record at offset {offset}: {exc}"
+            break
+        if not report["records"]:
+            report["first_seq"] = seq
+        report["records"] = int(report["records"]) + 1
+        report["last_good_seq"] = seq
+        offset = end
+    if report["torn_tail"] or report["corrupt"]:
+        report["torn_bytes"] = len(data) - offset
+    return report
 
 
 class WriteAheadJournal:
@@ -328,6 +461,18 @@ class WriteAheadJournal:
             self._flush_locked()
             return read_journal_records(self.path)
 
+    def tail(self, from_seq: int = 0, max_records: int = 256) -> dict[str, object]:
+        """One replication feed frame past ``from_seq`` (see :func:`read_journal_tail`).
+
+        Flushes first so the frame includes every record that has been
+        acknowledged by the time the feed request arrived.
+        """
+        with self._lock:
+            self._flush_locked()
+            return read_journal_tail(
+                self.path, from_seq=from_seq, max_records=max_records
+            )
+
     def truncate_through(self, seq: int) -> int:
         """Drop records with ``record.seq <= seq``; returns how many were kept.
 
@@ -413,9 +558,16 @@ def replay_journal(
         return 0
     path = journal_path_for(sqlite_path)
     records = read_journal_records(path)
+    checkpoint_seq = _read_checkpoint_seq(sqlite_path)
+    # The replication subscriber needs to know exactly how far this open's
+    # snapshot reached: records at or below this watermark are already in
+    # the in-memory state (applied, or deterministically re-failed) and must
+    # never be re-applied from the feed.
+    database.journal_replayed_seq = max(
+        checkpoint_seq, records[-1].seq if records else 0
+    )
     if not records:
         return 0
-    checkpoint_seq = _read_checkpoint_seq(sqlite_path)
     editors: dict[int, GraphEditor] = {}
     replayed = 0
     for record in records:

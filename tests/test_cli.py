@@ -162,3 +162,53 @@ class TestCommands:
                 "--database", str(tmp_path / "b" / "same.db"),
                 "--smoke", "1",
             ])
+
+
+class TestJournalVerifyCommand:
+    """``repro journal verify``: operator-facing journal integrity scan."""
+
+    def _journal(self, tmp_path):
+        from repro.writes.journal import WriteAheadJournal
+
+        database = tmp_path / "ds.db"
+        database.touch()
+        journal = WriteAheadJournal(tmp_path / "ds.db.journal")
+        for n in range(1, 4):
+            journal.append("repack", {"n": n})
+        journal.close()
+        return database
+
+    def test_parser_wires_the_subcommand(self):
+        args = build_parser().parse_args(["journal", "verify", "ds.db"])
+        assert args.handler.__name__ == "cmd_journal_verify"
+        assert args.database == "ds.db"
+
+    def test_clean_journal_exits_zero(self, tmp_path, capsys):
+        database = self._journal(tmp_path)
+        assert main(["journal", "verify", str(database)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["records"] == 3 and report["last_good_seq"] == 3
+        assert not report["corrupt"]
+
+    def test_journal_path_accepted_directly(self, tmp_path, capsys):
+        database = self._journal(tmp_path)
+        journal = database.with_name("ds.db.journal")
+        assert main(["journal", "verify", str(journal)]) == 0
+        assert json.loads(capsys.readouterr().out)["records"] == 3
+
+    def test_torn_tail_is_reported_but_exits_zero(self, tmp_path, capsys):
+        database = self._journal(tmp_path)
+        journal = database.with_name("ds.db.journal")
+        journal.write_bytes(journal.read_bytes()[:-5])
+        assert main(["journal", "verify", str(database)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["torn_tail"] and report["last_good_seq"] == 2
+
+    def test_mid_file_corruption_exits_nonzero(self, tmp_path, capsys):
+        database = self._journal(tmp_path)
+        journal = database.with_name("ds.db.journal")
+        data = bytearray(journal.read_bytes())
+        data[25] ^= 0xFF
+        journal.write_bytes(bytes(data))
+        assert main(["journal", "verify", str(database)]) == 1
+        assert json.loads(capsys.readouterr().out)["corrupt"]

@@ -9,6 +9,7 @@ and graceful drain.
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
 import random
@@ -19,15 +20,21 @@ import pytest
 
 from repro import faults
 from repro.cluster.cache import WindowResultCache
-from repro.cluster.hashing import rendezvous_owner, rendezvous_ranking
+from repro.cluster.hashing import (
+    rendezvous_owner,
+    rendezvous_ranking,
+    rendezvous_replicas,
+)
+from repro.cluster.replication import ReplicaJournalCopy, replica_journal_path
 from repro.cluster.resilience import CircuitBreaker, jittered_backoff
-from repro.cluster.router import ClusterRuntime, merge_summaries
+from repro.cluster.router import ClusterRouter, ClusterRuntime, merge_summaries
 from repro.config import ClusterConfig, GraphVizDBConfig, ServiceConfig
 from repro.core.monitoring import ServiceMetrics
-from repro.errors import ClusterError
+from repro.errors import ClusterError, JournalError
 from repro.faults import FaultPlan, FaultRule
 from repro.service.pool import DatasetPool
 from repro.storage.sqlite_backend import save_to_sqlite
+from repro.writes.journal import encode_journal_frame, verify_journal
 
 
 class TestRendezvousHashing:
@@ -892,3 +899,456 @@ class TestClusterRobustness:
         assert status == 504
         assert "deadline" in body["error"]
         assert live_cluster.router.metrics.deadline_rejections >= 1
+
+
+class TestRendezvousReplicas:
+    WORKERS = ["w0", "w1", "w2", "w3"]
+
+    def test_replicas_are_the_next_ranks_after_the_owner(self):
+        ranked = rendezvous_ranking("ds-7", self.WORKERS)
+        assert rendezvous_replicas("ds-7", self.WORKERS, 2) == ranked[1:3]
+        assert rendezvous_owner("ds-7", self.WORKERS) not in rendezvous_replicas(
+            "ds-7", self.WORKERS, 2
+        )
+
+    def test_first_replica_is_the_failover_owner(self):
+        # The property promotion leans on: the rank-1 replica is exactly the
+        # worker rendezvous failover would pick once the owner dies.
+        for dataset in (f"ds-{i}" for i in range(16)):
+            owner = rendezvous_owner(dataset, self.WORKERS)
+            survivors = [w for w in self.WORKERS if w != owner]
+            assert rendezvous_owner(dataset, survivors) == rendezvous_replicas(
+                dataset, self.WORKERS, 1
+            )[0]
+
+    def test_degenerate_inputs(self):
+        assert rendezvous_replicas("ds", self.WORKERS, 0) == []
+        assert rendezvous_replicas("ds", [], 2) == []
+        assert rendezvous_replicas("ds", ["solo"], 2) == []  # nobody left to be one
+        # Asking for more replicas than workers caps at the fleet size.
+        assert len(rendezvous_replicas("ds", self.WORKERS, 99)) == 3
+
+
+class TestReplicaJournalCopy:
+    def test_verified_append_round_trips_as_a_real_journal(self, tmp_path):
+        copy = ReplicaJournalCopy(tmp_path / "ds.db.journal.w1")
+        copy.reset()
+        for seq in (1, 2):
+            frame = encode_journal_frame(seq, "repack", {"n": seq})
+            copy.append(seq, "repack", {"n": seq}, frame[4:20].hex())
+        assert copy.last_seq == 2
+        records = copy.records()
+        assert [(r.seq, r.args["n"]) for r in records] == [(1, 1), (2, 2)]
+        # Byte-compatible with the canonical journal format: the operator
+        # tooling can verify a replica's copy unchanged.
+        report = verify_journal(copy.path)
+        assert report["records"] == 2 and not report["corrupt"]
+
+    def test_digest_mismatch_rejected_before_the_write(self, tmp_path):
+        copy = ReplicaJournalCopy(tmp_path / "ds.db.journal.w1")
+        copy.reset()
+        with pytest.raises(JournalError):
+            copy.append(1, "repack", {"n": 1}, "00" * 16)
+        assert copy.records() == []  # nothing reached the file
+
+    def test_reset_starts_a_fresh_epoch(self, tmp_path):
+        copy = ReplicaJournalCopy(tmp_path / "ds.db.journal.w1")
+        copy.reset()
+        frame = encode_journal_frame(5, "repack", {})
+        copy.append(5, "repack", {}, frame[4:20].hex())
+        copy.reset()
+        assert copy.last_seq == 0 and copy.records() == []
+
+    def test_replica_journal_path_is_worker_scoped(self, tmp_path):
+        path = replica_journal_path(tmp_path / "ds.db", "w1")
+        assert path.name == "ds.db.journal.w1"
+        assert path.parent == tmp_path
+
+
+class _StubReplicaClient:
+    """Minimal WorkerClient stand-in for the replica-read selection tests."""
+
+    def __init__(self, status: int = 200, body: bytes = b'{"num_rows": 1}'):
+        self.status = status
+        self.body = body
+        self.calls: list[str] = []
+
+    async def request(self, method, target, body=b"", **kwargs):
+        self.calls.append(target)
+        return self.status, {}, self.body
+
+
+class TestReplicaReadSelection:
+    """Unit: ``_proxy_replica`` staleness bounds and candidate ranking."""
+
+    def _router(self, shard_paths, monkeypatch, **cluster_kwargs):
+        router = ClusterRouter(shard_paths, config=_cluster_config(**cluster_kwargs))
+        monkeypatch.setattr(router, "alive_workers", lambda: ["w0", "w1", "w2"])
+        monkeypatch.setattr(router, "worker_for", lambda dataset: "w0")
+        return router
+
+    def test_replica_within_bound_served_with_provenance(
+        self, shard_paths, monkeypatch
+    ):
+        router = self._router(shard_paths, monkeypatch)
+        router._replica_sets["shard-a"] = ("w1",)
+        router._replica_status["w1"] = {"shard-a": {"applied_seq": 7, "lag": 2}}
+        stub = _StubReplicaClient()
+        router._clients["w1"] = stub
+        result = asyncio.run(
+            router._proxy_replica("/window?dataset=shard-a", "shard-a")
+        )
+        assert result is not None
+        status, body, headers = result
+        assert status == 200 and body == stub.body
+        assert headers["X-GVDB-Replica"] == "w1"
+        assert headers["X-GVDB-Replica-Lag"] == "2"
+        assert headers["X-GVDB-Stale"] == "1"  # lag > 0 declared honestly
+        assert router.metrics.replica_reads == 1
+
+    def test_zero_lag_replica_is_not_marked_stale(self, shard_paths, monkeypatch):
+        router = self._router(shard_paths, monkeypatch)
+        router._replica_sets["shard-a"] = ("w1",)
+        router._replica_status["w1"] = {"shard-a": {"applied_seq": 7, "lag": 0}}
+        router._clients["w1"] = _StubReplicaClient()
+        _, _, headers = asyncio.run(
+            router._proxy_replica("/window?dataset=shard-a", "shard-a")
+        )
+        assert "X-GVDB-Stale" not in headers
+
+    def test_lag_past_bound_falls_through(self, shard_paths, monkeypatch):
+        router = self._router(
+            shard_paths, monkeypatch, replica_max_lag_records=4
+        )
+        router._replica_sets["shard-a"] = ("w1",)
+        router._replica_status["w1"] = {"shard-a": {"applied_seq": 7, "lag": 5}}
+        stub = _StubReplicaClient()
+        router._clients["w1"] = stub
+        result = asyncio.run(
+            router._proxy_replica("/window?dataset=shard-a", "shard-a")
+        )
+        assert result is None  # caller falls through to owner error / archive
+        assert stub.calls == []  # the lagging replica was never contacted
+
+    def test_request_header_tightens_the_bound(self, shard_paths, monkeypatch):
+        from repro.cluster import router as router_module
+
+        router = self._router(shard_paths, monkeypatch)
+        router._replica_sets["shard-a"] = ("w1",)
+        router._replica_status["w1"] = {"shard-a": {"applied_seq": 7, "lag": 2}}
+        router._clients["w1"] = _StubReplicaClient()
+        token = router_module._request_max_staleness.set(1)
+        try:
+            result = asyncio.run(
+                router._proxy_replica("/window?dataset=shard-a", "shard-a")
+            )
+        finally:
+            router_module._request_max_staleness.reset(token)
+        assert result is None  # lag 2 > client bound 1
+
+    def test_unknown_watermark_is_never_served(self, shard_paths, monkeypatch):
+        router = self._router(shard_paths, monkeypatch)
+        router._replica_sets["shard-a"] = ("w1",)
+        router._replica_status["w1"] = {"shard-a": {"polls": 3}}  # no applied_seq
+        stub = _StubReplicaClient()
+        router._clients["w1"] = stub
+        assert asyncio.run(
+            router._proxy_replica("/window?dataset=shard-a", "shard-a")
+        ) is None
+        assert stub.calls == []
+
+    def test_most_caught_up_replica_wins(self, shard_paths, monkeypatch):
+        router = self._router(shard_paths, monkeypatch)
+        router._replica_sets["shard-a"] = ("w1", "w2")
+        router._replica_status["w1"] = {"shard-a": {"applied_seq": 5, "lag": 2}}
+        router._replica_status["w2"] = {"shard-a": {"applied_seq": 7, "lag": 0}}
+        first = _StubReplicaClient()
+        second = _StubReplicaClient()
+        router._clients["w1"] = first
+        router._clients["w2"] = second
+        _, _, headers = asyncio.run(
+            router._proxy_replica("/window?dataset=shard-a", "shard-a")
+        )
+        assert headers["X-GVDB-Replica"] == "w2"
+        assert first.calls == []  # lower-lag candidate tried first and sufficed
+
+
+class TestStaleArchiveByteBound:
+    """Unit: the archive is bounded by bytes, not just entries (PR 7)."""
+
+    def test_byte_budget_evicts_oldest_archived(self):
+        cache = WindowResultCache(
+            capacity=1, stale_capacity=10, stale_max_bytes=8
+        )
+        for key, body in (("a", b"AAAA"), ("b", b"BBBB"), ("c", b"CCCC"),
+                          ("d", b"DDDD")):
+            cache.put(key, "ds", 200, body)
+        # Archiving "c" (via "d"'s eviction) pushed the archive to 12 bytes;
+        # the oldest entry ("a") was dropped to get back under 8.
+        assert cache.get_stale("a") is None
+        assert cache.get_stale("b") is not None
+        assert cache.get_stale("c") is not None
+        assert cache.summary()["stale_bytes"] == 8
+
+    def test_sole_over_budget_entry_is_kept(self):
+        cache = WindowResultCache(
+            capacity=1, stale_capacity=10, stale_max_bytes=2
+        )
+        cache.put("a", "ds", 200, b"AAAA")
+        cache.invalidate_dataset("ds")
+        # One over-budget megawindow still beats an empty archive mid-incident.
+        assert cache.get_stale("a") is not None
+
+    def test_superseded_entry_releases_its_bytes(self):
+        cache = WindowResultCache(
+            capacity=1, stale_capacity=10, stale_max_bytes=100
+        )
+        cache.put("a", "ds", 200, b"AAAA")
+        cache.invalidate_dataset("ds")
+        assert cache.summary()["stale_bytes"] == 4
+        cache.put("a", "ds", 200, b"BB")  # fresh response supersedes archive
+        assert cache.summary()["stale_bytes"] == 0
+
+
+class TestReplicationLive:
+    """Live fleet: the journal-tail feed, replica catch-up, and promotion."""
+
+    @pytest.fixture
+    def repl_shards(self, patent_result, tmp_path):
+        """Fresh shards per test — replication state must not leak across."""
+        paths = {}
+        for name in ("repl-a", "repl-b"):
+            path = tmp_path / f"{name}.db"
+            save_to_sqlite(patent_result.database, path)
+            paths[name] = str(path)
+        return paths
+
+    def _wait_for_watermark(self, runtime, replica, dataset, seq, seconds=15.0):
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            marks = runtime.health_summary()["replication"]["watermarks"]
+            status = (marks.get(replica) or {}).get(dataset)
+            if status and int(status.get("applied_seq", 0)) >= seq:
+                return status
+            time.sleep(0.05)
+        return None
+
+    def _wait_for_subscription(self, runtime, replica, dataset, seconds=15.0):
+        """Block until the reconcile pass has subscribed ``replica``.
+
+        Writes made before the subscription exists reach the replica through
+        its pool replay of the (shared-filesystem) journal, not the feed —
+        tests that assert on *streamed* records must order writes after this.
+        """
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            marks = runtime.health_summary()["replication"]["watermarks"]
+            status = (marks.get(replica) or {}).get(dataset)
+            if isinstance(status, dict) and "applied_seq" in status:
+                return status
+            time.sleep(0.05)
+        return None
+
+    def test_feed_serves_verbatim_records_and_replica_catches_up(
+        self, repl_shards
+    ):
+        config = _cluster_config(restart_backoff_seconds=10.0)
+        with ClusterRuntime(repl_shards, config=config) as runtime:
+            port = runtime.port
+            owner = runtime.health_summary()["assignment"]["repl-a"]
+            replica = "w1" if owner == "w0" else "w0"
+            # Subscribe first, write after: only records appended while the
+            # feed is live are *streamed* (earlier ones arrive via replay).
+            assert self._wait_for_subscription(runtime, replica, "repl-a")
+            for n in range(3):
+                status, ack, _ = _post(port, "/edit/add_node?dataset=repl-a", {
+                    "node_id": 770000 + n, "label": f"feed-{n}",
+                    "x": 105.0 + n, "y": 105.0,
+                })
+                assert status == 200, ack
+
+            # The owner's feed endpoint serves the records verbatim, each
+            # digest matching the canonical re-encoding byte for byte.
+            owner_port = runtime.router._handles[owner].port
+            status, frame, _ = _get(
+                owner_port, "/journal/tail?dataset=repl-a&from_seq=0"
+            )
+            assert status == 200
+            assert [r["seq"] for r in frame["records"]] == [1, 2, 3]
+            assert frame["last_seq"] == 3
+            for entry in frame["records"]:
+                encoded = encode_journal_frame(
+                    entry["seq"], entry["op"], entry["args"]
+                )
+                assert encoded[4:20].hex() == entry["digest"]
+            # Cursor semantics: an up-to-date subscriber gets an empty frame.
+            status, drained, _ = _get(
+                owner_port, "/journal/tail?dataset=repl-a&from_seq=3"
+            )
+            assert status == 200
+            assert drained["records"] == [] and drained["last_seq"] == 3
+
+            # The rendezvous replica converges to the journal head and says so.
+            status = self._wait_for_watermark(runtime, replica, "repl-a", 3)
+            assert status is not None, "replica never caught up"
+            assert status["lag"] == 0 and status["owner"] == owner
+
+            # Its local journal copy is a verifiable, byte-compatible journal.
+            report = verify_journal(
+                replica_journal_path(repl_shards["repl-a"], replica)
+            )
+            assert report["records"] >= 1 and not report["corrupt"]
+
+            # Worker-side replication counters aggregate into /metrics.
+            summary = runtime.metrics_summary()
+            assert summary["replication"]["polls"] >= 1
+            assert summary["replication"]["records_applied"] >= 3
+
+    def test_promotion_after_owner_kill_serves_reads_and_writes_exactly_once(
+        self, repl_shards
+    ):
+        config = _cluster_config(restart_backoff_seconds=10.0)
+        with ClusterRuntime(repl_shards, config=config) as runtime:
+            port = runtime.port
+            labels = [f"promo-{n}" for n in range(5)]
+            for n, label in enumerate(labels):
+                status, ack, _ = _post(
+                    port,
+                    "/edit/add_node?dataset=repl-a"
+                    f"&idempotency_key=promo-key-{n}",
+                    {"node_id": 770100 + n, "label": label,
+                     "x": 105.0, "y": 105.0 + n},
+                )
+                assert status == 200, ack
+            owner = runtime.health_summary()["assignment"]["repl-a"]
+            replica = "w1" if owner == "w0" else "w0"
+            # Let the replica fully catch up so promotion has a warm copy.
+            assert self._wait_for_watermark(runtime, replica, "repl-a", 5)
+
+            runtime.router._handles[owner].process.kill()
+            killed_at = time.monotonic()
+
+            # The replica is promoted and serving reads within the failure
+            # detection + promotion window.
+            served = None
+            deadline = killed_at + 15.0
+            while time.monotonic() < deadline:
+                status, keyword, _ = _get(
+                    port, "/keyword?dataset=repl-a&q=promo-0"
+                )
+                if status == 200:
+                    served = keyword
+                    break
+                time.sleep(0.02)
+            assert served is not None, "nobody served the dataset after the kill"
+            assert runtime.router.metrics.promotions >= 1
+            assert runtime.router.metrics.last_promotion_ms > 0.0
+
+            # A client retry of the in-flight write deduplicates across the
+            # promotion instead of double-applying (PR 6 contract, new owner).
+            status, ack, _ = _post(
+                port,
+                "/edit/add_node?dataset=repl-a&idempotency_key=promo-key-4",
+                {"node_id": 770104, "label": labels[4],
+                 "x": 105.0, "y": 109.0},
+            )
+            assert status == 200, ack
+            assert ack.get("deduplicated") is True
+
+            # Zero lost, zero double-applied: every acked write exactly once.
+            for label in labels:
+                status, keyword, _ = _get(
+                    port, f"/keyword?dataset=repl-a&q={label}"
+                )
+                assert status == 200
+                assert keyword["num_matches"] == 1, label
+
+            # The promoted owner accepts brand-new writes too.
+            status, ack, _ = _post(port, "/edit/add_node?dataset=repl-a", {
+                "node_id": 770200, "label": "post-promotion",
+                "x": 106.0, "y": 106.0,
+            })
+            assert status == 200, ack
+            status, keyword, _ = _get(
+                port, "/keyword?dataset=repl-a&q=post-promotion"
+            )
+            assert status == 200 and keyword["num_matches"] == 1
+
+    def test_dropped_feed_stalls_replica_but_promotion_loses_nothing(
+        self, repl_shards
+    ):
+        # Every feed poll on the replica misfires: it can never stream a
+        # record.  Promotion must still produce a complete owner, because the
+        # drain catches up from the authoritative journal.
+        owner = rendezvous_owner("repl-a", ["w0", "w1"])
+        replica = "w1" if owner == "w0" else "w0"
+        plan = FaultPlan(
+            [FaultRule(point="replication.feed", action="error",
+                       worker=replica, every=1, name="feed-down")],
+            seed=7, name="feed-chaos",
+        )
+        config = _cluster_config(
+            fault_plan=plan.to_json(), restart_backoff_seconds=10.0
+        )
+        try:
+            with ClusterRuntime(repl_shards, config=config) as runtime:
+                port = runtime.port
+                # Subscribe before writing: the replica's initial pool open
+                # must see an empty journal, so everything below can only
+                # reach it through the (faulted) feed.
+                assert self._wait_for_subscription(runtime, replica, "repl-a")
+                labels = [f"lagged-{n}" for n in range(3)]
+                for n, label in enumerate(labels):
+                    status, ack, _ = _post(
+                        port, "/edit/add_node?dataset=repl-a",
+                        {"node_id": 770300 + n, "label": label,
+                         "x": 105.0, "y": 105.0 + n},
+                    )
+                    assert status == 200, ack
+                # The replica reports the stall honestly instead of serving
+                # silently stale answers.
+                stalled = None
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    marks = runtime.health_summary()["replication"]["watermarks"]
+                    status = (marks.get(replica) or {}).get("repl-a")
+                    if status and status.get("last_error"):
+                        stalled = status
+                        break
+                    time.sleep(0.05)
+                assert stalled is not None, "replica never reported the fault"
+                assert int(stalled["applied_seq"]) == 0
+
+                runtime.router._handles[owner].process.kill()
+                found = {}
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline and len(found) < len(labels):
+                    for label in labels:
+                        if label in found:
+                            continue
+                        status, keyword, _ = _get(
+                            port, f"/keyword?dataset=repl-a&q={label}"
+                        )
+                        if status == 200:
+                            found[label] = keyword["num_matches"]
+                    time.sleep(0.02)
+                # Every acked record survived, exactly once, despite the
+                # replica never having streamed a single one.
+                assert found == {label: 1 for label in labels}
+        finally:
+            faults.clear()
+
+    def test_max_staleness_header_is_tolerated_on_the_wire(self, live_cluster):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", live_cluster.port, timeout=30.0
+        )
+        try:
+            connection.request(
+                "GET", "/window?dataset=shard-a",
+                headers={"X-GVDB-Max-Staleness": "not-a-number"},
+            )
+            response = connection.getresponse()
+            status, _ = response.status, response.read()
+        finally:
+            connection.close()
+        assert status == 200  # a malformed bound is ignored, not an error

@@ -38,10 +38,13 @@ from repro.storage.sqlite_backend import (
 from repro.writes.journal import (
     CHECKPOINT_META_KEY,
     WriteAheadJournal,
+    encode_journal_frame,
     journal_path_for,
     read_journal_records,
+    read_journal_tail,
     replay_journal,
     unreplayed_count,
+    verify_journal,
 )
 from repro.writes.ops import EDIT_OPS, apply_edit
 
@@ -785,3 +788,69 @@ class TestReplayRobustness:
         fresh = load_from_sqlite(served_sqlite)
         assert replay_journal(fresh, served_sqlite) == 1
         assert fresh.table(0).rows_for_node(49)
+
+
+class TestJournalTailAndVerify:
+    """The replication feed frame and the operator-facing integrity scan."""
+
+    def _journal(self, tmp_path, count: int = 4):
+        path = tmp_path / "feed.journal"
+        journal = WriteAheadJournal(path)
+        for n in range(1, count + 1):
+            journal.append("repack", {"n": n})
+        journal.close()
+        return path
+
+    def test_tail_pages_past_a_cursor_and_reports_the_head(self, tmp_path):
+        path = self._journal(tmp_path, count=5)
+        frame = read_journal_tail(path, from_seq=2, max_records=2)
+        assert [r["seq"] for r in frame["records"]] == [3, 4]
+        assert frame["last_seq"] == 5  # the head, even though the frame is capped
+        assert frame["floor_seq"] == 1
+        # An up-to-date cursor gets an empty frame, same head.
+        drained = read_journal_tail(path, from_seq=5)
+        assert drained["records"] == [] and drained["last_seq"] == 5
+
+    def test_tail_digests_match_the_canonical_frame_encoding(self, tmp_path):
+        path = self._journal(tmp_path, count=2)
+        for entry in read_journal_tail(path)["records"]:
+            frame = encode_journal_frame(entry["seq"], entry["op"], entry["args"])
+            # frame = [length:4][digest:16][payload]
+            assert frame[4:20].hex() == entry["digest"]
+
+    def test_tail_floor_rises_after_truncation(self, tmp_path):
+        path = self._journal(tmp_path, count=4)
+        journal = WriteAheadJournal(path)
+        journal.truncate_through(2)
+        journal.close()
+        frame = read_journal_tail(path, from_seq=0)
+        assert frame["floor_seq"] == 3  # a cursor below this must resync
+
+    def test_verify_clean_journal(self, tmp_path):
+        report = verify_journal(self._journal(tmp_path, count=3))
+        assert report["records"] == 3
+        assert (report["first_seq"], report["last_good_seq"]) == (1, 3)
+        assert not report["torn_tail"] and not report["corrupt"]
+        assert report["error"] is None
+
+    def test_verify_reports_torn_tail_as_benign(self, tmp_path):
+        path = self._journal(tmp_path, count=3)
+        path.write_bytes(path.read_bytes()[:-5])  # crash mid-append
+        report = verify_journal(path)
+        assert report["torn_tail"] and not report["corrupt"]
+        assert report["last_good_seq"] == 2
+        assert report["torn_bytes"] > 0
+
+    def test_verify_reports_mid_file_corruption(self, tmp_path):
+        path = self._journal(tmp_path, count=3)
+        data = bytearray(path.read_bytes())
+        data[25] ^= 0xFF  # flip a byte inside the first record's payload
+        path.write_bytes(bytes(data))
+        report = verify_journal(path)
+        assert report["corrupt"] and not report["torn_tail"]
+        assert "corruption" in report["error"] or "checksum" in report["error"]
+
+    def test_verify_missing_journal(self, tmp_path):
+        report = verify_journal(tmp_path / "never.journal")
+        assert report["exists"] is False and report["records"] == 0
+        assert not report["corrupt"]
