@@ -7,6 +7,7 @@
 #   * durable write path (journal/replay/RAW)     -> BENCH_writes.json
 #   * seeded chaos schedules (retry/replay/stale) -> BENCH_faults.json
 #   * replica reads + owner promotion             -> BENCH_replication.json
+#   * tracing/histogram overhead on the hot path  -> BENCH_obs.json
 # so every PR has a perf baseline to compare against.  Also runs the
 # 2-worker cluster lifecycle smoke (start, query through the router, kill a
 # worker, query again, drain) and the fault-injection chaos smoke (which
@@ -27,13 +28,14 @@ python scripts/cluster_smoke.py
 echo "seeded chaos smoke (owner kill mid-ack / acked-write replay / degraded stale reads / replica promotion)"
 python scripts/chaos_smoke.py
 
-echo "index + cold-start + serving + cluster + writes + replication smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
+echo "index + cold-start + serving + cluster + writes + replication + observability smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
 python -m pytest benchmarks/test_bench_ablation_indexes.py \
     benchmarks/test_bench_coldstart.py \
     benchmarks/test_bench_serving.py \
     benchmarks/test_bench_cluster.py \
     benchmarks/test_bench_writes.py \
-    benchmarks/test_bench_replication.py -q -p no:cacheprovider "$@"
+    benchmarks/test_bench_replication.py \
+    benchmarks/test_bench_observability.py -q -p no:cacheprovider "$@"
 echo "trajectory written to BENCH_indexes.json:"
 python - <<'EOF'
 import json
@@ -189,5 +191,29 @@ for entry in history[-4:]:
     print(
         f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
         f"{kind:<21} {detail}"
+    )
+PYEOF
+echo "trajectory written to BENCH_obs.json:"
+python - <<'PYEOF'
+import json
+from pathlib import Path
+
+history = json.loads(Path("BENCH_obs.json").read_text())
+for entry in history[-4:]:
+    kind = entry.get("kind", "?")
+    if kind == "hot_path_overhead":
+        detail = (
+            f"off={entry['obs_off_ms']:.0f}ms on={entry['obs_on_ms']:.0f}ms "
+            f"overhead={entry['overhead_ratio'] * 100:+.1f}% "
+            f"p99={entry['window_p99_ms']:.1f}ms"
+        )
+    else:
+        detail = (
+            f"record={entry['per_record_ns']:.0f}ns "
+            f"({entry['records_per_second'] / 1e6:.1f}M/s)"
+        )
+    print(
+        f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
+        f"{kind:<17} {detail}"
     )
 PYEOF

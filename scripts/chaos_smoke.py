@@ -66,12 +66,20 @@ def get(port: int, target: str, headers: dict | None = None,
         connection.close()
 
 
-def post(port: int, target: str, body: dict, timeout: float = 60.0):
+def post(port: int, target: str, body: dict, timeout: float = 60.0,
+         headers: dict | None = None):
     connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
-        connection.request("POST", target, body=json.dumps(body).encode())
+        connection.request(
+            "POST", target, body=json.dumps(body).encode(),
+            headers=headers or {},
+        )
         response = connection.getresponse()
-        return response.status, json.loads(response.read())
+        return (
+            response.status,
+            json.loads(response.read()),
+            {key.lower(): value for key, value in response.getheaders()},
+        )
     finally:
         connection.close()
 
@@ -148,20 +156,45 @@ def main() -> int:
             config=cluster_config(fault_plan=plan.to_json()),
         ) as runtime:
             port = runtime.port
+            # The client pins the trace id: both attempts of the retried
+            # write (the killed owner's and the survivor's) must run under
+            # this one id, and the response must echo it back.
+            trace_id = "feedfacecafebeef"
             started = time.perf_counter()
-            status, ack = post(
+            status, ack, response_headers = post(
                 port,
                 "/edit/add_node?dataset=chaos-a&idempotency_key=chaos-retry-1",
                 {"node_id": 990001, "label": "chaos-retry-probe",
                  "x": 3.0, "y": 4.0},
+                headers={"X-GVDB-Trace-Id": trace_id},
             )
             retry_latency_ms = round((time.perf_counter() - started) * 1000)
             assert status == 200, f"retried edit failed: {status} {ack}"
             assert ack.get("deduplicated") is True, (
                 f"survivor did not deduplicate the retried key: {ack}"
             )
+            assert response_headers.get("x-gvdb-trace-id") == trace_id, (
+                f"router did not echo the client trace id: {response_headers}"
+            )
             retries = runtime.router.metrics.edit_retries
             assert retries >= 1, "router never retried the killed edit"
+            status, trace, _ = get(port, f"/debug/trace/{trace_id}")
+            assert status == 200, f"trace {trace_id} not in the router ring"
+            proxy_spans = []
+            pending = [trace.get("root") or {}]
+            while pending:
+                span = pending.pop()
+                if span.get("name") == "proxy":
+                    proxy_spans.append(span)
+                pending.extend(span.get("children") or [])
+            assert len(proxy_spans) >= 2, (
+                f"one trace id must cover both attempts of the retried "
+                f"write, saw spans: {proxy_spans}"
+            )
+            span_statuses = {span.get("status") for span in proxy_spans}
+            assert "error" in span_statuses and "ok" in span_statuses, (
+                f"expected a failed and a successful attempt: {proxy_spans}"
+            )
             status, body, _ = get(
                 port, "/keyword?dataset=chaos-a&q=chaos-retry-probe"
             )
@@ -172,6 +205,8 @@ def main() -> int:
             summary["edit_retries"] = retries
             summary["deduplicated_acks"] = 1 if ack.get("deduplicated") else 0
             summary["retry_exactly_once"] = True
+            summary["retry_trace_spans"] = len(proxy_spans)
+            summary["retry_one_trace_id"] = True
     finally:
         faults.clear()  # the router installs the plan in this process too
 
@@ -186,7 +221,7 @@ def main() -> int:
         port = runtime.port
         for index in range(5):
             label = f"chaos-durable-{index}"
-            status, ack = post(
+            status, ack, _ = post(
                 port,
                 f"/edit/add_node?dataset=chaos-a&idempotency_key={label}",
                 {"node_id": 991000 + index, "label": label,
@@ -231,7 +266,7 @@ def main() -> int:
         )
         status, before, _ = get(port, window)
         assert status == 200, "priming window query failed"
-        status, ack = post(port, "/edit/add_node?dataset=chaos-a", {
+        status, ack, _ = post(port, "/edit/add_node?dataset=chaos-a", {
             "node_id": 992000, "label": "chaos-degraded-probe",
             "x": 105.0, "y": 105.0,
         })
@@ -288,7 +323,7 @@ def main() -> int:
             promo = []
             for index in range(5):
                 label = f"chaos-promo-{index}"
-                status, ack = post(
+                status, ack, _ = post(
                     port,
                     f"/edit/add_node?dataset=chaos-a&idempotency_key={label}",
                     {"node_id": 993000 + index, "label": label,
@@ -329,7 +364,7 @@ def main() -> int:
                     doubled.append(label)
             assert not lost, f"acked writes lost across promotion: {lost}"
             assert not doubled, f"writes double-applied across promotion: {doubled}"
-            status, ack = post(
+            status, ack, _ = post(
                 port,
                 "/edit/add_node?dataset=chaos-a&idempotency_key=chaos-promo-4",
                 {"node_id": 993004, "label": "chaos-promo-4",
@@ -338,7 +373,7 @@ def main() -> int:
             assert status == 200 and ack.get("deduplicated") is True, (
                 f"promoted owner must dedup the retried key: {status} {ack}"
             )
-            status, ack = post(port, "/edit/add_node?dataset=chaos-a", {
+            status, ack, _ = post(port, "/edit/add_node?dataset=chaos-a", {
                 "node_id": 993100, "label": "chaos-post-promotion",
                 "x": 12.0, "y": 7.0,
             })

@@ -25,12 +25,20 @@ from __future__ import annotations
 
 import http.client
 import json
+import re
 import sys
 import tempfile
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+#: Prometheus text exposition format 0.0.4, line by line: a HELP/TYPE
+#: comment, or ``name{labels} value`` with a parseable number.
+_EXPO_COMMENT = re.compile(r"^# (?:HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*(?: .*)?$")
+_EXPO_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?(?:[0-9.]+(?:[eE][+-]?[0-9]+)?|Inf)|\+Inf|NaN)$"
+)
 
 
 def get(port: int, target: str, timeout: float = 60.0):
@@ -41,6 +49,42 @@ def get(port: int, target: str, timeout: float = 60.0):
         return response.status, json.loads(response.read())
     finally:
         connection.close()
+
+
+def get_text(port: int, target: str, timeout: float = 60.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("GET", target)
+        response = connection.getresponse()
+        return (
+            response.status,
+            response.read().decode(),
+            {key.lower(): value for key, value in response.getheaders()},
+        )
+    finally:
+        connection.close()
+
+
+def check_prometheus(port: int) -> int:
+    """Scrape ``?format=prometheus`` and validate every line; returns samples."""
+    status, text, headers = get_text(port, "/metrics?format=prometheus")
+    assert status == 200, f"prometheus scrape failed: {status}"
+    assert headers.get("content-type", "").startswith("text/plain"), headers
+    samples = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert _EXPO_COMMENT.match(line), f"bad exposition comment: {line!r}"
+            continue
+        match = _EXPO_SAMPLE.match(line)
+        assert match, f"bad exposition sample line: {line!r}"
+        if match.group(1).startswith("gvdb_"):
+            value = float(match.group(3).replace("+Inf", "inf"))
+            assert value >= 0, f"negative gvdb sample: {line!r}"
+            samples += 1
+    assert samples > 0, "prometheus exposition contained no gvdb_* samples"
+    return samples
 
 
 def post(port: int, target: str, body: dict, timeout: float = 60.0):
@@ -86,11 +130,26 @@ def main() -> int:
             assert status == 200 and body["meta"]["num_objects"] > 0, (name, body)
             status, body = get(port, f"/keyword?dataset={name}&q=patent&limit=2")
             assert status == 200, (name, body)
+            status, body = get(port, f"/nearest?dataset={name}&x=0&y=0&k=2")
+            assert status == 200, (name, body)
         status, _ = get(port, "/window?dataset=smoke-a&payload=1")
         assert status == 200
         assert runtime.router.metrics.window_cache_hits >= 1, "cache never hit"
         summary["queries_ok"] = True
         summary["cache_hits"] = runtime.router.metrics.window_cache_hits
+
+        # Mid-workload observability: the merged /metrics JSON must carry
+        # fleet-wide latency percentiles, and the Prometheus exposition must
+        # be grammatical with every gvdb_* sample nonnegative.
+        status, metrics = get(port, "/metrics")
+        assert status == 200, "merged metrics fetch failed"
+        latency = metrics.get("latency") or {}
+        for op in ("window", "keyword", "nearest"):
+            state = latency.get(op)
+            assert state and state.get("count", 0) >= 1, (op, latency.keys())
+            assert 0.0 <= state["p50"] <= state["p95"] <= state["p99"], state
+        summary["latency_percentiles_ok"] = True
+        summary["prometheus_samples"] = check_prometheus(port)
 
         # Durable write through the router: journalled ack + eager cache
         # invalidation (the cached smoke-a window from step 2 must go stale

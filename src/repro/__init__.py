@@ -23,6 +23,7 @@ from .config import (
     ClusterConfig,
     GraphVizDBConfig,
     LayoutConfig,
+    ObservabilityConfig,
     PartitionConfig,
     ServiceConfig,
     StorageConfig,
@@ -46,6 +47,7 @@ __all__ = [
     "ClusterConfig",
     "GraphVizDBConfig",
     "LayoutConfig",
+    "ObservabilityConfig",
     "PartitionConfig",
     "ServiceConfig",
     "StorageConfig",

@@ -11,7 +11,9 @@ Exposes the main workflows of the library without writing Python:
 * ``serve`` — serve one or more preprocessed SQLite databases to concurrent
   clients over HTTP: in-process by default, or behind a multi-process cluster
   router with ``--workers N`` (or run a self-contained concurrency smoke
-  workload with ``--smoke``).
+  workload with ``--smoke``);
+* ``top`` — poll a running server's ``/metrics`` and ``/health`` endpoints and
+  render a live per-dataset table (QPS, p99, queue depth, replica lag).
 
 Run as ``python -m repro <command> ...``; see ``--help`` on each command.
 """
@@ -182,7 +184,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import errno
 
-    from .config import ClusterConfig, ServiceConfig, WriteConfig
+    from .config import (
+        ClusterConfig,
+        ObservabilityConfig,
+        ServiceConfig,
+        WriteConfig,
+    )
     from .service.frontend import GraphVizDBService
     from .service.http import serve_http
 
@@ -198,6 +205,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         write=WriteConfig(
             journal_enabled=not args.no_journal,
             journal_fsync=args.fsync,
+        ),
+        observability=ObservabilityConfig(
+            trace_enabled=not args.no_trace,
+            slow_trace_seconds=args.slow_trace_ms / 1000.0,
         ),
     )
     datasets: dict[str, str] = {}
@@ -331,6 +342,96 @@ def _serve_smoke(service, requests: int, clients: int) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live per-dataset serving table, polled from ``/metrics`` + ``/health``.
+
+    Works against either face of the serving stack — a single in-process
+    worker or a cluster router — because both expose the same ``/metrics``
+    shape (the router's is the fleet-wide merge).  QPS is computed from the
+    delta of per-dataset completion counters between polls; p99 comes from
+    the merged latency histograms; replica lag from the health watermarks.
+    """
+    import time
+    import urllib.error
+    import urllib.request
+
+    base = f"http://{args.host}:{args.port}"
+
+    def fetch(path: str) -> dict:
+        with urllib.request.urlopen(base + path, timeout=5.0) as response:
+            decoded = json.loads(response.read())
+        return decoded if isinstance(decoded, dict) else {}
+
+    def quantile_ms(state: object, key: str) -> str:
+        if isinstance(state, dict) and state.get("count"):
+            return f"{float(state.get(key, 0.0)) * 1000.0:.1f}"
+        return "-"
+
+    previous: dict[str, int] = {}
+    previous_at: float | None = None
+    rounds = 0
+    try:
+        while args.iterations <= 0 or rounds < args.iterations:
+            if rounds:
+                time.sleep(args.interval)
+            try:
+                metrics = fetch("/metrics")
+                health = fetch("/health")
+            except (OSError, urllib.error.URLError) as exc:
+                raise SystemExit(f"cannot reach {base}: {exc}")
+            rounds += 1
+            now = time.monotonic()
+            requests_section = metrics.get("requests") or {}
+            completed = {
+                str(name): int(count) for name, count in
+                (requests_section.get("completed_by_dataset") or {}).items()
+            }
+            queue_depth = metrics.get("queue_depth") or {}
+            latency = metrics.get("latency") or {}
+            # Replica lag: the router health nests per-worker watermarks; a
+            # single worker reports its own subscriptions directly.
+            replication = health.get("replication") or {}
+            per_worker = replication.get("watermarks")
+            if not isinstance(per_worker, dict):
+                per_worker = {"self": replication}
+            lags: dict[str, int] = {}
+            for statuses in per_worker.values():
+                if not isinstance(statuses, dict):
+                    continue
+                for dataset, status in statuses.items():
+                    if isinstance(status, dict) and "lag" in status:
+                        lags[dataset] = max(
+                            lags.get(dataset, 0), int(status.get("lag", 0))
+                        )
+            elapsed = now - previous_at if previous_at is not None else None
+            print(f"--- {base}  status={health.get('status', '?')}  "
+                  f"inflight={health.get('inflight', 0)}  poll {rounds}")
+            print(f"{'op':<10} {'count':>8} {'p50 ms':>8} {'p95 ms':>8} "
+                  f"{'p99 ms':>8}")
+            for op in ("window", "keyword", "nearest", "edit", "session"):
+                state = latency.get(op)
+                count = state.get("count", 0) if isinstance(state, dict) else 0
+                print(f"{op:<10} {count:>8} {quantile_ms(state, 'p50'):>8} "
+                      f"{quantile_ms(state, 'p95'):>8} "
+                      f"{quantile_ms(state, 'p99'):>8}")
+            datasets = sorted(set(completed) | set(queue_depth) | set(lags))
+            print(f"{'dataset':<16} {'qps':>8} {'queue':>6} {'lag':>6}")
+            for dataset in datasets:
+                if elapsed and elapsed > 0:
+                    delta = completed.get(dataset, 0) - previous.get(dataset, 0)
+                    qps = f"{max(0, delta) / elapsed:.1f}"
+                else:
+                    qps = "-"
+                print(f"{dataset:<16} {qps:>8} "
+                      f"{int(queue_depth.get(dataset, 0)):>6} "
+                      f"{lags.get(dataset, 0):>6}")
+            previous = completed
+            previous_at = now
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -443,7 +544,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "per client in-process and print the metrics")
     serve.add_argument("--clients", type=int, default=8,
                        help="concurrent client threads for --smoke")
+    serve.add_argument("--slow-trace-ms", type=float, default=250.0,
+                       help="requests slower than this land in the slow-query "
+                            "log at GET /debug/slow")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="disable request tracing (spans, /debug/trace, "
+                            "the slow-query log)")
     serve.set_defaults(handler=cmd_serve)
+
+    top = subparsers.add_parser(
+        "top", help="live per-dataset QPS/p99/queue/lag table from a "
+                    "running server or cluster router"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8080)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after this many polls (0 = until Ctrl-C)")
+    top.set_defaults(handler=cmd_top)
 
     return parser
 

@@ -36,6 +36,7 @@ import time
 from ..core.monitoring import ServiceMetrics
 from ..errors import WorkerUnavailableError
 from ..faults import FaultInjected, fault_check
+from ..obs import TRACE_HEADER_WIRE, current_trace_id
 
 __all__ = ["WorkerClient"]
 
@@ -92,9 +93,15 @@ class WorkerClient:
         """
         if timeout_seconds is None:
             timeout_seconds = self.timeout_seconds
+        headers = dict(headers or {})
+        # Propagate the active request trace so the worker's spans join the
+        # router's trace instead of starting an unrelated one.
+        trace_id = current_trace_id()
+        if trace_id:
+            headers.setdefault(TRACE_HEADER_WIRE, trace_id)
         try:
             return await asyncio.wait_for(
-                self._exchange(method, target, body, headers or {}, idempotent),
+                self._exchange(method, target, body, headers, idempotent),
                 timeout_seconds,
             )
         except asyncio.TimeoutError:

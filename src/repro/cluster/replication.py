@@ -288,11 +288,17 @@ class _Subscription:
                 self.owner_host, self.owner_port,
                 timeout=max(2.0, wait_ms / 1000.0 + 2.0),
             )
+        poll_started = time.perf_counter()
         self._connection.request("GET", target)
         response = self._connection.getresponse()
         body = response.read()
         self.polls += 1
         self.manager.metrics.record_replication_poll()
+        # Long-poll round-trip time doubles as a replica-lag health signal:
+        # a drifting p99 here shows a saturated owner before lag records do.
+        self.manager.metrics.record_latency(
+            "replication.poll", time.perf_counter() - poll_started
+        )
         if response.status != 200:
             raise ValueError(
                 f"journal tail feed returned {response.status}: {body[:200]!r}"

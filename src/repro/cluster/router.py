@@ -56,6 +56,18 @@ staleness bound (``replica_max_lag_records``, or the request's
 of the router cache — explicitly marked ``X-GVDB-Stale`` — instead of going
 dark.
 
+Observability (PR 8) threads through all of the above: every routed request
+runs under a 16-hex trace id (honored from ``X-GVDB-Trace-Id`` or minted
+here, echoed in the response, and propagated on every proxied hop), with
+``proxy`` / ``proxy.replica`` / ``retry.backoff`` spans recorded into a
+bounded :class:`~repro.obs.trace.TraceStore` behind ``GET /debug/trace/<id>``
+(the successfully proxied worker's own span tree is grafted under the proxy
+span) and a slow-query log behind ``GET /debug/slow``.  The aggregated
+``/metrics`` merges per-worker latency histograms bucket-wise and recomputes
+fleet-wide p50/p95/p99 (percentiles are not additive), and
+``/metrics?format=prometheus`` renders the Prometheus text exposition — see
+``docs/observability.md``.
+
 Shutdown is a **drain**: stop admitting (503 + ``Retry-After``), close the
 listener, wait for in-flight proxied requests to finish (bounded by
 ``drain_timeout_seconds``), then SIGTERM the fleet — each worker in turn
@@ -74,9 +86,11 @@ import uuid
 from collections import OrderedDict
 from urllib.parse import parse_qs, urlencode, urlsplit
 
+from .. import obs
 from ..config import ClusterConfig, GraphVizDBConfig
 from ..core.monitoring import ServiceMetrics
 from ..errors import ClusterError, WorkerUnavailableError
+from ..obs import percentiles_from_state, render_prometheus
 from ..service.http import DEADLINE_HEADER, serve_connection
 from .cache import WindowResultCache
 from .client import WorkerClient
@@ -164,7 +178,17 @@ class ClusterRouter:
         if not datasets:
             raise ClusterError("ClusterRouter needs at least one dataset")
         self.datasets = {name: str(path) for name, path in datasets.items()}
-        self.metrics = metrics or ServiceMetrics()
+        self.obs_config = self.config.observability
+        self.metrics = metrics or ServiceMetrics(
+            histograms_enabled=self.obs_config.histogram_enabled
+        )
+        #: Completed request traces (the router's own ring; worker-side span
+        #: trees are grafted in on demand by ``/debug/trace/<id>``).
+        self.traces = obs.TraceStore(
+            ring_size=self.obs_config.trace_ring_size,
+            slow_threshold_seconds=self.obs_config.slow_trace_seconds,
+            slow_log_size=self.obs_config.slow_log_size,
+        )
         self.cache = WindowResultCache(
             capacity=self.cluster_config.cache_capacity,
             # Adaptive sizing: when the workers' dataset pools run under a
@@ -248,6 +272,7 @@ class ClusterRouter:
             service=self._worker_service_config(),
             cluster=self.cluster_config,
             write=self.config.write,
+            observability=self.config.observability,
         )
         dataset_items = tuple(sorted(self.datasets.items()))
         loop = asyncio.get_running_loop()
@@ -398,6 +423,35 @@ class ClusterRouter:
         body: bytes,
         headers: dict[str, str] | None = None,
     ):
+        if not self.obs_config.trace_enabled:
+            return await self._respond_inner(method, target, body, headers)
+        # The router mints the request's trace id (or honours the client's
+        # ``X-GVDB-Trace-Id``); the contextvar travels through every dispatch
+        # path and across the proxy hop (the worker client re-sends the
+        # header), so router and worker spans land in one tree.
+        trace, trace_token = obs.begin_trace(
+            (headers or {}).get(obs.TRACE_HEADER),
+            name=f"router {method} {urlsplit(target).path}",
+        )
+        status = 500
+        try:
+            result = await self._respond_inner(method, target, body, headers)
+            status = result[0]
+            extra = dict(result[2]) if len(result) > 2 else {}
+            extra.setdefault(obs.TRACE_HEADER_WIRE, trace.trace_id)
+            return result[0], result[1], extra
+        finally:
+            trace.finish("ok" if status < 500 else "error")
+            self.traces.add(trace)
+            obs.end_trace(trace_token)
+
+    async def _respond_inner(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ):
         self._inflight += 1
         token = None
         staleness_token = None
@@ -443,7 +497,26 @@ class ClusterRouter:
         if path == "/health":
             return 200, _json_bytes(self.health_summary())
         if path == "/metrics":
-            return 200, _json_bytes(await self.metrics_summary())
+            summary = await self.metrics_summary()
+            if params.get("format") == "prometheus":
+                return 200, render_prometheus(summary).encode(), {
+                    "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+                }
+            return 200, _json_bytes(summary)
+        if path.startswith("/debug/trace/"):
+            payload = self.traces.get(path.rpartition("/")[2])
+            if payload is None:
+                return 404, _json_bytes({"error": "unknown trace id"})
+            return 200, _json_bytes(await self._grafted_trace(payload))
+        if path == "/debug/slow":
+            try:
+                count = max(1, int(params.get("n", "10")))
+            except ValueError:
+                count = 10
+            return 200, _json_bytes({
+                "threshold_seconds": self.traces.slow_threshold_seconds,
+                "traces": self.traces.slowest(count),
+            })
 
         # Everything else belongs to one dataset's owner.
         if path == "/session/new":
@@ -664,7 +737,8 @@ class ClusterRouter:
         if retryable is None:
             retryable = method == "GET"
         loop = asyncio.get_running_loop()
-        deadline = loop.time() + self.cluster_config.proxy_timeout_seconds
+        proxy_started = loop.time()
+        deadline = proxy_started + self.cluster_config.proxy_timeout_seconds
         client_deadline = _request_deadline.get()
         if client_deadline is not None:
             deadline = min(deadline, client_deadline)
@@ -681,14 +755,18 @@ class ClusterRouter:
                 break
             client = self._clients[worker_id]
             try:
-                status, _, response = await client.request(
-                    method, target, body,
-                    timeout_seconds=remaining,
-                    headers={
-                        "X-GVDB-Deadline-Ms": str(max(1, int(remaining * 1000)))
-                    },
-                    idempotent=retryable and method != "GET",
-                )
+                with obs.span(
+                    "proxy", worker=worker_id, dataset=dataset,
+                    attempt=attempt + 1,
+                ):
+                    status, _, response = await client.request(
+                        method, target, body,
+                        timeout_seconds=remaining,
+                        headers={
+                            "X-GVDB-Deadline-Ms": str(max(1, int(remaining * 1000)))
+                        },
+                        idempotent=retryable and method != "GET",
+                    )
             except WorkerUnavailableError:
                 self._note_worker_failure(worker_id)
                 if attempt + 1 < attempts:
@@ -705,10 +783,13 @@ class ClusterRouter:
                     # Sleeping past the deadline helps nobody; skip straight
                     # to the next attempt and let the deadline check rule.
                     if delay > 0 and loop.time() + delay < deadline:
-                        await asyncio.sleep(delay)
+                        with obs.span("retry.backoff", attempt=attempt + 1):
+                            await asyncio.sleep(delay)
                 continue
             self._note_worker_success(worker_id)
             self.metrics.record_proxied()
+            self.metrics.record_latency("proxy", loop.time() - proxy_started)
+            self.metrics.record_latency("proxy.attempts", attempt + 1)
             return status, response
         return 503, _json_bytes({
             "error": f"no healthy worker for dataset {dataset!r}; retry later"
@@ -757,13 +838,16 @@ class ClusterRouter:
             if client is None:
                 continue
             try:
-                status, _, body = await client.request(
-                    "GET", target, b"",
-                    timeout_seconds=remaining,
-                    headers={
-                        "X-GVDB-Deadline-Ms": str(max(1, int(remaining * 1000)))
-                    },
-                )
+                with obs.span(
+                    "proxy.replica", worker=worker_id, dataset=dataset, lag=lag
+                ):
+                    status, _, body = await client.request(
+                        "GET", target, b"",
+                        timeout_seconds=remaining,
+                        headers={
+                            "X-GVDB-Deadline-Ms": str(max(1, int(remaining * 1000)))
+                        },
+                    )
             except WorkerUnavailableError:
                 self._note_worker_failure(worker_id)
                 continue
@@ -1201,9 +1285,69 @@ class ClusterRouter:
             coalescer["ratio"] = (
                 coalescer.get("requests", 0) / batches if batches else 0.0
             )
-        merged["cluster"] = self.metrics.summary()["cluster"]
+        router_summary = self.metrics.summary()
+        merged["cluster"] = router_summary["cluster"]
+        router_latency = router_summary.get("latency")
+        if isinstance(router_latency, dict) and router_latency:
+            # The router's own histograms (proxy round trips, attempt counts)
+            # merge into the fleet's under the same bucket-summing rules.
+            _merge_into(merged.setdefault("latency", {}), router_latency)
+        latency = merged.get("latency")
+        if isinstance(latency, dict):
+            # Percentiles are not additive either; recompute every op's
+            # quantiles from the summed bucket counts (same move as the
+            # coalescer ratio above).
+            for state in latency.values():
+                if isinstance(state, dict) and "buckets" in state:
+                    state.update(percentiles_from_state(state))
         merged["router"] = self.health_summary()
         return merged
+
+    async def _grafted_trace(self, payload: dict) -> dict:
+        """Attach worker-side span trees to the router's view of one trace.
+
+        The router's ring only holds its own spans (dispatch, proxy attempts,
+        backoff).  For every successful proxy span, the worker that answered
+        holds the matching server-side trace — same id, because the worker
+        client propagates the header — so fetch it and graft its root under
+        the proxy span.  The result is the full request tree: queue wait,
+        filter, JSON build and journal phases nested inside the hop that
+        incurred them.  Best-effort: an unreachable worker (or an id already
+        evicted from its ring) just leaves that hop ungrafted.
+        """
+        grafted = json.loads(json.dumps(payload))  # deep copy; ring stays pure
+        trace_id = str(grafted.get("trace_id", ""))
+        by_worker: dict[str, dict] = {}
+        pending = [grafted.get("root") or {}]
+        while pending:
+            span = pending.pop()
+            if (
+                span.get("name") in ("proxy", "proxy.replica")
+                and span.get("status") == "ok"
+            ):
+                worker_id = (span.get("annotations") or {}).get("worker")
+                if worker_id:
+                    # One graft per worker: retries reuse the trace id, so a
+                    # worker's ring holds only its latest attempt anyway.
+                    by_worker[str(worker_id)] = span
+            pending.extend(span.get("children") or [])
+        for worker_id, span in by_worker.items():
+            client = self._clients.get(worker_id)
+            if client is None:
+                continue
+            try:
+                status, decoded = await client.get_json(
+                    f"/debug/trace/{trace_id}",
+                    timeout_seconds=self.cluster_config.health_timeout_seconds,
+                )
+            except WorkerUnavailableError:
+                continue
+            if (
+                status == 200 and isinstance(decoded, dict)
+                and isinstance(decoded.get("root"), dict)
+            ):
+                span.setdefault("children", []).append(decoded["root"])
+        return grafted
 
     # --------------------------------------------------------------- lifecycle
 

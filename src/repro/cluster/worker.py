@@ -73,6 +73,8 @@ async def _worker_serve(spec: WorkerSpec, port_conn) -> None:
     stop = asyncio.Event()
     loop.add_signal_handler(signal.SIGTERM, stop.set)
     service = GraphVizDBService(spec.config)
+    # Label this process's Prometheus exposition with its fleet identity.
+    service.worker_id = spec.worker_id
     for name, path in spec.datasets:
         service.attach_sqlite(name, path)
     # Every worker can act as a read replica: the router's reconcile loop

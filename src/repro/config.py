@@ -606,6 +606,47 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Tracing, latency-histogram and slow-query-log settings (PR 8).
+
+    ``trace_enabled``
+        Mint/honor ``X-GVDB-Trace-Id`` and record span trees for every
+        request at the router and workers.  Off: requests carry no trace and
+        the ``/debug`` endpoints serve empty results.
+    ``histogram_enabled``
+        Record per-operation latency histograms in ``ServiceMetrics`` (the
+        ``latency`` section of ``/metrics``).
+    ``trace_ring_size``
+        Completed traces retained per process for ``GET /debug/trace/<id>``.
+    ``slow_trace_seconds``
+        Requests at or above this wall time enter the slow-query log
+        (``GET /debug/slow?n=``).
+    ``slow_log_size``
+        Worst offenders retained in the slow-query log.
+    ``query_log_records``
+        Per-query records :class:`repro.core.monitoring.QueryLog` keeps in
+        its bounded deques (aggregate stats stay exact via histograms).
+    """
+
+    trace_enabled: bool = True
+    histogram_enabled: bool = True
+    trace_ring_size: int = 256
+    slow_trace_seconds: float = 0.25
+    slow_log_size: int = 64
+    query_log_records: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.trace_ring_size <= 0:
+            raise ConfigurationError("trace_ring_size must be positive")
+        if self.slow_trace_seconds < 0:
+            raise ConfigurationError("slow_trace_seconds must be >= 0")
+        if self.slow_log_size <= 0:
+            raise ConfigurationError("slow_log_size must be positive")
+        if self.query_log_records <= 0:
+            raise ConfigurationError("query_log_records must be positive")
+
+
+@dataclass(frozen=True)
 class GraphVizDBConfig:
     """Top-level configuration bundling every subsystem's settings."""
 
@@ -617,6 +658,7 @@ class GraphVizDBConfig:
     service: ServiceConfig = field(default_factory=ServiceConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     write: WriteConfig = field(default_factory=WriteConfig)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     @classmethod
     def small(cls) -> "GraphVizDBConfig":

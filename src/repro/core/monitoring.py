@@ -2,18 +2,27 @@
 
 The paper's evaluation is a one-off measurement campaign; a production
 deployment needs the same numbers continuously.  :class:`QueryLog` records
-every online operation (window queries, keyword searches) with its timing
+online operations (window queries, keyword searches) with their timing
 breakdown and result size, and produces the aggregate statistics an operator
 would watch: per-layer query counts, latency percentiles, average objects per
 window.  :class:`ExplorationSession` accepts a log instance so every
 interaction of a session is recorded automatically.
+
+Memory discipline (PR 8): the per-query record lists are bounded deques —
+a long-lived ``repro serve`` must not grow a Python list per query — while
+every aggregate (counts, per-layer breakdown, mean objects, latency
+percentiles) stays exact via plain counters plus a streaming
+:class:`~repro.obs.histogram.Histogram`.  The recent-record deques exist only
+for debugging/inspection.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 
+from ..obs.histogram import Histogram
 from .query_manager import KeywordSearchResult, WindowQueryResult
 
 __all__ = ["WindowQueryRecord", "KeywordQueryRecord", "QueryLog", "ServiceMetrics"]
@@ -47,12 +56,27 @@ class KeywordQueryRecord:
     search_seconds: float
 
 
-@dataclass
 class QueryLog:
-    """Accumulates query records and computes summary statistics."""
+    """Accumulates query records and computes summary statistics.
 
-    window_queries: list[WindowQueryRecord] = field(default_factory=list)
-    keyword_queries: list[KeywordQueryRecord] = field(default_factory=list)
+    The per-record deques keep only the most recent ``max_records`` entries
+    (the memory bound a long-lived server needs); the aggregate statistics —
+    counts, per-layer breakdown, mean objects per window — are maintained as
+    exact running totals, and latency percentiles fall back to the streaming
+    histogram once records have been evicted.
+    """
+
+    def __init__(self, max_records: int = 4096) -> None:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
+        self.window_queries: deque[WindowQueryRecord] = deque(maxlen=max_records)
+        self.keyword_queries: deque[KeywordQueryRecord] = deque(maxlen=max_records)
+        self.latency = Histogram()
+        self._window_count = 0
+        self._keyword_count = 0
+        self._objects_total = 0
+        self._layer_counts: dict[int, int] = {}
 
     # ---------------------------------------------------------------- recording
 
@@ -68,6 +92,10 @@ class QueryLog:
             filter_seconds=result.filter_seconds,
         )
         self.window_queries.append(record)
+        self.latency.record(record.server_seconds)
+        self._window_count += 1
+        self._objects_total += record.num_objects
+        self._layer_counts[record.layer] = self._layer_counts.get(record.layer, 0) + 1
         return record
 
     def record_search(self, result: KeywordSearchResult) -> KeywordQueryRecord:
@@ -79,52 +107,68 @@ class QueryLog:
             search_seconds=result.search_seconds,
         )
         self.keyword_queries.append(record)
+        self._keyword_count += 1
         return record
 
     def clear(self) -> None:
-        """Drop every record."""
+        """Drop every record and reset the aggregates."""
         self.window_queries.clear()
         self.keyword_queries.clear()
+        self.latency.clear()
+        self._window_count = 0
+        self._keyword_count = 0
+        self._objects_total = 0
+        self._layer_counts.clear()
 
     # ----------------------------------------------------------------- summary
 
     @property
     def num_window_queries(self) -> int:
-        """Number of recorded window queries."""
-        return len(self.window_queries)
+        """Number of recorded window queries (exact, beyond the deque bound)."""
+        return self._window_count
 
     @property
     def num_keyword_queries(self) -> int:
-        """Number of recorded keyword searches."""
-        return len(self.keyword_queries)
+        """Number of recorded keyword searches (exact, beyond the deque bound)."""
+        return self._keyword_count
 
     def queries_per_layer(self) -> dict[int, int]:
-        """Return ``layer -> number of window queries``."""
-        counts: dict[int, int] = {}
-        for record in self.window_queries:
-            counts[record.layer] = counts.get(record.layer, 0) + 1
-        return counts
+        """Return ``layer -> number of window queries`` (exact running counts)."""
+        return dict(self._layer_counts)
 
     def latency_percentiles(
         self, percentiles: tuple[float, ...] = (0.5, 0.9, 0.99)
     ) -> dict[float, float]:
-        """Return server-side latency percentiles (seconds) over window queries."""
-        if not self.window_queries:
-            return {p: 0.0 for p in percentiles}
-        latencies = sorted(record.server_seconds for record in self.window_queries)
-        result: dict[float, float] = {}
+        """Return server-side latency percentiles (seconds) over window queries.
+
+        Exact (sorted-sample) as long as no record has been evicted from the
+        bounded deque; afterwards, read from the streaming histogram — still
+        correct to within one log-bucket width over the *full* history.
+        """
         for percentile in percentiles:
             if not 0.0 <= percentile <= 1.0:
                 raise ValueError("percentiles must lie in [0, 1]")
-            index = min(len(latencies) - 1, max(0, int(round(percentile * (len(latencies) - 1)))))
-            result[percentile] = latencies[index]
-        return result
+        if not self._window_count:
+            return {p: 0.0 for p in percentiles}
+        if len(self.window_queries) == self._window_count:
+            latencies = sorted(record.server_seconds for record in self.window_queries)
+            result: dict[float, float] = {}
+            for percentile in percentiles:
+                index = min(
+                    len(latencies) - 1,
+                    max(0, int(round(percentile * (len(latencies) - 1)))),
+                )
+                result[percentile] = latencies[index]
+            return result
+        return {
+            p: self.latency.percentile(p) if p > 0.0 else 0.0 for p in percentiles
+        }
 
     def average_objects_per_window(self) -> float:
-        """Return the mean number of objects per window query."""
-        if not self.window_queries:
+        """Return the mean number of objects per window query (exact)."""
+        if not self._window_count:
             return 0.0
-        return sum(r.num_objects for r in self.window_queries) / len(self.window_queries)
+        return self._objects_total / self._window_count
 
     def summary(self) -> dict[str, object]:
         """Return the full JSON-serialisable monitoring summary."""
@@ -152,12 +196,18 @@ class ServiceMetrics:
     background repack activity.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, histograms_enabled: bool = True) -> None:
         self._lock = threading.Lock()
+        self.histograms_enabled = histograms_enabled
+        # Streaming latency histograms per operation class ("window",
+        # "keyword", ...) and per phase ("window.db", "proxy", ...): O(1)
+        # record, mergeable across the fleet (see repro.obs.histogram).
+        self.latency: dict[str, Histogram] = {}
         self.requests_admitted = 0
         self.requests_completed = 0
         self.requests_rejected = 0
         self.queue_depth: dict[str, int] = {}
+        self.completed_by_dataset: dict[str, int] = {}
         self.peak_queue_depth = 0
         self.coalesced_batches = 0
         self.coalesced_requests = 0
@@ -235,11 +285,35 @@ class ServiceMetrics:
         """Count one finished (or failed) request leaving the dataset's queue."""
         with self._lock:
             self.requests_completed += 1
+            self.completed_by_dataset[dataset] = (
+                self.completed_by_dataset.get(dataset, 0) + 1
+            )
             depth = self.queue_depth.get(dataset, 0) - 1
             if depth > 0:
                 self.queue_depth[dataset] = depth
             else:
                 self.queue_depth.pop(dataset, None)
+
+    # ------------------------------------------------------------------ latency
+
+    def record_latency(self, op: str, value: float) -> None:
+        """Record one observation into the operation class's histogram.
+
+        ``op`` names are a small fixed vocabulary (operation classes and
+        their phases — see ``docs/observability.md``), so the dict stays
+        bounded.  No-op when histograms are disabled.
+        """
+        if not self.histograms_enabled:
+            return
+        histogram = self.latency.get(op)
+        if histogram is None:
+            with self._lock:
+                histogram = self.latency.setdefault(op, Histogram())
+        histogram.record(value)
+
+    def latency_histogram(self, op: str) -> Histogram | None:
+        """The operation class's histogram, if anything has been recorded."""
+        return self.latency.get(op)
 
     def current_queue_depth(self, dataset: str) -> int:
         """The dataset's current admitted-request count."""
@@ -450,6 +524,7 @@ class ServiceMetrics:
                     "completed": self.requests_completed,
                     "rejected": self.requests_rejected,
                     "deadline_rejected": self.deadline_rejections,
+                    "completed_by_dataset": dict(self.completed_by_dataset),
                 },
                 "queue_depth": dict(self.queue_depth),
                 "peak_queue_depth": self.peak_queue_depth,
@@ -501,5 +576,12 @@ class ServiceMetrics:
                     "polls": self.replication_polls,
                     "records_applied": self.replication_records_applied,
                     "resyncs": self.replication_resyncs,
+                },
+                # Mergeable histogram states; percentiles herein are local —
+                # after merge_summaries, recompute them from the summed
+                # buckets (percentiles_from_state), as the router does.
+                "latency": {
+                    op: histogram.state()
+                    for op, histogram in sorted(self.latency.items())
                 },
             }

@@ -48,12 +48,17 @@ index)``, so two runs of the same plan misfire on exactly the same hits.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import random
 import signal
 import threading
 import time
 from dataclasses import asdict, dataclass, field
+
+from ..obs.trace import current_trace_id
+
+_log = logging.getLogger("repro.faults")
 
 __all__ = [
     "ENV_VAR",
@@ -83,14 +88,22 @@ class FaultInjected(Exception):
     write), or ``drop`` (close the connection without responding).  ``delay``
     and ``kill`` never surface as this exception — they happen inside the
     check itself.
+
+    ``trace_id`` is the request trace active at the injection point (empty
+    when the hit happened outside any traced request), so an injected
+    failure's error message and log line tie back to the exact request —
+    across both attempts of a router retry, which reuse one id.
     """
 
-    def __init__(self, point: str, action: str, rule: str = "") -> None:
+    def __init__(self, point: str, action: str, rule: str = "",
+                 trace_id: str = "") -> None:
         super().__init__(f"injected {action!r} fault at {point!r}"
-                         + (f" (rule {rule!r})" if rule else ""))
+                         + (f" (rule {rule!r})" if rule else "")
+                         + (f" [trace {trace_id}]" if trace_id else ""))
         self.point = point
         self.action = action
         self.rule = rule
+        self.trace_id = trace_id
 
 
 @dataclass(frozen=True)
@@ -170,12 +183,15 @@ class FaultPlan:
 
     # -------------------------------------------------------------- evaluation
 
-    def check(self, point: str, ctx: dict[str, object], identity: str) -> None:
+    def check(self, point: str, ctx: dict[str, object], identity: str,
+              trace_id: str = "") -> None:
         """Evaluate every rule against one hit of ``point``.
 
         Raises :class:`FaultInjected` for raising actions; sleeps for
         ``delay``; arms (or performs) a SIGKILL for ``kill``.  At most one
         rule fires per hit — the first matching one in plan order.
+        ``trace_id`` (the request trace active at the call site) is logged
+        with the fire and carried on the raised exception.
         """
         fired: FaultRule | None = None
         with self._lock:
@@ -206,10 +222,15 @@ class FaultPlan:
                 break
         if fired is None:
             return
-        self._perform(point, fired)
+        _log.warning(
+            "fault %r fired at %r (action %r)%s",
+            fired.name or "<unnamed>", point, fired.action,
+            f" [trace {trace_id}]" if trace_id else "",
+        )
+        self._perform(point, fired, trace_id)
 
     @staticmethod
-    def _perform(point: str, rule: FaultRule) -> None:
+    def _perform(point: str, rule: FaultRule, trace_id: str = "") -> None:
         if rule.action == "delay":
             # Deliberately blocking, even on an event loop: the simulated
             # failure is a *hung process*, not a politely-async slow query.
@@ -228,7 +249,7 @@ class FaultPlan:
                 return
             os.kill(os.getpid(), signal.SIGKILL)
             return  # pragma: no cover - the line above does not return
-        raise FaultInjected(point, rule.action, rule.name)
+        raise FaultInjected(point, rule.action, rule.name, trace_id)
 
     # ------------------------------------------------------------- observation
 
@@ -316,7 +337,7 @@ def fault_check(point: str, **ctx: object) -> None:
     plan = _PLAN
     if plan is None:
         return
-    plan.check(point, ctx, _IDENTITY)
+    plan.check(point, ctx, _IDENTITY, trace_id=current_trace_id() or "")
 
 
 # Spawned worker processes inherit the router's environment: a plan published

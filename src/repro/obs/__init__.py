@@ -1,0 +1,65 @@
+"""Observability layer: tracing, streaming histograms, Prometheus exposition.
+
+Three pieces, threaded through every tier of the serving stack:
+
+* :mod:`repro.obs.trace` — ``Trace``/``Span`` request tracing on a 16-hex id
+  propagated via ``X-GVDB-Trace-Id``, with bounded ring-buffer and slow-log
+  stores behind ``GET /debug/trace/<id>`` and ``GET /debug/slow``;
+* :mod:`repro.obs.histogram` — lock-cheap log-bucketed latency histograms,
+  mergeable across the fleet through ``merge_summaries``;
+* :mod:`repro.obs.prometheus` — ``/metrics?format=prometheus`` text
+  exposition with stable ``gvdb_*`` names.
+
+See ``docs/observability.md`` for the span-phase catalog, bucket scheme and
+metric name table.
+"""
+
+from .histogram import (
+    NUM_BUCKETS,
+    Histogram,
+    bucket_index,
+    bucket_upper_bound,
+    percentiles_from_state,
+)
+from .trace import (
+    TRACE_HEADER,
+    TRACE_HEADER_WIRE,
+    Span,
+    Trace,
+    TraceStore,
+    add_phase,
+    annotate,
+    begin_trace,
+    current_span,
+    current_trace,
+    current_trace_id,
+    end_trace,
+    new_trace_id,
+    sanitize_trace_id,
+    span,
+)
+from .prometheus import render_prometheus
+
+__all__ = [
+    "NUM_BUCKETS",
+    "TRACE_HEADER",
+    "TRACE_HEADER_WIRE",
+    "Histogram",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "add_phase",
+    "annotate",
+    "begin_trace",
+    "bucket_index",
+    "bucket_upper_bound",
+    "current_span",
+    "current_trace",
+    "current_trace_id",
+    "end_trace",
+    "new_trace_id",
+    "percentiles_from_state",
+    "render_prometheus",
+    "sanitize_trace_id",
+    "span",
+]

@@ -1,0 +1,202 @@
+"""Lock-cheap log-bucketed streaming latency histograms.
+
+The serving path needs percentiles, not sample lists: a long-lived
+``repro serve`` answering millions of queries cannot keep every latency in a
+Python list (PR 8 retired exactly that leak in ``QueryLog``), and a cluster
+router needs to *merge* per-worker distributions without shipping raw samples.
+
+The classic answer is a fixed log-bucketed histogram (HdrHistogram /
+Prometheus style): 64 buckets whose upper bounds grow geometrically, so a
+``record`` is one ``log2`` + one list increment (O(1), no allocation), the
+whole distribution is ~600 bytes, and two histograms merge by adding bucket
+counts.  Percentile readout walks the cumulative counts and reports the
+containing bucket's upper bound — exact to within one bucket width (~41%
+relative, i.e. sub-half-order-of-magnitude), which is plenty for SLO work,
+while ``max`` is tracked exactly.
+
+Bucket scheme
+-------------
+
+* bucket 0 covers ``(0, 10µs]``;
+* buckets 1..62 have upper bounds ``10µs · 2^(i/2)`` — two buckets per
+  octave, each ~1.41× the previous, reaching ~21,000 s at bucket 62;
+* bucket 63 is the overflow bucket (``+Inf``).
+
+The scheme is value-agnostic (buckets are just a geometric grid), so the same
+class records latencies in seconds *and* small counts such as proxy attempts.
+
+Merging across the fleet rides the existing ``merge_summaries`` contract:
+:meth:`Histogram.state` emits bucket counts as a *nested dict of ints*
+(``{"7": 3, ...}``), which ``_merge_into`` sums key-wise, and names the
+tracked maximum ``peak_seconds`` so the ``peak*`` max-merge rule applies.
+Percentiles are **not** additive — after merging, recompute them from the
+summed buckets with :func:`percentiles_from_state` (the router does this,
+mirroring its coalescer-ratio recompute).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "NUM_BUCKETS",
+    "Histogram",
+    "bucket_index",
+    "bucket_upper_bound",
+    "percentiles_from_state",
+]
+
+#: Fixed bucket count; the last bucket is the +Inf overflow bucket.
+NUM_BUCKETS = 64
+
+#: Upper bound of bucket 0 — 10 microseconds, below timer resolution anyway.
+_MIN_BOUND = 1e-5
+
+#: Buckets per factor-of-two: upper bounds grow by sqrt(2) per bucket.
+_BUCKETS_PER_OCTAVE = 2
+
+#: Tolerance so values sitting exactly on a bucket boundary land *in* that
+#: bucket despite floating-point log jitter.
+_BOUNDARY_EPS = 1e-9
+
+#: The percentiles every summary reports.
+_REPORTED = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def bucket_index(value: float) -> int:
+    """The bucket a value falls in (upper-bound inclusive)."""
+    if value <= _MIN_BOUND:
+        return 0
+    index = math.ceil(
+        math.log2(value / _MIN_BOUND) * _BUCKETS_PER_OCTAVE - _BOUNDARY_EPS
+    )
+    return index if index < NUM_BUCKETS else NUM_BUCKETS - 1
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Inclusive upper bound of a bucket (``+Inf`` for the overflow bucket)."""
+    if index >= NUM_BUCKETS - 1:
+        return math.inf
+    return _MIN_BOUND * 2.0 ** (index / _BUCKETS_PER_OCTAVE)
+
+
+class Histogram:
+    """A fixed-size streaming histogram: O(1) record, mergeable, tiny.
+
+    Thread-safe; the lock guards a four-line critical section (one increment,
+    two adds, one max), so contention is negligible even on hot paths.
+    """
+
+    __slots__ = ("_lock", "_buckets", "count", "total", "peak")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets = [0] * NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+
+    def record(self, value: float) -> None:
+        """Record one observation (negative values clamp to zero)."""
+        if value < 0.0:
+            value = 0.0
+        index = bucket_index(value)
+        with self._lock:
+            self._buckets[index] += 1
+            self.count += 1
+            self.total += value
+            if value > self.peak:
+                self.peak = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        with other._lock:
+            buckets = list(other._buckets)
+            count, total, peak = other.count, other.total, other.peak
+        with self._lock:
+            for index, increment in enumerate(buckets):
+                self._buckets[index] += increment
+            self.count += count
+            self.total += total
+            if peak > self.peak:
+                self.peak = peak
+
+    def percentile(self, quantile: float) -> float:
+        """The q-quantile (0 < q <= 1), exact to one bucket width.
+
+        Reports the upper bound of the bucket containing the target rank,
+        clamped to the exact observed maximum (so p100 == max, and the
+        overflow bucket never reports +Inf).
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must lie in (0, 1], got {quantile}")
+        with self._lock:
+            buckets = list(self._buckets)
+            count, peak = self.count, self.peak
+        return _percentile(buckets, count, peak, quantile)
+
+    def state(self) -> dict:
+        """A JSON-safe, ``merge_summaries``-mergeable snapshot.
+
+        Bucket counts are a nested dict of ints (summed key-wise by the
+        merge), ``peak_seconds`` rides the ``peak*`` max-merge rule, and the
+        attached percentiles are *this* histogram's — a consumer of merged
+        states must recompute them via :func:`percentiles_from_state`.
+        """
+        with self._lock:
+            buckets = list(self._buckets)
+            count, total, peak = self.count, self.total, self.peak
+        state: dict = {
+            "count": count,
+            "sum_seconds": total,
+            "peak_seconds": peak,
+            "buckets": {
+                str(index): value for index, value in enumerate(buckets) if value
+            },
+        }
+        for name, quantile in _REPORTED:
+            state[name] = _percentile(buckets, count, peak, quantile)
+        return state
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buckets = [0] * NUM_BUCKETS
+            self.count = 0
+            self.total = 0.0
+            self.peak = 0.0
+
+    def __len__(self) -> int:
+        return self.count
+
+
+def percentiles_from_state(state: dict) -> dict:
+    """Recompute p50/p95/p99 from a (possibly merged) :meth:`Histogram.state`.
+
+    After ``merge_summaries`` sums worker states, the embedded percentile
+    fields are meaningless sums; call this to overwrite them from the summed
+    buckets.  Returns the replacement fields.
+    """
+    buckets = [0] * NUM_BUCKETS
+    for key, value in dict(state.get("buckets", {})).items():
+        index = int(key)
+        if 0 <= index < NUM_BUCKETS:
+            buckets[index] += int(value)
+    count = sum(buckets)
+    peak = float(state.get("peak_seconds", 0.0))
+    return {
+        name: _percentile(buckets, count, peak, quantile)
+        for name, quantile in _REPORTED
+    }
+
+
+def _percentile(buckets: list[int], count: int, peak: float, quantile: float) -> float:
+    if count <= 0:
+        return 0.0
+    rank = max(1, math.ceil(quantile * count))
+    cumulative = 0
+    for index, value in enumerate(buckets):
+        cumulative += value
+        if cumulative >= rank:
+            return min(bucket_upper_bound(index), peak)
+    return peak  # pragma: no cover - rank <= count guarantees the loop hits

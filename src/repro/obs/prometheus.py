@@ -1,0 +1,161 @@
+"""Prometheus text-exposition rendering for ``/metrics?format=prometheus``.
+
+Maps a :meth:`ServiceMetrics.summary`-shaped dict (worker-local or
+router-merged) onto the Prometheus text format, version 0.0.4:
+
+* every metric carries a stable ``gvdb_`` prefix;
+* monotonic counts get a ``_total`` suffix and ``counter`` type; keys starting
+  with ``peak``/``last`` (high-water marks, not monotonic) and the coalescer
+  ratio render as ``gauge``;
+* only *bounded* label sets are emitted: ``dataset`` (served datasets),
+  ``op`` (operation classes on the latency histogram family), and an optional
+  caller-supplied base label set such as ``worker="w3"``;
+* the ``latency`` section renders as one native histogram family,
+  ``gvdb_latency_seconds``, with cumulative ``_bucket{le=...}`` counts
+  derived from the log-bucket grid in :mod:`repro.obs.histogram`.
+
+Sections are allowlisted rather than walked blindly: the summary also carries
+free-form router/health state (worker addresses, generations, watermarks)
+whose keys would mint unbounded metric names.  See the name table in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from .histogram import NUM_BUCKETS, bucket_upper_bound
+
+__all__ = ["render_prometheus"]
+
+#: Flat sections whose numeric leaves become ``gvdb_<section>_<key>`` metrics.
+_FLAT_SECTIONS = ("coalescer", "pool", "cluster", "writes", "replication")
+
+#: Keys rendered as gauges (resettable / high-water / derived values).
+_GAUGE_KEYS = {"ratio"}
+
+
+def _is_gauge(key: str) -> bool:
+    return key in _GAUGE_KEYS or key.startswith("peak") or key.startswith("last")
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: dict[str, str]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(str(value))}"' for name, value in pairs.items())
+    return "{" + body + "}"
+
+
+def _number(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return f"{float(value):.9g}"
+
+
+class _Family:
+    """One metric family: a TYPE line plus its samples, emitted together."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.samples: list[tuple[str, dict[str, str], object]] = []
+
+    def add(self, suffix: str, labels: dict[str, str], value: object) -> None:
+        self.samples.append((suffix, labels, value))
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for suffix, labels, value in self.samples:
+            lines.append(f"{self.name}{suffix}{_labels(labels)} {_number(value)}")
+        return lines
+
+
+def render_prometheus(summary: dict, base_labels: dict[str, str] | None = None) -> str:
+    """Render a metrics summary as Prometheus exposition text."""
+    base = dict(base_labels or {})
+    families: dict[str, _Family] = {}
+
+    def family(name: str, kind: str, help_text: str) -> _Family:
+        existing = families.get(name)
+        if existing is None:
+            existing = families[name] = _Family(name, kind, help_text)
+        return existing
+
+    requests = summary.get("requests", {})
+    if isinstance(requests, dict):
+        for key in sorted(requests):
+            value = requests[key]
+            if key == "completed_by_dataset" and isinstance(value, dict):
+                fam = family("gvdb_dataset_requests_total", "counter",
+                             "Completed requests per dataset.")
+                for dataset in sorted(value):
+                    fam.add("", {**base, "dataset": dataset}, value[dataset])
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                family(f"gvdb_requests_{key}_total", "counter",
+                       f"Requests {key} by the admission layer.").add("", base, value)
+
+    queue_depth = summary.get("queue_depth", {})
+    if isinstance(queue_depth, dict):
+        fam = family("gvdb_queue_depth", "gauge", "In-flight requests per dataset.")
+        for dataset in sorted(queue_depth):
+            fam.add("", {**base, "dataset": dataset}, queue_depth[dataset])
+    if "peak_queue_depth" in summary:
+        family("gvdb_peak_queue_depth", "gauge",
+               "High-water mark of per-dataset queue depth.").add(
+            "", base, summary["peak_queue_depth"])
+    if "repack_runs" in summary:
+        family("gvdb_repack_runs_total", "counter",
+               "Background repack maintenance runs.").add(
+            "", base, summary["repack_runs"])
+
+    for section in _FLAT_SECTIONS:
+        payload = summary.get(section, {})
+        if not isinstance(payload, dict):
+            continue
+        for key in sorted(payload):
+            value = payload[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if _is_gauge(key):
+                family(f"gvdb_{section}_{key}", "gauge",
+                       f"{section} {key} (gauge).").add("", base, value)
+            else:
+                family(f"gvdb_{section}_{key}_total", "counter",
+                       f"{section} {key} (monotonic).").add("", base, value)
+
+    latency = summary.get("latency", {})
+    if isinstance(latency, dict) and latency:
+        fam = family("gvdb_latency_seconds", "histogram",
+                     "Request/phase latency distributions (log-bucketed).")
+        peaks = family("gvdb_latency_peak_seconds", "gauge",
+                       "Exact maximum observed latency per operation class.")
+        for op in sorted(latency):
+            state = latency[op]
+            if not isinstance(state, dict):
+                continue
+            buckets = {int(k): int(v) for k, v in dict(state.get("buckets", {})).items()}
+            cumulative = 0
+            for index in range(NUM_BUCKETS):
+                increment = buckets.get(index, 0)
+                cumulative += increment
+                if not increment and index != NUM_BUCKETS - 1:
+                    continue
+                bound = bucket_upper_bound(index)
+                le = "+Inf" if bound == float("inf") else f"{bound:.9g}"
+                fam.add("_bucket", {**base, "op": op, "le": le}, cumulative)
+            fam.add("_sum", {**base, "op": op}, float(state.get("sum_seconds", 0.0)))
+            fam.add("_count", {**base, "op": op}, int(state.get("count", 0)))
+            peaks.add("", {**base, "op": op}, float(state.get("peak_seconds", 0.0)))
+
+    lines: list[str] = []
+    for name in sorted(families):
+        lines.extend(families[name].render())
+    return "\n".join(lines) + "\n"

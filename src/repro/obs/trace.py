@@ -1,0 +1,274 @@
+"""End-to-end request tracing: spans, trace context, and bounded trace stores.
+
+A :class:`Trace` is one request's tree of :class:`Span` phases — queue wait,
+coalesce, pool open, filter, JSON build, journal append/fsync, proxy hops,
+retry backoff — each with wall time and outcome.  The trace id is 16 hex
+characters, minted at the router (or honored from the client's
+``X-GVDB-Trace-Id`` header) and propagated on every proxied hop, so one id
+follows a request router → worker → write coordinator → journal, across
+retries and failovers.
+
+Context plumbing is ``contextvars``-based, which makes it both asyncio-safe
+(each task sees its own trace) and thread-safe *when the context is carried
+across the executor boundary* — the service frontend runs blocking work via
+``contextvars.copy_context().run``, so spans opened on pool threads attach to
+the right request.
+
+Instrumentation is designed to cost one ``ContextVar.get`` when no trace is
+active: :func:`span` and :func:`add_phase` no-op unless a trace has been
+begun for the current context, so the hot path with tracing disabled pays
+almost nothing (measured in ``benchmarks/test_bench_observability.py``).
+
+Completed traces land in a :class:`TraceStore` — a bounded ring buffer keyed
+by trace id (``GET /debug/trace/<id>``) plus a slow-query log retaining the
+worst offenders above a threshold (``GET /debug/slow?n=``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+import uuid
+from collections import OrderedDict
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceStore",
+    "add_phase",
+    "annotate",
+    "begin_trace",
+    "current_span",
+    "current_trace",
+    "current_trace_id",
+    "end_trace",
+    "new_trace_id",
+    "span",
+]
+
+#: Wire header carrying the trace id (canonical casing for responses; request
+#: parsing lowercases header names).
+TRACE_HEADER_WIRE = "X-GVDB-Trace-Id"
+TRACE_HEADER = TRACE_HEADER_WIRE.lower()
+
+_HEX = set("0123456789abcdef")
+
+
+class Span:
+    """One timed phase of a request, with outcome, annotations and children."""
+
+    __slots__ = ("name", "annotations", "children", "status", "duration_seconds",
+                 "_started")
+
+    def __init__(self, name: str, **annotations: object) -> None:
+        self.name = name
+        self.annotations = dict(annotations)
+        self.children: list[Span] = []
+        self.status = "ok"
+        self.duration_seconds = 0.0
+        self._started = time.perf_counter()
+
+    def finish(self, status: str = "ok") -> None:
+        self.duration_seconds = time.perf_counter() - self._started
+        self.status = status
+
+    def annotate(self, **annotations: object) -> None:
+        self.annotations.update(annotations)
+
+    def add_timed_child(self, name: str, seconds: float, **annotations: object) -> "Span":
+        """Attach an already-measured phase (e.g. a timing the query layer
+        reported) as a completed child span."""
+        child = Span(name, **annotations)
+        child.duration_seconds = max(0.0, float(seconds))
+        self.children.append(child)
+        return child
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_seconds * 1000.0, 3),
+            "status": self.status,
+            "annotations": dict(self.annotations),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Trace:
+    """A request's span tree under one 16-hex trace id."""
+
+    __slots__ = ("trace_id", "root")
+
+    def __init__(self, trace_id: str | None = None, name: str = "request") -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.root = Span(name)
+
+    def finish(self, status: str = "ok") -> float:
+        self.root.finish(status)
+        return self.root.duration_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "duration_ms": round(self.root.duration_seconds * 1000.0, 3),
+            "status": self.root.status,
+            "root": self.root.to_dict(),
+        }
+
+
+# ------------------------------------------------------------ context plumbing
+
+_current_trace: contextvars.ContextVar[Trace | None] = contextvars.ContextVar(
+    "gvdb_trace", default=None
+)
+_current_span: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+    "gvdb_span", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def sanitize_trace_id(raw: str | None) -> str | None:
+    """A client-supplied trace id, or ``None`` if absent/unusable.
+
+    Accepts 1–64 lowercase-hex characters (ids are case-folded); anything
+    else is rejected so a hostile header cannot smuggle arbitrary bytes into
+    debug endpoints or logs.
+    """
+    if not raw:
+        return None
+    candidate = raw.strip().lower()
+    if 0 < len(candidate) <= 64 and set(candidate) <= _HEX:
+        return candidate
+    return None
+
+
+def begin_trace(trace_id: str | None = None, name: str = "request") -> tuple[Trace, object]:
+    """Start a trace for the current context; returns ``(trace, token)``.
+
+    Pass the token to :func:`end_trace` (in a ``finally``) to restore the
+    previous context — the same set/reset discipline the router uses for its
+    deadline and staleness contextvars.
+    """
+    trace = Trace(trace_id=sanitize_trace_id(trace_id), name=name)
+    token_trace = _current_trace.set(trace)
+    token_span = _current_span.set(trace.root)
+    return trace, (token_trace, token_span)
+
+
+def end_trace(token: object) -> None:
+    token_trace, token_span = token  # type: ignore[misc]
+    _current_span.reset(token_span)
+    _current_trace.reset(token_trace)
+
+
+def current_trace() -> Trace | None:
+    return _current_trace.get()
+
+
+def current_trace_id() -> str | None:
+    trace = _current_trace.get()
+    return trace.trace_id if trace is not None else None
+
+
+def current_span() -> Span | None:
+    return _current_span.get()
+
+
+@contextlib.contextmanager
+def span(name: str, **annotations: object):
+    """Open a child span of the current span; a no-op without an active trace.
+
+    Yields the :class:`Span` (or ``None`` when tracing is off).  The span's
+    outcome is ``error`` if the body raises, ``ok`` otherwise.
+    """
+    parent = _current_span.get()
+    if parent is None:
+        yield None
+        return
+    child = Span(name, **annotations)
+    parent.children.append(child)
+    token = _current_span.set(child)
+    try:
+        yield child
+    except BaseException:
+        child.finish("error")
+        raise
+    else:
+        child.finish("ok")
+    finally:
+        _current_span.reset(token)
+
+
+def add_phase(name: str, seconds: float, **annotations: object) -> None:
+    """Attach an externally-timed phase to the current span (no-op untraced)."""
+    parent = _current_span.get()
+    if parent is not None:
+        parent.add_timed_child(name, seconds, **annotations)
+
+
+def annotate(**annotations: object) -> None:
+    """Annotate the current span (no-op without an active trace)."""
+    parent = _current_span.get()
+    if parent is not None:
+        parent.annotations.update(annotations)
+
+
+# -------------------------------------------------------------- bounded stores
+
+
+class TraceStore:
+    """Bounded ring buffer of completed traces plus a slow-query log.
+
+    The ring answers ``GET /debug/trace/<id>`` for any recent trace; the slow
+    log keeps the ``slow_log_size`` *worst* traces at or above the threshold
+    for ``GET /debug/slow?n=``.  Both are hard-bounded: a long-lived server
+    holds at most ``ring_size + slow_log_size`` serialized trees.
+    """
+
+    def __init__(self, ring_size: int = 256, slow_threshold_seconds: float = 0.25,
+                 slow_log_size: int = 64) -> None:
+        self.ring_size = max(1, int(ring_size))
+        self.slow_threshold_seconds = float(slow_threshold_seconds)
+        self.slow_log_size = max(1, int(slow_log_size))
+        self._lock = threading.Lock()
+        self._ring: OrderedDict[str, dict] = OrderedDict()
+        self._slow: list[dict] = []  # kept sorted ascending by duration
+
+    def add(self, trace: Trace) -> dict:
+        """Store a finished trace; returns its serialized form."""
+        payload = trace.to_dict()
+        seconds = trace.root.duration_seconds
+        with self._lock:
+            self._ring[payload["trace_id"]] = payload
+            self._ring.move_to_end(payload["trace_id"])
+            while len(self._ring) > self.ring_size:
+                self._ring.popitem(last=False)
+            if seconds >= self.slow_threshold_seconds:
+                self._slow.append(payload)
+                self._slow.sort(key=lambda entry: entry["duration_ms"])
+                del self._slow[: max(0, len(self._slow) - self.slow_log_size)]
+        return payload
+
+    def get(self, trace_id: str) -> dict | None:
+        with self._lock:
+            return self._ring.get(trace_id)
+
+    def slowest(self, n: int = 10) -> list[dict]:
+        """The worst offenders, slowest first."""
+        bound = max(0, int(n))
+        with self._lock:
+            return list(reversed(self._slow[-bound:])) if bound else []
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._slow.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

@@ -23,6 +23,7 @@ writing any asyncio themselves.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 import time
 import uuid
@@ -30,6 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
+from .. import obs
 from ..config import GraphVizDBConfig, ServiceConfig
 from ..core.monitoring import ServiceMetrics
 from ..core.query_manager import KeywordSearchResult, QueryManager, WindowQueryResult
@@ -110,7 +112,19 @@ class GraphVizDBService:
     ) -> None:
         self.config = config or GraphVizDBConfig()
         self.service_config: ServiceConfig = self.config.service
-        self.metrics = metrics or ServiceMetrics()
+        self.obs_config = self.config.observability
+        self.metrics = metrics or ServiceMetrics(
+            histograms_enabled=self.obs_config.histogram_enabled
+        )
+        # Completed request traces (ring buffer + slow-query log) behind the
+        # HTTP layer's /debug/trace and /debug/slow endpoints.
+        self.traces = obs.TraceStore(
+            ring_size=self.obs_config.trace_ring_size,
+            slow_threshold_seconds=self.obs_config.slow_trace_seconds,
+            slow_log_size=self.obs_config.slow_log_size,
+        )
+        # Set by the cluster worker bootstrap; labels Prometheus exposition.
+        self.worker_id = ""
         self.pool = pool or DatasetPool(
             capacity=self.service_config.pool_capacity,
             idle_seconds=self.service_config.pool_idle_seconds,
@@ -259,9 +273,10 @@ class GraphVizDBService:
         path = self._sqlite.get(name)
         if path is not None:
             # Opening (on a pool miss) is blocking I/O — executor, not loop.
-            pooled = await asyncio.get_running_loop().run_in_executor(
-                self._worker_pool(), self.pool.get, path
-            )
+            with obs.span("pool.open", dataset=name):
+                pooled = await asyncio.get_running_loop().run_in_executor(
+                    self._worker_pool(), self.pool.get, path
+                )
             return pooled.database, pooled.query_manager
         raise QueryError(
             f"dataset {name!r} is not served; available: "
@@ -271,9 +286,14 @@ class GraphVizDBService:
     async def _run(self, fn, *args, **kwargs):
         loop = asyncio.get_running_loop()
         executor = self._worker_pool()
-        if kwargs:
-            return await loop.run_in_executor(executor, lambda: fn(*args, **kwargs))
-        return await loop.run_in_executor(executor, fn, *args)
+        # run_in_executor does NOT propagate contextvars; carry the current
+        # context across the pool boundary explicitly, so spans opened on
+        # worker threads (journal append/fsync) attach to the request's
+        # trace and fault_check sees the active trace id.
+        context = contextvars.copy_context()
+        return await loop.run_in_executor(
+            executor, lambda: context.run(fn, *args, **kwargs)
+        )
 
     # ----------------------------------------------------------------- requests
 
@@ -292,27 +312,55 @@ class GraphVizDBService:
         results are identical to the direct :class:`QueryManager` path.
         """
         self._require_started()
+        started = time.perf_counter()
         self._admit(dataset)
         try:
-            database, query_manager = await self._resolve(dataset)
-            if window is None:
-                window = query_manager.default_viewport(layer=layer).window()
-            plain = filters is None and max_rows is None
-            if plain and self._coalescer is not None and (
-                self.service_config.coalesce_max_batch > 1
-            ):
-                return await self._coalescer.submit(
-                    dataset, query_manager, window, layer=layer
-                )
-            return await self._run(
-                query_manager.window_query,
-                window,
-                layer=layer,
-                filters=filters,
-                max_rows=max_rows,
-            )
+            with obs.span("window", dataset=dataset, layer=layer) as current:
+                database, query_manager = await self._resolve(dataset)
+                if window is None:
+                    window = query_manager.default_viewport(layer=layer).window()
+                plain = filters is None and max_rows is None
+                if plain and self._coalescer is not None and (
+                    self.service_config.coalesce_max_batch > 1
+                ):
+                    with obs.span("coalesce"):
+                        result = await self._coalescer.submit(
+                            dataset, query_manager, window, layer=layer
+                        )
+                else:
+                    result = await self._run(
+                        query_manager.window_query,
+                        window,
+                        layer=layer,
+                        filters=filters,
+                        max_rows=max_rows,
+                    )
+                self._observe_window(current, started, result)
+            return result
         finally:
             self._release(dataset)
+
+    def _observe_window(self, current, started: float, result: WindowQueryResult) -> None:
+        """Record one window query into histograms and the active span tree.
+
+        Queue wait is the admitted wall time not spent computing (executor
+        queueing plus coalesce hold); DB/filter/JSON phases come from the
+        query layer's own timers, so the span tree attributes a slow window
+        to the phase that actually ate the time.
+        """
+        elapsed = time.perf_counter() - started
+        queue_wait = max(0.0, elapsed - result.server_seconds)
+        self.metrics.record_latency("window", elapsed)
+        self.metrics.record_latency("window.queue", queue_wait)
+        self.metrics.record_latency("window.db", result.db_query_seconds)
+        self.metrics.record_latency("window.filter", result.filter_seconds)
+        self.metrics.record_latency("window.json", result.json_build_seconds)
+        if current is not None:
+            current.annotate(num_objects=result.num_objects)
+            current.add_timed_child("queue", queue_wait)
+            current.add_timed_child("db", result.db_query_seconds)
+            current.add_timed_child("filter", result.filter_seconds)
+            current.add_timed_child("json", result.json_build_seconds)
 
     async def keyword_search(
         self,
@@ -324,13 +372,17 @@ class GraphVizDBService:
     ) -> KeywordSearchResult:
         """Keyword search over one dataset's node labels."""
         self._require_started()
+        started = time.perf_counter()
         self._admit(dataset)
         try:
-            _, query_manager = await self._resolve(dataset)
-            return await self._run(
-                query_manager.keyword_search, keyword, layer=layer, mode=mode,
-                limit=limit,
-            )
+            with obs.span("keyword", dataset=dataset, layer=layer):
+                _, query_manager = await self._resolve(dataset)
+                result = await self._run(
+                    query_manager.keyword_search, keyword, layer=layer, mode=mode,
+                    limit=limit,
+                )
+            self.metrics.record_latency("keyword", time.perf_counter() - started)
+            return result
         finally:
             self._release(dataset)
 
@@ -339,10 +391,14 @@ class GraphVizDBService:
     ) -> list[EdgeRow]:
         """k-nearest-neighbour rows around a plane point (kNN request)."""
         self._require_started()
+        started = time.perf_counter()
         self._admit(dataset)
         try:
-            database, _ = await self._resolve(dataset)
-            return await self._run(_nearest_rows, database, point, k, layer)
+            with obs.span("nearest", dataset=dataset, layer=layer):
+                database, _ = await self._resolve(dataset)
+                rows = await self._run(_nearest_rows, database, point, k, layer)
+            self.metrics.record_latency("nearest", time.perf_counter() - started)
+            return rows
         finally:
             self._release(dataset)
 
@@ -372,19 +428,22 @@ class GraphVizDBService:
         died mid-ack — can resend without risking a double apply.
         """
         self._require_started()
+        started = time.perf_counter()
         self._admit(dataset)
         try:
-            database, _ = await self._resolve(dataset)
-            path = self._sqlite.get(dataset)
-            async with self.writes.lock_for(dataset):
-                result = await self._run(
-                    self.writes.apply_sync, dataset, database, path, op, args,
-                    layer, idempotency_key,
-                )
-            if path is not None and self.writes.checkpoint_due(dataset):
-                self.writes.schedule_checkpoint(
-                    dataset, path, self._run, self._pooled_database(path)
-                )
+            with obs.span("edit", dataset=dataset, op=op):
+                database, _ = await self._resolve(dataset)
+                path = self._sqlite.get(dataset)
+                async with self.writes.lock_for(dataset):
+                    result = await self._run(
+                        self.writes.apply_sync, dataset, database, path, op, args,
+                        layer, idempotency_key,
+                    )
+                if path is not None and self.writes.checkpoint_due(dataset):
+                    self.writes.schedule_checkpoint(
+                        dataset, path, self._run, self._pooled_database(path)
+                    )
+            self.metrics.record_latency("edit", time.perf_counter() - started)
             return result
         finally:
             self._release(dataset)
@@ -559,17 +618,23 @@ class GraphVizDBService:
                 f"{', '.join(sorted(_SESSION_OPS))}"
             )
         self._admit(serving.dataset)
+        started = time.perf_counter()
         serving.touch()
         serving.inflight += 1
         previous = serving.tail
         turn: asyncio.Future = asyncio.get_running_loop().create_future()
         serving.tail = turn
         try:
-            if previous is not None and not previous.done():
-                # Predecessor futures only ever resolve with None (their
-                # command's own errors propagate to their own caller).
-                await previous
-            return await self._run(getattr(serving.session, method_name), **kwargs)
+            with obs.span("session", dataset=serving.dataset, op=op):
+                if previous is not None and not previous.done():
+                    # Predecessor futures only ever resolve with None (their
+                    # command's own errors propagate to their own caller).
+                    await previous
+                result = await self._run(
+                    getattr(serving.session, method_name), **kwargs
+                )
+            self.metrics.record_latency("session", time.perf_counter() - started)
+            return result
         finally:
             if not turn.done():
                 turn.set_result(None)

@@ -22,7 +22,13 @@ to real network clients:
                                       ``delete_node``, ``move_node``, ``relabel``,
                                       ``add_edge``, ``delete_edge``, ``repack``);
                                       the JSON body carries the op arguments
-``GET /metrics``                      serving metrics snapshot
+``GET /metrics``                      serving metrics snapshot (JSON; add
+                                      ``?format=prometheus`` for text
+                                      exposition)
+``GET /debug/trace/<id>``             one completed trace's span tree from
+                                      the bounded ring buffer
+``GET /debug/slow?n=``                the slow-query log: span trees of the
+                                      worst requests above the threshold
 ``GET /health``                       liveness + per-dataset edit counters
                                       (+ replication watermarks when subscribed)
 ``GET /journal/tail?dataset=N&...``   journal feed for read replicas (optional
@@ -72,6 +78,13 @@ from ..errors import (
     UnknownEditError,
 )
 from ..faults import FaultInjected, fault_check
+from ..obs import (
+    TRACE_HEADER,
+    TRACE_HEADER_WIRE,
+    begin_trace,
+    end_trace,
+    render_prometheus,
+)
 from ..spatial.geometry import Point, Rect
 from .frontend import GraphVizDBService
 
@@ -155,9 +168,13 @@ async def serve_connection(
                 f"Retry-After: {_retry_after_rng.randint(*_RETRY_AFTER_RANGE)}\r\n"
                 if status in (503, 504) else ""
             )
+            # JSON unless a handler overrides it (Prometheus exposition is
+            # text/plain) — an override moves from extra_headers into the
+            # fixed preamble so the header is never emitted twice.
+            content_type = extra_headers.pop("Content-Type", "application/json")
             response_headers = (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 + retry_after
                 + "".join(
@@ -209,11 +226,11 @@ async def serve_http(
     if request_timeout_seconds is None:
         request_timeout_seconds = config.http_request_timeout_seconds
 
-    async def respond(
+    async def handle_one(
         method: str, target: str, request_body: bytes,
-        request_headers: dict[str, str] | None = None,
+        request_headers: dict[str, str],
+        route_headers: dict[str, str],
     ) -> tuple[int, bytes]:
-        request_headers = request_headers or {}
         try:
             fault_check("worker.request", method=method, target=target)
         except FaultInjected as fault:
@@ -235,11 +252,14 @@ async def serve_http(
             budget = min(budget, remaining) if budget > 0 else remaining
         try:
             if budget > 0:
-                status, body = await asyncio.wait_for(
+                result = await asyncio.wait_for(
                     _respond(service, method, target, request_body), budget
                 )
             else:
-                status, body = await _respond(service, method, target, request_body)
+                result = await _respond(service, method, target, request_body)
+            status, body = result[0], result[1]
+            if len(result) == 3:
+                route_headers.update(result[2])
         except asyncio.TimeoutError:
             status, body = 504, {
                 "error": f"request exceeded the {budget:g}s server budget"
@@ -258,6 +278,35 @@ async def serve_http(
                 raise
             return 500, json.dumps({"error": str(fault)}).encode()
         return status, body if isinstance(body, bytes) else json.dumps(body).encode()
+
+    async def respond(
+        method: str, target: str, request_body: bytes,
+        request_headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        request_headers = request_headers or {}
+        # Every request runs under a trace: the id is honored from the
+        # router's (or client's) X-GVDB-Trace-Id header, minted otherwise,
+        # echoed in the response, and the finished span tree lands in the
+        # worker's bounded trace store for /debug/trace and /debug/slow.
+        trace = trace_token = None
+        if service.obs_config.trace_enabled:
+            trace, trace_token = begin_trace(
+                request_headers.get(TRACE_HEADER),
+                name=f"worker {method} {urlsplit(target).path}",
+            )
+        route_headers: dict[str, str] = {}
+        status = 500
+        try:
+            status, payload = await handle_one(
+                method, target, request_body, request_headers, route_headers
+            )
+        finally:
+            if trace is not None:
+                trace.finish("ok" if status < 500 else "error")
+                service.traces.add(trace)
+                end_trace(trace_token)
+                route_headers.setdefault(TRACE_HEADER_WIRE, trace.trace_id)
+        return status, payload, route_headers
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         await serve_connection(reader, writer, respond, keepalive_seconds)
@@ -381,7 +430,24 @@ async def _route(
     if path == "/datasets":
         return 200, {"datasets": service.datasets()}
     if path == "/metrics":
-        return 200, service.metrics_summary()
+        summary = service.metrics_summary()
+        if params.get("format") == "prometheus":
+            labels = {"worker": service.worker_id} if service.worker_id else {}
+            return 200, render_prometheus(summary, labels).encode(), {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+            }
+        return 200, summary
+    if path.startswith("/debug/trace/"):
+        trace_id = path.rpartition("/")[2]
+        payload = service.traces.get(trace_id)
+        if payload is None:
+            return 404, {"error": f"no trace {trace_id!r} in the ring buffer"}
+        return 200, payload
+    if path == "/debug/slow":
+        return 200, {
+            "threshold_seconds": service.traces.slow_threshold_seconds,
+            "traces": service.traces.slowest(int(params.get("n", "10"))),
+        }
     if path == "/health":
         # Liveness must answer even while the service drains (the router
         # watches workers through their whole lifecycle).

@@ -33,6 +33,7 @@ from ..core.editing import GraphEditor
 from ..core.monitoring import ServiceMetrics
 from ..errors import DatasetReadOnlyError, JournalError, ServiceError
 from ..faults import fault_check
+from ..obs import add_phase
 from ..storage.database import GraphVizDatabase
 from .journal import (
     CHECKPOINT_META_KEY,
@@ -262,6 +263,7 @@ class WriteCoordinator:
                 record_args["layer"] = layer
             if idempotency_key is not None:
                 record_args["idem"] = idempotency_key
+            append_started = time.perf_counter()
             try:
                 seq, synced = journal.append(op, record_args)
             except JournalError as exc:
@@ -275,9 +277,17 @@ class WriteCoordinator:
                     raise DatasetReadOnlyError(dataset, str(exc)) from exc
                 raise
             self.metrics.record_journal_append(synced)
+            self.metrics.record_latency(
+                "edit.journal_append", time.perf_counter() - append_started
+            )
             self._publish_append(dataset, seq)
         editor = GraphEditor(database, layer=layer)
+        apply_started = time.perf_counter()
         result = apply_edit(editor, op, args)
+        self.metrics.record_latency(
+            "edit.apply", time.perf_counter() - apply_started
+        )
+        add_phase("apply", time.perf_counter() - apply_started, op=op)
         self.metrics.record_write()
         ack: dict[str, object] = {
             "op": op,

@@ -46,6 +46,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -58,6 +59,7 @@ from ..errors import (
     UnknownEditError,
 )
 from ..faults import FaultInjected, fault_check
+from ..obs import add_phase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.monitoring import ServiceMetrics
@@ -375,6 +377,7 @@ class WriteAheadJournal:
             start = self._size_locked(handle)
             try:
                 fault_check("journal.append", path=str(self.path), seq=seq)
+                append_started = time.perf_counter()
                 handle.write(frame)
                 handle.flush()
                 synced = False
@@ -383,8 +386,18 @@ class WriteAheadJournal:
                 )
                 if will_sync:
                     fault_check("journal.fsync", path=str(self.path), seq=seq)
+                    fsync_started = time.perf_counter()
                     os.fsync(handle.fileno())
                     synced = True
+                    add_phase(
+                        "journal.fsync", time.perf_counter() - fsync_started, seq=seq
+                    )
+                # Runs on a pool thread under the request's copied context,
+                # so the phase lands in the active edit's span tree.
+                add_phase(
+                    "journal.append", time.perf_counter() - append_started,
+                    seq=seq, synced=synced,
+                )
             except FaultInjected as exc:
                 if exc.action == "torn":
                     # Simulate a crash mid-write: leave half the frame behind.

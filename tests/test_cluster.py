@@ -236,10 +236,10 @@ def _cluster_config(**cluster_kwargs) -> GraphVizDBConfig:
     return GraphVizDBConfig(cluster=ClusterConfig(**cluster_kwargs))
 
 
-def _get(port: int, path: str, timeout: float = 30.0):
+def _get(port: int, path: str, timeout: float = 30.0, headers=None):
     connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
-        connection.request("GET", path)
+        connection.request("GET", path, headers=headers or {})
         response = connection.getresponse()
         return response.status, json.loads(response.read()), dict(
             response.getheaders()
@@ -324,6 +324,52 @@ class TestClusterLive:
         status, body, _ = _get(live_cluster.port, "/health")
         assert status == 200 and body["status"] == "ok"
         assert all(worker["healthy"] for worker in body["workers"].values())
+
+    def test_trace_id_propagates_router_to_worker(self, live_cluster):
+        # One client-pinned trace id must follow the request through the
+        # router onto the worker, come back in the response, and be queryable
+        # on the router with the worker's span tree grafted under the proxy.
+        trace_id = "c1d2e3f4a5b60718"
+        status, body, headers = _get(
+            live_cluster.port,
+            "/keyword?dataset=shard-b&q=traceprobe",
+            headers={"X-GVDB-Trace-Id": trace_id},
+        )
+        assert status == 200, body
+        echoed = {key.lower(): value for key, value in headers.items()}
+        assert echoed.get("x-gvdb-trace-id") == trace_id
+
+        status, tree, _ = _get(live_cluster.port, f"/debug/trace/{trace_id}")
+        assert status == 200
+        assert tree["trace_id"] == trace_id
+        assert tree["root"]["name"] == "router GET /keyword"
+        proxy_spans = [
+            span for span in tree["root"]["children"] if span["name"] == "proxy"
+        ]
+        assert proxy_spans, tree["root"]["children"]
+        proxy = proxy_spans[0]
+        assert proxy["annotations"]["dataset"] == "shard-b"
+        # The worker's own span tree is grafted under the proxy hop — same id
+        # on both tiers, so the router view shows where the time really went.
+        worker_roots = [
+            child for child in proxy["children"]
+            if child["name"].startswith("worker GET")
+        ]
+        assert worker_roots, proxy["children"]
+        worker_phases = {span["name"] for span in worker_roots[0]["children"]}
+        assert "keyword" in worker_phases
+
+    def test_router_minted_trace_and_slow_log_shape(self, live_cluster):
+        status, _, headers = _get(live_cluster.port, "/datasets")
+        assert status == 200
+        minted = {key.lower(): value for key, value in headers.items()}.get(
+            "x-gvdb-trace-id"
+        )
+        assert minted and len(minted) == 16
+        status, slow, _ = _get(live_cluster.port, "/debug/slow?n=5")
+        assert status == 200
+        assert set(slow) == {"threshold_seconds", "traces"}
+        assert len(slow["traces"]) <= 5
 
 
 class TestClusterFailure:

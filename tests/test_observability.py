@@ -1,0 +1,554 @@
+"""Unit and integration tests for the observability subsystem (``repro.obs``).
+
+Covers the PR 8 tentpole end to end: the log-bucketed streaming histogram
+(bucket boundaries, merge associativity, percentile accuracy against a sorted
+reference), the bounded ``QueryLog`` riding on it, contextvars-based trace
+plumbing, the bounded trace ring + slow-query log, trace propagation over a
+live worker HTTP server, the Prometheus text exposition (golden file), and
+the ``repro top`` CLI against a live server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import math
+import threading
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.config import GraphVizDBConfig, ObservabilityConfig
+from repro.core.monitoring import QueryLog, ServiceMetrics
+from repro.obs import (
+    NUM_BUCKETS,
+    Histogram,
+    TraceStore,
+    bucket_index,
+    bucket_upper_bound,
+    percentiles_from_state,
+    render_prometheus,
+)
+from repro.obs.trace import sanitize_trace_id
+from repro.service.frontend import GraphVizDBService
+from repro.service.http import serve_http
+
+#: sqrt(2): adjacent bucket bounds differ by this ratio (two per octave).
+_BUCKET_RATIO = math.sqrt(2.0)
+
+#: Deterministic latency-like sample spread over ~6 orders of magnitude.
+_SAMPLES = [1.7e-5 * (1.31 ** (index % 47)) + 1e-7 * index for index in range(400)]
+
+
+# ---------------------------------------------------------------------------
+# Histogram
+# ---------------------------------------------------------------------------
+
+
+class TestHistogramBuckets:
+    def test_small_and_nonpositive_values_land_in_bucket_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-3.0) == 0
+        assert bucket_index(1e-9) == 0
+        assert bucket_index(1e-5) == 0  # exactly the bucket-0 upper bound
+
+    def test_boundary_values_land_in_the_bounded_bucket(self):
+        # A value exactly on a bucket's upper bound belongs to that bucket,
+        # despite floating-point log jitter.
+        for index in range(NUM_BUCKETS - 1):
+            assert bucket_index(bucket_upper_bound(index)) == index
+
+    def test_values_just_past_a_boundary_move_up_one_bucket(self):
+        for index in range(NUM_BUCKETS - 2):
+            nudged = bucket_upper_bound(index) * (1 + 1e-6)
+            assert bucket_index(nudged) == index + 1
+
+    def test_bounds_grow_by_sqrt_two_and_overflow_is_infinite(self):
+        for index in range(NUM_BUCKETS - 2):
+            ratio = bucket_upper_bound(index + 1) / bucket_upper_bound(index)
+            assert ratio == pytest.approx(_BUCKET_RATIO)
+        assert bucket_upper_bound(NUM_BUCKETS - 1) == math.inf
+        assert bucket_index(1e12) == NUM_BUCKETS - 1
+
+    def test_every_value_is_covered_by_its_bucket(self):
+        for value in _SAMPLES:
+            index = bucket_index(value)
+            assert value <= bucket_upper_bound(index) * (1 + 1e-12)
+            if index > 0:
+                assert value > bucket_upper_bound(index - 1) * (1 - 1e-12)
+
+
+class TestHistogramMerge:
+    @staticmethod
+    def _filled(values) -> Histogram:
+        histogram = Histogram()
+        for value in values:
+            histogram.record(value)
+        return histogram
+
+    def test_merge_is_associative(self):
+        chunks = (_SAMPLES[0::3], _SAMPLES[1::3], _SAMPLES[2::3])
+
+        left = self._filled(chunks[0])  # (a + b) + c
+        left.merge(self._filled(chunks[1]))
+        left.merge(self._filled(chunks[2]))
+
+        tail = self._filled(chunks[1])  # a + (b + c)
+        tail.merge(self._filled(chunks[2]))
+        right = self._filled(chunks[0])
+        right.merge(tail)
+
+        assert left.state() == right.state()
+
+    def test_merge_equals_recording_the_union(self):
+        merged = self._filled(_SAMPLES[:200])
+        merged.merge(self._filled(_SAMPLES[200:]))
+        merged_state = merged.state()
+        union_state = self._filled(_SAMPLES).state()
+        # The running totals are float sums in different association orders.
+        assert merged_state.pop("sum_seconds") == pytest.approx(
+            union_state.pop("sum_seconds")
+        )
+        assert merged_state == union_state
+
+    def test_percentiles_from_state_recomputes_after_summing(self):
+        # Simulate what merge_summaries does to two worker states: sum the
+        # bucket dicts key-wise, max the peak — then the embedded percentile
+        # fields are garbage and percentiles_from_state must recover them.
+        state_a = self._filled(_SAMPLES[:150]).state()
+        state_b = self._filled(_SAMPLES[150:]).state()
+        summed_buckets = dict(state_a["buckets"])
+        for key, value in state_b["buckets"].items():
+            summed_buckets[key] = summed_buckets.get(key, 0) + value
+        summed = {
+            "buckets": summed_buckets,
+            "peak_seconds": max(state_a["peak_seconds"], state_b["peak_seconds"]),
+        }
+        expected = self._filled(_SAMPLES)
+        recomputed = percentiles_from_state(summed)
+        for name, quantile in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            assert recomputed[name] == expected.percentile(quantile)
+
+
+class TestHistogramPercentiles:
+    def test_percentile_within_one_bucket_of_sorted_reference(self):
+        histogram = Histogram()
+        for value in _SAMPLES:
+            histogram.record(value)
+        reference = sorted(_SAMPLES)
+        for quantile in (0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            rank = max(1, math.ceil(quantile * len(reference)))
+            exact = reference[rank - 1]
+            estimate = histogram.percentile(quantile)
+            # The estimate is the containing bucket's upper bound, clamped to
+            # the exact max: never below the true value, never more than one
+            # bucket width (sqrt 2) above it.
+            assert exact * (1 - 1e-12) <= estimate
+            assert estimate <= exact * _BUCKET_RATIO * (1 + 1e-9)
+
+    def test_p100_is_the_exact_maximum(self):
+        histogram = Histogram()
+        for value in (0.002, 0.5, 123.456):
+            histogram.record(value)
+        assert histogram.percentile(1.0) == 123.456
+        assert histogram.peak == 123.456
+
+    def test_quantile_validation_and_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_negative_values_clamp_and_clear_resets(self):
+        histogram = Histogram()
+        histogram.record(-5.0)
+        assert histogram.count == 1 and histogram.peak == 0.0
+        histogram.clear()
+        assert histogram.count == 0 and len(histogram) == 0
+        assert histogram.state()["buckets"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Bounded QueryLog
+# ---------------------------------------------------------------------------
+
+
+def _window_result(seconds: float, layer: int = 0, num_objects: int = 5):
+    return SimpleNamespace(
+        layer=layer,
+        window=SimpleNamespace(area=1.0),
+        rows=[],
+        num_objects=num_objects,
+        db_query_seconds=seconds,
+        json_build_seconds=0.0,
+        filter_seconds=0.0,
+    )
+
+
+class TestQueryLogBounded:
+    def test_deque_is_bounded_but_aggregates_stay_exact(self):
+        log = QueryLog(max_records=8)
+        for index in range(30):
+            log.record_window(_window_result(0.001 * (index + 1), layer=index % 3))
+        assert len(log.window_queries) == 8  # bounded
+        assert log.num_window_queries == 30  # exact beyond the bound
+        assert log.queries_per_layer() == {0: 10, 1: 10, 2: 10}
+        assert log.average_objects_per_window() == 5.0
+
+    def test_percentiles_exact_until_eviction_then_histogram_backed(self):
+        log = QueryLog(max_records=100)
+        values = [0.001 * (index + 1) for index in range(10)]
+        for value in values:
+            log.record_window(_window_result(value))
+        # Nothing evicted: the sorted-sample path is exact (nearest-rank by
+        # rounding: p50 of 10 samples is index round(0.5 * 9) = 4).
+        assert log.latency_percentiles((0.5,))[0.5] == pytest.approx(0.005)
+
+        small = QueryLog(max_records=4)
+        for value in values:
+            small.record_window(_window_result(value))
+        estimate = small.latency_percentiles((0.5,))[0.5]
+        exact = sorted(values)[max(1, math.ceil(0.5 * len(values))) - 1]
+        assert exact * (1 - 1e-12) <= estimate <= exact * _BUCKET_RATIO * (1 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryLog(max_records=0)
+        with pytest.raises(ValueError):
+            QueryLog().latency_percentiles((1.5,))
+
+
+# ---------------------------------------------------------------------------
+# Trace context plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_new_trace_id_is_sixteen_hex(self):
+        trace_id = obs.new_trace_id()
+        assert len(trace_id) == 16
+        assert set(trace_id) <= set("0123456789abcdef")
+
+    def test_sanitize_trace_id(self):
+        assert sanitize_trace_id("FeedFaceCafeBeef") == "feedfacecafebeef"
+        assert sanitize_trace_id("  abc123  ") == "abc123"
+        assert sanitize_trace_id(None) is None
+        assert sanitize_trace_id("") is None
+        assert sanitize_trace_id("not-hex!") is None
+        assert sanitize_trace_id("a" * 65) is None
+
+    def test_span_tree_nests_and_restores_context(self):
+        trace, token = obs.begin_trace(name="request")
+        try:
+            with obs.span("outer", dataset="d") as outer:
+                with obs.span("inner"):
+                    obs.annotate(rows=3)
+                obs.add_phase("measured", 0.25, source="timer")
+            assert obs.current_span() is trace.root
+        finally:
+            trace.finish()
+            obs.end_trace(token)
+        assert obs.current_trace() is None
+        tree = trace.to_dict()
+        assert tree["root"]["children"][0]["name"] == "outer"
+        inner, measured = tree["root"]["children"][0]["children"]
+        assert inner["name"] == "inner" and inner["annotations"] == {"rows": 3}
+        assert measured["duration_ms"] == 250.0
+        assert outer.annotations["dataset"] == "d"
+
+    def test_span_marks_error_on_exception(self):
+        trace, token = obs.begin_trace()
+        try:
+            with pytest.raises(RuntimeError):
+                with obs.span("boom"):
+                    raise RuntimeError("nope")
+        finally:
+            trace.finish("error")
+            obs.end_trace(token)
+        assert trace.root.children[0].status == "error"
+
+    def test_instrumentation_is_a_noop_without_a_trace(self):
+        assert obs.current_trace_id() is None
+        with obs.span("ignored") as nothing:
+            assert nothing is None
+        obs.add_phase("ignored", 1.0)
+        obs.annotate(ignored=True)  # must not raise
+
+    def test_trace_context_crosses_copied_thread_context(self):
+        # The frontend runs executor work under contextvars.copy_context();
+        # the span opened on the worker thread must attach to the trace.
+        trace, token = obs.begin_trace(name="request")
+        try:
+            context = __import__("contextvars").copy_context()
+
+            def blocking_work():
+                with obs.span("pool-thread"):
+                    return obs.current_trace_id()
+
+            holder = {}
+            thread = threading.Thread(
+                target=lambda: holder.setdefault("id", context.run(blocking_work))
+            )
+            thread.start()
+            thread.join(timeout=5)
+        finally:
+            trace.finish()
+            obs.end_trace(token)
+        assert holder["id"] == trace.trace_id
+        assert [child.name for child in trace.root.children] == ["pool-thread"]
+
+
+class TestTraceStore:
+    @staticmethod
+    def _finished(trace_id: str, seconds: float) -> obs.Trace:
+        trace = obs.Trace(trace_id=trace_id)
+        trace.root.duration_seconds = seconds
+        return trace
+
+    def test_ring_evicts_oldest(self):
+        store = TraceStore(ring_size=2, slow_threshold_seconds=10.0)
+        for index in range(3):
+            store.add(self._finished(f"{index:016x}", 0.001))
+        assert len(store) == 2
+        assert store.get(f"{0:016x}") is None
+        assert store.get(f"{2:016x}")["trace_id"] == f"{2:016x}"
+
+    def test_slow_log_keeps_worst_above_threshold_slowest_first(self):
+        store = TraceStore(slow_threshold_seconds=0.1, slow_log_size=2)
+        for index, seconds in enumerate((0.05, 0.3, 0.2, 0.9)):
+            store.add(self._finished(f"{index:016x}", seconds))
+        slow = store.slowest(10)
+        assert [entry["trace_id"] for entry in slow] == [f"{3:016x}", f"{1:016x}"]
+        assert store.slowest(1) == slow[:1]
+        assert store.slowest(0) == []
+
+    def test_threshold_zero_catches_everything(self):
+        store = TraceStore(slow_threshold_seconds=0.0)
+        store.add(self._finished("a" * 16, 0.0))
+        assert len(store.slowest()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Live worker HTTP: propagation, debug endpoints, exposition, repro top
+# ---------------------------------------------------------------------------
+
+
+class TestObservabilityHttp:
+    @pytest.fixture
+    def http_server(self, patent_result):
+        # slow_trace_seconds=0 so every request lands in the slow log — the
+        # threshold contract, not a timing race, is what's under test.
+        service = GraphVizDBService(GraphVizDBConfig(
+            observability=ObservabilityConfig(slow_trace_seconds=0.0)
+        ))
+        service.register_dataset("patent", patent_result.database)
+        started = threading.Event()
+        stop = {}
+
+        def run_loop():
+            async def main():
+                async with service:
+                    server = await serve_http(service, port=0)
+                    stop["port"] = server.sockets[0].getsockname()[1]
+                    stop["loop"] = asyncio.get_running_loop()
+                    stop["event"] = asyncio.Event()
+                    started.set()
+                    await stop["event"].wait()
+                    server.close()
+                    await server.wait_closed()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_loop, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        yield stop["port"]
+        stop["loop"].call_soon_threadsafe(stop["event"].set)
+        thread.join(timeout=10)
+
+    def _get(self, port, path, headers=None):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            connection.request("GET", path, headers=headers or {})
+            response = connection.getresponse()
+            payload = response.read()
+            response_headers = {
+                key.lower(): value for key, value in response.getheaders()
+            }
+            return response.status, payload, response_headers
+        finally:
+            connection.close()
+
+    def _get_json(self, port, path, headers=None):
+        status, payload, response_headers = self._get(port, path, headers)
+        return status, json.loads(payload), response_headers
+
+    @staticmethod
+    def _span_names(span, into=None):
+        names = into if into is not None else []
+        names.append(span["name"])
+        for child in span.get("children", []):
+            TestObservabilityHttp._span_names(child, names)
+        return names
+
+    def test_client_trace_id_is_honored_echoed_and_queryable(self, http_server):
+        trace_id = "deadbeef00c0ffee"
+        status, body, headers = self._get_json(
+            http_server, "/window?dataset=patent",
+            headers={"X-GVDB-Trace-Id": trace_id},
+        )
+        assert status == 200 and body["num_objects"] > 0
+        assert headers.get("x-gvdb-trace-id") == trace_id
+
+        status, tree, _ = self._get_json(http_server, f"/debug/trace/{trace_id}")
+        assert status == 200
+        assert tree["trace_id"] == trace_id
+        assert tree["status"] == "ok"
+        assert tree["root"]["name"] == "worker GET /window"
+        names = self._span_names(tree["root"])
+        for phase in ("window", "queue", "db", "filter", "json"):
+            assert phase in names, (phase, names)
+
+    def test_server_mints_a_trace_id_when_the_client_sends_none(self, http_server):
+        status, _, headers = self._get_json(http_server, "/window?dataset=patent")
+        assert status == 200
+        minted = headers.get("x-gvdb-trace-id")
+        assert minted and len(minted) == 16
+        status, tree, _ = self._get_json(http_server, f"/debug/trace/{minted}")
+        assert status == 200 and tree["trace_id"] == minted
+
+    def test_unknown_trace_id_is_404(self, http_server):
+        status, _, _ = self._get_json(http_server, "/debug/trace/0123456789abcdef")
+        assert status == 404
+
+    def test_slow_log_threshold_and_n_parameter(self, http_server):
+        for _ in range(3):
+            status, _, _ = self._get_json(http_server, "/window?dataset=patent")
+            assert status == 200
+        status, slow, _ = self._get_json(http_server, "/debug/slow")
+        assert status == 200
+        assert slow["threshold_seconds"] == 0.0
+        assert len(slow["traces"]) >= 3
+        durations = [entry["duration_ms"] for entry in slow["traces"]]
+        assert durations == sorted(durations, reverse=True)  # slowest first
+        status, one, _ = self._get_json(http_server, "/debug/slow?n=1")
+        assert status == 200 and len(one["traces"]) == 1
+
+    def test_prometheus_exposition_over_http(self, http_server):
+        status, _, _ = self._get_json(http_server, "/window?dataset=patent")
+        assert status == 200
+        status, payload, headers = self._get(
+            http_server, "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        text = payload.decode()
+        assert "# TYPE gvdb_latency_seconds histogram" in text
+        assert 'gvdb_latency_seconds_bucket{op="window",le="+Inf"}' in text
+        assert "gvdb_requests_admitted_total" in text
+        # JSON stays the default shape.
+        status, metrics, _ = self._get_json(http_server, "/metrics")
+        assert status == 200 and metrics["latency"]["window"]["count"] >= 1
+
+    def test_repro_top_renders_live_tables(self, http_server, capsys):
+        for _ in range(2):
+            status, _, _ = self._get_json(http_server, "/window?dataset=patent")
+            assert status == 200
+        exit_code = cli_main([
+            "top", "--port", str(http_server),
+            "--interval", "0.05", "--iterations", "2",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "p99 ms" in out and "dataset" in out
+        window_rows = [
+            line for line in out.splitlines() if line.startswith("window")
+        ]
+        assert window_rows and any(
+            int(row.split()[1]) >= 2 for row in window_rows
+        ), window_rows
+        assert any(line.startswith("patent") for line in out.splitlines())
+
+
+# ---------------------------------------------------------------------------
+# Prometheus golden file
+# ---------------------------------------------------------------------------
+
+_GOLDEN_PATH = Path(__file__).parent / "data" / "prometheus_golden.txt"
+
+
+def _deterministic_metrics() -> ServiceMetrics:
+    metrics = ServiceMetrics()
+    for _ in range(3):
+        assert metrics.try_admit("patent", limit=8) is not None
+    metrics.record_completed("patent")
+    metrics.record_completed("patent")
+    assert metrics.try_admit("wiki", limit=8) is not None
+    metrics.record_batch(num_requests=4, num_unique=2)
+    metrics.record_pool_hit()
+    metrics.record_pool_miss()
+    metrics.record_cache_hit()
+    metrics.record_proxied()
+    metrics.record_write()
+    metrics.record_journal_append(synced=True)
+    metrics.record_replication_poll()
+    metrics.record_promotion(latency_ms=12.5)
+    # Exactly-on-boundary values so bucket placement is deterministic.
+    metrics.record_latency("window", 0.001)
+    metrics.record_latency("window", 0.004)
+    metrics.record_latency("window", 0.016)
+    metrics.record_latency("keyword", 0.002)
+    return metrics
+
+
+class TestPrometheusGolden:
+    def test_rendering_matches_the_golden_file(self):
+        rendered = render_prometheus(
+            _deterministic_metrics().summary(), {"worker": "w0"}
+        )
+        assert _GOLDEN_PATH.exists(), (
+            f"golden file missing: {_GOLDEN_PATH} — regenerate with "
+            "tests/test_observability.py::TestPrometheusGolden (see docstring)"
+        )
+        assert rendered == _GOLDEN_PATH.read_text()
+
+    def test_golden_shape_invariants(self):
+        # Independent of the exact golden bytes: grammar-level invariants the
+        # exposition must keep even when counters are added.
+        rendered = render_prometheus(_deterministic_metrics().summary())
+        lines = rendered.splitlines()
+        assert lines[-1]  # no trailing blank line inside (one final newline)
+        helped = {
+            line.split()[2] for line in lines if line.startswith("# HELP")
+        }
+        typed = {
+            line.split()[2] for line in lines if line.startswith("# TYPE")
+        }
+        assert helped == typed  # every family declares both
+        # Cumulative buckets: the +Inf bucket equals _count for every op.
+        for op in ("window", "keyword"):
+            inf_line = next(
+                line for line in lines
+                if line.startswith("gvdb_latency_seconds_bucket")
+                and f'op="{op}"' in line and 'le="+Inf"' in line
+            )
+            count_line = next(
+                line for line in lines
+                if line.startswith("gvdb_latency_seconds_count")
+                and f'op="{op}"' in line
+            )
+            assert inf_line.split()[-1] == count_line.split()[-1]
+        # Counters end in _total; gauges never do.
+        for line in lines:
+            if line.startswith("# TYPE"):
+                _, _, name, kind = line.split()
+                if kind == "counter":
+                    assert name.endswith("_total"), line
+                elif name.endswith("_total"):
+                    raise AssertionError(f"gauge named like a counter: {line}")
