@@ -1,0 +1,200 @@
+"""Trace-driven SLO bench: tail latency under a realistic mixed workload.
+
+The earlier benches drive uniform request loops; this one replays the PR 9
+loadgen trace — zipfian dataset popularity, pan/zoom random walks, keyword
+bursts, kNN hotspot probes and a write trickle across >= 200 concurrent
+exploration sessions — against a live 2-worker cluster router, twice:
+
+* **fixed** — the PR 3 admission control: a static per-dataset queue-depth
+  limit, whatever the current p99 looks like;
+* **adaptive** — the AIMD controller of :class:`repro.slo.AdaptiveAdmission`
+  on each worker, cutting the effective limit while the ``window`` op burns
+  error budget (its p99 sits above target) and recovering additively.
+
+Both runs replay the *identical* seeded trace (determinism is asserted by
+``tests/test_slo.py``), so their per-op p50/p95/p99, 503/504 rates and
+achieved QPS are directly comparable; both land in ``BENCH_slo.json``
+together with the router's SLO accounting and the keyword/kNN cache hit
+counters (the zipfian repeats must make both nonzero — asserted here).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.router import ClusterRuntime
+from repro.config import ClusterConfig, GraphVizDBConfig, SLOConfig, ServiceConfig
+from repro.slo.loadgen import LoadgenConfig, generate_trace, run_trace
+from repro.storage.sqlite_backend import save_to_sqlite
+
+#: Where the SLO trajectory is recorded (repo root).
+TRAJECTORY_PATH = Path(__file__).resolve().parents[1] / "BENCH_slo.json"
+
+#: Dataset shards behind the router (zipfian popularity across them).
+NUM_SHARDS = 2
+
+#: Exploration sessions in the trace — the acceptance floor is 200.
+NUM_SESSIONS = 200
+
+#: Concurrent client threads replaying sessions.
+CONCURRENCY = 8
+
+#: Queue-depth ceiling per worker: low enough that the mixed workload can
+#: actually queue, so the two admission policies are distinguishable.
+MAX_QUEUE_DEPTH = 16
+
+
+def record_trajectory(measurements: dict) -> None:
+    """Append one measurement entry to the BENCH_slo.json trajectory."""
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": float(os.environ.get("REPRO_BENCH_SCALE", "0.5")),
+        "dataset": f"patent-like-x{NUM_SHARDS}",
+        "cpu_count": os.cpu_count(),
+        **measurements,
+    }
+    history: list = []
+    if TRAJECTORY_PATH.exists():
+        try:
+            history = json.loads(TRAJECTORY_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(entry)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def slo_shards(patent_preprocessed, tmp_path_factory):
+    """``name -> path`` of the shard files served by the router under test."""
+    base = tmp_path_factory.mktemp("slo-bench")
+    paths: dict[str, str] = {}
+    for index in range(NUM_SHARDS):
+        path = base / f"shard{index}.db"
+        save_to_sqlite(patent_preprocessed.database, path)
+        paths[f"shard{index}"] = str(path)
+    return paths
+
+
+def _slo_config(adaptive: bool) -> SLOConfig:
+    """SLO targets shared by both runs; small windows so the controller and
+    the burn accounting react within a seconds-long bench run."""
+    return SLOConfig(
+        fast_burn_window_seconds=2.0,
+        slow_burn_window_seconds=20.0,
+        adaptive_admission=adaptive,
+        admission_min_queue_depth=2,
+        admission_interval_seconds=0.25,
+        admission_burn_window_seconds=2.0,
+    )
+
+
+def _cluster_config(adaptive: bool) -> GraphVizDBConfig:
+    return GraphVizDBConfig(
+        cluster=ClusterConfig(
+            num_workers=2,
+            cache_capacity=1024,
+            health_interval_seconds=0.5,
+        ),
+        service=ServiceConfig(
+            pool_capacity=max(4, NUM_SHARDS),
+            max_queue_depth=MAX_QUEUE_DEPTH,
+        ),
+        slo=_slo_config(adaptive),
+    )
+
+
+def _run_once(paths: dict, trace, loadgen_config: LoadgenConfig, adaptive: bool):
+    """Replay the trace against a fresh router; return (report, slo, cluster)."""
+    with ClusterRuntime(paths, config=_cluster_config(adaptive)) as runtime:
+        report = run_trace("127.0.0.1", runtime.port, trace, loadgen_config)
+        merged = runtime.metrics_summary()
+        slo_section = merged.get("slo", {})
+        cluster_section = merged.get("cluster", {})
+    return report, slo_section, cluster_section
+
+
+def test_mixed_workload_slo_fixed_vs_adaptive(slo_shards, capsys):
+    """>= 200-session seeded workload, fixed vs adaptive admission, recorded.
+
+    Both runs replay the identical trace; the report captures per-op
+    p50/p95/p99 + 503/504 rates for each so the trajectory shows whether
+    the AIMD controller holds the window p99 nearer its target than the
+    fixed queue-depth limit under the same offered load.  The zipfian
+    keyword/kNN repeats must earn nonzero result-cache hits.
+    """
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+    loadgen_config = LoadgenConfig(
+        sessions=NUM_SESSIONS,
+        ops_per_session=max(4, int(12 * scale)),
+        concurrency=CONCURRENCY,
+        seed=42,
+    )
+    trace = generate_trace(sorted(slo_shards), loadgen_config)
+    total_ops = sum(len(session) for session in trace)
+    window_target_ms = (
+        dict(_slo_config(False).latency_targets)["window"] * 1000.0
+    )
+
+    fixed_report, fixed_slo, fixed_cluster = _run_once(
+        slo_shards, trace, loadgen_config, adaptive=False
+    )
+    adaptive_report, adaptive_slo, adaptive_cluster = _run_once(
+        slo_shards, trace, loadgen_config, adaptive=True
+    )
+
+    # The zipfian repeats must make keyword/kNN caching earn its keep.
+    for cluster_section in (fixed_cluster, adaptive_cluster):
+        assert cluster_section.get("keyword_cache_hits", 0) > 0
+        assert cluster_section.get("nearest_cache_hits", 0) > 0
+
+    # The fixed run must execute the full trace; the adaptive run may shed
+    # load (a 503 on /session/new skips that session's stateful ops — the
+    # controller trading completed ops for tail latency), never grow it.
+    assert fixed_report.ops == total_ops
+    assert 0 < adaptive_report.ops <= total_ops
+
+    measurements = {
+        "kind": "slo-loadgen",
+        "sessions": NUM_SESSIONS,
+        "ops_per_session": loadgen_config.ops_per_session,
+        "concurrency": CONCURRENCY,
+        "seed": loadgen_config.seed,
+        "total_ops": total_ops,
+        "max_queue_depth": MAX_QUEUE_DEPTH,
+        "window_p99_target_ms": window_target_ms,
+        "fixed": fixed_report.to_dict(),
+        "fixed_slo": fixed_slo,
+        "fixed_keyword_cache_hits": fixed_cluster.get("keyword_cache_hits", 0),
+        "fixed_nearest_cache_hits": fixed_cluster.get("nearest_cache_hits", 0),
+        "adaptive": adaptive_report.to_dict(),
+        "adaptive_slo": adaptive_slo,
+        "adaptive_keyword_cache_hits": adaptive_cluster.get(
+            "keyword_cache_hits", 0
+        ),
+        "adaptive_nearest_cache_hits": adaptive_cluster.get(
+            "nearest_cache_hits", 0
+        ),
+    }
+    record_trajectory(measurements)
+
+    with capsys.disabled():
+        print()
+        print(
+            f"SLO loadgen ({NUM_SESSIONS} sessions x "
+            f"{loadgen_config.ops_per_session} steps, {CONCURRENCY} clients, "
+            f"{os.cpu_count()} CPUs, window target {window_target_ms:.0f} ms):"
+        )
+        for label, report in (("fixed", fixed_report), ("adaptive", adaptive_report)):
+            window = report.per_op.get("window", {})
+            print(
+                f"  {label:<8}: {report.qps:7.0f} op/s  "
+                f"window p99 {window.get('p99_ms', 0.0):8.1f} ms  "
+                f"503s {report.errors_503:4d}  504s {report.errors_504:4d}"
+            )

@@ -8,6 +8,7 @@
 #   * seeded chaos schedules (retry/replay/stale) -> BENCH_faults.json
 #   * replica reads + owner promotion             -> BENCH_replication.json
 #   * tracing/histogram overhead on the hot path  -> BENCH_obs.json
+#   * trace-driven loadgen, fixed vs adaptive SLO -> BENCH_slo.json
 # so every PR has a perf baseline to compare against.  Also runs the
 # 2-worker cluster lifecycle smoke (start, query through the router, kill a
 # worker, query again, drain) and the fault-injection chaos smoke (which
@@ -28,14 +29,15 @@ python scripts/cluster_smoke.py
 echo "seeded chaos smoke (owner kill mid-ack / acked-write replay / degraded stale reads / replica promotion)"
 python scripts/chaos_smoke.py
 
-echo "index + cold-start + serving + cluster + writes + replication + observability smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
+echo "index + cold-start + serving + cluster + writes + replication + observability + slo smoke run at REPRO_BENCH_SCALE=$REPRO_BENCH_SCALE"
 python -m pytest benchmarks/test_bench_ablation_indexes.py \
     benchmarks/test_bench_coldstart.py \
     benchmarks/test_bench_serving.py \
     benchmarks/test_bench_cluster.py \
     benchmarks/test_bench_writes.py \
     benchmarks/test_bench_replication.py \
-    benchmarks/test_bench_observability.py -q -p no:cacheprovider "$@"
+    benchmarks/test_bench_observability.py \
+    benchmarks/test_bench_slo.py -q -p no:cacheprovider "$@"
 echo "trajectory written to BENCH_indexes.json:"
 python - <<'EOF'
 import json
@@ -215,5 +217,26 @@ for entry in history[-4:]:
     print(
         f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
         f"{kind:<17} {detail}"
+    )
+PYEOF
+echo "trajectory written to BENCH_slo.json:"
+python - <<'PYEOF'
+import json
+from pathlib import Path
+
+history = json.loads(Path("BENCH_slo.json").read_text())
+for entry in history[-4:]:
+    fixed = entry.get("fixed", {})
+    adaptive = entry.get("adaptive", {})
+    fixed_p99 = fixed.get("per_op", {}).get("window", {}).get("p99_ms", 0.0)
+    adaptive_p99 = (
+        adaptive.get("per_op", {}).get("window", {}).get("p99_ms", 0.0)
+    )
+    print(
+        f"  {entry['recorded_at']}  {entry['dataset']:<14} scale={entry['scale']:<4} "
+        f"sessions={entry['sessions']} "
+        f"fixed: p99={fixed_p99:.0f}ms 503s={fixed.get('errors_503', 0)} | "
+        f"adaptive: p99={adaptive_p99:.0f}ms 503s={adaptive.get('errors_503', 0)} "
+        f"(target {entry['window_p99_target_ms']:.0f}ms)"
     )
 PYEOF

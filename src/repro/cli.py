@@ -13,7 +13,11 @@ Exposes the main workflows of the library without writing Python:
   router with ``--workers N`` (or run a self-contained concurrency smoke
   workload with ``--smoke``);
 * ``top`` — poll a running server's ``/metrics`` and ``/health`` endpoints and
-  render a live per-dataset table (QPS, p99, queue depth, replica lag).
+  render a live per-dataset table (QPS, p99, queue depth, replica lag) plus
+  per-op SLO columns (503/504 rates, budget remaining, burn-rate alerts);
+* ``loadgen`` — replay a seeded, deterministic multi-session exploration trace
+  against a running server or router and print the per-op latency/error
+  report.
 
 Run as ``python -m repro <command> ...``; see ``--help`` on each command.
 """
@@ -404,16 +408,45 @@ def cmd_top(args: argparse.Namespace) -> int:
                             lags.get(dataset, 0), int(status.get("lag", 0))
                         )
             elapsed = now - previous_at if previous_at is not None else None
+            slo_section = metrics.get("slo") or {}
+            slo_ops = slo_section.get("ops") or {}
+            if not isinstance(slo_ops, dict):
+                slo_ops = {}
+
+            def slo_columns(op: str) -> tuple[str, str, str, str]:
+                entry = slo_ops.get(op)
+                if not isinstance(entry, dict):
+                    return "-", "-", "-", "-"
+                total = int(entry.get("good", 0)) + int(entry.get("bad", 0))
+                if not total:
+                    return "-", "-", "-", str(entry.get("alert", "-"))
+                return (
+                    f"{100.0 * int(entry.get('errors_503', 0)) / total:.1f}",
+                    f"{100.0 * int(entry.get('errors_504', 0)) / total:.1f}",
+                    f"{100.0 * float(entry.get('budget_remaining', 1.0)):.0f}",
+                    str(entry.get("alert", "ok")),
+                )
+
             print(f"--- {base}  status={health.get('status', '?')}  "
                   f"inflight={health.get('inflight', 0)}  poll {rounds}")
             print(f"{'op':<10} {'count':>8} {'p50 ms':>8} {'p95 ms':>8} "
-                  f"{'p99 ms':>8}")
+                  f"{'p99 ms':>8} {'503 %':>6} {'504 %':>6} {'budget %':>9} "
+                  f"{'alert':>6}")
             for op in ("window", "keyword", "nearest", "edit", "session"):
                 state = latency.get(op)
                 count = state.get("count", 0) if isinstance(state, dict) else 0
+                rate_503, rate_504, budget, alert = slo_columns(op)
                 print(f"{op:<10} {count:>8} {quantile_ms(state, 'p50'):>8} "
                       f"{quantile_ms(state, 'p95'):>8} "
-                      f"{quantile_ms(state, 'p99'):>8}")
+                      f"{quantile_ms(state, 'p99'):>8} {rate_503:>6} "
+                      f"{rate_504:>6} {budget:>9} {alert:>6}")
+            admission = slo_section.get("admission") if isinstance(
+                slo_section, dict) else None
+            if isinstance(admission, dict):
+                print(f"admission  limit={admission.get('effective_limit', '?')}"
+                      f"/{admission.get('max_limit', '?')}  "
+                      f"cuts={admission.get('decreases', 0)}  "
+                      f"raises={admission.get('increases', 0)}")
             datasets = sorted(set(completed) | set(queue_depth) | set(lags))
             print(f"{'dataset':<16} {'qps':>8} {'queue':>6} {'lag':>6}")
             for dataset in datasets:
@@ -429,6 +462,48 @@ def cmd_top(args: argparse.Namespace) -> int:
             previous_at = now
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Seeded trace-driven load against a running server; JSON report to stdout.
+
+    Asks the target for its served datasets, generates a deterministic
+    multi-session exploration trace (same seed ⇒ byte-identical op sequence),
+    replays it over keep-alive connections, and prints the per-op latency /
+    error report.  ``--trace-only`` prints the generated trace without
+    touching the server — useful for inspecting the workload model.
+    """
+    import urllib.error
+    import urllib.request
+
+    from .slo.loadgen import LoadgenConfig, generate_trace, run_trace
+
+    config = LoadgenConfig(
+        sessions=args.sessions,
+        ops_per_session=args.ops_per_session,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        write_fraction=args.write_fraction,
+        think_time_seconds=args.think_time,
+    )
+    base = f"http://{args.host}:{args.port}"
+    try:
+        with urllib.request.urlopen(base + "/datasets", timeout=5.0) as response:
+            datasets = list(json.loads(response.read()).get("datasets", []))
+    except (OSError, urllib.error.URLError) as exc:
+        raise SystemExit(f"cannot reach {base}: {exc}")
+    if not datasets:
+        raise SystemExit(f"{base} serves no datasets")
+    trace = generate_trace(datasets, config)
+    if args.trace_only:
+        for session in trace:
+            for op in session:
+                print(json.dumps({"op": op.op, "method": op.method,
+                                  "target": op.target}))
+        return 0
+    report = run_trace(args.host, args.port, trace, config)
+    print(json.dumps(report.to_dict(), indent=2))
     return 0
 
 
@@ -563,6 +638,30 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--iterations", type=int, default=0,
                      help="stop after this many polls (0 = until Ctrl-C)")
     top.set_defaults(handler=cmd_top)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="replay a seeded multi-session exploration trace "
+                        "against a running server and print the latency/SLO "
+                        "report"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8080)
+    loadgen.add_argument("--sessions", type=int, default=200,
+                         help="exploration sessions to simulate (default 200)")
+    loadgen.add_argument("--ops-per-session", type=int, default=12,
+                         help="random-walk steps per session (default 12)")
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="client threads replaying sessions (default 8)")
+    loadgen.add_argument("--seed", type=int, default=42,
+                         help="trace seed — same seed, same op sequence")
+    loadgen.add_argument("--write-fraction", type=float, default=0.02,
+                         help="per-step probability of an edit (default 0.02)")
+    loadgen.add_argument("--think-time", type=float, default=0.0,
+                         help="seconds to pause between a session's ops")
+    loadgen.add_argument("--trace-only", action="store_true",
+                         help="print the generated trace as JSON lines "
+                              "instead of replaying it")
+    loadgen.set_defaults(handler=cmd_loadgen)
 
     return parser
 

@@ -15,6 +15,13 @@ feeds those snapshots to :meth:`WindowResultCache.observe_edit_counters`, and
 dataset's cached windows.  Bounded both by entry count and by payload bytes —
 window payloads vary by orders of magnitude with zoom level, so a pure entry
 cap would let a few layer-0 megawindows dominate memory.
+
+Since PR 9 the cache also holds ``/keyword`` and ``/nearest`` responses
+(keys are canonical targets prefixed with the request path, so the op
+classes can never collide); the live ``keyword_repeats``/``nearest_repeats``
+counters measured the earnable hit rate first.  Invalidation is identical —
+entries carry their dataset, so the same edit-counter machinery covers all
+three op classes.
 """
 
 from __future__ import annotations
@@ -99,18 +106,23 @@ class WindowResultCache:
 
     # ------------------------------------------------------------------ lookup
 
-    def get(self, key: str) -> CachedResponse | None:
-        """The cached response for ``key``, or ``None`` (counting hit/miss)."""
+    def get(self, key: str, op: str = "window") -> CachedResponse | None:
+        """The cached response for ``key``, or ``None`` (counting hit/miss).
+
+        ``op`` attributes the hit to its operation class — windows, keyword
+        searches and kNN probes share this cache (PR 9) but report separate
+        hit counters, since their hit rates justify caching independently.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 if self.metrics is not None:
-                    self.metrics.record_cache_miss()
+                    self.metrics.record_cache_miss(op)
                 return None
             self._entries.move_to_end(key)
             entry.hits += 1
         if self.metrics is not None:
-            self.metrics.record_cache_hit()
+            self.metrics.record_cache_hit(op)
         return entry
 
     def counter_snapshot(self, dataset: str) -> int | None:

@@ -92,6 +92,7 @@ from ..core.monitoring import ServiceMetrics
 from ..errors import ClusterError, WorkerUnavailableError
 from ..obs import percentiles_from_state, render_prometheus
 from ..service.http import DEADLINE_HEADER, serve_connection
+from ..slo.slo import slo_op_for_path
 from .cache import WindowResultCache
 from .client import WorkerClient
 from .hashing import rendezvous_owner, rendezvous_ranking, rendezvous_replicas
@@ -182,6 +183,10 @@ class ClusterRouter:
         self.metrics = metrics or ServiceMetrics(
             histograms_enabled=self.obs_config.histogram_enabled
         )
+        # The router is where clients experience the cluster, so it runs its
+        # own SLO engine over dispatch outcomes; worker-local SLO sections
+        # are ignored in the merged view (burn rates don't sum).
+        self.metrics.configure_slo(self.config.slo)
         #: Completed request traces (the router's own ring; worker-side span
         #: trees are grafted in on demand by ``/debug/trace/<id>``).
         self.traces = obs.TraceStore(
@@ -216,9 +221,10 @@ class ClusterRouter:
         #: next owner.  Entries leave on close, on an unrecoverable worker
         #: 404, or via the idle sweep in :meth:`probe_workers`.
         self.sessions = SessionDirectory()
-        #: Recently seen canonical /keyword and /nearest targets, for the
-        #: repeat-rate measurement behind the "cache keyword/kNN too?"
-        #: question (bounded sliding windows; reads only, no caching).
+        #: Recently seen canonical /keyword and /nearest targets: the
+        #: repeat-rate measurement that justified caching those op classes
+        #: (bounded sliding windows; still reported so hit rates have a
+        #: live denominator to compare against).
         self._repeat_windows: dict[str, OrderedDict[str, None]] = {
             "keyword": OrderedDict(), "nearest": OrderedDict(),
         }
@@ -273,6 +279,7 @@ class ClusterRouter:
             cluster=self.cluster_config,
             write=self.config.write,
             observability=self.config.observability,
+            slo=self.config.slo,
         )
         dataset_items = tuple(sorted(self.datasets.items()))
         loop = asyncio.get_running_loop()
@@ -475,7 +482,18 @@ class ClusterRouter:
             except ValueError:
                 pass  # an unparseable bound falls back to the configured one
         try:
-            return await self._dispatch(method, target, body)
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            result = await self._dispatch(method, target, body)
+            # Feed the SLO engine with the outcome the *client* experienced:
+            # full dispatch wall time (cache hits, retries, replica fallbacks
+            # and failures included), per operation class.
+            op = slo_op_for_path(urlsplit(target).path.rstrip("/") or "/")
+            if op is not None:
+                self.metrics.record_op_outcome(
+                    op, loop.time() - started, result[0]
+                )
+            return result
         except Exception:  # defence: a router bug must not kill the router
             return 500, _json_bytes({"error": "internal router error"})
         finally:
@@ -536,23 +554,48 @@ class ClusterRouter:
         if path == "/window":
             return await self._window(target, params, dataset)
         if path in ("/keyword", "/nearest"):
-            self._record_repeat(path.lstrip("/"), _cache_key(params))
-            status, body = await self._proxy(target, dataset)
-            if status == 503:
-                # Owner saturated (or gone): a replica inside the staleness
-                # bound beats a 503.
-                replica = await self._proxy_replica(target, dataset)
-                if replica is not None:
-                    return replica
-            return status, body
+            return await self._cached_read(path, target, params, dataset)
         return await self._proxy(target, dataset)
+
+    async def _cached_read(
+        self, path: str, target: str, params: dict[str, str], dataset: str
+    ) -> tuple[int, bytes]:
+        """Serve ``/keyword`` or ``/nearest`` through the result cache.
+
+        The repeat-rate counters (PR 5) measured these op classes earning
+        double-digit hit rates under session traffic, so they now ride the
+        same cache as windows: canonical target key (prefixed with the path
+        so op classes can't collide), counter snapshot before the round
+        trip, and the shared edit-driven invalidation.  Misses keep the
+        replica fallback windows always had.
+        """
+        kind = path.lstrip("/")
+        canonical = _cache_key(params)
+        self._record_repeat(kind, canonical)
+        key = f"{path}?{canonical}"
+        if self.cluster_config.cache_capacity:
+            entry = self.cache.get(key, op=kind)
+            if entry is not None:
+                return entry.status, entry.body
+        counter = self.cache.counter_snapshot(dataset)
+        status, body = await self._proxy(target, dataset)
+        if status == 200 and self.cluster_config.cache_capacity:
+            self.cache.put(key, dataset, status, body, counter=counter)
+            return status, body
+        if status == 503:
+            # Owner saturated (or gone): a replica inside the staleness
+            # bound beats a 503.
+            replica = await self._proxy_replica(target, dataset)
+            if replica is not None:
+                return replica
+        return status, body
 
     def _record_repeat(self, kind: str, key: str) -> None:
         """Track whether a keyword/kNN target repeats within the recent window.
 
-        This settles the ROADMAP "measure before caching" question with live
+        This settled the ROADMAP "measure before caching" question with live
         numbers: the repeat rate these counters expose is exactly the hit
-        rate a keyword/kNN result cache could have earned.
+        rate the keyword/kNN result cache (enabled since PR 9) can earn.
         """
         window = self._repeat_windows[kind]
         repeat = key in window
@@ -606,7 +649,7 @@ class ClusterRouter:
     # ------------------------------------------------------------------ window
 
     async def _window(self, target: str, params: dict[str, str], dataset: str):
-        key = _cache_key(params)
+        key = f"/window?{_cache_key(params)}"
         entry = self.cache.get(key) if self.cluster_config.cache_capacity else None
         if entry is not None:
             return entry.status, entry.body
@@ -1260,6 +1303,20 @@ class ClusterRouter:
             "sessions": len(self.sessions),
             "inflight": self._inflight,
             "cache": self.cache.summary(),
+            "slo": self._slo_health(),
+        }
+
+    def _slo_health(self) -> dict[str, object]:
+        """Non-ok SLO alerts from the router's own engine (client view)."""
+        engine = self.metrics.slo
+        if engine is None:
+            return {}
+        return {
+            "alerts": {
+                op: engine.alert(op)
+                for op in sorted(engine.ops())
+                if engine.alert(op) != "ok"
+            },
         }
 
     async def metrics_summary(self) -> dict[str, object]:
@@ -1287,6 +1344,10 @@ class ClusterRouter:
             )
         router_summary = self.metrics.summary()
         merged["cluster"] = router_summary["cluster"]
+        # The SLO view is the router's own: burn rates and budgets are
+        # windowed ratios that cannot be summed across workers, and the
+        # router is where clients experience latency and 503s anyway.
+        merged["slo"] = router_summary.get("slo", {})
         router_latency = router_summary.get("latency")
         if isinstance(router_latency, dict) and router_latency:
             # The router's own histograms (proxy round trips, attempt counts)

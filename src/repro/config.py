@@ -647,6 +647,111 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class SLOConfig:
+    """Service-level objectives, error budgets and adaptive admission (PR 9).
+
+    A request is *SLO-good* when it succeeded (no 503/504) **and** finished
+    within its operation's latency target; everything else consumes error
+    budget.  With the default ``availability_target`` of 0.99 the budget
+    allows 1% bad requests, so "budget burning faster than earned" is exactly
+    "the operation's p99 is above its latency target" — the property the
+    adaptive admission controller regulates against.
+
+    ``enabled``
+        Track per-op SLO compliance in :class:`~repro.slo.SLOEngine` (the
+        ``slo`` section of ``/metrics`` and the ``gvdb_slo_*`` Prometheus
+        families).  Off: no engine is attached and the section is empty.
+    ``latency_targets``
+        ``(op, seconds)`` pairs: the per-operation latency targets.  Ops
+        without a target only count availability (503/504) against the
+        budget.
+    ``availability_target``
+        Fraction of requests that must be SLO-good over the slow window
+        (0.99 = 1% error budget).
+    ``fast_burn_window_seconds`` / ``slow_burn_window_seconds``
+        The two burn-rate windows (default 5 min / 1 h).  The fast window
+        detects acute burn ("page"), the slow window sustained burn
+        ("warn"); budget remaining is accounted over the slow window.
+    ``fast_burn_threshold`` / ``slow_burn_threshold``
+        Burn-rate multiples (consumption relative to the sustainable rate
+        ``1 - availability_target``) above which each window alerts.
+    ``adaptive_admission``
+        Replace the fixed ``ServiceConfig.max_queue_depth`` admission limit
+        with an AIMD-controlled effective limit driven by the ``window``
+        op's budget burn (see :class:`~repro.slo.AdaptiveAdmission`).
+    ``admission_min_queue_depth``
+        Floor the adaptive limit never tightens below.
+    ``admission_increase_step``
+        Additive raise (requests) applied each healthy evaluation interval.
+    ``admission_backoff_factor``
+        Multiplicative cut applied when the budget is burning (in (0, 1)).
+    ``admission_interval_seconds``
+        Minimum time between controller re-evaluations (lazy, on admit).
+    ``admission_burn_window_seconds``
+        Burn-rate lookback the controller reacts to (shorter than the alert
+        windows so the loop is responsive).
+    """
+
+    enabled: bool = True
+    latency_targets: tuple = (
+        ("window", 0.25),
+        ("keyword", 0.25),
+        ("nearest", 0.25),
+        ("edit", 0.5),
+        ("session", 0.5),
+    )
+    availability_target: float = 0.99
+    fast_burn_window_seconds: float = 300.0
+    slow_burn_window_seconds: float = 3600.0
+    fast_burn_threshold: float = 14.0
+    slow_burn_threshold: float = 6.0
+    adaptive_admission: bool = False
+    admission_min_queue_depth: int = 4
+    admission_increase_step: int = 1
+    admission_backoff_factor: float = 0.5
+    admission_interval_seconds: float = 1.0
+    admission_burn_window_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        for pair in self.latency_targets:
+            if len(pair) != 2 or not pair[0] or float(pair[1]) <= 0:
+                raise ConfigurationError(
+                    "latency_targets must be (op, positive-seconds) pairs"
+                )
+        if not 0.0 < self.availability_target < 1.0:
+            raise ConfigurationError("availability_target must be in (0, 1)")
+        if self.fast_burn_window_seconds <= 0:
+            raise ConfigurationError("fast_burn_window_seconds must be positive")
+        if self.slow_burn_window_seconds < self.fast_burn_window_seconds:
+            raise ConfigurationError(
+                "slow_burn_window_seconds must be >= fast_burn_window_seconds"
+            )
+        if self.fast_burn_threshold <= 0 or self.slow_burn_threshold <= 0:
+            raise ConfigurationError("burn thresholds must be positive")
+        if self.admission_min_queue_depth <= 0:
+            raise ConfigurationError("admission_min_queue_depth must be positive")
+        if self.admission_increase_step <= 0:
+            raise ConfigurationError("admission_increase_step must be positive")
+        if not 0.0 < self.admission_backoff_factor < 1.0:
+            raise ConfigurationError(
+                "admission_backoff_factor must be in (0, 1)"
+            )
+        if self.admission_interval_seconds <= 0:
+            raise ConfigurationError("admission_interval_seconds must be positive")
+        if self.admission_burn_window_seconds <= 0:
+            raise ConfigurationError(
+                "admission_burn_window_seconds must be positive"
+            )
+
+    def latency_target(self, op: str) -> float | None:
+        """The latency target for ``op``, or ``None`` when untargeted."""
+        for name, seconds in self.latency_targets:
+            if name == op:
+                return float(seconds)
+        return None
+
+
+@dataclass(frozen=True)
 class GraphVizDBConfig:
     """Top-level configuration bundling every subsystem's settings."""
 
@@ -659,6 +764,7 @@ class GraphVizDBConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     write: WriteConfig = field(default_factory=WriteConfig)
     observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    slo: SLOConfig = field(default_factory=SLOConfig)
 
     @classmethod
     def small(cls) -> "GraphVizDBConfig":

@@ -199,6 +199,11 @@ class ServiceMetrics:
     def __init__(self, histograms_enabled: bool = True) -> None:
         self._lock = threading.Lock()
         self.histograms_enabled = histograms_enabled
+        # SLO tracking (PR 9): attached via configure_slo(); None until the
+        # front-end or router wires it from SLOConfig.  The admission
+        # controller reference only exists under adaptive admission.
+        self.slo = None
+        self.admission = None
         # Streaming latency histograms per operation class ("window",
         # "keyword", ...) and per phase ("window.db", "proxy", ...): O(1)
         # record, mergeable across the fleet (see repro.obs.histogram).
@@ -236,6 +241,10 @@ class ServiceMetrics:
         self.keyword_repeats = 0
         self.nearest_requests = 0
         self.nearest_repeats = 0
+        # Keyword / kNN result-cache hits (PR 9: the repeat rates above
+        # justified caching them; hit rate = hits / *_requests).
+        self.keyword_cache_hits = 0
+        self.nearest_cache_hits = 0
         # Durable-write-path counters (zero on read-only deployments).
         self.writes_applied = 0
         self.writes_deduplicated = 0
@@ -363,13 +372,23 @@ class ServiceMetrics:
 
     # ------------------------------------------------------------------ cluster
 
-    def record_cache_hit(self) -> None:
-        """Count one request answered from the router's window-result cache."""
+    def record_cache_hit(self, op: str = "window") -> None:
+        """Count one request answered from the router's result cache,
+        attributed to its operation class (window / keyword / nearest)."""
         with self._lock:
-            self.window_cache_hits += 1
+            if op == "keyword":
+                self.keyword_cache_hits += 1
+            elif op == "nearest":
+                self.nearest_cache_hits += 1
+            else:
+                self.window_cache_hits += 1
 
-    def record_cache_miss(self) -> None:
-        """Count one cacheable request that had to go to a worker."""
+    def record_cache_miss(self, op: str = "window") -> None:
+        """Count one cacheable request that had to go to a worker.  Only
+        windows keep a dedicated miss counter; keyword/kNN hit rates read
+        against their request counters (``keyword_requests`` etc.)."""
+        if op != "window":
+            return
         with self._lock:
             self.window_cache_misses += 1
 
@@ -436,6 +455,35 @@ class ServiceMetrics:
             else:
                 self.nearest_requests += 1
                 self.nearest_repeats += 1 if repeat else 0
+
+    # ---------------------------------------------------------------------- SLO
+
+    def configure_slo(self, config, clock=None) -> None:
+        """Attach an :class:`~repro.slo.SLOEngine` built from ``config``.
+
+        Idempotent: the first caller wins, so a metrics instance shared
+        between tiers keeps one engine.  No-op when SLO tracking is off.
+        """
+        if self.slo is not None or config is None or not config.enabled:
+            return
+        from ..slo.slo import SLOEngine  # local import: slo -> config only
+
+        if clock is None:
+            self.slo = SLOEngine(config)
+        else:
+            self.slo = SLOEngine(config, clock=clock)
+
+    def attach_admission(self, controller) -> None:
+        """Expose the adaptive admission controller's state in the summary."""
+        self.admission = controller
+
+    def record_op_outcome(self, op: str, latency_seconds: float, status: int) -> None:
+        """Feed one finished request (class, wall time, HTTP status) to the
+        SLO engine — the single choke point both the worker HTTP layer and
+        the router dispatch report through.  No-op without an engine."""
+        engine = self.slo
+        if engine is not None:
+            engine.observe(op, latency_seconds, status=status)
 
     # ------------------------------------------------------------------- writes
 
@@ -516,6 +564,11 @@ class ServiceMetrics:
 
     def summary(self) -> dict[str, object]:
         """Return the JSON-serialisable serving metrics snapshot."""
+        slo_section: dict[str, object] = {}
+        if self.slo is not None:
+            slo_section = self.slo.summary()
+            if self.admission is not None:
+                slo_section["admission"] = self.admission.summary()
         with self._lock:
             batches = self.coalesced_batches
             return {
@@ -556,6 +609,8 @@ class ServiceMetrics:
                     "keyword_repeats": self.keyword_repeats,
                     "nearest_requests": self.nearest_requests,
                     "nearest_repeats": self.nearest_repeats,
+                    "keyword_cache_hits": self.keyword_cache_hits,
+                    "nearest_cache_hits": self.nearest_cache_hits,
                     "replica_reads": self.replica_reads,
                     "promotions": self.promotions,
                     "last_promotion_ms": self.last_promotion_ms,
@@ -577,6 +632,12 @@ class ServiceMetrics:
                     "records_applied": self.replication_records_applied,
                     "resyncs": self.replication_resyncs,
                 },
+                # Per-op SLO compliance (error budgets, burn rates, alerts;
+                # empty without a configured engine).  At the router this
+                # section is replaced wholesale by the router's own view —
+                # burn rates are windowed and cannot be summed across
+                # workers the way plain counters can.
+                "slo": slo_section,
                 # Mergeable histogram states; percentiles herein are local —
                 # after merge_summaries, recompute them from the summed
                 # buckets (percentiles_from_state), as the router does.

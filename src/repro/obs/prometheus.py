@@ -131,6 +131,61 @@ def render_prometheus(summary: dict, base_labels: dict[str, str] | None = None) 
                 family(f"gvdb_{section}_{key}_total", "counter",
                        f"{section} {key} (monotonic).").add("", base, value)
 
+    # SLO section (PR 9): nested per-op dicts, rendered with a bounded ``op``
+    # label (same vocabulary as the latency family) instead of flattened
+    # names.  Burn rates, budget remaining and alert level are windowed /
+    # derived values — gauges; the good/bad/error tallies are counters.
+    slo = summary.get("slo", {})
+    if isinstance(slo, dict) and isinstance(slo.get("ops"), dict) and slo["ops"]:
+        family("gvdb_slo_availability_target", "gauge",
+               "Configured SLO availability target.").add(
+            "", base, float(slo.get("availability_target", 0.0)))
+        good = family("gvdb_slo_good_total", "counter",
+                      "Requests meeting the op's SLO (ok and within target).")
+        bad = family("gvdb_slo_bad_total", "counter",
+                     "Requests consuming the op's error budget.")
+        errors = family("gvdb_slo_error_responses_total", "counter",
+                        "503/504 responses per operation class.")
+        slow = family("gvdb_slo_slow_requests_total", "counter",
+                      "Successful requests over the op's latency target.")
+        burn = family("gvdb_slo_burn_rate", "gauge",
+                      "Error-budget burn rate over the fast/slow window "
+                      "(1.0 = budget consumed exactly as it renews).")
+        remaining = family("gvdb_slo_budget_remaining_ratio", "gauge",
+                           "Fraction of the slow-window error budget left.")
+        alert = family("gvdb_slo_alert_level", "gauge",
+                       "Burn-rate alert severity (0 ok, 1 warn, 2 page).")
+        for op in sorted(slo["ops"]):
+            entry = slo["ops"][op]
+            if not isinstance(entry, dict):
+                continue
+            labels = {**base, "op": op}
+            good.add("", labels, int(entry.get("good", 0)))
+            bad.add("", labels, int(entry.get("bad", 0)))
+            errors.add("", {**labels, "status": "503"},
+                       int(entry.get("errors_503", 0)))
+            errors.add("", {**labels, "status": "504"},
+                       int(entry.get("errors_504", 0)))
+            slow.add("", labels, int(entry.get("slow", 0)))
+            burn.add("", {**labels, "window": "fast"},
+                     float(entry.get("burn_fast", 0.0)))
+            burn.add("", {**labels, "window": "slow"},
+                     float(entry.get("burn_slow", 0.0)))
+            remaining.add("", labels, float(entry.get("budget_remaining", 1.0)))
+            alert.add("", labels, int(entry.get("alert_level", 0)))
+    admission = slo.get("admission") if isinstance(slo, dict) else None
+    if isinstance(admission, dict):
+        for key in ("effective_limit", "max_limit", "min_limit"):
+            if key in admission:
+                family(f"gvdb_slo_admission_{key}", "gauge",
+                       f"Adaptive admission {key.replace('_', ' ')}.").add(
+                    "", base, int(admission[key]))
+        for key in ("increases", "decreases"):
+            if key in admission:
+                family(f"gvdb_slo_admission_{key}_total", "counter",
+                       f"Adaptive admission limit {key} (monotonic).").add(
+                    "", base, int(admission[key]))
+
     latency = summary.get("latency", {})
     if isinstance(latency, dict) and latency:
         fam = family("gvdb_latency_seconds", "histogram",

@@ -37,6 +37,7 @@ from ..core.monitoring import ServiceMetrics
 from ..core.query_manager import KeywordSearchResult, QueryManager, WindowQueryResult
 from ..core.session import ExplorationSession
 from ..errors import QueryError, ServiceError, ServiceOverloadedError
+from ..slo.slo import AdaptiveAdmission
 from ..spatial.geometry import Point, Rect
 from ..storage.database import GraphVizDatabase
 from ..storage.schema import EdgeRow
@@ -134,6 +135,20 @@ class GraphVizDBService:
             max_resident_bytes=self.service_config.pool_max_resident_bytes,
             write_config=self.config.write,
         )
+        # SLO tracking (PR 9): one engine per process fed from the HTTP layer
+        # (record_op_outcome), plus — when enabled — the AIMD controller that
+        # turns the window op's budget burn into the effective admission
+        # limit.  Idempotent: an externally-owned metrics sink keeps its
+        # engine.
+        self.metrics.configure_slo(self.config.slo)
+        self._admission: AdaptiveAdmission | None = None
+        if self.config.slo.adaptive_admission and self.metrics.slo is not None:
+            self._admission = AdaptiveAdmission(
+                self.config.slo,
+                self.service_config.max_queue_depth,
+                self.metrics.slo,
+            )
+            self.metrics.attach_admission(self._admission)
         self.writes = WriteCoordinator(config=self.config, metrics=self.metrics)
         self.maintenance = MaintenanceScheduler(
             config=self.service_config, metrics=self.metrics, pool=self.pool
@@ -233,7 +248,13 @@ class GraphVizDBService:
     def _admit(self, dataset: str) -> None:
         # ServiceMetrics.try_admit is the single queue-depth counter, so the
         # admission decision and the /metrics snapshot can never disagree.
-        limit = self.service_config.max_queue_depth
+        # Under adaptive admission the limit is the AIMD controller's — it
+        # tightens while the window op burns error budget (p99 over target)
+        # and relaxes back toward the configured maximum when it stops.
+        if self._admission is not None:
+            limit = self._admission.effective_limit()
+        else:
+            limit = self.service_config.max_queue_depth
         if self.metrics.try_admit(dataset, limit) is None:
             raise ServiceOverloadedError(
                 dataset, self.metrics.current_queue_depth(dataset), limit
@@ -537,7 +558,29 @@ class GraphVizDBService:
             "replication": (
                 self.replication.status() if self.replication is not None else {}
             ),
+            "slo": self._slo_health(),
         }
+
+    def _slo_health(self) -> dict[str, object]:
+        """Per-op burn-rate alerts + the admission controller's current limit.
+
+        Kept deliberately small (alerts only, not the full budget accounting —
+        that lives in ``/metrics``): health probes are frequent and this dict
+        rides along on every one.
+        """
+        if self.metrics.slo is None:
+            return {}
+        engine = self.metrics.slo
+        snapshot: dict[str, object] = {
+            "alerts": {
+                op: engine.alert(op)
+                for op in sorted(engine.ops())
+                if engine.alert(op) != "ok"
+            },
+        }
+        if self._admission is not None:
+            snapshot["admission_limit"] = self._admission.effective_limit()
+        return snapshot
 
     # ----------------------------------------------------------------- sessions
 

@@ -63,6 +63,7 @@ import asyncio
 import contextlib
 import json
 import random
+import time
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.json_builder import payload_to_json
@@ -85,6 +86,7 @@ from ..obs import (
     end_trace,
     render_prometheus,
 )
+from ..slo.slo import slo_op_for_path
 from ..spatial.geometry import Point, Rect
 from .frontend import GraphVizDBService
 
@@ -296,11 +298,20 @@ async def serve_http(
             )
         route_headers: dict[str, str] = {}
         status = 500
+        started = time.monotonic()
         try:
             status, payload = await handle_one(
                 method, target, request_body, request_headers, route_headers
             )
         finally:
+            # SLO accounting at the outermost layer that still knows the
+            # final status: admission 503s, deadline 504s and handler
+            # failures all consume budget exactly as the client saw them.
+            op = slo_op_for_path(urlsplit(target).path.rstrip("/") or "/")
+            if op is not None:
+                service.metrics.record_op_outcome(
+                    op, time.monotonic() - started, status
+                )
             if trace is not None:
                 trace.finish("ok" if status < 500 else "error")
                 service.traces.add(trace)

@@ -1,0 +1,23 @@
+"""Service-level objectives: error budgets, burn-rate alerts, adaptive
+admission, and the trace-driven load harness (PR 9).
+
+``slo.py`` holds the measurement side — :class:`SLOEngine` turns per-request
+outcomes into rolling error budgets with multi-window burn-rate alerts, and
+:class:`AdaptiveAdmission` feeds the budget burn back into the front-end's
+queue-depth limit (AIMD).  ``loadgen.py`` holds the synthesis side — a
+seeded, deterministic workload generator that replays realistic exploration
+sessions against a live service or router and reports tail latencies.
+"""
+
+from .loadgen import LoadgenConfig, LoadReport, generate_trace, run_trace
+from .slo import AdaptiveAdmission, SLOEngine, slo_op_for_path
+
+__all__ = [
+    "AdaptiveAdmission",
+    "SLOEngine",
+    "slo_op_for_path",
+    "LoadgenConfig",
+    "LoadReport",
+    "generate_trace",
+    "run_trace",
+]

@@ -1,0 +1,402 @@
+"""Seeded, deterministic trace-driven workload generator.
+
+Every bench before this PR drove uniform or repeated-window loops; real
+exploration traffic looks nothing like that.  This module synthesises it:
+
+* **Zipfian dataset popularity** — session datasets are drawn rank-weighted
+  (``1 / rank^s``), so a few datasets absorb most traffic, the regime the
+  router's result cache and the coalescer are built for.
+* **Pan/zoom random walks** — each session opens an exploration session and
+  issues correlated ``pan``/``zoom``/``refresh`` commands with direction
+  momentum (a pan tends to continue the previous pan), modelling a user
+  dragging across a region rather than teleporting.
+* **Keyword bursts** — with configurable probability a session fires a burst
+  of direct ``/keyword`` queries drawn zipfian from a small vocabulary
+  (users re-search the popular terms), plus occasional ``/nearest`` probes
+  at hotspot coordinates; both are exactly the repeat-heavy traffic the
+  keyword/kNN result cache earns its keep on.
+* **A write trickle** — a small fraction of steps POST ``/edit/add_node``,
+  continuously exercising edit-counter cache invalidation under read load.
+
+Generation and execution are separated: :func:`generate_trace` is a pure
+function of ``(datasets, LoadgenConfig)`` — the same seed yields the
+identical op list, byte for byte — and :func:`run_trace` replays a trace
+against any live HTTP endpoint (single-process service or cluster router)
+with keep-alive client threads, recording per-op p50/p95/p99, 503/504
+rates and achieved QPS into a :class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..obs.histogram import Histogram
+
+__all__ = ["LoadgenConfig", "TraceOp", "LoadReport", "generate_trace", "run_trace"]
+
+#: Placeholder substituted with the runtime-assigned session id.
+_SID = "{sid}"
+
+#: Synthetic node ids start here — far above any seeded dataset's ids.
+_WRITE_NODE_BASE = 900_000
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Knobs for one generated workload (all sampling is seed-deterministic).
+
+    ``sessions``
+        Exploration sessions to simulate.
+    ``ops_per_session``
+        Random-walk steps per session (each step emits one or more ops).
+    ``concurrency``
+        Client threads replaying sessions during :func:`run_trace`.
+    ``seed``
+        RNG seed — the whole trace is a pure function of it.
+    ``zipf_s``
+        Zipf exponent for dataset popularity (higher = more skewed).
+    ``keyword_burst_prob`` / ``keyword_burst_len``
+        Per-step probability of a burst of that many direct ``/keyword``
+        queries.
+    ``nearest_prob``
+        Per-step probability of a ``/nearest`` probe at a hotspot point.
+    ``window_prob``
+        Per-step probability of a direct (cacheable) ``/window`` query over
+        the dataset's default viewport.
+    ``zoom_prob``
+        Per-step probability the walk zooms instead of panning.
+    ``write_fraction``
+        Per-step probability of an ``/edit/add_node`` write.
+    ``pan_step_px``
+        Maximum pan step per axis, in pixels.
+    ``keywords``
+        Search vocabulary, sampled zipfian by rank.
+    ``think_time_seconds``
+        Client-side sleep between ops (0 = closed-loop replay).
+    """
+
+    sessions: int = 200
+    ops_per_session: int = 12
+    concurrency: int = 8
+    seed: int = 42
+    zipf_s: float = 1.2
+    keyword_burst_prob: float = 0.15
+    keyword_burst_len: int = 3
+    nearest_prob: float = 0.1
+    window_prob: float = 0.1
+    zoom_prob: float = 0.15
+    write_fraction: float = 0.02
+    pan_step_px: float = 200.0
+    keywords: tuple = ("node", "patent", "alpha", "beta", "graph", "probe")
+    think_time_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sessions <= 0:
+            raise ConfigurationError("sessions must be positive")
+        if self.ops_per_session <= 0:
+            raise ConfigurationError("ops_per_session must be positive")
+        if self.concurrency <= 0:
+            raise ConfigurationError("concurrency must be positive")
+        if self.zipf_s <= 0:
+            raise ConfigurationError("zipf_s must be positive")
+        if self.keyword_burst_len <= 0:
+            raise ConfigurationError("keyword_burst_len must be positive")
+        for name in (
+            "keyword_burst_prob", "nearest_prob", "window_prob", "zoom_prob",
+            "write_fraction",
+        ):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.pan_step_px <= 0:
+            raise ConfigurationError("pan_step_px must be positive")
+        if not self.keywords:
+            raise ConfigurationError("keywords must be non-empty")
+        if self.think_time_seconds < 0:
+            raise ConfigurationError("think_time_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One operation of a generated trace.
+
+    ``target`` may contain the ``{sid}`` placeholder, substituted with the
+    runtime-assigned session id during replay.  ``body`` is the JSON POST
+    payload for writes, ``None`` for GETs.
+    """
+
+    op: str
+    method: str
+    target: str
+    body: str | None = None
+
+
+def _zipf_choice(rng: random.Random, items: list, s: float):
+    """Rank-weighted zipfian sample: weight of rank r (0-based) = 1/(r+1)^s."""
+    weights = [1.0 / (rank + 1) ** s for rank in range(len(items))]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def _session_trace(
+    rng: random.Random, dataset: str, config: LoadgenConfig, write_counter: list
+) -> list[TraceOp]:
+    """One session's op sequence: open, random-walk steps, close."""
+    ops = [TraceOp("session", "GET", f"/session/new?dataset={dataset}")]
+    # Direction momentum: a pan continues the previous heading with jitter.
+    heading_x = rng.uniform(-1.0, 1.0)
+    heading_y = rng.uniform(-1.0, 1.0)
+    for _ in range(config.ops_per_session):
+        roll = rng.random()
+        if roll < config.write_fraction:
+            write_counter[0] += 1
+            node_id = _WRITE_NODE_BASE + write_counter[0]
+            body = json.dumps({
+                "node_id": node_id,
+                "label": f"loadgen-{node_id}",
+                "x": round(rng.uniform(0.0, 500.0), 1),
+                "y": round(rng.uniform(0.0, 500.0), 1),
+            }, sort_keys=True)
+            ops.append(TraceOp(
+                "edit", "POST", f"/edit/add_node?dataset={dataset}", body
+            ))
+            continue
+        roll -= config.write_fraction
+        if roll < config.keyword_burst_prob:
+            for _ in range(config.keyword_burst_len):
+                keyword = _zipf_choice(rng, list(config.keywords), config.zipf_s)
+                ops.append(TraceOp(
+                    "keyword", "GET",
+                    f"/keyword?dataset={dataset}&q={keyword}&limit=20",
+                ))
+            continue
+        roll -= config.keyword_burst_prob
+        if roll < config.nearest_prob:
+            # Hotspot grid: repeated coordinates make kNN caching earnable.
+            x = 100 * rng.randint(0, 4)
+            y = 100 * rng.randint(0, 4)
+            ops.append(TraceOp(
+                "nearest", "GET",
+                f"/nearest?dataset={dataset}&x={x}&y={y}&k=5",
+            ))
+            continue
+        roll -= config.nearest_prob
+        if roll < config.window_prob:
+            ops.append(TraceOp(
+                "window", "GET", f"/window?dataset={dataset}"
+            ))
+            continue
+        roll -= config.window_prob
+        if roll < config.zoom_prob:
+            factor = rng.choice((0.7, 0.7, 1.4))
+            ops.append(TraceOp(
+                "session", "GET", f"/session/{_SID}/zoom?factor={factor}"
+            ))
+            continue
+        # Pan: keep ~the previous heading, occasionally turning.
+        if rng.random() < 0.3:
+            heading_x = rng.uniform(-1.0, 1.0)
+            heading_y = rng.uniform(-1.0, 1.0)
+        dx = round(heading_x * rng.uniform(0.3, 1.0) * config.pan_step_px, 1)
+        dy = round(heading_y * rng.uniform(0.3, 1.0) * config.pan_step_px, 1)
+        ops.append(TraceOp(
+            "session", "GET", f"/session/{_SID}/pan?dx={dx}&dy={dy}"
+        ))
+    ops.append(TraceOp("session", "GET", f"/session/{_SID}/close"))
+    return ops
+
+
+def generate_trace(
+    datasets: list[str], config: LoadgenConfig
+) -> list[list[TraceOp]]:
+    """Generate the full workload: one op list per session.
+
+    Pure and deterministic — the same ``(datasets, config)`` always yields
+    the identical trace (asserted by tests; the property the benchmarks
+    depend on for comparable fixed-vs-adaptive runs).
+    """
+    if not datasets:
+        raise ConfigurationError("generate_trace needs at least one dataset")
+    rng = random.Random(config.seed)
+    ranked = sorted(datasets)  # popularity rank = sorted position
+    write_counter = [0]
+    return [
+        _session_trace(
+            rng, _zipf_choice(rng, ranked, config.zipf_s), config, write_counter
+        )
+        for _ in range(config.sessions)
+    ]
+
+
+@dataclass
+class _OpStats:
+    """Mutable per-op aggregation owned by one client thread (merged later)."""
+
+    count: int = 0
+    errors_503: int = 0
+    errors_504: int = 0
+    errors_other: int = 0
+    latency: Histogram = field(default_factory=Histogram)
+
+
+@dataclass
+class LoadReport:
+    """Aggregated result of one :func:`run_trace` replay."""
+
+    sessions: int
+    ops: int
+    wall_seconds: float
+    qps: float
+    per_op: dict
+    errors_503: int
+    errors_504: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready shape recorded into ``BENCH_slo.json``."""
+        return {
+            "sessions": self.sessions,
+            "ops": self.ops,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "qps": round(self.qps, 1),
+            "errors_503": self.errors_503,
+            "errors_504": self.errors_504,
+            "per_op": self.per_op,
+        }
+
+
+def _replay_session(
+    connection: http.client.HTTPConnection,
+    ops: list[TraceOp],
+    stats: dict[str, _OpStats],
+    think_time: float,
+) -> int:
+    """Replay one session's ops on a keep-alive connection; returns op count."""
+    session_id = None
+    executed = 0
+    for trace_op in ops:
+        target = trace_op.target
+        if _SID in target:
+            if session_id is None:
+                continue  # the open failed; skip the session's stateful ops
+            target = target.replace(_SID, session_id)
+        op_stats = stats.setdefault(trace_op.op, _OpStats())
+        started = time.perf_counter()
+        try:
+            body = (
+                trace_op.body.encode() if trace_op.body is not None else None
+            )
+            connection.request(trace_op.method, target, body=body)
+            response = connection.getresponse()
+            payload = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            # Connection-level failure: count as unavailability, reconnect.
+            status, payload = 503, b""
+            connection.close()
+        executed += 1
+        op_stats.count += 1
+        op_stats.latency.record(time.perf_counter() - started)
+        if status == 503:
+            op_stats.errors_503 += 1
+        elif status == 504:
+            op_stats.errors_504 += 1
+        elif status != 200:
+            op_stats.errors_other += 1
+        elif trace_op.target.startswith("/session/new"):
+            try:
+                session_id = json.loads(payload)["session_id"]
+            except (ValueError, KeyError):
+                session_id = None
+        if think_time:
+            time.sleep(think_time)
+    return executed
+
+
+def run_trace(
+    host: str, port: int, trace: list[list[TraceOp]], config: LoadgenConfig
+) -> LoadReport:
+    """Replay a generated trace with ``config.concurrency`` client threads.
+
+    Sessions are drawn from a shared queue, so the interleaving is
+    load-dependent, but each session's ops stay ordered on one keep-alive
+    connection — the closed-loop shape of a real browser tab.
+    """
+    pending: queue.Queue[list[TraceOp]] = queue.Queue()
+    for session_ops in trace:
+        pending.put(session_ops)
+    num_clients = min(config.concurrency, len(trace))
+    barrier = threading.Barrier(num_clients + 1)
+    merged_lock = threading.Lock()
+    merged: dict[str, _OpStats] = {}
+    executed_total = [0]
+
+    def client() -> None:
+        local: dict[str, _OpStats] = {}
+        executed = 0
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        barrier.wait()
+        try:
+            while True:
+                try:
+                    session_ops = pending.get_nowait()
+                except queue.Empty:
+                    break
+                executed += _replay_session(
+                    connection, session_ops, local, config.think_time_seconds
+                )
+        finally:
+            connection.close()
+        with merged_lock:
+            executed_total[0] += executed
+            for op, op_stats in local.items():
+                into = merged.setdefault(op, _OpStats())
+                into.count += op_stats.count
+                into.errors_503 += op_stats.errors_503
+                into.errors_504 += op_stats.errors_504
+                into.errors_other += op_stats.errors_other
+                into.latency.merge(op_stats.latency)
+
+    threads = [threading.Thread(target=client) for _ in range(num_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    per_op: dict[str, dict] = {}
+    errors_503 = errors_504 = 0
+    for op in sorted(merged):
+        op_stats = merged[op]
+        state = op_stats.latency.state()
+        per_op[op] = {
+            "count": op_stats.count,
+            "p50_ms": round(state["p50"] * 1000, 3),
+            "p95_ms": round(state["p95"] * 1000, 3),
+            "p99_ms": round(state["p99"] * 1000, 3),
+            "errors_503": op_stats.errors_503,
+            "errors_504": op_stats.errors_504,
+            "errors_other": op_stats.errors_other,
+            "error_rate": round(
+                (op_stats.errors_503 + op_stats.errors_504)
+                / max(1, op_stats.count),
+                4,
+            ),
+        }
+        errors_503 += op_stats.errors_503
+        errors_504 += op_stats.errors_504
+    return LoadReport(
+        sessions=len(trace),
+        ops=executed_total[0],
+        wall_seconds=wall,
+        qps=executed_total[0] / wall if wall > 0 else 0.0,
+        per_op=per_op,
+        errors_503=errors_503,
+        errors_504=errors_504,
+    )

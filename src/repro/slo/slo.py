@@ -1,0 +1,341 @@
+"""SLO engine: rolling error budgets, burn-rate alerts, adaptive admission.
+
+The SLI is request-level: a request is **SLO-good** when it succeeded (no
+503/504) *and* finished within its operation's latency target from
+:class:`~repro.config.SLOConfig`; everything else consumes error budget.
+Folding latency into availability this way ("good = fast enough") is the
+standard reduction — with an availability target of 0.99 the budget permits
+1% bad requests, so *budget burning faster than earned* is exactly *the
+operation's p99 sits above its latency target*.
+
+Accounting is windowed, not cumulative: observations land in fixed-width
+time buckets kept in a per-operation ring that spans the slow burn window,
+so burn rates over any lookback up to that span cost O(buckets) with bounded
+memory and no decay approximations.  The clock is injectable, which makes
+the window math (empty windows, budget exhaustion, recovery) exactly
+testable.
+
+Alert semantics follow the multi-window burn-rate pattern:
+
+* **page** — the fast window (default 5 min) burns at >= ``fast_burn_threshold``
+  times the sustainable rate: the budget is being consumed acutely *right
+  now*.
+* **warn** — the slow window (default 1 h) burns at >= ``slow_burn_threshold``:
+  a slower leak that will still exhaust the budget well before it renews.
+* **ok** — otherwise.
+
+:class:`AdaptiveAdmission` closes the loop described in ROADMAP item 5
+("tune admission control against the p99 target instead of queue depth
+alone"): an AIMD controller that multiplicatively cuts the effective
+queue-depth limit while the ``window`` op burns budget and additively
+recovers toward the configured maximum while it does not.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from ..config import SLOConfig
+
+__all__ = ["SLOEngine", "AdaptiveAdmission", "slo_op_for_path"]
+
+#: Alert severity names, index = numeric level exported to Prometheus.
+ALERT_LEVELS = ("ok", "warn", "page")
+
+
+def slo_op_for_path(path: str) -> str | None:
+    """Map an HTTP request path to its SLO operation class.
+
+    Returns ``None`` for paths outside the SLO vocabulary (metrics, health,
+    debug, the replication feed) — those are not user-facing operations.
+    """
+    if path == "/window":
+        return "window"
+    if path == "/keyword":
+        return "keyword"
+    if path == "/nearest":
+        return "nearest"
+    if path.startswith("/edit/"):
+        return "edit"
+    if path == "/session/new" or path.startswith("/session/"):
+        return "session"
+    return None
+
+
+class _OpBudget:
+    """Windowed good/bad accounting for one operation class.
+
+    Observations land in fixed-width time buckets; the ring spans the slow
+    burn window, so any lookback up to that span can be totalled exactly.
+    Monotonic lifetime counters ride along for the ``/metrics`` counters.
+    """
+
+    __slots__ = (
+        "good_total", "bad_total", "errors_503", "errors_504", "slow_total",
+        "_buckets",
+    )
+
+    def __init__(self) -> None:
+        self.good_total = 0
+        self.bad_total = 0
+        self.errors_503 = 0
+        self.errors_504 = 0
+        self.slow_total = 0
+        # Ring of [bucket_id, good, bad], oldest first.
+        self._buckets: deque[list[int]] = deque()
+
+    def add(self, bucket_id: int, good: bool, span_buckets: int) -> None:
+        if self._buckets and self._buckets[-1][0] == bucket_id:
+            bucket = self._buckets[-1]
+        else:
+            bucket = [bucket_id, 0, 0]
+            self._buckets.append(bucket)
+            floor = bucket_id - span_buckets
+            while self._buckets and self._buckets[0][0] <= floor:
+                self._buckets.popleft()
+        bucket[1 if good else 2] += 1
+
+    def window_totals(self, now_id: int, window_buckets: int) -> tuple[int, int]:
+        """``(good, bad)`` over the trailing ``window_buckets`` buckets."""
+        floor = now_id - window_buckets
+        good = bad = 0
+        for bucket_id, bucket_good, bucket_bad in reversed(self._buckets):
+            if bucket_id <= floor:
+                break
+            good += bucket_good
+            bad += bucket_bad
+        return good, bad
+
+
+class SLOEngine:
+    """Turns per-request outcomes into error budgets and burn-rate alerts.
+
+    One engine per process, attached to :class:`ServiceMetrics`; the op
+    vocabulary is the fixed request-class set of :func:`slo_op_for_path`, so
+    state stays bounded.  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self, config: SLOConfig, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ops: dict[str, _OpBudget] = {}
+        # Bucket width: fine enough for ~30 buckets across the fast window,
+        # clamped so neither a tiny test window nor the 1 h default explodes
+        # the ring (default: 5 s buckets, 720 per op over the slow window).
+        self._bucket_seconds = max(
+            0.05, min(5.0, config.fast_burn_window_seconds / 30.0)
+        )
+        self._span_buckets = self._window_buckets(
+            config.slow_burn_window_seconds
+        )
+
+    def _window_buckets(self, window_seconds: float) -> int:
+        return max(1, int(round(window_seconds / self._bucket_seconds)))
+
+    # --------------------------------------------------------------- recording
+
+    def observe(self, op: str, latency_seconds: float, status: int = 200) -> None:
+        """Record one request outcome for ``op``.
+
+        ``status`` 503/504 is an availability failure; a slower-than-target
+        success is a latency failure; both consume budget identically.
+        """
+        target = self.config.latency_target(op)
+        error = status in (503, 504)
+        slow = target is not None and latency_seconds > target
+        good = not error and not slow
+        bucket_id = int(self._clock() / self._bucket_seconds)
+        with self._lock:
+            budget = self._ops.get(op)
+            if budget is None:
+                budget = self._ops.setdefault(op, _OpBudget())
+            budget.add(bucket_id, good, self._span_buckets)
+            if good:
+                budget.good_total += 1
+            else:
+                budget.bad_total += 1
+            if error:
+                if status == 503:
+                    budget.errors_503 += 1
+                else:
+                    budget.errors_504 += 1
+            elif slow:
+                budget.slow_total += 1
+
+    # --------------------------------------------------------------- budget math
+
+    def burn_rate(self, op: str, window_seconds: float) -> float:
+        """Budget consumption over the trailing window, as a multiple of the
+        sustainable rate (1.0 = exactly exhausting the budget as it renews;
+        0.0 for an op with no observations in the window)."""
+        with self._lock:
+            budget = self._ops.get(op)
+            if budget is None:
+                return 0.0
+            now_id = int(self._clock() / self._bucket_seconds)
+            good, bad = budget.window_totals(
+                now_id, self._window_buckets(window_seconds)
+            )
+        total = good + bad
+        if not total:
+            return 0.0
+        allowed = 1.0 - self.config.availability_target
+        return (bad / total) / allowed
+
+    def budget_remaining(self, op: str) -> float:
+        """Fraction of the slow-window error budget still unspent, in [0, 1].
+
+        1.0 with no traffic (an idle op has a full budget); clamped at 0.0
+        once exhausted — the burn rate says how *fast* it went.
+        """
+        with self._lock:
+            budget = self._ops.get(op)
+            if budget is None:
+                return 1.0
+            now_id = int(self._clock() / self._bucket_seconds)
+            good, bad = budget.window_totals(now_id, self._span_buckets)
+        total = good + bad
+        if not total:
+            return 1.0
+        allowed = (1.0 - self.config.availability_target) * total
+        return max(0.0, 1.0 - bad / allowed)
+
+    def alert(self, op: str) -> str:
+        """``"page"`` | ``"warn"`` | ``"ok"`` per the multi-window semantics."""
+        config = self.config
+        if (
+            self.burn_rate(op, config.fast_burn_window_seconds)
+            >= config.fast_burn_threshold
+        ):
+            return "page"
+        if (
+            self.burn_rate(op, config.slow_burn_window_seconds)
+            >= config.slow_burn_threshold
+        ):
+            return "warn"
+        return "ok"
+
+    # ------------------------------------------------------------------ summary
+
+    def ops(self) -> list[str]:
+        """Operation classes with at least one observation, sorted."""
+        with self._lock:
+            return sorted(self._ops)
+
+    def summary(self) -> dict[str, object]:
+        """Per-op SLO snapshot for ``/metrics`` (numeric leaves only, so the
+        Prometheus renderer and ``repro top`` consume it directly)."""
+        config = self.config
+        with self._lock:
+            ops = sorted(self._ops)
+        section: dict[str, object] = {}
+        for op in ops:
+            with self._lock:
+                budget = self._ops[op]
+                good_total = budget.good_total
+                bad_total = budget.bad_total
+                errors_503 = budget.errors_503
+                errors_504 = budget.errors_504
+                slow_total = budget.slow_total
+            alert = self.alert(op)
+            entry: dict[str, object] = {
+                "good": good_total,
+                "bad": bad_total,
+                "errors_503": errors_503,
+                "errors_504": errors_504,
+                "slow": slow_total,
+                "burn_fast": self.burn_rate(
+                    op, config.fast_burn_window_seconds
+                ),
+                "burn_slow": self.burn_rate(
+                    op, config.slow_burn_window_seconds
+                ),
+                "budget_remaining": self.budget_remaining(op),
+                "alert": alert,
+                "alert_level": ALERT_LEVELS.index(alert),
+            }
+            target = config.latency_target(op)
+            if target is not None:
+                entry["target_seconds"] = target
+            section[op] = entry
+        return {
+            "availability_target": config.availability_target,
+            "ops": section,
+        }
+
+
+class AdaptiveAdmission:
+    """AIMD controller mapping budget burn to an effective queue-depth limit.
+
+    Evaluated lazily on the admission path (no extra thread), at most once
+    per ``admission_interval_seconds``:
+
+    * burn over ``admission_burn_window_seconds`` > 1.0 — the ``window`` op
+      is consuming budget faster than it renews (its p99 is above target) —
+      so **multiplicatively** cut the limit by ``admission_backoff_factor``,
+      flooring at ``admission_min_queue_depth``: shed load *before* the
+      queue converts it into tail latency;
+    * otherwise **additively** raise by ``admission_increase_step`` back
+      toward the configured ``max_queue_depth`` ceiling.
+
+    The asymmetry (fast cut, slow recovery) is what keeps the limit stable
+    at the largest depth the current workload can sustain within target.
+    """
+
+    def __init__(
+        self,
+        config: SLOConfig,
+        max_limit: int,
+        engine: SLOEngine,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.max_limit = max_limit
+        self.min_limit = min(config.admission_min_queue_depth, max_limit)
+        self._engine = engine
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._limit = float(max_limit)
+        self._last_eval = clock()
+        self.increases = 0
+        self.decreases = 0
+
+    def effective_limit(self) -> int:
+        """The current limit, re-evaluated if the interval has elapsed."""
+        config = self.config
+        with self._lock:
+            now = self._clock()
+            if now - self._last_eval >= config.admission_interval_seconds:
+                self._last_eval = now
+                burn = self._engine.burn_rate(
+                    "window", config.admission_burn_window_seconds
+                )
+                if burn > 1.0:
+                    cut = self._limit * config.admission_backoff_factor
+                    if cut < self._limit:
+                        self._limit = max(float(self.min_limit), cut)
+                        self.decreases += 1
+                elif self._limit < self.max_limit:
+                    self._limit = min(
+                        float(self.max_limit),
+                        self._limit + config.admission_increase_step,
+                    )
+                    self.increases += 1
+            return max(1, int(self._limit))
+
+    def summary(self) -> dict[str, object]:
+        """Controller state for the ``slo.admission`` metrics subsection."""
+        with self._lock:
+            return {
+                "effective_limit": max(1, int(self._limit)),
+                "max_limit": self.max_limit,
+                "min_limit": self.min_limit,
+                "increases": self.increases,
+                "decreases": self.decreases,
+            }

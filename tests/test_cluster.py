@@ -389,7 +389,8 @@ class TestClusterFailure:
             runtime.router._handles[victim].process.kill()
 
             # The victim's datasets fail over to the survivor on the very
-            # next request (cache off-path: /keyword is never cached).
+            # next request (a keyword probe no one issued before, so the
+            # result cache can't answer it — the miss must hit a worker).
             recovered_at = None
             deadline = time.monotonic() + 10.0
             while time.monotonic() < deadline:
@@ -677,6 +678,43 @@ class TestClusterWrites:
             assert cursor_after is not None
             assert cursor_after.x == pytest.approx(cursor_before.x)
 
+    def test_keyword_and_nearest_cached_and_invalidated_on_write(
+        self, write_shards
+    ):
+        """PR 9 satellite: keyword/kNN responses cache and invalidate
+        exactly like windows — read-after-write must see the new node."""
+        config = _cluster_config(num_workers=2, health_interval_seconds=30.0)
+        with ClusterRuntime(write_shards, config=config) as runtime:
+            port = runtime.port
+            metrics = runtime.router.metrics
+            keyword = "/keyword?dataset=edit-b&q=kw-invalidation-probe"
+            status, first, _ = _get(port, keyword)
+            assert status == 200 and first["num_matches"] == 0
+            status, cached, _ = _get(port, keyword)
+            assert cached == first
+            assert metrics.keyword_cache_hits >= 1
+
+            status, nn_first, _ = _get(port, "/nearest?dataset=edit-b&x=42&y=42&k=3")
+            assert status == 200
+            # Canonical keys: parameter order must not split the cache.
+            status, nn_cached, _ = _get(port, "/nearest?k=3&y=42&x=42&dataset=edit-b")
+            assert nn_cached == nn_first
+            assert metrics.nearest_cache_hits >= 1
+
+            status, ack, _ = _post(port, "/edit/add_node?dataset=edit-b", {
+                "node_id": 880010, "label": "kw-invalidation-probe",
+                "x": 42.0, "y": 42.0,
+            })
+            assert status == 200, ack
+
+            # Read-after-write through the router (health probes are 30 s
+            # away, so only the eager write-path invalidation can explain
+            # a fresh result): the pre-edit cached keyword answer is gone.
+            keyword_hits = metrics.keyword_cache_hits
+            status, after, _ = _get(port, keyword)
+            assert status == 200 and after["num_matches"] == 1
+            assert metrics.keyword_cache_hits == keyword_hits
+
     def test_write_to_unknown_dataset_is_404(self, write_shards):
         with ClusterRuntime(write_shards, config=_cluster_config()) as runtime:
             status, _, _ = _post(runtime.port, "/edit/add_node?dataset=nope", {
@@ -686,7 +724,9 @@ class TestClusterWrites:
 
 
 class TestReadRepeatMeasurement:
-    """Satellite: measure keyword/kNN repeat rates before caching them."""
+    """Measured keyword/kNN repeat rates (PR 5); the rates justified caching
+    them (PR 9), and the counters keep working with the cache in front —
+    repeats are recorded before the cache lookup."""
 
     def test_repeat_rates_recorded_in_metrics(self, live_cluster):
         port = live_cluster.port

@@ -22,7 +22,7 @@ import pytest
 
 from repro import obs
 from repro.cli import main as cli_main
-from repro.config import GraphVizDBConfig, ObservabilityConfig
+from repro.config import GraphVizDBConfig, ObservabilityConfig, SLOConfig
 from repro.core.monitoring import QueryLog, ServiceMetrics
 from repro.obs import (
     NUM_BUCKETS,
@@ -504,6 +504,12 @@ def _deterministic_metrics() -> ServiceMetrics:
     metrics.record_latency("window", 0.004)
     metrics.record_latency("window", 0.016)
     metrics.record_latency("keyword", 0.002)
+    # SLO engine on a frozen clock: burn rates and budgets are exact.
+    metrics.configure_slo(SLOConfig(), clock=lambda: 1000.0)
+    metrics.record_op_outcome("window", 0.001, 200)
+    metrics.record_op_outcome("window", 0.004, 200)
+    metrics.record_op_outcome("window", 9.0, 503)
+    metrics.record_op_outcome("keyword", 0.002, 200)
     return metrics
 
 

@@ -1,0 +1,410 @@
+"""Tests for the SLO subsystem (``repro.slo``): engine, admission, loadgen.
+
+The engine tests drive :class:`SLOEngine` with a manual clock, so the
+window math (empty windows, budget exhaustion, recovery after the window
+rolls past an incident) is asserted exactly rather than sampled.  Loadgen
+tests cover the determinism contract (same seed ⇒ identical trace), the
+zipfian popularity skew, random-walk shape and the write trickle — all
+without a network.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib.parse import parse_qs, urlsplit
+
+import pytest
+
+from repro.config import GraphVizDBConfig, SLOConfig
+from repro.core.monitoring import ServiceMetrics
+from repro.errors import ConfigurationError
+from repro.slo import (
+    AdaptiveAdmission,
+    LoadgenConfig,
+    SLOEngine,
+    generate_trace,
+    slo_op_for_path,
+)
+
+
+class ManualClock:
+    """Injectable monotonic clock advanced explicitly by tests."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _engine(clock: ManualClock, **overrides) -> SLOEngine:
+    defaults = dict(
+        fast_burn_window_seconds=60.0,
+        slow_burn_window_seconds=600.0,
+    )
+    defaults.update(overrides)
+    return SLOEngine(SLOConfig(**defaults), clock=clock)
+
+
+# ---------------------------------------------------------------------------
+# SLOConfig validation
+# ---------------------------------------------------------------------------
+
+
+class TestSLOConfig:
+    def test_defaults_valid(self):
+        config = SLOConfig()
+        assert config.enabled
+        assert config.latency_target("window") == 0.25
+        assert config.latency_target("no-such-op") is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"availability_target": 0.0},
+        {"availability_target": 1.0},
+        {"fast_burn_window_seconds": 0.0},
+        {"fast_burn_window_seconds": 120.0, "slow_burn_window_seconds": 60.0},
+        {"fast_burn_threshold": 0.0},
+        {"admission_min_queue_depth": 0},
+        {"admission_increase_step": 0},
+        {"admission_backoff_factor": 1.0},
+        {"admission_backoff_factor": 0.0},
+        {"admission_interval_seconds": 0.0},
+        {"admission_burn_window_seconds": 0.0},
+        {"latency_targets": (("window", 0.0),)},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SLOConfig(**kwargs)
+
+    def test_default_config_carries_slo(self):
+        assert GraphVizDBConfig().slo.enabled
+
+
+# ---------------------------------------------------------------------------
+# Path → op mapping
+# ---------------------------------------------------------------------------
+
+
+class TestSloOpForPath:
+    @pytest.mark.parametrize("path,op", [
+        ("/window", "window"),
+        ("/keyword", "keyword"),
+        ("/nearest", "nearest"),
+        ("/edit/add_node", "edit"),
+        ("/edit/delete_edge", "edit"),
+        ("/session/new", "session"),
+        ("/session/abc123/pan", "session"),
+        ("/metrics", None),
+        ("/health", None),
+        ("/debug/trace", None),
+        ("/journal/tail", None),
+        ("/datasets", None),
+    ])
+    def test_mapping(self, path, op):
+        assert slo_op_for_path(path) == op
+
+
+# ---------------------------------------------------------------------------
+# SLOEngine window math
+# ---------------------------------------------------------------------------
+
+
+class TestSLOEngine:
+    def test_empty_windows_are_healthy(self):
+        engine = _engine(ManualClock())
+        assert engine.burn_rate("window", 60.0) == 0.0
+        assert engine.budget_remaining("window") == 1.0
+        assert engine.alert("window") == "ok"
+        assert engine.ops() == []
+
+    def test_all_good_traffic_keeps_full_budget(self):
+        engine = _engine(ManualClock())
+        for _ in range(100):
+            engine.observe("window", 0.01)
+        assert engine.burn_rate("window", 60.0) == 0.0
+        assert engine.budget_remaining("window") == 1.0
+        assert engine.alert("window") == "ok"
+
+    def test_latency_breach_consumes_budget(self):
+        engine = _engine(ManualClock())
+        # 2% of requests over the 0.25 s window target: burn = 2% / 1% = 2x.
+        for i in range(100):
+            engine.observe("window", 0.5 if i < 2 else 0.01)
+        assert engine.burn_rate("window", 60.0) == pytest.approx(2.0)
+        summary = engine.summary()["ops"]["window"]
+        assert summary["slow"] == 2
+        assert summary["errors_503"] == 0
+
+    def test_503_504_counted_separately(self):
+        engine = _engine(ManualClock())
+        engine.observe("window", 0.01, status=503)
+        engine.observe("window", 0.01, status=504)
+        engine.observe("window", 0.01)
+        entry = engine.summary()["ops"]["window"]
+        assert entry["errors_503"] == 1
+        assert entry["errors_504"] == 1
+        assert entry["good"] == 1
+        assert entry["bad"] == 2
+
+    def test_budget_exhaustion_clamps_at_zero(self):
+        engine = _engine(ManualClock())
+        for _ in range(50):
+            engine.observe("window", 0.01, status=503)
+        assert engine.budget_remaining("window") == 0.0
+        assert engine.alert("window") == "page"
+
+    def test_recovery_once_window_rolls_past_incident(self):
+        clock = ManualClock()
+        engine = _engine(clock)
+        for _ in range(50):
+            engine.observe("window", 0.01, status=503)
+        assert engine.alert("window") == "page"
+        # The fast window (60 s) rolls past the incident: page clears, but
+        # the slow window (600 s) still remembers — and once it rolls too,
+        # the budget refills entirely.
+        clock.advance(120.0)
+        for _ in range(50):
+            engine.observe("window", 0.01)
+        assert engine.burn_rate("window", 60.0) == 0.0
+        clock.advance(700.0)
+        engine.observe("window", 0.01)
+        assert engine.budget_remaining("window") == 1.0
+        assert engine.alert("window") == "ok"
+
+    def test_page_beats_warn(self):
+        clock = ManualClock()
+        engine = _engine(clock, fast_burn_threshold=10.0, slow_burn_threshold=2.0)
+        # 20% bad = 20x burn in both windows: both thresholds trip, page wins.
+        for i in range(10):
+            engine.observe("window", 0.01, status=503 if i < 2 else 200)
+        assert engine.alert("window") == "page"
+
+    def test_ops_without_latency_target_only_count_errors(self):
+        engine = _engine(ManualClock(), latency_targets=(("window", 0.25),))
+        engine.observe("keyword", 99.0)  # no target: slowness is not bad
+        entry = engine.summary()["ops"]["keyword"]
+        assert entry["good"] == 1 and entry["bad"] == 0
+        assert "target_seconds" not in entry
+
+    def test_summary_shape(self):
+        engine = _engine(ManualClock())
+        engine.observe("window", 0.01)
+        summary = engine.summary()
+        assert summary["availability_target"] == 0.99
+        entry = summary["ops"]["window"]
+        for key in ("good", "bad", "errors_503", "errors_504", "slow",
+                    "burn_fast", "burn_slow", "budget_remaining", "alert",
+                    "alert_level", "target_seconds"):
+            assert key in entry
+        assert entry["alert_level"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Adaptive admission (AIMD)
+# ---------------------------------------------------------------------------
+
+
+def _admission(clock: ManualClock, max_limit: int = 64, **overrides):
+    defaults = dict(
+        adaptive_admission=True,
+        fast_burn_window_seconds=60.0,
+        slow_burn_window_seconds=600.0,
+        admission_interval_seconds=1.0,
+        admission_burn_window_seconds=10.0,
+    )
+    defaults.update(overrides)
+    config = SLOConfig(**defaults)
+    engine = SLOEngine(config, clock=clock)
+    return engine, AdaptiveAdmission(config, max_limit, engine, clock=clock)
+
+
+class TestAdaptiveAdmission:
+    def test_healthy_traffic_keeps_max_limit(self):
+        clock = ManualClock()
+        engine, admission = _admission(clock)
+        for _ in range(10):
+            engine.observe("window", 0.01)
+            clock.advance(1.5)
+        assert admission.effective_limit() == 64
+        assert admission.summary()["decreases"] == 0
+
+    def test_burn_cuts_multiplicatively_to_floor(self):
+        clock = ManualClock()
+        engine, admission = _admission(clock, admission_min_queue_depth=4)
+        limits = []
+        for _ in range(8):
+            # Keep the incident burning inside the 10 s lookback each round.
+            for _ in range(5):
+                engine.observe("window", 9.0, status=503)
+            clock.advance(1.5)
+            limits.append(admission.effective_limit())
+        assert limits[0] == 32 and limits[1] == 16 and limits[2] == 8
+        assert limits[-1] == 4  # floored, never below min_queue_depth
+        assert admission.summary()["decreases"] >= 4
+
+    def test_recovery_is_additive(self):
+        clock = ManualClock()
+        engine, admission = _admission(clock)
+        for _ in range(20):
+            engine.observe("window", 9.0, status=503)
+        clock.advance(1.5)
+        cut = admission.effective_limit()
+        assert cut == 32
+        # The burn window (10 s) rolls past the errors; each interval now
+        # raises the limit by one step.
+        clock.advance(30.0)
+        engine.observe("window", 0.01)
+        for expected in (cut + 1, cut + 2, cut + 3):
+            clock.advance(1.5)
+            assert admission.effective_limit() == expected
+        assert admission.summary()["increases"] >= 3
+
+    def test_evaluation_is_time_gated(self):
+        clock = ManualClock()
+        engine, admission = _admission(clock)
+        for _ in range(20):
+            engine.observe("window", 9.0, status=503)
+        clock.advance(1.5)
+        assert admission.effective_limit() == 32
+        # Within the same interval the limit must not move again.
+        assert admission.effective_limit() == 32
+        clock.advance(1.5)
+        assert admission.effective_limit() == 16
+
+    def test_min_limit_clamped_to_max(self):
+        clock = ManualClock()
+        _, admission = _admission(clock, max_limit=2, admission_min_queue_depth=8)
+        assert admission.min_limit == 2
+
+
+# ---------------------------------------------------------------------------
+# ServiceMetrics wiring
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsWiring:
+    def test_configure_slo_attaches_engine_and_summary_section(self):
+        metrics = ServiceMetrics()
+        metrics.configure_slo(SLOConfig())
+        assert metrics.slo is not None
+        metrics.record_op_outcome("window", 0.01, 200)
+        metrics.record_op_outcome("window", 0.01, 503)
+        section = metrics.summary()["slo"]
+        assert section["ops"]["window"]["good"] == 1
+        assert section["ops"]["window"]["errors_503"] == 1
+
+    def test_configure_slo_first_caller_wins(self):
+        metrics = ServiceMetrics()
+        metrics.configure_slo(SLOConfig(availability_target=0.95))
+        metrics.configure_slo(SLOConfig(availability_target=0.5))
+        assert metrics.slo.config.availability_target == 0.95
+
+    def test_disabled_config_attaches_nothing(self):
+        metrics = ServiceMetrics()
+        metrics.configure_slo(SLOConfig(enabled=False))
+        assert metrics.slo is None
+        metrics.record_op_outcome("window", 0.01, 200)  # no-op, no crash
+        assert metrics.summary()["slo"] == {}
+
+    def test_per_op_cache_hit_attribution(self):
+        metrics = ServiceMetrics()
+        metrics.record_cache_hit()
+        metrics.record_cache_hit("keyword")
+        metrics.record_cache_hit("nearest")
+        metrics.record_cache_miss("keyword")  # keyword misses not tracked
+        summary = metrics.summary()["cluster"]
+        assert summary["window_cache_hits"] == 1
+        assert summary["keyword_cache_hits"] == 1
+        assert summary["nearest_cache_hits"] == 1
+        assert summary["window_cache_misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Loadgen: determinism and distribution shape
+# ---------------------------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_same_seed_identical_trace(self):
+        config = LoadgenConfig(sessions=40, ops_per_session=10, seed=7)
+        first = generate_trace(["a", "b", "c"], config)
+        second = generate_trace(["a", "b", "c"], config)
+        assert first == second
+
+    def test_different_seed_differs(self):
+        datasets = ["a", "b", "c"]
+        first = generate_trace(datasets, LoadgenConfig(sessions=40, seed=1))
+        second = generate_trace(datasets, LoadgenConfig(sessions=40, seed=2))
+        assert first != second
+
+    def test_zipfian_dataset_popularity(self):
+        config = LoadgenConfig(sessions=300, ops_per_session=4, seed=11)
+        trace = generate_trace(["a", "b", "c", "d"], config)
+        counts = {name: 0 for name in "abcd"}
+        for session in trace:
+            dataset = parse_qs(urlsplit(session[0].target).query)["dataset"][0]
+            counts[dataset] += 1
+        # Rank 1 must dominate and the tail must still be nonzero.
+        assert counts["a"] > counts["d"]
+        assert counts["a"] > config.sessions / 3
+        assert all(count > 0 for count in counts.values())
+
+    def test_session_shape_open_walk_close(self):
+        config = LoadgenConfig(sessions=5, ops_per_session=8, seed=3)
+        for session in generate_trace(["a"], config):
+            assert session[0].target.startswith("/session/new?dataset=")
+            assert session[-1].target == "/session/{sid}/close"
+            assert len(session) >= config.ops_per_session  # bursts add ops
+
+    def test_pan_steps_bounded_by_config(self):
+        config = LoadgenConfig(sessions=50, ops_per_session=10, seed=5,
+                               pan_step_px=100.0)
+        pans = 0
+        for session in generate_trace(["a"], config):
+            for trace_op in session:
+                if "/pan?" in trace_op.target:
+                    pans += 1
+                    params = parse_qs(urlsplit(trace_op.target).query)
+                    assert abs(float(params["dx"][0])) <= config.pan_step_px
+                    assert abs(float(params["dy"][0])) <= config.pan_step_px
+        assert pans > 50  # pans dominate the walk by construction
+
+    def test_write_trickle_present_with_unique_node_ids(self):
+        config = LoadgenConfig(sessions=100, ops_per_session=10, seed=9,
+                               write_fraction=0.1)
+        node_ids = []
+        for session in generate_trace(["a", "b"], config):
+            for trace_op in session:
+                if trace_op.op == "edit":
+                    assert trace_op.method == "POST"
+                    body = json.loads(trace_op.body)
+                    node_ids.append(body["node_id"])
+                    assert body["label"] == f"loadgen-{body['node_id']}"
+        assert node_ids and len(node_ids) == len(set(node_ids))
+
+    def test_keyword_bursts_are_consecutive(self):
+        config = LoadgenConfig(sessions=60, ops_per_session=10, seed=13,
+                               keyword_burst_prob=0.3, keyword_burst_len=3)
+        burst_runs = 0
+        for session in generate_trace(["a"], config):
+            run = 0
+            for trace_op in session:
+                if trace_op.op == "keyword":
+                    run += 1
+                else:
+                    if run:
+                        assert run % config.keyword_burst_len == 0
+                        burst_runs += 1
+                    run = 0
+        assert burst_runs > 5
+
+    def test_rejects_empty_datasets_and_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace([], LoadgenConfig())
+        with pytest.raises(ConfigurationError):
+            LoadgenConfig(sessions=0)
+        with pytest.raises(ConfigurationError):
+            LoadgenConfig(write_fraction=1.5)
