@@ -276,6 +276,67 @@ def test_router_throughput_vs_single_process(cluster_shards, capsys):
     )
 
 
+def test_resident_memory_per_worker(cluster_shards, capsys):
+    """Per-worker resident memory at 1/2/4 workers (ROADMAP item 2 baseline).
+
+    Each fleet size serves one warm pass plus one full client tour, then the
+    router's ``/debug/memory`` fan-out reports every worker's RSS and the
+    router's own.  The trajectory records the per-worker mean and the fleet
+    total so later PRs (shared read-only segments, pool eviction tuning) have
+    a number to move.  Assertion is sanity-only — real RSS varies with the
+    allocator and the platform — but every entry carries real measurements.
+    """
+    paths, targets = cluster_shards
+    measurements: dict[str, object] = {"kind": "memory_per_worker"}
+    lines: list[str] = []
+    for num_workers in WORKER_COUNTS:
+        with ClusterRuntime(paths, config=_cluster_config(num_workers)) as runtime:
+            _warm(runtime.port, targets)
+            _drive_clients(runtime.port, targets)
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", runtime.port, timeout=30
+            )
+            try:
+                connection.request("GET", "/debug/memory")
+                response = connection.getresponse()
+                body = response.read()
+                assert response.status == 200, body[:200]
+            finally:
+                connection.close()
+            report = json.loads(body)
+        workers = report["workers"]
+        assert len(workers) == num_workers, sorted(workers)
+        worker_rss = [
+            int((entry.get("sample") or {}).get("rss_bytes", 0))
+            for entry in workers.values()
+        ]
+        assert all(rss > 0 for rss in worker_rss), workers
+        router_rss = int(report["router"].get("rss_bytes", 0))
+        per_worker_mb = sum(worker_rss) / len(worker_rss) / 1e6
+        fleet_mb = int(report["fleet"].get("rss_bytes", 0)) / 1e6
+        measurements[f"workers_{num_workers}_rss_mb_per_worker"] = per_worker_mb
+        measurements[f"workers_{num_workers}_fleet_rss_mb"] = fleet_mb
+        measurements[f"workers_{num_workers}_router_rss_mb"] = router_rss / 1e6
+        lines.append(
+            f"  {num_workers} worker(s) : {per_worker_mb:7.1f} MB/worker, "
+            f"fleet {fleet_mb:7.1f} MB (router {router_rss / 1e6:.1f} MB)"
+        )
+    record_trajectory(measurements)
+    with capsys.disabled():
+        print()
+        print(f"Resident memory by fleet size ({NUM_SHARDS} shards, after one "
+              f"warm pass + one client tour):")
+        for line in lines:
+            print(line)
+        print(format_comparison(
+            "per-worker resident memory across fleet sizes",
+            "ISSUE 10: baseline trajectory for ROADMAP item 2 "
+            "(memory footprint of scale-out)",
+            f"{measurements['workers_4_rss_mb_per_worker']:.1f} MB/worker at 4 workers",
+            True,
+        ))
+
+
 def test_crash_recovery_within_health_interval(cluster_shards, capsys):
     """A killed worker's shards must serve again within one health interval."""
     paths, _ = cluster_shards

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Regression gate over the ``BENCH_*.json`` trajectory files.
+
+Every benchmark appends one JSON entry per run to a ``BENCH_<area>.json``
+file at the repo root (the "trajectory" convention — see ROADMAP.md).  This
+script compares, for each (dataset, kind, scale) series in each file, the
+**latest** entry against the **previous** one and flags metrics that moved
+in the *bad* direction by more than a threshold (default 20 %).
+
+Directionality is keyed off naming conventions, not a hand-maintained table:
+
+* lower-is-better: ``*_ms`` / ``*_ns`` / ``*_seconds`` timings, ``p50`` /
+  ``p95`` / ``p99`` quantiles, ``*latency*``, ``*overhead*``, ``*lost*``;
+* higher-is-better: ``*_per_second``, ``*speedup*``, ``*throughput*``,
+  ``*qps*``, ``*cache_hits*``;
+* everything else (timestamps, seeds, scales, configuration echoes) is
+  ignored — configuration is part of the series key, not a metric.
+
+Exit status is 0 with warnings printed by default (benchmarks on shared CI
+runners are noisy; a hard gate on every wiggle would cry wolf), and nonzero
+under ``--strict`` when any regression exceeds the threshold.  A plain-text
+report is always written (``--report``, default ``bench_check_report.txt``)
+so CI can archive it next to the trajectory files themselves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Suffixes/substrings marking a metric where a *decrease* is an improvement.
+_LOWER_IS_BETTER = (
+    "_ms", "_ns", "_seconds", "latency", "overhead", "lost",
+    "p50", "p95", "p99",
+)
+
+#: Suffixes/substrings marking a metric where an *increase* is an improvement.
+_HIGHER_IS_BETTER = (
+    "per_second", "speedup", "throughput", "qps", "cache_hits",
+)
+
+
+def metric_direction(key: str) -> int:
+    """``-1`` if lower is better, ``+1`` if higher is better, ``0`` to skip.
+
+    Higher-is-better patterns win ties: ``records_per_second`` contains no
+    lower marker, but a hypothetical ``recovery_ms_per_second`` is a rate.
+    """
+    lowered = key.lower()
+    if any(marker in lowered for marker in _HIGHER_IS_BETTER):
+        return 1
+    if any(lowered.endswith(marker) or marker in lowered
+           for marker in _LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def series_key(entry: dict) -> tuple:
+    """The identity of one benchmark series within a trajectory file.
+
+    Entries at different scales (or datasets, or kinds) measure different
+    workloads; comparing across them would manufacture regressions.
+    """
+    return (
+        str(entry.get("dataset", "")),
+        str(entry.get("kind", "")),
+        str(entry.get("scale", "")),
+    )
+
+
+def compare_entries(previous: dict, latest: dict, threshold: float) -> list[dict]:
+    """All directional metrics that regressed past ``threshold`` (ratio)."""
+    regressions = []
+    for key, new_value in latest.items():
+        direction = metric_direction(key)
+        if direction == 0:
+            continue
+        old_value = previous.get(key)
+        if (
+            isinstance(new_value, bool) or isinstance(old_value, bool)
+            or not isinstance(new_value, (int, float))
+            or not isinstance(old_value, (int, float))
+            or old_value <= 0
+        ):
+            continue
+        change = (new_value - old_value) / old_value
+        # A regression is movement *against* the metric's good direction.
+        regressed = change > threshold if direction < 0 else change < -threshold
+        if regressed:
+            regressions.append({
+                "metric": key,
+                "previous": old_value,
+                "latest": new_value,
+                "change_pct": 100.0 * change,
+                "direction": "lower-is-better" if direction < 0
+                else "higher-is-better",
+            })
+    return regressions
+
+
+def check_file(path: Path, threshold: float) -> tuple[list[str], int]:
+    """Check one trajectory file; returns (report lines, regression count)."""
+    lines: list[str] = []
+    try:
+        entries = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{path.name}: unreadable ({exc})"], 0
+    if not isinstance(entries, list):
+        return [f"{path.name}: not a trajectory list; skipped"], 0
+    series: dict[tuple, list[dict]] = {}
+    for entry in entries:
+        if isinstance(entry, dict):
+            series.setdefault(series_key(entry), []).append(entry)
+    total = 0
+    for key in sorted(series):
+        history = series[key]
+        label = "/".join(part for part in key if part) or "(default)"
+        if len(history) < 2:
+            lines.append(f"{path.name} [{label}]: only one entry; baseline only")
+            continue
+        previous, latest = history[-2], history[-1]
+        regressions = compare_entries(previous, latest, threshold)
+        if not regressions:
+            lines.append(f"{path.name} [{label}]: ok "
+                         f"({latest.get('recorded_at', '?')} vs "
+                         f"{previous.get('recorded_at', '?')})")
+            continue
+        total += len(regressions)
+        for item in regressions:
+            lines.append(
+                f"{path.name} [{label}]: REGRESSION {item['metric']} "
+                f"{item['previous']:.6g} -> {item['latest']:.6g} "
+                f"({item['change_pct']:+.1f} %, {item['direction']})"
+            )
+    return lines, total
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=str(Path(__file__).resolve().parent.parent),
+                        help="directory holding the BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative regression threshold (default 0.2 = 20%%)")
+    parser.add_argument("--report", default="bench_check_report.txt",
+                        help="plain-text report output path")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when any regression exceeds the "
+                             "threshold (default: warn only)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print(f"no BENCH_*.json files under {root}", file=sys.stderr)
+        return 2
+
+    all_lines: list[str] = []
+    regressions = 0
+    for path in paths:
+        lines, count = check_file(path, args.threshold)
+        all_lines.extend(lines)
+        regressions += count
+    verdict = (
+        f"{regressions} regression(s) past {100.0 * args.threshold:.0f}% "
+        f"across {len(paths)} trajectory file(s)"
+    )
+    all_lines.append(verdict)
+    report_text = "\n".join(all_lines) + "\n"
+    print(report_text, end="")
+    Path(args.report).write_text(report_text)
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

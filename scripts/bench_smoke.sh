@@ -9,7 +9,9 @@
 #   * replica reads + owner promotion             -> BENCH_replication.json
 #   * tracing/histogram overhead on the hot path  -> BENCH_obs.json
 #   * trace-driven loadgen, fixed vs adaptive SLO -> BENCH_slo.json
-# so every PR has a perf baseline to compare against.  Also runs the
+# so every PR has a perf baseline to compare against, then runs the
+# bench_check.py regression gate (latest vs previous entry per series,
+# warn past 20%; see scripts/bench_check.py --strict).  Also runs the
 # 2-worker cluster lifecycle smoke (start, query through the router, kill a
 # worker, query again, drain) and the fault-injection chaos smoke (which
 # includes the replication chaos scenario: owner SIGKILL mid-feed, replica
@@ -240,3 +242,5 @@ for entry in history[-4:]:
         f"(target {entry['window_p99_target_ms']:.0f}ms)"
     )
 PYEOF
+echo "regression gate (latest vs previous entry per trajectory series):"
+python scripts/bench_check.py --report bench_check_report.txt

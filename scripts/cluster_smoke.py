@@ -9,14 +9,17 @@ worker processes, and walks the lifecycle the subsystem exists for:
 
 1. window + keyword queries through the router (both shards);
 2. a repeated window served by the cross-request cache;
-3. a ``POST /edit/add_node`` through the router — the ack carries the
+3. a fleet-wide ``/debug/profile`` under cache-busting window load — the
+   merged collapsed stacks must attribute samples to the ``window`` op —
+   written to ``profile.collapsed``, plus ``/debug/memory`` aggregation;
+4. a ``POST /edit/add_node`` through the router — the ack carries the
    journal sequence, the cached window invalidates eagerly, and the edit is
    immediately visible to the next read;
-4. SIGKILL the worker that owns the edited shard, then query it again —
+5. SIGKILL the worker that owns the edited shard, then query it again —
    failover to the survivor must answer 200 *with the acknowledged edit
    present* (cold open + write-ahead-journal replay), and the supervisor
    must bring a replacement back to healthy;
-5. graceful drain.
+6. graceful drain.
 
 Prints a JSON summary and exits non-zero on any failed expectation.
 """
@@ -28,6 +31,7 @@ import json
 import re
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -150,6 +154,103 @@ def main() -> int:
             assert 0.0 <= state["p50"] <= state["p95"] <= state["p99"], state
         summary["latency_percentiles_ok"] = True
         summary["prometheus_samples"] = check_prometheus(port)
+
+        # Fleet-wide continuous profiling: hammer cache-busting windows on
+        # both shards while /debug/profile fans out to both workers, then
+        # check the merged collapsed stacks attribute window-serving frames
+        # to the ``window`` op and write the flamegraph-ready file CI
+        # archives as an artifact.
+        stop_load = threading.Event()
+
+        def window_load(index: int) -> None:
+            # Every request targets a distinct window (no two loaders, no two
+            # steps repeat), so nothing is served from the router's result
+            # cache and the workers actually evaluate windows under load.
+            # One keep-alive connection per loader: per-request connection
+            # churn would throttle the rate and starve the worker executors
+            # of the very work the profile is supposed to catch.
+            connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                    timeout=10.0)
+            step = 0
+            while not stop_load.is_set():
+                step += 1
+                name = "smoke-a" if step % 2 else "smoke-b"
+                offset = (step * 0.1371 + index * 7.31) % 60.0
+                target = (f"/window?dataset={name}&payload=1"
+                          f"&min_x={offset:.4f}&min_y={offset:.4f}"
+                          f"&max_x={offset + 40:.4f}&max_y={offset + 40:.4f}")
+                try:
+                    connection.request("GET", target)
+                    connection.getresponse().read()
+                except Exception:
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        "127.0.0.1", port, timeout=10.0
+                    )
+                    if stop_load.is_set():
+                        break
+                    time.sleep(0.01)
+            connection.close()
+
+        from repro.obs import format_collapsed, merge_collapsed
+
+        loaders = [threading.Thread(target=window_load, args=(index,),
+                                    daemon=True)
+                   for index in range(6)]
+        for loader in loaders:
+            loader.start()
+        stacks: dict[str, int] = {}
+        window_stacks: dict[str, int] = {}
+        try:
+            # The window work is a thin slice of a smoke-sized fleet's time,
+            # so one short collection can miss it; merge up to three
+            # collections (merging collapsed stacks is the router's own
+            # fan-in operation) and stop as soon as window-op samples land.
+            for _ in range(3):
+                status, profile = get(
+                    port, "/debug/profile?seconds=2&hz=499", timeout=30.0
+                )
+                assert status == 200, f"fleet profile failed: {status} {profile}"
+                assert len(profile["workers"]) == 2, profile["workers"]
+                assert profile["samples"] > 0, "profiler collected no samples"
+                stacks = merge_collapsed([stacks, {
+                    str(key): int(count)
+                    for key, count in profile["stacks"].items()
+                }])
+                window_stacks = {
+                    key: count for key, count in stacks.items()
+                    if key.split(";", 1)[0].startswith("window")
+                }
+                if window_stacks:
+                    break
+        finally:
+            stop_load.set()
+            for loader in loaders:
+                loader.join(timeout=5.0)
+        assert window_stacks, (
+            "no samples attributed to the window op; ops seen: "
+            + str(sorted({key.split(';', 1)[0] for key in stacks}))
+        )
+        collapsed_path = Path(__file__).resolve().parents[1] / "profile.collapsed"
+        collapsed_path.write_text(format_collapsed(stacks))
+        summary["profile_samples"] = sum(stacks.values())
+        summary["profile_window_samples"] = sum(window_stacks.values())
+        summary["profile_written"] = str(collapsed_path)
+
+        # Fleet memory accounting: the router's /debug/memory aggregates
+        # both workers' samples plus its own RSS and cache bytes.
+        status, memory = get(port, "/debug/memory?n=5")
+        assert status == 200, f"fleet memory debug failed: {status}"
+        assert len(memory["workers"]) == 2, memory["workers"]
+        assert memory["fleet"]["rss_bytes"] > 0, memory["fleet"]
+        assert memory["router"]["rss_bytes"] > 0, memory["router"]
+        status, merged = get(port, "/metrics")
+        assert status == 200 and merged["memory"]["rss_bytes"] > 0, (
+            "merged metrics missing fleet memory section"
+        )
+        summary["memory_fleet_rss_mb"] = round(
+            memory["fleet"]["rss_bytes"] / (1024 * 1024)
+        )
 
         # Durable write through the router: journalled ack + eager cache
         # invalidation (the cached smoke-a window from step 2 must go stale

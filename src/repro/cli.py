@@ -213,6 +213,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         observability=ObservabilityConfig(
             trace_enabled=not args.no_trace,
             slow_trace_seconds=args.slow_trace_ms / 1000.0,
+            tracemalloc_enabled=args.tracemalloc,
         ),
     )
     datasets: dict[str, str] = {}
@@ -346,6 +347,19 @@ def _serve_smoke(service, requests: int, clients: int) -> int:
     return 0
 
 
+def _format_bytes(value: object) -> str:
+    """Human-readable byte count for the ``top``/``profile`` panes."""
+    try:
+        count = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024.0 or unit == "GiB":
+            return f"{count:.0f}{unit}" if unit == "B" else f"{count:.1f}{unit}"
+        count /= 1024.0
+    return f"{count:.1f}GiB"
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     """Live per-dataset serving table, polled from ``/metrics`` + ``/health``.
 
@@ -447,6 +461,20 @@ def cmd_top(args: argparse.Namespace) -> int:
                       f"/{admission.get('max_limit', '?')}  "
                       f"cuts={admission.get('decreases', 0)}  "
                       f"raises={admission.get('increases', 0)}")
+            memory = metrics.get("memory") or {}
+            if isinstance(memory, dict):
+                components = sorted(
+                    key for key in memory
+                    if key.endswith("_bytes") and key != "peak_rss_bytes"
+                    and isinstance(memory.get(key), (int, float))
+                )
+                if components:
+                    panes = "  ".join(
+                        f"{key[:-len('_bytes')]}={_format_bytes(memory[key])}"
+                        for key in components
+                    )
+                    print(f"memory     {panes}  "
+                          f"peak={_format_bytes(memory.get('peak_rss_bytes', 0))}")
             datasets = sorted(set(completed) | set(queue_depth) | set(lags))
             print(f"{'dataset':<16} {'qps':>8} {'queue':>6} {'lag':>6}")
             for dataset in datasets:
@@ -462,6 +490,64 @@ def cmd_top(args: argparse.Namespace) -> int:
             previous_at = now
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Collect a sampling profile from a running server (or whole cluster).
+
+    Hits ``GET /debug/profile`` — against a router that fans out to every
+    alive worker and merges the collapsed stacks fleet-wide — writes the
+    result in collapsed-stack format (one ``op;frame;...;frame count`` line
+    per stack, directly consumable by flamegraph tooling), and prints the
+    per-op sample split plus the hottest frames.
+    """
+    import urllib.error
+    import urllib.request
+
+    from .obs import format_collapsed, op_totals, top_frames
+
+    base = f"http://{args.host}:{args.port}"
+    query = f"/debug/profile?seconds={args.seconds:g}"
+    if args.hz:
+        query += f"&hz={args.hz}"
+    try:
+        with urllib.request.urlopen(
+            base + query, timeout=args.seconds + 30.0
+        ) as response:
+            payload = json.loads(response.read())
+    except (OSError, urllib.error.URLError) as exc:
+        raise SystemExit(f"cannot reach {base}: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"unexpected profile payload from {base}")
+    stacks = {
+        str(key): int(value)
+        for key, value in (payload.get("stacks") or {}).items()
+    }
+    output = Path(args.output)
+    output.write_text(format_collapsed(stacks))
+    samples = int(payload.get("samples", 0))
+    print(f"{samples} samples over {payload.get('seconds', '?')}s "
+          f"@ {payload.get('hz', '?')}Hz -> {output}")
+    workers = payload.get("workers")
+    if isinstance(workers, dict) and workers:
+        print("per-worker samples: " + "  ".join(
+            f"{worker_id}={int(info.get('samples', 0))}"
+            for worker_id, info in sorted(workers.items())
+            if isinstance(info, dict)
+        ))
+    totals = op_totals(stacks)
+    if totals:
+        print(f"\n{'op':<24} {'samples':>8} {'share %':>8}")
+        for op, count in sorted(totals.items(), key=lambda item: -item[1]):
+            share = 100.0 * count / samples if samples else 0.0
+            print(f"{op:<24} {count:>8} {share:>8.1f}")
+    frames = top_frames(stacks, args.top)
+    if frames:
+        print(f"\n{'frame':<56} {'self':>8} {'total':>8}")
+        for entry in frames:
+            print(f"{str(entry['frame'])[:56]:<56} "
+                  f"{entry['self']:>8} {entry['total']:>8}")
     return 0
 
 
@@ -625,6 +711,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-trace", action="store_true",
                        help="disable request tracing (spans, /debug/trace, "
                             "the slow-query log)")
+    serve.add_argument("--tracemalloc", action="store_true",
+                       help="enable tracemalloc allocation tracking (adds "
+                            "overhead; per-site breakdown at GET /debug/memory)")
     serve.set_defaults(handler=cmd_serve)
 
     top = subparsers.add_parser(
@@ -638,6 +727,24 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--iterations", type=int, default=0,
                      help="stop after this many polls (0 = until Ctrl-C)")
     top.set_defaults(handler=cmd_top)
+
+    profile = subparsers.add_parser(
+        "profile", help="collect a sampling profile from a running server or "
+                        "cluster router and write collapsed stacks"
+    )
+    profile.add_argument("--host", default="127.0.0.1")
+    profile.add_argument("--port", type=int, default=8080)
+    profile.add_argument("--seconds", type=float, default=2.0,
+                         help="sampling window (server clamps to its "
+                              "profile_max_seconds)")
+    profile.add_argument("--hz", type=int, default=0,
+                         help="sampling frequency (0 = server default)")
+    profile.add_argument("--output", default="profile.collapsed",
+                         help="collapsed-stack output file "
+                              "(flamegraph.pl/speedscope compatible)")
+    profile.add_argument("--top", type=int, default=15,
+                         help="hottest frames to print (default 15)")
+    profile.set_defaults(handler=cmd_profile)
 
     loadgen = subparsers.add_parser(
         "loadgen", help="replay a seeded multi-session exploration trace "

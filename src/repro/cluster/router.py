@@ -66,7 +66,11 @@ span) and a slow-query log behind ``GET /debug/slow``.  The aggregated
 ``/metrics`` merges per-worker latency histograms bucket-wise and recomputes
 fleet-wide p50/p95/p99 (percentiles are not additive), and
 ``/metrics?format=prometheus`` renders the Prometheus text exposition — see
-``docs/observability.md``.
+``docs/observability.md``.  ``GET /debug/profile`` fans a sampling-profiler
+collection out to every alive worker and merges the collapsed stacks
+fleet-wide; ``GET /debug/memory`` aggregates per-worker memory samples with
+the router's own footprint (process RSS plus result-cache bytes), which is
+also folded into the merged ``/metrics`` ``memory`` section.
 
 Shutdown is a **drain**: stop admitting (503 + ``Retry-After``), close the
 listener, wait for in-flight proxied requests to finish (bounded by
@@ -535,6 +539,10 @@ class ClusterRouter:
                 "threshold_seconds": self.traces.slow_threshold_seconds,
                 "traces": self.traces.slowest(count),
             })
+        if path == "/debug/profile":
+            return await self._fanout_profile(params)
+        if path == "/debug/memory":
+            return await self._fanout_memory(params)
 
         # Everything else belongs to one dataset's owner.
         if path == "/session/new":
@@ -1361,8 +1369,125 @@ class ClusterRouter:
             for state in latency.values():
                 if isinstance(state, dict) and "buckets" in state:
                     state.update(percentiles_from_state(state))
+        # Resource accounting (PR 10): fold the router's own footprint into
+        # the merged ``memory`` section.  Byte gauges sum (the fleet total
+        # now includes the router process and its result cache); the RSS
+        # high-water mark rides the same ``peak*`` max rule as the workers'.
+        memory = merged.setdefault("memory", {})
+        if isinstance(memory, dict):
+            router_memory = self._memory_contribution()
+            _merge_into(memory, router_memory)
+            memory["peak_rss_bytes"] = max(
+                int(memory.get("peak_rss_bytes", 0) or 0),
+                int(router_memory.get("rss_bytes", 0)),
+            )
         merged["router"] = self.health_summary()
         return merged
+
+    def _memory_contribution(self) -> dict[str, int]:
+        """The router process's own attributed bytes (merge-ready keys)."""
+        cache = self.cache.summary()
+        return {
+            "rss_bytes": obs.read_rss_bytes(),
+            "cache_bytes": int(cache.get("bytes", 0)),
+            "cache_stale_bytes": int(cache.get("stale_bytes", 0)),
+        }
+
+    async def _fanout_profile(self, params: dict[str, str]) -> tuple[int, bytes]:
+        """Profile the whole fleet: collect on every alive worker, merge stacks.
+
+        Every worker samples concurrently for the same window, so wall-clock
+        cost is one collection, not one per worker.  Collapsed stacks merge
+        by key-wise count summing (:func:`repro.obs.merge_collapsed` — the
+        frame format omits line numbers precisely so stacks from different
+        processes land on the same keys); per-worker sample counts stay
+        visible so a worker drowning in its own work stands out.
+        """
+        try:
+            seconds = float(params.get("seconds", "2"))
+        except ValueError:
+            seconds = 2.0
+        seconds = min(max(seconds, 0.05), self.obs_config.profile_max_seconds)
+        query: dict[str, str] = {"seconds": f"{seconds:g}"}
+        if "hz" in params:
+            with contextlib.suppress(ValueError):
+                query["hz"] = str(int(params["hz"]))
+        target = "/debug/profile?" + urlencode(query)
+        timeout = seconds + 10.0
+
+        async def collect(worker_id: str) -> tuple[str, dict | None]:
+            client = self._clients[worker_id]
+            try:
+                status, decoded = await client.get_json(
+                    target, timeout_seconds=timeout
+                )
+            except WorkerUnavailableError:
+                return worker_id, None
+            if status == 200 and isinstance(decoded, dict):
+                return worker_id, decoded
+            return worker_id, None
+
+        results = await asyncio.gather(
+            *(collect(worker_id) for worker_id in self.alive_workers())
+        )
+        profiles = {wid: decoded for wid, decoded in results if decoded is not None}
+        if not profiles:
+            return 503, _json_bytes({"error": "no worker produced a profile"})
+        merged_stacks = obs.merge_collapsed(
+            [dict(p.get("stacks", {})) for p in profiles.values()]
+        )
+        return 200, _json_bytes({
+            "seconds": seconds,
+            "hz": max(int(p.get("hz", 0)) for p in profiles.values()),
+            "samples": sum(int(p.get("samples", 0)) for p in profiles.values()),
+            "ticks": sum(int(p.get("ticks", 0)) for p in profiles.values()),
+            "stacks": merged_stacks,
+            "workers": {
+                wid: {
+                    "samples": int(p.get("samples", 0)),
+                    "ticks": int(p.get("ticks", 0)),
+                }
+                for wid, p in sorted(profiles.items())
+            },
+        })
+
+    async def _fanout_memory(self, params: dict[str, str]) -> tuple[int, bytes]:
+        """Fleet memory debug: per-worker samples plus the router's own."""
+        try:
+            top_n = max(1, min(int(params.get("n", "10")), 100))
+        except ValueError:
+            top_n = 10
+        target = f"/debug/memory?n={top_n}"
+
+        async def collect(worker_id: str) -> tuple[str, dict | None]:
+            client = self._clients[worker_id]
+            try:
+                status, decoded = await client.get_json(
+                    target,
+                    timeout_seconds=self.cluster_config.health_timeout_seconds,
+                )
+            except WorkerUnavailableError:
+                return worker_id, None
+            if status == 200 and isinstance(decoded, dict):
+                return worker_id, decoded
+            return worker_id, None
+
+        results = await asyncio.gather(
+            *(collect(worker_id) for worker_id in self.alive_workers())
+        )
+        workers = {wid: decoded for wid, decoded in results if decoded is not None}
+        fleet: dict[str, object] = {}
+        for decoded in workers.values():
+            sample = decoded.get("sample")
+            if isinstance(sample, dict):
+                _merge_into(fleet, sample)
+        router_memory = self._memory_contribution()
+        _merge_into(fleet, router_memory)
+        return 200, _json_bytes({
+            "fleet": fleet,
+            "router": router_memory,
+            "workers": dict(sorted(workers.items())),
+        })
 
     async def _grafted_trace(self, payload: dict) -> dict:
         """Attach worker-side span trees to the router's view of one trace.

@@ -626,6 +626,22 @@ class ObservabilityConfig:
     ``query_log_records``
         Per-query records :class:`repro.core.monitoring.QueryLog` keeps in
         its bounded deques (aggregate stats stay exact via histograms).
+    ``profile_hz``
+        Default sampling rate for ``GET /debug/profile`` / ``repro profile``
+        (prime, so the sampler does not beat against second-aligned work).
+    ``profile_max_stacks``
+        Bound on distinct collapsed stacks one profile collection retains;
+        overflow samples collapse into a single sentinel stack.
+    ``profile_max_seconds``
+        Upper clamp on a single profile collection's duration (a profile
+        request holds one executor thread for its whole run).
+    ``memory_sample_seconds``
+        Period of the background RSS/attribution sampler (PR 10); the same
+        tick re-estimates pooled datasets' ``resident_bytes``.
+    ``tracemalloc_enabled``
+        Start ``tracemalloc`` at service startup so ``GET /debug/memory``
+        can report top allocation sites.  Off by default: tracing
+        allocations costs real CPU and memory.
     """
 
     trace_enabled: bool = True
@@ -634,6 +650,11 @@ class ObservabilityConfig:
     slow_trace_seconds: float = 0.25
     slow_log_size: int = 64
     query_log_records: int = 4096
+    profile_hz: int = 97
+    profile_max_stacks: int = 4096
+    profile_max_seconds: float = 60.0
+    memory_sample_seconds: float = 10.0
+    tracemalloc_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_ring_size <= 0:
@@ -644,6 +665,14 @@ class ObservabilityConfig:
             raise ConfigurationError("slow_log_size must be positive")
         if self.query_log_records <= 0:
             raise ConfigurationError("query_log_records must be positive")
+        if self.profile_hz <= 0:
+            raise ConfigurationError("profile_hz must be positive")
+        if self.profile_max_stacks <= 0:
+            raise ConfigurationError("profile_max_stacks must be positive")
+        if self.profile_max_seconds <= 0:
+            raise ConfigurationError("profile_max_seconds must be positive")
+        if self.memory_sample_seconds <= 0:
+            raise ConfigurationError("memory_sample_seconds must be positive")
 
 
 @dataclass(frozen=True)

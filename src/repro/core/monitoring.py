@@ -267,6 +267,16 @@ class ServiceMetrics:
         self.promotions = 0
         self.last_promotion_ms = 0.0
         self.peak_promotion_ms = 0.0
+        # Resource accounting (PR 10).  ``memory_last`` holds the latest
+        # sampler tick's byte gauges ("rss_bytes" plus one "<component>_bytes"
+        # per registered attribution source); merge_summaries sums them across
+        # workers (fleet footprint) and maxes ``peak_rss_bytes`` (worst single
+        # process).  Profile counters count sampler activity, not overhead.
+        self.memory_samples = 0
+        self.memory_peak_rss = 0
+        self.memory_last: dict[str, int] = {"rss_bytes": 0}
+        self.profile_runs = 0
+        self.profile_samples = 0
 
     # ---------------------------------------------------------------- admission
 
@@ -560,6 +570,33 @@ class ServiceMetrics:
                 if latency_ms > self.peak_promotion_ms:
                     self.peak_promotion_ms = latency_ms
 
+    # ------------------------------------------------------- resource accounting
+
+    def record_memory_sample(self, sample: dict) -> None:
+        """Ingest one :class:`~repro.obs.memory.MemorySampler` tick.
+
+        ``sample`` is the flat ``{"rss_bytes": ..., "<component>_bytes": ...}``
+        dict; non-int values are coerced defensively because the sampler's
+        sources are arbitrary callables.
+        """
+        cleaned = {
+            key: max(0, int(value))
+            for key, value in sample.items()
+            if isinstance(value, (int, float))
+        }
+        with self._lock:
+            self.memory_samples += 1
+            self.memory_last = {"rss_bytes": 0, **cleaned}
+            rss = self.memory_last["rss_bytes"]
+            if rss > self.memory_peak_rss:
+                self.memory_peak_rss = rss
+
+    def record_profile_run(self, samples: int) -> None:
+        """Count one completed profile collection and its sample total."""
+        with self._lock:
+            self.profile_runs += 1
+            self.profile_samples += max(0, int(samples))
+
     # ------------------------------------------------------------------ summary
 
     def summary(self) -> dict[str, object]:
@@ -631,6 +668,18 @@ class ServiceMetrics:
                     "polls": self.replication_polls,
                     "records_applied": self.replication_records_applied,
                     "resyncs": self.replication_resyncs,
+                },
+                # Resource accounting (PR 10): byte gauges sum across workers
+                # under merge_summaries (the fleet's total footprint);
+                # peak_rss_bytes rides the peak* max-merge rule.
+                "memory": {
+                    "samples": self.memory_samples,
+                    "peak_rss_bytes": self.memory_peak_rss,
+                    **dict(sorted(self.memory_last.items())),
+                },
+                "profile": {
+                    "runs": self.profile_runs,
+                    "samples": self.profile_samples,
                 },
                 # Per-op SLO compliance (error budgets, burn rates, alerts;
                 # empty without a configured engine).  At the router this

@@ -8,7 +8,11 @@ Three pieces, threaded through every tier of the serving stack:
 * :mod:`repro.obs.histogram` — lock-cheap log-bucketed latency histograms,
   mergeable across the fleet through ``merge_summaries``;
 * :mod:`repro.obs.prometheus` — ``/metrics?format=prometheus`` text
-  exposition with stable ``gvdb_*`` names.
+  exposition with stable ``gvdb_*`` names;
+* :mod:`repro.obs.profile` — sampling wall-clock profiler producing
+  per-op-attributed collapsed stacks behind ``GET /debug/profile``;
+* :mod:`repro.obs.memory` — periodic RSS + component attribution sampler
+  feeding the ``memory`` metrics section and ``GET /debug/memory``.
 
 See ``docs/observability.md`` for the span-phase catalog, bucket scheme and
 metric name table.
@@ -21,12 +25,23 @@ from .histogram import (
     bucket_upper_bound,
     percentiles_from_state,
 )
+from .memory import MemorySampler, read_rss_bytes, tracemalloc_top
+from .profile import (
+    IDLE_OP,
+    SamplingProfiler,
+    collapse_frame,
+    format_collapsed,
+    merge_collapsed,
+    op_totals,
+    top_frames,
+)
 from .trace import (
     TRACE_HEADER,
     TRACE_HEADER_WIRE,
     Span,
     Trace,
     TraceStore,
+    active_thread_ops,
     add_phase,
     annotate,
     begin_trace,
@@ -37,29 +52,42 @@ from .trace import (
     new_trace_id,
     sanitize_trace_id,
     span,
+    thread_op,
 )
 from .prometheus import render_prometheus
 
 __all__ = [
+    "IDLE_OP",
     "NUM_BUCKETS",
     "TRACE_HEADER",
     "TRACE_HEADER_WIRE",
     "Histogram",
+    "MemorySampler",
+    "SamplingProfiler",
     "Span",
     "Trace",
     "TraceStore",
+    "active_thread_ops",
     "add_phase",
     "annotate",
     "begin_trace",
     "bucket_index",
     "bucket_upper_bound",
+    "collapse_frame",
     "current_span",
     "current_trace",
     "current_trace_id",
     "end_trace",
+    "format_collapsed",
+    "merge_collapsed",
     "new_trace_id",
+    "op_totals",
     "percentiles_from_state",
+    "read_rss_bytes",
     "render_prometheus",
     "sanitize_trace_id",
     "span",
+    "thread_op",
+    "top_frames",
+    "tracemalloc_top",
 ]

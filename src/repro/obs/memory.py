@@ -1,0 +1,215 @@
+"""Process-memory accounting: RSS sampling with component attribution (PR 10).
+
+ROADMAP item 2 (shared-memory packed pages) promises "per-worker resident
+bytes ≈ constant in worker count" — a claim nobody can verify until something
+records per-worker resident bytes.  This module is that something: a
+:class:`MemorySampler` periodically reads the process RSS (``/proc/self/status``
+``VmRSS``, no third-party deps) and asks each registered *source* how many of
+those bytes it can account for — the dataset pool's estimated resident sizes,
+the router's result cache + stale archive, the write-ahead journals on disk.
+
+Samples flow into ``ServiceMetrics`` as the ``memory`` section of
+``/metrics``, chosen so the fleet merge is meaningful under the existing
+``merge_summaries`` rules: plain byte gauges **sum** across workers (the
+fleet's total footprint), ``peak_rss_bytes`` **maxes** (the worst single
+process), and per-worker visibility comes from the ``worker`` label on
+worker-local Prometheus scrapes.
+
+The sampler tick also runs registered *refresh hooks* first — the dataset
+pool re-estimates each open dataset's ``resident_bytes`` here, so the pool's
+byte-budget eviction tracks post-edit reality instead of the size captured at
+open time.
+
+Allocation-site attribution (``tracemalloc``) is strictly opt-in
+(``ObservabilityConfig.tracemalloc_enabled``): it costs real memory and CPU,
+so it never runs unless asked, and ``GET /debug/memory`` reports it as
+disabled rather than silently returning nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Mapping
+
+__all__ = ["MemorySampler", "read_rss_bytes", "tracemalloc_top"]
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size in bytes, without third-party dependencies.
+
+    Linux: ``VmRSS`` from ``/proc/self/status``.  Elsewhere: fall back to
+    ``resource.getrusage`` (``ru_maxrss`` — a high-water mark, not current,
+    but monotone and better than nothing).  Returns 0 when neither works.
+    """
+    try:
+        with open("/proc/self/status", "rb") as status:
+            for line in status:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+    except Exception:  # noqa: BLE001 - telemetry must never raise
+        return 0
+
+
+class MemorySampler:
+    """Periodic RSS + component-attribution sampler.
+
+    Parameters
+    ----------
+    interval_seconds:
+        Background sampling period; ``start()`` spawns a daemon thread that
+        calls :meth:`sample_once` on this cadence.
+    sources:
+        ``{component: callable() -> bytes}`` attribution sources (e.g.
+        ``{"pool": pool.total_resident_bytes}``).  A failing source reports 0
+        for that tick rather than killing the sampler.
+    on_sample:
+        Sink receiving each completed sample dict (``ServiceMetrics.
+        record_memory_sample`` in production).
+    rss_reader / clock:
+        Injection points for tests.
+    """
+
+    def __init__(
+        self,
+        interval_seconds: float = 10.0,
+        sources: Mapping[str, Callable[[], int]] | None = None,
+        on_sample: Callable[[dict], None] | None = None,
+        rss_reader: Callable[[], int] = read_rss_bytes,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.interval_seconds = float(interval_seconds)
+        self._sources: dict[str, Callable[[], int]] = dict(sources or {})
+        self._refresh_hooks: list[Callable[[], object]] = []
+        self._on_sample = on_sample
+        self._rss = rss_reader
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.last_sample: dict | None = None
+        self.samples = 0
+
+    # ------------------------------------------------------------ registration
+
+    def add_source(self, component: str, reader: Callable[[], int]) -> None:
+        """Register (or replace) a byte-attribution source."""
+        with self._lock:
+            self._sources[component] = reader
+
+    def add_refresh_hook(self, hook: Callable[[], object]) -> None:
+        """Register a callable run at the start of every tick, *before* the
+        sources are read — the pool's resident-bytes re-estimation rides
+        here so attribution reflects post-edit sizes."""
+        with self._lock:
+            if hook not in self._refresh_hooks:
+                self._refresh_hooks.append(hook)
+
+    # ----------------------------------------------------------------- sampling
+
+    def sample_once(self) -> dict:
+        """One tick: run refresh hooks, read RSS and every source, emit.
+
+        Returns (and stores as :attr:`last_sample`) a flat dict of byte
+        gauges: ``{"rss_bytes": ..., "<component>_bytes": ...}``.  Source and
+        hook failures degrade to 0 / no-op — telemetry never takes the
+        service down.
+        """
+        with self._lock:
+            hooks = list(self._refresh_hooks)
+            sources = list(self._sources.items())
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001
+                pass
+        sample: dict = {"rss_bytes": max(0, int(self._rss()))}
+        for component, reader in sources:
+            try:
+                sample[f"{component}_bytes"] = max(0, int(reader()))
+            except Exception:  # noqa: BLE001
+                sample[f"{component}_bytes"] = 0
+        with self._lock:
+            self.last_sample = sample
+            self.samples += 1
+        if self._on_sample is not None:
+            try:
+                self._on_sample(sample)
+            except Exception:  # noqa: BLE001
+                pass
+        return sample
+
+    # ------------------------------------------------------------------- thread
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background sampling thread (idempotent); takes an
+        immediate first sample so ``/metrics`` is populated from tick zero."""
+        if self.running:
+            return
+        self._stop.clear()
+        self.sample_once()
+        self._thread = threading.Thread(
+            target=self._loop, name="gvdb-memory-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.sample_once()
+            except Exception:  # noqa: BLE001 - the thread must survive
+                pass
+
+
+# ------------------------------------------------------------------ tracemalloc
+
+
+def tracemalloc_top(n: int = 10) -> dict:
+    """Top-``n`` allocation sites from ``tracemalloc``, if it is tracing.
+
+    Returns ``{"enabled": False}`` when tracing is off (the opt-in knob is
+    ``ObservabilityConfig.tracemalloc_enabled``); otherwise
+    ``{"enabled": True, "traced_bytes": ..., "sites": [{"site", "size_bytes",
+    "count"}, ...]}``.
+    """
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        return {"enabled": False}
+    current, peak = tracemalloc.get_traced_memory()
+    snapshot = tracemalloc.take_snapshot()
+    stats = snapshot.statistics("lineno")[: max(0, int(n))]
+    return {
+        "enabled": True,
+        "traced_bytes": int(current),
+        "traced_peak_bytes": int(peak),
+        "sites": [
+            {
+                "site": f"{stat.traceback[0].filename}:{stat.traceback[0].lineno}",
+                "size_bytes": int(stat.size),
+                "count": int(stat.count),
+            }
+            for stat in stats
+        ],
+    }

@@ -1,0 +1,264 @@
+"""Sampling wall-clock profiler with per-op attribution (PR 10).
+
+The tracing layer answers *where did this request's time go*; this module
+answers *where does the process's CPU go across requests*: a daemon thread
+walks :func:`sys._current_frames` at a configurable rate and folds every
+thread's Python stack into **collapsed-stack** form — the `flamegraph.pl` /
+speedscope interchange format, one line per distinct stack::
+
+    window;repro.service.frontend:_run_window;repro.storage.table:window_query 42
+
+Each sample's first segment is the **op**: the innermost span name active on
+the sampled thread at that instant, read from the thread→op registry the
+trace machinery maintains (:func:`repro.obs.trace.active_thread_ops`).  A
+sample taken while a worker thread is inside ``with span("filter")`` is
+attributed to ``filter``; threads with no active span get ``-``.  That makes
+fleet profiles directly comparable to the per-request span phases: the same
+names key both.
+
+Collapsed stacks are **mergeable by construction** — summing counts per stack
+line is associative and commutative — so the router can fan
+``GET /debug/profile`` out to every worker and add the dicts together
+(:func:`merge_collapsed`), exactly like histogram bucket states ride
+``merge_summaries``.
+
+The profiler is sampling, not tracing: cost is ``hz × threads`` stack walks
+per second regardless of request rate, and nothing is inserted into the
+request path.  ``benchmarks/test_bench_observability.py`` measures the hot
+window path with a profiler running vs not (< 3% target, same budget as the
+PR 8 tracing overhead).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Callable, Mapping
+
+from .trace import active_thread_ops
+
+__all__ = [
+    "IDLE_OP",
+    "OVERFLOW_STACK",
+    "SamplingProfiler",
+    "collapse_frame",
+    "format_collapsed",
+    "merge_collapsed",
+    "op_totals",
+    "top_frames",
+]
+
+#: Op segment for threads with no active span (untraced / between requests).
+IDLE_OP = "-"
+
+#: Key that absorbs samples once ``max_stacks`` distinct stacks are retained.
+OVERFLOW_STACK = f"{IDLE_OP};<overflow>"
+
+#: Stacks deeper than this are truncated at the root end (the leaf frames are
+#: the interesting part of a sample).
+_MAX_DEPTH = 128
+
+
+def _format_frame(frame) -> str:
+    """``module:qualname`` for one frame — line numbers are deliberately left
+    out so stacks stay stable across edits and merge across workers running
+    the same code."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__") or code.co_filename
+    name = getattr(code, "co_qualname", None) or code.co_name
+    return f"{module}:{name}"
+
+
+def collapse_frame(frame, op: str = IDLE_OP) -> str:
+    """Fold one thread's live frame chain into a collapsed-stack key.
+
+    Root-first order (flamegraph convention), prefixed with the op segment:
+    ``op;root_frame;...;leaf_frame``.
+    """
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < _MAX_DEPTH:
+        parts.append(_format_frame(frame))
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    # The collapsed format is whitespace/semicolon-delimited; an op name
+    # containing either (a root span like "worker GET /debug/slow") must not
+    # corrupt the line grammar.
+    clean = (op or IDLE_OP).replace(";", ":").replace(" ", "_")
+    return ";".join([clean] + parts)
+
+
+class SamplingProfiler:
+    """Wall-clock sampler over ``sys._current_frames`` with op attribution.
+
+    Parameters
+    ----------
+    default_hz:
+        Sampling rate used when a collection does not specify one.  A prime
+        default (97) avoids beating against second-aligned periodic work.
+    max_stacks:
+        Bound on distinct collapsed stacks retained per collection; further
+        new stacks are absorbed into :data:`OVERFLOW_STACK` so one collection
+        can never hold unbounded memory (the profiler's "ring size").
+    clock / sleep / frames_provider / op_provider:
+        Injection points for deterministic tests: a fake clock advanced by a
+        fake sleep yields exactly ``seconds × hz`` samples of a fake frame
+        table; production uses ``time.monotonic``/``time.sleep``/
+        ``sys._current_frames``/``active_thread_ops``.
+    """
+
+    def __init__(
+        self,
+        default_hz: int = 97,
+        max_stacks: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        frames_provider: Callable[[], Mapping[int, object]] = sys._current_frames,
+        op_provider: Callable[[], Mapping[int, str]] = active_thread_ops,
+    ) -> None:
+        if default_hz <= 0:
+            raise ValueError("default_hz must be positive")
+        if max_stacks <= 0:
+            raise ValueError("max_stacks must be positive")
+        self.default_hz = int(default_hz)
+        self.max_stacks = int(max_stacks)
+        self._clock = clock
+        self._sleep = sleep
+        self._frames = frames_provider
+        self._ops = op_provider
+
+    # ----------------------------------------------------------------- sampling
+
+    def sample_into(self, counts: Counter, exclude: frozenset[int] = frozenset()) -> int:
+        """Take one sample of every live thread into ``counts``.
+
+        Returns the number of threads sampled.  ``exclude`` removes the
+        sampler's own thread so the profiler never profiles itself.
+        """
+        ops = self._ops()
+        sampled = 0
+        for ident, frame in self._frames().items():
+            if ident in exclude:
+                continue
+            key = collapse_frame(frame, ops.get(ident, IDLE_OP))
+            if key not in counts and len(counts) >= self.max_stacks:
+                key = OVERFLOW_STACK
+            counts[key] += 1
+            sampled += 1
+        return sampled
+
+    def _run(
+        self,
+        deadline: float,
+        interval: float,
+        counts: Counter,
+        totals: Counter,
+    ) -> None:
+        while self._clock() < deadline:
+            totals["samples"] += self.sample_into(
+                counts, exclude=frozenset((threading.get_ident(),))
+            )
+            totals["ticks"] += 1
+            self._sleep(interval)
+
+    def collect(self, seconds: float, hz: int | None = None) -> dict:
+        """Profile for ``seconds`` at ``hz`` and return the collapsed profile.
+
+        Spawns a daemon sampler thread and joins it, so the caller (an HTTP
+        executor thread, typically) is itself visible in the profile —
+        blocked in ``join`` under whatever span it holds.  The result is
+        JSON-ready::
+
+            {"seconds": float, "hz": int, "ticks": int, "samples": int,
+             "stacks": {collapsed_key: count}}
+        """
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        rate = int(hz) if hz else self.default_hz
+        if rate <= 0:
+            raise ValueError("hz must be positive")
+        counts: Counter = Counter()
+        totals: Counter = Counter()
+        deadline = self._clock() + float(seconds)
+        thread = threading.Thread(
+            target=self._run,
+            args=(deadline, 1.0 / rate, counts, totals),
+            name="gvdb-profiler",
+            daemon=True,
+        )
+        # Pure-Python bursts shorter than the GIL switch interval (5 ms by
+        # default) are systematically invisible to an in-process sampler: the
+        # sampler thread cannot take the GIL mid-burst, so by the time it
+        # runs the burst is over and its frames are gone.  Drop the interval
+        # for the collection window only (restored after), so sub-millisecond
+        # phases — a coalesced batch evaluation, a JSON build — are sampled
+        # in proportion to their cost.
+        previous_switch = sys.getswitchinterval()
+        try:
+            sys.setswitchinterval(min(previous_switch, 0.0005))
+            thread.start()
+            thread.join()
+        finally:
+            sys.setswitchinterval(previous_switch)
+        return {
+            "seconds": float(seconds),
+            "hz": rate,
+            "ticks": int(totals["ticks"]),
+            "samples": int(totals["samples"]),
+            "stacks": dict(counts),
+        }
+
+
+# ------------------------------------------------------------------- merging
+
+
+def merge_collapsed(profiles: "list[Mapping[str, int]]") -> dict:
+    """Sum collapsed-stack dicts key-wise (associative and commutative)."""
+    merged: Counter = Counter()
+    for stacks in profiles:
+        merged.update(stacks)
+    return dict(merged)
+
+
+def format_collapsed(stacks: Mapping[str, int]) -> str:
+    """Render a ``.collapsed`` file body: ``stack count`` per line, sorted by
+    count descending then key (deterministic for identical inputs)."""
+    ordered = sorted(stacks.items(), key=lambda item: (-item[1], item[0]))
+    return "".join(f"{key} {count}\n" for key, count in ordered)
+
+
+def op_totals(stacks: Mapping[str, int]) -> dict:
+    """Samples per op segment (the attribution summary)."""
+    totals: Counter = Counter()
+    for key, count in stacks.items():
+        totals[key.split(";", 1)[0]] += count
+    return dict(totals)
+
+
+def top_frames(stacks: Mapping[str, int], n: int = 20) -> list[dict]:
+    """The hottest frames: per-frame *self* (leaf) and *total* (anywhere on
+    the stack, counted once per sample) sample counts, self-first."""
+    self_counts: Counter = Counter()
+    total_counts: Counter = Counter()
+    for key, count in stacks.items():
+        frames = key.split(";")[1:]
+        if not frames:
+            continue
+        self_counts[frames[-1]] += count
+        for frame in set(frames):
+            total_counts[frame] += count
+    ordered = sorted(
+        total_counts,
+        key=lambda frame: (-self_counts[frame], -total_counts[frame], frame),
+    )
+    return [
+        {
+            "frame": frame,
+            "self": self_counts[frame],
+            "total": total_counts[frame],
+        }
+        for frame in ordered[: max(0, int(n))]
+    ]

@@ -186,6 +186,44 @@ def render_prometheus(summary: dict, base_labels: dict[str, str] | None = None) 
                        f"Adaptive admission limit {key} (monotonic).").add(
                     "", base, int(admission[key]))
 
+    # Resource accounting (PR 10): every ``*_bytes`` gauge in the ``memory``
+    # section renders under one family with a bounded ``component`` label —
+    # components are code-registered attribution sources (rss, pool, cache,
+    # journal, ...), never request-derived strings.
+    memory = summary.get("memory", {})
+    if isinstance(memory, dict):
+        byte_keys = [
+            key for key in sorted(memory)
+            if key.endswith("_bytes") and key != "peak_rss_bytes"
+            and isinstance(memory[key], (int, float))
+            and not isinstance(memory[key], bool)
+        ]
+        if byte_keys:
+            fam = family("gvdb_memory_bytes", "gauge",
+                         "Attributed resident bytes per component "
+                         "(rss = whole process).")
+            for key in byte_keys:
+                fam.add("", {**base, "component": key[: -len("_bytes")]},
+                        int(memory[key]))
+        if isinstance(memory.get("peak_rss_bytes"), (int, float)):
+            family("gvdb_memory_peak_rss_bytes", "gauge",
+                   "High-water mark of sampled process RSS.").add(
+                "", base, int(memory["peak_rss_bytes"]))
+        if isinstance(memory.get("samples"), (int, float)):
+            family("gvdb_memory_samples_total", "counter",
+                   "Memory-sampler ticks (monotonic).").add(
+                "", base, int(memory["samples"]))
+    profile = summary.get("profile", {})
+    if isinstance(profile, dict):
+        if isinstance(profile.get("runs"), (int, float)):
+            family("gvdb_profile_runs_total", "counter",
+                   "Completed profile collections (monotonic).").add(
+                "", base, int(profile["runs"]))
+        if isinstance(profile.get("samples"), (int, float)):
+            family("gvdb_profile_samples_total", "counter",
+                   "Thread-stack samples taken by the profiler (monotonic).").add(
+                "", base, int(profile["samples"]))
+
     latency = summary.get("latency", {})
     if isinstance(latency, dict) and latency:
         fam = family("gvdb_latency_seconds", "histogram",

@@ -37,6 +37,7 @@ __all__ = [
     "Span",
     "Trace",
     "TraceStore",
+    "active_thread_ops",
     "add_phase",
     "annotate",
     "begin_trace",
@@ -46,6 +47,7 @@ __all__ = [
     "end_trace",
     "new_trace_id",
     "span",
+    "thread_op",
 ]
 
 #: Wire header carrying the trace id (canonical casing for responses; request
@@ -179,6 +181,71 @@ def current_span() -> Span | None:
     return _current_span.get()
 
 
+# Thread → active-op registry for the sampling profiler.  Contextvars are the
+# source of truth for *request* attribution, but a sampler thread cannot read
+# another thread's context — so span() additionally records, per OS thread, a
+# stack of open span names.  The sampler snapshots the innermost name to tag
+# each sample (``repro.obs.profile``).  No lock: the GIL makes the individual
+# dict/list operations atomic, and the snapshot tolerates concurrent pops.
+_thread_ops: dict[int, list[str]] = {}
+
+
+def _push_thread_op(name: str) -> None:
+    ident = threading.get_ident()
+    stack = _thread_ops.get(ident)
+    if stack is None:
+        stack = _thread_ops[ident] = []
+    stack.append(name)
+
+
+def _pop_thread_op(name: str) -> None:
+    # Remove the first entry equal to ``name`` from the leaf end: spans on
+    # one *worker* thread close LIFO, but async code interleaves differently-
+    # named spans on the event-loop thread, so a blind pop could drop the
+    # wrong name.
+    ident = threading.get_ident()
+    stack = _thread_ops.get(ident)
+    if not stack:
+        return
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index] == name:
+            del stack[index]
+            break
+    if not stack:
+        _thread_ops.pop(ident, None)
+
+
+def active_thread_ops() -> dict[int, str]:
+    """Snapshot of each thread's innermost open span name (profiler input)."""
+    snapshot: dict[int, str] = {}
+    for ident, stack in list(_thread_ops.items()):
+        try:
+            snapshot[ident] = stack[-1]
+        except IndexError:  # emptied concurrently
+            continue
+    return snapshot
+
+
+@contextlib.contextmanager
+def thread_op(name: str):
+    """Tag the current OS thread with an op name for the sampling profiler.
+
+    :func:`span` tags the thread it runs on, but blocking work crosses the
+    executor boundary: the event-loop thread holds the ``window`` span while
+    a pool thread does the actual filtering, so a profiler sample of the pool
+    thread would read ``-``.  Wrap the executor-side body in ``thread_op``
+    (the service's ``_run`` adopts the submitting request's innermost span
+    name; the coalescer tags batch evaluation as ``window.batch``) and the
+    sample is attributed to the op that queued the work.  Pure profiler
+    plumbing: no trace, span, or contextvar is touched.
+    """
+    _push_thread_op(name)
+    try:
+        yield
+    finally:
+        _pop_thread_op(name)
+
+
 @contextlib.contextmanager
 def span(name: str, **annotations: object):
     """Open a child span of the current span; a no-op without an active trace.
@@ -193,6 +260,7 @@ def span(name: str, **annotations: object):
     child = Span(name, **annotations)
     parent.children.append(child)
     token = _current_span.set(child)
+    _push_thread_op(name)
     try:
         yield child
     except BaseException:
@@ -201,6 +269,7 @@ def span(name: str, **annotations: object):
     else:
         child.finish("ok")
     finally:
+        _pop_thread_op(name)
         _current_span.reset(token)
 
 

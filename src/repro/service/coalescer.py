@@ -34,6 +34,7 @@ from ..core.monitoring import ServiceMetrics
 from ..core.query_manager import QueryManager, WindowQueryResult
 from ..core.streaming import stream_payload
 from ..errors import ServiceError
+from ..obs import thread_op
 from ..spatial.geometry import Rect
 
 __all__ = ["WindowBatchCoalescer"]
@@ -169,7 +170,18 @@ def _execute_batch(
     dispatch — one share per *request* (not per unique window), so summing
     it across the whole batch reproduces the real index time even when
     duplicates collapsed.
+
+    Runs under ``thread_op("window.batch")``: the submitting requests' spans
+    live on the event-loop thread, so without the tag a profiler sample of
+    the batch evaluation — the actual packed-filter work — would read ``-``.
     """
+    with thread_op("window.batch"):
+        return _execute_batch_inner(query_manager, layer, windows)
+
+
+def _execute_batch_inner(
+    query_manager: QueryManager, layer: int, windows: list[Rect]
+) -> list[WindowQueryResult]:
     order: list[tuple[float, float, float, float]] = []
     unique: dict[tuple[float, float, float, float], Rect] = {}
     for window in windows:

@@ -150,10 +150,31 @@ class GraphVizDBService:
             )
             self.metrics.attach_admission(self._admission)
         self.writes = WriteCoordinator(config=self.config, metrics=self.metrics)
+        # A completed checkpoint rewrote the dataset from memory — refresh the
+        # pool's size estimates so the byte budget tracks post-edit reality.
+        self.writes.on_checkpoint = self.pool.refresh_resident_bytes
         self.maintenance = MaintenanceScheduler(
             config=self.service_config, metrics=self.metrics, pool=self.pool
         )
         self.maintenance.add_hook(self._expire_idle_sessions)
+        # Continuous profiling + resource accounting (PR 10).  The profiler
+        # only samples while a /debug/profile collection is running; the
+        # memory sampler ticks in the background for the whole service
+        # lifetime, re-estimating pool sizes on each tick.
+        self.profiler = obs.SamplingProfiler(
+            default_hz=self.obs_config.profile_hz,
+            max_stacks=self.obs_config.profile_max_stacks,
+        )
+        self.memory_sampler = obs.MemorySampler(
+            interval_seconds=self.obs_config.memory_sample_seconds,
+            sources={
+                "pool": self.pool.total_resident_bytes,
+                "journal": self.writes.journal_bytes,
+            },
+            on_sample=self.metrics.record_memory_sample,
+        )
+        self.memory_sampler.add_refresh_hook(self.pool.refresh_resident_bytes)
+        self._tracemalloc_started = False
         self._memory: dict[str, tuple[GraphVizDatabase, QueryManager]] = {}
         self._sqlite: dict[str, str] = {}
         self._sessions: dict[str, _ServingSession] = {}
@@ -209,6 +230,13 @@ class GraphVizDBService:
             metrics=self.metrics,
         )
         self.maintenance.start()
+        self.memory_sampler.start()
+        if self.obs_config.tracemalloc_enabled:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._tracemalloc_started = True
         self._started = True
         return self
 
@@ -221,6 +249,12 @@ class GraphVizDBService:
         # failed by the coalescer's shutdown guard, not left hanging).
         self._started = False
         self.maintenance.stop()
+        self.memory_sampler.stop()
+        if self._tracemalloc_started:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._tracemalloc_started = False
         if self.replication is not None:
             await asyncio.get_running_loop().run_in_executor(
                 None, self.replication.stop_all
@@ -312,9 +346,18 @@ class GraphVizDBService:
         # worker threads (journal append/fsync) attach to the request's
         # trace and fault_check sees the active trace id.
         context = contextvars.copy_context()
-        return await loop.run_in_executor(
-            executor, lambda: context.run(fn, *args, **kwargs)
-        )
+
+        def call():
+            # The copied context carries the request's innermost span; adopt
+            # its name as this pool thread's op so profiler samples of the
+            # blocking work attribute to the request's phase, not "-".
+            active = obs.current_span()
+            if active is not None:
+                with obs.thread_op(active.name):
+                    return fn(*args, **kwargs)
+            return fn(*args, **kwargs)
+
+        return await loop.run_in_executor(executor, lambda: context.run(call))
 
     # ----------------------------------------------------------------- requests
 
@@ -530,6 +573,38 @@ class GraphVizDBService:
     def metrics_summary(self) -> dict[str, object]:
         """The serving metrics snapshot (queue depth, coalescing, pool, repacks)."""
         return self.metrics.summary()
+
+    # ---------------------------------------------------- profiling / memory
+
+    def profile(self, seconds: float = 2.0, hz: int | None = None) -> dict:
+        """One bounded profile collection (``GET /debug/profile``; blocking).
+
+        Runs the sampling profiler for ``seconds`` (clamped to
+        ``ObservabilityConfig.profile_max_seconds``) and returns the collapsed
+        profile dict, tagged with this worker's id.  Called on an executor
+        thread by the HTTP layer — the collection occupies that one thread
+        plus the sampler's own daemon thread; request traffic keeps flowing.
+        """
+        bounded = min(max(float(seconds), 0.05), self.obs_config.profile_max_seconds)
+        result = self.profiler.collect(bounded, hz)
+        self.metrics.record_profile_run(result["samples"])
+        result["worker"] = self.worker_id
+        return result
+
+    def memory_debug(self, top_n: int = 10) -> dict:
+        """An on-demand memory report (``GET /debug/memory``; blocking).
+
+        Forces one sampler tick (fresh RSS + attribution, pool sizes
+        re-estimated) and attaches ``tracemalloc`` top-``top_n`` allocation
+        sites when the opt-in knob enabled tracing.
+        """
+        sample = self.memory_sampler.sample_once()
+        return {
+            "worker": self.worker_id,
+            "sample": sample,
+            "samples": self.memory_sampler.samples,
+            "tracemalloc": obs.tracemalloc_top(top_n),
+        }
 
     def health_snapshot(self) -> dict[str, object]:
         """Liveness + cache-invalidation state for the cluster router.

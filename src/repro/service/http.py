@@ -29,6 +29,11 @@ to real network clients:
                                       the bounded ring buffer
 ``GET /debug/slow?n=``                the slow-query log: span trees of the
                                       worst requests above the threshold
+``GET /debug/profile?seconds=&hz=``   one sampling-profiler collection:
+                                      collapsed stacks tagged with the
+                                      active op per sample
+``GET /debug/memory?n=``              fresh RSS + component byte attribution
+                                      (plus tracemalloc top-N when enabled)
 ``GET /health``                       liveness + per-dataset edit counters
                                       (+ replication watermarks when subscribed)
 ``GET /journal/tail?dataset=N&...``   journal feed for read replicas (optional
@@ -244,6 +249,14 @@ async def serve_http(
         # request timeout is clamped to the remaining budget, so the worker
         # never computes longer than anyone upstream is still waiting.
         budget = request_timeout_seconds
+        if urlsplit(target).path.startswith("/debug/profile") and budget > 0:
+            # A profile collection legitimately runs for its whole requested
+            # window; grant it headroom past the normal request budget (the
+            # collection itself clamps to profile_max_seconds).
+            budget = max(
+                budget,
+                service.obs_config.profile_max_seconds + 10.0,
+            )
         remaining = _deadline_remaining(request_headers)
         if remaining is not None:
             if remaining <= 0:
@@ -459,6 +472,20 @@ async def _route(
             "threshold_seconds": service.traces.slow_threshold_seconds,
             "traces": service.traces.slowest(int(params.get("n", "10"))),
         }
+    if path == "/debug/profile":
+        # One bounded profile collection; blocks an executor thread for the
+        # whole window (handle_one grants this path extra budget headroom).
+        result = await service._run(
+            service.profile,
+            float(params.get("seconds", "2")),
+            int(params["hz"]) if "hz" in params else None,
+        )
+        return 200, result
+    if path == "/debug/memory":
+        report = await service._run(
+            service.memory_debug, max(1, min(int(params.get("n", "10")), 100))
+        )
+        return 200, report
     if path == "/health":
         # Liveness must answer even while the service drains (the router
         # watches workers through their whole lifecycle).

@@ -129,6 +129,13 @@ class MaintenanceScheduler:
                 continue
             if done:
                 repacked[name] = done
+        if repacked and self.pool is not None:
+            # A repack swaps index structures, so the open-time size estimate
+            # is stale; re-run it so the byte budget sees the new reality.
+            try:
+                self.pool.refresh_resident_bytes()
+            except Exception as exc:  # noqa: BLE001
+                self.last_error = exc
         evicted: list[str] = []
         if self.pool is not None:
             try:

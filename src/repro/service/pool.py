@@ -43,8 +43,10 @@ class PooledDataset:
     open_seconds: float
     last_used: float = 0.0
     uses: int = 0
-    #: Estimated resident size (rows + index pages), captured once at open
-    #: time; drives the pool's ``max_resident_bytes`` budget.
+    #: Estimated resident size (rows + index pages).  Captured at open time
+    #: and re-estimated by :meth:`DatasetPool.refresh_resident_bytes` (after
+    #: repack/checkpoint and on every memory-sampler tick), so the pool's
+    #: ``max_resident_bytes`` budget tracks post-edit reality.
     resident_bytes: int = 0
 
     def touch(self) -> None:
@@ -148,6 +150,38 @@ class DatasetPool:
         with self._lock:
             return sum(entry.resident_bytes for entry in self._entries.values())
 
+    def refresh_resident_bytes(self) -> int:
+        """Re-estimate every open dataset's resident size; returns the total.
+
+        The size captured at open time goes stale the moment edits land
+        (inserted rows, a demoted-then-repacked index); this re-runs the
+        estimator and re-applies the ``max_resident_bytes`` eviction budget
+        against the fresh numbers.  Called after repack/checkpoint and on
+        every memory-sampler tick.  Estimation runs outside the pool lock —
+        it samples rows under the table's own locking — so lookups are never
+        stalled behind it.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            try:
+                entry.resident_bytes = entry.database.resident_bytes()
+            except Exception:  # noqa: BLE001 - one bad dataset must not stop the scan
+                continue
+        evictions = 0
+        with self._lock:
+            if self.max_resident_bytes:
+                total = sum(e.resident_bytes for e in self._entries.values())
+                while total > self.max_resident_bytes and len(self._entries) > 1:
+                    _, evicted = self._entries.popitem(last=False)
+                    total -= evicted.resident_bytes
+                    evictions += 1
+            total = sum(e.resident_bytes for e in self._entries.values())
+        if self.metrics is not None:
+            for _ in range(evictions):
+                self.metrics.record_pool_eviction()
+        return total
+
     # ------------------------------------------------------------------- lookup
 
     def get(self, path: str | Path) -> PooledDataset:
@@ -200,6 +234,9 @@ class DatasetPool:
             query_manager=QueryManager(database, self.client_config),
             opened_at=started,
             open_seconds=open_seconds,
+            # With the byte budget off the open skips estimation (it samples
+            # rows); the memory sampler's refresh hook fills the real size in
+            # on its next tick, so attribution still converges.
             resident_bytes=database.resident_bytes() if self.max_resident_bytes else 0,
         )
         entry.touch()

@@ -81,6 +81,11 @@ class WriteCoordinator:
         self._feed_lock = threading.Lock()
         self._feed_conditions: dict[str, threading.Condition] = {}
         self._feed_heads: dict[str, int] = {}
+        #: Called after every completed checkpoint (front-end wires the
+        #: pool's resident-bytes re-estimation here: a checkpointed dataset
+        #: just rewrote its SQLite file from the in-memory state, so the
+        #: open-time size estimate is stale).  Errors are swallowed.
+        self.on_checkpoint: "object" = None
 
     # --------------------------------------------------------------- read-only
 
@@ -147,6 +152,16 @@ class WriteCoordinator:
         """Un-checkpointed records currently in the dataset's journal."""
         journal = self._journals.get(dataset)
         return len(journal) if journal is not None else 0
+
+    def journal_bytes(self) -> int:
+        """Total on-disk size of the open journals (memory-telemetry source)."""
+        total = 0
+        for journal in list(self._journals.values()):
+            try:
+                total += journal.path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     # -------------------------------------------------------- replication feed
 
@@ -395,6 +410,9 @@ class WriteCoordinator:
         fault_check("checkpoint.truncate", dataset=dataset, watermark=watermark)
         remaining = journal.truncate_through(watermark)
         self.metrics.record_checkpoint()
+        if self.on_checkpoint is not None:
+            with contextlib.suppress(Exception):
+                self.on_checkpoint()
         return remaining
 
     # --------------------------------------------------------------- lifecycle

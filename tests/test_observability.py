@@ -504,6 +504,14 @@ def _deterministic_metrics() -> ServiceMetrics:
     metrics.record_latency("window", 0.004)
     metrics.record_latency("window", 0.016)
     metrics.record_latency("keyword", 0.002)
+    # Resource accounting (PR 10) with fixed byte values, no real RSS read.
+    metrics.record_memory_sample({
+        "rss_bytes": 104_857_600,
+        "pool_bytes": 8_388_608,
+        "cache_bytes": 1_048_576,
+        "journal_bytes": 65_536,
+    })
+    metrics.record_profile_run(samples=194)
     # SLO engine on a frozen clock: burn rates and budgets are exact.
     metrics.configure_slo(SLOConfig(), clock=lambda: 1000.0)
     metrics.record_op_outcome("window", 0.001, 200)
@@ -558,3 +566,20 @@ class TestPrometheusGolden:
                     assert name.endswith("_total"), line
                 elif name.endswith("_total"):
                     raise AssertionError(f"gauge named like a counter: {line}")
+        # PR 10 resource-accounting families are present with bounded labels:
+        # one gvdb_memory_bytes series per attribution component (plus rss),
+        # never one per sample or per request.
+        component_lines = [
+            line for line in lines
+            if line.startswith("gvdb_memory_bytes{")
+        ]
+        components = {
+            line.split('component="', 1)[1].split('"', 1)[0]
+            for line in component_lines
+        }
+        assert components == {"rss", "pool", "cache", "journal"}
+        assert len(component_lines) == len(components)  # no duplicate series
+        assert "gvdb_memory_peak_rss_bytes" in typed
+        assert "gvdb_memory_samples_total" in typed
+        assert "gvdb_profile_runs_total" in typed
+        assert "gvdb_profile_samples_total" in typed

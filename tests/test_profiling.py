@@ -1,0 +1,587 @@
+"""Tests for PR 10: sampling profiler, memory accounting, and the bench gate.
+
+Covers the profiler in isolation (deterministic collection under a fake
+clock, collapsed-stack grammar, merge associativity, stack-count bounding),
+the per-op attribution plumbing (``thread_op`` registry, span integration),
+the :class:`MemorySampler` (attribution sources, refresh hooks, failure
+isolation), the pool's resident-size re-estimation, the worker's
+``/debug/profile`` + ``/debug/memory`` HTTP endpoints, the ``repro top``
+memory pane, and the ``scripts/bench_check.py`` regression-gate logic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import importlib.util
+import json
+import threading
+from collections import Counter
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.config import GraphVizDBConfig, ObservabilityConfig
+from repro.obs.memory import MemorySampler, read_rss_bytes, tracemalloc_top
+from repro.obs.profile import (
+    IDLE_OP,
+    OVERFLOW_STACK,
+    SamplingProfiler,
+    collapse_frame,
+    format_collapsed,
+    merge_collapsed,
+    op_totals,
+    top_frames,
+)
+from repro.obs.trace import active_thread_ops
+from repro.service.frontend import GraphVizDBService
+from repro.service.http import serve_http
+from repro.service.pool import DatasetPool, PooledDataset
+
+
+# ---------------------------------------------------------------------------
+# Fake frames: the minimal shape ``collapse_frame`` walks.
+# ---------------------------------------------------------------------------
+
+
+def _frame(module: str, name: str, back=None):
+    return SimpleNamespace(
+        f_code=SimpleNamespace(
+            co_qualname=name, co_name=name, co_filename=f"{module}.py"
+        ),
+        f_globals={"__name__": module},
+        f_back=back,
+    )
+
+
+def _chain(*names: str, module: str = "mod"):
+    """Build a frame chain from root-first names; returns the leaf frame."""
+    frame = None
+    for name in names:
+        frame = _frame(module, name, back=frame)
+    return frame
+
+
+# ---------------------------------------------------------------------------
+# Collapsed-stack grammar
+# ---------------------------------------------------------------------------
+
+
+class TestCollapseFrame:
+    def test_root_first_order_with_op_prefix(self):
+        key = collapse_frame(_chain("serve", "dispatch", "query"), op="window")
+        assert key == "window;mod:serve;mod:dispatch;mod:query"
+
+    def test_missing_op_reads_idle(self):
+        assert collapse_frame(_chain("f")) == f"{IDLE_OP};mod:f"
+        assert collapse_frame(_chain("f"), op="") == f"{IDLE_OP};mod:f"
+
+    def test_op_names_cannot_corrupt_the_line_grammar(self):
+        # Root spans are named like "worker GET /debug/slow" — spaces would
+        # break the `stack count` line format, semicolons the stack segments.
+        key = collapse_frame(_chain("f"), op="worker GET /x;y")
+        op_segment = key.split(";", 1)[0]
+        assert " " not in op_segment and op_segment == "worker_GET_/x:y"
+
+
+class TestMergeCollapsed:
+    A = {"window;m:a": 3, "-;m:b": 1}
+    B = {"window;m:a": 2, "filter;m:c": 5}
+    C = {"-;m:b": 4}
+
+    def test_merge_is_associative_and_commutative(self):
+        left = merge_collapsed([merge_collapsed([self.A, self.B]), self.C])
+        right = merge_collapsed([self.A, merge_collapsed([self.B, self.C])])
+        swapped = merge_collapsed([self.C, self.B, self.A])
+        assert left == right == swapped
+        assert left == {"window;m:a": 5, "-;m:b": 5, "filter;m:c": 5}
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_collapsed([]) == {}
+        assert merge_collapsed([{}, {}]) == {}
+
+    def test_format_is_deterministic_and_sorted(self):
+        text = format_collapsed({"b;m:x": 2, "a;m:y": 2, "c;m:z": 9})
+        assert text == "c;m:z 9\na;m:y 2\nb;m:x 2\n"  # count desc, then key
+
+    def test_op_totals_sum_the_first_segment(self):
+        stacks = {"window;m:a;m:b": 3, "window;m:a": 2, "-;m:c": 1}
+        assert op_totals(stacks) == {"window": 5, "-": 1}
+
+    def test_top_frames_self_and_total(self):
+        stacks = {"w;m:a;m:b": 3, "w;m:a": 2, "-;m:c": 1}
+        frames = {entry["frame"]: entry for entry in top_frames(stacks)}
+        assert frames["m:b"] == {"frame": "m:b", "self": 3, "total": 3}
+        assert frames["m:a"] == {"frame": "m:a", "self": 2, "total": 5}
+        assert frames["m:c"] == {"frame": "m:c", "self": 1, "total": 1}
+        assert len(top_frames(stacks, n=1)) == 1
+
+
+# ---------------------------------------------------------------------------
+# SamplingProfiler
+# ---------------------------------------------------------------------------
+
+
+def _fake_profiler(frames: dict, ops: dict, hz: int = 10) -> SamplingProfiler:
+    """A profiler whose clock only advances when its sampler sleeps."""
+    now = [0.0]
+
+    def clock() -> float:
+        return now[0]
+
+    def sleep(seconds: float) -> None:
+        now[0] += seconds
+
+    return SamplingProfiler(
+        default_hz=hz,
+        clock=clock,
+        sleep=sleep,
+        frames_provider=lambda: frames,
+        op_provider=lambda: ops,
+    )
+
+
+class TestSamplingProfiler:
+    def test_fake_clock_collection_is_deterministic(self):
+        frames = {1: _chain("a", "b"), 2: _chain("c")}
+        profiler = _fake_profiler(frames, ops={1: "window"}, hz=10)
+        result = profiler.collect(2.0)
+        # Exactly seconds x hz ticks, two threads sampled per tick.
+        assert result["ticks"] == 20
+        assert result["samples"] == 40
+        assert result["hz"] == 10 and result["seconds"] == 2.0
+        assert result["stacks"] == {
+            "window;mod:a;mod:b": 20,
+            f"{IDLE_OP};mod:c": 20,
+        }
+
+    def test_explicit_hz_overrides_the_default(self):
+        profiler = _fake_profiler({1: _chain("f")}, ops={}, hz=10)
+        assert profiler.collect(1.0, hz=50)["ticks"] == 50
+
+    def test_sampler_excludes_its_own_thread(self):
+        # The fake frame table keyed by the sampler's own ident must not be
+        # sampled (the profiler never profiles itself).
+        seen = []
+        frames = {}
+
+        def provider():
+            ident = next(iter(seen), None)
+            return frames if ident is None else {ident: _chain("me")}
+
+        profiler = _fake_profiler({}, ops={})
+        profiler._frames = provider
+
+        original_sample = profiler.sample_into
+
+        def capturing(counts, exclude=frozenset()):
+            seen.extend(exclude)
+            return original_sample(counts, exclude)
+
+        profiler.sample_into = capturing
+        result = profiler.collect(0.5)
+        assert result["samples"] == 0  # own-thread frames were excluded
+
+    def test_max_stacks_bounds_memory_via_overflow_key(self):
+        profiler = _fake_profiler({}, ops={})
+        profiler.max_stacks = 2
+        counts: Counter = Counter()
+        for index in range(5):
+            profiler._frames = lambda i=index: {1: _chain(f"fn{i}")}
+            profiler.sample_into(counts)
+        assert len(counts) <= 3  # two distinct + the overflow bucket
+        assert counts[OVERFLOW_STACK] == 3
+
+    def test_collection_restores_the_gil_switch_interval(self):
+        import sys
+
+        before = sys.getswitchinterval()
+        profiler = _fake_profiler({1: _chain("f")}, ops={})
+        profiler.collect(0.2)
+        assert sys.getswitchinterval() == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(default_hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_stacks=0)
+        profiler = _fake_profiler({}, ops={})
+        with pytest.raises(ValueError):
+            profiler.collect(0.0)
+        with pytest.raises(ValueError):
+            profiler.collect(1.0, hz=-5)
+
+
+# ---------------------------------------------------------------------------
+# Per-op attribution plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestThreadOpRegistry:
+    def test_thread_op_tags_and_untags_the_current_thread(self):
+        ident = threading.get_ident()
+        assert active_thread_ops().get(ident) is None
+        with obs.thread_op("window.batch"):
+            assert active_thread_ops()[ident] == "window.batch"
+            with obs.thread_op("inner"):
+                assert active_thread_ops()[ident] == "inner"  # innermost wins
+            assert active_thread_ops()[ident] == "window.batch"
+        assert active_thread_ops().get(ident) is None
+
+    def test_span_tags_the_thread_it_runs_on(self):
+        ident = threading.get_ident()
+        trace, token = obs.begin_trace(name="request")
+        try:
+            with obs.span("window"):
+                assert active_thread_ops()[ident] == "window"
+        finally:
+            trace.finish()
+            obs.end_trace(token)
+        assert active_thread_ops().get(ident) is None
+
+    def test_profiler_attributes_samples_to_the_tagged_thread(self):
+        done = threading.Event()
+        release = threading.Event()
+        ready = {}
+
+        def worker():
+            ready["ident"] = threading.get_ident()
+            with obs.thread_op("window.batch"):
+                done.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        assert done.wait(timeout=10)
+        try:
+            # Live registry + fake frames: the sample for the tagged thread
+            # must carry its op, every other ident reads idle.
+            frames = {ready["ident"]: _chain("batch_fn"), 999: _chain("other")}
+            profiler = SamplingProfiler(
+                frames_provider=lambda: frames, op_provider=active_thread_ops
+            )
+            counts: Counter = Counter()
+            profiler.sample_into(counts)
+            assert counts == {
+                "window.batch;mod:batch_fn": 1,
+                f"{IDLE_OP};mod:other": 1,
+            }
+        finally:
+            release.set()
+            thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# MemorySampler
+# ---------------------------------------------------------------------------
+
+
+class TestMemorySampler:
+    def test_sample_reads_rss_and_every_source(self):
+        sink: list[dict] = []
+        sampler = MemorySampler(
+            interval_seconds=60.0,
+            sources={"pool": lambda: 1024, "journal": lambda: 10},
+            on_sample=sink.append,
+            rss_reader=lambda: 5000,
+        )
+        sample = sampler.sample_once()
+        assert sample == {"rss_bytes": 5000, "pool_bytes": 1024,
+                          "journal_bytes": 10}
+        assert sampler.last_sample == sample and sampler.samples == 1
+        assert sink == [sample]
+
+    def test_failing_source_degrades_to_zero(self):
+        def boom() -> int:
+            raise RuntimeError("nope")
+
+        sampler = MemorySampler(
+            sources={"bad": boom, "good": lambda: 7}, rss_reader=lambda: 1
+        )
+        sample = sampler.sample_once()
+        assert sample["bad_bytes"] == 0 and sample["good_bytes"] == 7
+
+    def test_refresh_hooks_run_before_sources(self):
+        order: list[str] = []
+        sampler = MemorySampler(
+            sources={"pool": lambda: order.append("source") or 0},
+            rss_reader=lambda: 0,
+        )
+        sampler.add_refresh_hook(lambda: order.append("hook"))
+        sampler.add_refresh_hook(lambda: 1 / 0)  # must not kill the tick
+        sampler.sample_once()
+        assert order == ["hook", "source"]
+
+    def test_background_thread_starts_samples_and_stops(self):
+        sampler = MemorySampler(interval_seconds=0.01, rss_reader=lambda: 1)
+        assert not sampler.running
+        sampler.start()
+        try:
+            assert sampler.running
+            assert sampler.samples >= 1  # immediate first tick
+        finally:
+            sampler.stop()
+        assert not sampler.running
+        sampler.start()  # restartable
+        sampler.stop()
+
+    def test_validation_and_rss_reader(self):
+        with pytest.raises(ValueError):
+            MemorySampler(interval_seconds=0)
+        assert read_rss_bytes() > 0  # a live Python process is never 0 RSS
+
+    def test_tracemalloc_top_reports_disabled_when_off(self):
+        import tracemalloc
+
+        if tracemalloc.is_tracing():  # pragma: no cover - depends on runner
+            pytest.skip("tracemalloc already tracing in this process")
+        assert tracemalloc_top() == {"enabled": False}
+
+
+# ---------------------------------------------------------------------------
+# Pool resident-size re-estimation
+# ---------------------------------------------------------------------------
+
+
+class _FakeDatabase:
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def resident_bytes(self) -> int:
+        return self.size
+
+
+def _pooled(key: str, size: int) -> PooledDataset:
+    return PooledDataset(
+        key=key,
+        database=_FakeDatabase(size),
+        query_manager=None,
+        opened_at=0.0,
+        open_seconds=0.0,
+        resident_bytes=size,
+    )
+
+
+class TestPoolResidentRefresh:
+    def test_refresh_reestimates_stale_sizes(self):
+        pool = DatasetPool(capacity=4)
+        for key, size in (("a", 10), ("b", 20)):
+            pool._entries[key] = _pooled(key, size)
+        assert pool.total_resident_bytes() == 30
+        pool._entries["a"].database.size = 500  # edits grew the dataset
+        assert pool.refresh_resident_bytes() == 520
+        assert pool._entries["a"].resident_bytes == 500  # entry updated
+
+    def test_refresh_applies_the_byte_budget_to_fresh_sizes(self):
+        pool = DatasetPool(capacity=4, max_resident_bytes=100)
+        for key, size in (("old", 10), ("new", 10)):
+            pool._entries[key] = _pooled(key, size)
+        pool._entries["old"].database.size = 500
+        total = pool.refresh_resident_bytes()
+        # The oldest entry blew the budget post-refresh and was evicted.
+        assert list(pool._entries) == ["new"] and total == 10
+
+    def test_refresh_never_evicts_the_last_dataset(self):
+        pool = DatasetPool(capacity=4, max_resident_bytes=100)
+        pool._entries["only"] = _pooled("only", 10)
+        pool._entries["only"].database.size = 9999
+        assert pool.refresh_resident_bytes() == 9999
+        assert list(pool._entries) == ["only"]  # budget degrades, not empties
+
+    def test_one_broken_estimator_does_not_stop_the_scan(self):
+        pool = DatasetPool(capacity=4)
+        pool._entries["bad"] = _pooled("bad", 10)
+        pool._entries["good"] = _pooled("good", 10)
+        pool._entries["bad"].database.resident_bytes = None  # not callable
+        pool._entries["good"].database.size = 77
+        assert pool.refresh_resident_bytes() == 10 + 77  # bad keeps old value
+
+
+# ---------------------------------------------------------------------------
+# Worker HTTP endpoints + repro top memory pane
+# ---------------------------------------------------------------------------
+
+
+class TestProfilingHttp:
+    @pytest.fixture
+    def http_server(self, patent_result):
+        service = GraphVizDBService(GraphVizDBConfig(
+            observability=ObservabilityConfig(memory_sample_seconds=0.05)
+        ))
+        service.register_dataset("patent", patent_result.database)
+        started = threading.Event()
+        stop = {}
+
+        def run_loop():
+            async def main():
+                async with service:
+                    server = await serve_http(service, port=0)
+                    stop["port"] = server.sockets[0].getsockname()[1]
+                    stop["loop"] = asyncio.get_running_loop()
+                    stop["event"] = asyncio.Event()
+                    started.set()
+                    await stop["event"].wait()
+                    server.close()
+                    await server.wait_closed()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_loop, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        yield stop["port"]
+        stop["loop"].call_soon_threadsafe(stop["event"].set)
+        thread.join(timeout=10)
+
+    def _get_json(self, port, path):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_debug_profile_returns_a_collapsed_profile(self, http_server):
+        status, profile = self._get_json(
+            http_server, "/debug/profile?seconds=0.2&hz=199"
+        )
+        assert status == 200
+        assert profile["hz"] == 199 and profile["seconds"] == 0.2
+        assert profile["ticks"] > 0 and profile["samples"] > 0
+        assert "worker" in profile  # empty outside a supervised fleet
+        for key, count in profile["stacks"].items():
+            op, _, frames = key.partition(";")
+            assert op and " " not in op
+            assert frames and count > 0
+
+    def test_debug_memory_reports_rss_and_attribution(self, http_server):
+        status, report = self._get_json(http_server, "/debug/memory")
+        assert status == 200
+        sample = report["sample"]
+        assert sample["rss_bytes"] > 0
+        assert "pool_bytes" in sample and "journal_bytes" in sample
+        assert report["samples"] >= 1
+        assert report["tracemalloc"] == {"enabled": False}  # opt-in knob off
+
+    def test_metrics_carry_memory_and_profile_sections(self, http_server):
+        # One profile run first so the counters are nonzero.
+        status, _ = self._get_json(http_server, "/debug/profile?seconds=0.1")
+        assert status == 200
+        status, metrics = self._get_json(http_server, "/metrics")
+        assert status == 200
+        assert metrics["memory"]["rss_bytes"] > 0
+        assert metrics["memory"]["samples"] >= 1
+        assert metrics["profile"]["runs"] >= 1
+        assert metrics["profile"]["samples"] > 0
+
+    def test_repro_top_renders_the_memory_pane(self, http_server, capsys):
+        exit_code = cli_main([
+            "top", "--port", str(http_server),
+            "--interval", "0.05", "--iterations", "1",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        memory_lines = [
+            line for line in out.splitlines() if line.startswith("memory")
+        ]
+        assert memory_lines, out
+        assert "rss=" in memory_lines[0] and "peak=" in memory_lines[0]
+
+
+# ---------------------------------------------------------------------------
+# bench_check regression gate
+# ---------------------------------------------------------------------------
+
+
+def _load_bench_check():
+    path = Path(__file__).resolve().parents[1] / "scripts" / "bench_check.py"
+    spec = importlib.util.spec_from_file_location("bench_check", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench_check():
+    return _load_bench_check()
+
+
+class TestBenchCheck:
+    def test_metric_direction_conventions(self, bench_check):
+        lower = ("window_p99_ms", "obs_on_ms", "overhead_ratio",
+                 "recovery_ms", "per_record_ns", "latency_budget",
+                 "requests_lost")
+        higher = ("records_per_second", "speedup_4w", "router_2w_rps_throughput",
+                  "cache_hits", "qps")
+        ignored = ("recorded_at", "scale", "dataset", "requests", "seed",
+                   "cpu_count", "profiler_hz")
+        for key in lower:
+            assert bench_check.metric_direction(key) == -1, key
+        for key in higher:
+            assert bench_check.metric_direction(key) == 1, key
+        for key in ignored:
+            assert bench_check.metric_direction(key) == 0, key
+
+    def test_rates_win_over_embedded_time_markers(self, bench_check):
+        # "_per_second" contains "second"-ish text; the rate marker must win.
+        assert bench_check.metric_direction("rows_per_second") == 1
+
+    def test_compare_entries_flags_only_bad_moves(self, bench_check):
+        previous = {"p99_ms": 100.0, "rps_per_second": 1000.0, "requests": 10}
+        latest = {"p99_ms": 130.0, "rps_per_second": 700.0, "requests": 99}
+        found = bench_check.compare_entries(previous, latest, threshold=0.2)
+        metrics = {item["metric"] for item in found}
+        assert metrics == {"p99_ms", "rps_per_second"}  # requests: no direction
+
+        improvements = bench_check.compare_entries(
+            {"p99_ms": 130.0, "rps_per_second": 700.0},
+            {"p99_ms": 100.0, "rps_per_second": 1000.0},
+            threshold=0.2,
+        )
+        assert improvements == []
+
+    def test_compare_entries_skips_unusable_values(self, bench_check):
+        previous = {"p99_ms": 0.0, "speedup": True, "restart_ms": None}
+        latest = {"p99_ms": 50.0, "speedup": 0.1, "restart_ms": 5.0,
+                  "new_metric_ms": 9.0}
+        assert bench_check.compare_entries(previous, latest, 0.2) == []
+
+    def test_series_are_keyed_by_dataset_kind_and_scale(self, bench_check):
+        a = {"dataset": "patent", "kind": "throughput", "scale": 0.5}
+        b = {"dataset": "patent", "kind": "throughput", "scale": 1.0}
+        assert bench_check.series_key(a) != bench_check.series_key(b)
+        assert bench_check.series_key(a) == bench_check.series_key(dict(a))
+
+    def test_main_warns_by_default_and_fails_strict(self, bench_check,
+                                                    tmp_path, capsys):
+        trajectory = [
+            {"dataset": "d", "kind": "k", "scale": 0.5, "p99_ms": 10.0},
+            {"dataset": "d", "kind": "k", "scale": 0.5, "p99_ms": 50.0},
+        ]
+        (tmp_path / "BENCH_test.json").write_text(json.dumps(trajectory))
+        report = tmp_path / "report.txt"
+
+        code = bench_check.main(
+            ["--root", str(tmp_path), "--report", str(report)]
+        )
+        assert code == 0  # warn-only by default
+        out = capsys.readouterr().out
+        assert "REGRESSION p99_ms" in out
+        assert "REGRESSION p99_ms" in report.read_text()
+
+        code = bench_check.main(
+            ["--root", str(tmp_path), "--report", str(report), "--strict"]
+        )
+        assert code == 1
+
+    def test_main_with_no_trajectories_is_an_error(self, bench_check,
+                                                   tmp_path, capsys):
+        code = bench_check.main(
+            ["--root", str(tmp_path), "--report", str(tmp_path / "r.txt")]
+        )
+        assert code == 2
+        capsys.readouterr()
